@@ -1,0 +1,80 @@
+/// Ablation D: model selection on the training distribution.
+///
+/// Complements Table 2 (which measures end-objective errors on held-out
+/// suite benchmarks) with classic in-distribution diagnostics over the
+/// micro-benchmark training sets:
+///   - 5-fold cross-validated RMSE / R^2 per algorithm per metric,
+///   - random-forest feature importances per metric (which Table-1 features
+///     and which clock-basis columns the models actually use).
+
+#include <iostream>
+
+#include "synergy/common/table.hpp"
+#include "synergy/ml/linear.hpp"
+#include "synergy/ml/metrics.hpp"
+#include "synergy/ml/random_forest.hpp"
+#include "synergy/synergy.hpp"
+
+namespace sc = synergy::common;
+namespace ml = synergy::ml;
+namespace gs = synergy::gpusim;
+
+int main() {
+  const auto spec = gs::make_v100();
+  synergy::trainer_options opt;
+  opt.n_microbenchmarks = 48;
+  opt.freq_samples = 24;
+  opt.repetitions = 2;
+  synergy::model_trainer trainer{spec, opt};
+  std::cout << "building training sets on " << spec.name << " ...\n";
+  const auto sets = trainer.measure(trainer.generate_microbenchmarks());
+
+  const std::pair<const char*, const ml::dataset*> metrics[] = {
+      {"time", &sets.time}, {"energy", &sets.energy}, {"edp", &sets.edp},
+      {"ed2p", &sets.ed2p}};
+
+  sc::print_banner(std::cout, "Ablation D: 5-fold CV over the micro-benchmark training set");
+  sc::text_table cv_table;
+  cv_table.header({"metric", "algorithm", "cv RMSE", "cv R^2"});
+  for (const auto& [name, data] : metrics) {
+    for (const auto alg : {ml::algorithm::linear, ml::algorithm::lasso,
+                           ml::algorithm::random_forest, ml::algorithm::svr_rbf}) {
+      const auto cv = ml::k_fold_cv(*data, 5, [alg] { return ml::make_regressor(alg); });
+      cv_table.row({name, ml::to_string(alg), sc::text_table::fmt(cv.mean_rmse(), 4),
+                    sc::text_table::fmt(cv.mean_r2(), 3)});
+    }
+  }
+  cv_table.print(std::cout);
+
+  sc::print_banner(std::cout, "Random-forest feature importances per metric");
+  sc::text_table imp_table;
+  std::vector<std::string> header{"feature"};
+  for (const auto& [name, data] : metrics) header.emplace_back(name);
+  imp_table.header(header);
+
+  std::vector<std::vector<double>> importances;
+  for (const auto& [name, data] : metrics) {
+    ml::random_forest forest;
+    forest.fit(data->x, data->y);
+    importances.push_back(forest.feature_importances());
+  }
+  const char* basis_names[] = {"f (GHz)", "1/f", "log f", "f^3"};
+  for (std::size_t i = 0; i < synergy::model_input_dim; ++i) {
+    std::vector<std::string> row;
+    row.push_back(i < gs::static_features::dimension
+                      ? gs::static_features::feature_name(i)
+                      : basis_names[i - gs::static_features::dimension]);
+    for (const auto& imp : importances) row.push_back(sc::text_table::fmt(imp[i], 3));
+    imp_table.row(row);
+  }
+  imp_table.print(std::cout);
+
+  // Shape check: the clock basis must dominate the (normalised) energy model.
+  double clock_share = 0.0;
+  for (std::size_t i = gs::static_features::dimension; i < synergy::model_input_dim; ++i)
+    clock_share += importances[1][i];
+  std::cout << "\nshape check: clock-basis share of the energy model's importance: "
+            << sc::text_table::fmt(clock_share, 3) << " (> 0.3: "
+            << (clock_share > 0.3 ? "yes" : "NO") << ")\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+/// Ablation C (paper Sec. 4.4): fine-grained energy-profiling accuracy vs
+/// power-sensor sampling interval. Short kernels cannot be profiled
+/// accurately because of the ~15 ms effective sensor granularity; this
+/// sweep quantifies the error across kernel durations and intervals.
+
+#include <cmath>
+#include <iostream>
+
+#include "synergy/common/csv.hpp"
+#include "synergy/common/table.hpp"
+#include "synergy/synergy.hpp"
+
+namespace sc = synergy::common;
+
+int main() {
+  simsycl::device dev{synergy::gpusim::make_v100()};
+  auto ctx = std::make_shared<synergy::context>(std::vector<simsycl::device>{dev});
+  synergy::queue q{dev, ctx};
+
+  sc::print_banner(std::cout,
+                   "Ablation C: sampled vs exact kernel energy across sampling intervals");
+
+  sc::text_table table;
+  table.header({"kernel time", "exact (J)", "err@1ms", "err@5ms", "err@15ms", "err@50ms"});
+  sc::csv_writer csv{std::cout};
+  std::vector<std::vector<std::string>> rows;
+
+  const double intervals[] = {0.001, 0.005, 0.015, 0.050};
+  // Sweep kernel durations by scaling virtual work.
+  for (const double multiplier : {256.0, 4096.0, 65536.0, 1048576.0, 8388608.0}) {
+    simsycl::kernel_info info;
+    info.name = "probe";
+    info.features.float_add = 64;
+    info.features.float_mul = 64;
+    info.features.gl_access = 4;
+    info.work_multiplier = multiplier;
+    // Idle gap so each kernel is clearly separated on the timeline.
+    dev.board()->advance_idle(sc::seconds{0.1});
+    const auto e = q.submit([&](simsycl::handler& h) {
+      h.parallel_for(simsycl::range<1>{1024}, info, [](simsycl::id<1>) {});
+    });
+    const double exact = q.kernel_energy_consumption(e);
+
+    std::vector<std::string> row{sc::text_table::fmt(e.record().cost.time.ms(), 3) + " ms",
+                                 sc::text_table::fmt(exact, 4)};
+    std::vector<std::string> csv_row{sc::csv_writer::num(e.record().cost.time.value),
+                                     sc::csv_writer::num(exact)};
+    for (const double interval : intervals) {
+      const double sampled = q.kernel_energy_consumption_sampled(e, interval);
+      const double err = std::fabs(sampled - exact) / exact * 100.0;
+      row.push_back(sc::text_table::fmt(err, 1) + "%");
+      csv_row.push_back(sc::csv_writer::num(err / 100.0));
+    }
+    table.row(row);
+    rows.push_back(csv_row);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nshape check (paper Sec. 4.4): kernels shorter than the sampling interval\n"
+               "cannot be profiled accurately; errors shrink as kernel duration grows\n"
+               "past ~15 ms. (100% = the sampler missed the kernel entirely; errors far\n"
+               "above 100% = a sampling tick landed inside the kernel and inflated the\n"
+               "estimate by the full interval.)\n";
+
+  std::cout << "\ncsv:\n";
+  csv.row({"kernel_time_s", "exact_j", "err_1ms", "err_5ms", "err_15ms", "err_50ms"});
+  for (const auto& r : rows) csv.row(r);
+  return 0;
+}

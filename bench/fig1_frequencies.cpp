@@ -1,0 +1,51 @@
+/// Figure 1 reproduction: available core and memory frequencies for the
+/// NVIDIA V100, NVIDIA A100, and AMD MI100, as enumerated through the
+/// vendor management libraries.
+
+#include <iostream>
+#include <memory>
+
+#include "synergy/common/csv.hpp"
+#include "synergy/common/table.hpp"
+#include "synergy/gpusim/device.hpp"
+#include "synergy/vendor/management_library.hpp"
+
+namespace sc = synergy::common;
+namespace gs = synergy::gpusim;
+namespace sv = synergy::vendor;
+
+int main() {
+  sc::print_banner(std::cout, "Figure 1: available frequencies (V100 / A100 / MI100)");
+
+  sc::text_table table;
+  table.header({"device", "backend", "mem MHz", "#core cfgs", "core min", "core max",
+                "default"});
+
+  for (const auto& name : gs::known_device_names()) {
+    auto board = std::make_shared<gs::device>(gs::make_device_spec(name));
+    auto lib = sv::make_management_library({board});
+    lib->init();
+    const auto mem = lib->supported_memory_clocks(0).value().front();
+    const auto cores = lib->supported_core_clocks(0, mem).value();
+    table.row({lib->device_name(0).value(), lib->backend_name(),
+               sc::text_table::fmt(mem.value, 0),
+               std::to_string(cores.size()),
+               sc::text_table::fmt(cores.front().value, 0),
+               sc::text_table::fmt(cores.back().value, 0),
+               sc::text_table::fmt(board->spec().default_core_clock().value, 0)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper reference: V100 196 cfgs 135-1530 (mem 877), A100 81 cfgs 210-1410\n"
+               "(mem 1215), MI100 16 cfgs 300-1502 (mem 1200)\n";
+
+  std::cout << "\ncsv:\n";
+  sc::csv_writer w{std::cout};
+  w.row({"device", "core_mhz"});
+  for (const auto& name : gs::known_device_names()) {
+    const auto spec = gs::make_device_spec(name);
+    for (const auto f : spec.core_clocks)
+      w.row({name, sc::csv_writer::num(f.value)});
+  }
+  return 0;
+}

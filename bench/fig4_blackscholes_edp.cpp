@@ -1,0 +1,74 @@
+/// Figure 4 reproduction: EDP and ED2P of Black-Scholes vs core frequency
+/// on the V100, with the minimising configurations marked. The paper's
+/// observation to verify: the ED2P optimum sits very close to maximum
+/// performance / maximum frequency, while the EDP optimum lies between the
+/// minimum-energy point and maximum performance.
+
+#include <iostream>
+
+#include "characterize.hpp"
+#include "synergy/common/csv.hpp"
+#include "synergy/common/table.hpp"
+
+namespace sc = synergy::common;
+namespace sm = synergy::metrics;
+
+int main() {
+  const auto spec = synergy::gpusim::make_v100();
+  const auto c = bench::characterize(spec, "black_scholes");
+
+  const auto i_edp = sm::select(c, sm::MIN_EDP);
+  const auto i_ed2p = sm::select(c, sm::MIN_ED2P);
+  const auto i_energy = sm::select(c, sm::MIN_ENERGY);
+  const auto i_perf = sm::select(c, sm::MAX_PERF);
+
+  sc::print_banner(std::cout, "Figure 4: Black-Scholes EDP / ED2P vs core frequency (V100)");
+
+  sc::text_table table;
+  table.header({"core MHz", "EDP (J*s)", "ED2P (J*s^2)", "mark"});
+  for (std::size_t i = 0; i < c.points.size(); ++i) {
+    // Print every 8th row plus all marked rows to keep the table readable;
+    // the CSV below carries the full series.
+    const bool marked = i == i_edp || i == i_ed2p || i == c.default_index;
+    if (i % 8 != 0 && !marked) continue;
+    std::string mark;
+    if (i == i_edp) mark += " <- MIN_EDP";
+    if (i == i_ed2p) mark += " <- MIN_ED2P";
+    if (i == c.default_index) mark += " (default)";
+    table.row({sc::text_table::fmt(c.points[i].config.core.value, 0),
+               sc::text_table::fmt(c.points[i].edp() * 1e3, 4),
+               sc::text_table::fmt(c.points[i].ed2p() * 1e6, 4), mark});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nselected configurations:\n";
+  sc::text_table sel;
+  sel.header({"target", "core MHz", "speedup", "norm energy"});
+  for (const auto& [label, idx] :
+       std::vector<std::pair<const char*, std::size_t>>{{"MAX_PERF", i_perf},
+                                                        {"MIN_EDP", i_edp},
+                                                        {"MIN_ED2P", i_ed2p},
+                                                        {"MIN_ENERGY", i_energy}}) {
+    sel.row({label, sc::text_table::fmt(c.points[idx].config.core.value, 0),
+             sc::text_table::fmt(c.speedup(c.points[idx]), 3),
+             sc::text_table::fmt(c.normalized_energy(c.points[idx]), 3)});
+  }
+  sel.print(std::cout);
+
+  const double f_edp = c.points[i_edp].config.core.value;
+  const double f_ed2p = c.points[i_ed2p].config.core.value;
+  const double f_perf = c.points[i_perf].config.core.value;
+  const double f_energy = c.points[i_energy].config.core.value;
+  std::cout << "\nshape check (paper Sec. 5.1): ED2P optimum near max performance: "
+            << (f_ed2p >= f_perf - 80.0 ? "yes" : "NO") << "; EDP optimum interior ("
+            << f_energy << " < " << f_edp << " <= " << f_perf
+            << "): " << (f_edp > f_energy && f_edp <= f_perf ? "yes" : "NO") << '\n';
+
+  std::cout << "\ncsv:\n";
+  sc::csv_writer w{std::cout};
+  w.row({"core_mhz", "edp", "ed2p"});
+  for (const auto& p : c.points)
+    w.row({sc::csv_writer::num(p.config.core.value), sc::csv_writer::num(p.edp()),
+           sc::csv_writer::num(p.ed2p())});
+  return 0;
+}

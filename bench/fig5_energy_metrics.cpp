@@ -1,0 +1,51 @@
+/// Figure 5 reproduction: the ES_x (energy saving) and PL_x (performance
+/// loss) metrics for Black-Scholes on the V100. Prints the frequency each
+/// metric selects and where it lands on the energy/time curves, plus the
+/// full curves as CSV.
+
+#include <iostream>
+
+#include "characterize.hpp"
+#include "synergy/common/csv.hpp"
+#include "synergy/common/table.hpp"
+
+namespace sc = synergy::common;
+namespace sm = synergy::metrics;
+
+int main() {
+  const auto spec = synergy::gpusim::make_v100();
+  const auto c = bench::characterize(spec, "black_scholes");
+
+  const auto& def = c.default_point();
+  const auto i_min_e = sm::select(c, sm::MIN_ENERGY);
+  const double e_span = def.energy_j - c.points[i_min_e].energy_j;
+  const double t_span = c.points[i_min_e].time_s - def.time_s;
+
+  sc::print_banner(std::cout, "Figure 5: ES_x and PL_x metrics for Black-Scholes (V100)");
+  std::cout << "default: core " << def.config.core.value << " MHz, time " << def.time_s * 1e3
+            << " ms, energy " << def.energy_j << " J\n";
+  std::cout << "potential saving: " << e_span << " J (" << (e_span / def.energy_j) * 100.0
+            << "% of default); potential loss: " << t_span * 1e3 << " ms\n\n";
+
+  sc::text_table table;
+  table.header({"metric", "core MHz", "time (ms)", "energy (J)", "achieved saving %",
+                "perf loss %"});
+  for (const auto& t : {sm::ES_25, sm::ES_50, sm::ES_75, sm::target::energy_saving(100.0),
+                        sm::PL_25, sm::PL_50, sm::PL_75,
+                        sm::target::performance_loss(100.0)}) {
+    const auto& p = c.points[sm::select(c, t)];
+    table.row({t.to_string(), sc::text_table::fmt(p.config.core.value, 0),
+               sc::text_table::fmt(p.time_s * 1e3, 3), sc::text_table::fmt(p.energy_j, 3),
+               sc::text_table::fmt((def.energy_j - p.energy_j) / def.energy_j * 100.0, 1),
+               sc::text_table::fmt((p.time_s - def.time_s) / def.time_s * 100.0, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\ncsv:\n";
+  sc::csv_writer w{std::cout};
+  w.row({"core_mhz", "time_s", "energy_j"});
+  for (const auto& p : c.points)
+    w.row({sc::csv_writer::num(p.config.core.value), sc::csv_writer::num(p.time_s),
+           sc::csv_writer::num(p.energy_j)});
+  return 0;
+}

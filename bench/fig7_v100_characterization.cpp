@@ -1,0 +1,30 @@
+/// Figure 7 reproduction: speedup / normalised-energy characterization of
+/// four significant benchmarks on the NVIDIA V100. Shape targets from the
+/// paper: MatMul has a narrow Pareto speedup range (~0.95-1.01) but ~33%
+/// energy saving at ~5% performance loss; Sobel3 spans ~0.73-1.15 and
+/// saves ~30% at ~27% loss; the default configuration is not always the
+/// best choice.
+
+#include <iostream>
+
+#include "characterize.hpp"
+#include "synergy/common/table.hpp"
+
+int main() {
+  const auto spec = synergy::gpusim::make_v100();
+  const char* benchmarks[] = {"mat_mul", "sobel3", "black_scholes", "median"};
+
+  for (const char* name : benchmarks) {
+    const auto c = bench::characterize(spec, name);
+    bench::print_series(std::cout, std::string("Figure 7: ") + name + " on V100", c);
+  }
+
+  synergy::common::print_banner(std::cout, "Figure 7 summary (V100)");
+  for (const char* name : benchmarks) {
+    const auto s = bench::summarize(bench::characterize(spec, name));
+    bench::print_summary_row(std::cout, name, s);
+  }
+  std::cout << "\npaper reference: mat_mul pareto speedup 0.95..1.01, 33% saving at 5% loss;\n"
+               "sobel3 pareto speedup 0.73..1.15, 30% saving at 27% loss.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+/// Figure 9 reproduction: absolute percentage error (APE) of the predicted
+/// optimal frequency per benchmark, per ML algorithm, for each user-defined
+/// objective. The error is measured on the objective value achieved at the
+/// predicted vs the actual optimal frequency (paper Sec. 8.3), on the V100.
+
+#include <iostream>
+
+#include "accuracy.hpp"
+#include "synergy/common/csv.hpp"
+#include "synergy/common/table.hpp"
+
+namespace sc = synergy::common;
+namespace sm = synergy::metrics;
+
+int main() {
+  const auto spec = synergy::gpusim::make_v100();
+  std::cout << "training models (micro-benchmarks only; the 23 suite benchmarks are\n"
+               "held out) ...\n";
+  const bench::accuracy_analysis analysis{spec};
+
+  sc::csv_writer csv{std::cout};
+  for (const auto& objective : sm::paper_objectives()) {
+    const auto algorithms = bench::accuracy_analysis::algorithms_for(objective);
+
+    sc::print_banner(std::cout,
+                     "Figure 9: APE of predicted optimum, objective " + objective.to_string());
+    sc::text_table table;
+    std::vector<std::string> header{"benchmark"};
+    for (const auto alg : algorithms) header.emplace_back(synergy::ml::to_string(alg));
+    header.emplace_back("actual MHz");
+    table.header(header);
+
+    for (const auto& b : synergy::workloads::suite()) {
+      std::vector<std::string> row{b.name};
+      double actual_freq = 0.0;
+      for (const auto alg : algorithms) {
+        const auto e = analysis.evaluate(b, objective, alg);
+        row.push_back(sc::text_table::fmt(e.ape * 100.0, 2) + "%");
+        actual_freq = e.actual_freq;
+      }
+      row.push_back(sc::text_table::fmt(actual_freq, 0));
+      table.row(row);
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\ncsv:\n";
+  csv.row({"objective", "benchmark", "algorithm", "ape", "actual_mhz", "predicted_mhz"});
+  for (const auto& objective : sm::paper_objectives()) {
+    for (const auto& b : synergy::workloads::suite()) {
+      for (const auto alg : bench::accuracy_analysis::algorithms_for(objective)) {
+        const auto e = analysis.evaluate(b, objective, alg);
+        csv.row({objective.to_string(), b.name, synergy::ml::to_string(alg),
+                 sc::csv_writer::num(e.ape), sc::csv_writer::num(e.actual_freq),
+                 sc::csv_writer::num(e.predicted_freq)});
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+/// Library micro-benchmarks (google-benchmark): wall-clock cost of the
+/// SYnergy runtime operations themselves — feature extraction, model
+/// inference, oracle and model-based planning, queue submission, and
+/// emulated vendor calls. These measure this library's overheads, not the
+/// simulated devices.
+
+#include <benchmark/benchmark.h>
+
+#include "synergy/features/extraction.hpp"
+#include "synergy/synergy.hpp"
+#include "synergy/vendor/nvml_sim.hpp"
+#include "synergy/workloads/benchmark.hpp"
+
+namespace gs = synergy::gpusim;
+namespace sm = synergy::metrics;
+namespace sw = synergy::workloads;
+
+namespace {
+
+const synergy::trained_models& shared_models() {
+  static const synergy::trained_models models = [] {
+    synergy::trainer_options opt;
+    opt.n_microbenchmarks = 24;
+    opt.freq_samples = 16;
+    opt.repetitions = 1;
+    return synergy::model_trainer{gs::make_v100(), opt}.train_default();
+  }();
+  return models;
+}
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  for (auto _ : state) {
+    auto k = synergy::features::extract_features([] {
+      synergy::features::counting_array<float> x, y, z;
+      synergy::features::counted<float> a{2.0f};
+      z[0] = a * x[0] + y[0];
+    });
+    benchmark::DoNotOptimize(k);
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_ModelInference(benchmark::State& state) {
+  const auto& models = shared_models();
+  gs::static_features k;
+  k.float_add = 50;
+  k.gl_access = 5;
+  const auto x = synergy::model_input(k, synergy::common::megahertz{1312});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(models.energy->predict_one(x));
+  }
+}
+BENCHMARK(BM_ModelInference);
+
+void BM_OraclePlan(benchmark::State& state) {
+  const auto spec = gs::make_v100();
+  const auto profile = sw::find("black_scholes").profile();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synergy::oracle_plan(spec, profile, sm::MIN_EDP));
+  }
+}
+BENCHMARK(BM_OraclePlan);
+
+void BM_PlannerPlan(benchmark::State& state) {
+  static synergy::frequency_planner planner{gs::make_v100(), [] {
+                                              synergy::trainer_options opt;
+                                              opt.n_microbenchmarks = 24;
+                                              opt.freq_samples = 16;
+                                              opt.repetitions = 1;
+                                              return synergy::model_trainer{gs::make_v100(),
+                                                                            opt}
+                                                  .train_default();
+                                            }()};
+  const auto& features = sw::find("sobel3").info.features;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(features, sm::ES_50));
+  }
+}
+BENCHMARK(BM_PlannerPlan);
+
+void BM_QueueSubmit(benchmark::State& state) {
+  simsycl::device dev{gs::make_v100()};
+  auto ctx = std::make_shared<synergy::context>(std::vector<simsycl::device>{dev});
+  synergy::queue q{dev, ctx};
+  simsycl::kernel_info info;
+  info.name = "bench_kernel";
+  info.features.float_add = 8;
+  info.features.gl_access = 2;
+  for (auto _ : state) {
+    auto e = q.submit([&](simsycl::handler& h) {
+      h.parallel_for(simsycl::range<1>{64}, info, [](simsycl::id<1>) {});
+    });
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_QueueSubmit);
+
+void BM_VendorSetClocks(benchmark::State& state) {
+  auto board = std::make_shared<gs::device>(gs::make_v100());
+  synergy::vendor::nvml_sim lib{{board}};
+  lib.init();
+  const auto root = synergy::vendor::user_context::root();
+  const auto f1 = board->spec().core_clocks[50];
+  const auto f2 = board->spec().core_clocks[150];
+  bool flip = false;
+  for (auto _ : state) {
+    const auto st = lib.set_application_clocks(
+        root, 0, {board->spec().memory_clock, flip ? f1 : f2});
+    benchmark::DoNotOptimize(st);
+    flip = !flip;
+  }
+}
+BENCHMARK(BM_VendorSetClocks);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,162 @@
+#include "accuracy.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "synergy/ml/metrics.hpp"
+
+namespace bench {
+
+namespace sm = synergy::metrics;
+namespace ml = synergy::ml;
+namespace gs = synergy::gpusim;
+
+using synergy::common::frequency_config;
+using synergy::common::megahertz;
+
+accuracy_analysis::accuracy_analysis(const gs::device_spec& spec,
+                                     synergy::trainer_options options)
+    : spec_(spec) {
+  synergy::model_trainer trainer{spec_, options};
+  const auto sets = trainer.measure(trainer.generate_microbenchmarks());
+
+  const auto all_algorithms = {ml::algorithm::linear, ml::algorithm::lasso,
+                               ml::algorithm::random_forest, ml::algorithm::svr_rbf};
+  for (const auto alg : all_algorithms) {
+    auto& per_metric = models_[alg];
+    per_metric[metric::time] = ml::make_regressor(alg);
+    per_metric[metric::time]->fit(sets.time);
+    per_metric[metric::energy] = ml::make_regressor(alg);
+    per_metric[metric::energy]->fit(sets.energy);
+    per_metric[metric::edp] = ml::make_regressor(alg);
+    per_metric[metric::edp]->fit(sets.edp);
+    per_metric[metric::ed2p] = ml::make_regressor(alg);
+    per_metric[metric::ed2p]->fit(sets.ed2p);
+  }
+}
+
+std::vector<ml::algorithm> accuracy_analysis::algorithms_for(const sm::target& objective) {
+  using kind = sm::target::kind;
+  switch (objective.k) {
+    case kind::max_perf:
+    case kind::performance_loss:
+      return {ml::algorithm::linear, ml::algorithm::lasso, ml::algorithm::random_forest};
+    case kind::min_ed2p:
+      return {ml::algorithm::linear, ml::algorithm::random_forest, ml::algorithm::svr_rbf};
+    case kind::min_energy:
+    case kind::min_edp:
+    case kind::energy_saving:
+      return {ml::algorithm::random_forest, ml::algorithm::svr_rbf};
+  }
+  throw std::logic_error("unreachable");
+}
+
+const ml::regressor& accuracy_analysis::model(ml::algorithm alg, metric m) const {
+  return *models_.at(alg).at(m);
+}
+
+frequency_config accuracy_analysis::plan(const gs::static_features& k,
+                                         const sm::target& objective,
+                                         ml::algorithm alg) const {
+  using kind = sm::target::kind;
+
+  auto argmin_model = [&](const ml::regressor& r) {
+    megahertz best = spec_.default_core_clock();
+    double best_v = std::numeric_limits<double>::infinity();
+    for (const megahertz f : spec_.core_clocks) {
+      const double v = r.predict_one(synergy::model_input(k, f));
+      if (v < best_v) {
+        best_v = v;
+        best = f;
+      }
+    }
+    return frequency_config{spec_.memory_clock, best};
+  };
+
+  switch (objective.k) {
+    case kind::max_perf: return argmin_model(model(alg, metric::time));
+    case kind::min_energy: return argmin_model(model(alg, metric::energy));
+    case kind::min_edp: return argmin_model(model(alg, metric::edp));
+    case kind::min_ed2p: return argmin_model(model(alg, metric::ed2p));
+    case kind::energy_saving:
+    case kind::performance_loss: {
+      // Interval targets need both time and energy predictions. The
+      // algorithm under test models the objective's primary metric; the
+      // auxiliary metric uses the paper's per-metric best (Table 2:
+      // Linear for time, RandomForest for energy).
+      const bool es = objective.k == kind::energy_saving;
+      const ml::regressor& time_model =
+          es ? model(ml::algorithm::linear, metric::time) : model(alg, metric::time);
+      const ml::regressor& energy_model =
+          es ? model(alg, metric::energy) : model(ml::algorithm::random_forest, metric::energy);
+      sm::characterization c;
+      for (const megahertz f : spec_.core_clocks) {
+        const auto x = synergy::model_input(k, f);
+        c.points.push_back({{spec_.memory_clock, f},
+                            std::max(1e-12, time_model.predict_one(x)),
+                            std::max(1e-12, energy_model.predict_one(x))});
+      }
+      c.default_index = spec_.default_clock_index;
+      return c.points[sm::select(c, objective)].config;
+    }
+  }
+  throw std::logic_error("unreachable");
+}
+
+double accuracy_analysis::objective_value(const sm::characterization& c,
+                                          const sm::target& objective,
+                                          frequency_config config) {
+  // Locate the exact config row.
+  const sm::operating_point* point = nullptr;
+  for (const auto& p : c.points)
+    if (p.config == config) point = &p;
+  if (point == nullptr) throw std::logic_error("config not in characterization");
+
+  const auto& def = c.default_point();
+  using kind = sm::target::kind;
+  switch (objective.k) {
+    case kind::max_perf:
+    case kind::performance_loss:
+      return point->time_s / def.time_s;
+    case kind::min_energy:
+    case kind::energy_saving:
+      return point->energy_j / def.energy_j;
+    case kind::min_edp:
+      return point->edp() / def.edp();
+    case kind::min_ed2p:
+      return point->ed2p() / def.ed2p();
+  }
+  throw std::logic_error("unreachable");
+}
+
+evaluation accuracy_analysis::evaluate(const synergy::workloads::benchmark& b,
+                                       const sm::target& objective,
+                                       ml::algorithm alg) const {
+  const auto truth = synergy::oracle_characterization(spec_, b.profile());
+
+  evaluation out;
+  const auto actual_index = sm::select(truth, objective);
+  out.actual_freq = truth.points[actual_index].config.core.value;
+  out.actual_value = objective_value(truth, objective, truth.points[actual_index].config);
+
+  const auto predicted = plan(b.info.features, objective, alg);
+  out.predicted_freq = predicted.core.value;
+  out.predicted_value = objective_value(truth, objective, predicted);
+
+  out.ape = ml::ape(out.actual_value, out.predicted_value);
+  return out;
+}
+
+accuracy_analysis::aggregate accuracy_analysis::aggregate_over_suite(
+    const sm::target& objective, ml::algorithm alg) const {
+  std::vector<double> actual, predicted;
+  for (const auto& b : synergy::workloads::suite()) {
+    const auto e = evaluate(b, objective, alg);
+    actual.push_back(e.actual_value);
+    predicted.push_back(e.predicted_value);
+  }
+  return {ml::rmse(actual, predicted), ml::mape(actual, predicted)};
+}
+
+}  // namespace bench

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file accuracy.hpp
+/// Shared machinery for the prediction-accuracy analysis (paper Sec. 8.3,
+/// Fig. 9 and Table 2).
+///
+/// Trains every candidate ML algorithm on the micro-benchmark training sets
+/// of one device, then evaluates, per (suite benchmark, objective,
+/// algorithm):
+///   - the predicted optimal frequency (from the algorithm's models),
+///   - the actual optimal frequency (exact-model search),
+///   - the error between the objective value *at* the predicted frequency
+///     and at the actual optimum — exactly the paper's error definition:
+///     "not between the predicted and actual objectives, but between the
+///     [objective values at the] predicted and actual optimal frequency".
+/// Objective values are normalised to the default configuration so RMSE is
+/// comparable across benchmarks and objectives.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "synergy/metrics/energy_metrics.hpp"
+#include "synergy/ml/regressor.hpp"
+#include "synergy/trainer.hpp"
+#include "synergy/workloads/benchmark.hpp"
+
+namespace bench {
+
+struct evaluation {
+  double actual_freq{0.0};
+  double predicted_freq{0.0};
+  double actual_value{0.0};     ///< objective value at the actual optimum
+  double predicted_value{0.0};  ///< objective value at the predicted optimum
+  double ape{0.0};              ///< |pred - act| / act on the objective value
+};
+
+class accuracy_analysis {
+ public:
+  explicit accuracy_analysis(const synergy::gpusim::device_spec& spec,
+                             synergy::trainer_options options = default_options());
+
+  /// Candidate algorithms per objective, following the paper's Sec. 8.3
+  /// split (Linear/Lasso/RandomForest for performance-flavoured targets,
+  /// Linear/RandomForest/SVR for energy-flavoured ones).
+  [[nodiscard]] static std::vector<synergy::ml::algorithm> algorithms_for(
+      const synergy::metrics::target& objective);
+
+  /// Evaluate one (benchmark, objective, algorithm) cell of Fig. 9.
+  [[nodiscard]] evaluation evaluate(const synergy::workloads::benchmark& b,
+                                    const synergy::metrics::target& objective,
+                                    synergy::ml::algorithm alg) const;
+
+  /// Table-2 aggregation over the whole 23-benchmark suite.
+  struct aggregate {
+    double rmse{0.0};
+    double mape{0.0};
+  };
+  [[nodiscard]] aggregate aggregate_over_suite(const synergy::metrics::target& objective,
+                                               synergy::ml::algorithm alg) const;
+
+  [[nodiscard]] const synergy::gpusim::device_spec& spec() const { return spec_; }
+
+  [[nodiscard]] static synergy::trainer_options default_options() {
+    synergy::trainer_options opt;
+    opt.n_microbenchmarks = 48;
+    opt.freq_samples = 28;
+    opt.repetitions = 2;
+    return opt;
+  }
+
+ private:
+  /// Predicted-optimal frequency for an objective using `alg` as the model
+  /// of the objective's primary metric (auxiliary metric models use the
+  /// paper's per-metric best algorithm).
+  [[nodiscard]] synergy::common::frequency_config plan(
+      const synergy::gpusim::static_features& k, const synergy::metrics::target& objective,
+      synergy::ml::algorithm alg) const;
+
+  /// Objective value at a frequency, from the benchmark's exact (ground
+  /// truth) characterization, normalised to the default configuration.
+  [[nodiscard]] static double objective_value(const synergy::metrics::characterization& c,
+                                              const synergy::metrics::target& objective,
+                                              synergy::common::frequency_config config);
+
+  enum class metric { time, energy, edp, ed2p };
+  [[nodiscard]] const synergy::ml::regressor& model(synergy::ml::algorithm alg,
+                                                    metric m) const;
+
+  synergy::gpusim::device_spec spec_;
+  // models_[algorithm][metric]
+  std::map<synergy::ml::algorithm, std::map<metric, std::unique_ptr<synergy::ml::regressor>>>
+      models_;
+};
+
+}  // namespace bench

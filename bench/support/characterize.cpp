@@ -1,0 +1,85 @@
+#include "characterize.hpp"
+
+#include <algorithm>
+
+#include "synergy/common/csv.hpp"
+#include "synergy/common/table.hpp"
+
+namespace bench {
+
+namespace sm = synergy::metrics;
+namespace sc = synergy::common;
+
+sm::characterization characterize(const synergy::gpusim::device_spec& spec,
+                                  const std::string& benchmark_name) {
+  const auto& b = synergy::workloads::find(benchmark_name);
+  return synergy::oracle_characterization(spec, b.profile());
+}
+
+characterization_summary summarize(const sm::characterization& c) {
+  characterization_summary s;
+  const auto front = sm::pareto_front(c.points);
+  s.pareto_min_speedup = 1e300;
+  for (const auto i : front) {
+    s.pareto_min_speedup = std::min(s.pareto_min_speedup, c.speedup(c.points[i]));
+    s.pareto_max_speedup = std::max(s.pareto_max_speedup, c.speedup(c.points[i]));
+  }
+  for (const auto& p : c.points) {
+    s.max_saving = std::max(s.max_saving, 1.0 - c.normalized_energy(p));
+    if (c.speedup(p) >= 0.90)
+      s.saving_within_10pct_loss =
+          std::max(s.saving_within_10pct_loss, 1.0 - c.normalized_energy(p));
+  }
+  const auto fastest = sm::select(c, sm::MAX_PERF);
+  s.default_is_fastest =
+      c.points[fastest].config.core.value == c.default_point().config.core.value;
+  return s;
+}
+
+void print_series(std::ostream& os, const std::string& title, const sm::characterization& c,
+                  bool csv) {
+  sc::print_banner(os, title);
+  const auto front = sm::pareto_front(c.points);
+  auto on_front = [&](std::size_t i) {
+    return std::find(front.begin(), front.end(), i) != front.end();
+  };
+
+  sc::text_table table;
+  table.header({"core MHz", "time (ms)", "energy (J)", "speedup", "norm energy", "pareto"});
+  for (std::size_t i = 0; i < c.points.size(); ++i) {
+    const auto& p = c.points[i];
+    const bool is_default = i == c.default_index;
+    table.row({sc::text_table::fmt(p.config.core.value, 0) + (is_default ? "*" : ""),
+               sc::text_table::fmt(p.time_s * 1e3, 3), sc::text_table::fmt(p.energy_j, 3),
+               sc::text_table::fmt(c.speedup(p), 3),
+               sc::text_table::fmt(c.normalized_energy(p), 3), on_front(i) ? "x" : ""});
+  }
+  table.print(os);
+  os << "(* = default configuration; x = Pareto-optimal)\n";
+
+  if (csv) {
+    os << "\ncsv:\n";
+    sc::csv_writer w{os};
+    w.row({"core_mhz", "time_s", "energy_j", "speedup", "norm_energy", "pareto"});
+    for (std::size_t i = 0; i < c.points.size(); ++i) {
+      const auto& p = c.points[i];
+      w.row({sc::csv_writer::num(p.config.core.value), sc::csv_writer::num(p.time_s),
+             sc::csv_writer::num(p.energy_j), sc::csv_writer::num(c.speedup(p)),
+             sc::csv_writer::num(c.normalized_energy(p)), on_front(i) ? "1" : "0"});
+    }
+  }
+}
+
+void print_summary_row(std::ostream& os, const std::string& name,
+                       const characterization_summary& s) {
+  sc::text_table table;
+  table.row({name, "pareto speedup " + sc::text_table::fmt(s.pareto_min_speedup, 2) + ".." +
+                       sc::text_table::fmt(s.pareto_max_speedup, 2),
+             "max saving " + sc::text_table::fmt(s.max_saving * 100, 1) + "%",
+             "saving@<=10% loss " + sc::text_table::fmt(s.saving_within_10pct_loss * 100, 1) +
+                 "%",
+             s.default_is_fastest ? "default fastest" : "default beatable"});
+  table.print(os);
+}
+
+}  // namespace bench

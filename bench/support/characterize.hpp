@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file characterize.hpp
+/// Shared bench plumbing: characterization printing in the format of the
+/// paper's scatter plots (speedup vs normalised energy + Pareto front).
+
+#include <ostream>
+#include <string>
+
+#include "synergy/metrics/energy_metrics.hpp"
+#include "synergy/planner.hpp"
+#include "synergy/workloads/benchmark.hpp"
+
+namespace bench {
+
+/// Exact-model characterization of a named suite benchmark on a device.
+[[nodiscard]] synergy::metrics::characterization characterize(
+    const synergy::gpusim::device_spec& spec, const std::string& benchmark_name);
+
+/// Summary statistics of one characterization as the paper reports them.
+struct characterization_summary {
+  double pareto_min_speedup{0.0};
+  double pareto_max_speedup{0.0};
+  double max_saving{0.0};             ///< 1 - min normalised energy
+  double saving_within_10pct_loss{0.0};
+  bool default_is_fastest{false};
+};
+
+[[nodiscard]] characterization_summary summarize(
+    const synergy::metrics::characterization& c);
+
+/// Print the full series (one row per frequency) as an aligned table
+/// followed by a CSV block, flagging Pareto-optimal rows.
+void print_series(std::ostream& os, const std::string& title,
+                  const synergy::metrics::characterization& c, bool csv = true);
+
+/// Print only the summary row (used by the 4-benchmark figure benches).
+void print_summary_row(std::ostream& os, const std::string& name,
+                       const characterization_summary& s);
+
+}  // namespace bench

@@ -1,0 +1,69 @@
+/// Table 2 reproduction: RMSE and MAPE of each objective under each ML
+/// algorithm, aggregated over the 23-benchmark suite on the V100, with the
+/// best algorithm per objective. Shape targets from the paper: Linear wins
+/// the performance-flavoured objectives (MAX_PERF, MIN_ED2P, PL_x), Random
+/// Forest the energy-flavoured ones (MIN_ENERGY, MIN_EDP, ES_x).
+
+#include <iostream>
+
+#include "accuracy.hpp"
+#include "synergy/common/csv.hpp"
+#include "synergy/common/table.hpp"
+
+namespace sc = synergy::common;
+namespace sm = synergy::metrics;
+namespace ml = synergy::ml;
+
+int main() {
+  const auto spec = synergy::gpusim::make_v100();
+  std::cout << "training models ...\n";
+  const bench::accuracy_analysis analysis{spec};
+
+  const auto all_algorithms = {ml::algorithm::linear, ml::algorithm::lasso,
+                               ml::algorithm::random_forest, ml::algorithm::svr_rbf};
+
+  sc::print_banner(std::cout, "Table 2: error analysis per objective and ML algorithm (V100)");
+  sc::text_table table;
+  table.header({"objective", "Linear RMSE", "Linear MAPE", "Lasso RMSE", "Lasso MAPE",
+                "RF RMSE", "RF MAPE", "SVR RMSE", "SVR MAPE", "best"});
+
+  sc::csv_writer csv_buffer{std::cout};
+  std::vector<std::vector<std::string>> csv_rows;
+
+  for (const auto& objective : sm::paper_objectives()) {
+    const auto candidates = bench::accuracy_analysis::algorithms_for(objective);
+    std::vector<std::string> row{objective.to_string()};
+    std::string best_name = "-";
+    double best_mape = 1e300;
+
+    for (const auto alg : all_algorithms) {
+      const bool tested =
+          std::find(candidates.begin(), candidates.end(), alg) != candidates.end();
+      if (!tested) {
+        row.emplace_back("-");
+        row.emplace_back("-");
+        continue;
+      }
+      const auto agg = analysis.aggregate_over_suite(objective, alg);
+      row.push_back(sc::text_table::fmt(agg.rmse, 4));
+      row.push_back(sc::text_table::fmt(agg.mape, 4));
+      csv_rows.push_back({objective.to_string(), ml::to_string(alg),
+                          sc::csv_writer::num(agg.rmse), sc::csv_writer::num(agg.mape)});
+      if (agg.mape < best_mape) {
+        best_mape = agg.mape;
+        best_name = ml::to_string(alg);
+      }
+    }
+    row.push_back(best_name);
+    table.row(row);
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper reference (Table 2 'Best' column): Linear for MAX_PERF, MIN_ED2P,\n"
+               "PL_25/50/75; RandomForest for MIN_ENERGY, MIN_EDP, ES_25/50/75.\n";
+
+  std::cout << "\ncsv:\n";
+  csv_buffer.row({"objective", "algorithm", "rmse", "mape"});
+  for (const auto& r : csv_rows) csv_buffer.row(r);
+  return 0;
+}

@@ -1,0 +1,46 @@
+/// Per-kernel energy targets (paper Listing 3).
+///
+/// Submits the same two benchmark kernels under every energy target and
+/// prints the frequency each target resolves to plus the resulting
+/// time/energy, illustrating why fine-grained (per-kernel) tuning matters:
+/// the same target picks different frequencies for different kernels.
+
+#include <cstdio>
+
+#include "synergy/synergy.hpp"
+#include "synergy/workloads/benchmark.hpp"
+
+namespace sm = synergy::metrics;
+namespace sw = synergy::workloads;
+
+int main() {
+  simsycl::device dev{synergy::gpusim::make_v100()};
+  auto ctx = std::make_shared<synergy::context>(std::vector<simsycl::device>{dev});
+
+  std::printf("%-14s %-10s %10s %12s %12s\n", "kernel", "target", "core MHz", "time (ms)",
+              "energy (J)");
+  std::printf("%s\n", std::string(62, '-').c_str());
+
+  for (const char* name : {"mat_mul", "sobel3"}) {
+    const auto& bench = sw::find(name);
+    for (const auto& target : {sm::MAX_PERF, sm::MIN_ENERGY, sm::MIN_EDP, sm::MIN_ED2P,
+                               sm::ES_25, sm::ES_50, sm::PL_25, sm::PL_50}) {
+      synergy::queue q{dev, ctx};
+      q.set_target(target);
+      // q.submit(MIN_EDP, [&](handler& h) { ... }) works per submission too;
+      // here the queue-level target applies to the benchmark's launch.
+      const auto e = bench.run(q);
+      e.wait_and_throw();
+      std::printf("%-14s %-10s %10.0f %12.4f %12.4f\n", name, target.to_string().c_str(),
+                  e.record().config.core.value, e.record().cost.time.ms(),
+                  q.kernel_energy_consumption(e));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "note: the same target resolves to different clocks per kernel -- the\n"
+      "fine-grained tuning the paper argues coarse (per-application) DVFS\n"
+      "cannot express (Sec. 2.2).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+/// Quickstart: energy profiling with the SYnergy API (paper Listing 1).
+///
+/// Builds a SYnergy queue on the default GPU, runs a SAXPY kernel, and
+/// queries both fine-grained (per-kernel) and coarse-grained (per-device)
+/// energy consumption.
+
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "synergy/synergy.hpp"
+
+using simsycl::access_mode;
+using simsycl::accessor;
+using simsycl::buffer;
+using simsycl::handler;
+using simsycl::id;
+using simsycl::range;
+
+int main() {
+  // synergy::queue q{gpu_selector_v};
+  synergy::queue q{simsycl::gpu_selector_v};
+  std::printf("device: %s\n", q.get_device().name().c_str());
+
+  const std::size_t n = 1 << 14;
+  std::vector<float> x(n), y(n), z(n, 0.0f);
+  std::iota(x.begin(), x.end(), 0.0f);
+  std::iota(y.begin(), y.end(), 1.0f);
+  const float alpha = 2.0f;
+
+  // The kernel's cost annotation; in a full deployment the feature vector
+  // comes from the extraction pass (see src/features), here it is spelled
+  // out to keep the example self-contained.
+  simsycl::kernel_info info;
+  info.name = "saxpy";
+  info.features.float_mul = 1;
+  info.features.float_add = 1;
+  info.features.gl_access = 3;
+  info.work_multiplier = 1024.0;  // simulate a GPU-scale launch
+
+  buffer<float> x_buf{x};
+  buffer<float> y_buf{y};
+  buffer<float> z_buf{z};
+
+  simsycl::event e = q.submit([&](handler& h) {
+    accessor<float, 1, access_mode::read> x_acc{x_buf, h};
+    accessor<float, 1, access_mode::read> y_acc{y_buf, h};
+    accessor<float, 1, access_mode::write> z_acc{z_buf, h};
+    const float a{alpha};
+    h.parallel_for(range<1>{n}, info,
+                   [=](id<1> i) { z_acc[i] = a * x_acc[i] + y_acc[i]; });
+  });
+  e.wait_and_throw();
+
+  const double kernel_energy = q.kernel_energy_consumption(e);
+  const double device_energy = q.device_energy_consumption();
+
+  std::printf("kernel '%s':\n", e.kernel_name().c_str());
+  std::printf("  virtual runtime : %.3f us\n",
+              e.record().cost.time.us());
+  std::printf("  average power   : %.1f W\n", e.record().cost.avg_power.value);
+  std::printf("  kernel energy   : %.4f J\n", kernel_energy);
+  std::printf("  device energy   : %.4f J (since queue construction)\n", device_energy);
+
+  // Sanity: the computation is real.
+  simsycl::host_accessor<float> z_acc{z_buf};
+  std::printf("  z[10] = %.1f (expect %.1f)\n", static_cast<double>(z_acc[10]),
+              static_cast<double>(alpha * x[10] + y[10]));
+  return 0;
+}

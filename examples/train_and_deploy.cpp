@@ -1,0 +1,53 @@
+/// Deployment workflow on a new system (paper Sec. 3.2 and Sec. 6).
+///
+/// 1. Train the four per-metric models from micro-benchmarks on the target
+///    device (Fig. 6 steps 1-3).
+/// 2. Persist them to a model store, as an administrator would per GPU
+///    product.
+/// 3. Load them back and build a frequency planner; compare its per-kernel
+///    plans against the simulator-exact oracle.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "synergy/synergy.hpp"
+#include "synergy/workloads/benchmark.hpp"
+
+namespace sm = synergy::metrics;
+namespace sw = synergy::workloads;
+
+int main() {
+  const auto spec = synergy::gpusim::make_v100();
+
+  std::printf("training models for %s ...\n", spec.name.c_str());
+  synergy::trainer_options opt;
+  opt.n_microbenchmarks = 48;
+  opt.freq_samples = 28;
+  opt.repetitions = 2;
+  synergy::model_trainer trainer{spec, opt};
+  auto models = trainer.train_default();
+  std::printf("  time model  : %s\n", models.time->name().c_str());
+  std::printf("  energy model: %s\n", models.energy->name().c_str());
+
+  const auto dir = std::filesystem::temp_directory_path() / "synergy_models";
+  synergy::model_store store{dir};
+  store.save("V100", models);
+  std::printf("saved to %s\n", dir.string().c_str());
+
+  auto loaded = store.load("V100");
+  synergy::frequency_planner planner{spec, std::move(loaded)};
+
+  std::printf("\n%-14s %-11s %14s %14s\n", "kernel", "target", "predicted MHz", "oracle MHz");
+  std::printf("%s\n", std::string(58, '-').c_str());
+  for (const char* name : {"black_scholes", "mat_mul", "sobel3", "vec_add"}) {
+    const auto& bench = sw::find(name);
+    for (const auto& target : {sm::MIN_ENERGY, sm::MIN_EDP, sm::ES_50}) {
+      const auto predicted = planner.plan(bench.info.features, target);
+      const auto oracle = synergy::oracle_plan(spec, bench.profile(), target);
+      std::printf("%-14s %-11s %14.0f %14.0f\n", name, target.to_string().c_str(),
+                  predicted.core.value, oracle.core.value);
+    }
+  }
+  std::printf("\nmodels persisted at %s (remove at will)\n", dir.string().c_str());
+  return 0;
+}

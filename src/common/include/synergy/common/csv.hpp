@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file csv.hpp
+/// CSV emission for bench harnesses and model-training artefacts.
+///
+/// Each figure/table bench prints both a human-readable table and a CSV block
+/// so the paper's plots can be regenerated with any plotting tool.
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace synergy::common {
+
+/// Streaming CSV writer with RFC-4180-style quoting.
+class csv_writer {
+ public:
+  explicit csv_writer(std::ostream& os) : os_(&os) {}
+
+  /// Write one row; fields containing separators/quotes/newlines are quoted.
+  void row(const std::vector<std::string>& fields);
+  void row(std::initializer_list<std::string> fields) {
+    row(std::vector<std::string>(fields));
+  }
+
+  /// Format a double with enough precision to round-trip typical metrics.
+  [[nodiscard]] static std::string num(double v);
+
+ private:
+  std::ostream* os_;
+};
+
+/// Parse one CSV line into fields (handles quoted fields with embedded
+/// separators and doubled quotes). Used by the model registry loader.
+[[nodiscard]] std::vector<std::string> parse_csv_line(const std::string& line);
+
+}  // namespace synergy::common

@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file error.hpp
+/// Lightweight status/result types.
+///
+/// The vendor emulation layer mirrors NVML's status-code style (operations on
+/// devices can fail for permission or capability reasons and callers must
+/// branch on the reason), so errors are values, not exceptions, on those
+/// paths. Exceptions remain for programming errors (precondition violations).
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace synergy::common {
+
+/// Machine-readable failure category, modelled after vendor-library return
+/// codes (e.g. NVML_ERROR_NO_PERMISSION, NVML_ERROR_NOT_SUPPORTED).
+enum class errc {
+  ok,
+  not_found,
+  not_supported,
+  no_permission,
+  invalid_argument,
+  uninitialized,
+  already_exists,
+  unavailable,
+  internal,
+};
+
+/// Human-readable name of an error category.
+[[nodiscard]] constexpr const char* to_string(errc code) {
+  switch (code) {
+    case errc::ok: return "ok";
+    case errc::not_found: return "not_found";
+    case errc::not_supported: return "not_supported";
+    case errc::no_permission: return "no_permission";
+    case errc::invalid_argument: return "invalid_argument";
+    case errc::uninitialized: return "uninitialized";
+    case errc::already_exists: return "already_exists";
+    case errc::unavailable: return "unavailable";
+    case errc::internal: return "internal";
+  }
+  return "unknown";
+}
+
+/// An error with a category and a context message.
+struct error {
+  errc code{errc::internal};
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string(common::to_string(code)) + ": " + message;
+  }
+};
+
+/// Minimal expected-like result: either a value or an error.
+///
+/// `value()` throws std::runtime_error when called on an error result, which
+/// keeps test code terse while library code branches with `has_value()`.
+template <typename T>
+class result {
+ public:
+  result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  result(error err) : storage_(std::move(err)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool has_value() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] const T& value() const& {
+    if (!has_value()) throw std::runtime_error("result::value on error: " + err().to_string());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    if (!has_value()) throw std::runtime_error("result::value on error: " + err().to_string());
+    return std::get<T>(std::move(storage_));
+  }
+  [[nodiscard]] const error& err() const {
+    return std::get<error>(storage_);
+  }
+  /// Value or a fallback when this result holds an error.
+  [[nodiscard]] T value_or(T fallback) const {
+    return has_value() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, error> storage_;
+};
+
+/// Result specialisation for operations with no payload.
+class status {
+ public:
+  status() = default;
+  status(error err) : err_(std::move(err)), ok_(false) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  [[nodiscard]] const error& err() const { return err_; }
+
+  static status success() { return {}; }
+
+ private:
+  error err_{errc::ok, ""};
+  bool ok_{true};
+};
+
+}  // namespace synergy::common

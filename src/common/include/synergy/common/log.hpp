@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file log.hpp
+/// Minimal leveled logger.
+///
+/// The scheduler simulation and the SLURM plugin log their prologue/epilogue
+/// decisions through this; tests capture the sink to assert on decision
+/// traces without parsing stderr.
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace synergy::common {
+
+enum class log_level { debug, info, warn, error, off };
+
+[[nodiscard]] constexpr const char* to_string(log_level level) {
+  switch (level) {
+    case log_level::debug: return "DEBUG";
+    case log_level::info: return "INFO";
+    case log_level::warn: return "WARN";
+    case log_level::error: return "ERROR";
+    case log_level::off: return "OFF";
+  }
+  return "?";
+}
+
+/// Process-wide logger with a swappable sink. Not thread-registered per
+/// component: the simulation is small enough that a single logger with
+/// component tags in messages suffices.
+class logger {
+ public:
+  using sink_fn = std::function<void(log_level, const std::string&)>;
+
+  /// Global instance (default sink: stderr, level warn so tests stay quiet).
+  static logger& instance();
+
+  void set_level(log_level level) { level_ = level; }
+  [[nodiscard]] log_level level() const { return level_; }
+
+  /// Replace the sink; returns the previous sink so tests can restore it.
+  sink_fn set_sink(sink_fn sink);
+
+  void log(log_level level, const std::string& message);
+
+ private:
+  logger();
+  log_level level_{log_level::warn};
+  sink_fn sink_;
+};
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << std::forward<Args>(args));
+  return oss.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  logger::instance().log(log_level::debug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  logger::instance().log(log_level::info, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  logger::instance().log(log_level::warn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  logger::instance().log(log_level::error, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace synergy::common

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file stats.hpp
+/// Small statistics helpers shared by the ML library and the bench harnesses.
+
+#include <span>
+#include <vector>
+
+namespace synergy::common {
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 when fewer than 2 values.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Copies and sorts.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Minimum; +inf for an empty span.
+[[nodiscard]] double min_value(std::span<const double> xs);
+
+/// Maximum; -inf for an empty span.
+[[nodiscard]] double max_value(std::span<const double> xs);
+
+/// n evenly spaced values from lo to hi inclusive (n >= 2), or {lo} if n == 1.
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// Pearson correlation coefficient; 0 when either side has zero variance.
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace synergy::common

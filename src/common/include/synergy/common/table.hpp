@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file table.hpp
+/// Aligned text-table printing for the figure/table reproduction benches.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace synergy::common {
+
+/// Collects rows of string cells and prints them column-aligned with a header
+/// rule, mimicking the row layout of the paper's tables.
+class text_table {
+ public:
+  /// Set the header row (also defines column count; extra row cells are kept).
+  void header(std::vector<std::string> cells);
+
+  /// Append one data row.
+  void row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Print with 2-space column gaps; numeric-looking cells right-aligned.
+  void print(std::ostream& os) const;
+
+  /// Fixed-precision formatting helper for table cells.
+  [[nodiscard]] static std::string fmt(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner used by every bench binary to delimit figures.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace synergy::common

@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file units.hpp
+/// Strong unit types used across the SYnergy stack.
+///
+/// Energy/power/time/frequency values flow through many layers (vendor
+/// emulation, device model, ML features, schedulers); tagged wrappers make it
+/// impossible to add a frequency to an energy or to pass (core, mem) clocks in
+/// the wrong order without an explicit conversion.
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace synergy::common {
+
+/// CRTP base for a double-valued strong unit.
+///
+/// Provides the arithmetic that is dimensionally meaningful for every unit
+/// (addition/subtraction of like units, scaling by dimensionless factors) and
+/// total ordering. Cross-unit products (e.g. W * s = J) are defined as free
+/// functions next to the concrete types.
+template <typename Derived>
+struct unit_base {
+  double value{0.0};
+
+  constexpr unit_base() = default;
+  constexpr explicit unit_base(double v) : value(v) {}
+
+  friend constexpr Derived operator+(Derived a, Derived b) { return Derived{a.value + b.value}; }
+  friend constexpr Derived operator-(Derived a, Derived b) { return Derived{a.value - b.value}; }
+  friend constexpr Derived operator*(Derived a, double s) { return Derived{a.value * s}; }
+  friend constexpr Derived operator*(double s, Derived a) { return Derived{a.value * s}; }
+  friend constexpr Derived operator/(Derived a, double s) { return Derived{a.value / s}; }
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Derived a, Derived b) { return a.value / b.value; }
+  friend constexpr auto operator<=>(Derived a, Derived b) { return a.value <=> b.value; }
+  friend constexpr bool operator==(Derived a, Derived b) { return a.value == b.value; }
+
+  constexpr Derived& operator+=(Derived other) {
+    value += other.value;
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator-=(Derived other) {
+    value -= other.value;
+    return static_cast<Derived&>(*this);
+  }
+};
+
+/// Clock frequency in megahertz.
+struct megahertz : unit_base<megahertz> {
+  using unit_base::unit_base;
+  [[nodiscard]] constexpr double hz() const { return value * 1.0e6; }
+};
+
+/// Elapsed (virtual) time in seconds.
+struct seconds : unit_base<seconds> {
+  using unit_base::unit_base;
+  [[nodiscard]] constexpr double ms() const { return value * 1.0e3; }
+  [[nodiscard]] constexpr double us() const { return value * 1.0e6; }
+};
+
+/// Instantaneous power in watts.
+struct watts : unit_base<watts> {
+  using unit_base::unit_base;
+};
+
+/// Accumulated energy in joules.
+struct joules : unit_base<joules> {
+  using unit_base::unit_base;
+};
+
+/// Energy = power integrated over time.
+constexpr joules operator*(watts p, seconds t) { return joules{p.value * t.value}; }
+constexpr joules operator*(seconds t, watts p) { return joules{p.value * t.value}; }
+/// Average power over an interval.
+constexpr watts operator/(joules e, seconds t) { return watts{e.value / t.value}; }
+
+inline std::ostream& operator<<(std::ostream& os, megahertz f) { return os << f.value << " MHz"; }
+inline std::ostream& operator<<(std::ostream& os, seconds t) { return os << t.value << " s"; }
+inline std::ostream& operator<<(std::ostream& os, watts p) { return os << p.value << " W"; }
+inline std::ostream& operator<<(std::ostream& os, joules e) { return os << e.value << " J"; }
+
+/// A (memory clock, core clock) operating point of a device.
+///
+/// Ordered lexicographically so configs can key std::map; HBM devices have a
+/// single memory frequency, so in practice ordering follows the core clock.
+struct frequency_config {
+  megahertz memory{0.0};
+  megahertz core{0.0};
+
+  friend constexpr auto operator<=>(const frequency_config&, const frequency_config&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const frequency_config& fc) {
+  return os << "(mem " << fc.memory << ", core " << fc.core << ")";
+}
+
+}  // namespace synergy::common
+
+template <>
+struct std::hash<synergy::common::frequency_config> {
+  std::size_t operator()(const synergy::common::frequency_config& fc) const noexcept {
+    const std::size_t a = std::hash<double>{}(fc.memory.value);
+    const std::size_t b = std::hash<double>{}(fc.core.value);
+    return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  }
+};

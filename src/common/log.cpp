@@ -1,0 +1,29 @@
+#include "synergy/common/log.hpp"
+
+#include <iostream>
+
+namespace synergy::common {
+
+logger::logger() {
+  sink_ = [](log_level level, const std::string& message) {
+    std::cerr << '[' << to_string(level) << "] " << message << '\n';
+  };
+}
+
+logger& logger::instance() {
+  static logger global;
+  return global;
+}
+
+logger::sink_fn logger::set_sink(sink_fn sink) {
+  auto previous = std::move(sink_);
+  sink_ = std::move(sink);
+  return previous;
+}
+
+void logger::log(log_level level, const std::string& message) {
+  if (level < level_ || level_ == log_level::off) return;
+  if (sink_) sink_(level, message);
+}
+
+}  // namespace synergy::common

@@ -1,0 +1,71 @@
+#include "synergy/common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace synergy::common {
+
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  std::size_t i = (cell[0] == '-' || cell[0] == '+') ? 1 : 0;
+  bool digit_seen = false;
+  for (; i < cell.size(); ++i) {
+    const char c = cell[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) digit_seen = true;
+    else if (c != '.' && c != 'e' && c != 'E' && c != '-' && c != '+' && c != '%') return false;
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+void text_table::header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+void text_table::row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+void text_table::print(std::ostream& os) const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> widths(cols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) widths[i] = std::max(widths[i], r[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto print_row = [&](const std::vector<std::string>& r, bool align_numeric) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      const auto pad = widths[i] - r[i].size();
+      const bool right = align_numeric && looks_numeric(r[i]);
+      if (right) os << std::string(pad, ' ');
+      os << r[i];
+      if (!right) os << std::string(pad, ' ');
+      if (i + 1 < r.size()) os << "  ";
+    }
+    os << '\n';
+  };
+
+  if (!header_.empty()) {
+    print_row(header_, false);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < cols; ++i) total += widths[i] + (i + 1 < cols ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) print_row(r, true);
+}
+
+std::string text_table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  const std::string rule(std::max<std::size_t>(title.size() + 4, 60), '=');
+  os << '\n' << rule << '\n' << "  " << title << '\n' << rule << '\n';
+}
+
+}  // namespace synergy::common

@@ -1,0 +1,63 @@
+#include "synergy/context.hpp"
+
+#include <mutex>
+
+#include "simsycl/platform.hpp"
+
+namespace synergy {
+
+namespace {
+std::shared_ptr<context>& global_slot() {
+  static std::shared_ptr<context> slot;
+  return slot;
+}
+std::mutex& global_mutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace
+
+context::context(std::vector<simsycl::device> devices, vendor::user_context user,
+                 vendor::sensor_model sensor)
+    : devices_(std::move(devices)), user_(user) {
+  // Group boards by vendor, preserving device order within each group.
+  std::map<gpusim::vendor_kind, std::vector<std::shared_ptr<gpusim::device>>> groups;
+  for (const auto& dev : devices_) groups[dev.spec().vendor].push_back(dev.board());
+
+  for (auto& [kind, boards] : groups) {
+    auto lib = vendor::make_management_library(boards, sensor);
+    lib->init();
+    const std::size_t lib_index = libraries_.size();
+    for (std::size_t i = 0; i < boards.size(); ++i)
+      bindings_[boards[i].get()] = {lib_index, i};
+    libraries_.push_back(std::move(lib));
+  }
+}
+
+context::binding context::bind(const simsycl::device& dev) const {
+  const auto it = bindings_.find(dev.board().get());
+  if (it == bindings_.end()) return {};
+  return {libraries_[it->second.first].get(), it->second.second};
+}
+
+std::vector<vendor::management_library*> context::libraries() const {
+  std::vector<vendor::management_library*> out;
+  out.reserve(libraries_.size());
+  for (const auto& lib : libraries_) out.push_back(lib.get());
+  return out;
+}
+
+std::shared_ptr<context> context::global() {
+  std::scoped_lock lock(global_mutex());
+  auto& slot = global_slot();
+  if (!slot)
+    slot = std::make_shared<context>(simsycl::platform::default_platform().devices());
+  return slot;
+}
+
+void context::set_global(std::shared_ptr<context> ctx) {
+  std::scoped_lock lock(global_mutex());
+  global_slot() = std::move(ctx);
+}
+
+}  // namespace synergy

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file context.hpp
+/// SYnergy runtime context: the binding between SYCL devices and their
+/// vendor management libraries.
+///
+/// On a real system this is the process's NVML/ROCm-SMI session: one library
+/// handle per vendor, devices addressed by index, operations performed with
+/// the identity of the calling user (which the SLURM plugin may have
+/// privileged, paper Sec. 7). The context reproduces exactly that structure
+/// over the emulated backends.
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "simsycl/device.hpp"
+#include "synergy/vendor/management_library.hpp"
+
+namespace synergy {
+
+class context {
+ public:
+  /// Handle for issuing vendor calls against one bound device.
+  struct binding {
+    vendor::management_library* library{nullptr};
+    std::size_t index{0};
+    [[nodiscard]] bool valid() const { return library != nullptr; }
+  };
+
+  /// Build a context over a set of devices; one management library is
+  /// created per vendor present. `user` is the identity used for all
+  /// state-changing vendor calls made through this context.
+  explicit context(std::vector<simsycl::device> devices,
+                   vendor::user_context user = vendor::user_context::root(),
+                   vendor::sensor_model sensor = {});
+
+  /// Locate the management-library binding of a device; the returned binding
+  /// is invalid if the device is not part of this context.
+  [[nodiscard]] binding bind(const simsycl::device& dev) const;
+
+  [[nodiscard]] const vendor::user_context& user() const { return user_; }
+  void set_user(vendor::user_context user) { user_ = user; }
+
+  [[nodiscard]] const std::vector<simsycl::device>& devices() const { return devices_; }
+
+  /// All management libraries owned by this context (one per vendor).
+  [[nodiscard]] std::vector<vendor::management_library*> libraries() const;
+
+  /// Process-global context lazily built over the default platform with a
+  /// root identity (single-node experiments assume frequency privileges, as
+  /// granted by the SLURM plugin on the cluster).
+  static std::shared_ptr<context> global();
+
+  /// Replace the process-global context (nullptr resets to lazy default).
+  static void set_global(std::shared_ptr<context> ctx);
+
+ private:
+  std::vector<simsycl::device> devices_;
+  vendor::user_context user_;
+  std::vector<std::unique_ptr<vendor::management_library>> libraries_;
+  // device board pointer -> (library index in libraries_, device index in library)
+  std::map<const gpusim::device*, std::pair<std::size_t, std::size_t>> bindings_;
+};
+
+}  // namespace synergy

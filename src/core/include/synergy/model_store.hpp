@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file model_store.hpp
+/// Persistence for trained per-device model sets.
+///
+/// Deployment on a new system (paper Sec. 3.2) trains the four metric models
+/// per device and installs them; applications then load the models matching
+/// their target device. The store writes one text file per metric under
+/// <dir>/<device-key>/ so a cluster can ship a directory of models per GPU
+/// product.
+
+#include <filesystem>
+#include <string>
+
+#include "synergy/planner.hpp"
+
+namespace synergy {
+
+class model_store {
+ public:
+  explicit model_store(std::filesystem::path root) : root_(std::move(root)) {}
+
+  /// Persist a model set for a device key ("V100", "MI100", ...). Creates
+  /// directories as needed; overwrites existing models.
+  void save(const std::string& device_key, const trained_models& models) const;
+
+  /// Load a model set; throws std::runtime_error if any file is missing or
+  /// malformed.
+  [[nodiscard]] trained_models load(const std::string& device_key) const;
+
+  /// Whether a complete model set exists for the key.
+  [[nodiscard]] bool contains(const std::string& device_key) const;
+
+  [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+
+ private:
+  [[nodiscard]] std::filesystem::path dir_for(const std::string& device_key) const {
+    return root_ / device_key;
+  }
+
+  std::filesystem::path root_;
+};
+
+}  // namespace synergy

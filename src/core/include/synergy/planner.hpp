@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file planner.hpp
+/// Frequency planning: from a kernel's static features and an energy target
+/// to a concrete (memory, core) clock configuration (paper Fig. 6, steps
+/// 5-6).
+///
+/// Two planners are provided:
+///  - frequency_planner: the paper's approach — four trained per-metric
+///    models (time, energy, EDP, ED2P) predict each metric at every
+///    supported frequency; a search picks the configuration satisfying the
+///    requested target.
+///  - oracle plans: the same search over the simulator's exact costs, used
+///    as ground truth for the accuracy analysis (Sec. 8.3: "actual optimal
+///    frequency") and as the reference tuner in the scaling study.
+
+#include <array>
+#include <memory>
+
+#include "synergy/gpusim/device_spec.hpp"
+#include "synergy/gpusim/dvfs_model.hpp"
+#include "synergy/gpusim/kernel_profile.hpp"
+#include "synergy/metrics/energy_metrics.hpp"
+#include "synergy/ml/regressor.hpp"
+
+namespace synergy {
+
+/// The four single-target models of the training phase (paper Sec. 6.1).
+struct trained_models {
+  std::unique_ptr<ml::regressor> time;
+  std::unique_ptr<ml::regressor> energy;
+  std::unique_ptr<ml::regressor> edp;
+  std::unique_ptr<ml::regressor> ed2p;
+
+  [[nodiscard]] bool complete() const {
+    return time && energy && edp && ed2p && time->fitted() && energy->fitted() &&
+           edp->fitted() && ed2p->fitted();
+  }
+};
+
+/// Model input encoding: the 10 static features plus a small basis over the
+/// core clock — f (GHz), 1/f, log f, and f^3 (the memory clock is fixed on
+/// every paper device). The frequency basis lets even the linear models
+/// express the roofline time shape (a + b/f) and the V^2 f power growth;
+/// tree/kernel models simply ignore redundant columns.
+inline constexpr std::size_t model_input_dim = 14;
+[[nodiscard]] std::array<double, model_input_dim> model_input(const gpusim::static_features& k,
+                                                              common::megahertz core_clock);
+
+/// Exact (simulator ground-truth) characterization of a kernel profile over
+/// every supported core clock of a device.
+[[nodiscard]] metrics::characterization oracle_characterization(
+    const gpusim::device_spec& spec, const gpusim::kernel_profile& profile,
+    const gpusim::dvfs_model& model = {});
+
+/// Exact optimal frequency for a target (the Sec. 8.3 "actual optimum").
+[[nodiscard]] common::frequency_config oracle_plan(const gpusim::device_spec& spec,
+                                                   const gpusim::kernel_profile& profile,
+                                                   const metrics::target& target,
+                                                   const gpusim::dvfs_model& model = {});
+
+/// Model-driven planner bound to one device spec.
+class frequency_planner {
+ public:
+  frequency_planner(gpusim::device_spec spec, trained_models models);
+
+  /// Predicted per-work-item characterization of a kernel over all clocks.
+  [[nodiscard]] metrics::characterization predict_characterization(
+      const gpusim::static_features& k) const;
+
+  /// The frequency configuration satisfying `target` according to the
+  /// models. MIN_EDP/MIN_ED2P use their dedicated models; ES_x/PL_x search
+  /// the predicted time/energy characterization.
+  [[nodiscard]] common::frequency_config plan(const gpusim::static_features& k,
+                                              const metrics::target& target) const;
+
+  [[nodiscard]] const gpusim::device_spec& spec() const { return spec_; }
+  [[nodiscard]] const trained_models& models() const { return models_; }
+
+ private:
+  gpusim::device_spec spec_;
+  trained_models models_;
+};
+
+}  // namespace synergy

@@ -1,0 +1,13 @@
+#pragma once
+
+/// \file synergy.hpp
+/// Umbrella header for the SYnergy public API.
+
+#include "simsycl/sycl.hpp"                    // IWYU pragma: export
+#include "synergy/context.hpp"                 // IWYU pragma: export
+#include "synergy/metrics/energy_metrics.hpp"  // IWYU pragma: export
+#include "synergy/model_store.hpp"             // IWYU pragma: export
+#include "synergy/planner.hpp"                 // IWYU pragma: export
+#include "synergy/queue.hpp"                   // IWYU pragma: export
+#include "synergy/trainer.hpp"                 // IWYU pragma: export
+#include "synergy/tuning_table.hpp"            // IWYU pragma: export

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file trainer.hpp
+/// The training phase of the modeling methodology (paper Sec. 6.1, Fig. 6
+/// steps 1-3).
+///
+/// A parametric micro-benchmark generator produces kernels spanning the
+/// instruction-mix space of Table 1 (the paper builds its training set from
+/// purpose-written micro-benchmarks, not from the evaluation benchmarks).
+/// Each micro-benchmark is executed on a noisy simulated device across a
+/// sweep of core frequencies; the measurements (per-work-item time, energy,
+/// EDP, ED2P) become the training sets of the four single-target models.
+
+#include <cstdint>
+#include <vector>
+
+#include "synergy/gpusim/device.hpp"
+#include "synergy/gpusim/device_spec.hpp"
+#include "synergy/ml/dataset.hpp"
+#include "synergy/planner.hpp"
+
+namespace synergy {
+
+struct trainer_options {
+  /// Number of generated micro-benchmarks.
+  std::size_t n_microbenchmarks{48};
+  /// Core clocks sampled per micro-benchmark (evenly spread over the table;
+  /// clamped to the table size).
+  std::size_t freq_samples{32};
+  /// Measurement repetitions averaged per (kernel, frequency) pair.
+  std::size_t repetitions{3};
+  /// Measurement noise applied by the training device (the real system's
+  /// run-to-run variation).
+  double time_noise_sigma{0.015};
+  double power_noise_sigma{0.015};
+  std::uint64_t seed{0x7261696eULL};
+};
+
+/// Training measurements: one dataset per modelled metric, identical design
+/// matrices (features + clock). Targets are normalised to each kernel's own
+/// default-frequency measurement, so the models learn frequency response
+/// rather than absolute magnitude; every selection the planner performs is
+/// scale-invariant, so normalised predictions are sufficient.
+struct training_sets {
+  ml::dataset time;    ///< t(f) / t(f_default)
+  ml::dataset energy;  ///< e(f) / e(f_default)
+  ml::dataset edp;     ///< log of the normalised energy-delay product
+  ml::dataset ed2p;    ///< log of the normalised energy-delay-squared product
+};
+
+class model_trainer {
+ public:
+  explicit model_trainer(gpusim::device_spec spec, trainer_options options = {});
+
+  /// Generate the micro-benchmark suite: rotating families (compute-bound
+  /// float, int-heavy, special-function, memory-streaming, local-memory,
+  /// balanced) with randomised magnitudes and dynamic execution hints that
+  /// the static features cannot see.
+  [[nodiscard]] std::vector<gpusim::kernel_profile> generate_microbenchmarks() const;
+
+  /// Execute the suite across the frequency sweep on a noisy device and
+  /// collect the four training sets (Fig. 6 step 2).
+  [[nodiscard]] training_sets measure(
+      const std::vector<gpusim::kernel_profile>& microbenchmarks) const;
+
+  /// Fit one regressor per metric (Fig. 6 step 3).
+  [[nodiscard]] trained_models fit(const training_sets& sets, ml::algorithm time_alg,
+                                   ml::algorithm energy_alg, ml::algorithm edp_alg,
+                                   ml::algorithm ed2p_alg) const;
+
+  /// End-to-end training with the paper's best algorithm per metric
+  /// (Table 2: Linear for performance and ED2P, Random Forest for energy
+  /// and EDP).
+  [[nodiscard]] trained_models train_default() const;
+
+  /// The core clocks the sweep samples.
+  [[nodiscard]] std::vector<common::megahertz> sampled_clocks() const;
+
+  [[nodiscard]] const gpusim::device_spec& spec() const { return spec_; }
+  [[nodiscard]] const trainer_options& options() const { return options_; }
+
+ private:
+  gpusim::device_spec spec_;
+  trainer_options options_;
+};
+
+}  // namespace synergy

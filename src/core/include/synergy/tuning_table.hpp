@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file tuning_table.hpp
+/// Compile-time tuning artefacts (paper Sec. 3.1, Fig. 3).
+///
+/// In the paper's toolchain the compiler runs feature extraction and model
+/// inference *at build time*: "the predicted frequency configuration is
+/// made available to the SYCL library at runtime". The tuning_table is that
+/// artefact — a per-(kernel, target) frequency map produced once by
+/// compile_tuning_table() and shipped with the application, so the runtime
+/// needs neither the models nor the planner. The SYnergy queue consults an
+/// installed table before falling back to online planning.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "synergy/features/kernel_registry.hpp"
+#include "synergy/metrics/energy_metrics.hpp"
+#include "synergy/planner.hpp"
+
+namespace synergy {
+
+class tuning_table {
+ public:
+  /// Look up the compiled frequency for a kernel under a target.
+  [[nodiscard]] std::optional<common::frequency_config> find(
+      const std::string& kernel, const metrics::target& target) const;
+
+  /// Record one decision (overwrites an existing entry).
+  void put(const std::string& kernel, const metrics::target& target,
+           common::frequency_config config);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Kernel names present in the table, sorted and de-duplicated.
+  [[nodiscard]] std::vector<std::string> kernels() const;
+
+  /// Device key recorded at compile time ("V100", ...); a runtime check
+  /// against the actual device guards against stale artefacts.
+  [[nodiscard]] const std::string& device_key() const { return device_key_; }
+  void set_device_key(std::string device) { device_key_ = std::move(device); }
+
+  /// Line-oriented text serialisation (one entry per line) for shipping the
+  /// artefact next to the application binary.
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static tuning_table deserialize(const std::string& text);
+
+ private:
+  using key = std::pair<std::string, std::string>;  // (kernel, target name)
+  std::map<key, common::frequency_config> entries_;
+  std::string device_key_;
+};
+
+/// The compile step: plan every registered kernel for every requested
+/// target with the given planner. `device_key` stamps the artefact.
+[[nodiscard]] tuning_table compile_tuning_table(const features::kernel_registry& registry,
+                                                const std::vector<metrics::target>& targets,
+                                                const frequency_planner& planner,
+                                                const std::string& device_key);
+
+/// Oracle variant for upper-bound studies: exact per-kernel optima. Needs
+/// launch sizes, so it plans each kernel at a representative virtual size.
+[[nodiscard]] tuning_table compile_tuning_table_oracle(
+    const features::kernel_registry& registry, const std::vector<metrics::target>& targets,
+    const gpusim::device_spec& spec, double representative_items = 1 << 22);
+
+}  // namespace synergy

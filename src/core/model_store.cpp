@@ -1,0 +1,57 @@
+#include "synergy/model_store.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace synergy {
+
+namespace {
+
+constexpr const char* metric_files[] = {"time.model", "energy.model", "edp.model",
+                                        "ed2p.model"};
+
+void write_file(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error("cannot write " + path.string());
+  out << text;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+}  // namespace
+
+void model_store::save(const std::string& device_key, const trained_models& models) const {
+  if (!models.complete()) throw std::invalid_argument("model set incomplete");
+  const auto dir = dir_for(device_key);
+  std::filesystem::create_directories(dir);
+  write_file(dir / metric_files[0], models.time->serialize());
+  write_file(dir / metric_files[1], models.energy->serialize());
+  write_file(dir / metric_files[2], models.edp->serialize());
+  write_file(dir / metric_files[3], models.ed2p->serialize());
+}
+
+trained_models model_store::load(const std::string& device_key) const {
+  const auto dir = dir_for(device_key);
+  trained_models models;
+  models.time = ml::deserialize_regressor(read_file(dir / metric_files[0]));
+  models.energy = ml::deserialize_regressor(read_file(dir / metric_files[1]));
+  models.edp = ml::deserialize_regressor(read_file(dir / metric_files[2]));
+  models.ed2p = ml::deserialize_regressor(read_file(dir / metric_files[3]));
+  return models;
+}
+
+bool model_store::contains(const std::string& device_key) const {
+  const auto dir = dir_for(device_key);
+  for (const char* file : metric_files)
+    if (!std::filesystem::exists(dir / file)) return false;
+  return true;
+}
+
+}  // namespace synergy

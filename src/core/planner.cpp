@@ -1,0 +1,95 @@
+#include "synergy/planner.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace synergy {
+
+using common::frequency_config;
+using common::megahertz;
+
+std::array<double, model_input_dim> model_input(const gpusim::static_features& k,
+                                                megahertz core_clock) {
+  std::array<double, model_input_dim> x{};
+  const auto features = k.as_array();
+  for (std::size_t i = 0; i < features.size(); ++i) x[i] = features[i];
+  const double f = core_clock.value / 1000.0;  // GHz keeps the basis O(1)
+  x[10] = f;
+  x[11] = 1.0 / f;
+  x[12] = std::log(f);
+  x[13] = f * f * f;
+  return x;
+}
+
+metrics::characterization oracle_characterization(const gpusim::device_spec& spec,
+                                                  const gpusim::kernel_profile& profile,
+                                                  const gpusim::dvfs_model& model) {
+  // Full cartesian sweep over (memory, core): a single memory clock on the
+  // paper's HBM devices, a 2-D space on GDDR parts like the Titan X.
+  metrics::characterization c;
+  const auto memory_clocks = spec.supported_memory_clocks();
+  c.points.reserve(spec.core_clocks.size() * memory_clocks.size());
+  for (const megahertz m : memory_clocks) {
+    for (const megahertz f : spec.core_clocks) {
+      const auto cost = model.evaluate(spec, profile, {m, f});
+      c.points.push_back({{m, f}, cost.time.value, cost.energy.value});
+      if (m.value == spec.memory_clock.value && f.value == spec.default_core_clock().value)
+        c.default_index = c.points.size() - 1;
+    }
+  }
+  return c;
+}
+
+frequency_config oracle_plan(const gpusim::device_spec& spec,
+                             const gpusim::kernel_profile& profile,
+                             const metrics::target& target, const gpusim::dvfs_model& model) {
+  const auto c = oracle_characterization(spec, profile, model);
+  return c.points[metrics::select(c, target)].config;
+}
+
+frequency_planner::frequency_planner(gpusim::device_spec spec, trained_models models)
+    : spec_(std::move(spec)), models_(std::move(models)) {
+  if (!models_.complete())
+    throw std::invalid_argument("frequency_planner requires four fitted models");
+}
+
+metrics::characterization frequency_planner::predict_characterization(
+    const gpusim::static_features& k) const {
+  metrics::characterization c;
+  c.points.reserve(spec_.core_clocks.size());
+  for (const megahertz f : spec_.core_clocks) {
+    const auto x = model_input(k, f);
+    // Per-item predictions; constant scale factors do not change the argmin
+    // or the ES/PL interval arithmetic, so they can be used directly.
+    const double t = std::max(0.0, models_.time->predict_one(x));
+    const double e = std::max(0.0, models_.energy->predict_one(x));
+    c.points.push_back({{spec_.memory_clock, f}, t, e});
+  }
+  c.default_index = spec_.default_clock_index;
+  return c;
+}
+
+frequency_config frequency_planner::plan(const gpusim::static_features& k,
+                                         const metrics::target& target) const {
+  using kind = metrics::target::kind;
+  // MIN_EDP / MIN_ED2P use their dedicated single-target models, as in the
+  // paper's prediction phase (Sec. 6.2).
+  if (target.k == kind::min_edp || target.k == kind::min_ed2p) {
+    const ml::regressor& model = target.k == kind::min_edp ? *models_.edp : *models_.ed2p;
+    megahertz best = spec_.default_core_clock();
+    double best_v = std::numeric_limits<double>::infinity();
+    for (const megahertz f : spec_.core_clocks) {
+      const double v = model.predict_one(model_input(k, f));
+      if (v < best_v) {
+        best_v = v;
+        best = f;
+      }
+    }
+    return {spec_.memory_clock, best};
+  }
+  const auto c = predict_characterization(k);
+  return c.points[metrics::select(c, target)].config;
+}
+
+}  // namespace synergy

@@ -1,0 +1,198 @@
+#include "synergy/queue.hpp"
+
+#include "synergy/tuning_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+#include "synergy/common/table.hpp"
+
+namespace synergy {
+
+using common::frequency_config;
+using common::seconds;
+
+queue::queue(simsycl::device dev, std::shared_ptr<context> ctx)
+    : simsycl::queue(dev), ctx_(ctx ? std::move(ctx) : context::global()) {
+  binding_ = ctx_->bind(dev);
+  if (!binding_.valid())
+    throw std::invalid_argument(
+        "device is not part of the SYnergy context; construct a context over it first");
+  created_at_ = dev.board()->now();
+}
+
+void queue::set_fixed_frequency(frequency_config config) {
+  fixed_ = config;
+  target_.reset();
+}
+
+void queue::set_target(const metrics::target& t) {
+  target_ = t;
+  fixed_.reset();
+}
+
+void queue::clear_policy() {
+  fixed_.reset();
+  target_.reset();
+}
+
+void queue::set_planner(std::shared_ptr<const frequency_planner> planner) {
+  planner_ = std::move(planner);
+  plan_cache_.clear();
+}
+
+void queue::set_tuning_table(std::shared_ptr<const tuning_table> table) {
+  if (table && !table->device_key().empty() &&
+      table->device_key() != get_device().spec().name &&
+      get_device().spec().name.find(table->device_key()) == std::string::npos)
+    throw std::invalid_argument("tuning table compiled for '" + table->device_key() +
+                                "' installed on '" + get_device().spec().name + "'");
+  tuning_ = std::move(table);
+  plan_cache_.clear();
+}
+
+frequency_config queue::resolve_target(const simsycl::handler& h, const metrics::target& t) {
+  const auto key = std::make_pair(h.info().name, t.to_string());
+  if (const auto it = plan_cache_.find(key); it != plan_cache_.end()) {
+    ++plan_cache_hits_;
+    return it->second;
+  }
+  frequency_config config;
+  if (tuning_ && tuning_->find(h.info().name, t)) {
+    // Compiled artefact: the decision was made at build time (paper Fig. 3).
+    config = *tuning_->find(h.info().name, t);
+    plan_cache_.emplace(key, config);
+    return config;
+  }
+  if (planner_) {
+    config = planner_->plan(h.info().features, t);
+  } else {
+    // Oracle fallback: exact per-kernel optimum from the simulator model.
+    const auto profile = h.info().to_profile(h.launch_items());
+    config = oracle_plan(get_device().spec(), profile, t);
+  }
+  plan_cache_.emplace(key, config);
+  return config;
+}
+
+void queue::apply_frequency(frequency_config config) {
+  // Skip the driver round-trip when the device is already there, as the real
+  // runtime does: NVML clock changes are expensive (Sec. 4.4).
+  const auto current = binding_.library->application_clocks(binding_.index);
+  if (current.has_value() && current.value() == config) return;
+  const auto st = binding_.library->set_application_clocks(ctx_->user(), binding_.index, config);
+  if (!st.ok()) {
+    ++freq_failures_;
+    common::log_warn("synergy::queue frequency change rejected: ", st.err().to_string());
+  }
+}
+
+simsycl::event queue::submit_recorded(simsycl::handler& h,
+                                      std::optional<frequency_config> freq,
+                                      std::optional<metrics::target> target) {
+  if (h.has_launch()) {
+    // Per-submission settings take precedence over the queue policy.
+    if (freq) {
+      apply_frequency(*freq);
+    } else if (target) {
+      apply_frequency(resolve_target(h, *target));
+    } else if (fixed_) {
+      apply_frequency(*fixed_);
+    } else if (target_) {
+      apply_frequency(resolve_target(h, *target_));
+    }
+  }
+  auto event = finalize(h);
+  if (event.valid()) {
+    auto& s = stats_[event.kernel_name()];
+    ++s.launches;
+    s.total_time_s += event.record().cost.time.value;
+    s.total_energy_j += event.record().cost.energy.value;
+  }
+  return event;
+}
+
+double queue::kernel_energy_consumption(const simsycl::event& e) const {
+  if (!e.valid()) throw std::invalid_argument("invalid event");
+  const auto board = e.board();
+  const auto start = e.profiling(simsycl::info::event_profiling::command_start);
+  const auto end = e.profiling(simsycl::info::event_profiling::command_end);
+  return board->energy_between(start, end).value;
+}
+
+double queue::device_energy_consumption() const {
+  const auto board = get_device().board();
+  return board->energy_between(created_at_, board->now()).value;
+}
+
+double queue::kernel_energy_consumption_sampled(const simsycl::event& e,
+                                                double interval_s) const {
+  if (!e.valid()) throw std::invalid_argument("invalid event");
+  if (interval_s <= 0.0) return kernel_energy_consumption(e);
+  const auto board = e.board();
+  const double start = e.profiling(simsycl::info::event_profiling::command_start).value;
+  const double end = e.profiling(simsycl::info::event_profiling::command_end).value;
+  const auto trace = board->trace_copy();
+
+  // Poll the sensor on a fixed grid aligned to the device timeline (the
+  // sampling thread of Sec. 4.2 has no phase relationship with the kernel).
+  const double first_tick = std::ceil(start / interval_s) * interval_s;
+  double estimate = 0.0;
+  std::size_t samples = 0;
+  for (double t = first_tick; t < end + interval_s; t += interval_s) {
+    estimate += trace.power_at(seconds{std::min(t, trace.end_time().value)}).value * interval_s;
+    ++samples;
+    if (t >= end) break;
+  }
+  if (samples == 0) return 0.0;  // kernel entirely between two sensor ticks
+  // Clip the last sample's window to the kernel end, mirroring how a real
+  // profiler truncates its integration at kernel completion.
+  const double overshoot = (first_tick + static_cast<double>(samples) * interval_s) - end;
+  if (overshoot > 0.0 && samples > 0)
+    estimate -= trace.power_at(seconds{end}).value * std::min(overshoot, interval_s);
+  return std::max(0.0, estimate);
+}
+
+double queue::device_energy_consumption_sampled(double interval_s) const {
+  if (interval_s <= 0.0) return device_energy_consumption();
+  const auto board = get_device().board();
+  const double start = created_at_.value;
+  const double end = board->now().value;
+  if (end <= start) return 0.0;
+  const auto trace = board->trace_copy();
+  // Left-rectangle integration of instantaneous power samples, the way a
+  // polling thread accumulates readings (Sec. 4.2).
+  double estimate = 0.0;
+  for (double t = start; t < end; t += interval_s) {
+    const double width = std::min(interval_s, end - t);
+    estimate += trace.power_at(seconds{t}).value * width;
+  }
+  return estimate;
+}
+
+void queue::print_energy_report(std::ostream& os) const {
+  std::vector<std::pair<std::string, kernel_stats>> rows(stats_.begin(), stats_.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_energy_j > b.second.total_energy_j;
+  });
+  double total = 0.0;
+  for (const auto& [name, s] : rows) total += s.total_energy_j;
+
+  common::text_table table;
+  table.header({"kernel", "launches", "time (ms)", "energy (J)", "energy %"});
+  for (const auto& [name, s] : rows)
+    table.row({name, std::to_string(s.launches),
+               common::text_table::fmt(s.total_time_s * 1e3, 3),
+               common::text_table::fmt(s.total_energy_j, 4),
+               common::text_table::fmt(total > 0 ? s.total_energy_j / total * 100.0 : 0.0, 1)});
+  table.print(os);
+}
+
+frequency_config queue::current_clocks() const {
+  return get_device().board()->current_config();
+}
+
+}  // namespace synergy

@@ -1,0 +1,90 @@
+#include "synergy/tuning_table.hpp"
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace synergy {
+
+using common::frequency_config;
+using common::megahertz;
+
+std::optional<frequency_config> tuning_table::find(const std::string& kernel,
+                                                   const metrics::target& target) const {
+  const auto it = entries_.find({kernel, target.to_string()});
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void tuning_table::put(const std::string& kernel, const metrics::target& target,
+                       frequency_config config) {
+  entries_[{kernel, target.to_string()}] = config;
+}
+
+std::vector<std::string> tuning_table::kernels() const {
+  std::set<std::string> names;
+  for (const auto& [key, config] : entries_) names.insert(key.first);
+  return {names.begin(), names.end()};
+}
+
+std::string tuning_table::serialize() const {
+  std::ostringstream oss;
+  oss << "synergy_tuning v1\n";
+  oss << "device " << (device_key_.empty() ? "-" : device_key_) << '\n';
+  for (const auto& [key, config] : entries_)
+    oss << key.first << ' ' << key.second << ' ' << config.memory.value << ' '
+        << config.core.value << '\n';
+  return oss.str();
+}
+
+tuning_table tuning_table::deserialize(const std::string& text) {
+  std::istringstream in{text};
+  std::string header;
+  std::getline(in, header);
+  if (header != "synergy_tuning v1")
+    throw std::invalid_argument("bad tuning table header: " + header);
+  std::string tag, device;
+  in >> tag >> device;
+  if (tag != "device") throw std::invalid_argument("tuning table missing device line");
+  tuning_table table;
+  if (device != "-") table.set_device_key(device);
+  std::string kernel, target_name;
+  double mem = 0.0, core = 0.0;
+  while (in >> kernel >> target_name >> mem >> core) {
+    table.put(kernel, metrics::target::parse(target_name),
+              {megahertz{mem}, megahertz{core}});
+  }
+  return table;
+}
+
+tuning_table compile_tuning_table(const features::kernel_registry& registry,
+                                  const std::vector<metrics::target>& targets,
+                                  const frequency_planner& planner,
+                                  const std::string& device_key) {
+  tuning_table table;
+  table.set_device_key(device_key);
+  for (const auto& name : registry.names()) {
+    const auto info = registry.at(name);
+    for (const auto& target : targets)
+      table.put(name, target, planner.plan(info.features, target));
+  }
+  return table;
+}
+
+tuning_table compile_tuning_table_oracle(const features::kernel_registry& registry,
+                                         const std::vector<metrics::target>& targets,
+                                         const gpusim::device_spec& spec,
+                                         double representative_items) {
+  tuning_table table;
+  table.set_device_key(spec.name);
+  for (const auto& name : registry.names()) {
+    auto info = registry.at(name);
+    auto profile = info.to_profile(1);
+    profile.work_items = representative_items;
+    for (const auto& target : targets)
+      table.put(name, target, oracle_plan(spec, profile, target));
+  }
+  return table;
+}
+
+}  // namespace synergy

@@ -1,0 +1,10 @@
+#include "synergy/features/extraction.hpp"
+
+namespace synergy::features {
+
+op_counter*& op_counter::active() {
+  thread_local op_counter* current = nullptr;
+  return current;
+}
+
+}  // namespace synergy::features

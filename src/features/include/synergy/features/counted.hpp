@@ -1,0 +1,239 @@
+#pragma once
+
+/// \file counted.hpp
+/// Instruction-counting proxy scalars.
+///
+/// This is the instrumentation half of SYnergy's feature-extraction pass
+/// (paper Sec. 3.1 / Fig. 6 step 1 and 4). Instead of an LLVM IR pass over
+/// DPC++ kernels, kernel bodies here are generic over their scalar type;
+/// executing one probe work-item with counted<float> / counted<int> operands
+/// tallies exactly the Table-1 instruction classes:
+///   int_add, int_mul, int_div, int_bw,
+///   float_add, float_mul, float_div, sf (special functions).
+/// Memory-access counting lives in counting_array / counting_local.
+///
+/// Counts accumulate into the thread-active op_counter installed by a
+/// counting_scope; operations without an active scope are silently uncounted
+/// so counted code can run outside extraction.
+
+#include <cmath>
+#include <type_traits>
+
+#include "synergy/gpusim/kernel_profile.hpp"
+
+namespace synergy::features {
+
+/// Mutable tally of Table-1 instruction classes.
+struct op_counter {
+  double int_add{0};
+  double int_mul{0};
+  double int_div{0};
+  double int_bw{0};
+  double float_add{0};
+  double float_mul{0};
+  double float_div{0};
+  double sf{0};
+  double gl_access{0};
+  double loc_access{0};
+
+  /// Convert the tally into the model-facing feature vector.
+  [[nodiscard]] gpusim::static_features to_features() const {
+    gpusim::static_features k;
+    k.int_add = int_add;
+    k.int_mul = int_mul;
+    k.int_div = int_div;
+    k.int_bw = int_bw;
+    k.float_add = float_add;
+    k.float_mul = float_mul;
+    k.float_div = float_div;
+    k.sf = sf;
+    k.gl_access = gl_access;
+    k.loc_access = loc_access;
+    return k;
+  }
+
+  /// The thread's active counter (nullptr when no extraction is running).
+  static op_counter*& active();
+};
+
+/// RAII activation of an op_counter on the current thread. Scopes nest; the
+/// innermost one receives the counts.
+class counting_scope {
+ public:
+  explicit counting_scope(op_counter& counter) : previous_(op_counter::active()) {
+    op_counter::active() = &counter;
+  }
+  ~counting_scope() { op_counter::active() = previous_; }
+  counting_scope(const counting_scope&) = delete;
+  counting_scope& operator=(const counting_scope&) = delete;
+
+ private:
+  op_counter* previous_;
+};
+
+namespace detail {
+inline void count_float_add() { if (auto* c = op_counter::active()) c->float_add += 1; }
+inline void count_float_mul() { if (auto* c = op_counter::active()) c->float_mul += 1; }
+inline void count_float_div() { if (auto* c = op_counter::active()) c->float_div += 1; }
+inline void count_int_add() { if (auto* c = op_counter::active()) c->int_add += 1; }
+inline void count_int_mul() { if (auto* c = op_counter::active()) c->int_mul += 1; }
+inline void count_int_div() { if (auto* c = op_counter::active()) c->int_div += 1; }
+inline void count_int_bw() { if (auto* c = op_counter::active()) c->int_bw += 1; }
+inline void count_sf() { if (auto* c = op_counter::active()) c->sf += 1; }
+inline void count_gl() { if (auto* c = op_counter::active()) c->gl_access += 1; }
+inline void count_loc() { if (auto* c = op_counter::active()) c->loc_access += 1; }
+}  // namespace detail
+
+/// Arithmetic proxy: behaves like T, tallying every operation.
+template <typename T>
+class counted {
+  static_assert(std::is_arithmetic_v<T>, "counted wraps arithmetic types");
+  static constexpr bool is_float = std::is_floating_point_v<T>;
+
+ public:
+  using value_type = T;
+
+  constexpr counted() = default;
+  constexpr counted(T v) : v_(v) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] constexpr T value() const { return v_; }
+  explicit constexpr operator T() const { return v_; }
+
+  // --- additive ------------------------------------------------------------
+  friend counted operator+(counted a, counted b) {
+    if constexpr (is_float) detail::count_float_add(); else detail::count_int_add();
+    return counted{static_cast<T>(a.v_ + b.v_)};
+  }
+  friend counted operator-(counted a, counted b) {
+    if constexpr (is_float) detail::count_float_add(); else detail::count_int_add();
+    return counted{static_cast<T>(a.v_ - b.v_)};
+  }
+  counted operator-() const {
+    if constexpr (is_float) detail::count_float_add(); else detail::count_int_add();
+    return counted{static_cast<T>(-v_)};
+  }
+
+  // --- multiplicative --------------------------------------------------------
+  friend counted operator*(counted a, counted b) {
+    if constexpr (is_float) detail::count_float_mul(); else detail::count_int_mul();
+    return counted{static_cast<T>(a.v_ * b.v_)};
+  }
+  friend counted operator/(counted a, counted b) {
+    if constexpr (is_float) detail::count_float_div(); else detail::count_int_div();
+    // Probe data is synthetic; guard division so extraction never faults.
+    if (b.v_ == T{0}) return counted{T{0}};
+    return counted{static_cast<T>(a.v_ / b.v_)};
+  }
+  friend counted operator%(counted a, counted b)
+    requires(!is_float)
+  {
+    detail::count_int_div();
+    if (b.v_ == T{0}) return counted{T{0}};
+    return counted{static_cast<T>(a.v_ % b.v_)};
+  }
+
+  // --- bitwise (integral only) ----------------------------------------------
+  friend counted operator&(counted a, counted b) requires(!is_float) {
+    detail::count_int_bw();
+    return counted{static_cast<T>(a.v_ & b.v_)};
+  }
+  friend counted operator|(counted a, counted b) requires(!is_float) {
+    detail::count_int_bw();
+    return counted{static_cast<T>(a.v_ | b.v_)};
+  }
+  friend counted operator^(counted a, counted b) requires(!is_float) {
+    detail::count_int_bw();
+    return counted{static_cast<T>(a.v_ ^ b.v_)};
+  }
+  friend counted operator<<(counted a, counted b) requires(!is_float) {
+    detail::count_int_bw();
+    return counted{static_cast<T>(a.v_ << b.v_)};
+  }
+  friend counted operator>>(counted a, counted b) requires(!is_float) {
+    detail::count_int_bw();
+    return counted{static_cast<T>(a.v_ >> b.v_)};
+  }
+
+  // --- compound assignment ---------------------------------------------------
+  counted& operator+=(counted o) { *this = *this + o; return *this; }
+  counted& operator-=(counted o) { *this = *this - o; return *this; }
+  counted& operator*=(counted o) { *this = *this * o; return *this; }
+  counted& operator/=(counted o) { *this = *this / o; return *this; }
+
+  // --- comparisons (not a Table-1 class; uncounted) ---------------------------
+  friend constexpr bool operator<(counted a, counted b) { return a.v_ < b.v_; }
+  friend constexpr bool operator>(counted a, counted b) { return a.v_ > b.v_; }
+  friend constexpr bool operator<=(counted a, counted b) { return a.v_ <= b.v_; }
+  friend constexpr bool operator>=(counted a, counted b) { return a.v_ >= b.v_; }
+  friend constexpr bool operator==(counted a, counted b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(counted a, counted b) { return a.v_ != b.v_; }
+
+ private:
+  T v_{};
+};
+
+// --- math shims --------------------------------------------------------------
+// Generic kernel bodies call these unqualified; for plain scalars they
+// forward to <cmath>, for counted scalars they tally a special-function (sf)
+// or the matching arithmetic class.
+
+template <typename T> T sqrt(T x) { return std::sqrt(x); }
+template <typename T> T exp(T x) { return std::exp(x); }
+template <typename T> T log(T x) { return std::log(x); }
+template <typename T> T sin(T x) { return std::sin(x); }
+template <typename T> T cos(T x) { return std::cos(x); }
+template <typename T> T erf(T x) { return std::erf(x); }
+template <typename T> T fabs(T x) { return std::fabs(x); }
+template <typename T> T pow(T x, T y) { return std::pow(x, y); }
+template <typename T> T fmin(T a, T b) { return std::fmin(a, b); }
+template <typename T> T fmax(T a, T b) { return std::fmax(a, b); }
+
+template <typename T> counted<T> sqrt(counted<T> x) {
+  detail::count_sf();
+  return counted<T>{static_cast<T>(std::sqrt(std::fabs(static_cast<double>(x.value()))))};
+}
+template <typename T> counted<T> exp(counted<T> x) {
+  detail::count_sf();
+  return counted<T>{static_cast<T>(std::exp(static_cast<double>(x.value())))};
+}
+template <typename T> counted<T> log(counted<T> x) {
+  detail::count_sf();
+  const double v = static_cast<double>(x.value());
+  return counted<T>{static_cast<T>(v > 0.0 ? std::log(v) : 0.0)};
+}
+template <typename T> counted<T> sin(counted<T> x) {
+  detail::count_sf();
+  return counted<T>{static_cast<T>(std::sin(static_cast<double>(x.value())))};
+}
+template <typename T> counted<T> cos(counted<T> x) {
+  detail::count_sf();
+  return counted<T>{static_cast<T>(std::cos(static_cast<double>(x.value())))};
+}
+template <typename T> counted<T> erf(counted<T> x) {
+  detail::count_sf();
+  return counted<T>{static_cast<T>(std::erf(static_cast<double>(x.value())))};
+}
+template <typename T> counted<T> fabs(counted<T> x) {
+  // |x| is a sign flip, costed as an add-class op.
+  if constexpr (std::is_floating_point_v<T>) detail::count_float_add();
+  else detail::count_int_add();
+  return counted<T>{static_cast<T>(std::fabs(static_cast<double>(x.value())))};
+}
+template <typename T> counted<T> pow(counted<T> x, counted<T> y) {
+  detail::count_sf();
+  return counted<T>{static_cast<T>(
+      std::pow(std::fabs(static_cast<double>(x.value())), static_cast<double>(y.value())))};
+}
+template <typename T> counted<T> fmin(counted<T> a, counted<T> b) {
+  // min/max run at full ALU rate on GPUs: costed as add-class ops.
+  if constexpr (std::is_floating_point_v<T>) detail::count_float_add();
+  else detail::count_int_add();
+  return a.value() < b.value() ? a : b;
+}
+template <typename T> counted<T> fmax(counted<T> a, counted<T> b) {
+  if constexpr (std::is_floating_point_v<T>) detail::count_float_add();
+  else detail::count_int_add();
+  return a.value() > b.value() ? a : b;
+}
+
+}  // namespace synergy::features

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file counting_memory.hpp
+/// Memory-access counting proxies for feature extraction.
+///
+/// counting_array models a global-memory accessor: every operator[] tallies
+/// one gl_access (Table 1). counting_local models a local/shared-memory
+/// tile: operator[] tallies loc_access. Both are backed by a small synthetic
+/// buffer filled with benign values so stencils and reductions can execute a
+/// probe work-item without real input data; indices wrap modulo the backing
+/// size, so arbitrary kernel indexing stays in bounds.
+
+#include <cstddef>
+#include <vector>
+
+#include "synergy/features/counted.hpp"
+
+namespace synergy::features {
+
+/// Global-memory accessor proxy.
+template <typename T>
+class counting_array {
+ public:
+  explicit counting_array(std::size_t backing_size = 4096, T fill = T{1})
+      : storage_(backing_size, counted<T>{fill}) {}
+
+  /// Tallies one global access per call (read or write alike, as in Table 1).
+  counted<T>& operator[](std::size_t i) {
+    detail::count_gl();
+    return storage_[i % storage_.size()];
+  }
+  const counted<T>& operator[](std::size_t i) const {
+    detail::count_gl();
+    return storage_[i % storage_.size()];
+  }
+
+  [[nodiscard]] std::size_t size() const { return storage_.size(); }
+
+ private:
+  mutable std::vector<counted<T>> storage_;
+};
+
+/// Local (shared) memory tile proxy.
+template <typename T>
+class counting_local {
+ public:
+  explicit counting_local(std::size_t backing_size = 1024, T fill = T{1})
+      : storage_(backing_size, counted<T>{fill}) {}
+
+  counted<T>& operator[](std::size_t i) {
+    detail::count_loc();
+    return storage_[i % storage_.size()];
+  }
+  const counted<T>& operator[](std::size_t i) const {
+    detail::count_loc();
+    return storage_[i % storage_.size()];
+  }
+
+  [[nodiscard]] std::size_t size() const { return storage_.size(); }
+
+ private:
+  mutable std::vector<counted<T>> storage_;
+};
+
+}  // namespace synergy::features

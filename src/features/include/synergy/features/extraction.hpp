@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file extraction.hpp
+/// The feature-extraction pass (paper Fig. 6, steps 1 and 4).
+///
+/// extract_features runs a probe callable under an active op_counter and
+/// returns the resulting Table-1 feature vector. The probe typically invokes
+/// one work-item of a scalar-type-generic kernel body with counted operands
+/// and counting_array accessors.
+
+#include <utility>
+
+#include "synergy/features/counted.hpp"
+#include "synergy/features/counting_memory.hpp"
+#include "synergy/gpusim/kernel_profile.hpp"
+
+namespace synergy::features {
+
+/// Execute `probe` with an active counter and return the tallied features.
+template <typename ProbeFn>
+[[nodiscard]] gpusim::static_features extract_features(ProbeFn&& probe) {
+  op_counter counter;
+  {
+    counting_scope scope{counter};
+    std::forward<ProbeFn>(probe)();
+  }
+  return counter.to_features();
+}
+
+/// Average the features over `n` probe work-items: probe is called with each
+/// item index in [0, n) and the tally is divided by n. Use when per-item
+/// work is index-dependent (triangular loops, boundary conditions).
+template <typename ProbeFn>
+[[nodiscard]] gpusim::static_features extract_features_avg(std::size_t n, ProbeFn&& probe) {
+  op_counter counter;
+  {
+    counting_scope scope{counter};
+    for (std::size_t i = 0; i < n; ++i) probe(i);
+  }
+  auto arr = counter.to_features().as_array();
+  for (auto& v : arr) v /= static_cast<double>(n == 0 ? 1 : n);
+  return gpusim::static_features::from_array(arr);
+}
+
+}  // namespace synergy::features

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file kernel_registry.hpp
+/// Registry of "compiled" kernels: name → cost annotation.
+///
+/// In the real toolchain the compiler emits, per kernel, the static feature
+/// vector consumed at runtime by the frequency models (paper Sec. 3.1). The
+/// registry is this repository's equivalent of those compiler artefacts: the
+/// workload library registers each kernel's extracted kernel_info once, and
+/// the SYnergy queue looks it up at submission time.
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "simsycl/kernel_info.hpp"
+
+namespace synergy::features {
+
+class kernel_registry {
+ public:
+  /// Register or replace a kernel's cost annotation (idempotent by name so
+  /// test fixtures and examples can re-register).
+  void put(simsycl::kernel_info info);
+
+  /// True if a kernel of this name has been registered.
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Lookup; throws std::out_of_range for unknown kernels.
+  [[nodiscard]] simsycl::kernel_info at(const std::string& name) const;
+
+  /// All registered kernel names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  /// Process-wide registry used by the workload library's registration.
+  static kernel_registry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, simsycl::kernel_info> kernels_;
+};
+
+}  // namespace synergy::features

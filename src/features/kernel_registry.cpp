@@ -1,0 +1,47 @@
+#include "synergy/features/kernel_registry.hpp"
+
+#include <stdexcept>
+
+namespace synergy::features {
+
+void kernel_registry::put(simsycl::kernel_info info) {
+  std::scoped_lock lock(mutex_);
+  kernels_[info.name] = std::move(info);
+}
+
+bool kernel_registry::contains(const std::string& name) const {
+  std::scoped_lock lock(mutex_);
+  return kernels_.count(name) > 0;
+}
+
+simsycl::kernel_info kernel_registry::at(const std::string& name) const {
+  std::scoped_lock lock(mutex_);
+  auto it = kernels_.find(name);
+  if (it == kernels_.end()) throw std::out_of_range("unregistered kernel: " + name);
+  return it->second;
+}
+
+std::vector<std::string> kernel_registry::names() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(kernels_.size());
+  for (const auto& [name, info] : kernels_) out.push_back(name);
+  return out;
+}
+
+std::size_t kernel_registry::size() const {
+  std::scoped_lock lock(mutex_);
+  return kernels_.size();
+}
+
+void kernel_registry::clear() {
+  std::scoped_lock lock(mutex_);
+  kernels_.clear();
+}
+
+kernel_registry& kernel_registry::global() {
+  static kernel_registry instance;
+  return instance;
+}
+
+}  // namespace synergy::features

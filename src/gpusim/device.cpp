@@ -1,0 +1,138 @@
+#include "synergy/gpusim/device.hpp"
+
+#include <cmath>
+
+namespace synergy::gpusim {
+
+using common::errc;
+using common::error;
+using common::frequency_config;
+using common::joules;
+using common::megahertz;
+using common::seconds;
+using common::status;
+using common::watts;
+
+device::device(device_spec spec, noise_config noise)
+    : spec_(std::move(spec)), noise_(noise), rng_(noise.seed) {
+  config_ = spec_.default_config();
+}
+
+status device::set_core_clock(megahertz f) {
+  std::scoped_lock lock(mutex_);
+  if (!spec_.supports_core_clock(f))
+    return error{errc::not_supported,
+                 "core clock " + std::to_string(f.value) + " MHz not in clock table"};
+  if ((bound_lo_ && f < *bound_lo_) || (bound_hi_ && f > *bound_hi_))
+    return error{errc::no_permission, "core clock outside locked bounds"};
+  config_.core = f;
+  return status::success();
+}
+
+status device::set_application_clocks(frequency_config config) {
+  {
+    std::scoped_lock lock(mutex_);
+    if (!spec_.supports_memory_clock(config.memory))
+      return error{errc::not_supported, "memory clock " + std::to_string(config.memory.value) +
+                                            " MHz not selectable on this device"};
+    config_.memory = config.memory;
+  }
+  return set_core_clock(config.core);
+}
+
+void device::reset_core_clock() {
+  std::scoped_lock lock(mutex_);
+  config_ = spec_.default_config();
+}
+
+status device::set_clock_bounds(megahertz lo, megahertz hi) {
+  std::scoped_lock lock(mutex_);
+  if (lo > hi) return error{errc::invalid_argument, "clock bounds inverted"};
+  bound_lo_ = lo;
+  bound_hi_ = hi;
+  if (config_.core < lo) config_.core = spec_.nearest_core_clock(lo);
+  if (config_.core > hi) config_.core = spec_.nearest_core_clock(hi);
+  return status::success();
+}
+
+void device::clear_clock_bounds() {
+  std::scoped_lock lock(mutex_);
+  bound_lo_.reset();
+  bound_hi_.reset();
+}
+
+frequency_config device::current_config() const {
+  std::scoped_lock lock(mutex_);
+  return config_;
+}
+
+execution_record device::execute(const kernel_profile& profile) {
+  std::scoped_lock lock(mutex_);
+  kernel_cost cost = model_.evaluate(spec_, profile, config_);
+
+  if (noise_.time_sigma > 0.0)
+    cost.time = seconds{cost.time.value * std::exp(noise_.time_sigma * rng_.normal())};
+  if (noise_.power_sigma > 0.0)
+    cost.avg_power = watts{cost.avg_power.value * std::exp(noise_.power_sigma * rng_.normal())};
+  cost.energy = cost.avg_power * cost.time;
+
+  execution_record record;
+  record.start = clock_;
+  record.cost = cost;
+  record.config = config_;
+
+  append_segment_locked(cost.time, cost.avg_power, /*busy=*/true);
+  ++kernel_count_;
+  return record;
+}
+
+void device::advance_idle(seconds dt) {
+  if (dt.value <= 0.0) return;
+  std::scoped_lock lock(mutex_);
+  append_segment_locked(dt, model_.idle_power(spec_, config_), /*busy=*/false);
+}
+
+seconds device::now() const {
+  std::scoped_lock lock(mutex_);
+  return clock_;
+}
+
+joules device::total_energy() const {
+  std::scoped_lock lock(mutex_);
+  return energy_;
+}
+
+watts device::instantaneous_power() const {
+  std::scoped_lock lock(mutex_);
+  if (trace_.empty()) return model_.idle_power(spec_, config_);
+  return trace_.power_at(clock_);
+}
+
+watts device::windowed_power(seconds window) const {
+  std::scoped_lock lock(mutex_);
+  if (trace_.empty()) return model_.idle_power(spec_, config_);
+  return trace_.windowed_average(clock_, window);
+}
+
+joules device::energy_between(seconds from, seconds to) const {
+  std::scoped_lock lock(mutex_);
+  return trace_.energy_between(from, to);
+}
+
+std::size_t device::kernels_executed() const {
+  std::scoped_lock lock(mutex_);
+  return kernel_count_;
+}
+
+power_trace device::trace_copy() const {
+  std::scoped_lock lock(mutex_);
+  return trace_;
+}
+
+void device::append_segment_locked(seconds duration, watts power, bool busy) {
+  trace_.append({clock_, duration, power, busy});
+  clock_ += duration;
+  energy_ += power * duration;
+}
+
+}  // namespace synergy::gpusim

@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file device.hpp
+/// Runtime instance of a simulated GPU.
+///
+/// A device owns a virtual clock: executing a kernel advances virtual time by
+/// the model-predicted duration and appends a busy segment to the power
+/// trace. Wall-clock time never enters the simulation, so experiments are
+/// deterministic and orders of magnitude faster than the systems they model.
+///
+/// Thread safety: all mutating members take an internal mutex, because the
+/// SYnergy fine-grained profiler polls device state from a separate sampling
+/// thread while kernels execute (paper Sec. 4.2).
+
+#include <mutex>
+#include <optional>
+
+#include "synergy/common/error.hpp"
+#include "synergy/common/rng.hpp"
+#include "synergy/common/units.hpp"
+#include "synergy/gpusim/device_spec.hpp"
+#include "synergy/gpusim/dvfs_model.hpp"
+#include "synergy/gpusim/kernel_profile.hpp"
+#include "synergy/gpusim/power_trace.hpp"
+
+namespace synergy::gpusim {
+
+/// Outcome of one kernel execution on a device.
+struct execution_record {
+  common::seconds start{0.0};  ///< virtual start time
+  kernel_cost cost;            ///< time / power / energy actually charged
+  common::frequency_config config;  ///< operating point used
+};
+
+/// Measurement-noise configuration. When sigma > 0 each execution's time and
+/// power receive an independent multiplicative log-normal perturbation, which
+/// is what makes the ML training data realistically imperfect.
+struct noise_config {
+  double time_sigma{0.0};
+  double power_sigma{0.0};
+  std::uint64_t seed{0x5eed5eed5eedULL};
+};
+
+/// A simulated GPU with DVFS state, a virtual clock, and a power trace.
+class device {
+ public:
+  explicit device(device_spec spec, noise_config noise = {});
+
+  [[nodiscard]] const device_spec& spec() const { return spec_; }
+  [[nodiscard]] const dvfs_model& model() const { return model_; }
+
+  // --- clock control (wrapped by the vendor emulation layer) ---------------
+
+  /// Set the application core clock; fails with not_supported if f is not in
+  /// the spec's clock table or violates the locked bounds.
+  common::status set_core_clock(common::megahertz f);
+
+  /// Set both application clocks; the memory clock must be one of the
+  /// spec's selectable memory clocks (a single value on HBM parts, several
+  /// on GDDR parts like the Titan X — paper Sec. 2.1).
+  common::status set_application_clocks(common::frequency_config config);
+
+  /// Restore the driver-default application clock.
+  void reset_core_clock();
+
+  /// Hard min/max clock bounds (root-only in the real system; used by the
+  /// scheduler epilogue). Application clocks outside the bounds are rejected.
+  common::status set_clock_bounds(common::megahertz lo, common::megahertz hi);
+  void clear_clock_bounds();
+
+  [[nodiscard]] common::frequency_config current_config() const;
+
+  // --- execution ------------------------------------------------------------
+
+  /// Run one kernel at the current operating point: advances the virtual
+  /// clock, charges energy, and extends the power trace.
+  execution_record execute(const kernel_profile& profile);
+
+  /// Advance virtual time with no kernel resident (idle power is charged).
+  void advance_idle(common::seconds dt);
+
+  // --- introspection ---------------------------------------------------------
+
+  /// Current virtual time.
+  [[nodiscard]] common::seconds now() const;
+
+  /// Total energy consumed since construction (exact integral of the trace).
+  [[nodiscard]] common::joules total_energy() const;
+
+  /// Instantaneous board power at the current virtual time.
+  [[nodiscard]] common::watts instantaneous_power() const;
+
+  /// Board power averaged over the trailing sensor window.
+  [[nodiscard]] common::watts windowed_power(common::seconds window) const;
+
+  /// Exact energy integral between two virtual timestamps.
+  [[nodiscard]] common::joules energy_between(common::seconds from, common::seconds to) const;
+
+  /// Number of kernels executed since construction.
+  [[nodiscard]] std::size_t kernels_executed() const;
+
+  /// Copy of the power trace (for tests and offline analysis).
+  [[nodiscard]] power_trace trace_copy() const;
+
+ private:
+  device_spec spec_;
+  dvfs_model model_;
+  noise_config noise_;
+  mutable std::mutex mutex_;
+
+  common::pcg32 rng_;
+  common::frequency_config config_;
+  std::optional<common::megahertz> bound_lo_;
+  std::optional<common::megahertz> bound_hi_;
+  common::seconds clock_{0.0};
+  common::joules energy_{0.0};
+  std::size_t kernel_count_{0};
+  power_trace trace_;
+
+  void append_segment_locked(common::seconds duration, common::watts power, bool busy);
+};
+
+}  // namespace synergy::gpusim

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file kernel_profile.hpp
+/// Workload description consumed by the DVFS performance/power model.
+///
+/// The static part is exactly the 10-dimensional feature vector of the
+/// paper's Table 1 (per-work-item instruction counts, extracted by the
+/// feature-extraction pass in src/features). The dynamic part carries
+/// launch-time information (work size, access granularity, cache behaviour)
+/// that a static compiler pass cannot see — this asymmetry is what makes the
+/// ML frequency prediction a non-trivial generalisation problem, as in the
+/// real system.
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace synergy::gpusim {
+
+/// Static per-work-item instruction counts (paper Table 1).
+struct static_features {
+  double int_add{0};     ///< integer additions and subtractions
+  double int_mul{0};     ///< integer multiplications
+  double int_div{0};     ///< integer divisions
+  double int_bw{0};      ///< integer bitwise operations
+  double float_add{0};   ///< floating point additions and subtractions
+  double float_mul{0};   ///< floating point multiplications
+  double float_div{0};   ///< floating point divisions
+  double sf{0};          ///< special functions (sqrt, exp, log, sin, ...)
+  double gl_access{0};   ///< global memory accesses
+  double loc_access{0};  ///< local (shared) memory accesses
+
+  static constexpr std::size_t dimension = 10;
+
+  /// Flatten to the model input order used throughout the ML pipeline.
+  [[nodiscard]] std::array<double, dimension> as_array() const {
+    return {int_add, int_mul,   int_div,  int_bw, float_add,
+            float_mul, float_div, sf, gl_access, loc_access};
+  }
+
+  /// Inverse of as_array().
+  [[nodiscard]] static static_features from_array(const std::array<double, dimension>& a) {
+    return {a[0], a[1], a[2], a[3], a[4], a[5], a[6], a[7], a[8], a[9]};
+  }
+
+  /// Total arithmetic operations per work item (all classes except memory).
+  [[nodiscard]] double total_compute_ops() const {
+    return int_add + int_mul + int_div + int_bw + float_add + float_mul + float_div + sf;
+  }
+
+  /// Name of feature dimension i, matching Table 1 of the paper.
+  [[nodiscard]] static const char* feature_name(std::size_t i);
+
+  friend bool operator==(const static_features&, const static_features&) = default;
+};
+
+/// Full workload description for one kernel launch.
+struct kernel_profile {
+  std::string name;          ///< kernel identifier (for traces and registries)
+  static_features features;  ///< per-work-item static instruction counts
+  double work_items{1};      ///< total work items in the launch
+
+  /// Bytes moved per global access (4 for float, 8 for double).
+  double bytes_per_access{4};
+
+  /// Fraction of global accesses served by on-chip cache instead of DRAM.
+  /// Dynamic behaviour invisible to the static feature vector.
+  double cache_hit_rate{0.0};
+
+  /// Achieved fraction of peak DRAM bandwidth for this access pattern
+  /// (1.0 = perfectly coalesced streaming; low values model strided or
+  /// random access).
+  double coalescing_efficiency{0.85};
+
+  /// Achieved fraction of peak issue rate for the compute pipeline
+  /// (models occupancy limits and dependency stalls).
+  double compute_efficiency{0.75};
+
+  /// DRAM-visible bytes for the whole launch.
+  [[nodiscard]] double dram_bytes() const {
+    return features.gl_access * (1.0 - cache_hit_rate) * bytes_per_access * work_items;
+  }
+
+  /// Total arithmetic operations for the whole launch.
+  [[nodiscard]] double total_ops() const { return features.total_compute_ops() * work_items; }
+
+  /// FLOP-per-DRAM-byte arithmetic intensity; large values mean
+  /// compute-bound behaviour (high core-frequency sensitivity).
+  [[nodiscard]] double arithmetic_intensity() const {
+    const double bytes = dram_bytes();
+    return bytes > 0.0 ? total_ops() / bytes : 1.0e12;
+  }
+};
+
+}  // namespace synergy::gpusim

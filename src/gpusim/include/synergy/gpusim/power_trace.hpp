@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file power_trace.hpp
+/// Piecewise-constant board power history on a device's virtual timeline.
+///
+/// The trace is what the emulated vendor power sensors sample: NVML-style
+/// instantaneous reads, windowed averages (modelling the ~15 ms sensor
+/// granularity of paper Sec. 4.4), and exact energy integrals for validating
+/// the sampled estimates in tests.
+
+#include <ostream>
+#include <vector>
+
+#include "synergy/common/units.hpp"
+
+namespace synergy::gpusim {
+
+/// One constant-power interval of the device timeline.
+struct power_segment {
+  common::seconds start{0.0};
+  common::seconds duration{0.0};
+  common::watts power{0.0};
+  bool busy{false};  ///< true while a kernel is resident
+
+  [[nodiscard]] common::seconds end() const {
+    return common::seconds{start.value + duration.value};
+  }
+};
+
+/// Append-only piecewise-constant power history.
+class power_trace {
+ public:
+  /// Append a segment; it must start exactly where the previous one ended.
+  void append(power_segment segment);
+
+  /// Instantaneous power at virtual time t (power of the covering segment;
+  /// the last segment's power if t is beyond the recorded end; 0 if empty).
+  [[nodiscard]] common::watts power_at(common::seconds t) const;
+
+  /// Exact energy integral over [from, to], clipped to the recorded range.
+  [[nodiscard]] common::joules energy_between(common::seconds from, common::seconds to) const;
+
+  /// Average power over the trailing window [t - window, t]; models a sensor
+  /// that can only report averages over its internal accumulation window.
+  [[nodiscard]] common::watts windowed_average(common::seconds t, common::seconds window) const;
+
+  [[nodiscard]] common::seconds end_time() const;
+  [[nodiscard]] const std::vector<power_segment>& segments() const { return segments_; }
+  [[nodiscard]] bool empty() const { return segments_.empty(); }
+
+  /// Export the trace as CSV (start_s,duration_s,power_w,busy) for offline
+  /// plotting of a device's power timeline.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<power_segment> segments_;
+};
+
+}  // namespace synergy::gpusim

@@ -1,0 +1,15 @@
+#include "synergy/gpusim/kernel_profile.hpp"
+
+#include <stdexcept>
+
+namespace synergy::gpusim {
+
+const char* static_features::feature_name(std::size_t i) {
+  static const char* names[] = {"int_add",   "int_mul",   "int_div", "int_bw",
+                                "float_add", "float_mul", "float_div", "sf",
+                                "gl_access", "loc_access"};
+  if (i >= dimension) throw std::out_of_range("feature index");
+  return names[i];
+}
+
+}  // namespace synergy::gpusim

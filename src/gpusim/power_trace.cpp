@@ -1,0 +1,66 @@
+#include "synergy/gpusim/power_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace synergy::gpusim {
+
+using common::joules;
+using common::seconds;
+using common::watts;
+
+void power_trace::append(power_segment segment) {
+  if (segment.duration.value < 0.0) throw std::invalid_argument("negative segment duration");
+  if (!segments_.empty()) {
+    const double expected = segments_.back().end().value;
+    if (std::abs(segment.start.value - expected) > 1e-12 * std::max(1.0, expected))
+      throw std::invalid_argument("power trace segments must be contiguous");
+    segment.start = seconds{expected};
+  }
+  if (segment.duration.value == 0.0) return;
+  segments_.push_back(segment);
+}
+
+watts power_trace::power_at(seconds t) const {
+  if (segments_.empty()) return watts{0.0};
+  if (t.value <= segments_.front().start.value) return segments_.front().power;
+  // Binary search for the covering segment.
+  auto it = std::upper_bound(segments_.begin(), segments_.end(), t.value,
+                             [](double v, const power_segment& s) { return v < s.start.value; });
+  if (it == segments_.begin()) return segments_.front().power;
+  --it;
+  return it->power;
+}
+
+joules power_trace::energy_between(seconds from, seconds to) const {
+  if (segments_.empty() || to.value <= from.value) return joules{0.0};
+  double total = 0.0;
+  for (const power_segment& s : segments_) {
+    const double lo = std::max(from.value, s.start.value);
+    const double hi = std::min(to.value, s.end().value);
+    if (hi > lo) total += s.power.value * (hi - lo);
+  }
+  return joules{total};
+}
+
+watts power_trace::windowed_average(seconds t, seconds window) const {
+  if (window.value <= 0.0) return power_at(t);
+  const double from = std::max(0.0, t.value - window.value);
+  const double span = t.value - from;
+  if (span <= 0.0) return power_at(t);
+  return watts{energy_between(seconds{from}, t).value / span};
+}
+
+seconds power_trace::end_time() const {
+  return segments_.empty() ? seconds{0.0} : segments_.back().end();
+}
+
+void power_trace::write_csv(std::ostream& os) const {
+  os << "start_s,duration_s,power_w,busy\n";
+  for (const power_segment& s : segments_)
+    os << s.start.value << ',' << s.duration.value << ',' << s.power.value << ','
+       << (s.busy ? 1 : 0) << '\n';
+}
+
+}  // namespace synergy::gpusim

@@ -1,0 +1,144 @@
+#include "synergy/metrics/energy_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace synergy::metrics {
+
+std::string target::to_string() const {
+  switch (k) {
+    case kind::max_perf: return "MAX_PERF";
+    case kind::min_energy: return "MIN_ENERGY";
+    case kind::min_edp: return "MIN_EDP";
+    case kind::min_ed2p: return "MIN_ED2P";
+    case kind::energy_saving: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "ES_%g", percent);
+      return buf;
+    }
+    case kind::performance_loss: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "PL_%g", percent);
+      return buf;
+    }
+  }
+  return "?";
+}
+
+target target::parse(const std::string& name) {
+  if (name == "MAX_PERF") return max_perf();
+  if (name == "MIN_ENERGY") return min_energy();
+  if (name == "MIN_EDP") return min_edp();
+  if (name == "MIN_ED2P") return min_ed2p();
+  auto parse_percent = [&](std::size_t prefix_len) {
+    const double p = std::stod(name.substr(prefix_len));
+    if (p <= 0.0 || p > 100.0)
+      throw std::invalid_argument("target percent out of (0,100]: " + name);
+    return p;
+  };
+  if (name.rfind("ES_", 0) == 0) return energy_saving(parse_percent(3));
+  if (name.rfind("PL_", 0) == 0) return performance_loss(parse_percent(3));
+  throw std::invalid_argument("unknown energy target: " + name);
+}
+
+std::vector<target> paper_objectives() {
+  return {MAX_PERF, MIN_ENERGY, MIN_EDP, MIN_ED2P, ES_25, ES_50, ES_75, PL_25, PL_50, PL_75};
+}
+
+std::vector<std::size_t> pareto_front(const std::vector<operating_point>& points) {
+  std::vector<std::size_t> order(points.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // Sort by time ascending, breaking ties by energy ascending.
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (points[a].time_s != points[b].time_s) return points[a].time_s < points[b].time_s;
+    return points[a].energy_j < points[b].energy_j;
+  });
+  std::vector<std::size_t> front;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (const std::size_t i : order) {
+    if (points[i].energy_j < best_energy) {
+      front.push_back(i);
+      best_energy = points[i].energy_j;
+    }
+  }
+  return front;
+}
+
+namespace {
+
+std::size_t argmin(const std::vector<operating_point>& pts, auto&& key) {
+  std::size_t best = 0;
+  double best_v = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const double v = key(pts[i]);
+    if (v < best_v) {
+      best_v = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::size_t select(const characterization& c, const target& t) {
+  const auto& pts = c.points;
+  if (pts.empty()) throw std::invalid_argument("empty characterization");
+  if (c.default_index >= pts.size()) throw std::invalid_argument("bad default index");
+
+  switch (t.k) {
+    case target::kind::max_perf:
+      return argmin(pts, [](const operating_point& p) { return p.time_s; });
+    case target::kind::min_energy:
+      return argmin(pts, [](const operating_point& p) { return p.energy_j; });
+    case target::kind::min_edp:
+      return argmin(pts, [](const operating_point& p) { return p.edp(); });
+    case target::kind::min_ed2p:
+      return argmin(pts, [](const operating_point& p) { return p.ed2p(); });
+    case target::kind::energy_saving: {
+      // Potential savings span default -> global minimum energy. The target
+      // is the best-performing configuration achieving at least x% of it.
+      const double e_default = c.default_point().energy_j;
+      const std::size_t i_min =
+          argmin(pts, [](const operating_point& p) { return p.energy_j; });
+      const double e_min = pts[i_min].energy_j;
+      const double e_budget = e_default - t.percent / 100.0 * (e_default - e_min);
+      std::size_t best = i_min;
+      double best_time = pts[i_min].time_s;
+      for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (pts[i].energy_j <= e_budget + 1e-15 * std::fabs(e_budget) &&
+            pts[i].time_s < best_time) {
+          best = i;
+          best_time = pts[i].time_s;
+        }
+      }
+      return best;
+    }
+    case target::kind::performance_loss: {
+      // Potential loss spans default -> the minimum-energy frequency's time.
+      // The target is the most energy-efficient configuration within x% of
+      // that loss.
+      const double t_default = c.default_point().time_s;
+      const std::size_t i_min =
+          argmin(pts, [](const operating_point& p) { return p.energy_j; });
+      const double t_slow = std::max(t_default, pts[i_min].time_s);
+      const double t_budget = t_default + t.percent / 100.0 * (t_slow - t_default);
+      std::size_t best = c.default_index;
+      double best_energy = c.default_point().energy_j;
+      for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (pts[i].time_s <= t_budget + 1e-15 * std::fabs(t_budget) &&
+            pts[i].energy_j < best_energy) {
+          best = i;
+          best_energy = pts[i].energy_j;
+        }
+      }
+      return best;
+    }
+  }
+  throw std::logic_error("unreachable target kind");
+}
+
+}  // namespace synergy::metrics

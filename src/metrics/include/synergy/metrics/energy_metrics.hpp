@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file energy_metrics.hpp
+/// Energy-performance tradeoff metrics (paper Sec. 5).
+///
+/// Frequency scaling makes energy vs. performance a multi-objective problem
+/// with a Pareto set of solutions. SYnergy exposes scalar targets that name
+/// one Pareto point each:
+///   - MIN_EDP / MIN_ED2P: classic energy-delay products;
+///   - ES_x: the best-performing configuration achieving at least x% of the
+///     potential energy savings (default → minimum-energy frequency);
+///   - PL_x: the most energy-efficient configuration losing at most x% of
+///     the potential performance over the same interval;
+///   - MAX_PERF / MIN_ENERGY: the interval endpoints (Sec. 8.3).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "synergy/common/units.hpp"
+
+namespace synergy::metrics {
+
+/// Energy-delay product: e * t.
+[[nodiscard]] constexpr double edp(double energy_j, double time_s) { return energy_j * time_s; }
+
+/// Energy-delay-squared product: e * t^2.
+[[nodiscard]] constexpr double ed2p(double energy_j, double time_s) {
+  return energy_j * time_s * time_s;
+}
+
+/// One (frequency, time, energy) operating point of a kernel, measured or
+/// model-predicted.
+struct operating_point {
+  common::frequency_config config;
+  double time_s{0.0};
+  double energy_j{0.0};
+
+  [[nodiscard]] double edp() const { return metrics::edp(energy_j, time_s); }
+  [[nodiscard]] double ed2p() const { return metrics::ed2p(energy_j, time_s); }
+};
+
+/// A kernel's full frequency sweep plus the device-default index, the raw
+/// material of every figure in the paper's evaluation.
+struct characterization {
+  std::vector<operating_point> points;  ///< ascending core frequency
+  std::size_t default_index{0};         ///< index of the driver-default config
+
+  [[nodiscard]] const operating_point& default_point() const {
+    return points.at(default_index);
+  }
+
+  /// Speedup of p vs the default configuration (paper Figs. 2/7/8 x-axis).
+  [[nodiscard]] double speedup(const operating_point& p) const {
+    return default_point().time_s / p.time_s;
+  }
+
+  /// Energy of p normalised to the default (paper Figs. 2/7/8 y-axis).
+  [[nodiscard]] double normalized_energy(const operating_point& p) const {
+    return p.energy_j / default_point().energy_j;
+  }
+};
+
+/// A user-selectable energy target (paper Listing 3: MIN_EDP, ES_x, PL_x...).
+struct target {
+  enum class kind {
+    max_perf,
+    min_energy,
+    min_edp,
+    min_ed2p,
+    energy_saving,    ///< ES_x, parameterised by percent
+    performance_loss  ///< PL_x, parameterised by percent
+  };
+
+  kind k{kind::min_edp};
+  double percent{0.0};  ///< only for ES_x / PL_x, in (0, 100]
+
+  [[nodiscard]] static target max_perf() { return {kind::max_perf, 0.0}; }
+  [[nodiscard]] static target min_energy() { return {kind::min_energy, 0.0}; }
+  [[nodiscard]] static target min_edp() { return {kind::min_edp, 0.0}; }
+  [[nodiscard]] static target min_ed2p() { return {kind::min_ed2p, 0.0}; }
+  [[nodiscard]] static target energy_saving(double percent) {
+    return {kind::energy_saving, percent};
+  }
+  [[nodiscard]] static target performance_loss(double percent) {
+    return {kind::performance_loss, percent};
+  }
+
+  /// Paper-style name: "MIN_EDP", "ES_25", "PL_50", ...
+  [[nodiscard]] std::string to_string() const;
+
+  /// Inverse of to_string; throws std::invalid_argument on unknown names.
+  [[nodiscard]] static target parse(const std::string& name);
+
+  friend bool operator==(const target&, const target&) = default;
+};
+
+/// Convenience constants matching the paper's API spelling.
+inline const target MAX_PERF = target::max_perf();
+inline const target MIN_ENERGY = target::min_energy();
+inline const target MIN_EDP = target::min_edp();
+inline const target MIN_ED2P = target::min_ed2p();
+inline const target ES_25 = target::energy_saving(25.0);
+inline const target ES_50 = target::energy_saving(50.0);
+inline const target ES_75 = target::energy_saving(75.0);
+inline const target PL_25 = target::performance_loss(25.0);
+inline const target PL_50 = target::performance_loss(50.0);
+inline const target PL_75 = target::performance_loss(75.0);
+
+/// The ten objectives evaluated in the paper's Sec. 8.3 (Fig. 9 / Table 2).
+[[nodiscard]] std::vector<target> paper_objectives();
+
+/// Indices of the Pareto-optimal points (minimise time AND energy); sorted
+/// by ascending time. A point is dominated if another has time <= and
+/// energy <= with at least one strict.
+[[nodiscard]] std::vector<std::size_t> pareto_front(const std::vector<operating_point>& points);
+
+/// Select the operating point satisfying `t` (paper Fig. 6 step 6). Works on
+/// measured or predicted characterizations alike. Throws on empty input.
+[[nodiscard]] std::size_t select(const characterization& c, const target& t);
+
+}  // namespace synergy::metrics

@@ -1,0 +1,71 @@
+#include "synergy/ml/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "synergy/common/rng.hpp"
+
+namespace synergy::ml {
+
+dataset shuffled(const dataset& d, std::uint64_t seed) {
+  std::vector<std::size_t> order(d.size());
+  std::iota(order.begin(), order.end(), 0u);
+  common::pcg32 rng{seed};
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng.bounded(static_cast<std::uint32_t>(i))]);
+  dataset out;
+  for (const std::size_t r : order) out.push(d.x.row(r), d.y[r]);
+  return out;
+}
+
+std::pair<dataset, dataset> split(const dataset& d, double train_fraction) {
+  if (train_fraction < 0.0 || train_fraction > 1.0)
+    throw std::invalid_argument("train_fraction must be in [0,1]");
+  const std::size_t n_train = d.size() == 0
+                                  ? 0
+                                  : std::max<std::size_t>(
+                                        1, static_cast<std::size_t>(
+                                               static_cast<double>(d.size()) * train_fraction));
+  dataset train, test;
+  for (std::size_t r = 0; r < d.size(); ++r) {
+    if (r < n_train) train.push(d.x.row(r), d.y[r]);
+    else test.push(d.x.row(r), d.y[r]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+void standard_scaler::fit(const matrix& x) {
+  const std::size_t d = x.cols();
+  mean_.assign(d, 0.0);
+  scale_.assign(d, 1.0);
+  if (x.rows() == 0) return;
+  for (std::size_t r = 0; r < x.rows(); ++r)
+    for (std::size_t c = 0; c < d; ++c) mean_[c] += x(r, c);
+  for (auto& m : mean_) m /= static_cast<double>(x.rows());
+  std::vector<double> var(d, 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r)
+    for (std::size_t c = 0; c < d; ++c) {
+      const double diff = x(r, c) - mean_[c];
+      var[c] += diff * diff;
+    }
+  for (std::size_t c = 0; c < d; ++c) {
+    const double s = std::sqrt(var[c] / static_cast<double>(x.rows()));
+    scale_[c] = s > 1e-12 ? s : 1.0;
+  }
+}
+
+matrix standard_scaler::transform(const matrix& x) const {
+  if (x.cols() != mean_.size()) throw std::invalid_argument("scaler column mismatch");
+  matrix out = x;
+  for (std::size_t r = 0; r < out.rows(); ++r) transform_row(out.row(r));
+  return out;
+}
+
+void standard_scaler::transform_row(std::span<double> row) const {
+  if (row.size() != mean_.size()) throw std::invalid_argument("scaler column mismatch");
+  for (std::size_t c = 0; c < row.size(); ++c) row[c] = (row[c] - mean_[c]) / scale_[c];
+}
+
+}  // namespace synergy::ml

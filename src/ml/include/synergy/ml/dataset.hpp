@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file dataset.hpp
+/// Supervised-learning dataset plumbing: (X, y) pairs, shuffling, splits,
+/// and the standard scaler used before Lasso/SVR training.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "synergy/ml/matrix.hpp"
+
+namespace synergy::ml {
+
+/// A design matrix with its targets.
+struct dataset {
+  matrix x;
+  std::vector<double> y;
+
+  [[nodiscard]] std::size_t size() const { return x.rows(); }
+  void push(std::span<const double> features, double target) {
+    x.push_row(features);
+    y.push_back(target);
+  }
+};
+
+/// Deterministically shuffle rows (Fisher-Yates with pcg32).
+[[nodiscard]] dataset shuffled(const dataset& d, std::uint64_t seed);
+
+/// Split into train/test; `train_fraction` of rows (rounded down, at least 1
+/// if non-empty) go to train. Split is positional: shuffle first if needed.
+[[nodiscard]] std::pair<dataset, dataset> split(const dataset& d, double train_fraction);
+
+/// Column-wise standardisation fitted on training data and applied to any
+/// matrix with the same columns. Constant columns get unit scale.
+class standard_scaler {
+ public:
+  void fit(const matrix& x);
+  [[nodiscard]] matrix transform(const matrix& x) const;
+  [[nodiscard]] matrix fit_transform(const matrix& x) {
+    fit(x);
+    return transform(x);
+  }
+  /// Transform a single row in place.
+  void transform_row(std::span<double> row) const;
+
+  [[nodiscard]] const std::vector<double>& means() const { return mean_; }
+  [[nodiscard]] const std::vector<double>& scales() const { return scale_; }
+  [[nodiscard]] bool fitted() const { return !mean_.empty(); }
+
+  /// Restore a previously fitted scaler (model deserialisation).
+  void restore(std::vector<double> means, std::vector<double> scales) {
+    if (means.size() != scales.size()) throw std::invalid_argument("scaler restore mismatch");
+    mean_ = std::move(means);
+    scale_ = std::move(scales);
+  }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+};
+
+}  // namespace synergy::ml

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file linear.hpp
+/// Linear-family regressors: ordinary least squares (with a small ridge term
+/// for numerical stability) and Lasso via cyclic coordinate descent. Both
+/// standardise features internally, as scikit-learn pipelines do in the
+/// paper's training setup.
+
+#include "synergy/ml/regressor.hpp"
+
+namespace synergy::ml {
+
+/// Ordinary least squares (ridge-stabilised normal equations).
+class linear_regression final : public regressor {
+ public:
+  /// `l2` is the ridge stabiliser on standardised features; the default is
+  /// small enough to be statistically invisible.
+  explicit linear_regression(double l2 = 1e-8) : l2_(l2) {}
+
+  void fit(const matrix& x, std::span<const double> y) override;
+  [[nodiscard]] double predict_one(std::span<const double> x) const override;
+  [[nodiscard]] std::string name() const override { return "Linear"; }
+  [[nodiscard]] bool fitted() const override { return !coef_.empty(); }
+  [[nodiscard]] std::string serialize() const override;
+
+  [[nodiscard]] const std::vector<double>& coefficients() const { return coef_; }
+  [[nodiscard]] double intercept() const { return intercept_; }
+
+  static std::unique_ptr<linear_regression> deserialize(const std::string& text);
+
+ private:
+  double l2_;
+  std::vector<double> coef_;  // on standardised features
+  double intercept_{0.0};
+  standard_scaler scaler_;
+
+  friend class lasso_regression;
+};
+
+/// Lasso: L1-regularised least squares, fitted by cyclic coordinate descent
+/// on standardised features.
+class lasso_regression final : public regressor {
+ public:
+  explicit lasso_regression(double alpha = 1e-3, std::size_t max_iter = 2000,
+                            double tol = 1e-8)
+      : alpha_(alpha), max_iter_(max_iter), tol_(tol) {}
+
+  void fit(const matrix& x, std::span<const double> y) override;
+  [[nodiscard]] double predict_one(std::span<const double> x) const override;
+  [[nodiscard]] std::string name() const override { return "Lasso"; }
+  [[nodiscard]] bool fitted() const override { return !coef_.empty(); }
+  [[nodiscard]] std::string serialize() const override;
+
+  [[nodiscard]] const std::vector<double>& coefficients() const { return coef_; }
+  [[nodiscard]] double intercept() const { return intercept_; }
+  /// Number of exactly-zero coefficients (sparsity diagnostic).
+  [[nodiscard]] std::size_t zero_count() const;
+
+  static std::unique_ptr<lasso_regression> deserialize(const std::string& text);
+
+ private:
+  double alpha_;
+  std::size_t max_iter_;
+  double tol_;
+  std::vector<double> coef_;
+  double intercept_{0.0};
+  standard_scaler scaler_;
+};
+
+}  // namespace synergy::ml

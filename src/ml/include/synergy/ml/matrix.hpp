@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file matrix.hpp
+/// Row-major dense matrix with the small amount of linear algebra the ML
+/// library needs (normal equations via Cholesky). Sized for SYnergy's
+/// training sets — thousands of rows, ~11 columns — so no blocking or BLAS.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace synergy::ml {
+
+class matrix {
+ public:
+  matrix() = default;
+  matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Append one row (must match cols unless the matrix is empty).
+  void push_row(std::span<const double> values);
+
+  /// Column c as a vector copy.
+  [[nodiscard]] std::vector<double> column(std::size_t c) const;
+
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::size_t rows_{0};
+  std::size_t cols_{0};
+  std::vector<double> data_;
+};
+
+/// X^T X (cols x cols), the Gram matrix of the design matrix.
+[[nodiscard]] matrix gram(const matrix& x);
+
+/// X^T y (length cols).
+[[nodiscard]] std::vector<double> xty(const matrix& x, std::span<const double> y);
+
+/// Solve A w = b for symmetric positive-definite A via Cholesky; A is
+/// modified in place. Throws std::runtime_error if A is not SPD.
+[[nodiscard]] std::vector<double> cholesky_solve(matrix a, std::vector<double> b);
+
+/// Dot product of equal-length spans.
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+
+}  // namespace synergy::ml

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Prediction-error metrics used in the paper's accuracy analysis
+/// (Sec. 8.3): absolute percentage error (APE), mean APE (MAPE), and root
+/// mean squared error (RMSE), plus R^2 as a general goodness-of-fit check.
+
+#include <span>
+#include <vector>
+
+namespace synergy::ml {
+
+/// |predicted - actual| / |actual|; 0 if both are 0, large if only actual is.
+[[nodiscard]] double ape(double actual, double predicted);
+
+/// Mean APE over paired spans.
+[[nodiscard]] double mape(std::span<const double> actual, std::span<const double> predicted);
+
+/// Root mean squared error over paired spans.
+[[nodiscard]] double rmse(std::span<const double> actual, std::span<const double> predicted);
+
+/// Coefficient of determination; 1 is a perfect fit, 0 matches predicting
+/// the mean, negative is worse than the mean.
+[[nodiscard]] double r2(std::span<const double> actual, std::span<const double> predicted);
+
+}  // namespace synergy::ml
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "synergy/ml/regressor.hpp"
+
+namespace synergy::ml {
+
+/// Per-fold and aggregate cross-validation scores.
+struct cv_result {
+  std::vector<double> fold_rmse;
+  std::vector<double> fold_r2;
+  [[nodiscard]] double mean_rmse() const;
+  [[nodiscard]] double mean_r2() const;
+};
+
+/// K-fold cross-validation: shuffles `data` deterministically, trains a
+/// fresh regressor (from `make_model`) on each training split, and scores
+/// the held-out fold. The model-selection companion of the paper's accuracy
+/// analysis (Sec. 8.3).
+[[nodiscard]] cv_result k_fold_cv(const dataset& data, std::size_t k,
+                                  const std::function<std::unique_ptr<regressor>()>& make_model,
+                                  std::uint64_t seed = 0xcf01dULL);
+
+}  // namespace synergy::ml

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file random_forest.hpp
+/// Random-forest regression: bagged CART trees with per-split feature
+/// subsampling, variance-reduction splits, and deterministic seeding.
+/// This is the algorithm the paper finds best for energy, EDP, and ES_x
+/// targets (Table 2).
+
+#include <cstdint>
+
+#include "synergy/ml/regressor.hpp"
+
+namespace synergy::ml {
+
+struct random_forest_params {
+  std::size_t n_trees{120};
+  std::size_t max_depth{16};
+  std::size_t min_samples_leaf{1};
+  std::size_t min_samples_split{4};
+  /// Fraction of features considered per split (mtry = max(1, d * fraction)).
+  double feature_fraction{0.5};
+  std::uint64_t seed{0x5349u};
+};
+
+class random_forest final : public regressor {
+ public:
+  explicit random_forest(random_forest_params params = {}) : params_(params) {}
+
+  void fit(const matrix& x, std::span<const double> y) override;
+  [[nodiscard]] double predict_one(std::span<const double> x) const override;
+  [[nodiscard]] std::string name() const override { return "RandomForest"; }
+  [[nodiscard]] bool fitted() const override { return !trees_.empty(); }
+  [[nodiscard]] std::string serialize() const override;
+
+  [[nodiscard]] std::size_t tree_count() const { return trees_.size(); }
+  [[nodiscard]] const random_forest_params& params() const { return params_; }
+
+  /// Impurity-based feature importances: total variance reduction
+  /// contributed by splits on each feature, normalised to sum to 1
+  /// (all-zero if the forest is pure leaves). Diagnoses what the energy
+  /// models actually learned (e.g. the clock feature must matter).
+  [[nodiscard]] std::vector<double> feature_importances() const;
+
+  static std::unique_ptr<random_forest> deserialize(const std::string& text);
+
+ private:
+  /// Flat tree node; feature < 0 marks a leaf carrying `value`.
+  struct node {
+    int feature{-1};
+    double threshold{0.0};
+    int left{-1};
+    int right{-1};
+    double value{0.0};
+    double gain{0.0};  ///< variance reduction of this split (0 for leaves)
+    [[nodiscard]] bool is_leaf() const { return feature < 0; }
+  };
+
+  struct tree {
+    std::vector<node> nodes;
+    [[nodiscard]] double predict(std::span<const double> x) const;
+  };
+
+  random_forest_params params_;
+  std::vector<tree> trees_;
+  std::size_t n_features_{0};
+
+  friend struct random_forest_builder;
+};
+
+}  // namespace synergy::ml

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file regressor.hpp
+/// Common interface of the four regression families the paper compares
+/// (Sec. 8.3): Linear, Lasso, Random Forest, and SVR with RBF kernel.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "synergy/ml/dataset.hpp"
+#include "synergy/ml/matrix.hpp"
+
+namespace synergy::ml {
+
+class regressor {
+ public:
+  virtual ~regressor() = default;
+
+  /// Fit on a design matrix and targets; refitting replaces the model.
+  virtual void fit(const matrix& x, std::span<const double> y) = 0;
+
+  /// Predict a single sample (must match training column count).
+  [[nodiscard]] virtual double predict_one(std::span<const double> x) const = 0;
+
+  /// Algorithm name as it appears in the paper's Table 2.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] virtual bool fitted() const = 0;
+
+  /// Serialise to a text blob loadable by deserialize_regressor.
+  [[nodiscard]] virtual std::string serialize() const = 0;
+
+  /// Batch prediction.
+  [[nodiscard]] std::vector<double> predict(const matrix& x) const {
+    std::vector<double> out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_one(x.row(r));
+    return out;
+  }
+
+  void fit(const dataset& d) { fit(d.x, d.y); }
+};
+
+/// Algorithms the factory can build (the paper's Table 2 columns).
+enum class algorithm { linear, lasso, random_forest, svr_rbf };
+
+[[nodiscard]] const char* to_string(algorithm a);
+
+/// Build a default-configured regressor of the given family.
+[[nodiscard]] std::unique_ptr<regressor> make_regressor(algorithm a);
+
+/// Reconstruct a regressor from the text produced by regressor::serialize.
+[[nodiscard]] std::unique_ptr<regressor> deserialize_regressor(const std::string& text);
+
+}  // namespace synergy::ml

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file serialize_detail.hpp
+/// Internal helpers for the line-oriented model text format. Each model
+/// serialises as a header line ("<kind> v1") followed by named fields:
+///   <name> <value>            (scalar)
+///   <name> <count> v0 v1 ...  (vector)
+/// Not part of the public API; subject to change with the format version.
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "synergy/ml/dataset.hpp"
+
+namespace synergy::ml::detail {
+
+inline void write_scalar(std::ostream& os, const std::string& name, double value) {
+  os << name << ' ' << std::setprecision(17) << value << '\n';
+}
+
+inline void write_vector(std::ostream& os, const std::string& name,
+                         const std::vector<double>& values) {
+  os << name << ' ' << values.size() << std::setprecision(17);
+  for (const double v : values) os << ' ' << v;
+  os << '\n';
+}
+
+/// Sequential reader enforcing the field order the writers emit.
+class field_reader {
+ public:
+  field_reader(const std::string& text, const std::string& expected_header) : in_(text) {
+    std::string header;
+    std::getline(in_, header);
+    if (header != expected_header)
+      throw std::invalid_argument("model header mismatch: got '" + header + "', expected '" +
+                                  expected_header + "'");
+  }
+
+  double scalar(const std::string& name) {
+    require_name(name);
+    double v = 0.0;
+    line_ >> v;
+    if (line_.fail()) throw std::invalid_argument("bad scalar field " + name);
+    return v;
+  }
+
+  std::vector<double> vector(const std::string& name) {
+    require_name(name);
+    std::size_t n = 0;
+    line_ >> n;
+    std::vector<double> out(n);
+    for (auto& v : out) line_ >> v;
+    if (line_.fail()) throw std::invalid_argument("bad vector field " + name);
+    return out;
+  }
+
+  /// Raw remaining text (tree blocks etc.).
+  std::string rest() {
+    std::ostringstream oss;
+    oss << in_.rdbuf();
+    return oss.str();
+  }
+
+ private:
+  void require_name(const std::string& name) {
+    std::string raw;
+    if (!std::getline(in_, raw)) throw std::invalid_argument("missing field " + name);
+    line_ = std::istringstream{raw};
+    std::string got;
+    line_ >> got;
+    if (got != name)
+      throw std::invalid_argument("field order mismatch: got '" + got + "', expected '" + name +
+                                  "'");
+  }
+
+  std::istringstream in_;
+  std::istringstream line_;
+};
+
+inline void restore_scaler(standard_scaler& scaler, std::vector<double> means,
+                           std::vector<double> scales) {
+  scaler.restore(std::move(means), std::move(scales));
+}
+
+}  // namespace synergy::ml::detail

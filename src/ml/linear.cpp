@@ -1,0 +1,143 @@
+#include "synergy/ml/linear.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "synergy/ml/serialize_detail.hpp"
+
+namespace synergy::ml {
+
+// ------------------------------------------------------- linear_regression ----
+
+void linear_regression::fit(const matrix& x, std::span<const double> y) {
+  if (x.rows() != y.size() || x.rows() == 0) throw std::invalid_argument("bad training data");
+  const matrix xs = scaler_.fit_transform(x);
+
+  // Centre the target so the intercept separates from the coefficients.
+  double y_mean = 0.0;
+  for (const double v : y) y_mean += v;
+  y_mean /= static_cast<double>(y.size());
+  std::vector<double> yc(y.begin(), y.end());
+  for (auto& v : yc) v -= y_mean;
+
+  matrix a = gram(xs);
+  for (std::size_t i = 0; i < a.rows(); ++i) a(i, i) += l2_ + 1e-12;
+  coef_ = cholesky_solve(std::move(a), xty(xs, yc));
+  intercept_ = y_mean;
+}
+
+double linear_regression::predict_one(std::span<const double> x) const {
+  if (!fitted()) throw std::logic_error("predict before fit");
+  std::vector<double> row(x.begin(), x.end());
+  scaler_.transform_row(row);
+  return intercept_ + dot(row, coef_);
+}
+
+std::string linear_regression::serialize() const {
+  std::ostringstream oss;
+  oss << "linear v1\n";
+  detail::write_scalar(oss, "l2", l2_);
+  detail::write_scalar(oss, "intercept", intercept_);
+  detail::write_vector(oss, "coef", coef_);
+  detail::write_vector(oss, "mean", scaler_.means());
+  detail::write_vector(oss, "scale", scaler_.scales());
+  return oss.str();
+}
+
+std::unique_ptr<linear_regression> linear_regression::deserialize(const std::string& text) {
+  detail::field_reader reader{text, "linear v1"};
+  auto model = std::make_unique<linear_regression>(reader.scalar("l2"));
+  model->intercept_ = reader.scalar("intercept");
+  model->coef_ = reader.vector("coef");
+  auto means = reader.vector("mean");
+  auto scales = reader.vector("scale");
+  detail::restore_scaler(model->scaler_, std::move(means), std::move(scales));
+  return model;
+}
+
+// --------------------------------------------------------- lasso_regression ----
+
+void lasso_regression::fit(const matrix& x, std::span<const double> y) {
+  if (x.rows() != y.size() || x.rows() == 0) throw std::invalid_argument("bad training data");
+  const matrix xs = scaler_.fit_transform(x);
+  const std::size_t n = xs.rows();
+  const std::size_t d = xs.cols();
+
+  double y_mean = 0.0;
+  for (const double v : y) y_mean += v;
+  y_mean /= static_cast<double>(n);
+
+  coef_.assign(d, 0.0);
+  intercept_ = y_mean;
+
+  // Residual r = y - X w (w starts at zero).
+  std::vector<double> residual(n);
+  for (std::size_t i = 0; i < n; ++i) residual[i] = y[i] - y_mean;
+
+  // Per-column squared norms (constant across sweeps).
+  std::vector<double> col_sq(d, 0.0);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < d; ++c) col_sq[c] += xs(r, c) * xs(r, c);
+
+  const double n_alpha = alpha_ * static_cast<double>(n);
+  for (std::size_t iter = 0; iter < max_iter_; ++iter) {
+    double max_delta = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      if (col_sq[c] <= 1e-12) continue;
+      // rho = X_c . (r + X_c w_c): correlation with the partial residual.
+      double rho = 0.0;
+      for (std::size_t r = 0; r < n; ++r) rho += xs(r, c) * residual[r];
+      rho += col_sq[c] * coef_[c];
+      // Soft threshold.
+      double w_new = 0.0;
+      if (rho > n_alpha) w_new = (rho - n_alpha) / col_sq[c];
+      else if (rho < -n_alpha) w_new = (rho + n_alpha) / col_sq[c];
+      const double delta = w_new - coef_[c];
+      if (delta != 0.0) {
+        for (std::size_t r = 0; r < n; ++r) residual[r] -= xs(r, c) * delta;
+        coef_[c] = w_new;
+        max_delta = std::max(max_delta, std::fabs(delta));
+      }
+    }
+    if (max_delta < tol_) break;
+  }
+}
+
+double lasso_regression::predict_one(std::span<const double> x) const {
+  if (!fitted()) throw std::logic_error("predict before fit");
+  std::vector<double> row(x.begin(), x.end());
+  scaler_.transform_row(row);
+  return intercept_ + dot(row, coef_);
+}
+
+std::size_t lasso_regression::zero_count() const {
+  std::size_t zeros = 0;
+  for (const double c : coef_)
+    if (c == 0.0) ++zeros;
+  return zeros;
+}
+
+std::string lasso_regression::serialize() const {
+  std::ostringstream oss;
+  oss << "lasso v1\n";
+  detail::write_scalar(oss, "alpha", alpha_);
+  detail::write_scalar(oss, "intercept", intercept_);
+  detail::write_vector(oss, "coef", coef_);
+  detail::write_vector(oss, "mean", scaler_.means());
+  detail::write_vector(oss, "scale", scaler_.scales());
+  return oss.str();
+}
+
+std::unique_ptr<lasso_regression> lasso_regression::deserialize(const std::string& text) {
+  detail::field_reader reader{text, "lasso v1"};
+  auto model = std::make_unique<lasso_regression>(reader.scalar("alpha"));
+  model->intercept_ = reader.scalar("intercept");
+  model->coef_ = reader.vector("coef");
+  auto means = reader.vector("mean");
+  auto scales = reader.vector("scale");
+  detail::restore_scaler(model->scaler_, std::move(means), std::move(scales));
+  return model;
+}
+
+}  // namespace synergy::ml

@@ -1,0 +1,82 @@
+#include "synergy/ml/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace synergy::ml {
+
+void matrix::push_row(std::span<const double> values) {
+  if (rows_ == 0 && cols_ == 0) cols_ = values.size();
+  if (values.size() != cols_) throw std::invalid_argument("row width mismatch");
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++rows_;
+}
+
+std::vector<double> matrix::column(std::size_t c) const {
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+matrix gram(const matrix& x) {
+  const std::size_t d = x.cols();
+  matrix g(d, d);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    for (std::size_t i = 0; i < d; ++i)
+      for (std::size_t j = i; j < d; ++j) g(i, j) += row[i] * row[j];
+  }
+  for (std::size_t i = 0; i < d; ++i)
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  return g;
+}
+
+std::vector<double> xty(const matrix& x, std::span<const double> y) {
+  if (y.size() != x.rows()) throw std::invalid_argument("xty size mismatch");
+  std::vector<double> out(x.cols(), 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) out[c] += row[c] * y[r];
+  }
+  return out;
+}
+
+std::vector<double> cholesky_solve(matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) throw std::invalid_argument("cholesky dimension mismatch");
+  // In-place lower-triangular factorisation A = L L^T.
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= a(j, k) * a(j, k);
+    if (diag <= 0.0) throw std::runtime_error("matrix not positive definite");
+    const double ljj = std::sqrt(diag);
+    a(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= a(i, k) * a(j, k);
+      a(i, j) = v / ljj;
+    }
+  }
+  // Forward substitution L z = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= a(i, k) * b[k];
+    b[i] = v / a(i, i);
+  }
+  // Back substitution L^T w = z.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double v = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) v -= a(k, ii) * b[k];
+    b[ii] = v / a(ii, ii);
+  }
+  return b;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace synergy::ml

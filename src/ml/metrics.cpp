@@ -1,0 +1,89 @@
+#include "synergy/ml/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace synergy::ml {
+
+namespace {
+void check_sizes(std::span<const double> a, std::span<const double> p) {
+  if (a.size() != p.size() || a.empty())
+    throw std::invalid_argument("metric requires equal-length non-empty spans");
+}
+}  // namespace
+
+double ape(double actual, double predicted) {
+  const double diff = std::fabs(predicted - actual);
+  if (actual == 0.0) return diff == 0.0 ? 0.0 : 1.0e9;
+  return diff / std::fabs(actual);
+}
+
+double mape(std::span<const double> actual, std::span<const double> predicted) {
+  check_sizes(actual, predicted);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) sum += ape(actual[i], predicted[i]);
+  return sum / static_cast<double>(actual.size());
+}
+
+double rmse(std::span<const double> actual, std::span<const double> predicted) {
+  check_sizes(actual, predicted);
+  double ss = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double d = predicted[i] - actual[i];
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(actual.size()));
+}
+
+double cv_result::mean_rmse() const {
+  double s = 0.0;
+  for (const double v : fold_rmse) s += v;
+  return fold_rmse.empty() ? 0.0 : s / static_cast<double>(fold_rmse.size());
+}
+
+double cv_result::mean_r2() const {
+  double s = 0.0;
+  for (const double v : fold_r2) s += v;
+  return fold_r2.empty() ? 0.0 : s / static_cast<double>(fold_r2.size());
+}
+
+cv_result k_fold_cv(const dataset& data, std::size_t k,
+                    const std::function<std::unique_ptr<regressor>()>& make_model,
+                    std::uint64_t seed) {
+  if (k < 2 || data.size() < k) throw std::invalid_argument("k_fold_cv needs 2 <= k <= n");
+  const dataset shuffled_data = shuffled(data, seed);
+  const std::size_t n = shuffled_data.size();
+
+  cv_result result;
+  for (std::size_t fold = 0; fold < k; ++fold) {
+    const std::size_t lo = fold * n / k;
+    const std::size_t hi = (fold + 1) * n / k;
+    dataset train, test;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i >= lo && i < hi) test.push(shuffled_data.x.row(i), shuffled_data.y[i]);
+      else train.push(shuffled_data.x.row(i), shuffled_data.y[i]);
+    }
+    auto model = make_model();
+    model->fit(train.x, train.y);
+    const auto predicted = model->predict(test.x);
+    result.fold_rmse.push_back(rmse(test.y, predicted));
+    result.fold_r2.push_back(r2(test.y, predicted));
+  }
+  return result;
+}
+
+double r2(std::span<const double> actual, std::span<const double> predicted) {
+  check_sizes(actual, predicted);
+  double mean = 0.0;
+  for (const double v : actual) mean += v;
+  mean /= static_cast<double>(actual.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    ss_res += (actual[i] - predicted[i]) * (actual[i] - predicted[i]);
+    ss_tot += (actual[i] - mean) * (actual[i] - mean);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace synergy::ml

@@ -1,0 +1,208 @@
+#include "synergy/ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "synergy/common/rng.hpp"
+#include "synergy/ml/serialize_detail.hpp"
+
+namespace synergy::ml {
+
+namespace {
+
+struct split_choice {
+  int feature{-1};
+  double threshold{0.0};
+  double score{0.0};  // variance reduction; > 0 means worthwhile
+};
+
+}  // namespace
+
+/// Recursive CART construction over an index subset of the training data.
+struct random_forest_builder {
+  const matrix& x;
+  std::span<const double> y;
+  const random_forest_params& params;
+  common::pcg32& rng;
+  std::vector<random_forest::node>& nodes;
+
+  /// Sum and squared sum of targets over an index range.
+  static std::pair<double, double> moments(std::span<const double> targets,
+                                           std::span<const std::size_t> idx) {
+    double s = 0.0, ss = 0.0;
+    for (const std::size_t i : idx) {
+      s += targets[i];
+      ss += targets[i] * targets[i];
+    }
+    return {s, ss};
+  }
+
+  split_choice best_split(std::span<std::size_t> idx) const {
+    const std::size_t n = idx.size();
+    const std::size_t d = x.cols();
+    const auto mtry = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(d) * params.feature_fraction));
+
+    // Sample mtry distinct features.
+    std::vector<std::size_t> features(d);
+    std::iota(features.begin(), features.end(), 0u);
+    for (std::size_t i = 0; i < mtry; ++i) {
+      const auto j = i + rng.bounded(static_cast<std::uint32_t>(d - i));
+      std::swap(features[i], features[j]);
+    }
+
+    const auto [sum, sum_sq] = moments(y, idx);
+    const double parent_sse = sum_sq - sum * sum / static_cast<double>(n);
+
+    split_choice best;
+    std::vector<std::pair<double, double>> vals(n);  // (feature value, target)
+    for (std::size_t fi = 0; fi < mtry; ++fi) {
+      const std::size_t f = features[fi];
+      for (std::size_t k = 0; k < n; ++k) vals[k] = {x(idx[k], f), y[idx[k]]};
+      std::sort(vals.begin(), vals.end());
+      // Scan split points between distinct feature values.
+      double left_sum = 0.0, left_sq = 0.0;
+      for (std::size_t k = 0; k + 1 < n; ++k) {
+        left_sum += vals[k].second;
+        left_sq += vals[k].second * vals[k].second;
+        if (vals[k].first == vals[k + 1].first) continue;
+        const auto nl = static_cast<double>(k + 1);
+        const auto nr = static_cast<double>(n - k - 1);
+        if (nl < params.min_samples_leaf || nr < params.min_samples_leaf) continue;
+        const double right_sum = sum - left_sum;
+        const double right_sq = sum_sq - left_sq;
+        const double sse =
+            (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
+        const double reduction = parent_sse - sse;
+        if (reduction > best.score) {
+          best.score = reduction;
+          best.feature = static_cast<int>(f);
+          best.threshold = 0.5 * (vals[k].first + vals[k + 1].first);
+        }
+      }
+    }
+    return best;
+  }
+
+  int build(std::span<std::size_t> idx, std::size_t depth) {
+    const auto [sum, sum_sq] = moments(y, idx);
+    (void)sum_sq;
+    const double mean = sum / static_cast<double>(idx.size());
+
+    const bool stop = depth >= params.max_depth || idx.size() < params.min_samples_split;
+    split_choice choice;
+    if (!stop) choice = best_split(idx);
+
+    const int me = static_cast<int>(nodes.size());
+    nodes.push_back({});
+    if (stop || choice.feature < 0 || choice.score <= 1e-12) {
+      nodes[me].value = mean;
+      return me;
+    }
+
+    // Partition indices in place.
+    const auto f = static_cast<std::size_t>(choice.feature);
+    const auto mid = std::partition(idx.begin(), idx.end(), [&](std::size_t i) {
+      return x(i, f) <= choice.threshold;
+    });
+    const auto n_left = static_cast<std::size_t>(mid - idx.begin());
+    if (n_left == 0 || n_left == idx.size()) {  // degenerate partition: make a leaf
+      nodes[me].value = mean;
+      return me;
+    }
+
+    nodes[me].feature = choice.feature;
+    nodes[me].threshold = choice.threshold;
+    nodes[me].gain = choice.score;
+    nodes[me].left = build(idx.subspan(0, n_left), depth + 1);
+    nodes[me].right = build(idx.subspan(n_left), depth + 1);
+    return me;
+  }
+};
+
+double random_forest::tree::predict(std::span<const double> x) const {
+  std::size_t i = 0;
+  while (!nodes[i].is_leaf()) {
+    const auto f = static_cast<std::size_t>(nodes[i].feature);
+    i = static_cast<std::size_t>(x[f] <= nodes[i].threshold ? nodes[i].left : nodes[i].right);
+  }
+  return nodes[i].value;
+}
+
+void random_forest::fit(const matrix& x, std::span<const double> y) {
+  if (x.rows() != y.size() || x.rows() == 0) throw std::invalid_argument("bad training data");
+  trees_.clear();
+  n_features_ = x.cols();
+  common::pcg32 rng{params_.seed};
+
+  const std::size_t n = x.rows();
+  std::vector<std::size_t> bootstrap(n);
+  for (std::size_t t = 0; t < params_.n_trees; ++t) {
+    for (auto& i : bootstrap) i = rng.bounded(static_cast<std::uint32_t>(n));
+    tree tr;
+    random_forest_builder builder{x, y, params_, rng, tr.nodes};
+    builder.build(bootstrap, 0);
+    trees_.push_back(std::move(tr));
+  }
+}
+
+double random_forest::predict_one(std::span<const double> x) const {
+  if (!fitted()) throw std::logic_error("predict before fit");
+  if (x.size() != n_features_) throw std::invalid_argument("feature count mismatch");
+  double sum = 0.0;
+  for (const tree& t : trees_) sum += t.predict(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<double> random_forest::feature_importances() const {
+  std::vector<double> importance(n_features_, 0.0);
+  for (const tree& t : trees_)
+    for (const node& nd : t.nodes)
+      if (!nd.is_leaf()) importance[static_cast<std::size_t>(nd.feature)] += nd.gain;
+  double total = 0.0;
+  for (const double v : importance) total += v;
+  if (total > 0.0)
+    for (auto& v : importance) v /= total;
+  return importance;
+}
+
+std::string random_forest::serialize() const {
+  std::ostringstream oss;
+  oss << "random_forest v1\n";
+  detail::write_scalar(oss, "n_features", static_cast<double>(n_features_));
+  detail::write_scalar(oss, "n_trees", static_cast<double>(trees_.size()));
+  oss << std::setprecision(17);
+  for (const tree& t : trees_) {
+    oss << "tree " << t.nodes.size() << '\n';
+    for (const node& nd : t.nodes)
+      oss << nd.feature << ' ' << nd.threshold << ' ' << nd.left << ' ' << nd.right << ' '
+          << nd.value << ' ' << nd.gain << '\n';
+  }
+  return oss.str();
+}
+
+std::unique_ptr<random_forest> random_forest::deserialize(const std::string& text) {
+  detail::field_reader reader{text, "random_forest v1"};
+  auto model = std::make_unique<random_forest>();
+  model->n_features_ = static_cast<std::size_t>(reader.scalar("n_features"));
+  const auto n_trees = static_cast<std::size_t>(reader.scalar("n_trees"));
+  std::istringstream in{reader.rest()};
+  for (std::size_t t = 0; t < n_trees; ++t) {
+    std::string tag;
+    std::size_t n_nodes = 0;
+    in >> tag >> n_nodes;
+    if (tag != "tree" || in.fail()) throw std::invalid_argument("bad forest tree block");
+    tree tr;
+    tr.nodes.resize(n_nodes);
+    for (auto& nd : tr.nodes)
+      in >> nd.feature >> nd.threshold >> nd.left >> nd.right >> nd.value >> nd.gain;
+    if (in.fail()) throw std::invalid_argument("bad forest node data");
+    model->trees_.push_back(std::move(tr));
+  }
+  return model;
+}
+
+}  // namespace synergy::ml

@@ -1,0 +1,41 @@
+#include "synergy/ml/regressor.hpp"
+
+#include <stdexcept>
+
+#include "synergy/ml/linear.hpp"
+#include "synergy/ml/random_forest.hpp"
+#include "synergy/ml/svr.hpp"
+
+namespace synergy::ml {
+
+const char* to_string(algorithm a) {
+  switch (a) {
+    case algorithm::linear: return "Linear";
+    case algorithm::lasso: return "Lasso";
+    case algorithm::random_forest: return "RandomForest";
+    case algorithm::svr_rbf: return "SVR";
+  }
+  return "?";
+}
+
+std::unique_ptr<regressor> make_regressor(algorithm a) {
+  switch (a) {
+    case algorithm::linear: return std::make_unique<linear_regression>();
+    case algorithm::lasso: return std::make_unique<lasso_regression>();
+    case algorithm::random_forest: return std::make_unique<random_forest>();
+    case algorithm::svr_rbf: return std::make_unique<svr_rbf>();
+  }
+  throw std::invalid_argument("unknown algorithm");
+}
+
+std::unique_ptr<regressor> deserialize_regressor(const std::string& text) {
+  const auto newline = text.find('\n');
+  const std::string header = text.substr(0, newline);
+  if (header == "linear v1") return linear_regression::deserialize(text);
+  if (header == "lasso v1") return lasso_regression::deserialize(text);
+  if (header == "random_forest v1") return random_forest::deserialize(text);
+  if (header == "svr_rbf v1") return svr_rbf::deserialize(text);
+  throw std::invalid_argument("unknown model header: " + header);
+}
+
+}  // namespace synergy::ml

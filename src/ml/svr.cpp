@@ -1,0 +1,138 @@
+#include "synergy/ml/svr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "synergy/ml/serialize_detail.hpp"
+
+namespace synergy::ml {
+
+double svr_rbf::kernel(std::span<const double> a, std::span<const double> b) const {
+  double sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sq += d * d;
+  }
+  // +1 absorbs the bias term (bias-free dual over an augmented kernel).
+  return std::exp(-gamma_eff_ * sq) + 1.0;
+}
+
+void svr_rbf::fit(const matrix& x, std::span<const double> y) {
+  if (x.rows() != y.size() || x.rows() == 0) throw std::invalid_argument("bad training data");
+  const std::size_t n = x.rows();
+  const matrix xs = scaler_.fit_transform(x);
+  gamma_eff_ = params_.gamma > 0.0 ? params_.gamma : 1.0 / static_cast<double>(x.cols());
+
+  // Standardise the target.
+  y_mean_ = 0.0;
+  for (const double v : y) y_mean_ += v;
+  y_mean_ /= static_cast<double>(n);
+  double var = 0.0;
+  for (const double v : y) var += (v - y_mean_) * (v - y_mean_);
+  y_scale_ = std::sqrt(var / static_cast<double>(n));
+  if (y_scale_ < 1e-12) y_scale_ = 1.0;
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) ys[i] = (y[i] - y_mean_) / y_scale_;
+
+  // Precompute the kernel matrix (training sets are a few thousand rows).
+  matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = kernel(xs.row(i), xs.row(j));
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+
+  // Cyclic coordinate descent on beta with soft-thresholding.
+  std::vector<double> beta(n, 0.0);
+  std::vector<double> f(n, 0.0);  // f_i = sum_j K_ij beta_j
+  for (std::size_t iter = 0; iter < params_.max_iter; ++iter) {
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double kii = k(i, i);
+      // Residual excluding i's own contribution.
+      const double r = ys[i] - (f[i] - kii * beta[i]);
+      double target = 0.0;
+      if (r > params_.epsilon) target = (r - params_.epsilon) / kii;
+      else if (r < -params_.epsilon) target = (r + params_.epsilon) / kii;
+      target = std::clamp(target, -params_.c, params_.c);
+      const double delta = target - beta[i];
+      if (delta != 0.0) {
+        for (std::size_t j = 0; j < n; ++j) f[j] += k(i, j) * delta;
+        beta[i] = target;
+        max_delta = std::max(max_delta, std::fabs(delta));
+      }
+    }
+    if (max_delta < params_.tol) break;
+  }
+
+  // Keep only support vectors.
+  support_ = matrix{};
+  beta_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::fabs(beta[i]) > 1e-12) {
+      support_.push_row(xs.row(i));
+      beta_.push_back(beta[i]);
+    }
+  }
+  if (beta_.empty()) {  // everything inside the tube: predict the mean
+    support_.push_row(xs.row(0));
+    beta_.push_back(0.0);
+  }
+}
+
+double svr_rbf::predict_one(std::span<const double> x) const {
+  if (!fitted()) throw std::logic_error("predict before fit");
+  std::vector<double> row(x.begin(), x.end());
+  scaler_.transform_row(row);
+  double f = 0.0;
+  for (std::size_t i = 0; i < beta_.size(); ++i) f += beta_[i] * kernel(support_.row(i), row);
+  return f * y_scale_ + y_mean_;
+}
+
+std::string svr_rbf::serialize() const {
+  std::ostringstream oss;
+  oss << "svr_rbf v1\n";
+  detail::write_scalar(oss, "gamma", gamma_eff_);
+  detail::write_scalar(oss, "y_mean", y_mean_);
+  detail::write_scalar(oss, "y_scale", y_scale_);
+  detail::write_vector(oss, "mean", scaler_.means());
+  detail::write_vector(oss, "scale", scaler_.scales());
+  detail::write_vector(oss, "beta", beta_);
+  detail::write_scalar(oss, "n_support", static_cast<double>(support_.rows()));
+  detail::write_scalar(oss, "n_features", static_cast<double>(support_.cols()));
+  oss << std::setprecision(17);
+  for (std::size_t r = 0; r < support_.rows(); ++r) {
+    for (std::size_t c = 0; c < support_.cols(); ++c)
+      oss << (c ? " " : "") << support_(r, c);
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+std::unique_ptr<svr_rbf> svr_rbf::deserialize(const std::string& text) {
+  detail::field_reader reader{text, "svr_rbf v1"};
+  auto model = std::make_unique<svr_rbf>();
+  model->gamma_eff_ = reader.scalar("gamma");
+  model->y_mean_ = reader.scalar("y_mean");
+  model->y_scale_ = reader.scalar("y_scale");
+  auto means = reader.vector("mean");
+  auto scales = reader.vector("scale");
+  model->scaler_.restore(std::move(means), std::move(scales));
+  model->beta_ = reader.vector("beta");
+  const auto n_support = static_cast<std::size_t>(reader.scalar("n_support"));
+  const auto n_features = static_cast<std::size_t>(reader.scalar("n_features"));
+  std::istringstream in{reader.rest()};
+  std::vector<double> row(n_features);
+  for (std::size_t r = 0; r < n_support; ++r) {
+    for (auto& v : row) in >> v;
+    if (in.fail()) throw std::invalid_argument("bad SVR support vector data");
+    model->support_.push_row(row);
+  }
+  return model;
+}
+
+}  // namespace synergy::ml

@@ -1,0 +1,154 @@
+#include "synergy/sched/controller.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "synergy/common/table.hpp"
+
+#include "synergy/common/log.hpp"
+
+namespace synergy::sched {
+
+controller::controller(std::vector<node_config> nodes) {
+  for (auto& cfg : nodes) nodes_.push_back(std::make_unique<node>(std::move(cfg)));
+}
+
+void controller::register_plugin(std::shared_ptr<plugin> p) {
+  plugins_.push_back(std::move(p));
+}
+
+int controller::submit(job_request request) {
+  const int id = next_id_++;
+  job_record record;
+  record.id = id;
+  record.request = std::move(request);
+  jobs_.emplace(id, std::move(record));
+  pending_.push_back(id);
+  return id;
+}
+
+bool controller::cancel(int job_id) {
+  const auto it = std::find(pending_.begin(), pending_.end(), job_id);
+  if (it == pending_.end()) return false;
+  pending_.erase(it);
+  jobs_.at(job_id).state = job_state::cancelled;
+  return true;
+}
+
+std::vector<node*> controller::allocate(const job_request& request) {
+  std::vector<node*> chosen;
+  for (auto& n : nodes_) {
+    if (static_cast<int>(chosen.size()) == request.n_nodes) break;
+    if (request.exclusive && n->running_jobs() > 0) continue;
+    chosen.push_back(n.get());
+  }
+  if (static_cast<int>(chosen.size()) < request.n_nodes) return {};
+  // Allocation powers nodes back up.
+  for (node* n : chosen) n->set_powered_down(false);
+  return chosen;
+}
+
+void controller::execute(job_record& record) {
+  auto allocated = allocate(record.request);
+  if (allocated.empty()) {
+    record.state = job_state::failed;
+    record.failure_reason = "allocation failed: not enough nodes";
+    return;
+  }
+
+  job_context ctx;
+  ctx.request = &record.request;
+  ctx.nodes = allocated;
+  ctx.user = vendor::user_context::user(record.request.uid);
+
+  for (node* n : allocated) {
+    n->add_job();
+    record.node_names.push_back(n->name());
+  }
+
+  const auto energy_before = [&] {
+    double e = 0.0;
+    for (const node* n : allocated) e += n->gpu_energy();
+    return e;
+  };
+  const double e0 = energy_before();
+
+  record.state = job_state::running;
+  for (auto& p : plugins_) p->prologue(ctx);
+
+  // The payload acts through the node sessions with the job's identity.
+  for (node* n : allocated) n->ctx()->set_user(ctx.user);
+
+  try {
+    if (record.request.payload) record.request.payload(ctx);
+    record.state = job_state::completed;
+  } catch (const std::exception& e) {
+    record.state = job_state::failed;
+    record.failure_reason = e.what();
+    common::log_warn("job ", record.id, " failed: ", e.what());
+  }
+
+  // Epilogues run for every outcome, in reverse order, as root.
+  for (node* n : allocated) n->ctx()->set_user(vendor::user_context::root());
+  for (auto it = plugins_.rbegin(); it != plugins_.rend(); ++it) (*it)->epilogue(ctx);
+
+  record.gpu_energy_j = energy_before() - e0;
+  for (node* n : allocated) n->remove_job();
+}
+
+void controller::run_pending() {
+  while (!pending_.empty()) {
+    const int id = pending_.front();
+    pending_.erase(pending_.begin());
+    execute(jobs_.at(id));
+  }
+}
+
+const job_record& controller::job(int job_id) const {
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) throw std::out_of_range("unknown job id");
+  return it->second;
+}
+
+std::vector<int> controller::job_ids() const {
+  std::vector<int> ids;
+  ids.reserve(jobs_.size());
+  for (const auto& [id, record] : jobs_) ids.push_back(id);
+  return ids;
+}
+
+void controller::report(std::ostream& os) const {
+  common::text_table table;
+  table.header({"job", "name", "user", "state", "nodes", "GPU energy (J)"});
+  for (const auto& [id, record] : jobs_) {
+    std::string node_list;
+    for (const auto& n : record.node_names) node_list += (node_list.empty() ? "" : ",") + n;
+    table.row({std::to_string(id), record.request.name,
+               std::to_string(record.request.uid), to_string(record.state),
+               node_list.empty() ? "-" : node_list,
+               common::text_table::fmt(record.gpu_energy_j, 2)});
+  }
+  table.print(os);
+  os << "total accounted GPU energy: " << common::text_table::fmt(accounted_energy(), 2)
+     << " J\n";
+}
+
+double controller::accounted_energy() const {
+  double total = 0.0;
+  for (const auto& [id, record] : jobs_) total += record.gpu_energy_j;
+  return total;
+}
+
+std::size_t controller::power_down_idle_nodes() {
+  std::size_t count = 0;
+  for (auto& n : nodes_) {
+    if (n->running_jobs() == 0 && !n->powered_down()) {
+      n->set_powered_down(true);
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace synergy::sched

@@ -1,0 +1,67 @@
+#include "synergy/common/log.hpp"
+#include "synergy/sched/plugin.hpp"
+#include "synergy/vendor/lzero_sim.hpp"
+#include "synergy/vendor/nvml_sim.hpp"
+#include "synergy/vendor/rsmi_sim.hpp"
+
+namespace synergy::sched {
+
+bool gpufreq_plugin::check(const std::string& check_name, bool condition) {
+  trace_.push_back({check_name, condition});
+  common::log_info(gres_tag_, " prologue: ", check_name, " -> ",
+                   condition ? "pass" : "terminate");
+  return condition;
+}
+
+void gpufreq_plugin::set_privileges(vendor::management_library& lib, bool grant) {
+  const auto root = vendor::user_context::root();
+  if (auto* nvml = dynamic_cast<vendor::nvml_sim*>(&lib)) {
+    for (std::size_t i = 0; i < nvml->device_count(); ++i)
+      (void)nvml->set_api_restriction(root, i, vendor::restricted_api::set_application_clocks,
+                                      /*restricted=*/!grant);
+  } else if (auto* rsmi = dynamic_cast<vendor::rsmi_sim*>(&lib)) {
+    rsmi->set_sysfs_writable(grant);
+  } else if (auto* lzero = dynamic_cast<vendor::lzero_sim*>(&lib)) {
+    lzero->set_sysman_enabled(grant);
+  } else {
+    common::log_warn("gpufreq plugin: unknown backend ", lib.backend_name(),
+                     "; no privilege change applied");
+  }
+}
+
+void gpufreq_plugin::prologue(job_context& job) {
+  trace_.clear();
+  granted_ = false;
+
+  if (!check("slurmctld node info available", controller_reachable_)) return;
+
+  bool all_nodes_tagged = !job.nodes.empty();
+  for (const node* n : job.nodes) all_nodes_tagged &= n->has_gres(gres_tag_);
+  if (!check("node tagged with " + gres_tag_ + " GRES", all_nodes_tagged)) return;
+
+  bool library_loadable = true;
+  for (const node* n : job.nodes) library_loadable &= n->config().nvml_available;
+  if (!check("vendor management library dlopen-able", library_loadable)) return;
+
+  if (!check("job tagged with " + gres_tag_ + " GRES", job.request->gres.count(gres_tag_) > 0))
+    return;
+
+  if (!check("job runs exclusively on the node", job.request->exclusive)) return;
+
+  for (node* n : job.nodes)
+    for (auto* lib : n->ctx()->libraries()) set_privileges(*lib, /*grant=*/true);
+  granted_ = true;
+}
+
+void gpufreq_plugin::epilogue(job_context& job) {
+  const auto root = vendor::user_context::root();
+  for (node* n : job.nodes) {
+    for (std::size_t i = 0; i < n->devices().size(); ++i) {
+      const auto binding = n->ctx()->bind(n->devices()[i]);
+      (void)binding.library->reset_application_clocks(root, binding.index);
+    }
+    for (auto* lib : n->ctx()->libraries()) set_privileges(*lib, /*grant=*/false);
+  }
+}
+
+}  // namespace synergy::sched

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file controller.hpp
+/// The cluster controller (slurmctld analogue): node inventory, FIFO job
+/// queue, allocation, plugin prologue/epilogue orchestration, and per-job
+/// energy accounting.
+
+#include <map>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "synergy/sched/job.hpp"
+#include "synergy/sched/plugin.hpp"
+
+namespace synergy::sched {
+
+class controller {
+ public:
+  explicit controller(std::vector<node_config> nodes);
+
+  /// Register a plugin; prologues run in registration order, epilogues in
+  /// reverse order (nesting semantics).
+  void register_plugin(std::shared_ptr<plugin> p);
+
+  /// Queue a job; returns its id. Jobs start in the pending state.
+  int submit(job_request request);
+
+  /// Run pending jobs FIFO until the queue drains. Execution is synchronous
+  /// (the simulation's virtual time lives on the devices, so there is
+  /// nothing to overlap). Jobs that cannot ever be allocated are failed.
+  void run_pending();
+
+  /// Cancel a pending job.
+  bool cancel(int job_id);
+
+  [[nodiscard]] const job_record& job(int job_id) const;
+  [[nodiscard]] std::vector<int> job_ids() const;
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] node& node_at(std::size_t i) { return *nodes_.at(i); }
+  [[nodiscard]] const node& node_at(std::size_t i) const { return *nodes_.at(i); }
+
+  /// Total accounted GPU energy across completed jobs.
+  [[nodiscard]] double accounted_energy() const;
+
+  /// Print an sreport-style accounting summary: one row per job with its
+  /// state, nodes, and GPU energy (SLURM energy accounting, Sec. 2.3).
+  void report(std::ostream& os) const;
+
+  /// Power down nodes with no running jobs (SLURM power saving, Sec. 2.3);
+  /// returns how many were powered down. A later allocation transparently
+  /// powers a node back up.
+  std::size_t power_down_idle_nodes();
+
+ private:
+  /// First-fit allocation honouring exclusivity and power state.
+  [[nodiscard]] std::vector<node*> allocate(const job_request& request);
+  void execute(job_record& record);
+
+  std::vector<std::unique_ptr<node>> nodes_;
+  std::vector<std::shared_ptr<plugin>> plugins_;
+  std::map<int, job_record> jobs_;
+  std::vector<int> pending_;
+  int next_id_{1};
+};
+
+}  // namespace synergy::sched

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file job.hpp
+/// Job model: requests, runtime context, and accounting records.
+
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "synergy/queue.hpp"
+#include "synergy/sched/node.hpp"
+#include "synergy/vendor/management_library.hpp"
+
+namespace synergy::sched {
+
+/// What a user submits (sbatch analogue).
+struct job_request {
+  std::string name{"job"};
+  int uid{1000};
+  int n_nodes{1};
+  /// --exclusive: the job owns its nodes entirely. Required by the
+  /// nvgpufreq plugin before granting clock privileges (Sec. 7.1).
+  bool exclusive{false};
+  /// Requested generic resources (--gres); the plugin looks for
+  /// "nvgpufreq".
+  std::set<std::string> gres;
+
+  /// The job's payload, executed on the allocated nodes. Exceptions mark
+  /// the job failed; the epilogue still runs (Sec. 7.2: cleanup happens
+  /// "when the job terminates for any reason").
+  std::function<void(struct job_context&)> payload;
+};
+
+/// What a running payload sees.
+struct job_context {
+  const job_request* request{nullptr};
+  std::vector<node*> nodes;
+  vendor::user_context user;
+
+  /// Convenience: a SYnergy queue on one GPU of one allocated node, bound
+  /// to the node's management session under the job user's identity.
+  [[nodiscard]] synergy::queue make_queue(std::size_t node_index,
+                                          std::size_t gpu_index) const {
+    node* n = nodes.at(node_index);
+    return synergy::queue{n->devices().at(gpu_index), n->ctx()};
+  }
+};
+
+enum class job_state { pending, running, completed, failed, cancelled };
+
+[[nodiscard]] constexpr const char* to_string(job_state s) {
+  switch (s) {
+    case job_state::pending: return "PENDING";
+    case job_state::running: return "RUNNING";
+    case job_state::completed: return "COMPLETED";
+    case job_state::failed: return "FAILED";
+    case job_state::cancelled: return "CANCELLED";
+  }
+  return "?";
+}
+
+/// Accounting record kept by the controller (sacct analogue).
+struct job_record {
+  int id{0};
+  job_request request;
+  job_state state{job_state::pending};
+  std::vector<std::string> node_names;
+  /// GPU energy consumed by the job's nodes during execution (the paper's
+  /// SLURM energy accounting, Sec. 2.3).
+  double gpu_energy_j{0.0};
+  std::string failure_reason;
+};
+
+}  // namespace synergy::sched

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file plugin.hpp
+/// SLURM plugin interface and the nvgpufreq plugin (paper Sec. 7.2).
+///
+/// Plugins intercept each job's prologue and epilogue. The nvgpufreq
+/// plugin performs, in order, the exact early-exit check chain the paper
+/// describes, and only if every check passes lowers the privilege
+/// requirement for application-clock changes on the job's GPUs. Its
+/// epilogue restores default clocks and re-restricts the API regardless of
+/// how the job ended.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "synergy/sched/job.hpp"
+
+namespace synergy::sched {
+
+class plugin {
+ public:
+  virtual ~plugin() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Runs after allocation, before the payload.
+  virtual void prologue(job_context& job) = 0;
+
+  /// Runs after the payload, for every job outcome.
+  virtual void epilogue(job_context& job) = 0;
+};
+
+/// The paper's nvgpufreq SLURM plugin.
+class nvgpufreq_plugin final : public plugin {
+ public:
+  /// The GRES tag that marks capable nodes and opting-in jobs.
+  static constexpr const char* gres_tag = "nvgpufreq";
+
+  /// One prologue check and its outcome, in execution order.
+  struct decision {
+    std::string check;
+    bool passed{false};
+  };
+
+  /// `controller_reachable` models the plugin's very first step: fetching
+  /// node info from slurmctld; when that fails the plugin terminates.
+  explicit nvgpufreq_plugin(bool controller_reachable = true)
+      : controller_reachable_(controller_reachable) {}
+
+  [[nodiscard]] std::string name() const override { return "nvgpufreq"; }
+
+  void prologue(job_context& job) override;
+  void epilogue(job_context& job) override;
+
+  /// Decision trace of the most recent prologue (for tests and audit logs).
+  [[nodiscard]] const std::vector<decision>& last_trace() const { return trace_; }
+
+  /// Whether the last prologue granted privileges.
+  [[nodiscard]] bool granted() const { return granted_; }
+
+ private:
+  [[nodiscard]] bool check(const std::string& name, bool condition);
+
+  bool controller_reachable_;
+  std::vector<decision> trace_;
+  bool granted_{false};
+};
+
+/// Cross-vendor generalisation of nvgpufreq (paper Sec. 3.2: the plugin
+/// "can be easily extended to other vendors"). Runs the same prologue check
+/// chain under a configurable GRES tag, then grants frequency privileges in
+/// the idiom of each node's management backend:
+///   - NVML: lift the setApplicationClocks API restriction,
+///   - ROCm SMI: make the sclk sysfs files user-writable,
+///   - Level Zero: enable Sysman for the job's user.
+/// The epilogue restores default clocks and revokes again, per backend.
+class gpufreq_plugin final : public plugin {
+ public:
+  explicit gpufreq_plugin(std::string gres_tag = "gpufreq",
+                          bool controller_reachable = true)
+      : gres_tag_(std::move(gres_tag)), controller_reachable_(controller_reachable) {}
+
+  [[nodiscard]] std::string name() const override { return gres_tag_; }
+  void prologue(job_context& job) override;
+  void epilogue(job_context& job) override;
+
+  [[nodiscard]] const std::vector<nvgpufreq_plugin::decision>& last_trace() const {
+    return trace_;
+  }
+  [[nodiscard]] bool granted() const { return granted_; }
+
+ private:
+  [[nodiscard]] bool check(const std::string& check_name, bool condition);
+  /// Grant or revoke frequency privileges on one library, per backend.
+  static void set_privileges(vendor::management_library& lib, bool grant);
+
+  std::string gres_tag_;
+  bool controller_reachable_;
+  std::vector<nvgpufreq_plugin::decision> trace_;
+  bool granted_{false};
+};
+
+}  // namespace synergy::sched

@@ -1,0 +1,25 @@
+#include "synergy/sched/node.hpp"
+
+namespace synergy::sched {
+
+node::node(node_config config) : config_(std::move(config)) {
+  std::vector<simsycl::device> devices;
+  devices.reserve(config_.gpus.size());
+  for (std::size_t i = 0; i < config_.gpus.size(); ++i) {
+    gpusim::noise_config noise;
+    noise.seed = std::hash<std::string>{}(config_.name) + i;
+    devices.emplace_back(gpusim::make_device_spec(config_.gpus[i]), noise);
+  }
+  ctx_ = std::make_shared<synergy::context>(std::move(devices),
+                                            vendor::user_context::root());
+}
+
+const std::vector<simsycl::device>& node::devices() const { return ctx_->devices(); }
+
+double node::gpu_energy() const {
+  double total = 0.0;
+  for (const auto& dev : devices()) total += dev.board()->total_energy().value;
+  return total;
+}
+
+}  // namespace synergy::sched

@@ -1,0 +1,66 @@
+#include "synergy/sched/plugin.hpp"
+
+#include "synergy/common/log.hpp"
+
+namespace synergy::sched {
+
+bool nvgpufreq_plugin::check(const std::string& name, bool condition) {
+  trace_.push_back({name, condition});
+  common::log_info("nvgpufreq prologue: ", name, " -> ", condition ? "pass" : "terminate");
+  return condition;
+}
+
+void nvgpufreq_plugin::prologue(job_context& job) {
+  trace_.clear();
+  granted_ = false;
+
+  // The check chain of paper Sec. 7.2; any failure terminates the plugin
+  // without applying any configuration.
+  if (!check("slurmctld node info available", controller_reachable_)) return;
+
+  bool all_nodes_tagged = !job.nodes.empty();
+  for (const node* n : job.nodes) all_nodes_tagged &= n->has_gres(gres_tag);
+  if (!check("node tagged with nvgpufreq GRES", all_nodes_tagged)) return;
+
+  bool nvml_loadable = true;
+  for (const node* n : job.nodes) nvml_loadable &= n->config().nvml_available;
+  if (!check("NVML shared object dlopen-able", nvml_loadable)) return;
+
+  if (!check("job tagged with nvgpufreq GRES", job.request->gres.count(gres_tag) > 0)) return;
+
+  if (!check("job runs exclusively on the node", job.request->exclusive)) return;
+
+  // All checks passed: lower the privilege requirement for application
+  // clocks on every GPU allocated to this job (root-only operation done
+  // with the plugin's — i.e. slurmd's — root identity).
+  const auto root = vendor::user_context::root();
+  for (node* n : job.nodes) {
+    for (std::size_t i = 0; i < n->devices().size(); ++i) {
+      const auto binding = n->ctx()->bind(n->devices()[i]);
+      const auto st = binding.library->set_api_restriction(
+          root, binding.index, vendor::restricted_api::set_application_clocks,
+          /*restricted=*/false);
+      if (!st.ok())
+        common::log_warn("nvgpufreq prologue: restriction lift failed on ", n->name(),
+                         " gpu ", i, ": ", st.err().to_string());
+    }
+  }
+  granted_ = true;
+}
+
+void nvgpufreq_plugin::epilogue(job_context& job) {
+  // Full cleanup for every job outcome: restore default clocks and remove
+  // the privileged access (paper Sec. 7.2).
+  const auto root = vendor::user_context::root();
+  for (node* n : job.nodes) {
+    for (std::size_t i = 0; i < n->devices().size(); ++i) {
+      const auto binding = n->ctx()->bind(n->devices()[i]);
+      (void)binding.library->reset_application_clocks(root, binding.index);
+      (void)binding.library->set_api_restriction(
+          root, binding.index, vendor::restricted_api::set_application_clocks,
+          /*restricted=*/true);
+    }
+  }
+}
+
+}  // namespace synergy::sched

@@ -1,0 +1,177 @@
+#pragma once
+
+/// \file buffer.hpp
+/// SYCL-style buffers and accessors.
+///
+/// Buffers own a host-side copy of the data; accessors view it. As in SYCL,
+/// a buffer constructed over host memory writes back on destruction of the
+/// last buffer copy. There is no real device memory in the simulation, so
+/// "device" accessors simply alias the buffer storage — data movement cost is
+/// part of the kernel's modelled memory traffic.
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "simsycl/types.hpp"
+
+namespace simsycl {
+
+class handler;
+
+template <typename T, int Dim = 1>
+class buffer {
+ public:
+  /// Uninitialised buffer of the given extent.
+  explicit buffer(range<Dim> r) : state_(std::make_shared<state>()) {
+    state_->data.resize(r.size());
+    state_->extent = r;
+  }
+
+  /// Buffer over host memory; contents are copied in now and written back
+  /// when the last copy of this buffer is destroyed.
+  buffer(T* host_ptr, range<Dim> r) : buffer(r) {
+    if (host_ptr == nullptr) throw std::invalid_argument("null host pointer");
+    std::copy(host_ptr, host_ptr + r.size(), state_->data.begin());
+    state_->writeback_ptr = host_ptr;
+  }
+
+  /// Buffer initialised from (and written back to) a host vector.
+  explicit buffer(std::vector<T>& host)
+    requires(Dim == 1)
+      : buffer(host.data(), range<1>{host.size()}) {}
+
+  [[nodiscard]] range<Dim> get_range() const { return state_->extent; }
+  [[nodiscard]] std::size_t size() const { return state_->data.size(); }
+
+ private:
+  struct state {
+    std::vector<T> data;
+    range<Dim> extent;
+    T* writeback_ptr{nullptr};
+
+    ~state() {
+      if (writeback_ptr != nullptr)
+        std::copy(data.begin(), data.end(), writeback_ptr);
+    }
+  };
+
+  std::shared_ptr<state> state_;
+
+  template <typename U, int D, access_mode M>
+  friend class accessor;
+  template <typename U, int D>
+  friend class host_accessor;
+  template <typename U, typename BinaryOp>
+  friend class reduction_descriptor;
+};
+
+/// Device-side view of a buffer, requested inside a command group.
+template <typename T, int Dim = 1, access_mode Mode = access_mode::read_write>
+class accessor {
+ public:
+  /// SYCL-style: accessor<...> acc{buf, cgh};
+  accessor(buffer<T, Dim>& buf, handler&) : state_(buf.state_) {}
+
+  /// Convenience for tests that need a view without a live handler.
+  explicit accessor(buffer<T, Dim>& buf) : state_(buf.state_) {}
+
+  [[nodiscard]] std::size_t size() const { return state_->data.size(); }
+  [[nodiscard]] range<Dim> get_range() const { return state_->extent; }
+
+  /// Linear indexing (any Dim).
+  T& operator[](std::size_t i) const
+    requires(Mode != access_mode::read)
+  {
+    return state_->data[i];
+  }
+  const T& operator[](std::size_t i) const
+    requires(Mode == access_mode::read)
+  {
+    return state_->data[i];
+  }
+
+  /// Multi-dimensional indexing via id.
+  T& operator[](id<Dim> idx) const
+    requires(Mode != access_mode::read && Dim >= 2)
+  {
+    return state_->data[linearise(idx)];
+  }
+  const T& operator[](id<Dim> idx) const
+    requires(Mode == access_mode::read && Dim >= 2)
+  {
+    return state_->data[linearise(idx)];
+  }
+
+ private:
+  [[nodiscard]] std::size_t linearise(id<Dim> idx) const {
+    std::size_t linear = idx.get(0);
+    for (int d = 1; d < Dim; ++d) linear = linear * state_->extent.get(d) + idx.get(d);
+    return linear;
+  }
+
+  std::shared_ptr<typename buffer<T, Dim>::state> state_;
+};
+
+/// Reduction identity/combination descriptor (sycl::reduction). Created by
+/// the simsycl::reduction() factory and passed to handler::parallel_for;
+/// the kernel receives a reducer whose combine() folds per-item
+/// contributions into element 0 of the bound buffer.
+template <typename T, typename BinaryOp>
+class reduction_descriptor {
+ public:
+  reduction_descriptor(buffer<T, 1>& buf, T identity, BinaryOp op)
+      : state_(buf.state_), identity_(identity), op_(op) {}
+
+  /// The mutable reducer handed to the kernel.
+  class reducer {
+   public:
+    explicit reducer(T identity, BinaryOp op) : value_(identity), op_(op) {}
+    void combine(T partial) { value_ = op_(value_, partial); }
+    reducer& operator+=(T partial) {
+      combine(partial);
+      return *this;
+    }
+    [[nodiscard]] T value() const { return value_; }
+
+   private:
+    T value_;
+    BinaryOp op_;
+  };
+
+  [[nodiscard]] reducer make_reducer() const { return reducer{identity_, op_}; }
+  void finalize(const reducer& r) const {
+    state_->data.at(0) = op_(state_->data.at(0), r.value());
+  }
+
+ private:
+  std::shared_ptr<typename buffer<T, 1>::state> state_;
+  T identity_;
+  BinaryOp op_;
+};
+
+/// sycl::reduction analogue: bind a buffer's element 0 as reduction target.
+template <typename T, typename BinaryOp>
+[[nodiscard]] reduction_descriptor<T, BinaryOp> reduction(buffer<T, 1>& buf, T identity,
+                                                          BinaryOp op) {
+  return reduction_descriptor<T, BinaryOp>{buf, identity, op};
+}
+
+/// Host-side view (sycl::host_accessor): read/write the buffer from host code
+/// after kernels complete.
+template <typename T, int Dim = 1>
+class host_accessor {
+ public:
+  explicit host_accessor(buffer<T, Dim>& buf) : state_(buf.state_) {}
+
+  [[nodiscard]] std::size_t size() const { return state_->data.size(); }
+  T& operator[](std::size_t i) const { return state_->data[i]; }
+  T* begin() const { return state_->data.data(); }
+  T* end() const { return state_->data.data() + state_->data.size(); }
+
+ private:
+  std::shared_ptr<typename buffer<T, Dim>::state> state_;
+};
+
+}  // namespace simsycl

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file device.hpp
+/// SYCL-style device: a handle onto one simulated GPU board.
+///
+/// Copies of a device share the underlying board (and its virtual clock),
+/// matching SYCL's reference semantics for devices.
+
+#include <memory>
+#include <string>
+
+#include "synergy/gpusim/device.hpp"
+
+namespace simsycl {
+
+class device {
+ public:
+  device() = default;
+  explicit device(std::shared_ptr<synergy::gpusim::device> board) : board_(std::move(board)) {}
+
+  /// Construct a fresh board from a product spec.
+  explicit device(const synergy::gpusim::device_spec& spec,
+                  synergy::gpusim::noise_config noise = {})
+      : board_(std::make_shared<synergy::gpusim::device>(spec, noise)) {}
+
+  [[nodiscard]] bool valid() const { return board_ != nullptr; }
+  [[nodiscard]] std::string name() const { return board_->spec().name; }
+  [[nodiscard]] const synergy::gpusim::device_spec& spec() const { return board_->spec(); }
+
+  /// Underlying simulated board (the SYnergy layer and vendor emulation use
+  /// this; application code has no reason to).
+  [[nodiscard]] const std::shared_ptr<synergy::gpusim::device>& board() const { return board_; }
+
+  friend bool operator==(const device& a, const device& b) { return a.board_ == b.board_; }
+
+ private:
+  std::shared_ptr<synergy::gpusim::device> board_;
+};
+
+}  // namespace simsycl

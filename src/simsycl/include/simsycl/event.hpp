@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file event.hpp
+/// SYCL-style event with virtual-time profiling info.
+///
+/// Events are how SYnergy measures per-kernel energy (paper Sec. 4.2): the
+/// fine-grained profiler tracks a kernel from submission to completion and
+/// attributes the energy consumed in that interval. In the simulation a
+/// kernel is complete by the time submit() returns, but the virtual
+/// start/end timestamps delimit exactly the device-time interval the kernel
+/// occupied, which is what the profiling queries need.
+
+#include <memory>
+#include <string>
+
+#include "synergy/common/units.hpp"
+#include "synergy/gpusim/device.hpp"
+
+namespace simsycl {
+
+namespace info {
+/// Subset of sycl::info::event_profiling.
+enum class event_profiling { command_submit, command_start, command_end };
+enum class event_command_status { submitted, running, complete };
+}  // namespace info
+
+class event {
+ public:
+  event() = default;
+
+  /// Wait for completion. Execution is eager in the simulation, so this is
+  /// an ordering no-op kept for API fidelity.
+  void wait() const {}
+
+  /// SYCL's wait_and_throw: waits, then rethrows asynchronous errors (none
+  /// can occur in the simulation).
+  void wait_and_throw() const {}
+
+  [[nodiscard]] info::event_command_status get_status() const {
+    return state_ ? info::event_command_status::complete
+                  : info::event_command_status::submitted;
+  }
+
+  /// Profiling timestamps on the device's virtual timeline.
+  [[nodiscard]] synergy::common::seconds profiling(info::event_profiling which) const;
+
+  /// Name of the kernel this event tracks ("" for a default event).
+  [[nodiscard]] std::string kernel_name() const { return state_ ? state_->kernel_name : ""; }
+
+  /// The execution record charged by the simulated device.
+  [[nodiscard]] const synergy::gpusim::execution_record& record() const;
+
+  /// Board the kernel ran on (used by the SYnergy profiler).
+  [[nodiscard]] std::shared_ptr<synergy::gpusim::device> board() const {
+    return state_ ? state_->board : nullptr;
+  }
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+ private:
+  struct state {
+    std::string kernel_name;
+    synergy::common::seconds submit{0.0};
+    synergy::gpusim::execution_record record;
+    std::shared_ptr<synergy::gpusim::device> board;
+  };
+
+  explicit event(std::shared_ptr<state> s) : state_(std::move(s)) {}
+  std::shared_ptr<state> state_;
+
+  friend class queue;
+};
+
+}  // namespace simsycl

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file kernel_info.hpp
+/// Per-kernel cost annotation attached to a launch.
+///
+/// In the real SYnergy toolchain the compiler's feature-extraction pass
+/// produces a static feature vector per kernel (paper Sec. 3.1, Fig. 6 step
+/// 4). Here the same artefact is produced by src/features and attached to
+/// launches as a kernel_info. Launches without one are costed with a generic
+/// default profile — mirroring a kernel the compiler pass could not analyse.
+
+#include <string>
+
+#include "synergy/gpusim/kernel_profile.hpp"
+
+namespace simsycl {
+
+/// Static + dynamic cost annotation for one kernel.
+struct kernel_info {
+  std::string name{"anonymous"};
+  synergy::gpusim::static_features features{};
+
+  /// Bytes per global access (4 float, 8 double).
+  double bytes_per_access{4.0};
+  /// Fraction of global accesses served by cache (dynamic, not in features).
+  double cache_hit_rate{0.0};
+  /// Achieved fraction of peak DRAM bandwidth.
+  double coalescing_efficiency{0.85};
+  /// Achieved fraction of peak issue rate.
+  double compute_efficiency{0.75};
+  /// Virtual work items per real (host-executed) work item. Lets tests run
+  /// small problem sizes while the simulated device sees GPU-scale launches.
+  double work_multiplier{1.0};
+
+  /// Materialise the gpusim profile for a launch of `real_items` work items.
+  [[nodiscard]] synergy::gpusim::kernel_profile to_profile(std::size_t real_items) const {
+    synergy::gpusim::kernel_profile p;
+    p.name = name;
+    p.features = features;
+    p.work_items = static_cast<double>(real_items) * work_multiplier;
+    p.bytes_per_access = bytes_per_access;
+    p.cache_hit_rate = cache_hit_rate;
+    p.coalescing_efficiency = coalescing_efficiency;
+    p.compute_efficiency = compute_efficiency;
+    return p;
+  }
+
+  /// Cost annotation used for launches with no attached info: a light,
+  /// slightly memory-leaning kernel.
+  [[nodiscard]] static kernel_info generic() {
+    kernel_info info;
+    info.name = "generic";
+    info.features.float_add = 4;
+    info.features.float_mul = 4;
+    info.features.int_add = 2;
+    info.features.gl_access = 3;
+    return info;
+  }
+};
+
+}  // namespace simsycl

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file platform.hpp
+/// Device discovery and the default device selector.
+///
+/// A platform owns a set of simulated boards; `gpu_selector_v` picks the
+/// first device of the process-default platform, as `sycl::queue{
+/// gpu_selector_v}` does in the paper's listings. Tests construct platforms
+/// explicitly; examples rely on the default (a single V100).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simsycl/device.hpp"
+#include "synergy/gpusim/device_spec.hpp"
+
+namespace simsycl {
+
+/// Selector tag mirroring sycl::gpu_selector_v.
+struct gpu_selector_tag {};
+inline constexpr gpu_selector_tag gpu_selector_v{};
+
+class platform {
+ public:
+  /// Create a platform of named devices ("V100", "A100", "MI100").
+  explicit platform(const std::vector<std::string>& device_names,
+                    synergy::gpusim::noise_config noise = {});
+
+  /// Create a platform from explicit specs.
+  explicit platform(const std::vector<synergy::gpusim::device_spec>& specs,
+                    synergy::gpusim::noise_config noise = {});
+
+  [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
+  [[nodiscard]] device get_device(std::size_t index) const;
+  [[nodiscard]] const std::vector<device>& devices() const { return devices_; }
+
+  /// Process-default platform; lazily one V100 unless set_default was called.
+  static platform& default_platform();
+
+  /// Replace the process-default platform (examples/benches use this to pick
+  /// the device under test). Pass nullptr to reset to the lazy default.
+  static void set_default(std::shared_ptr<platform> p);
+
+ private:
+  std::vector<device> devices_;
+};
+
+}  // namespace simsycl

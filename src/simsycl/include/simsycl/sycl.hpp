@@ -1,0 +1,13 @@
+#pragma once
+
+/// \file sycl.hpp
+/// Umbrella header: include this to write SYCL-style code against the
+/// simulated runtime, as application code includes <sycl/sycl.hpp>.
+
+#include "simsycl/buffer.hpp"    // IWYU pragma: export
+#include "simsycl/device.hpp"    // IWYU pragma: export
+#include "simsycl/event.hpp"     // IWYU pragma: export
+#include "simsycl/kernel_info.hpp"  // IWYU pragma: export
+#include "simsycl/platform.hpp"  // IWYU pragma: export
+#include "simsycl/queue.hpp"     // IWYU pragma: export
+#include "simsycl/types.hpp"     // IWYU pragma: export

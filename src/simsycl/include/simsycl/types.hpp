@@ -1,0 +1,198 @@
+#pragma once
+
+/// \file types.hpp
+/// SYCL-2020-style index space types: range, id, item.
+///
+/// simsycl is the minimal SYCL runtime the SYnergy API wraps (the real system
+/// wraps Intel DPC++ / Open SYCL). Kernels written against these types look
+/// like the paper's listings and execute for real on the host, while the
+/// device cost is charged in virtual time by the bound gpusim device.
+
+#include <array>
+#include <cstddef>
+
+namespace simsycl {
+
+/// Dim-dimensional extent of an index space (Dim in 1..3).
+template <int Dim = 1>
+class range {
+  static_assert(Dim >= 1 && Dim <= 3, "range supports 1-3 dimensions");
+
+ public:
+  range() = default;
+  explicit range(std::size_t d0)
+    requires(Dim == 1)
+      : dims_{d0} {}
+  range(std::size_t d0, std::size_t d1)
+    requires(Dim == 2)
+      : dims_{d0, d1} {}
+  range(std::size_t d0, std::size_t d1, std::size_t d2)
+    requires(Dim == 3)
+      : dims_{d0, d1, d2} {}
+
+  [[nodiscard]] std::size_t get(int dim) const { return dims_[dim]; }
+  [[nodiscard]] std::size_t operator[](int dim) const { return dims_[dim]; }
+
+  /// Total number of work items.
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 1;
+    for (int i = 0; i < Dim; ++i) total *= dims_[i];
+    return total;
+  }
+
+  friend bool operator==(const range&, const range&) = default;
+
+ private:
+  std::array<std::size_t, Dim> dims_{};
+};
+
+/// Dim-dimensional index of a work item.
+template <int Dim = 1>
+class id {
+  static_assert(Dim >= 1 && Dim <= 3, "id supports 1-3 dimensions");
+
+ public:
+  id() = default;
+  explicit id(std::size_t d0)
+    requires(Dim == 1)
+      : dims_{d0} {}
+  id(std::size_t d0, std::size_t d1)
+    requires(Dim == 2)
+      : dims_{d0, d1} {}
+  id(std::size_t d0, std::size_t d1, std::size_t d2)
+    requires(Dim == 3)
+      : dims_{d0, d1, d2} {}
+
+  [[nodiscard]] std::size_t get(int dim) const { return dims_[dim]; }
+  [[nodiscard]] std::size_t operator[](int dim) const { return dims_[dim]; }
+
+  /// 1-D ids convert implicitly to the linear index, as in SYCL.
+  operator std::size_t() const  // NOLINT(google-explicit-constructor)
+    requires(Dim == 1)
+  {
+    return dims_[0];
+  }
+
+  friend bool operator==(const id&, const id&) = default;
+
+ private:
+  std::array<std::size_t, Dim> dims_{};
+};
+
+/// A work item: its id plus the launch range.
+template <int Dim = 1>
+class item {
+ public:
+  item(id<Dim> idx, range<Dim> rng) : id_(idx), range_(rng) {}
+
+  [[nodiscard]] id<Dim> get_id() const { return id_; }
+  [[nodiscard]] std::size_t get_id(int dim) const { return id_.get(dim); }
+  [[nodiscard]] range<Dim> get_range() const { return range_; }
+  [[nodiscard]] std::size_t get_range(int dim) const { return range_.get(dim); }
+
+  /// Row-major linearised index.
+  [[nodiscard]] std::size_t get_linear_id() const {
+    std::size_t linear = id_.get(0);
+    for (int d = 1; d < Dim; ++d) linear = linear * range_.get(d) + id_.get(d);
+    return linear;
+  }
+
+ private:
+  id<Dim> id_;
+  range<Dim> range_;
+};
+
+/// A work item of hierarchical parallelism: local id within its group plus
+/// the group's identity (sycl::h_item).
+template <int Dim = 1>
+class h_item {
+ public:
+  h_item(id<Dim> local, range<Dim> local_range, id<Dim> group, range<Dim> group_range)
+      : local_(local), local_range_(local_range), group_(group), group_range_(group_range) {}
+
+  [[nodiscard]] id<Dim> get_local_id() const { return local_; }
+  [[nodiscard]] std::size_t get_local_id(int dim) const { return local_.get(dim); }
+  [[nodiscard]] range<Dim> get_local_range() const { return local_range_; }
+
+  [[nodiscard]] id<Dim> get_group_id() const { return group_; }
+  [[nodiscard]] range<Dim> get_group_range() const { return group_range_; }
+
+  /// Global id: group * local_range + local, per dimension.
+  [[nodiscard]] id<Dim> get_global_id() const {
+    if constexpr (Dim == 1) {
+      return id<1>{group_.get(0) * local_range_.get(0) + local_.get(0)};
+    } else if constexpr (Dim == 2) {
+      return id<2>{group_.get(0) * local_range_.get(0) + local_.get(0),
+                   group_.get(1) * local_range_.get(1) + local_.get(1)};
+    } else {
+      return id<3>{group_.get(0) * local_range_.get(0) + local_.get(0),
+                   group_.get(1) * local_range_.get(1) + local_.get(1),
+                   group_.get(2) * local_range_.get(2) + local_.get(2)};
+    }
+  }
+  [[nodiscard]] std::size_t get_global_id(int dim) const { return get_global_id().get(dim); }
+
+  /// Row-major linearised local index.
+  [[nodiscard]] std::size_t get_local_linear_id() const {
+    std::size_t linear = local_.get(0);
+    for (int d = 1; d < Dim; ++d) linear = linear * local_range_.get(d) + local_.get(d);
+    return linear;
+  }
+
+ private:
+  id<Dim> local_;
+  range<Dim> local_range_;
+  id<Dim> group_;
+  range<Dim> group_range_;
+};
+
+/// A work group of hierarchical parallelism (sycl::group). Code in the
+/// group scope runs once per group; parallel_for_work_item launches a
+/// work-item phase with an implicit barrier before and after, which is what
+/// makes sequential host execution semantically correct for tiled kernels:
+/// each phase completes entirely before the next reads its results.
+/// Variables declared at group scope (e.g. a std::vector tile) are the
+/// hierarchical-parallelism form of local memory.
+template <int Dim = 1>
+class group {
+ public:
+  group(id<Dim> group_id, range<Dim> group_range, range<Dim> local_range)
+      : id_(group_id), group_range_(group_range), local_range_(local_range) {}
+
+  [[nodiscard]] id<Dim> get_group_id() const { return id_; }
+  [[nodiscard]] std::size_t get_group_id(int dim) const { return id_.get(dim); }
+  [[nodiscard]] range<Dim> get_group_range() const { return group_range_; }
+  [[nodiscard]] range<Dim> get_local_range() const { return local_range_; }
+
+  /// One work-item phase: invokes f(h_item<Dim>) for every local id.
+  template <typename F>
+  void parallel_for_work_item(F&& f) const {
+    if constexpr (Dim == 1) {
+      for (std::size_t i = 0; i < local_range_.get(0); ++i)
+        f(h_item<1>{id<1>{i}, local_range_, id_, group_range_});
+    } else if constexpr (Dim == 2) {
+      for (std::size_t i = 0; i < local_range_.get(0); ++i)
+        for (std::size_t j = 0; j < local_range_.get(1); ++j)
+          f(h_item<2>{id<2>{i, j}, local_range_, id_, group_range_});
+    } else {
+      for (std::size_t i = 0; i < local_range_.get(0); ++i)
+        for (std::size_t j = 0; j < local_range_.get(1); ++j)
+          for (std::size_t k = 0; k < local_range_.get(2); ++k)
+            f(h_item<3>{id<3>{i, j, k}, local_range_, id_, group_range_});
+    }
+  }
+
+ private:
+  id<Dim> id_;
+  range<Dim> group_range_;
+  range<Dim> local_range_;
+};
+
+/// Access intent of an accessor (subset of sycl::access_mode).
+enum class access_mode { read, write, read_write };
+
+inline constexpr access_mode read_only = access_mode::read;
+inline constexpr access_mode write_only = access_mode::write;
+inline constexpr access_mode read_write = access_mode::read_write;
+
+}  // namespace simsycl

@@ -1,0 +1,55 @@
+#include "simsycl/platform.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+namespace simsycl {
+
+namespace {
+std::shared_ptr<platform>& default_slot() {
+  static std::shared_ptr<platform> slot;
+  return slot;
+}
+std::mutex& default_mutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace
+
+platform::platform(const std::vector<std::string>& device_names,
+                   synergy::gpusim::noise_config noise) {
+  for (std::size_t i = 0; i < device_names.size(); ++i) {
+    auto spec = synergy::gpusim::make_device_spec(device_names[i]);
+    auto per_device = noise;
+    per_device.seed += i;  // decorrelate noise across boards
+    devices_.emplace_back(spec, per_device);
+  }
+}
+
+platform::platform(const std::vector<synergy::gpusim::device_spec>& specs,
+                   synergy::gpusim::noise_config noise) {
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    auto per_device = noise;
+    per_device.seed += i;
+    devices_.emplace_back(specs[i], per_device);
+  }
+}
+
+device platform::get_device(std::size_t index) const {
+  if (index >= devices_.size()) throw std::out_of_range("platform device index");
+  return devices_[index];
+}
+
+platform& platform::default_platform() {
+  std::scoped_lock lock(default_mutex());
+  auto& slot = default_slot();
+  if (!slot) slot = std::make_shared<platform>(std::vector<std::string>{"V100"});
+  return *slot;
+}
+
+void platform::set_default(std::shared_ptr<platform> p) {
+  std::scoped_lock lock(default_mutex());
+  default_slot() = std::move(p);
+}
+
+}  // namespace simsycl

@@ -1,0 +1,50 @@
+#include "simsycl/queue.hpp"
+
+#include <stdexcept>
+
+namespace simsycl {
+
+using synergy::common::seconds;
+
+void handler::record_launch(std::size_t items, std::function<void()> run) {
+  if (has_launch_)
+    throw std::logic_error("a command group may contain at most one kernel launch");
+  run_ = std::move(run);
+  items_ = items;
+  has_launch_ = true;
+}
+
+event queue::finalize(handler& h) {
+  if (!h.has_launch_) return event{};
+
+  auto board = device_.board();
+  auto state = std::make_shared<event::state>();
+  state->kernel_name = h.info_.name;
+  state->submit = board->now();
+  state->board = board;
+
+  // Host execution produces the real numerical results...
+  h.run_();
+  // ...and the simulated board charges virtual time and energy.
+  state->record = board->execute(h.info_.to_profile(h.items_));
+  ++submitted_;
+  return event{std::move(state)};
+}
+
+seconds event::profiling(info::event_profiling which) const {
+  if (!state_) throw std::logic_error("profiling query on a default event");
+  switch (which) {
+    case info::event_profiling::command_submit: return state_->submit;
+    case info::event_profiling::command_start: return state_->record.start;
+    case info::event_profiling::command_end:
+      return seconds{state_->record.start.value + state_->record.cost.time.value};
+  }
+  throw std::logic_error("unknown profiling query");
+}
+
+const synergy::gpusim::execution_record& event::record() const {
+  if (!state_) throw std::logic_error("record query on a default event");
+  return state_->record;
+}
+
+}  // namespace simsycl

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file lzero_sim.hpp
+/// Emulated Intel Level Zero (Sysman) backend.
+///
+/// The paper's Sec. 2.1 names Level Zero as the third vendor interface next
+/// to NVML and ROCm SMI; this backend demonstrates the portability claim by
+/// implementing the same abstract management interface with Level Zero
+/// semantics:
+///  - frequency control is expressed as a *range* (zesFrequencySetRange):
+///    requested clocks clamp into the set [min, max] window; setting
+///    application clocks maps to a degenerate range [f, f];
+///  - Sysman access is gated process-wide (ZES_ENABLE_SYSMAN + udev
+///    permissions) rather than per-API: modelled as a library-wide
+///    `sysman_enabled` switch, root bypasses it;
+///  - an energy counter is available (zesPowerGetEnergyCounter).
+
+#include <mutex>
+
+#include "synergy/vendor/management_library.hpp"
+
+namespace synergy::vendor {
+
+/// Level Zero emulation over one or more simulated Intel boards.
+class lzero_sim final : public management_library_base {
+ public:
+  /// Frequency-range writes are cheap sysfs-backed operations.
+  static constexpr common::seconds clock_set_latency{0.0001};
+
+  explicit lzero_sim(std::vector<std::shared_ptr<gpusim::device>> boards,
+                     sensor_model sensor = {});
+
+  [[nodiscard]] std::string backend_name() const override { return "Level Zero"; }
+
+  common::status set_application_clocks(const user_context& caller, std::size_t index,
+                                        common::frequency_config config) override;
+  common::status reset_application_clocks(const user_context& caller,
+                                          std::size_t index) override;
+  common::status set_api_restriction(const user_context& caller, std::size_t index,
+                                     restricted_api api, bool restricted) override;
+  [[nodiscard]] common::result<bool> api_restricted(std::size_t index,
+                                                    restricted_api api) const override;
+  common::status set_clock_bounds(const user_context& caller, std::size_t index,
+                                  common::megahertz lo, common::megahertz hi) override;
+  common::status clear_clock_bounds(const user_context& caller, std::size_t index) override;
+  [[nodiscard]] common::result<common::joules> total_energy(std::size_t index) const override;
+
+  /// zesFrequencySetRange: constrain the device to [lo, hi]; the current
+  /// clock snaps into the window. Caller needs sysman access.
+  common::status set_frequency_range(const user_context& caller, std::size_t index,
+                                     common::megahertz lo, common::megahertz hi);
+
+  /// Whether Sysman management is enabled for non-root users.
+  void set_sysman_enabled(bool enabled) {
+    std::scoped_lock lock(mutex_);
+    sysman_enabled_ = enabled;
+  }
+  [[nodiscard]] bool sysman_enabled() const {
+    std::scoped_lock lock(mutex_);
+    return sysman_enabled_;
+  }
+
+ private:
+  [[nodiscard]] common::status check_sysman(const user_context& caller,
+                                            std::size_t index) const;
+  mutable std::mutex mutex_;
+  bool sysman_enabled_{false};
+};
+
+}  // namespace synergy::vendor

@@ -1,0 +1,162 @@
+#pragma once
+
+/// \file management_library.hpp
+/// Abstract vendor device-management interface.
+///
+/// This is the portability seam of SYnergy (paper Sec. 2.1 and 4): the core
+/// library is written against this interface exactly as the real system wraps
+/// NVML and ROCm SMI. Two emulated backends exist in this repository
+/// (nvml_sim, rsmi_sim); binding a real vendor library would mean writing a
+/// third implementation of this class, nothing else changes.
+///
+/// Semantics intentionally mirror the vendor C APIs:
+///  - the library must be initialised before use and can be shut down;
+///  - state-changing calls are privilege-checked per device, like
+///    nvmlDeviceSetApplicationClocks under nvmlDeviceSetAPIRestriction
+///    (paper Sec. 7.1);
+///  - power reads go through a sensor model with a finite update interval
+///    and averaging window (paper Sec. 4.4: ~15 ms sampling granularity).
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "synergy/common/error.hpp"
+#include "synergy/common/units.hpp"
+#include "synergy/gpusim/device.hpp"
+
+namespace synergy::vendor {
+
+/// Identity of the process calling into the library. Root may perform any
+/// operation; regular users may only perform operations whose restriction has
+/// been lifted on the target device.
+struct user_context {
+  int uid{1000};
+  [[nodiscard]] bool is_root() const { return uid == 0; }
+
+  static user_context root() { return {0}; }
+  static user_context user(int uid = 1000) { return {uid}; }
+};
+
+/// Restrictable device APIs (subset of nvmlRestrictedAPI_t relevant here).
+enum class restricted_api {
+  set_application_clocks,
+};
+
+/// Power sensor behaviour: readings update every `update_interval` and report
+/// the average power over the trailing `window` (Burtscher et al. measured
+/// ~15 ms effective granularity on data-centre GPUs; short kernels therefore
+/// cannot be profiled accurately — paper Sec. 4.4).
+struct sensor_model {
+  common::seconds update_interval{0.005};
+  common::seconds window{0.015};
+};
+
+/// Abstract management library over a fixed set of simulated boards.
+class management_library {
+ public:
+  virtual ~management_library() = default;
+
+  /// Human-readable backend name ("NVML", "ROCm SMI").
+  [[nodiscard]] virtual std::string backend_name() const = 0;
+
+  /// Initialise the library; all other calls fail with `uninitialized`
+  /// before this succeeds.
+  virtual common::status init() = 0;
+
+  /// Release the library. Idempotent.
+  virtual common::status shutdown() = 0;
+
+  [[nodiscard]] virtual std::size_t device_count() const = 0;
+
+  /// Product name of device `index`.
+  [[nodiscard]] virtual common::result<std::string> device_name(std::size_t index) const = 0;
+
+  /// Supported memory clocks (single entry on HBM parts).
+  [[nodiscard]] virtual common::result<std::vector<common::megahertz>> supported_memory_clocks(
+      std::size_t index) const = 0;
+
+  /// Supported core clocks for a given memory clock.
+  [[nodiscard]] virtual common::result<std::vector<common::megahertz>> supported_core_clocks(
+      std::size_t index, common::megahertz memory_clock) const = 0;
+
+  /// Current (memory, core) application clocks.
+  [[nodiscard]] virtual common::result<common::frequency_config> application_clocks(
+      std::size_t index) const = 0;
+
+  /// Set application clocks; privilege-checked against the device's API
+  /// restriction state.
+  virtual common::status set_application_clocks(const user_context& caller, std::size_t index,
+                                                common::frequency_config config) = 0;
+
+  /// Restore default application clocks; privilege-checked like set.
+  virtual common::status reset_application_clocks(const user_context& caller,
+                                                  std::size_t index) = 0;
+
+  /// Root-only: allow or forbid unprivileged use of a restricted API on one
+  /// device (nvmlDeviceSetAPIRestriction). Backends that have no privilege
+  /// concept return not_supported.
+  virtual common::status set_api_restriction(const user_context& caller, std::size_t index,
+                                             restricted_api api, bool restricted) = 0;
+
+  /// Whether `api` is currently restricted to root on device `index`.
+  [[nodiscard]] virtual common::result<bool> api_restricted(std::size_t index,
+                                                            restricted_api api) const = 0;
+
+  /// Root-only hard clock bounds that application clocks cannot override
+  /// (paper Sec. 7.1: min/max clock privileges cannot be lowered).
+  virtual common::status set_clock_bounds(const user_context& caller, std::size_t index,
+                                          common::megahertz lo, common::megahertz hi) = 0;
+  virtual common::status clear_clock_bounds(const user_context& caller, std::size_t index) = 0;
+
+  /// Sensor-modelled board power draw at the device's current virtual time.
+  [[nodiscard]] virtual common::result<common::watts> power_usage(std::size_t index) const = 0;
+
+  /// Cumulative energy counter in joules (nvmlDeviceGetTotalEnergyConsumption);
+  /// not all backends support it.
+  [[nodiscard]] virtual common::result<common::joules> total_energy(std::size_t index) const = 0;
+
+  /// Direct access to the underlying simulated board (the emulation
+  /// equivalent of "the physical GPU"; used by the runtime to execute
+  /// kernels, never by the SYnergy energy API).
+  [[nodiscard]] virtual std::shared_ptr<gpusim::device> board(std::size_t index) const = 0;
+};
+
+/// Shared plumbing for the emulated backends.
+class management_library_base : public management_library {
+ public:
+  explicit management_library_base(std::vector<std::shared_ptr<gpusim::device>> boards,
+                                   sensor_model sensor = {});
+
+  common::status init() override;
+  common::status shutdown() override;
+  [[nodiscard]] std::size_t device_count() const override;
+  [[nodiscard]] common::result<std::string> device_name(std::size_t index) const override;
+  [[nodiscard]] common::result<std::vector<common::megahertz>> supported_memory_clocks(
+      std::size_t index) const override;
+  [[nodiscard]] common::result<std::vector<common::megahertz>> supported_core_clocks(
+      std::size_t index, common::megahertz memory_clock) const override;
+  [[nodiscard]] common::result<common::frequency_config> application_clocks(
+      std::size_t index) const override;
+  [[nodiscard]] common::result<common::watts> power_usage(std::size_t index) const override;
+  [[nodiscard]] std::shared_ptr<gpusim::device> board(std::size_t index) const override;
+
+ protected:
+  /// errc::uninitialized / errc::not_found guard shared by every entry point.
+  [[nodiscard]] common::status check_index(std::size_t index) const;
+  [[nodiscard]] bool initialized() const { return initialized_; }
+  [[nodiscard]] const sensor_model& sensor() const { return sensor_; }
+
+ private:
+  std::vector<std::shared_ptr<gpusim::device>> boards_;
+  sensor_model sensor_;
+  bool initialized_{false};
+};
+
+/// Create the appropriate emulated backend (NVML for NVIDIA boards, ROCm SMI
+/// for AMD). All boards passed in must share one vendor.
+[[nodiscard]] std::unique_ptr<management_library> make_management_library(
+    std::vector<std::shared_ptr<gpusim::device>> boards, sensor_model sensor = {});
+
+}  // namespace synergy::vendor

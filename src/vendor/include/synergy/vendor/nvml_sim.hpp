@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file nvml_sim.hpp
+/// Emulated NVIDIA Management Library.
+///
+/// Reproduces the NVML behaviours SYnergy depends on (paper Secs. 2.1, 4.4,
+/// 7.1):
+///  - application clocks settable only from the supported clock table;
+///  - setApplicationClocks restricted to root unless the restriction has been
+///    lifted per device via setAPIRestriction (root-only), which is exactly
+///    the mechanism the SLURM nvgpufreq plugin toggles in its prologue;
+///  - root-only hard min/max locked clocks whose privilege can never be
+///    lowered;
+///  - a cumulative energy counter (nvmlDeviceGetTotalEnergyConsumption);
+///  - each set-application-clocks call costs a fixed driver latency on the
+///    device timeline, the overhead the paper measures growing with the
+///    number of submitted kernels (Sec. 4.4).
+
+#include <mutex>
+
+#include "synergy/vendor/management_library.hpp"
+
+namespace synergy::vendor {
+
+/// NVML emulation over one or more simulated NVIDIA boards.
+class nvml_sim final : public management_library_base {
+ public:
+  /// Wall-time cost charged to the device timeline per clock change
+  /// (driver ioctl + PLL relock; sub-millisecond on data-centre parts, but
+  /// large enough that per-kernel retuning of very short kernels hurts —
+  /// the overhead the paper reports growing with submitted kernels,
+  /// Sec. 4.4).
+  static constexpr common::seconds clock_set_latency{0.0002};
+
+  explicit nvml_sim(std::vector<std::shared_ptr<gpusim::device>> boards,
+                    sensor_model sensor = {});
+
+  [[nodiscard]] std::string backend_name() const override { return "NVML"; }
+
+  common::status set_application_clocks(const user_context& caller, std::size_t index,
+                                        common::frequency_config config) override;
+  common::status reset_application_clocks(const user_context& caller,
+                                          std::size_t index) override;
+  common::status set_api_restriction(const user_context& caller, std::size_t index,
+                                     restricted_api api, bool restricted) override;
+  [[nodiscard]] common::result<bool> api_restricted(std::size_t index,
+                                                    restricted_api api) const override;
+  common::status set_clock_bounds(const user_context& caller, std::size_t index,
+                                  common::megahertz lo, common::megahertz hi) override;
+  common::status clear_clock_bounds(const user_context& caller, std::size_t index) override;
+  [[nodiscard]] common::result<common::joules> total_energy(std::size_t index) const override;
+
+  /// Number of successful application-clock changes (overhead accounting).
+  [[nodiscard]] std::size_t clock_change_count() const {
+    std::scoped_lock lock(mutex_);
+    return clock_changes_;
+  }
+
+  /// nvmlDeviceSetPowerManagementLimit: root-only board power cap. The
+  /// emulation enforces it by locking the core-clock upper bound to the
+  /// largest clock whose worst-case power fits the limit (what the firmware
+  /// achieves by throttling). Limits outside [idle, TDP] are rejected.
+  common::status set_power_limit(const user_context& caller, std::size_t index,
+                                 double limit_w);
+
+  /// Restore the default (TDP) power limit.
+  common::status reset_power_limit(const user_context& caller, std::size_t index);
+
+  /// Current power limit (TDP when unset).
+  [[nodiscard]] common::result<double> power_limit(std::size_t index) const;
+
+ private:
+  [[nodiscard]] common::status check_clock_permission(const user_context& caller,
+                                                      std::size_t index) const;
+
+  /// Guards the restriction flags and counters: one NVML session is shared
+  /// by every thread of a node (MPI ranks, the sampling thread).
+  mutable std::mutex mutex_;
+  std::vector<bool> app_clock_restricted_;  ///< per device, default true
+  std::vector<double> power_limit_w_;       ///< per device; 0 = default (TDP)
+  std::size_t clock_changes_{0};
+};
+
+}  // namespace synergy::vendor

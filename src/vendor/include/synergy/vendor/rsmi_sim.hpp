@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file rsmi_sim.hpp
+/// Emulated AMD ROCm System Management Interface.
+///
+/// Captures the ROCm-SMI quirks that matter for SYnergy's portability story
+/// (paper Secs. 2.1, 8.2):
+///  - the core clock is selected from a small table of discrete performance
+///    levels (16 on MI100) rather than a fine-grained clock list;
+///  - there is no per-API restriction mechanism: writability follows sysfs
+///    file permissions, modelled as a single library-wide writable flag;
+///  - there is no cumulative energy counter on MI100-class parts, so energy
+///    must be obtained by integrating power samples (total_energy returns
+///    not_supported);
+///  - with auto-DVFS the "default" operating point is the top performance
+///    level for compute workloads, which is why no configuration beats the
+///    default on MI100 in the paper's Fig. 8.
+
+#include "synergy/vendor/management_library.hpp"
+
+namespace synergy::vendor {
+
+/// ROCm SMI emulation over one or more simulated AMD boards.
+class rsmi_sim final : public management_library_base {
+ public:
+  /// Clock-change latency on AMD parts (sysfs write, cheaper than NVML).
+  static constexpr common::seconds clock_set_latency{0.0001};
+
+  explicit rsmi_sim(std::vector<std::shared_ptr<gpusim::device>> boards,
+                    sensor_model sensor = {});
+
+  [[nodiscard]] std::string backend_name() const override { return "ROCm SMI"; }
+
+  common::status set_application_clocks(const user_context& caller, std::size_t index,
+                                        common::frequency_config config) override;
+  common::status reset_application_clocks(const user_context& caller,
+                                          std::size_t index) override;
+  common::status set_api_restriction(const user_context& caller, std::size_t index,
+                                     restricted_api api, bool restricted) override;
+  [[nodiscard]] common::result<bool> api_restricted(std::size_t index,
+                                                    restricted_api api) const override;
+  common::status set_clock_bounds(const user_context& caller, std::size_t index,
+                                  common::megahertz lo, common::megahertz hi) override;
+  common::status clear_clock_bounds(const user_context& caller, std::size_t index) override;
+  [[nodiscard]] common::result<common::joules> total_energy(std::size_t index) const override;
+
+  /// Select a performance level by index into the sclk table (rsmi-style).
+  common::status set_perf_level(const user_context& caller, std::size_t index,
+                                std::size_t level);
+
+  /// Whether the sysfs clock files are writable by non-root users.
+  void set_sysfs_writable(bool writable) { sysfs_writable_ = writable; }
+
+ private:
+  [[nodiscard]] common::status check_write(const user_context& caller,
+                                           std::size_t index) const;
+  bool sysfs_writable_{false};
+};
+
+}  // namespace synergy::vendor

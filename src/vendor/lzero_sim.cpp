@@ -1,0 +1,102 @@
+#include "synergy/vendor/lzero_sim.hpp"
+
+namespace synergy::vendor {
+
+using common::errc;
+using common::error;
+using common::frequency_config;
+using common::joules;
+using common::megahertz;
+using common::result;
+using common::status;
+
+lzero_sim::lzero_sim(std::vector<std::shared_ptr<gpusim::device>> boards, sensor_model sensor)
+    : management_library_base(std::move(boards), sensor) {}
+
+status lzero_sim::check_sysman(const user_context& caller, std::size_t index) const {
+  if (auto st = check_index(index); !st) return st;
+  std::scoped_lock lock(mutex_);
+  if (!caller.is_root() && !sysman_enabled_)
+    return error{errc::no_permission,
+                 "Sysman is not enabled for this user (ZES_ENABLE_SYSMAN / udev rules)"};
+  return status::success();
+}
+
+status lzero_sim::set_application_clocks(const user_context& caller, std::size_t index,
+                                         frequency_config config) {
+  // Level Zero has no "application clocks": a pinned frequency is a
+  // degenerate range [f, f].
+  if (auto st = check_index(index); !st) return st;
+  auto dev = board(index);
+  if (config.memory != dev->spec().memory_clock)
+    return error{errc::invalid_argument, "unsupported memory clock"};
+  return set_frequency_range(caller, index, config.core, config.core);
+}
+
+status lzero_sim::reset_application_clocks(const user_context& caller, std::size_t index) {
+  if (auto st = check_sysman(caller, index); !st) return st;
+  auto dev = board(index);
+  dev->reset_core_clock();
+  dev->advance_idle(clock_set_latency);
+  return status::success();
+}
+
+status lzero_sim::set_api_restriction(const user_context&, std::size_t index, restricted_api,
+                                      bool) {
+  if (auto st = check_index(index); !st) return st;
+  return error{errc::not_supported,
+               "Level Zero gates management through Sysman, not per-API restrictions"};
+}
+
+result<bool> lzero_sim::api_restricted(std::size_t index, restricted_api) const {
+  if (auto st = check_index(index); !st) return st.err();
+  return !sysman_enabled();
+}
+
+status lzero_sim::set_clock_bounds(const user_context& caller, std::size_t index, megahertz lo,
+                                   megahertz hi) {
+  if (auto st = check_index(index); !st) return st;
+  if (!caller.is_root()) return error{errc::no_permission, "hard bounds require root"};
+  return board(index)->set_clock_bounds(lo, hi);
+}
+
+status lzero_sim::clear_clock_bounds(const user_context& caller, std::size_t index) {
+  if (auto st = check_index(index); !st) return st;
+  if (!caller.is_root()) return error{errc::no_permission, "hard bounds require root"};
+  board(index)->clear_clock_bounds();
+  return status::success();
+}
+
+result<joules> lzero_sim::total_energy(std::size_t index) const {
+  if (auto st = check_index(index); !st) return st.err();
+  // zesPowerGetEnergyCounter: microjoule-resolution cumulative counter.
+  return board(index)->total_energy();
+}
+
+status lzero_sim::set_frequency_range(const user_context& caller, std::size_t index,
+                                      megahertz lo, megahertz hi) {
+  if (auto st = check_sysman(caller, index); !st) return st;
+  if (lo > hi) return error{errc::invalid_argument, "inverted frequency range"};
+  auto dev = board(index);
+  const auto& spec = dev->spec();
+  // Snap the request into the supported table: the device runs at the
+  // highest supported clock inside [lo, hi].
+  megahertz chosen = spec.min_core_clock();
+  bool found = false;
+  for (const megahertz f : spec.core_clocks) {
+    if (f.value >= lo.value - 1e-9 && f.value <= hi.value + 1e-9) {
+      chosen = f;
+      found = true;
+    }
+  }
+  if (!found) {
+    // Empty intersection: clamp to the nearest supported clock, as the
+    // driver clamps out-of-range requests.
+    chosen = spec.nearest_core_clock(megahertz{0.5 * (lo.value + hi.value)});
+  }
+  const status st = dev->set_core_clock(chosen);
+  if (st) dev->advance_idle(clock_set_latency);
+  return st;
+}
+
+}  // namespace synergy::vendor

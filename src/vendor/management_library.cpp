@@ -1,0 +1,106 @@
+#include "synergy/vendor/management_library.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "synergy/vendor/nvml_sim.hpp"
+#include "synergy/vendor/lzero_sim.hpp"
+#include "synergy/vendor/rsmi_sim.hpp"
+
+namespace synergy::vendor {
+
+using common::errc;
+using common::error;
+using common::frequency_config;
+using common::megahertz;
+using common::result;
+using common::status;
+using common::watts;
+
+management_library_base::management_library_base(
+    std::vector<std::shared_ptr<gpusim::device>> boards, sensor_model sensor)
+    : boards_(std::move(boards)), sensor_(sensor) {}
+
+status management_library_base::init() {
+  initialized_ = true;
+  return status::success();
+}
+
+status management_library_base::shutdown() {
+  initialized_ = false;
+  return status::success();
+}
+
+std::size_t management_library_base::device_count() const { return boards_.size(); }
+
+status management_library_base::check_index(std::size_t index) const {
+  if (!initialized_) return error{errc::uninitialized, "library not initialised"};
+  if (index >= boards_.size())
+    return error{errc::not_found, "device index " + std::to_string(index) + " out of range"};
+  return status::success();
+}
+
+result<std::string> management_library_base::device_name(std::size_t index) const {
+  if (auto st = check_index(index); !st) return st.err();
+  return boards_[index]->spec().name;
+}
+
+result<std::vector<megahertz>> management_library_base::supported_memory_clocks(
+    std::size_t index) const {
+  if (auto st = check_index(index); !st) return st.err();
+  return boards_[index]->spec().supported_memory_clocks();
+}
+
+result<std::vector<megahertz>> management_library_base::supported_core_clocks(
+    std::size_t index, megahertz memory_clock) const {
+  if (auto st = check_index(index); !st) return st.err();
+  const auto& spec = boards_[index]->spec();
+  if (!spec.supports_memory_clock(memory_clock))
+    return error{errc::invalid_argument, "unsupported memory clock"};
+  return spec.core_clocks;
+}
+
+result<frequency_config> management_library_base::application_clocks(std::size_t index) const {
+  if (auto st = check_index(index); !st) return st.err();
+  return boards_[index]->current_config();
+}
+
+result<watts> management_library_base::power_usage(std::size_t index) const {
+  if (auto st = check_index(index); !st) return st.err();
+  const auto& dev = *boards_[index];
+  // Sensor quantisation: the reported value refreshes only every
+  // update_interval and averages over the trailing window.
+  const double now = dev.now().value;
+  const double interval = sensor_.update_interval.value;
+  const double quantised = interval > 0.0 ? std::floor(now / interval) * interval : now;
+  if (quantised <= 0.0) return dev.instantaneous_power();
+  return dev.energy_between(common::seconds{std::max(0.0, quantised - sensor_.window.value)},
+                            common::seconds{quantised}) /
+         common::seconds{std::min(quantised, sensor_.window.value)};
+}
+
+std::shared_ptr<gpusim::device> management_library_base::board(std::size_t index) const {
+  if (index >= boards_.size()) return nullptr;
+  return boards_[index];
+}
+
+std::unique_ptr<management_library> make_management_library(
+    std::vector<std::shared_ptr<gpusim::device>> boards, sensor_model sensor) {
+  if (boards.empty()) throw std::invalid_argument("no boards");
+  const gpusim::vendor_kind kind = boards.front()->spec().vendor;
+  for (const auto& b : boards)
+    if (b->spec().vendor != kind)
+      throw std::invalid_argument("boards of mixed vendors in one management library");
+  switch (kind) {
+    case gpusim::vendor_kind::nvidia:
+      return std::make_unique<nvml_sim>(std::move(boards), sensor);
+    case gpusim::vendor_kind::amd:
+      return std::make_unique<rsmi_sim>(std::move(boards), sensor);
+    case gpusim::vendor_kind::intel:
+      return std::make_unique<lzero_sim>(std::move(boards), sensor);
+  }
+  throw std::logic_error("unreachable vendor kind");
+}
+
+}  // namespace synergy::vendor

@@ -1,0 +1,132 @@
+#include "synergy/vendor/nvml_sim.hpp"
+
+namespace synergy::vendor {
+
+using common::errc;
+using common::error;
+using common::frequency_config;
+using common::joules;
+using common::megahertz;
+using common::result;
+using common::status;
+
+nvml_sim::nvml_sim(std::vector<std::shared_ptr<gpusim::device>> boards, sensor_model sensor)
+    : management_library_base(std::move(boards), sensor) {
+  app_clock_restricted_.assign(device_count(), true);
+  power_limit_w_.assign(device_count(), 0.0);
+}
+
+status nvml_sim::set_power_limit(const user_context& caller, std::size_t index,
+                                 double limit_w) {
+  if (auto st = check_index(index); !st) return st;
+  if (!caller.is_root())
+    return error{errc::no_permission, "setPowerManagementLimit requires root"};
+  auto dev = board(index);
+  const auto& spec = dev->spec();
+  if (limit_w < spec.idle_power_w || limit_w > spec.max_board_power_w)
+    return error{errc::invalid_argument, "power limit outside [idle, TDP]"};
+  // Firmware realises the cap by throttling: lock the clock ceiling to the
+  // fastest clock whose worst-case power fits the limit.
+  const auto ceiling = gpusim::max_core_clock_under_cap(spec, limit_w);
+  if (auto st = dev->set_clock_bounds(spec.min_core_clock(), ceiling); !st) return st;
+  std::scoped_lock lock(mutex_);
+  power_limit_w_[index] = limit_w;
+  return status::success();
+}
+
+status nvml_sim::reset_power_limit(const user_context& caller, std::size_t index) {
+  if (auto st = check_index(index); !st) return st;
+  if (!caller.is_root())
+    return error{errc::no_permission, "setPowerManagementLimit requires root"};
+  board(index)->clear_clock_bounds();
+  std::scoped_lock lock(mutex_);
+  power_limit_w_[index] = 0.0;
+  return status::success();
+}
+
+result<double> nvml_sim::power_limit(std::size_t index) const {
+  if (auto st = check_index(index); !st) return st.err();
+  std::scoped_lock lock(mutex_);
+  const double limit = power_limit_w_[index];
+  return limit > 0.0 ? limit : board(index)->spec().max_board_power_w;
+}
+
+status nvml_sim::check_clock_permission(const user_context& caller, std::size_t index) const {
+  if (auto st = check_index(index); !st) return st;
+  std::scoped_lock lock(mutex_);
+  if (!caller.is_root() && app_clock_restricted_[index])
+    return error{errc::no_permission,
+                 "application clocks are restricted to root on device " + std::to_string(index)};
+  return status::success();
+}
+
+status nvml_sim::set_application_clocks(const user_context& caller, std::size_t index,
+                                        frequency_config config) {
+  if (auto st = check_clock_permission(caller, index); !st) return st;
+  auto dev = board(index);
+  if (!dev->spec().supports_memory_clock(config.memory))
+    return error{errc::invalid_argument, "unsupported memory clock"};
+  const status st = dev->set_application_clocks(config);
+  if (st) {
+    // The driver round-trip is real time the device spends before the next
+    // kernel can launch; the paper measures this overhead growing with the
+    // number of submitted kernels (Sec. 4.4).
+    dev->advance_idle(clock_set_latency);
+    std::scoped_lock lock(mutex_);
+    ++clock_changes_;
+  }
+  return st;
+}
+
+status nvml_sim::reset_application_clocks(const user_context& caller, std::size_t index) {
+  if (auto st = check_clock_permission(caller, index); !st) return st;
+  auto dev = board(index);
+  dev->reset_core_clock();
+  dev->advance_idle(clock_set_latency);
+  std::scoped_lock lock(mutex_);
+  ++clock_changes_;
+  return status::success();
+}
+
+status nvml_sim::set_api_restriction(const user_context& caller, std::size_t index,
+                                     restricted_api api, bool restricted) {
+  if (auto st = check_index(index); !st) return st;
+  if (!caller.is_root())
+    return error{errc::no_permission, "setAPIRestriction requires root"};
+  if (api != restricted_api::set_application_clocks)
+    return error{errc::not_supported, "unsupported restricted API"};
+  std::scoped_lock lock(mutex_);
+  app_clock_restricted_[index] = restricted;
+  return status::success();
+}
+
+result<bool> nvml_sim::api_restricted(std::size_t index, restricted_api api) const {
+  if (auto st = check_index(index); !st) return st.err();
+  if (api != restricted_api::set_application_clocks)
+    return error{errc::not_supported, "unsupported restricted API"};
+  std::scoped_lock lock(mutex_);
+  return static_cast<bool>(app_clock_restricted_[index]);
+}
+
+status nvml_sim::set_clock_bounds(const user_context& caller, std::size_t index, megahertz lo,
+                                  megahertz hi) {
+  if (auto st = check_index(index); !st) return st;
+  // Hard bounds are root-only and their privilege cannot be lowered
+  // (paper Sec. 7.1).
+  if (!caller.is_root()) return error{errc::no_permission, "locked clocks require root"};
+  return board(index)->set_clock_bounds(lo, hi);
+}
+
+status nvml_sim::clear_clock_bounds(const user_context& caller, std::size_t index) {
+  if (auto st = check_index(index); !st) return st;
+  if (!caller.is_root()) return error{errc::no_permission, "locked clocks require root"};
+  board(index)->clear_clock_bounds();
+  return status::success();
+}
+
+result<joules> nvml_sim::total_energy(std::size_t index) const {
+  if (auto st = check_index(index); !st) return st.err();
+  return board(index)->total_energy();
+}
+
+}  // namespace synergy::vendor

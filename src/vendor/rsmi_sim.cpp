@@ -1,0 +1,88 @@
+#include "synergy/vendor/rsmi_sim.hpp"
+
+namespace synergy::vendor {
+
+using common::errc;
+using common::error;
+using common::frequency_config;
+using common::joules;
+using common::megahertz;
+using common::result;
+using common::status;
+
+rsmi_sim::rsmi_sim(std::vector<std::shared_ptr<gpusim::device>> boards, sensor_model sensor)
+    : management_library_base(std::move(boards), sensor) {}
+
+status rsmi_sim::check_write(const user_context& caller, std::size_t index) const {
+  if (auto st = check_index(index); !st) return st;
+  if (!caller.is_root() && !sysfs_writable_)
+    return error{errc::no_permission, "sclk sysfs files are not writable by this user"};
+  return status::success();
+}
+
+status rsmi_sim::set_application_clocks(const user_context& caller, std::size_t index,
+                                        frequency_config config) {
+  if (auto st = check_write(caller, index); !st) return st;
+  auto dev = board(index);
+  if (config.memory != dev->spec().memory_clock)
+    return error{errc::invalid_argument, "unsupported memory clock"};
+  // ROCm SMI exposes discrete performance levels; arbitrary clocks snap to
+  // the nearest level instead of failing, which is sysfs behaviour.
+  const megahertz snapped = dev->spec().nearest_core_clock(config.core);
+  const status st = dev->set_core_clock(snapped);
+  if (st) dev->advance_idle(clock_set_latency);
+  return st;
+}
+
+status rsmi_sim::reset_application_clocks(const user_context& caller, std::size_t index) {
+  if (auto st = check_write(caller, index); !st) return st;
+  auto dev = board(index);
+  dev->reset_core_clock();
+  dev->advance_idle(clock_set_latency);
+  return status::success();
+}
+
+status rsmi_sim::set_api_restriction(const user_context&, std::size_t index, restricted_api,
+                                     bool) {
+  if (auto st = check_index(index); !st) return st;
+  return error{errc::not_supported, "ROCm SMI has no per-API restriction mechanism"};
+}
+
+result<bool> rsmi_sim::api_restricted(std::size_t index, restricted_api) const {
+  if (auto st = check_index(index); !st) return st.err();
+  return !sysfs_writable_;
+}
+
+status rsmi_sim::set_clock_bounds(const user_context& caller, std::size_t index, megahertz lo,
+                                  megahertz hi) {
+  if (auto st = check_index(index); !st) return st;
+  if (!caller.is_root()) return error{errc::no_permission, "clock bounds require root"};
+  return board(index)->set_clock_bounds(lo, hi);
+}
+
+status rsmi_sim::clear_clock_bounds(const user_context& caller, std::size_t index) {
+  if (auto st = check_index(index); !st) return st;
+  if (!caller.is_root()) return error{errc::no_permission, "clock bounds require root"};
+  board(index)->clear_clock_bounds();
+  return status::success();
+}
+
+result<joules> rsmi_sim::total_energy(std::size_t index) const {
+  if (auto st = check_index(index); !st) return st.err();
+  return error{errc::not_supported,
+               "MI100-class parts expose no cumulative energy counter; integrate power samples"};
+}
+
+status rsmi_sim::set_perf_level(const user_context& caller, std::size_t index,
+                                std::size_t level) {
+  if (auto st = check_write(caller, index); !st) return st;
+  auto dev = board(index);
+  const auto& clocks = dev->spec().core_clocks;
+  if (level >= clocks.size())
+    return error{errc::invalid_argument, "performance level out of range"};
+  const status st = dev->set_core_clock(clocks[level]);
+  if (st) dev->advance_idle(clock_set_latency);
+  return st;
+}
+
+}  // namespace synergy::vendor

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file apps_common.hpp
+/// Internal per-rank harness shared by the CloverLeaf and MiniWeather
+/// mini-apps: one simulated GPU + SYnergy queue per MPI rank, virtual-time
+/// charging for kernels, and scaled halo exchange.
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "minimpi/minimpi.hpp"
+#include "synergy/queue.hpp"
+#include "synergy/workloads/apps.hpp"
+
+namespace synergy::workloads::apps::detail {
+
+/// Per-rank execution state: device, context, queue, and MPI communicator.
+struct rank_harness {
+  rank_harness(minimpi::communicator& comm_, const app_config& config,
+               const std::optional<metrics::target>& tuning)
+      : comm(comm_),
+        dev(config.gpus.empty()
+                ? simsycl::device{gpusim::make_device_spec(config.device)}
+                : config.gpus.at(static_cast<std::size_t>(comm_.rank())).device),
+        ctx(config.gpus.empty()
+                ? std::make_shared<synergy::context>(std::vector<simsycl::device>{dev})
+                : config.gpus.at(static_cast<std::size_t>(comm_.rank())).ctx),
+        energy_at_start(dev.board()->total_energy().value),
+        kernels_at_start(dev.board()->kernels_executed()),
+        queue(dev, ctx) {
+    if (tuning) queue.set_target(*tuning);
+  }
+
+  /// Run a submission and charge the rank's clock with the device time it
+  /// consumed (kernel execution plus any clock-change latency).
+  template <typename SubmitFn>
+  void launch(SubmitFn&& submit_fn) {
+    const double t0 = dev.board()->now().value;
+    std::forward<SubmitFn>(submit_fn)(queue);
+    comm.charge(dev.board()->now().value - t0);
+  }
+
+  /// Exchange one halo row with up/down neighbours (1-D decomposition).
+  /// `virtual_row_bytes` is the wire size at GPU scale.
+  void exchange_rows(std::vector<float>& field, std::size_t nx, std::size_t ny,
+                     std::size_t virtual_row_bytes, int tag) {
+    const int up = comm.rank() - 1;    // owns rows above us
+    const int down = comm.rank() + 1;  // owns rows below us
+    // Row layout: row 0 = top halo, rows 1..ny = interior, row ny+1 = bottom halo.
+    if (up >= 0) {
+      comm.sendrecv<float>(up, tag, {field.data() + nx, nx}, {field.data(), nx},
+                           virtual_row_bytes);
+    }
+    if (down < comm.size()) {
+      comm.sendrecv<float>(down, tag, {field.data() + ny * nx, nx},
+                           {field.data() + (ny + 1) * nx, nx}, virtual_row_bytes);
+    }
+  }
+
+  /// Energy / kernel counts attributable to this run (pre-existing device
+  /// history from earlier jobs is excluded).
+  [[nodiscard]] double device_energy() const {
+    return dev.board()->total_energy().value - energy_at_start;
+  }
+  [[nodiscard]] std::size_t kernels() const {
+    return dev.board()->kernels_executed() - kernels_at_start;
+  }
+
+  minimpi::communicator& comm;
+  simsycl::device dev;
+  std::shared_ptr<synergy::context> ctx;
+  double energy_at_start{0.0};
+  std::size_t kernels_at_start{0};
+  synergy::queue queue;
+};
+
+/// Virtual halo-row size: the real per-rank grid (nx * ny) stands in for a
+/// virtual grid scaled by work_multiplier; a halo row scales by sqrt of it.
+inline std::size_t virtual_row_bytes(const app_config& config) {
+  const double scale = std::sqrt(config.work_multiplier);
+  return static_cast<std::size_t>(static_cast<double>(config.nx) * scale * sizeof(float));
+}
+
+}  // namespace synergy::workloads::apps::detail

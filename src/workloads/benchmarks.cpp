@@ -1,0 +1,746 @@
+#include "synergy/workloads/benchmark.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "synergy/common/rng.hpp"
+#include "synergy/features/extraction.hpp"
+#include "synergy/workloads/kernels.hpp"
+
+namespace synergy::workloads {
+
+namespace {
+
+using features::counted;
+using features::counting_array;
+using features::counting_local;
+using simsycl::access_mode;
+using simsycl::accessor;
+using simsycl::buffer;
+using simsycl::handler;
+using simsycl::id;
+using simsycl::item;
+using simsycl::kernel_info;
+using simsycl::range;
+
+/// Deterministic pseudo-random host data in (lo, hi).
+std::vector<float> random_data(std::size_t n, double lo, double hi, std::uint64_t seed) {
+  common::pcg32 rng{seed};
+  std::vector<float> out(n);
+  for (auto& v : out) v = static_cast<float>(rng.uniform(lo, hi));
+  return out;
+}
+
+/// Shared helper: fill a kernel_info from a probe + hints.
+template <typename Probe>
+kernel_info make_info(const char* name, Probe&& probe, double cache_hit, double coalescing,
+                      double compute_eff, double work_multiplier) {
+  kernel_info info;
+  info.name = name;
+  info.features = features::extract_features(std::forward<Probe>(probe));
+  info.cache_hit_rate = cache_hit;
+  info.coalescing_efficiency = coalescing;
+  info.compute_efficiency = compute_eff;
+  info.work_multiplier = work_multiplier;
+  return info;
+}
+
+// ---------------------------------------------------------- 1-D benchmarks ----
+
+benchmark make_vec_add() {
+  benchmark b;
+  b.name = "vec_add";
+  b.real_items = 8192;
+  b.info = make_info(
+      "vec_add",
+      [] {
+        counting_array<float> x, y, z;
+        vec_add_body::item(0, x, y, z);
+      },
+      /*cache_hit=*/0.0, /*coalescing=*/0.95, /*compute_eff=*/0.8, /*multiplier=*/2048.0);
+  const auto info = b.info;
+  const auto n = b.real_items;
+  b.run = [info, n](synergy::queue& q) {
+    auto xh = random_data(n, -1, 1, 1);
+    auto yh = random_data(n, -1, 1, 2);
+    std::vector<float> zh(n, 0.0f);
+    buffer<float> x{xh}, y{yh}, z{zh};
+    return q.submit([&](handler& h) {
+      accessor<float, 1, access_mode::read> xa{x, h};
+      accessor<float, 1, access_mode::read> ya{y, h};
+      accessor<float, 1, access_mode::write> za{z, h};
+      h.parallel_for(range<1>{n}, info, [=](id<1> i) { vec_add_body::item(i, xa, ya, za); });
+    });
+  };
+  return b;
+}
+
+benchmark make_scalar_prod() {
+  benchmark b;
+  b.name = "scalar_prod";
+  b.real_items = 2048;
+  b.info = make_info(
+      "scalar_prod",
+      [] {
+        counting_array<float> x, y, partial;
+        scalar_prod_body::item<counted<float>>(0, x, y, partial);
+      },
+      0.0, 0.95, 0.8, 2048.0);
+  const auto info = b.info;
+  const auto n = b.real_items;
+  b.run = [info, n](synergy::queue& q) {
+    auto xh = random_data(n * scalar_prod_body::chunk, -1, 1, 3);
+    auto yh = random_data(n * scalar_prod_body::chunk, -1, 1, 4);
+    std::vector<float> ph(n, 0.0f);
+    buffer<float> x{xh}, y{yh}, p{ph};
+    return q.submit([&](handler& h) {
+      accessor<float, 1, access_mode::read> xa{x, h};
+      accessor<float, 1, access_mode::read> ya{y, h};
+      accessor<float, 1, access_mode::write> pa{p, h};
+      h.parallel_for(range<1>{n}, info,
+                     [=](id<1> i) { scalar_prod_body::item<float>(i, xa, ya, pa); });
+    });
+  };
+  return b;
+}
+
+benchmark make_mat_mul() {
+  constexpr std::size_t dim = 48;
+  benchmark b;
+  b.name = "mat_mul";
+  b.real_items = dim * dim;
+  b.info = make_info(
+      "mat_mul",
+      [] {
+        counting_array<float> a, bb, c;
+        mat_mul_body::item<counted<float>>(0, 0, dim, a, bb, c);
+      },
+      // Naive matmul: B columns thrash (poor coalescing), rows get L2 hits.
+      0.35, 0.6, 0.7, 2048.0);
+  const auto info = b.info;
+  b.run = [info](synergy::queue& q) {
+    auto ah = random_data(dim * dim, -1, 1, 5);
+    auto bh = random_data(dim * dim, -1, 1, 6);
+    std::vector<float> ch(dim * dim, 0.0f);
+    buffer<float> a{ah}, bb{bh}, c{ch};
+    return q.submit([&](handler& h) {
+      accessor<float, 1, access_mode::read> aa{a, h};
+      accessor<float, 1, access_mode::read> ba{bb, h};
+      accessor<float, 1, access_mode::write> ca{c, h};
+      h.parallel_for(range<2>{dim, dim}, info, [=](item<2> it) {
+        mat_mul_body::item<float>(it.get_id(0), it.get_id(1), dim, aa, ba, ca);
+      });
+    });
+  };
+  return b;
+}
+
+benchmark make_black_scholes() {
+  benchmark b;
+  b.name = "black_scholes";
+  b.real_items = 4096;
+  b.info = make_info(
+      "black_scholes",
+      [] {
+        counting_array<float> price{4096, 100.0f}, strike{4096, 95.0f}, years{4096, 1.0f};
+        counting_array<float> call, put;
+        black_scholes_body::item<counted<float>>(0, price, strike, years, call, put);
+      },
+      0.0, 0.9, 0.8, 4096.0);
+  const auto info = b.info;
+  const auto n = b.real_items;
+  b.run = [info, n](synergy::queue& q) {
+    auto sh = random_data(n, 50, 150, 7);
+    auto kh = random_data(n, 50, 150, 8);
+    auto th = random_data(n, 0.2, 2.0, 9);
+    std::vector<float> callh(n, 0.0f), puth(n, 0.0f);
+    buffer<float> s{sh}, k{kh}, t{th}, call{callh}, put{puth};
+    return q.submit([&](handler& h) {
+      accessor<float, 1, access_mode::read> sa{s, h};
+      accessor<float, 1, access_mode::read> ka{k, h};
+      accessor<float, 1, access_mode::read> ta{t, h};
+      accessor<float, 1, access_mode::write> ca{call, h};
+      accessor<float, 1, access_mode::write> pa{put, h};
+      h.parallel_for(range<1>{n}, info, [=](id<1> i) {
+        black_scholes_body::item<float>(i, sa, ka, ta, ca, pa);
+      });
+    });
+  };
+  return b;
+}
+
+// ---------------------------------------------------------- image stencils ----
+
+template <int N>
+benchmark make_sobel(const char* name) {
+  constexpr std::size_t width = 64;
+  constexpr std::size_t height = 64;
+  benchmark b;
+  b.name = name;
+  b.real_items = width * height;
+  b.info = make_info(
+      name,
+      [] {
+        counting_array<float> in, out;
+        sobel_body<N>::template item<counted<float>>(8, 8, width, height, in, out);
+      },
+      // Stencils reuse their neighbourhood through cache (~1 DRAM read per
+      // pixel regardless of the window size).
+      0.9, 0.8, 0.78, 1024.0);
+  const auto info = b.info;
+  b.run = [info](synergy::queue& q) {
+    auto img = random_data(width * height, 0, 1, 10 + N);
+    std::vector<float> outh(width * height, 0.0f);
+    buffer<float> in{img}, out{outh};
+    return q.submit([&](handler& h) {
+      accessor<float, 1, access_mode::read> ia{in, h};
+      accessor<float, 1, access_mode::write> oa{out, h};
+      h.parallel_for(range<2>{height, width}, info, [=](item<2> it) {
+        sobel_body<N>::template item<float>(it.get_id(1), it.get_id(0), width, height, ia, oa);
+      });
+    });
+  };
+  return b;
+}
+
+benchmark make_median() {
+  constexpr std::size_t width = 64;
+  constexpr std::size_t height = 64;
+  benchmark b;
+  b.name = "median";
+  b.real_items = width * height;
+  b.info = make_info(
+      "median",
+      [] {
+        counting_array<float> in, out;
+        median_body::item<counted<float>>(8, 8, width, height, in, out);
+      },
+      // Byte-heavy window reads with less reuse than the separable Sobel
+      // masks: moderately memory-bound, so low clocks cost little time but
+      // save a lot of energy (paper Fig. 2b).
+      0.7, 0.8, 0.78, 1024.0);
+  const auto info = b.info;
+  b.run = [info](synergy::queue& q) {
+    auto img = random_data(width * height, 0, 1, 21);
+    std::vector<float> outh(width * height, 0.0f);
+    buffer<float> in{img}, out{outh};
+    return q.submit([&](handler& h) {
+      accessor<float, 1, access_mode::read> ia{in, h};
+      accessor<float, 1, access_mode::write> oa{out, h};
+      h.parallel_for(range<2>{height, width}, info, [=](item<2> it) {
+        median_body::item<float>(it.get_id(1), it.get_id(0), width, height, ia, oa);
+      });
+    });
+  };
+  return b;
+}
+
+benchmark make_susan() {
+  constexpr std::size_t width = 64;
+  constexpr std::size_t height = 64;
+  benchmark b;
+  b.name = "susan";
+  b.real_items = width * height;
+  b.info = make_info(
+      "susan",
+      [] {
+        counting_array<float> in, out;
+        susan_body::item<counted<float>>(8, 8, width, height, in, out);
+      },
+      0.9, 0.8, 0.78, 1024.0);
+  const auto info = b.info;
+  b.run = [info](synergy::queue& q) {
+    auto img = random_data(width * height, 0, 1, 22);
+    std::vector<float> outh(width * height, 0.0f);
+    buffer<float> in{img}, out{outh};
+    return q.submit([&](handler& h) {
+      accessor<float, 1, access_mode::read> ia{in, h};
+      accessor<float, 1, access_mode::write> oa{out, h};
+      h.parallel_for(range<2>{height, width}, info, [=](item<2> it) {
+        susan_body::item<float>(it.get_id(1), it.get_id(0), width, height, ia, oa);
+      });
+    });
+  };
+  return b;
+}
+
+// ----------------------------------------------------- regression / ML / MD ----
+
+benchmark make_lin_reg_coeff() {
+  benchmark b;
+  b.name = "lin_reg_coeff";
+  b.real_items = 2048;
+  b.info = make_info(
+      "lin_reg_coeff",
+      [] {
+        counting_array<float> x, y, sx, sy, sxx, sxy;
+        lin_reg_coeff_body::item<counted<float>>(0, x, y, sx, sy, sxx, sxy);
+      },
+      // Chunked sums stay resident in cache: strongly compute-bound, so
+      // low clocks are very slow and the energy headroom is small (paper
+      // Fig. 2a: little saving available, performance-sensitive).
+      0.97, 0.9, 0.8, 2048.0);
+  const auto info = b.info;
+  const auto n = b.real_items;
+  b.run = [info, n](synergy::queue& q) {
+    const std::size_t len = n * lin_reg_coeff_body::chunk;
+    auto xh = random_data(len, 0, 10, 23);
+    auto yh = random_data(len, 0, 10, 24);
+    std::vector<float> s1(n, 0.0f), s2(n, 0.0f), s3(n, 0.0f), s4(n, 0.0f);
+    buffer<float> x{xh}, y{yh}, sx{s1}, sy{s2}, sxx{s3}, sxy{s4};
+    return q.submit([&](handler& h) {
+      accessor<float, 1, access_mode::read> xa{x, h};
+      accessor<float, 1, access_mode::read> ya{y, h};
+      accessor<float, 1, access_mode::write> a1{sx, h};
+      accessor<float, 1, access_mode::write> a2{sy, h};
+      accessor<float, 1, access_mode::write> a3{sxx, h};
+      accessor<float, 1, access_mode::write> a4{sxy, h};
+      h.parallel_for(range<1>{n}, info, [=](id<1> i) {
+        lin_reg_coeff_body::item<float>(i, xa, ya, a1, a2, a3, a4);
+      });
+    });
+  };
+  return b;
+}
+
+benchmark make_lin_reg_error() {
+  benchmark b;
+  b.name = "lin_reg_error";
+  b.real_items = 2048;
+  b.info = make_info(
+      "lin_reg_error",
+      [] {
+        counting_array<float> x, y, err;
+        lin_reg_error_body::item<counted<float>>(0, x, y, counted<float>{2.0f},
+                                                 counted<float>{1.0f}, err);
+      },
+      0.95, 0.9, 0.8, 2048.0);
+  const auto info = b.info;
+  const auto n = b.real_items;
+  b.run = [info, n](synergy::queue& q) {
+    const std::size_t len = n * lin_reg_error_body::chunk;
+    auto xh = random_data(len, 0, 10, 25);
+    auto yh = random_data(len, 0, 10, 26);
+    std::vector<float> eh(n, 0.0f);
+    buffer<float> x{xh}, y{yh}, err{eh};
+    return q.submit([&](handler& h) {
+      accessor<float, 1, access_mode::read> xa{x, h};
+      accessor<float, 1, access_mode::read> ya{y, h};
+      accessor<float, 1, access_mode::write> ea{err, h};
+      h.parallel_for(range<1>{n}, info, [=](id<1> i) {
+        lin_reg_error_body::item<float>(i, xa, ya, 2.0f, 1.0f, ea);
+      });
+    });
+  };
+  return b;
+}
+
+benchmark make_kmeans() {
+  benchmark b;
+  b.name = "kmeans";
+  b.real_items = 4096;
+  b.info = make_info(
+      "kmeans",
+      [] {
+        counting_array<float> px, py, assignment;
+        counting_local<float> cx, cy;  // centroids live in local memory
+        kmeans_body::item<counted<float>>(0, px, py, cx, cy, assignment);
+      },
+      0.0, 0.9, 0.8, 2048.0);
+  const auto info = b.info;
+  const auto n = b.real_items;
+  b.run = [info, n](synergy::queue& q) {
+    auto pxh = random_data(n, -5, 5, 27);
+    auto pyh = random_data(n, -5, 5, 28);
+    std::vector<float> ah(n, 0.0f);
+    std::array<float, kmeans_body::k> cx{}, cy{};
+    for (std::size_t c = 0; c < kmeans_body::k; ++c) {
+      cx[c] = static_cast<float>(c) - 3.5f;
+      cy[c] = 3.5f - static_cast<float>(c);
+    }
+    buffer<float> px{pxh}, py{pyh}, assignment{ah};
+    return q.submit([&](handler& h) {
+      accessor<float, 1, access_mode::read> pxa{px, h};
+      accessor<float, 1, access_mode::read> pya{py, h};
+      accessor<float, 1, access_mode::write> aa{assignment, h};
+      h.parallel_for(range<1>{n}, info, [=](id<1> i) {
+        kmeans_body::item<float>(i, pxa, pya, cx, cy, aa);
+      });
+    });
+  };
+  return b;
+}
+
+benchmark make_knn() {
+  benchmark b;
+  b.name = "knn";
+  b.real_items = 2048;
+  b.info = make_info(
+      "knn",
+      [] {
+        counting_array<float> px, py, dist;
+        knn_body::item<counted<float>>(0, px, py, counted<float>{0.0f}, counted<float>{0.0f},
+                                       dist);
+      },
+      0.0, 0.9, 0.8, 2048.0);
+  const auto info = b.info;
+  const auto n = b.real_items;
+  b.run = [info, n](synergy::queue& q) {
+    const std::size_t len = n * knn_body::chunk;
+    auto pxh = random_data(len, -10, 10, 29);
+    auto pyh = random_data(len, -10, 10, 30);
+    std::vector<float> dh(len, 0.0f);
+    buffer<float> px{pxh}, py{pyh}, dist{dh};
+    return q.submit([&](handler& h) {
+      accessor<float, 1, access_mode::read> pxa{px, h};
+      accessor<float, 1, access_mode::read> pya{py, h};
+      accessor<float, 1, access_mode::write> da{dist, h};
+      h.parallel_for(range<1>{n}, info,
+                     [=](id<1> i) { knn_body::item<float>(i, pxa, pya, 1.5f, -0.5f, da); });
+    });
+  };
+  return b;
+}
+
+benchmark make_mol_dyn() {
+  benchmark b;
+  b.name = "mol_dyn";
+  b.real_items = 1024;
+  b.info = make_info(
+      "mol_dyn",
+      [] {
+        counting_array<float> pos, force;
+        counting_array<float> neigh;  // neighbour indices (gather)
+        mol_dyn_body::item<counted<float>>(0, pos, neigh, force);
+      },
+      // Gather access pattern: poor coalescing, decent cache reuse.
+      0.5, 0.35, 0.75, 2048.0);
+  const auto info = b.info;
+  const auto n = b.real_items;
+  b.run = [info, n](synergy::queue& q) {
+    auto posh = random_data(n, 0, 10, 31);
+    std::vector<float> neighh(n * mol_dyn_body::neighbours);
+    common::pcg32 rng{32};
+    for (auto& v : neighh) v = static_cast<float>(rng.bounded(static_cast<std::uint32_t>(n)));
+    std::vector<float> fh(n, 0.0f);
+    buffer<float> pos{posh}, neigh{neighh}, force{fh};
+    return q.submit([&](handler& h) {
+      accessor<float, 1, access_mode::read> pa{pos, h};
+      accessor<float, 1, access_mode::read> na{neigh, h};
+      accessor<float, 1, access_mode::write> fa{force, h};
+      h.parallel_for(range<1>{n}, info,
+                     [=](id<1> i) { mol_dyn_body::item<float>(i, pa, na, fa); });
+    });
+  };
+  return b;
+}
+
+benchmark make_nbody() {
+  benchmark b;
+  b.name = "nbody";
+  b.real_items = 2048;
+  b.info = make_info(
+      "nbody",
+      [] {
+        counting_array<float> px, py, mass, ax, ay;
+        nbody_body::item<counted<float>>(0, px, py, mass, ax, ay);
+      },
+      // The interaction chunk is shared by every item: near-perfect reuse;
+      // this is the compute-bound extreme of the suite.
+      0.95, 0.85, 0.82, 1024.0);
+  const auto info = b.info;
+  const auto n = b.real_items;
+  b.run = [info, n](synergy::queue& q) {
+    auto pxh = random_data(n, -1, 1, 33);
+    auto pyh = random_data(n, -1, 1, 34);
+    auto mh = random_data(n, 0.5, 2.0, 35);
+    std::vector<float> axh(n, 0.0f), ayh(n, 0.0f);
+    buffer<float> px{pxh}, py{pyh}, mass{mh}, ax{axh}, ay{ayh};
+    return q.submit([&](handler& h) {
+      accessor<float, 1, access_mode::read> pxa{px, h};
+      accessor<float, 1, access_mode::read> pya{py, h};
+      accessor<float, 1, access_mode::read> ma{mass, h};
+      accessor<float, 1, access_mode::write> axa{ax, h};
+      accessor<float, 1, access_mode::write> aya{ay, h};
+      h.parallel_for(range<1>{n}, info, [=](id<1> i) {
+        nbody_body::item<float>(i, pxa, pya, ma, axa, aya);
+      });
+    });
+  };
+  return b;
+}
+
+benchmark make_mersenne_twister() {
+  benchmark b;
+  b.name = "mersenne_twister";
+  b.real_items = 8192;
+  b.info = make_info(
+      "mersenne_twister",
+      [] {
+        counting_array<unsigned> state{4096, 0x12345678u}, out;
+        mersenne_twister_body::item<counted<unsigned>>(0, state, out);
+      },
+      0.0, 0.95, 0.85, 2048.0);
+  const auto info = b.info;
+  const auto n = b.real_items;
+  b.run = [info, n](synergy::queue& q) {
+    std::vector<unsigned> stateh(n);
+    common::pcg32 rng{36};
+    for (auto& v : stateh) v = rng();
+    std::vector<unsigned> outh(n, 0u);
+    buffer<unsigned> state{stateh}, out{outh};
+    return q.submit([&](handler& h) {
+      accessor<unsigned, 1, access_mode::read> sa{state, h};
+      accessor<unsigned, 1, access_mode::write> oa{out, h};
+      h.parallel_for(range<1>{n}, info,
+                     [=](id<1> i) { mersenne_twister_body::item<unsigned>(i, sa, oa); });
+    });
+  };
+  return b;
+}
+
+benchmark make_lbm() {
+  benchmark b;
+  b.name = "lbm";
+  b.real_items = 4096;
+  b.info = make_info(
+      "lbm",
+      [] {
+        counting_array<float> f_in{65536, 0.1f}, f_out{65536};
+        lbm_body::item<counted<float>>(0, 4096, f_in, f_out);
+      },
+      0.0, 0.9, 0.8, 1024.0);
+  const auto info = b.info;
+  const auto n = b.real_items;
+  b.run = [info, n](synergy::queue& q) {
+    auto fh = random_data(n * 9, 0.05, 0.2, 37);
+    std::vector<float> oh(n * 9, 0.0f);
+    buffer<float> f_in{fh}, f_out{oh};
+    return q.submit([&](handler& h) {
+      accessor<float, 1, access_mode::read> fa{f_in, h};
+      accessor<float, 1, access_mode::write> oa{f_out, h};
+      h.parallel_for(range<1>{n}, info,
+                     [=](id<1> i) { lbm_body::item<float>(i, n, fa, oa); });
+    });
+  };
+  return b;
+}
+
+// ----------------------------------------------------------- BLAS-2 family ----
+
+template <typename Body, typename MakeRun>
+benchmark make_blas2(const char* name, std::size_t items, double cache_hit, MakeRun&& make_run) {
+  benchmark b;
+  b.name = name;
+  b.real_items = items;
+  b.info = make_info(
+      name,
+      [] {
+        counting_array<float> a, v1, v2, o1, o2;
+        if constexpr (std::is_same_v<Body, gemver_body>) {
+          Body::template item<counted<float>>(0, a, v1, o1);
+        } else if constexpr (std::is_same_v<Body, atax_body>) {
+          Body::template item<counted<float>>(0, a, v1, o1, o2);
+        } else if constexpr (std::is_same_v<Body, bicg_body>) {
+          Body::template item<counted<float>>(0, a, v1, v2, o1, o2);
+        } else {  // mvt
+          Body::template item<counted<float>>(0, a, v1, v2, o1, o2);
+        }
+      },
+      cache_hit, 0.85, 0.8, 2048.0);
+  b.run = make_run(b.info, items);
+  return b;
+}
+
+benchmark make_gemver() {
+  return make_blas2<gemver_body>("gemver", 2048, 0.3, [](kernel_info info, std::size_t n) {
+    return [info, n](synergy::queue& q) {
+      auto ah = random_data(n * gemver_body::chunk, -1, 1, 38);
+      auto xh = random_data(gemver_body::chunk, -1, 1, 39);
+      std::vector<float> yh(n, 0.0f);
+      buffer<float> a{ah}, x{xh}, y{yh};
+      return q.submit([&](handler& h) {
+        accessor<float, 1, access_mode::read> aa{a, h};
+        accessor<float, 1, access_mode::read> xa{x, h};
+        accessor<float, 1, access_mode::write> ya{y, h};
+        h.parallel_for(range<1>{n}, info,
+                       [=](id<1> i) { gemver_body::item<float>(i, aa, xa, ya); });
+      });
+    };
+  });
+}
+
+benchmark make_atax() {
+  return make_blas2<atax_body>("atax", 2048, 0.3, [](kernel_info info, std::size_t n) {
+    return [info, n](synergy::queue& q) {
+      auto ah = random_data(n * atax_body::chunk, -1, 1, 40);
+      auto xh = random_data(atax_body::chunk, -1, 1, 41);
+      std::vector<float> th(n, 0.0f), yh(n, 0.0f);
+      buffer<float> a{ah}, x{xh}, tmp{th}, y{yh};
+      return q.submit([&](handler& h) {
+        accessor<float, 1, access_mode::read> aa{a, h};
+        accessor<float, 1, access_mode::read> xa{x, h};
+        accessor<float, 1, access_mode::write> ta{tmp, h};
+        accessor<float, 1, access_mode::write> ya{y, h};
+        h.parallel_for(range<1>{n}, info,
+                       [=](id<1> i) { atax_body::item<float>(i, aa, xa, ta, ya); });
+      });
+    };
+  });
+}
+
+benchmark make_bicg() {
+  return make_blas2<bicg_body>("bicg", 2048, 0.3, [](kernel_info info, std::size_t n) {
+    return [info, n](synergy::queue& q) {
+      auto ah = random_data(n * bicg_body::chunk, -1, 1, 42);
+      auto rh = random_data(bicg_body::chunk, -1, 1, 43);
+      auto ph = random_data(bicg_body::chunk, -1, 1, 44);
+      std::vector<float> sh(n, 0.0f), qh(n, 0.0f);
+      buffer<float> a{ah}, r{rh}, p{ph}, s{sh}, qq{qh};
+      return q.submit([&](handler& h) {
+        accessor<float, 1, access_mode::read> aa{a, h};
+        accessor<float, 1, access_mode::read> ra{r, h};
+        accessor<float, 1, access_mode::read> pa{p, h};
+        accessor<float, 1, access_mode::write> sa{s, h};
+        accessor<float, 1, access_mode::write> qa{qq, h};
+        h.parallel_for(range<1>{n}, info,
+                       [=](id<1> i) { bicg_body::item<float>(i, aa, ra, pa, sa, qa); });
+      });
+    };
+  });
+}
+
+benchmark make_mvt() {
+  return make_blas2<mvt_body>("mvt", 2048, 0.3, [](kernel_info info, std::size_t n) {
+    return [info, n](synergy::queue& q) {
+      auto ah = random_data(n * mvt_body::chunk, -1, 1, 45);
+      auto y1h = random_data(mvt_body::chunk, -1, 1, 46);
+      auto y2h = random_data(mvt_body::chunk, -1, 1, 47);
+      std::vector<float> x1h(n, 0.0f), x2h(n, 0.0f);
+      buffer<float> a{ah}, y1{y1h}, y2{y2h}, x1{x1h}, x2{x2h};
+      return q.submit([&](handler& h) {
+        accessor<float, 1, access_mode::read> aa{a, h};
+        accessor<float, 1, access_mode::read> y1a{y1, h};
+        accessor<float, 1, access_mode::read> y2a{y2, h};
+        accessor<float, 1, access_mode::read_write> x1a{x1, h};
+        accessor<float, 1, access_mode::read_write> x2a{x2, h};
+        h.parallel_for(range<1>{n}, info,
+                       [=](id<1> i) { mvt_body::item<float>(i, aa, y1a, y2a, x1a, x2a); });
+      });
+    };
+  });
+}
+
+benchmark make_syrk() {
+  constexpr std::size_t dim = 48;
+  benchmark b;
+  b.name = "syrk";
+  b.real_items = dim * dim;
+  b.info = make_info(
+      "syrk",
+      [] {
+        counting_array<float> a, c;
+        syrk_body::item<counted<float>>(0, 0, a, c);
+      },
+      // Row reuse across the output tile gives good cache behaviour.
+      0.8, 0.8, 0.78, 1024.0);
+  const auto info = b.info;
+  b.run = [info](synergy::queue& q) {
+    auto ah = random_data(dim * syrk_body::chunk, -1, 1, 48);
+    std::vector<float> ch(dim * syrk_body::chunk, 0.0f);
+    buffer<float> a{ah}, c{ch};
+    return q.submit([&](handler& h) {
+      accessor<float, 1, access_mode::read> aa{a, h};
+      accessor<float, 1, access_mode::read_write> ca{c, h};
+      h.parallel_for(range<2>{dim, dim}, info, [=](item<2> it) {
+        syrk_body::item<float>(it.get_id(0), it.get_id(1), aa, ca);
+      });
+    });
+  };
+  return b;
+}
+
+benchmark make_correlation() {
+  benchmark b;
+  b.name = "correlation";
+  b.real_items = 2048;
+  b.info = make_info(
+      "correlation",
+      [] {
+        counting_array<float> x, y, corr;
+        correlation_body::item<counted<float>>(0, x, y, corr);
+      },
+      0.2, 0.9, 0.8, 2048.0);
+  const auto info = b.info;
+  const auto n = b.real_items;
+  b.run = [info, n](synergy::queue& q) {
+    const std::size_t len = n * correlation_body::chunk;
+    auto xh = random_data(len, -1, 1, 49);
+    auto yh = random_data(len, -1, 1, 50);
+    std::vector<float> ch(n, 0.0f);
+    buffer<float> x{xh}, y{yh}, corr{ch};
+    return q.submit([&](handler& h) {
+      accessor<float, 1, access_mode::read> xa{x, h};
+      accessor<float, 1, access_mode::read> ya{y, h};
+      accessor<float, 1, access_mode::write> ca{corr, h};
+      h.parallel_for(range<1>{n}, info,
+                     [=](id<1> i) { correlation_body::item<float>(i, xa, ya, ca); });
+    });
+  };
+  return b;
+}
+
+std::vector<benchmark> make_suite() {
+  std::vector<benchmark> out;
+  out.push_back(make_vec_add());
+  out.push_back(make_scalar_prod());
+  out.push_back(make_mat_mul());
+  out.push_back(make_black_scholes());
+  out.push_back(make_sobel<3>("sobel3"));
+  out.push_back(make_sobel<5>("sobel5"));
+  out.push_back(make_sobel<7>("sobel7"));
+  out.push_back(make_median());
+  out.push_back(make_susan());
+  out.push_back(make_lin_reg_coeff());
+  out.push_back(make_lin_reg_error());
+  out.push_back(make_kmeans());
+  out.push_back(make_knn());
+  out.push_back(make_mol_dyn());
+  out.push_back(make_nbody());
+  out.push_back(make_mersenne_twister());
+  out.push_back(make_lbm());
+  out.push_back(make_gemver());
+  out.push_back(make_atax());
+  out.push_back(make_bicg());
+  out.push_back(make_mvt());
+  out.push_back(make_syrk());
+  out.push_back(make_correlation());
+  return out;
+}
+
+}  // namespace
+
+const std::vector<benchmark>& suite() {
+  static const std::vector<benchmark> benchmarks = make_suite();
+  return benchmarks;
+}
+
+std::vector<std::string> names() {
+  std::vector<std::string> out;
+  out.reserve(suite().size());
+  for (const auto& b : suite()) out.push_back(b.name);
+  return out;
+}
+
+const benchmark& find(const std::string& name) {
+  for (const auto& b : suite())
+    if (b.name == name) return b;
+  throw std::out_of_range("unknown benchmark: " + name);
+}
+
+void register_all(features::kernel_registry& registry) {
+  for (const auto& b : suite()) registry.put(b.info);
+}
+
+}  // namespace synergy::workloads

@@ -1,0 +1,332 @@
+/// CloverLeaf-mini: 2-D compressible Euler hydrodynamics (paper Sec. 8.4).
+///
+/// The kernel sequence per timestep follows the real CloverLeaf hydro cycle:
+/// ideal-gas EOS, artificial viscosity, acceleration from the pressure
+/// gradient, PdV energy update, and first-order upwind advection, with halo
+/// exchange between ranks and a global soundspeed reduction for the
+/// timestep. Fields are cell-centred on a (ny+2) x nx grid with one halo row
+/// at the top and bottom of each rank's slab.
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <numeric>
+
+#include "synergy/features/extraction.hpp"
+#include "synergy/workloads/kernels.hpp"
+#include "apps_common.hpp"
+
+namespace synergy::workloads::apps {
+
+namespace {
+
+using features::counted;
+using features::counting_array;
+using simsycl::access_mode;
+using simsycl::accessor;
+using simsycl::buffer;
+using simsycl::handler;
+using simsycl::item;
+using simsycl::kernel_info;
+using simsycl::range;
+
+constexpr double gamma_gas = 1.4;
+
+std::size_t clamp_x(long x, std::size_t nx) {
+  return sobel_body<3>::clamp_index(x, nx);
+}
+
+// ------------------------------------------------------------ kernel bodies ----
+
+/// EOS: p = (gamma-1) rho e; soundspeed c = sqrt(gamma p / rho).
+struct ideal_gas_body {
+  template <typename T, typename In, typename Out>
+  static void item(std::size_t i, const In& rho, const In& energy, Out& p, Out& c) {
+    const T r = sfm::fmax(rho[i], T{1e-6});
+    const T pres = T{gamma_gas - 1.0} * r * energy[i];
+    p[i] = pres;
+    c[i] = sfm::sqrt(T{gamma_gas} * pres / r);
+  }
+};
+
+/// Artificial viscosity from local velocity divergence.
+struct viscosity_body {
+  template <typename T, typename In, typename Out>
+  static void item(std::size_t x, std::size_t y, std::size_t nx, const In& u, const In& v,
+                   const In& rho, Out& visc) {
+    const std::size_t i = y * nx + x;
+    const std::size_t xl = y * nx + clamp_x(static_cast<long>(x) - 1, nx);
+    const std::size_t xr = y * nx + clamp_x(static_cast<long>(x) + 1, nx);
+    const std::size_t yu = (y - 1) * nx + x;
+    const std::size_t yd = (y + 1) * nx + x;
+    const T du = u[xr] - u[xl];
+    const T dv = v[yd] - v[yu];
+    const T div = du + dv;
+    // Quadratic Wilkins viscosity, active only under compression.
+    const T q = T{2.0} * rho[i] * div * div;
+    visc[i] = div < T{0} ? q : T{0};
+  }
+};
+
+/// Velocity update from the pressure + viscosity gradient.
+struct accelerate_body {
+  template <typename T, typename In, typename Out>
+  static void item(std::size_t x, std::size_t y, std::size_t nx, T dt, const In& p,
+                   const In& visc, const In& rho, Out& u, Out& v) {
+    const std::size_t i = y * nx + x;
+    const std::size_t xl = y * nx + clamp_x(static_cast<long>(x) - 1, nx);
+    const std::size_t xr = y * nx + clamp_x(static_cast<long>(x) + 1, nx);
+    const std::size_t yu = (y - 1) * nx + x;
+    const std::size_t yd = (y + 1) * nx + x;
+    const T r = sfm::fmax(rho[i], T{1e-6});
+    u[i] = u[i] + dt * ((p[xl] + visc[xl]) - (p[xr] + visc[xr])) / r;
+    v[i] = v[i] + dt * ((p[yu] + visc[yu]) - (p[yd] + visc[yd])) / r;
+  }
+};
+
+/// PdV work: internal energy update from compression.
+struct pdv_body {
+  template <typename T, typename In, typename Out>
+  static void item(std::size_t x, std::size_t y, std::size_t nx, T dt, const In& u,
+                   const In& v, const In& p, const In& visc, const In& rho, Out& energy) {
+    const std::size_t i = y * nx + x;
+    const std::size_t xl = y * nx + clamp_x(static_cast<long>(x) - 1, nx);
+    const std::size_t xr = y * nx + clamp_x(static_cast<long>(x) + 1, nx);
+    const std::size_t yu = (y - 1) * nx + x;
+    const std::size_t yd = (y + 1) * nx + x;
+    const T div = (u[xr] - u[xl]) + (v[yd] - v[yu]);
+    const T r = sfm::fmax(rho[i], T{1e-6});
+    energy[i] = sfm::fmax(energy[i] - dt * (p[i] + visc[i]) * div / r, T{1e-6});
+  }
+};
+
+/// First-order upwind advection of a cell-centred field.
+struct advec_body {
+  template <typename T, typename In, typename Out>
+  static void item(std::size_t x, std::size_t y, std::size_t nx, T dt, const In& u,
+                   const In& v, const In& field, Out& out) {
+    const std::size_t i = y * nx + x;
+    const std::size_t xl = y * nx + clamp_x(static_cast<long>(x) - 1, nx);
+    const std::size_t xr = y * nx + clamp_x(static_cast<long>(x) + 1, nx);
+    const std::size_t yu = (y - 1) * nx + x;
+    const std::size_t yd = (y + 1) * nx + x;
+    const T uu = u[i];
+    const T vv = v[i];
+    const T dfx = uu > T{0} ? field[i] - field[xl] : field[xr] - field[i];
+    const T dfy = vv > T{0} ? field[i] - field[yu] : field[yd] - field[i];
+    out[i] = sfm::fmax(field[i] - dt * (uu * dfx + vv * dfy), T{1e-6});
+  }
+};
+
+// --------------------------------------------------------- kernel annotations ----
+
+kernel_info stencil_info(const char* name, gpusim::static_features k, double multiplier) {
+  kernel_info info;
+  info.name = name;
+  info.features = k;
+  info.cache_hit_rate = 0.75;  // halo rows and neighbours hit in cache
+  info.coalescing_efficiency = 0.85;
+  info.compute_efficiency = 0.8;
+  info.work_multiplier = multiplier;
+  return info;
+}
+
+struct clover_infos {
+  kernel_info ideal_gas, viscosity, accelerate, pdv, advec;
+
+  explicit clover_infos(double multiplier) {
+    ideal_gas = stencil_info("clover_ideal_gas", features::extract_features([] {
+                               counting_array<float> rho, energy, p, c;
+                               ideal_gas_body::item<counted<float>>(0, rho, energy, p, c);
+                             }),
+                             multiplier);
+    viscosity = stencil_info("clover_viscosity", features::extract_features([] {
+                               counting_array<float> u, v, rho, visc;
+                               viscosity_body::item<counted<float>>(4, 1, 16, u, v, rho, visc);
+                             }),
+                             multiplier);
+    accelerate = stencil_info(
+        "clover_accelerate", features::extract_features([] {
+          counting_array<float> p, visc, rho, u, v;
+          accelerate_body::item<counted<float>>(4, 1, 16, counted<float>{0.01f}, p, visc, rho,
+                                                u, v);
+        }),
+        multiplier);
+    pdv = stencil_info("clover_pdv", features::extract_features([] {
+                         counting_array<float> u, v, p, visc, rho, energy;
+                         pdv_body::item<counted<float>>(4, 1, 16, counted<float>{0.01f}, u, v,
+                                                        p, visc, rho, energy);
+                       }),
+                       multiplier);
+    advec = stencil_info("clover_advec", features::extract_features([] {
+                           counting_array<float> u, v, field, out;
+                           advec_body::item<counted<float>>(4, 1, 16, counted<float>{0.01f}, u,
+                                                            v, field, out);
+                         }),
+                         multiplier);
+  }
+};
+
+}  // namespace
+
+app_result run_cloverleaf(int n_ranks, const app_config& config,
+                          const std::optional<metrics::target>& tuning) {
+  const std::size_t nx = config.nx;
+  const std::size_t ny = config.ny;
+  const std::size_t cells = (ny + 2) * nx;
+  // Kernel annotations depend only on the multiplier; cache per value.
+  static std::mutex info_mutex;
+  static std::map<double, clover_infos> info_cache;
+  const clover_infos& infos = [&]() -> const clover_infos& {
+    std::scoped_lock lock(info_mutex);
+    auto it = info_cache.find(config.work_multiplier);
+    if (it == info_cache.end())
+      it = info_cache.emplace(config.work_multiplier, clover_infos{config.work_multiplier})
+               .first;
+    return it->second;
+  }();
+  const std::size_t halo_bytes = detail::virtual_row_bytes(config);
+
+  minimpi::world w{n_ranks};
+  std::vector<double> rank_energy(n_ranks, 0.0);
+  std::vector<double> rank_checksum(n_ranks, 0.0);
+  std::vector<std::size_t> rank_kernels(n_ranks, 0);
+  std::vector<double> rank_min(n_ranks, 0.0), rank_max(n_ranks, 0.0);
+
+  w.run([&](minimpi::communicator& comm) {
+    detail::rank_harness rh{comm, config, tuning};
+
+    // Initial state: quiescent gas with a hot dense region in the middle of
+    // the global domain (the classic CloverLeaf setup).
+    std::vector<float> rho(cells, 0.2f), energy(cells, 1.0f), p(cells, 0.0f);
+    std::vector<float> c(cells, 0.0f), u(cells, 0.0f), v(cells, 0.0f), visc(cells, 0.0f);
+    const int mid_rank = comm.size() / 2;
+    if (comm.rank() == mid_rank) {
+      for (std::size_t y = 1; y <= ny / 2; ++y)
+        for (std::size_t x = 0; x < nx / 2; ++x) {
+          rho[y * nx + x] = 1.0f;
+          energy[y * nx + x] = 2.5f;
+        }
+    }
+
+    const auto interior = range<2>{ny, nx};
+    double dt = 0.002;
+
+    for (int step = 0; step < config.timesteps; ++step) {
+      const auto dtf = static_cast<float>(dt);
+
+      rh.launch([&](synergy::queue& q) {
+        buffer<float> rb{rho}, eb{energy}, pb{p}, cb{c};
+        q.submit([&](handler& h) {
+          accessor<float, 1, access_mode::read> ra{rb, h};
+          accessor<float, 1, access_mode::read> ea{eb, h};
+          accessor<float, 1, access_mode::write> pa{pb, h};
+          accessor<float, 1, access_mode::write> ca{cb, h};
+          h.parallel_for(range<1>{cells}, infos.ideal_gas, [=](simsycl::id<1> i) {
+            ideal_gas_body::item<float>(i, ra, ea, pa, ca);
+          });
+        });
+      });
+
+      rh.launch([&](synergy::queue& q) {
+        buffer<float> ub{u}, vb{v}, rb{rho}, qb{visc};
+        q.submit([&](handler& h) {
+          accessor<float, 1, access_mode::read> ua{ub, h};
+          accessor<float, 1, access_mode::read> va{vb, h};
+          accessor<float, 1, access_mode::read> ra{rb, h};
+          accessor<float, 1, access_mode::write> qa{qb, h};
+          h.parallel_for(interior, infos.viscosity, [=](item<2> it) {
+            viscosity_body::item<float>(it.get_id(1), it.get_id(0) + 1, nx, ua, va, ra, qa);
+          });
+        });
+      });
+
+      rh.launch([&](synergy::queue& q) {
+        buffer<float> pb{p}, qb{visc}, rb{rho}, ub{u}, vb{v};
+        q.submit([&](handler& h) {
+          accessor<float, 1, access_mode::read> pa{pb, h};
+          accessor<float, 1, access_mode::read> qa{qb, h};
+          accessor<float, 1, access_mode::read> ra{rb, h};
+          accessor<float, 1, access_mode::read_write> ua{ub, h};
+          accessor<float, 1, access_mode::read_write> va{vb, h};
+          h.parallel_for(interior, infos.accelerate, [=](item<2> it) {
+            accelerate_body::item<float>(it.get_id(1), it.get_id(0) + 1, nx, dtf, pa, qa, ra,
+                                         ua, va);
+          });
+        });
+      });
+
+      rh.launch([&](synergy::queue& q) {
+        buffer<float> ub{u}, vb{v}, pb{p}, qb{visc}, rb{rho}, eb{energy};
+        q.submit([&](handler& h) {
+          accessor<float, 1, access_mode::read> ua{ub, h};
+          accessor<float, 1, access_mode::read> va{vb, h};
+          accessor<float, 1, access_mode::read> pa{pb, h};
+          accessor<float, 1, access_mode::read> qa{qb, h};
+          accessor<float, 1, access_mode::read> ra{rb, h};
+          accessor<float, 1, access_mode::read_write> ea{eb, h};
+          h.parallel_for(interior, infos.pdv, [=](item<2> it) {
+            pdv_body::item<float>(it.get_id(1), it.get_id(0) + 1, nx, dtf, ua, va, pa, qa, ra,
+                                  ea);
+          });
+        });
+      });
+
+      rh.launch([&](synergy::queue& q) {
+        std::vector<float> rho_new = rho;
+        {
+          buffer<float> ub{u}, vb{v}, fb{rho}, ob{rho_new};
+          q.submit([&](handler& h) {
+            accessor<float, 1, access_mode::read> ua{ub, h};
+            accessor<float, 1, access_mode::read> va{vb, h};
+            accessor<float, 1, access_mode::read> fa{fb, h};
+            accessor<float, 1, access_mode::write> oa{ob, h};
+            h.parallel_for(interior, infos.advec, [=](item<2> it) {
+              advec_body::item<float>(it.get_id(1), it.get_id(0) + 1, nx, dtf, ua, va, fa, oa);
+            });
+          });
+        }
+        rho = std::move(rho_new);
+      });
+
+      // Halo exchange of the advected fields (density, energy, velocity).
+      rh.exchange_rows(rho, nx, ny, halo_bytes, 100 + step);
+      rh.exchange_rows(energy, nx, ny, halo_bytes, 200 + step);
+      rh.exchange_rows(u, nx, ny, halo_bytes, 300 + step);
+      rh.exchange_rows(v, nx, ny, halo_bytes, 400 + step);
+
+      // Global CFL timestep from the max soundspeed.
+      const double local_cmax =
+          *std::max_element(c.begin() + nx, c.begin() + static_cast<long>((ny + 1) * nx));
+      const double cmax = comm.allreduce(local_cmax, minimpi::op::max);
+      dt = std::min(0.005, 0.2 / std::max(1e-6, cmax));
+    }
+
+    double checksum = 0.0;
+    double field_min = 1e300, field_max = -1e300;
+    for (std::size_t y = 1; y <= ny; ++y)
+      for (std::size_t x = 0; x < nx; ++x) {
+        const double v = rho[y * nx + x];
+        checksum += v;
+        field_min = std::min(field_min, v);
+        field_max = std::max(field_max, v);
+      }
+    rank_checksum[comm.rank()] = checksum;
+    rank_min[comm.rank()] = field_min;
+    rank_max[comm.rank()] = field_max;
+    rank_energy[comm.rank()] = rh.device_energy();
+    rank_kernels[comm.rank()] = rh.kernels();
+  });
+
+  app_result result;
+  result.makespan_s = w.makespan();
+  result.gpu_energy_j = std::accumulate(rank_energy.begin(), rank_energy.end(), 0.0);
+  result.checksum = std::accumulate(rank_checksum.begin(), rank_checksum.end(), 0.0);
+  result.kernels_launched = std::accumulate(rank_kernels.begin(), rank_kernels.end(),
+                                            static_cast<std::size_t>(0));
+  result.field_min = *std::min_element(rank_min.begin(), rank_min.end());
+  result.field_max = *std::max_element(rank_max.begin(), rank_max.end());
+  return result;
+}
+
+}  // namespace synergy::workloads::apps

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file benchmark.hpp
+/// The 23-benchmark suite used in the paper's single-node evaluation
+/// (Sec. 8.1-8.3).
+///
+/// A benchmark bundles the kernel's extracted cost annotation (features from
+/// the extraction pass plus dynamic execution hints) with a runner that
+/// executes one real kernel launch on a SYnergy queue. Characterization
+/// benches use the annotation directly; integration tests run the real code.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simsycl/kernel_info.hpp"
+#include "synergy/features/kernel_registry.hpp"
+#include "synergy/queue.hpp"
+
+namespace synergy::workloads {
+
+struct benchmark {
+  std::string name;
+  simsycl::kernel_info info;  ///< extracted features + execution hints
+  std::size_t real_items{0};  ///< host-executed work items per launch
+
+  /// Submit one kernel launch to the queue and return its event.
+  std::function<simsycl::event(synergy::queue&)> run;
+
+  /// The gpusim profile of one launch (virtual work size included).
+  [[nodiscard]] gpusim::kernel_profile profile() const { return info.to_profile(real_items); }
+};
+
+/// The full suite, built (and features extracted) once per process.
+[[nodiscard]] const std::vector<benchmark>& suite();
+
+/// Names of all 23 benchmarks, suite order.
+[[nodiscard]] std::vector<std::string> names();
+
+/// Find a benchmark by name; throws std::out_of_range if unknown.
+[[nodiscard]] const benchmark& find(const std::string& name);
+
+/// Register every benchmark's kernel_info (the "compiled artefacts").
+void register_all(features::kernel_registry& registry);
+
+}  // namespace synergy::workloads

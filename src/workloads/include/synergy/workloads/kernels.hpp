@@ -1,0 +1,420 @@
+#pragma once
+
+/// \file kernels.hpp
+/// Generic kernel bodies of the 23-benchmark SYCL suite (paper Sec. 8.1).
+///
+/// Each body is a stateless struct whose `item` template executes one work
+/// item. The same code path serves two callers:
+///  - the runtime launches it with plain scalars and real accessors, so the
+///    numerical results are real and unit-testable;
+///  - the feature-extraction pass launches one probe item with counted<T>
+///    operands and counting_array accessors, yielding the kernel's Table-1
+///    feature vector (this repository's equivalent of the compiler pass).
+///
+/// Bodies call math through the synergy::features shims (sqrt/exp/...),
+/// which forward to <cmath> for plain scalars and tally special-function
+/// counts for counted scalars.
+
+#include <cstddef>
+
+#include "synergy/features/counted.hpp"
+
+namespace synergy::workloads {
+
+namespace sfm = synergy::features;  // math shims
+
+/// Convert a (possibly counted) scalar used as an index back to size_t.
+template <typename T>
+std::size_t as_index(T v) {
+  return static_cast<std::size_t>(v);
+}
+template <typename T>
+std::size_t as_index(features::counted<T> v) {
+  return static_cast<std::size_t>(v.value());
+}
+
+/// z[i] = x[i] + y[i] — pure streaming, the memory-bound extreme.
+struct vec_add_body {
+  template <typename In, typename Out>
+  static void item(std::size_t i, const In& x, const In& y, Out& z) {
+    z[i] = x[i] + y[i];
+  }
+};
+
+/// Chunked dot product: each item reduces `chunk` consecutive pairs.
+struct scalar_prod_body {
+  static constexpr std::size_t chunk = 32;
+  template <typename T, typename In, typename Out>
+  static void item(std::size_t i, const In& x, const In& y, Out& partial) {
+    T acc{0};
+    for (std::size_t k = 0; k < chunk; ++k) acc += x[i * chunk + k] * y[i * chunk + k];
+    partial[i] = acc;
+  }
+};
+
+/// Naive dense matrix multiply C = A * B, one output element per item.
+struct mat_mul_body {
+  template <typename T, typename In, typename Out>
+  static void item(std::size_t row, std::size_t col, std::size_t n, const In& a, const In& b,
+                   Out& c) {
+    T acc{0};
+    for (std::size_t k = 0; k < n; ++k) acc += a[row * n + k] * b[k * n + col];
+    c[row * n + col] = acc;
+  }
+};
+
+/// Black-Scholes call/put pricing — special-function heavy (paper Fig. 4).
+struct black_scholes_body {
+  /// Cumulative normal distribution via erf.
+  template <typename T>
+  static T cnd(T x) {
+    return T{0.5} * (T{1} + sfm::erf(x / sfm::sqrt(T{2})));
+  }
+
+  template <typename T, typename In, typename Out>
+  static void item(std::size_t i, const In& price, const In& strike, const In& years,
+                   Out& call, Out& put) {
+    const T r{0.02};     // risk-free rate
+    const T vol{0.30};   // volatility
+    const T s = price[i];
+    const T k = strike[i];
+    const T t = years[i];
+    const T sqrt_t = sfm::sqrt(t);
+    const T d1 = (sfm::log(s / k) + (r + T{0.5} * vol * vol) * t) / (vol * sqrt_t);
+    const T d2 = d1 - vol * sqrt_t;
+    const T discount = sfm::exp(-r * t);
+    const T c = s * cnd(d1) - k * discount * cnd(d2);
+    call[i] = c;
+    put[i] = c + k * discount - s;  // put-call parity
+  }
+};
+
+/// Sobel edge detection with an N x N neighbourhood (N = 3, 5, 7). The
+/// horizontal/vertical gradient masks are computed from the neighbourhood
+/// offsets, so one body serves all three paper variants.
+template <int N>
+struct sobel_body {
+  static_assert(N == 3 || N == 5 || N == 7);
+  template <typename T, typename In, typename Out>
+  static void item(std::size_t x, std::size_t y, std::size_t width, std::size_t height,
+                   const In& in, Out& out) {
+    constexpr int radius = N / 2;
+    T gx{0};
+    T gy{0};
+    for (int dy = -radius; dy <= radius; ++dy) {
+      for (int dx = -radius; dx <= radius; ++dx) {
+        const std::size_t sx = clamp_index(static_cast<long>(x) + dx, width);
+        const std::size_t sy = clamp_index(static_cast<long>(y) + dy, height);
+        const T v = in[sy * width + sx];
+        // Separable Sobel weights: w(dx,dy) = smooth(dy)*deriv(dx) for gx.
+        gx += v * T(static_cast<double>(deriv(dx) * smooth(dy)));
+        gy += v * T(static_cast<double>(smooth(dx) * deriv(dy)));
+      }
+    }
+    out[y * width + x] = sfm::sqrt(gx * gx + gy * gy);
+  }
+
+  static std::size_t clamp_index(long v, std::size_t extent) {
+    if (v < 0) return 0;
+    if (v >= static_cast<long>(extent)) return extent - 1;
+    return static_cast<std::size_t>(v);
+  }
+  /// Derivative mask entry (antisymmetric).
+  static int deriv(int d) { return d; }
+  /// Smoothing mask entry (binomial-ish: wider for larger N).
+  static int smooth(int d) { return (N / 2 + 1) - (d < 0 ? -d : d); }
+};
+
+/// 3x3 median filter via a partial selection network of min/max ops.
+struct median_body {
+  template <typename T, typename In, typename Out>
+  static void item(std::size_t x, std::size_t y, std::size_t width, std::size_t height,
+                   const In& in, Out& out) {
+    T v[9];
+    int n = 0;
+    for (int dy = -1; dy <= 1; ++dy)
+      for (int dx = -1; dx <= 1; ++dx) {
+        const std::size_t sx = sobel_body<3>::clamp_index(static_cast<long>(x) + dx, width);
+        const std::size_t sy = sobel_body<3>::clamp_index(static_cast<long>(y) + dy, height);
+        v[n++] = in[sy * width + sx];
+      }
+    // Selection network for the 5th of 9 (median); classic 19-exchange net.
+    auto exchange = [&](int a, int b) {
+      const T lo = sfm::fmin(v[a], v[b]);
+      const T hi = sfm::fmax(v[a], v[b]);
+      v[a] = lo;
+      v[b] = hi;
+    };
+    exchange(1, 2); exchange(4, 5); exchange(7, 8);
+    exchange(0, 1); exchange(3, 4); exchange(6, 7);
+    exchange(1, 2); exchange(4, 5); exchange(7, 8);
+    exchange(0, 3); exchange(5, 8); exchange(4, 7);
+    exchange(3, 6); exchange(1, 4); exchange(2, 5);
+    exchange(4, 7); exchange(4, 2); exchange(6, 4);
+    exchange(4, 2);
+    out[y * width + x] = v[4];
+  }
+};
+
+/// Linear-regression coefficient kernel: per-item partial sums for the
+/// closed-form slope/intercept (chunked reduction).
+struct lin_reg_coeff_body {
+  static constexpr std::size_t chunk = 16;
+  template <typename T, typename In, typename Out>
+  static void item(std::size_t i, const In& x, const In& y, Out& sx, Out& sy, Out& sxx,
+                   Out& sxy) {
+    T ax{0}, ay{0}, axx{0}, axy{0};
+    for (std::size_t k = 0; k < chunk; ++k) {
+      const T xv = x[i * chunk + k];
+      const T yv = y[i * chunk + k];
+      ax += xv;
+      ay += yv;
+      axx += xv * xv;
+      axy += xv * yv;
+    }
+    sx[i] = ax;
+    sy[i] = ay;
+    sxx[i] = axx;
+    sxy[i] = axy;
+  }
+};
+
+/// Linear-regression error kernel: squared residuals against (alpha, beta).
+struct lin_reg_error_body {
+  static constexpr std::size_t chunk = 16;
+  template <typename T, typename In, typename Out>
+  static void item(std::size_t i, const In& x, const In& y, T alpha, T beta, Out& err) {
+    T acc{0};
+    for (std::size_t k = 0; k < chunk; ++k) {
+      const T e = y[i * chunk + k] - (alpha * x[i * chunk + k] + beta);
+      acc += e * e;
+    }
+    err[i] = acc;
+  }
+};
+
+/// K-means assignment: nearest of `k` 2-D centroids held in local memory.
+struct kmeans_body {
+  static constexpr std::size_t k = 8;
+  template <typename T, typename In, typename Loc, typename Out>
+  static void item(std::size_t i, const In& px, const In& py, const Loc& cx, const Loc& cy,
+                   Out& assignment) {
+    const T x = px[i];
+    const T y = py[i];
+    T best_dist{1e30};
+    T best{0};
+    for (std::size_t c = 0; c < k; ++c) {
+      const T dx = x - cx[c];
+      const T dy = y - cy[c];
+      const T dist = dx * dx + dy * dy;
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = T(static_cast<double>(c));
+      }
+    }
+    assignment[i] = best;
+  }
+};
+
+/// k-NN distance kernel: distances from one query to a chunk of points.
+struct knn_body {
+  static constexpr std::size_t chunk = 16;
+  template <typename T, typename In, typename Out>
+  static void item(std::size_t i, const In& px, const In& py, T qx, T qy, Out& dist) {
+    for (std::size_t n = 0; n < chunk; ++n) {
+      const T dx = px[i * chunk + n] - qx;
+      const T dy = py[i * chunk + n] - qy;
+      dist[i * chunk + n] = sfm::sqrt(dx * dx + dy * dy);
+    }
+  }
+};
+
+/// Lennard-Jones molecular dynamics force over a fixed neighbour list.
+struct mol_dyn_body {
+  static constexpr std::size_t neighbours = 27;
+  template <typename T, typename In, typename IdxIn, typename Out>
+  static void item(std::size_t i, const In& pos, const IdxIn& neigh, Out& force) {
+    const T xi = pos[i];
+    T f{0};
+    for (std::size_t n = 0; n < neighbours; ++n) {
+      // Neighbour indices are data, so the extraction pass sees the loads.
+      const std::size_t j = as_index(neigh[i * neighbours + n]);
+      const T xj = pos[j];
+      T r = xi - xj;
+      r = sfm::fmax(r * r, T{0.01});  // avoid the singularity
+      const T inv2 = T{1} / r;
+      const T inv6 = inv2 * inv2 * inv2;
+      f += (T{24} * inv6 * (T{2} * inv6 - T{1})) * inv2;
+    }
+    force[i] = f;
+  }
+};
+
+/// All-pairs n-body acceleration over a chunk of bodies — the compute-bound
+/// extreme (rsqrt-like inner loop).
+struct nbody_body {
+  static constexpr std::size_t chunk = 64;
+  template <typename T, typename In, typename Out>
+  static void item(std::size_t i, const In& px, const In& py, const In& mass, Out& ax,
+                   Out& ay) {
+    const T xi = px[i];
+    const T yi = py[i];
+    T accx{0}, accy{0};
+    for (std::size_t j = 0; j < chunk; ++j) {
+      const T dx = px[j] - xi;
+      const T dy = py[j] - yi;
+      const T dist2 = dx * dx + dy * dy + T{0.01};
+      const T inv = T{1} / sfm::sqrt(dist2);
+      const T inv3 = inv * inv * inv;
+      accx += mass[j] * dx * inv3;
+      accy += mass[j] * dy * inv3;
+    }
+    ax[i] = accx;
+    ay[i] = accy;
+  }
+};
+
+/// Mersenne-twister-style tempering — integer/bitwise heavy.
+struct mersenne_twister_body {
+  template <typename UInt, typename In, typename Out>
+  static void item(std::size_t i, const In& state, Out& out) {
+    UInt y = state[i];
+    y = y ^ (y >> UInt{11});
+    y = y ^ ((y << UInt{7}) & UInt{0x9d2c5680});
+    y = y ^ ((y << UInt{15}) & UInt{0xefc60000});
+    y = y ^ (y >> UInt{18});
+    out[i] = y;
+  }
+};
+
+/// D2Q9 lattice-Boltzmann collision step (BGK) — balanced streaming kernel.
+struct lbm_body {
+  template <typename T, typename In, typename Out>
+  static void item(std::size_t i, std::size_t cells, const In& f_in, Out& f_out) {
+    T f[9];
+    T rho{0};
+    for (std::size_t q = 0; q < 9; ++q) {
+      f[q] = f_in[q * cells + i];
+      rho += f[q];
+    }
+    const T omega{1.7};
+    const T w0{4.0 / 9.0}, w1{1.0 / 9.0}, w2{1.0 / 36.0};
+    const T weights[9] = {w0, w1, w1, w1, w1, w2, w2, w2, w2};
+    for (std::size_t q = 0; q < 9; ++q) {
+      const T feq = weights[q] * rho;  // zero-velocity equilibrium
+      f_out[q * cells + i] = f[q] + omega * (feq - f[q]);
+    }
+  }
+};
+
+/// GEMVER-style BLAS-2 update: y[i] += sum_k A[i,k] * x[k] (chunked row).
+struct gemver_body {
+  static constexpr std::size_t chunk = 32;
+  template <typename T, typename In, typename Out>
+  static void item(std::size_t i, const In& a, const In& x, Out& y) {
+    T acc{0};
+    for (std::size_t k = 0; k < chunk; ++k) acc += a[i * chunk + k] * x[k];
+    y[i] = acc;
+  }
+};
+
+/// ATAX: row of y = A^T (A x) — two chunked passes, memory-bound.
+struct atax_body {
+  static constexpr std::size_t chunk = 16;
+  template <typename T, typename In, typename Out>
+  static void item(std::size_t i, const In& a, const In& x, Out& tmp, Out& y) {
+    T t{0};
+    for (std::size_t k = 0; k < chunk; ++k) t += a[i * chunk + k] * x[k];
+    tmp[i] = t;
+    T acc{0};
+    for (std::size_t k = 0; k < chunk; ++k) acc += a[k * chunk + i % chunk] * t;
+    y[i] = acc;
+  }
+};
+
+/// BiCG kernel: simultaneous s = A^T r and q = A p rows.
+struct bicg_body {
+  static constexpr std::size_t chunk = 16;
+  template <typename T, typename In, typename Out>
+  static void item(std::size_t i, const In& a, const In& r, const In& p, Out& s, Out& q) {
+    T sv{0}, qv{0};
+    for (std::size_t k = 0; k < chunk; ++k) {
+      sv += a[k * chunk + i % chunk] * r[k];
+      qv += a[i * chunk + k] * p[k];
+    }
+    s[i] = sv;
+    q[i] = qv;
+  }
+};
+
+/// MVT: x1 += A y1 row and x2 += A^T y2 row.
+struct mvt_body {
+  static constexpr std::size_t chunk = 16;
+  template <typename T, typename In, typename Out>
+  static void item(std::size_t i, const In& a, const In& y1, const In& y2, Out& x1, Out& x2) {
+    T v1{0}, v2{0};
+    for (std::size_t k = 0; k < chunk; ++k) {
+      v1 += a[i * chunk + k] * y1[k];
+      v2 += a[k * chunk + i % chunk] * y2[k];
+    }
+    x1[i] = x1[i] + v1;
+    x2[i] = x2[i] + v2;
+  }
+};
+
+/// SYRK rank-k update row: C[i,j] = beta C[i,j] + alpha sum_k A[i,k]A[j,k].
+struct syrk_body {
+  static constexpr std::size_t chunk = 24;
+  template <typename T, typename In, typename Out>
+  static void item(std::size_t row, std::size_t col, const In& a, Out& c) {
+    T acc{0};
+    for (std::size_t k = 0; k < chunk; ++k) acc += a[row * chunk + k] * a[col * chunk + k];
+    c[row * chunk + col % chunk] = T{0.5} * c[row * chunk + col % chunk] + T{1.5} * acc;
+  }
+};
+
+/// Pearson correlation of two chunked series (mean/std/cov in one pass).
+struct correlation_body {
+  static constexpr std::size_t chunk = 32;
+  template <typename T, typename In, typename Out>
+  static void item(std::size_t i, const In& x, const In& y, Out& corr) {
+    T sx{0}, sy{0}, sxx{0}, syy{0}, sxy{0};
+    for (std::size_t k = 0; k < chunk; ++k) {
+      const T xv = x[i * chunk + k];
+      const T yv = y[i * chunk + k];
+      sx += xv;
+      sy += yv;
+      sxx += xv * xv;
+      syy += yv * yv;
+      sxy += xv * yv;
+    }
+    const T n{static_cast<double>(chunk)};
+    const T cov = sxy - sx * sy / n;
+    const T vx = sxx - sx * sx / n;
+    const T vy = syy - sy * sy / n;
+    corr[i] = cov / sfm::sqrt(vx * vy + T{1e-12});
+  }
+};
+
+/// SUSAN-style corner response: Gaussian-weighted brightness similarity over
+/// a 5x5 neighbourhood (exp-heavy stencil).
+struct susan_body {
+  template <typename T, typename In, typename Out>
+  static void item(std::size_t x, std::size_t y, std::size_t width, std::size_t height,
+                   const In& in, Out& out) {
+    const std::size_t cx = sobel_body<5>::clamp_index(static_cast<long>(x), width);
+    const std::size_t cy = sobel_body<5>::clamp_index(static_cast<long>(y), height);
+    const T centre = in[cy * width + cx];
+    T usan{0};
+    for (int dy = -2; dy <= 2; ++dy)
+      for (int dx = -2; dx <= 2; ++dx) {
+        const std::size_t sx = sobel_body<5>::clamp_index(static_cast<long>(x) + dx, width);
+        const std::size_t sy = sobel_body<5>::clamp_index(static_cast<long>(y) + dy, height);
+        const T diff = (in[sy * width + sx] - centre) / T{0.1};
+        usan += sfm::exp(-(diff * diff) * (diff * diff) * T{0.25});
+      }
+    out[y * width + x] = sfm::fmax(T{18.5} - usan, T{0});
+  }
+};
+
+}  // namespace synergy::workloads

@@ -1,0 +1,311 @@
+// Unit tests for the common utilities: strong units, error/result types,
+// deterministic RNG, CSV round-tripping, table formatting, and statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "synergy/common/csv.hpp"
+#include "synergy/common/error.hpp"
+#include "synergy/common/log.hpp"
+#include "synergy/common/rng.hpp"
+#include "synergy/common/stats.hpp"
+#include "synergy/common/table.hpp"
+#include "synergy/common/units.hpp"
+
+namespace sc = synergy::common;
+
+// ---------------------------------------------------------------- units ----
+
+TEST(Units, LikeUnitArithmetic) {
+  const sc::joules a{10.0};
+  const sc::joules b{2.5};
+  EXPECT_DOUBLE_EQ((a + b).value, 12.5);
+  EXPECT_DOUBLE_EQ((a - b).value, 7.5);
+  EXPECT_DOUBLE_EQ((a * 2.0).value, 20.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).value, 5.0);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);
+}
+
+TEST(Units, PowerTimesTimeIsEnergy) {
+  const sc::watts p{250.0};
+  const sc::seconds t{0.4};
+  const sc::joules e = p * t;
+  EXPECT_DOUBLE_EQ(e.value, 100.0);
+  EXPECT_DOUBLE_EQ((e / t).value, 250.0);
+}
+
+TEST(Units, CompoundAssignment) {
+  sc::joules e{1.0};
+  e += sc::joules{2.0};
+  e -= sc::joules{0.5};
+  EXPECT_DOUBLE_EQ(e.value, 2.5);
+}
+
+TEST(Units, Ordering) {
+  EXPECT_LT(sc::megahertz{135.0}, sc::megahertz{1530.0});
+  EXPECT_GT(sc::seconds{1.0}, sc::seconds{0.1});
+  EXPECT_EQ(sc::watts{5.0}, sc::watts{5.0});
+}
+
+TEST(Units, FrequencyConfigOrderingAndHash) {
+  const sc::frequency_config a{sc::megahertz{877}, sc::megahertz{135}};
+  const sc::frequency_config b{sc::megahertz{877}, sc::megahertz{1530}};
+  EXPECT_LT(a, b);
+  EXPECT_NE(std::hash<sc::frequency_config>{}(a), std::hash<sc::frequency_config>{}(b));
+  EXPECT_EQ(std::hash<sc::frequency_config>{}(a), std::hash<sc::frequency_config>{}(a));
+}
+
+TEST(Units, ConversionHelpers) {
+  EXPECT_DOUBLE_EQ(sc::megahertz{877.0}.hz(), 877.0e6);
+  EXPECT_DOUBLE_EQ(sc::seconds{0.015}.ms(), 15.0);
+  EXPECT_DOUBLE_EQ(sc::seconds{2e-6}.us(), 2.0);
+}
+
+TEST(Units, StreamOutput) {
+  std::ostringstream oss;
+  oss << sc::megahertz{1312.0} << "|" << sc::frequency_config{sc::megahertz{877}, sc::megahertz{1312}};
+  EXPECT_NE(oss.str().find("1312 MHz"), std::string::npos);
+  EXPECT_NE(oss.str().find("mem 877"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- error ----
+
+TEST(Error, ResultHoldsValue) {
+  sc::result<int> r{42};
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(Error, ResultHoldsError) {
+  sc::result<int> r{sc::error{sc::errc::no_permission, "denied"}};
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.err().code, sc::errc::no_permission);
+  EXPECT_EQ(r.value_or(-1), -1);
+  EXPECT_THROW((void)r.value(), std::runtime_error);
+}
+
+TEST(Error, StatusDefaultsToSuccess) {
+  const sc::status ok = sc::status::success();
+  EXPECT_TRUE(ok.ok());
+  const sc::status bad = sc::error{sc::errc::not_found, "missing"};
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.err().code, sc::errc::not_found);
+}
+
+TEST(Error, ErrcNames) {
+  EXPECT_STREQ(sc::to_string(sc::errc::no_permission), "no_permission");
+  EXPECT_STREQ(sc::to_string(sc::errc::not_supported), "not_supported");
+  EXPECT_STREQ(sc::to_string(sc::errc::uninitialized), "uninitialized");
+}
+
+// ------------------------------------------------------------------ rng ----
+
+TEST(Rng, DeterministicForSameSeed) {
+  sc::pcg32 a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  sc::pcg32 a{123}, b{124};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInRange) {
+  sc::pcg32 rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BoundedIsUnbiasedEnough) {
+  sc::pcg32 rng{99};
+  std::array<int, 10> counts{};
+  for (int i = 0; i < 100000; ++i) counts[rng.bounded(10)]++;
+  for (const int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(Rng, BoundedZeroReturnsZero) {
+  sc::pcg32 rng{1};
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  sc::pcg32 rng{2024};
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithParameters) {
+  sc::pcg32 rng{5};
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+// ------------------------------------------------------------------ csv ----
+
+TEST(Csv, PlainRow) {
+  std::ostringstream oss;
+  sc::csv_writer w{oss};
+  w.row({"a", "b", "c"});
+  EXPECT_EQ(oss.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesSpecialFields) {
+  std::ostringstream oss;
+  sc::csv_writer w{oss};
+  w.row({"has,comma", "has\"quote", "plain"});
+  EXPECT_EQ(oss.str(), "\"has,comma\",\"has\"\"quote\",plain\n");
+}
+
+TEST(Csv, RoundTrip) {
+  std::ostringstream oss;
+  sc::csv_writer w{oss};
+  w.row({"x,y", "z\"w", "plain", ""});
+  std::string line = oss.str();
+  line.pop_back();  // strip newline
+  const auto fields = sc::parse_csv_line(line);
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "x,y");
+  EXPECT_EQ(fields[1], "z\"w");
+  EXPECT_EQ(fields[2], "plain");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(Csv, NumberFormatting) {
+  EXPECT_EQ(sc::csv_writer::num(1.5), "1.5");
+  EXPECT_EQ(sc::csv_writer::num(std::nan("")), "nan");
+}
+
+// ---------------------------------------------------------------- table ----
+
+TEST(Table, AlignsColumns) {
+  sc::text_table t;
+  t.header({"name", "value"});
+  t.row({"short", "1.0"});
+  t.row({"much_longer_name", "12345.678"});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("much_longer_name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(sc::text_table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(sc::text_table::fmt(-1.0, 0), "-1");
+}
+
+// ---------------------------------------------------------------- stats ----
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(sc::mean(xs), 5.0);
+  EXPECT_NEAR(sc::stddev(xs), 2.138, 1e-3);
+}
+
+TEST(Stats, EmptyAndSingleton) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(sc::mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(sc::stddev(empty), 0.0);
+  const std::vector<double> one{3.0};
+  EXPECT_DOUBLE_EQ(sc::stddev(one), 0.0);
+}
+
+TEST(Stats, Percentile) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(sc::percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(sc::percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(sc::percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(sc::percentile(xs, 25), 2.0);
+}
+
+TEST(Stats, PercentileThrowsOnEmpty) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)sc::percentile(empty, 50), std::invalid_argument);
+}
+
+TEST(Stats, Linspace) {
+  const auto xs = sc::linspace(0.0, 1.0, 5);
+  ASSERT_EQ(xs.size(), 5u);
+  EXPECT_DOUBLE_EQ(xs[0], 0.0);
+  EXPECT_DOUBLE_EQ(xs[2], 0.5);
+  EXPECT_DOUBLE_EQ(xs[4], 1.0);
+  EXPECT_EQ(sc::linspace(3.0, 9.0, 1), std::vector<double>{3.0});
+  EXPECT_TRUE(sc::linspace(0, 1, 0).empty());
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(sc::min_value(xs), -1.0);
+  EXPECT_DOUBLE_EQ(sc::max_value(xs), 7.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(sc::pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg{8, 6, 4, 2};
+  EXPECT_NEAR(sc::pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerate) {
+  const std::vector<double> xs{1, 1, 1};
+  const std::vector<double> ys{1, 2, 3};
+  EXPECT_DOUBLE_EQ(sc::pearson(xs, ys), 0.0);
+}
+
+// ------------------------------------------------------------------ log ----
+
+TEST(Log, SinkCapturesMessagesAtLevel) {
+  auto& lg = sc::logger::instance();
+  std::vector<std::string> captured;
+  auto previous = lg.set_sink([&](sc::log_level, const std::string& m) { captured.push_back(m); });
+  const auto previous_level = lg.level();
+  lg.set_level(sc::log_level::info);
+
+  sc::log_debug("hidden");
+  sc::log_info("visible ", 42);
+  sc::log_error("error ", 3.5);
+
+  lg.set_level(previous_level);
+  lg.set_sink(previous);
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0], "visible 42");
+  EXPECT_EQ(captured[1], "error 3.5");
+}
+
+TEST(Log, OffSilencesEverything) {
+  auto& lg = sc::logger::instance();
+  int count = 0;
+  auto previous = lg.set_sink([&](sc::log_level, const std::string&) { ++count; });
+  const auto previous_level = lg.level();
+  lg.set_level(sc::log_level::off);
+  sc::log_error("should not appear");
+  lg.set_level(previous_level);
+  lg.set_sink(previous);
+  EXPECT_EQ(count, 0);
+}

@@ -1,0 +1,456 @@
+// Tests for the SYnergy core: context binding, the energy-aware queue's
+// profiling and frequency-scaling API (paper Listings 1-4), target
+// resolution via oracle and trained planners, the trainer pipeline, and
+// model persistence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "synergy/ml/random_forest.hpp"
+#include "synergy/synergy.hpp"
+#include "synergy/vendor/nvml_sim.hpp"
+
+namespace sm = synergy::metrics;
+namespace gs = synergy::gpusim;
+namespace sv = synergy::vendor;
+
+using simsycl::handler;
+using simsycl::kernel_info;
+using simsycl::range;
+using synergy::common::frequency_config;
+using synergy::common::megahertz;
+
+namespace {
+
+kernel_info compute_kernel_info() {
+  kernel_info info;
+  info.name = "compute_heavy";
+  info.features.float_add = 150;
+  info.features.float_mul = 150;
+  info.features.gl_access = 2;
+  info.work_multiplier = 256.0;
+  return info;
+}
+
+kernel_info memory_kernel_info() {
+  kernel_info info;
+  info.name = "stream_heavy";
+  info.features.float_add = 1;
+  info.features.gl_access = 16;
+  info.work_multiplier = 256.0;
+  return info;
+}
+
+struct core_fixture : ::testing::Test {
+  simsycl::device dev{gs::make_v100()};
+  std::shared_ptr<synergy::context> ctx =
+      std::make_shared<synergy::context>(std::vector<simsycl::device>{dev});
+  synergy::queue q{dev, ctx};
+
+  simsycl::event submit_kernel(const kernel_info& info, std::size_t n = 4096) {
+    return q.submit([&](handler& h) { h.parallel_for(range<1>{n}, info, [](simsycl::id<1>) {}); });
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------- context ----
+
+TEST(Context, BindsDevicesToVendorLibraries) {
+  simsycl::device v100{gs::make_v100()};
+  simsycl::device mi100{gs::make_mi100()};
+  synergy::context ctx{{v100, mi100}};
+  const auto nv = ctx.bind(v100);
+  const auto amd = ctx.bind(mi100);
+  ASSERT_TRUE(nv.valid());
+  ASSERT_TRUE(amd.valid());
+  EXPECT_EQ(nv.library->backend_name(), "NVML");
+  EXPECT_EQ(amd.library->backend_name(), "ROCm SMI");
+  EXPECT_EQ(ctx.libraries().size(), 2u);
+}
+
+TEST(Context, UnknownDeviceYieldsInvalidBinding) {
+  simsycl::device a{gs::make_v100()};
+  simsycl::device b{gs::make_v100()};
+  synergy::context ctx{{a}};
+  EXPECT_TRUE(ctx.bind(a).valid());
+  EXPECT_FALSE(ctx.bind(b).valid());
+}
+
+TEST(Context, GlobalContextIsLazyAndReplaceable) {
+  synergy::context::set_global(nullptr);
+  auto g = synergy::context::global();
+  ASSERT_NE(g, nullptr);
+  auto custom = std::make_shared<synergy::context>(
+      std::vector<simsycl::device>{simsycl::device{gs::make_mi100()}});
+  synergy::context::set_global(custom);
+  EXPECT_EQ(synergy::context::global(), custom);
+  synergy::context::set_global(nullptr);
+}
+
+// --------------------------------------------------- queue: profiling (L1) ----
+
+TEST_F(core_fixture, KernelEnergyConsumptionMatchesRecord) {
+  auto e = submit_kernel(compute_kernel_info());
+  e.wait_and_throw();
+  const double measured = q.kernel_energy_consumption(e);
+  EXPECT_NEAR(measured, e.record().cost.energy.value, 1e-9);
+  EXPECT_GT(measured, 0.0);
+}
+
+TEST_F(core_fixture, DeviceEnergyCoversWholeWindow) {
+  auto e1 = submit_kernel(compute_kernel_info());
+  auto e2 = submit_kernel(memory_kernel_info());
+  const double device_energy = q.device_energy_consumption();
+  const double kernels = q.kernel_energy_consumption(e1) + q.kernel_energy_consumption(e2);
+  // Device energy >= sum of kernel energies (device window may include
+  // clock-change idle segments).
+  EXPECT_GE(device_energy, kernels - 1e-9);
+}
+
+TEST_F(core_fixture, DeviceEnergyWindowStartsAtQueueConstruction) {
+  submit_kernel(compute_kernel_info());
+  const double before = q.device_energy_consumption();
+  synergy::queue q2{dev, ctx};  // new window starts now
+  EXPECT_NEAR(q2.device_energy_consumption(), 0.0, 1e-12);
+  EXPECT_GT(before, 0.0);
+}
+
+TEST_F(core_fixture, InvalidEventThrows) {
+  simsycl::event none;
+  EXPECT_THROW((void)q.kernel_energy_consumption(none), std::invalid_argument);
+}
+
+// ------------------------------------------- queue: frequency scaling (L2/L4) ----
+
+TEST_F(core_fixture, FixedFrequencyQueueSetsClocksBeforeKernels) {
+  q.set_fixed_frequency({megahertz{877}, megahertz{1530}});
+  auto e = submit_kernel(compute_kernel_info());
+  EXPECT_DOUBLE_EQ(e.record().config.core.value, 1530.0);
+  EXPECT_DOUBLE_EQ(q.current_clocks().core.value, 1530.0);
+}
+
+TEST_F(core_fixture, PerSubmissionFrequencyOverridesQueuePolicy) {
+  q.set_fixed_frequency({megahertz{877}, megahertz{1530}});
+  auto e = q.submit(877.0, 135.0, [&](handler& h) {
+    h.parallel_for(range<1>{1024}, compute_kernel_info(), [](simsycl::id<1>) {});
+  });
+  EXPECT_DOUBLE_EQ(e.record().config.core.value, 135.0);
+}
+
+TEST_F(core_fixture, ListingTwoConstructor) {
+  simsycl::platform::set_default(
+      std::make_shared<simsycl::platform>(std::vector<std::string>{"A100"}));
+  synergy::context::set_global(nullptr);
+  synergy::queue low{1215.0, 210.0};
+  auto e = low.submit([&](handler& h) {
+    h.parallel_for(range<1>{512}, compute_kernel_info(), [](simsycl::id<1>) {});
+  });
+  EXPECT_DOUBLE_EQ(e.record().config.core.value, 210.0);
+  simsycl::platform::set_default(nullptr);
+  synergy::context::set_global(nullptr);
+}
+
+TEST_F(core_fixture, RepeatedSameFrequencyIsNotReissued) {
+  auto* nvml = dynamic_cast<sv::nvml_sim*>(ctx->bind(dev).library);
+  ASSERT_NE(nvml, nullptr);
+  q.set_fixed_frequency({megahertz{877}, megahertz{1005 - 1005 % 5}});  // maybe unsupported; use table value
+  q.set_fixed_frequency({megahertz{877}, megahertz{1530}});
+  submit_kernel(compute_kernel_info());
+  const auto changes_after_first = nvml->clock_change_count();
+  submit_kernel(compute_kernel_info());
+  submit_kernel(compute_kernel_info());
+  EXPECT_EQ(nvml->clock_change_count(), changes_after_first);
+}
+
+TEST_F(core_fixture, UnprivilegedUserFrequencyChangeFailsGracefully) {
+  ctx->set_user(sv::user_context::user());  // drop root; restriction is on
+  q.set_fixed_frequency({megahertz{877}, megahertz{135}});
+  auto e = submit_kernel(compute_kernel_info());
+  // Kernel still ran, at default clocks, and the failure was counted.
+  EXPECT_DOUBLE_EQ(e.record().config.core.value, 1312.0);
+  EXPECT_EQ(q.frequency_change_failures(), 1u);
+}
+
+TEST_F(core_fixture, QueueRejectsForeignDevice) {
+  simsycl::device other{gs::make_v100()};
+  EXPECT_THROW((synergy::queue{other, ctx}), std::invalid_argument);
+}
+
+// ----------------------------------------------- queue: energy targets (L3) ----
+
+TEST_F(core_fixture, TargetSubmissionPicksKernelSpecificFrequency) {
+  // Oracle planner (no trained models installed): compute-bound kernels
+  // should get a lower MIN_ENERGY frequency than the default; memory-bound
+  // kernels an even lower one.
+  auto e_compute = q.submit(sm::MIN_ENERGY, [&](handler& h) {
+    h.parallel_for(range<1>{4096}, compute_kernel_info(), [](simsycl::id<1>) {});
+  });
+  auto e_memory = q.submit(sm::MIN_ENERGY, [&](handler& h) {
+    h.parallel_for(range<1>{4096}, memory_kernel_info(), [](simsycl::id<1>) {});
+  });
+  EXPECT_LT(e_compute.record().config.core.value, 1312.0);
+  EXPECT_LT(e_memory.record().config.core.value, e_compute.record().config.core.value);
+}
+
+TEST_F(core_fixture, MaxPerfTargetPicksTopClockOnV100) {
+  auto e = q.submit(sm::MAX_PERF, [&](handler& h) {
+    h.parallel_for(range<1>{4096}, compute_kernel_info(), [](simsycl::id<1>) {});
+  });
+  EXPECT_DOUBLE_EQ(e.record().config.core.value, 1530.0);
+}
+
+TEST_F(core_fixture, QueueLevelTargetAppliesToAllSubmissions) {
+  q.set_target(sm::MIN_EDP);
+  auto e = submit_kernel(compute_kernel_info());
+  EXPECT_LT(e.record().config.core.value, 1530.0);
+  EXPECT_GT(e.record().config.core.value, 135.0);
+}
+
+TEST_F(core_fixture, PlanCacheAvoidsReplanning) {
+  q.set_target(sm::MIN_EDP);
+  submit_kernel(compute_kernel_info());
+  EXPECT_EQ(q.plan_cache_hits(), 0u);
+  submit_kernel(compute_kernel_info());
+  submit_kernel(compute_kernel_info());
+  EXPECT_EQ(q.plan_cache_hits(), 2u);
+}
+
+TEST_F(core_fixture, ClearPolicyStopsRetuning) {
+  q.set_fixed_frequency({megahertz{877}, megahertz{135}});
+  submit_kernel(compute_kernel_info());
+  q.clear_policy();
+  auto e = submit_kernel(compute_kernel_info());
+  // Stays wherever the device was left (135), proving no new set was issued.
+  EXPECT_DOUBLE_EQ(e.record().config.core.value, 135.0);
+}
+
+// ----------------------------------------------------------------- planner ----
+
+TEST(OraclePlanner, CharacterizationCoversAllClocks) {
+  const auto spec = gs::make_v100();
+  const auto profile = compute_kernel_info().to_profile(1 << 20);
+  const auto c = synergy::oracle_characterization(spec, profile);
+  EXPECT_EQ(c.points.size(), spec.core_clocks.size());
+  EXPECT_DOUBLE_EQ(c.default_point().config.core.value, 1312.0);
+}
+
+TEST(OraclePlanner, TargetsResolveToSensibleClocks) {
+  const auto spec = gs::make_v100();
+  const auto profile = memory_kernel_info().to_profile(1 << 20);
+  const auto f_perf = synergy::oracle_plan(spec, profile, sm::MAX_PERF);
+  const auto f_energy = synergy::oracle_plan(spec, profile, sm::MIN_ENERGY);
+  EXPECT_GE(f_perf.core.value, f_energy.core.value);
+  const auto f_es25 = synergy::oracle_plan(spec, profile, sm::ES_25);
+  EXPECT_GE(f_es25.core.value, f_energy.core.value);
+  EXPECT_LE(f_es25.core.value, f_perf.core.value);
+}
+
+TEST(ModelInput, EncodingLayout) {
+  gs::static_features k;
+  k.float_add = 3;
+  const auto x = synergy::model_input(k, megahertz{1312});
+  EXPECT_DOUBLE_EQ(x[4], 3.0);
+  EXPECT_DOUBLE_EQ(x[10], 1.312);
+  EXPECT_DOUBLE_EQ(x[11], 1.0 / 1.312);
+  EXPECT_NEAR(x[12], std::log(1.312), 1e-12);
+  EXPECT_DOUBLE_EQ(x[13], 1.312 * 1.312 * 1.312);
+}
+
+// ----------------------------------------------------------------- trainer ----
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  static const synergy::trained_models& models() {
+    static synergy::trained_models m = [] {
+      synergy::trainer_options opt;
+      opt.n_microbenchmarks = 36;
+      opt.freq_samples = 20;
+      opt.repetitions = 2;
+      synergy::model_trainer trainer{gs::make_v100(), opt};
+      return trainer.train_default();
+    }();
+    return m;
+  }
+};
+
+TEST_F(TrainerTest, GeneratesDiverseMicrobenchmarks) {
+  synergy::model_trainer trainer{gs::make_v100()};
+  const auto suite = trainer.generate_microbenchmarks();
+  EXPECT_EQ(suite.size(), trainer.options().n_microbenchmarks);
+  // At least one memory-bound and one compute-bound micro-benchmark.
+  bool has_memory_bound = false, has_compute_bound = false;
+  for (const auto& p : suite) {
+    has_memory_bound |= p.arithmetic_intensity() < 1.0;
+    has_compute_bound |= p.arithmetic_intensity() > 20.0;
+  }
+  EXPECT_TRUE(has_memory_bound);
+  EXPECT_TRUE(has_compute_bound);
+}
+
+TEST_F(TrainerTest, MeasurementsProduceAlignedDatasets) {
+  synergy::trainer_options opt;
+  opt.n_microbenchmarks = 6;
+  opt.freq_samples = 8;
+  opt.repetitions = 1;
+  synergy::model_trainer trainer{gs::make_v100(), opt};
+  const auto sets = trainer.measure(trainer.generate_microbenchmarks());
+  EXPECT_EQ(sets.time.size(), sets.energy.size());
+  EXPECT_EQ(sets.edp.size(), sets.ed2p.size());
+  EXPECT_EQ(sets.time.size(), 6u * 8u);
+  EXPECT_EQ(sets.time.x.cols(), synergy::model_input_dim);
+  for (std::size_t i = 0; i < sets.time.size(); ++i) {
+    EXPECT_GT(sets.time.y[i], 0.0);
+    EXPECT_GT(sets.energy.y[i], 0.0);
+    // Product metrics are stored in log space.
+    EXPECT_NEAR(sets.edp.y[i], std::log(sets.time.y[i] * sets.energy.y[i]), 1e-12);
+    EXPECT_NEAR(sets.ed2p.y[i] - sets.edp.y[i], std::log(sets.time.y[i]), 1e-12);
+  }
+}
+
+TEST_F(TrainerTest, TrainedModelsAreComplete) {
+  EXPECT_TRUE(models().complete());
+  EXPECT_EQ(models().time->name(), "Linear");
+  EXPECT_EQ(models().energy->name(), "RandomForest");
+}
+
+TEST_F(TrainerTest, TrainedPlannerTracksOracleOnHeldOutKernel) {
+  // A held-out kernel the trainer never saw: the planner's MIN_ENERGY pick
+  // should be within 25% of the oracle-optimal frequency.
+  const auto spec = gs::make_v100();
+  synergy::trained_models copy;
+  // Re-train (cheap) because trained_models is move-only.
+  synergy::trainer_options opt;
+  opt.n_microbenchmarks = 36;
+  opt.freq_samples = 20;
+  opt.repetitions = 2;
+  synergy::model_trainer trainer{spec, opt};
+  synergy::frequency_planner planner{spec, trainer.train_default()};
+
+  const auto info = compute_kernel_info();
+  const auto predicted = planner.plan(info.features, sm::MIN_ENERGY);
+  const auto actual = synergy::oracle_plan(spec, info.to_profile(1 << 20), sm::MIN_ENERGY);
+  EXPECT_NEAR(predicted.core.value, actual.core.value, 0.25 * actual.core.value);
+}
+
+TEST_F(TrainerTest, PlannerRequiresCompleteModels) {
+  synergy::trained_models incomplete;
+  EXPECT_THROW((synergy::frequency_planner{gs::make_v100(), std::move(incomplete)}),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------- model store ----
+
+TEST(ModelStore, SaveLoadRoundTrip) {
+  synergy::trainer_options opt;
+  opt.n_microbenchmarks = 12;
+  opt.freq_samples = 8;
+  opt.repetitions = 1;
+  synergy::model_trainer trainer{gs::make_v100(), opt};
+  auto models = trainer.train_default();
+
+  const auto dir = std::filesystem::temp_directory_path() / "synergy_model_store_test";
+  std::filesystem::remove_all(dir);
+  synergy::model_store store{dir};
+  EXPECT_FALSE(store.contains("V100"));
+  store.save("V100", models);
+  EXPECT_TRUE(store.contains("V100"));
+
+  const auto loaded = store.load("V100");
+  ASSERT_TRUE(loaded.complete());
+  // Same predictions after round-trip.
+  gs::static_features k;
+  k.float_add = 50;
+  k.gl_access = 5;
+  const auto x = synergy::model_input(k, megahertz{900});
+  EXPECT_NEAR(loaded.time->predict_one(x), models.time->predict_one(x), 1e-9);
+  EXPECT_NEAR(loaded.energy->predict_one(x), models.energy->predict_one(x), 1e-9);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ModelStore, LoadMissingThrows) {
+  synergy::model_store store{std::filesystem::temp_directory_path() / "synergy_missing"};
+  EXPECT_THROW((void)store.load("V100"), std::runtime_error);
+  EXPECT_FALSE(store.contains("V100"));
+}
+
+// ----------------------------------------------------- per-kernel reporting ----
+
+TEST_F(core_fixture, EnergyReportAggregatesPerKernel) {
+  submit_kernel(compute_kernel_info());
+  submit_kernel(compute_kernel_info());
+  submit_kernel(memory_kernel_info());
+  const auto& report = q.energy_report();
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report.at("compute_heavy").launches, 2u);
+  EXPECT_EQ(report.at("stream_heavy").launches, 1u);
+  EXPECT_GT(report.at("compute_heavy").total_energy_j, 0.0);
+  // Two launches accumulate roughly twice one launch's time.
+  EXPECT_NEAR(report.at("compute_heavy").total_time_s,
+              2.0 * report.at("compute_heavy").total_time_s / 2.0, 1e-12);
+
+  std::ostringstream oss;
+  q.print_energy_report(oss);
+  EXPECT_NE(oss.str().find("compute_heavy"), std::string::npos);
+  EXPECT_NE(oss.str().find("energy %"), std::string::npos);
+}
+
+// ------------------------------------------------------- sampled profiling ----
+
+TEST_F(core_fixture, SampledEnergyApproachesExactForLongKernels) {
+  kernel_info info = compute_kernel_info();
+  info.work_multiplier = 1 << 20;  // long kernel (>> 15 ms)
+  auto e = submit_kernel(info, 1 << 14);
+  ASSERT_GT(e.record().cost.time.value, 0.2);
+  const double exact = q.kernel_energy_consumption(e);
+  const double sampled = q.kernel_energy_consumption_sampled(e, 0.015);
+  EXPECT_NEAR(sampled / exact, 1.0, 0.15);
+}
+
+TEST_F(core_fixture, DeviceSampledEnergyConvergesForLongWindows) {
+  // Coarse-grained profiling (Sec. 4.2): sampling the device power over a
+  // long window approximates the exact energy well.
+  kernel_info info = compute_kernel_info();
+  info.work_multiplier = 1 << 18;
+  for (int i = 0; i < 4; ++i) {
+    submit_kernel(info, 1 << 14);
+    dev.board()->advance_idle(synergy::common::seconds{0.05});
+  }
+  const double exact = q.device_energy_consumption();
+  const double sampled = q.device_energy_consumption_sampled(0.015);
+  ASSERT_GT(dev.board()->now().value, 0.2);
+  EXPECT_NEAR(sampled / exact, 1.0, 0.1);
+  // Zero/negative interval falls back to the exact integral.
+  EXPECT_DOUBLE_EQ(q.device_energy_consumption_sampled(0.0), exact);
+}
+
+TEST_F(core_fixture, TrainedEnergyModelDependsOnClockFeature) {
+  synergy::trainer_options opt;
+  opt.n_microbenchmarks = 24;
+  opt.freq_samples = 16;
+  opt.repetitions = 1;
+  synergy::model_trainer trainer{gs::make_v100(), opt};
+  const auto sets = trainer.measure(trainer.generate_microbenchmarks());
+  synergy::ml::random_forest forest;
+  forest.fit(sets.energy.x, sets.energy.y);
+  const auto imp = forest.feature_importances();
+  ASSERT_EQ(imp.size(), synergy::model_input_dim);
+  // The clock basis columns (10..13) must carry substantial importance in
+  // the (default-normalised) energy model: frequency is the lever.
+  const double clock_importance = imp[10] + imp[11] + imp[12] + imp[13];
+  EXPECT_GT(clock_importance, 0.3);
+}
+
+TEST_F(core_fixture, SampledEnergyDegradesForShortKernels) {
+  kernel_info info = compute_kernel_info();
+  info.work_multiplier = 1.0;  // very short kernel (<< 15 ms)
+  auto e = submit_kernel(info, 256);
+  ASSERT_LT(e.record().cost.time.value, 0.001);
+  const double exact = q.kernel_energy_consumption(e);
+  const double sampled = q.kernel_energy_consumption_sampled(e, 0.015);
+  // The sensor either misses the kernel entirely or smears it badly.
+  EXPECT_GT(std::fabs(sampled - exact) / exact, 0.5);
+}

@@ -1,0 +1,277 @@
+// Tests for the feature-extraction pass: counted scalar tallies per Table-1
+// instruction class, counting memory proxies, scope nesting, probe safety
+// (division by zero, out-of-range indices), and the kernel registry.
+
+#include <gtest/gtest.h>
+
+#include "synergy/features/extraction.hpp"
+#include "synergy/features/kernel_registry.hpp"
+
+namespace sf = synergy::features;
+namespace gs = synergy::gpusim;
+
+using sf::counted;
+using sf::counting_array;
+using sf::counting_local;
+
+// ------------------------------------------------------------- counted<T> ----
+
+TEST(Counted, FloatAddSubCount) {
+  const auto k = sf::extract_features([] {
+    counted<float> a{1.0f}, b{2.0f};
+    auto c = a + b;
+    auto d = c - a;
+    auto e = -d;
+    (void)e;
+  });
+  EXPECT_DOUBLE_EQ(k.float_add, 3.0);
+  EXPECT_DOUBLE_EQ(k.float_mul, 0.0);
+}
+
+TEST(Counted, FloatMulDivCount) {
+  const auto k = sf::extract_features([] {
+    counted<double> a{3.0}, b{2.0};
+    auto c = a * b;
+    auto d = c / b;
+    (void)d;
+  });
+  EXPECT_DOUBLE_EQ(k.float_mul, 1.0);
+  EXPECT_DOUBLE_EQ(k.float_div, 1.0);
+}
+
+TEST(Counted, IntClassesCount) {
+  const auto k = sf::extract_features([] {
+    counted<int> a{6}, b{3};
+    auto c = a + b;        // int_add
+    auto d = a - b;        // int_add
+    auto e = a * b;        // int_mul
+    auto f = a / b;        // int_div
+    auto g = a % b;        // int_div
+    auto h = (a & b) | (a ^ b);  // 3x int_bw
+    auto i = a << counted<int>{1};  // int_bw
+    (void)c; (void)d; (void)e; (void)f; (void)g; (void)h; (void)i;
+  });
+  EXPECT_DOUBLE_EQ(k.int_add, 2.0);
+  EXPECT_DOUBLE_EQ(k.int_mul, 1.0);
+  EXPECT_DOUBLE_EQ(k.int_div, 2.0);
+  EXPECT_DOUBLE_EQ(k.int_bw, 4.0);
+}
+
+TEST(Counted, SpecialFunctionsCount) {
+  const auto k = sf::extract_features([] {
+    counted<float> x{0.5f};
+    auto a = sf::sqrt(x);
+    auto b = sf::exp(x);
+    auto c = sf::log(x);
+    auto d = sf::sin(x) ;
+    auto e = sf::cos(x);
+    auto f = sf::erf(x);
+    auto g = sf::pow(x, counted<float>{2.0f});
+    (void)a; (void)b; (void)c; (void)d; (void)e; (void)f; (void)g;
+  });
+  EXPECT_DOUBLE_EQ(k.sf, 7.0);
+}
+
+TEST(Counted, ArithmeticValuesAreCorrect) {
+  counted<double> a{10.0}, b{4.0};
+  EXPECT_DOUBLE_EQ((a + b).value(), 14.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 6.0);
+  EXPECT_DOUBLE_EQ((a * b).value(), 40.0);
+  EXPECT_DOUBLE_EQ((a / b).value(), 2.5);
+  counted<int> x{7}, y{2};
+  EXPECT_EQ((x % y).value(), 1);
+  EXPECT_EQ((x << counted<int>{1}).value(), 14);
+}
+
+TEST(Counted, DivisionByZeroIsGuarded) {
+  const auto k = sf::extract_features([] {
+    counted<float> a{1.0f}, zero{0.0f};
+    EXPECT_FLOAT_EQ((a / zero).value(), 0.0f);
+    counted<int> b{5}, izero{0};
+    EXPECT_EQ((b / izero).value(), 0);
+    EXPECT_EQ((b % izero).value(), 0);
+  });
+  EXPECT_DOUBLE_EQ(k.float_div, 1.0);
+  EXPECT_DOUBLE_EQ(k.int_div, 2.0);
+}
+
+TEST(Counted, CompoundAssignmentCounts) {
+  const auto k = sf::extract_features([] {
+    counted<float> acc{0.0f};
+    for (int i = 0; i < 5; ++i) acc += counted<float>{1.0f};
+    acc *= counted<float>{2.0f};
+  });
+  EXPECT_DOUBLE_EQ(k.float_add, 5.0);
+  EXPECT_DOUBLE_EQ(k.float_mul, 1.0);
+}
+
+TEST(Counted, ComparisonsAreUncounted) {
+  const auto k = sf::extract_features([] {
+    counted<float> a{1.0f}, b{2.0f};
+    (void)(a < b);
+    (void)(a == b);
+    (void)(a >= b);
+  });
+  EXPECT_DOUBLE_EQ(k.total_compute_ops(), 0.0);
+}
+
+TEST(Counted, MinMaxCountAsAddClass) {
+  const auto k = sf::extract_features([] {
+    counted<float> a{1.0f}, b{2.0f};
+    (void)sf::fmin(a, b);
+    (void)sf::fmax(a, b);
+  });
+  EXPECT_DOUBLE_EQ(k.float_add, 2.0);
+}
+
+TEST(Counted, NoActiveScopeIsSafe) {
+  // Operations outside a counting_scope must not crash or count anywhere.
+  counted<float> a{1.0f}, b{2.0f};
+  EXPECT_FLOAT_EQ((a * b + a).value(), 3.0f);
+}
+
+TEST(Counted, PlainScalarShimsForwardToStd) {
+  EXPECT_DOUBLE_EQ(sf::sqrt(4.0), 2.0);
+  EXPECT_DOUBLE_EQ(sf::fmax(1.0, 2.0), 2.0);
+  EXPECT_FLOAT_EQ(sf::exp(0.0f), 1.0f);
+}
+
+// ------------------------------------------------------- counting memory ----
+
+TEST(CountingMemory, GlobalAccessesCount) {
+  const auto k = sf::extract_features([] {
+    counting_array<float> x, y, z;
+    const std::size_t i = 0;
+    z[i] = x[i] * y[i];  // 3 global accesses, 1 mul
+  });
+  EXPECT_DOUBLE_EQ(k.gl_access, 3.0);
+  EXPECT_DOUBLE_EQ(k.float_mul, 1.0);
+}
+
+TEST(CountingMemory, LocalAccessesCount) {
+  const auto k = sf::extract_features([] {
+    counting_local<float> tile;
+    counting_array<float> g;
+    tile[3] = g[7];
+    auto v = tile[3] + tile[4];
+    (void)v;
+  });
+  EXPECT_DOUBLE_EQ(k.loc_access, 3.0);
+  EXPECT_DOUBLE_EQ(k.gl_access, 1.0);
+}
+
+TEST(CountingMemory, IndicesWrapModuloBacking) {
+  counting_array<float> x{16};
+  EXPECT_NO_THROW((void)x[1'000'000]);
+  EXPECT_EQ(x.size(), 16u);
+}
+
+TEST(CountingMemory, StencilProbeCountsNeighbourhood) {
+  // A 3x3 stencil probe should count 9 reads + 1 write.
+  const auto k = sf::extract_features([] {
+    counting_array<float> in, out;
+    counted<float> sum{0.0f};
+    const std::size_t w = 64;
+    for (std::size_t dy = 0; dy < 3; ++dy)
+      for (std::size_t dx = 0; dx < 3; ++dx) sum += in[dy * w + dx];
+    out[0] = sum / counted<float>{9.0f};
+  });
+  EXPECT_DOUBLE_EQ(k.gl_access, 10.0);
+  EXPECT_DOUBLE_EQ(k.float_add, 9.0);
+  EXPECT_DOUBLE_EQ(k.float_div, 1.0);
+}
+
+// -------------------------------------------------------------- extraction ----
+
+TEST(Extraction, ScopesNest) {
+  sf::op_counter outer;
+  sf::counting_scope outer_scope{outer};
+  counted<float> a{1.0f};
+  a = a + a;  // counts into outer
+  {
+    sf::op_counter inner;
+    sf::counting_scope inner_scope{inner};
+    a = a * a;  // counts into inner
+    EXPECT_DOUBLE_EQ(inner.float_mul, 1.0);
+    EXPECT_DOUBLE_EQ(inner.float_add, 0.0);
+  }
+  a = a + a;  // back to outer
+  EXPECT_DOUBLE_EQ(outer.float_add, 2.0);
+  EXPECT_DOUBLE_EQ(outer.float_mul, 0.0);
+}
+
+TEST(Extraction, AveragedExtraction) {
+  // Work depends on the item index: item i does i multiplies.
+  const auto k = sf::extract_features_avg(4, [](std::size_t i) {
+    counted<float> acc{1.0f};
+    for (std::size_t j = 0; j < i; ++j) acc *= counted<float>{2.0f};
+  });
+  // (0 + 1 + 2 + 3) / 4 = 1.5 multiplies per item on average.
+  EXPECT_DOUBLE_EQ(k.float_mul, 1.5);
+}
+
+TEST(Extraction, AveragedExtractionZeroItems) {
+  const auto k = sf::extract_features_avg(0, [](std::size_t) {});
+  EXPECT_DOUBLE_EQ(k.total_compute_ops(), 0.0);
+}
+
+TEST(Extraction, SaxpyEndToEnd) {
+  // The paper's Listing-1 kernel: z[i] = a * x[i] + y[i].
+  const auto k = sf::extract_features([] {
+    counting_array<float> x, y, z;
+    counted<float> a{2.0f};
+    const std::size_t i = 0;
+    z[i] = a * x[i] + y[i];
+  });
+  EXPECT_DOUBLE_EQ(k.float_mul, 1.0);
+  EXPECT_DOUBLE_EQ(k.float_add, 1.0);
+  EXPECT_DOUBLE_EQ(k.gl_access, 3.0);
+  EXPECT_DOUBLE_EQ(k.total_compute_ops(), 2.0);
+}
+
+// ---------------------------------------------------------------- registry ----
+
+TEST(KernelRegistry, PutContainsAt) {
+  sf::kernel_registry reg;
+  simsycl::kernel_info info;
+  info.name = "saxpy";
+  info.features.float_mul = 1;
+  reg.put(info);
+  EXPECT_TRUE(reg.contains("saxpy"));
+  EXPECT_FALSE(reg.contains("other"));
+  EXPECT_DOUBLE_EQ(reg.at("saxpy").features.float_mul, 1.0);
+  EXPECT_THROW((void)reg.at("other"), std::out_of_range);
+}
+
+TEST(KernelRegistry, PutIsIdempotentByName) {
+  sf::kernel_registry reg;
+  simsycl::kernel_info a;
+  a.name = "k";
+  a.features.float_add = 1;
+  reg.put(a);
+  a.features.float_add = 7;
+  reg.put(a);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_DOUBLE_EQ(reg.at("k").features.float_add, 7.0);
+}
+
+TEST(KernelRegistry, NamesSortedAndClear) {
+  sf::kernel_registry reg;
+  for (const char* n : {"zeta", "alpha", "mid"}) {
+    simsycl::kernel_info info;
+    info.name = n;
+    reg.put(info);
+  }
+  const auto names = reg.names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[2], "zeta");
+  reg.clear();
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(KernelRegistry, GlobalInstanceIsShared) {
+  auto& g1 = sf::kernel_registry::global();
+  auto& g2 = sf::kernel_registry::global();
+  EXPECT_EQ(&g1, &g2);
+}

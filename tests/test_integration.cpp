@@ -1,0 +1,346 @@
+// Integration tests across the whole stack: the full deployment pipeline
+// (train -> persist -> load -> plan -> queue), the compile-time tuning-table
+// flow, scheduler + MPI app integration, and cross-device parameterized
+// sweeps of the end-to-end energy-saving claim.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "synergy/sched/controller.hpp"
+#include "synergy/synergy.hpp"
+#include "synergy/workloads/apps.hpp"
+#include "synergy/workloads/benchmark.hpp"
+
+namespace sm = synergy::metrics;
+namespace gs = synergy::gpusim;
+namespace sw = synergy::workloads;
+namespace ss = synergy::sched;
+
+namespace {
+
+synergy::trainer_options quick_options() {
+  synergy::trainer_options opt;
+  opt.n_microbenchmarks = 30;
+  opt.freq_samples = 16;
+  opt.repetitions = 1;
+  return opt;
+}
+
+}  // namespace
+
+// ----------------------------------------------------- deployment pipeline ----
+
+TEST(Pipeline, TrainPersistLoadPlanRunSavesEnergy) {
+  const auto spec = gs::make_v100();
+
+  // 1. Train on micro-benchmarks (Sec. 6.1).
+  synergy::model_trainer trainer{spec, quick_options()};
+  auto models = trainer.train_default();
+
+  // 2. Persist per-device models (Sec. 3.2 deployment).
+  const auto dir = std::filesystem::temp_directory_path() / "synergy_it_models";
+  std::filesystem::remove_all(dir);
+  synergy::model_store store{dir};
+  store.save("V100", models);
+
+  // 3. Load into a planner on the "application" side.
+  auto planner =
+      std::make_shared<synergy::frequency_planner>(spec, store.load("V100"));
+
+  // 4. Run the benchmark suite with a queue-level ES_50 target.
+  simsycl::device dev{spec};
+  auto ctx = std::make_shared<synergy::context>(std::vector<simsycl::device>{dev});
+
+  synergy::queue baseline{dev, ctx};
+  double base_energy = 0.0;
+  for (const auto& b : sw::suite()) base_energy += b.run(baseline).record().cost.energy.value;
+
+  synergy::queue tuned{dev, ctx};
+  tuned.set_planner(planner);
+  tuned.set_target(sm::ES_50);
+  double tuned_energy = 0.0;
+  for (const auto& b : sw::suite()) tuned_energy += b.run(tuned).record().cost.energy.value;
+
+  EXPECT_LT(tuned_energy, base_energy);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Pipeline, ModelPlannerTracksOracleSavingsClosely) {
+  // The model-driven planner should recover most of the oracle's MIN_ENERGY
+  // saving across the suite.
+  const auto spec = gs::make_v100();
+  synergy::model_trainer trainer{spec, quick_options()};
+  synergy::frequency_planner planner{spec, trainer.train_default()};
+  const gs::dvfs_model model;
+
+  double default_e = 0.0, oracle_e = 0.0, planned_e = 0.0;
+  for (const auto& b : sw::suite()) {
+    const auto profile = b.profile();
+    default_e += model.evaluate(spec, profile, spec.default_config()).energy.value;
+    const auto f_oracle = synergy::oracle_plan(spec, profile, sm::MIN_ENERGY);
+    oracle_e += model.evaluate(spec, profile, f_oracle).energy.value;
+    const auto f_planned = planner.plan(b.info.features, sm::MIN_ENERGY);
+    planned_e += model.evaluate(spec, profile, f_planned).energy.value;
+  }
+  const double oracle_saving = 1.0 - oracle_e / default_e;
+  const double planned_saving = 1.0 - planned_e / default_e;
+  EXPECT_GT(oracle_saving, 0.15);
+  // The trained planner captures at least 60% of the oracle saving.
+  EXPECT_GT(planned_saving, 0.6 * oracle_saving);
+}
+
+// ---------------------------------------------------------- tuning table ----
+
+TEST(TuningTable, PutFindAndKernels) {
+  synergy::tuning_table table;
+  EXPECT_TRUE(table.empty());
+  table.put("saxpy", sm::MIN_EDP, {synergy::common::megahertz{877},
+                                   synergy::common::megahertz{1000}});
+  table.put("saxpy", sm::ES_50, {synergy::common::megahertz{877},
+                                 synergy::common::megahertz{1100}});
+  table.put("gemm", sm::MIN_EDP, {synergy::common::megahertz{877},
+                                  synergy::common::megahertz{900}});
+  EXPECT_EQ(table.size(), 3u);
+  ASSERT_TRUE(table.find("saxpy", sm::MIN_EDP).has_value());
+  EXPECT_DOUBLE_EQ(table.find("saxpy", sm::MIN_EDP)->core.value, 1000.0);
+  EXPECT_FALSE(table.find("saxpy", sm::PL_25).has_value());
+  EXPECT_FALSE(table.find("unknown", sm::MIN_EDP).has_value());
+  EXPECT_EQ(table.kernels(), (std::vector<std::string>{"gemm", "saxpy"}));
+}
+
+TEST(TuningTable, SerializationRoundTrip) {
+  synergy::tuning_table table;
+  table.set_device_key("V100");
+  table.put("k1", sm::ES_25, {synergy::common::megahertz{877},
+                              synergy::common::megahertz{1208}});
+  table.put("k2", sm::MIN_ED2P, {synergy::common::megahertz{877},
+                                 synergy::common::megahertz{1530}});
+  const auto restored = synergy::tuning_table::deserialize(table.serialize());
+  EXPECT_EQ(restored.device_key(), "V100");
+  EXPECT_EQ(restored.size(), 2u);
+  EXPECT_DOUBLE_EQ(restored.find("k1", sm::ES_25)->core.value, 1208.0);
+  EXPECT_DOUBLE_EQ(restored.find("k2", sm::MIN_ED2P)->core.value, 1530.0);
+}
+
+TEST(TuningTable, DeserializeRejectsGarbage) {
+  EXPECT_THROW((void)synergy::tuning_table::deserialize("not a table\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)synergy::tuning_table::deserialize("synergy_tuning v1\nnope x\n"),
+               std::invalid_argument);
+}
+
+TEST(TuningTable, PutOverwritesExistingEntry) {
+  synergy::tuning_table table;
+  table.put("k", sm::MIN_EDP,
+            {synergy::common::megahertz{877}, synergy::common::megahertz{900}});
+  table.put("k", sm::MIN_EDP,
+            {synergy::common::megahertz{877}, synergy::common::megahertz{1100}});
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_DOUBLE_EQ(table.find("k", sm::MIN_EDP)->core.value, 1100.0);
+}
+
+TEST(TuningTable, SerializeEmptyTableRoundTrips) {
+  synergy::tuning_table empty;
+  const auto restored = synergy::tuning_table::deserialize(empty.serialize());
+  EXPECT_TRUE(restored.empty());
+  EXPECT_TRUE(restored.device_key().empty());
+}
+
+TEST(TuningTable, OracleCompilationCoversRegistryTimesTargets) {
+  synergy::features::kernel_registry registry;
+  sw::register_all(registry);
+  const auto targets = std::vector<sm::target>{sm::MIN_EDP, sm::ES_50, sm::PL_50};
+  const auto table =
+      synergy::compile_tuning_table_oracle(registry, targets, gs::make_v100());
+  EXPECT_EQ(table.size(), registry.size() * targets.size());
+  EXPECT_EQ(table.device_key(), "NVIDIA Tesla V100");
+  // Every compiled frequency is a supported clock.
+  const auto spec = gs::make_v100();
+  for (const auto& name : table.kernels())
+    for (const auto& t : targets)
+      EXPECT_TRUE(spec.supports_core_clock(table.find(name, t)->core)) << name;
+}
+
+TEST(TuningTable, QueueUsesCompiledArtefactsWithoutModels) {
+  const auto spec = gs::make_v100();
+  synergy::features::kernel_registry registry;
+  sw::register_all(registry);
+  auto table = std::make_shared<synergy::tuning_table>(synergy::compile_tuning_table_oracle(
+      registry, {sm::MIN_ENERGY}, spec));
+
+  simsycl::device dev{spec};
+  auto ctx = std::make_shared<synergy::context>(std::vector<simsycl::device>{dev});
+  synergy::queue q{dev, ctx};
+  q.set_tuning_table(table);
+  q.set_target(sm::MIN_ENERGY);
+
+  const auto& bench = sw::find("sobel3");
+  const auto e = bench.run(q);
+  EXPECT_DOUBLE_EQ(e.record().config.core.value,
+                   table->find("sobel3", sm::MIN_ENERGY)->core.value);
+}
+
+TEST(TuningTable, TableTakesPriorityOverPlanner) {
+  // An installed compile-time artefact wins over online planning — the
+  // runtime must honour the compiler's decision (paper Fig. 3).
+  const auto spec = gs::make_v100();
+  synergy::model_trainer trainer{spec, quick_options()};
+  auto planner = std::make_shared<synergy::frequency_planner>(spec, trainer.train_default());
+
+  auto table = std::make_shared<synergy::tuning_table>();
+  table->set_device_key("V100");
+  const auto pinned = spec.core_clocks[30];
+  table->put("sobel3", sm::MIN_ENERGY, {spec.memory_clock, pinned});
+
+  simsycl::device dev{spec};
+  auto ctx = std::make_shared<synergy::context>(std::vector<simsycl::device>{dev});
+  synergy::queue q{dev, ctx};
+  q.set_planner(planner);
+  q.set_tuning_table(table);
+  q.set_target(sm::MIN_ENERGY);
+  const auto e = sw::find("sobel3").run(q);
+  EXPECT_DOUBLE_EQ(e.record().config.core.value, pinned.value);
+
+  // A kernel absent from the table falls back to the planner.
+  const auto e2 = sw::find("mat_mul").run(q);
+  EXPECT_DOUBLE_EQ(e2.record().config.core.value,
+                   planner->plan(sw::find("mat_mul").info.features, sm::MIN_ENERGY).core.value);
+}
+
+TEST(TuningTable, QueueRejectsForeignDeviceArtefacts) {
+  synergy::tuning_table mi100_table;
+  mi100_table.set_device_key("AMD Instinct MI100");
+  simsycl::device dev{gs::make_v100()};
+  auto ctx = std::make_shared<synergy::context>(std::vector<simsycl::device>{dev});
+  synergy::queue q{dev, ctx};
+  EXPECT_THROW(
+      q.set_tuning_table(std::make_shared<synergy::tuning_table>(std::move(mi100_table))),
+      std::invalid_argument);
+}
+
+TEST(TuningTable, CompiledAndOnlinePlansAgreeForOracle) {
+  // Compiling with the oracle and resolving online with the oracle must
+  // agree when the launch sizes match.
+  const auto spec = gs::make_v100();
+  synergy::features::kernel_registry registry;
+  sw::register_all(registry);
+  const auto& bench = sw::find("black_scholes");
+  const auto table = synergy::compile_tuning_table_oracle(
+      registry, {sm::MIN_EDP}, spec, bench.profile().work_items);
+  const auto online = synergy::oracle_plan(spec, bench.profile(), sm::MIN_EDP);
+  EXPECT_DOUBLE_EQ(table.find("black_scholes", sm::MIN_EDP)->core.value, online.core.value);
+}
+
+// ------------------------------------------------ scheduler + MPI + app ----
+
+TEST(ClusterIntegration, JobRunsAppOnAllocatedGpusWithPluginPrivileges) {
+  std::vector<ss::node_config> nodes;
+  for (int i = 0; i < 2; ++i) {
+    ss::node_config cfg;
+    cfg.name = "node" + std::to_string(i);
+    cfg.gpus = {"V100", "V100"};
+    cfg.gres = {ss::nvgpufreq_plugin::gres_tag};
+    nodes.push_back(cfg);
+  }
+  ss::controller ctl{std::move(nodes)};
+  ctl.register_plugin(std::make_shared<ss::nvgpufreq_plugin>());
+
+  sw::apps::app_config cfg;
+  cfg.nx = 8;
+  cfg.ny = 8;
+  cfg.timesteps = 2;
+
+  sw::apps::app_result tuned{}, base{};
+  auto submit_app = [&](bool with_target, sw::apps::app_result& out) {
+    ss::job_request req;
+    req.name = with_target ? "tuned" : "base";
+    req.n_nodes = 2;
+    req.exclusive = true;
+    req.gres = {ss::nvgpufreq_plugin::gres_tag};
+    req.payload = [&, with_target](ss::job_context& job) {
+      auto run_cfg = cfg;
+      for (ss::node* n : job.nodes)
+        for (const auto& dev : n->devices()) run_cfg.gpus.push_back({dev, n->ctx()});
+      out = sw::apps::run_miniweather(
+          static_cast<int>(run_cfg.gpus.size()), run_cfg,
+          with_target ? std::optional<sm::target>{sm::PL_50} : std::nullopt);
+    };
+    return ctl.submit(std::move(req));
+  };
+
+  const int id_tuned = submit_app(true, tuned);
+  const int id_base = submit_app(false, base);
+  ctl.run_pending();
+
+  EXPECT_EQ(ctl.job(id_tuned).state, ss::job_state::completed);
+  EXPECT_EQ(ctl.job(id_base).state, ss::job_state::completed);
+  // Tuned job saved energy; numerics identical.
+  EXPECT_LT(tuned.gpu_energy_j, base.gpu_energy_j);
+  EXPECT_NEAR(tuned.checksum, base.checksum, 1e-6 * std::fabs(base.checksum));
+  // Accounting recorded both.
+  EXPECT_GT(ctl.job(id_tuned).gpu_energy_j, 0.0);
+  EXPECT_GT(ctl.job(id_base).gpu_energy_j, 0.0);
+  // Devices were left at default clocks by the epilogue.
+  for (std::size_t n = 0; n < ctl.node_count(); ++n)
+    for (const auto& dev : ctl.node_at(n).devices())
+      EXPECT_DOUBLE_EQ(dev.board()->current_config().core.value, 1312.0);
+}
+
+// -------------------------------------- cross-device end-to-end sweeps ----
+
+class DeviceSweep : public ::testing::TestWithParam<const char*> {};
+
+// PVC (Intel, Level Zero) is a portability extension beyond the paper's
+// evaluated devices; the whole stack must work identically on it.
+INSTANTIATE_TEST_SUITE_P(Devices, DeviceSweep,
+                         ::testing::Values("V100", "A100", "MI100", "PVC"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST_P(DeviceSweep, SuiteRunsAndEs50SavesEnergy) {
+  const auto spec = gs::make_device_spec(GetParam());
+  simsycl::device dev{spec};
+  auto ctx = std::make_shared<synergy::context>(std::vector<simsycl::device>{dev});
+
+  synergy::queue baseline{dev, ctx};
+  double base_energy = 0.0;
+  for (const auto& b : sw::suite()) base_energy += b.run(baseline).record().cost.energy.value;
+
+  synergy::queue tuned{dev, ctx};
+  tuned.set_target(sm::ES_50);  // oracle-resolved
+  double tuned_energy = 0.0;
+  for (const auto& b : sw::suite()) tuned_energy += b.run(tuned).record().cost.energy.value;
+
+  EXPECT_LT(tuned_energy, base_energy * 0.98) << GetParam();
+}
+
+TEST_P(DeviceSweep, MaxPerfNeverSlowerThanDefault) {
+  const auto spec = gs::make_device_spec(GetParam());
+  const gs::dvfs_model model;
+  for (const auto& b : sw::suite()) {
+    const auto profile = b.profile();
+    const auto t_default =
+        model.evaluate(spec, profile, spec.default_config()).time.value;
+    const auto f = synergy::oracle_plan(spec, profile, sm::MAX_PERF);
+    const auto t_perf = model.evaluate(spec, profile, f).time.value;
+    EXPECT_LE(t_perf, t_default * 1.0000001) << b.name << " on " << GetParam();
+  }
+}
+
+TEST_P(DeviceSweep, TrainedModelsLearnDeviceShape) {
+  const auto spec = gs::make_device_spec(GetParam());
+  synergy::model_trainer trainer{spec, quick_options()};
+  const auto models = trainer.train_default();
+  ASSERT_TRUE(models.complete());
+  // The time model must know that lower clocks are not faster.
+  gs::static_features k;
+  k.float_add = 200;
+  k.float_mul = 200;
+  k.gl_access = 4;
+  const double t_low =
+      models.time->predict_one(synergy::model_input(k, spec.min_core_clock()));
+  const double t_high =
+      models.time->predict_one(synergy::model_input(k, spec.max_core_clock()));
+  EXPECT_GT(t_low, t_high) << GetParam();
+}

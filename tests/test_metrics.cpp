@@ -1,0 +1,237 @@
+// Tests for the energy-metrics module: EDP/ED2P, target naming/parsing,
+// Pareto-front extraction invariants, and the target-selection search that
+// implements the paper's Sec. 5 semantics (ES_x / PL_x intervals).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "synergy/common/rng.hpp"
+#include "synergy/metrics/energy_metrics.hpp"
+
+namespace sm = synergy::metrics;
+namespace sc = synergy::common;
+
+using sc::frequency_config;
+using sc::megahertz;
+using sm::characterization;
+using sm::operating_point;
+using sm::target;
+
+namespace {
+
+operating_point op(double core_mhz, double time_s, double energy_j) {
+  return {{megahertz{877.0}, megahertz{core_mhz}}, time_s, energy_j};
+}
+
+/// A synthetic sweep mimicking a compute-bound kernel on V100: time falls
+/// with frequency, energy is U-shaped with an interior minimum, default at
+/// the second-highest frequency.
+characterization synthetic_sweep() {
+  characterization c;
+  // freq:      400   600   800   1000  1200  1312* 1530
+  // time:      10.0  6.8   5.2   4.3   3.7   3.4   3.0
+  // energy:    1400  1150  1000  980   1020  1100  1300
+  c.points = {op(400, 10.0, 1400), op(600, 6.8, 1150), op(800, 5.2, 1000),
+              op(1000, 4.3, 980),  op(1200, 3.7, 1020), op(1312, 3.4, 1100),
+              op(1530, 3.0, 1300)};
+  c.default_index = 5;
+  return c;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- products ----
+
+TEST(EnergyMetrics, EdpAndEd2p) {
+  EXPECT_DOUBLE_EQ(sm::edp(100.0, 2.0), 200.0);
+  EXPECT_DOUBLE_EQ(sm::ed2p(100.0, 2.0), 400.0);
+  const auto p = op(1000, 2.0, 100.0);
+  EXPECT_DOUBLE_EQ(p.edp(), 200.0);
+  EXPECT_DOUBLE_EQ(p.ed2p(), 400.0);
+}
+
+TEST(Characterization, SpeedupAndNormalizedEnergy) {
+  const auto c = synthetic_sweep();
+  const auto& fastest = c.points.back();
+  EXPECT_NEAR(c.speedup(fastest), 3.4 / 3.0, 1e-12);
+  EXPECT_NEAR(c.normalized_energy(fastest), 1300.0 / 1100.0, 1e-12);
+  EXPECT_DOUBLE_EQ(c.speedup(c.default_point()), 1.0);
+  EXPECT_DOUBLE_EQ(c.normalized_energy(c.default_point()), 1.0);
+}
+
+// ----------------------------------------------------------------- target ----
+
+TEST(Target, NamesRoundTrip) {
+  for (const auto& t : sm::paper_objectives()) {
+    EXPECT_EQ(target::parse(t.to_string()), t) << t.to_string();
+  }
+  EXPECT_EQ(sm::ES_25.to_string(), "ES_25");
+  EXPECT_EQ(sm::PL_50.to_string(), "PL_50");
+  EXPECT_EQ(sm::MIN_ED2P.to_string(), "MIN_ED2P");
+}
+
+TEST(Target, ParseRejectsGarbage) {
+  EXPECT_THROW((void)target::parse("EDP"), std::invalid_argument);
+  EXPECT_THROW((void)target::parse("ES_0"), std::invalid_argument);
+  EXPECT_THROW((void)target::parse("ES_150"), std::invalid_argument);
+  EXPECT_THROW((void)target::parse("PL_-5"), std::invalid_argument);
+}
+
+TEST(Target, PaperObjectivesAreTheTableTwoRows) {
+  const auto objs = sm::paper_objectives();
+  ASSERT_EQ(objs.size(), 10u);
+  EXPECT_EQ(objs[0].to_string(), "MAX_PERF");
+  EXPECT_EQ(objs[9].to_string(), "PL_75");
+}
+
+// ------------------------------------------------------------ pareto front ----
+
+TEST(ParetoFront, ExtractsNonDominatedPoints) {
+  const auto c = synthetic_sweep();
+  const auto front = sm::pareto_front(c.points);
+  // Dominated points: 400 (slower and more energy than 600), 600 vs 800...
+  // Front (ascending time): 1530, 1312?, ... compute manually:
+  // sorted by time: (3.0,1300) (3.4,1100) (3.7,1020) (4.3,980) (5.2,1000) ...
+  // front = first four (each has lower energy than all faster ones).
+  ASSERT_EQ(front.size(), 4u);
+  EXPECT_DOUBLE_EQ(c.points[front[0]].time_s, 3.0);
+  EXPECT_DOUBLE_EQ(c.points[front[3]].energy_j, 980.0);
+}
+
+TEST(ParetoFront, PropertyNoFrontPointDominatesAnother) {
+  sc::pcg32 rng{321};
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<operating_point> pts;
+    for (int i = 0; i < 40; ++i)
+      pts.push_back(op(500 + i, rng.uniform(1.0, 10.0), rng.uniform(100.0, 1000.0)));
+    const auto front = sm::pareto_front(pts);
+    ASSERT_FALSE(front.empty());
+    // (a) No front member dominates another.
+    for (const auto a : front)
+      for (const auto b : front) {
+        if (a == b) continue;
+        const bool dominates = pts[a].time_s <= pts[b].time_s &&
+                               pts[a].energy_j <= pts[b].energy_j &&
+                               (pts[a].time_s < pts[b].time_s ||
+                                pts[a].energy_j < pts[b].energy_j);
+        EXPECT_FALSE(dominates);
+      }
+    // (b) Every non-front point is dominated by some front point.
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (std::find(front.begin(), front.end(), i) != front.end()) continue;
+      bool dominated = false;
+      for (const auto a : front)
+        dominated |= (pts[a].time_s <= pts[i].time_s && pts[a].energy_j <= pts[i].energy_j);
+      EXPECT_TRUE(dominated);
+    }
+  }
+}
+
+TEST(ParetoFront, SingletonAndEmpty) {
+  EXPECT_TRUE(sm::pareto_front({}).empty());
+  const std::vector<operating_point> one{op(1000, 1.0, 1.0)};
+  EXPECT_EQ(sm::pareto_front(one).size(), 1u);
+}
+
+// -------------------------------------------------------------- selection ----
+
+TEST(Select, Extremes) {
+  const auto c = synthetic_sweep();
+  EXPECT_EQ(sm::select(c, sm::MAX_PERF), 6u);    // 1530 MHz, fastest
+  EXPECT_EQ(sm::select(c, sm::MIN_ENERGY), 3u);  // 1000 MHz, 980 J
+}
+
+TEST(Select, EnergyDelayProducts) {
+  const auto c = synthetic_sweep();
+  const auto i_edp = sm::select(c, sm::MIN_EDP);
+  const auto i_ed2p = sm::select(c, sm::MIN_ED2P);
+  // Verify argmin property directly.
+  for (const auto& p : c.points) {
+    EXPECT_LE(c.points[i_edp].edp(), p.edp() + 1e-12);
+    EXPECT_LE(c.points[i_ed2p].ed2p(), p.ed2p() + 1e-12);
+  }
+  // ED2P leans toward performance: its pick is at least as fast as EDP's
+  // (paper Sec. 5.1: ED2P sits close to max performance).
+  EXPECT_LE(c.points[i_ed2p].time_s, c.points[i_edp].time_s);
+}
+
+TEST(Select, EnergySavingSemantics) {
+  const auto c = synthetic_sweep();
+  // Potential savings: 1100 -> 980 = 120 J.
+  // ES_100 must be the min-energy config.
+  EXPECT_EQ(sm::select(c, target::energy_saving(100.0)), 3u);
+  // ES_25 budget: 1100 - 30 = 1070; candidates with e <= 1070: indices 1..4.
+  // Best performing of those is 1200 MHz (3.7 s).
+  EXPECT_EQ(sm::select(c, sm::ES_25), 4u);
+  // ES_75 budget: 1100 - 90 = 1010; candidates: 800 (1000 J), 1000 (980).
+  // Fastest is 1000 MHz.
+  EXPECT_EQ(sm::select(c, sm::ES_75), 3u);
+}
+
+TEST(Select, PerformanceLossSemantics) {
+  const auto c = synthetic_sweep();
+  // Interval: default 3.4 s -> min-energy config time 4.3 s; loss span 0.9 s.
+  // PL_25 budget: 3.4 + 0.225 = 3.625 s -> only default (and faster) allowed;
+  // most energy-efficient within budget: 1312 itself (1100) vs 1530 (1300).
+  EXPECT_EQ(sm::select(c, sm::PL_25), 5u);
+  // PL_50 budget: 3.4 + 0.45 = 3.85 -> 1200 MHz (3.7 s, 1020 J) qualifies.
+  EXPECT_EQ(sm::select(c, sm::PL_50), 4u);
+  // PL_100 -> 4.3 s budget: min energy within = 980 J at 1000 MHz.
+  EXPECT_EQ(sm::select(c, target::performance_loss(100.0)), 3u);
+}
+
+TEST(Select, SelectionsLieOnParetoFrontForWellBehavedSweeps) {
+  const auto c = synthetic_sweep();
+  const auto front = sm::pareto_front(c.points);
+  for (const auto& t : {sm::MAX_PERF, sm::MIN_ENERGY, sm::MIN_EDP, sm::ES_25, sm::ES_50,
+                        sm::ES_75, sm::PL_50, sm::PL_75}) {
+    const auto i = sm::select(c, t);
+    EXPECT_NE(std::find(front.begin(), front.end(), i), front.end())
+        << t.to_string() << " selected a dominated point";
+  }
+}
+
+TEST(Select, EsBudgetMonotonicity) {
+  // Property: larger x (more required savings) never picks a faster config.
+  const auto c = synthetic_sweep();
+  double prev_time = 0.0;
+  for (const double x : {10.0, 25.0, 40.0, 50.0, 75.0, 90.0, 100.0}) {
+    const auto i = sm::select(c, target::energy_saving(x));
+    EXPECT_GE(c.points[i].time_s, prev_time - 1e-12) << "ES_" << x;
+    prev_time = c.points[i].time_s;
+  }
+}
+
+TEST(Select, PlBudgetMonotonicity) {
+  // Property: larger allowed loss never increases energy of the pick.
+  const auto c = synthetic_sweep();
+  double prev_energy = 1e300;
+  for (const double x : {10.0, 25.0, 50.0, 75.0, 100.0}) {
+    const auto i = sm::select(c, target::performance_loss(x));
+    EXPECT_LE(c.points[i].energy_j, prev_energy + 1e-12) << "PL_" << x;
+    prev_energy = c.points[i].energy_j;
+  }
+}
+
+TEST(Select, DefaultAlreadyOptimalDegeneracy) {
+  // MI100-like sweep: default (max frequency) is fastest AND most efficient.
+  characterization c;
+  c.points = {op(300, 10.0, 2000), op(900, 4.0, 1200), op(1502, 2.0, 900)};
+  c.default_index = 2;
+  EXPECT_EQ(sm::select(c, sm::MAX_PERF), 2u);
+  EXPECT_EQ(sm::select(c, sm::MIN_ENERGY), 2u);
+  // No savings available: ES_x budget equals default energy -> default wins.
+  EXPECT_EQ(sm::select(c, sm::ES_50), 2u);
+  // No loss available either.
+  EXPECT_EQ(sm::select(c, sm::PL_50), 2u);
+}
+
+TEST(Select, ErrorsOnBadInput) {
+  characterization empty;
+  EXPECT_THROW((void)sm::select(empty, sm::MIN_EDP), std::invalid_argument);
+  characterization bad;
+  bad.points = {op(1000, 1.0, 1.0)};
+  bad.default_index = 5;
+  EXPECT_THROW((void)sm::select(bad, sm::MIN_EDP), std::invalid_argument);
+}

@@ -1,0 +1,263 @@
+// Tests for the in-process MPI layer: point-to-point semantics, collectives,
+// virtual-time propagation through the network model, and SPMD execution.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "minimpi/minimpi.hpp"
+
+using minimpi::communicator;
+using minimpi::network_model;
+using minimpi::op;
+using minimpi::world;
+
+TEST(NetworkModel, TransferAndCollectiveTimes) {
+  network_model nm;
+  EXPECT_DOUBLE_EQ(nm.transfer_time(0), nm.latency_s);
+  EXPECT_GT(nm.transfer_time(1 << 20), nm.transfer_time(1 << 10));
+  EXPECT_DOUBLE_EQ(nm.collective_time(1, 8), 0.0);
+  // log2 growth in ranks.
+  EXPECT_NEAR(nm.collective_time(16, 8) / nm.collective_time(4, 8), 2.0, 1e-9);
+}
+
+TEST(World, RejectsZeroRanks) {
+  EXPECT_THROW((world{0}), std::invalid_argument);
+}
+
+TEST(World, RunsEveryRankExactlyOnce) {
+  world w{8};
+  std::atomic<int> count{0};
+  std::array<std::atomic<int>, 8> seen{};
+  w.run([&](communicator& comm) {
+    ++count;
+    seen[comm.rank()]++;
+    EXPECT_EQ(comm.size(), 8);
+  });
+  EXPECT_EQ(count, 8);
+  for (const auto& s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(World, PropagatesRankExceptions) {
+  world w{2};
+  EXPECT_THROW(w.run([](communicator& comm) {
+    if (comm.rank() == 1) throw std::runtime_error("rank failure");
+  }),
+               std::runtime_error);
+}
+
+TEST(PointToPoint, SendRecvDeliversPayload) {
+  world w{2};
+  w.run([](communicator& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<double> data{1.0, 2.0, 3.0};
+      comm.send<double>(1, 7, data);
+    } else {
+      std::vector<double> data(3);
+      comm.recv<double>(0, 7, data);
+      EXPECT_DOUBLE_EQ(data[1], 2.0);
+    }
+  });
+}
+
+TEST(PointToPoint, MessagesWithSameTagArriveInOrder) {
+  world w{2};
+  w.run([](communicator& comm) {
+    if (comm.rank() == 0) {
+      for (double v : {1.0, 2.0, 3.0}) comm.send<double>(1, 0, {&v, 1});
+    } else {
+      for (double expected : {1.0, 2.0, 3.0}) {
+        double v = 0.0;
+        comm.recv<double>(0, 0, {&v, 1});
+        EXPECT_DOUBLE_EQ(v, expected);
+      }
+    }
+  });
+}
+
+TEST(PointToPoint, TagsAreIndependentChannels) {
+  world w{2};
+  w.run([](communicator& comm) {
+    if (comm.rank() == 0) {
+      double a = 10.0, b = 20.0;
+      comm.send<double>(1, /*tag=*/2, {&a, 1});
+      comm.send<double>(1, /*tag=*/1, {&b, 1});
+    } else {
+      double b = 0.0, a = 0.0;
+      comm.recv<double>(0, 1, {&b, 1});  // receive tag 1 first
+      comm.recv<double>(0, 2, {&a, 1});
+      EXPECT_DOUBLE_EQ(a, 10.0);
+      EXPECT_DOUBLE_EQ(b, 20.0);
+    }
+  });
+}
+
+TEST(PointToPoint, ReceiverClockAdvancesToArrival) {
+  world w{2};
+  w.run([](communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.charge(1.0);  // sender is busy for 1 virtual second first
+      const double v = 42.0;
+      comm.send<double>(1, 0, {&v, 1});
+    } else {
+      double v = 0.0;
+      comm.recv<double>(0, 0, {&v, 1});
+      // Receiver was idle; its clock must jump past the sender's send time.
+      EXPECT_GT(comm.wtime(), 1.0);
+    }
+  });
+  EXPECT_GT(w.makespan(), 1.0);
+}
+
+TEST(PointToPoint, SendRecvExchangeIsDeadlockFree) {
+  world w{4};
+  w.run([](communicator& comm) {
+    const int partner = comm.rank() ^ 1;  // pairwise exchange
+    const double mine = static_cast<double>(comm.rank());
+    double theirs = -1.0;
+    comm.sendrecv<double>(partner, 3, {&mine, 1}, {&theirs, 1});
+    EXPECT_DOUBLE_EQ(theirs, static_cast<double>(partner));
+  });
+}
+
+TEST(PointToPoint, BadRankThrows) {
+  world w{2};
+  EXPECT_THROW(w.run([](communicator& comm) {
+    const double v = 0.0;
+    comm.send<double>(5, 0, {&v, 1});
+  }),
+               std::invalid_argument);
+}
+
+TEST(Collectives, AllreduceSum) {
+  world w{8};
+  w.run([](communicator& comm) {
+    const double result = comm.allreduce(static_cast<double>(comm.rank()), op::sum);
+    EXPECT_DOUBLE_EQ(result, 28.0);  // 0+1+...+7
+  });
+}
+
+TEST(Collectives, AllreduceMaxMin) {
+  world w{5};
+  w.run([](communicator& comm) {
+    EXPECT_DOUBLE_EQ(comm.allreduce(static_cast<double>(comm.rank()), op::max), 4.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce(static_cast<double>(comm.rank()), op::min), 0.0);
+  });
+}
+
+TEST(Collectives, VectorAllreduce) {
+  world w{4};
+  w.run([](communicator& comm) {
+    std::vector<double> values{1.0, static_cast<double>(comm.rank())};
+    comm.allreduce(values, op::sum);
+    EXPECT_DOUBLE_EQ(values[0], 4.0);
+    EXPECT_DOUBLE_EQ(values[1], 6.0);
+  });
+}
+
+TEST(Collectives, ConsecutiveCollectivesDoNotInterfere) {
+  world w{4};
+  w.run([](communicator& comm) {
+    for (int i = 0; i < 50; ++i) {
+      const double r = comm.allreduce(1.0, op::sum);
+      EXPECT_DOUBLE_EQ(r, 4.0);
+      comm.barrier();
+    }
+  });
+}
+
+TEST(Collectives, ClocksSynchroniseAtBarrier) {
+  world w{4};
+  w.run([](communicator& comm) {
+    comm.charge(static_cast<double>(comm.rank()));  // skewed clocks 0..3
+    comm.barrier();
+    EXPECT_GE(comm.wtime(), 3.0);  // everyone waits for the slowest
+  });
+  EXPECT_GE(w.makespan(), 3.0);
+}
+
+TEST(Collectives, SingleRankWorldCollectivesAreFree) {
+  world w{1};
+  w.run([](communicator& comm) {
+    const double before = comm.wtime();
+    comm.barrier();
+    const double r = comm.allreduce(5.0, op::sum);
+    EXPECT_DOUBLE_EQ(r, 5.0);
+    EXPECT_DOUBLE_EQ(comm.wtime(), before);
+  });
+}
+
+TEST(Collectives, BroadcastDeliversRootPayload) {
+  world w{5};
+  w.run([](communicator& comm) {
+    std::vector<double> values(3, 0.0);
+    if (comm.rank() == 2) values = {7.0, 8.0, 9.0};
+    comm.broadcast(2, values);
+    EXPECT_DOUBLE_EQ(values[0], 7.0);
+    EXPECT_DOUBLE_EQ(values[2], 9.0);
+  });
+}
+
+TEST(Collectives, GatherCollectsPerRankValues) {
+  world w{4};
+  w.run([](communicator& comm) {
+    std::vector<double> out(4, -1.0);
+    comm.gather(0, static_cast<double>(comm.rank() * 10), out);
+    if (comm.rank() == 0) {
+      for (int r = 0; r < 4; ++r) EXPECT_DOUBLE_EQ(out[r], r * 10.0);
+    } else {
+      EXPECT_DOUBLE_EQ(out[0], -1.0);  // untouched on non-roots
+    }
+  });
+}
+
+TEST(Collectives, BadRootsThrow) {
+  world w{2};
+  EXPECT_THROW(w.run([](communicator& comm) {
+    std::vector<double> v(1, 0.0);
+    comm.broadcast(7, v);
+  }),
+               std::invalid_argument);
+}
+
+TEST(VirtualTime, ChargeAccumulatesAndRejectsNegative) {
+  world w{1};
+  w.run([](communicator& comm) {
+    comm.charge(0.5);
+    comm.charge(0.25);
+    EXPECT_DOUBLE_EQ(comm.wtime(), 0.75);
+    EXPECT_THROW(comm.charge(-1.0), std::invalid_argument);
+  });
+}
+
+TEST(VirtualTime, RingPipelinePropagatesDelay) {
+  // Rank 0 is slow; a ring of dependent messages must carry its delay around.
+  const int n = 6;
+  world w{n};
+  w.run([&](communicator& comm) {
+    const int next = (comm.rank() + 1) % n;
+    const int prev = (comm.rank() + n - 1) % n;
+    if (comm.rank() == 0) {
+      comm.charge(2.0);
+      const double v = 1.0;
+      comm.send<double>(next, 0, {&v, 1});
+      double in = 0.0;
+      comm.recv<double>(prev, 0, {&in, 1});
+    } else {
+      double in = 0.0;
+      comm.recv<double>(prev, 0, {&in, 1});
+      comm.send<double>(next, 0, {&in, 1});
+    }
+    EXPECT_GE(comm.wtime(), 2.0);
+  });
+  EXPECT_GE(w.makespan(), 2.0);
+}
+
+TEST(VirtualTime, MakespanIsMaxRankTime) {
+  world w{3};
+  w.run([](communicator& comm) { comm.charge(comm.rank() == 1 ? 7.0 : 0.5); });
+  EXPECT_DOUBLE_EQ(w.makespan(), 7.0);
+}

@@ -1,0 +1,441 @@
+// Tests for the ML library: matrix/Cholesky, dataset plumbing, scaler,
+// each regressor's fit quality on synthetic ground truths, serialization
+// round-trips, and parameterized property tests across all four algorithms.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "synergy/common/rng.hpp"
+#include "synergy/ml/dataset.hpp"
+#include "synergy/ml/linear.hpp"
+#include "synergy/ml/matrix.hpp"
+#include "synergy/ml/metrics.hpp"
+#include "synergy/ml/random_forest.hpp"
+#include "synergy/ml/regressor.hpp"
+#include "synergy/ml/svr.hpp"
+
+namespace ml = synergy::ml;
+using synergy::common::pcg32;
+
+namespace {
+
+/// y = 3 x0 - 2 x1 + 0.5 + noise over x ~ U[-1,1]^d.
+ml::dataset make_linear_data(std::size_t n, double noise_sigma, std::uint64_t seed = 11) {
+  pcg32 rng{seed};
+  ml::dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform(-1.0, 1.0);
+    const double x1 = rng.uniform(-1.0, 1.0);
+    const double x2 = rng.uniform(-1.0, 1.0);  // irrelevant feature
+    const double y = 3.0 * x0 - 2.0 * x1 + 0.5 + noise_sigma * rng.normal();
+    const double row[] = {x0, x1, x2};
+    d.push(row, y);
+  }
+  return d;
+}
+
+/// Smooth nonlinear target: y = sin(3 x0) + x1^2.
+ml::dataset make_nonlinear_data(std::size_t n, std::uint64_t seed = 29) {
+  pcg32 rng{seed};
+  ml::dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform(-1.0, 1.0);
+    const double x1 = rng.uniform(-1.0, 1.0);
+    const double y = std::sin(3.0 * x0) + x1 * x1;
+    const double row[] = {x0, x1};
+    d.push(row, y);
+  }
+  return d;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- matrix ----
+
+TEST(Matrix, PushRowAndAccess) {
+  ml::matrix m;
+  const double r0[] = {1.0, 2.0};
+  const double r1[] = {3.0, 4.0};
+  m.push_row(r0);
+  m.push_row(r1);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.row(0)[1], 2.0);
+  EXPECT_EQ(m.column(1), (std::vector<double>{2.0, 4.0}));
+  const double bad[] = {1.0};
+  EXPECT_THROW(m.push_row(bad), std::invalid_argument);
+}
+
+TEST(Matrix, GramAndXty) {
+  ml::matrix x(2, 2);
+  x(0, 0) = 1; x(0, 1) = 2; x(1, 0) = 3; x(1, 1) = 4;
+  const auto g = ml::gram(x);
+  EXPECT_DOUBLE_EQ(g(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(g(0, 1), 14.0);
+  EXPECT_DOUBLE_EQ(g(1, 0), 14.0);
+  EXPECT_DOUBLE_EQ(g(1, 1), 20.0);
+  const std::vector<double> y{1.0, 1.0};
+  EXPECT_EQ(ml::xty(x, y), (std::vector<double>{4.0, 6.0}));
+}
+
+TEST(Matrix, CholeskySolveRecoversSolution) {
+  // A = [[4,2],[2,3]], b = A * [1, 2] = [8, 8].
+  ml::matrix a(2, 2);
+  a(0, 0) = 4; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 3;
+  const auto w = ml::cholesky_solve(a, {8.0, 8.0});
+  EXPECT_NEAR(w[0], 1.0, 1e-12);
+  EXPECT_NEAR(w[1], 2.0, 1e-12);
+}
+
+TEST(Matrix, CholeskyRejectsNonSpd) {
+  ml::matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 5; a(1, 0) = 5; a(1, 1) = 1;  // indefinite
+  EXPECT_THROW((void)ml::cholesky_solve(a, {1.0, 1.0}), std::runtime_error);
+}
+
+TEST(Matrix, DotMismatchThrows) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0};
+  EXPECT_THROW((void)ml::dot(a, b), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- dataset ----
+
+TEST(Dataset, ShuffleIsPermutationAndDeterministic) {
+  const auto d = make_linear_data(50, 0.0);
+  const auto s1 = ml::shuffled(d, 5);
+  const auto s2 = ml::shuffled(d, 5);
+  ASSERT_EQ(s1.size(), d.size());
+  double sum_orig = 0.0, sum_shuf = 0.0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    sum_orig += d.y[i];
+    sum_shuf += s1.y[i];
+    EXPECT_DOUBLE_EQ(s1.y[i], s2.y[i]);
+  }
+  EXPECT_NEAR(sum_orig, sum_shuf, 1e-9);
+  // Different seed gives a different order.
+  const auto s3 = ml::shuffled(d, 6);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < d.size(); ++i) any_diff |= (s1.y[i] != s3.y[i]);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Dataset, SplitFractions) {
+  const auto d = make_linear_data(100, 0.0);
+  const auto [train, test] = ml::split(d, 0.8);
+  EXPECT_EQ(train.size(), 80u);
+  EXPECT_EQ(test.size(), 20u);
+  EXPECT_THROW((void)ml::split(d, 1.5), std::invalid_argument);
+}
+
+TEST(Scaler, StandardisesColumns) {
+  const auto d = make_linear_data(500, 0.0);
+  ml::standard_scaler scaler;
+  const auto xs = scaler.fit_transform(d.x);
+  for (std::size_t c = 0; c < xs.cols(); ++c) {
+    const auto col = xs.column(c);
+    double mean = 0.0;
+    for (const double v : col) mean += v;
+    mean /= static_cast<double>(col.size());
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+  }
+}
+
+TEST(Scaler, ConstantColumnGetsUnitScale) {
+  ml::matrix x(3, 1);
+  x(0, 0) = x(1, 0) = x(2, 0) = 7.0;
+  ml::standard_scaler scaler;
+  scaler.fit(x);
+  EXPECT_DOUBLE_EQ(scaler.scales()[0], 1.0);
+  const auto xs = scaler.transform(x);
+  EXPECT_DOUBLE_EQ(xs(0, 0), 0.0);
+}
+
+TEST(Scaler, RestoreRoundTrip) {
+  ml::standard_scaler a;
+  ml::matrix x(4, 2);
+  x(0,0)=1; x(1,0)=2; x(2,0)=3; x(3,0)=4;
+  x(0,1)=10; x(1,1)=20; x(2,1)=30; x(3,1)=40;
+  a.fit(x);
+  ml::standard_scaler b;
+  b.restore(a.means(), a.scales());
+  std::vector<double> row{2.5, 25.0};
+  std::vector<double> row2 = row;
+  a.transform_row(row);
+  b.transform_row(row2);
+  EXPECT_DOUBLE_EQ(row[0], row2[0]);
+  EXPECT_DOUBLE_EQ(row[1], row2[1]);
+}
+
+// ---------------------------------------------------------------- metrics ----
+
+TEST(Metrics, Ape) {
+  EXPECT_DOUBLE_EQ(ml::ape(100.0, 110.0), 0.1);
+  EXPECT_DOUBLE_EQ(ml::ape(0.0, 0.0), 0.0);
+  EXPECT_GT(ml::ape(0.0, 1.0), 1e8);
+}
+
+TEST(Metrics, MapeAndRmse) {
+  const std::vector<double> actual{1.0, 2.0, 4.0};
+  const std::vector<double> predicted{1.1, 1.8, 4.0};
+  EXPECT_NEAR(ml::mape(actual, predicted), (0.1 + 0.1 + 0.0) / 3.0, 1e-12);
+  EXPECT_NEAR(ml::rmse(actual, predicted), std::sqrt((0.01 + 0.04) / 3.0), 1e-12);
+  EXPECT_THROW((void)ml::mape(actual, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Metrics, R2) {
+  const std::vector<double> actual{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(ml::r2(actual, actual), 1.0);
+  const std::vector<double> mean_pred{2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(ml::r2(actual, mean_pred), 0.0);
+}
+
+// --------------------------------------------------------------- regressors ----
+
+TEST(LinearRegression, RecoversCoefficientsOnCleanData) {
+  const auto d = make_linear_data(300, 0.0);
+  ml::linear_regression model;
+  model.fit(d.x, d.y);
+  // Coefficients are on standardised features; check predictions instead.
+  const double probe[] = {0.3, -0.4, 0.9};
+  EXPECT_NEAR(model.predict_one(probe), 3.0 * 0.3 - 2.0 * (-0.4) + 0.5, 1e-6);
+}
+
+TEST(LinearRegression, RobustToModerateNoise) {
+  const auto d = make_linear_data(2000, 0.1);
+  ml::linear_regression model;
+  model.fit(d.x, d.y);
+  const double probe[] = {0.5, 0.5, 0.0};
+  EXPECT_NEAR(model.predict_one(probe), 3.0 * 0.5 - 2.0 * 0.5 + 0.5, 0.05);
+}
+
+TEST(Lasso, ZeroesOutIrrelevantFeature) {
+  const auto d = make_linear_data(500, 0.01);
+  ml::lasso_regression model{0.05};
+  model.fit(d.x, d.y);
+  ASSERT_EQ(model.coefficients().size(), 3u);
+  // Feature 2 does not influence y: Lasso should kill it.
+  EXPECT_DOUBLE_EQ(model.coefficients()[2], 0.0);
+  EXPECT_GE(model.zero_count(), 1u);
+  // Relevant features survive.
+  EXPECT_GT(std::fabs(model.coefficients()[0]), 0.1);
+}
+
+TEST(Lasso, LargeAlphaKillsEverything) {
+  const auto d = make_linear_data(200, 0.0);
+  ml::lasso_regression model{1e6};
+  model.fit(d.x, d.y);
+  EXPECT_EQ(model.zero_count(), 3u);
+  // Prediction falls back to the mean.
+  const double probe[] = {0.0, 0.0, 0.0};
+  EXPECT_NEAR(model.predict_one(probe), model.intercept(), 1e-9);
+}
+
+TEST(RandomForest, FitsNonlinearFunction) {
+  const auto d = make_nonlinear_data(1500);
+  ml::random_forest model;
+  model.fit(d.x, d.y);
+  EXPECT_EQ(model.tree_count(), model.params().n_trees);
+  double worst = 0.0;
+  pcg32 rng{77};
+  for (int i = 0; i < 50; ++i) {
+    const double x0 = rng.uniform(-0.9, 0.9);
+    const double x1 = rng.uniform(-0.9, 0.9);
+    const double probe[] = {x0, x1};
+    worst = std::max(worst, std::fabs(model.predict_one(probe) - (std::sin(3 * x0) + x1 * x1)));
+  }
+  EXPECT_LT(worst, 0.25);
+}
+
+TEST(RandomForest, DeterministicAcrossRuns) {
+  const auto d = make_nonlinear_data(300);
+  ml::random_forest a, b;
+  a.fit(d.x, d.y);
+  b.fit(d.x, d.y);
+  const double probe[] = {0.1, 0.2};
+  EXPECT_DOUBLE_EQ(a.predict_one(probe), b.predict_one(probe));
+}
+
+TEST(RandomForest, FeatureCountMismatchThrows) {
+  const auto d = make_nonlinear_data(100);
+  ml::random_forest model;
+  model.fit(d.x, d.y);
+  const double bad[] = {0.1};
+  EXPECT_THROW((void)model.predict_one(bad), std::invalid_argument);
+}
+
+TEST(SvrRbf, FitsNonlinearFunction) {
+  const auto d = make_nonlinear_data(400);
+  ml::svr_rbf model;
+  model.fit(d.x, d.y);
+  EXPECT_GT(model.support_vector_count(), 0u);
+  double worst = 0.0;
+  pcg32 rng{78};
+  for (int i = 0; i < 50; ++i) {
+    const double x0 = rng.uniform(-0.9, 0.9);
+    const double x1 = rng.uniform(-0.9, 0.9);
+    const double probe[] = {x0, x1};
+    worst = std::max(worst, std::fabs(model.predict_one(probe) - (std::sin(3 * x0) + x1 * x1)));
+  }
+  EXPECT_LT(worst, 0.3);
+}
+
+TEST(SvrRbf, ConstantTargetPredictsConstant) {
+  ml::matrix x(20, 1);
+  std::vector<double> y(20, 5.0);
+  for (std::size_t i = 0; i < 20; ++i) x(i, 0) = static_cast<double>(i);
+  ml::svr_rbf model;
+  model.fit(x, y);
+  const double probe[] = {10.5};
+  EXPECT_NEAR(model.predict_one(probe), 5.0, 0.2);
+}
+
+// ------------------------------------------ parameterized across algorithms ----
+
+class AllRegressors : public ::testing::TestWithParam<ml::algorithm> {};
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, AllRegressors,
+                         ::testing::Values(ml::algorithm::linear, ml::algorithm::lasso,
+                                           ml::algorithm::random_forest,
+                                           ml::algorithm::svr_rbf),
+                         [](const auto& info) { return ml::to_string(info.param); });
+
+TEST_P(AllRegressors, LearnsLinearSignalBetterThanMean) {
+  const auto d = make_linear_data(400, 0.05);
+  auto model = ml::make_regressor(GetParam());
+  EXPECT_FALSE(model->fitted());
+  model->fit(d.x, d.y);
+  EXPECT_TRUE(model->fitted());
+  const auto test = make_linear_data(100, 0.05, 999);
+  const auto pred = model->predict(test.x);
+  EXPECT_GT(ml::r2(test.y, pred), 0.8) << model->name();
+}
+
+TEST_P(AllRegressors, PredictBeforeFitThrows) {
+  auto model = ml::make_regressor(GetParam());
+  const double probe[] = {0.0, 0.0, 0.0};
+  EXPECT_THROW((void)model->predict_one(probe), std::logic_error);
+}
+
+TEST_P(AllRegressors, RejectsEmptyTrainingData) {
+  auto model = ml::make_regressor(GetParam());
+  ml::matrix x;
+  std::vector<double> y;
+  EXPECT_THROW(model->fit(x, y), std::invalid_argument);
+}
+
+TEST_P(AllRegressors, SerializationRoundTripsPredictions) {
+  const auto d = make_linear_data(200, 0.02);
+  auto model = ml::make_regressor(GetParam());
+  model->fit(d.x, d.y);
+  const std::string blob = model->serialize();
+  const auto restored = ml::deserialize_regressor(blob);
+  EXPECT_EQ(restored->name(), model->name());
+  pcg32 rng{3};
+  for (int i = 0; i < 20; ++i) {
+    const double probe[] = {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    EXPECT_NEAR(restored->predict_one(probe), model->predict_one(probe), 1e-9) << model->name();
+  }
+}
+
+TEST_P(AllRegressors, RefittingReplacesModel) {
+  auto model = ml::make_regressor(GetParam());
+  const auto d1 = make_linear_data(200, 0.0, 1);
+  model->fit(d1.x, d1.y);
+  // Second fit on a shifted target.
+  ml::dataset d2 = d1;
+  for (auto& v : d2.y) v += 100.0;
+  model->fit(d2.x, d2.y);
+  const double probe[] = {0.0, 0.0, 0.0};
+  EXPECT_GT(model->predict_one(probe), 50.0) << model->name();
+}
+
+// ------------------------------------------------------ feature importance ----
+
+TEST(RandomForestImportance, DominantFeatureIdentified) {
+  // y depends only on x0: nearly all importance must land there.
+  pcg32 rng{41};
+  ml::dataset d;
+  for (int i = 0; i < 600; ++i) {
+    const double x0 = rng.uniform(-1, 1);
+    const double x1 = rng.uniform(-1, 1);
+    const double x2 = rng.uniform(-1, 1);
+    const double row[] = {x0, x1, x2};
+    d.push(row, std::sin(3.0 * x0));
+  }
+  ml::random_forest model;
+  model.fit(d.x, d.y);
+  const auto imp = model.feature_importances();
+  ASSERT_EQ(imp.size(), 3u);
+  EXPECT_GT(imp[0], 0.9);
+  EXPECT_LT(imp[1], 0.06);
+  EXPECT_LT(imp[2], 0.06);
+  // Importances are a distribution.
+  EXPECT_NEAR(imp[0] + imp[1] + imp[2], 1.0, 1e-9);
+}
+
+TEST(RandomForestImportance, SurvivesSerialization) {
+  const auto d = make_nonlinear_data(400);
+  ml::random_forest model;
+  model.fit(d.x, d.y);
+  const auto original = model.feature_importances();
+  const auto restored = ml::random_forest::deserialize(model.serialize());
+  const auto after = restored->feature_importances();
+  ASSERT_EQ(original.size(), after.size());
+  for (std::size_t i = 0; i < original.size(); ++i)
+    EXPECT_NEAR(original[i], after[i], 1e-12);
+}
+
+// ------------------------------------------------------- cross-validation ----
+
+TEST(KFoldCv, FoldCountsAndScores) {
+  const auto d = make_linear_data(300, 0.05);
+  const auto cv = ml::k_fold_cv(d, 5, [] { return ml::make_regressor(ml::algorithm::linear); });
+  EXPECT_EQ(cv.fold_rmse.size(), 5u);
+  EXPECT_EQ(cv.fold_r2.size(), 5u);
+  // Linear data, linear model: excellent held-out fit on every fold.
+  for (const double r : cv.fold_r2) EXPECT_GT(r, 0.95);
+  EXPECT_GT(cv.mean_r2(), 0.95);
+  EXPECT_LT(cv.mean_rmse(), 0.2);
+}
+
+TEST(KFoldCv, DetectsModelMismatch) {
+  // Nonlinear target: the forest must beat the linear model out-of-fold.
+  const auto d = make_nonlinear_data(600);
+  const auto linear_cv =
+      ml::k_fold_cv(d, 4, [] { return ml::make_regressor(ml::algorithm::linear); });
+  const auto forest_cv =
+      ml::k_fold_cv(d, 4, [] { return ml::make_regressor(ml::algorithm::random_forest); });
+  EXPECT_LT(forest_cv.mean_rmse(), linear_cv.mean_rmse());
+  EXPECT_GT(forest_cv.mean_r2(), linear_cv.mean_r2());
+}
+
+TEST(KFoldCv, RejectsBadK) {
+  const auto d = make_linear_data(10, 0.0);
+  EXPECT_THROW(
+      (void)ml::k_fold_cv(d, 1, [] { return ml::make_regressor(ml::algorithm::linear); }),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)ml::k_fold_cv(d, 11, [] { return ml::make_regressor(ml::algorithm::linear); }),
+      std::invalid_argument);
+}
+
+TEST(KFoldCv, DeterministicForSameSeed) {
+  const auto d = make_linear_data(200, 0.1);
+  const auto a = ml::k_fold_cv(d, 4, [] { return ml::make_regressor(ml::algorithm::linear); });
+  const auto b = ml::k_fold_cv(d, 4, [] { return ml::make_regressor(ml::algorithm::linear); });
+  for (std::size_t i = 0; i < a.fold_rmse.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.fold_rmse[i], b.fold_rmse[i]);
+}
+
+TEST(RegressorFactory, UnknownHeaderThrows) {
+  EXPECT_THROW((void)ml::deserialize_regressor("mystery v9\n"), std::invalid_argument);
+}
+
+TEST(RegressorFactory, Names) {
+  EXPECT_STREQ(ml::to_string(ml::algorithm::linear), "Linear");
+  EXPECT_STREQ(ml::to_string(ml::algorithm::svr_rbf), "SVR");
+  EXPECT_EQ(ml::make_regressor(ml::algorithm::random_forest)->name(), "RandomForest");
+}

@@ -1,0 +1,215 @@
+// Property-based sweeps of the whole model stack, parameterized over every
+// simulated device (the paper's three plus the PVC portability extension)
+// and a spectrum of workload classes. These pin the physical invariants the
+// figure reproductions rely on, so a regression in the DVFS model cannot
+// silently bend the paper's shapes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "synergy/common/rng.hpp"
+#include "synergy/metrics/energy_metrics.hpp"
+#include "synergy/planner.hpp"
+
+namespace gs = synergy::gpusim;
+namespace sm = synergy::metrics;
+
+using synergy::common::megahertz;
+
+namespace {
+
+/// A spectrum of workload classes from pure streaming to pure compute.
+std::vector<gs::kernel_profile> workload_spectrum() {
+  std::vector<gs::kernel_profile> out;
+  auto add = [&](const char* name, double flops, double accesses, double cache_hit) {
+    gs::kernel_profile p;
+    p.name = name;
+    p.features.float_add = flops / 2;
+    p.features.float_mul = flops / 2;
+    p.features.gl_access = accesses;
+    p.cache_hit_rate = cache_hit;
+    p.work_items = 1 << 21;
+    out.push_back(p);
+  };
+  add("streaming", 2, 24, 0.0);
+  add("memory_leaning", 16, 16, 0.2);
+  add("balanced", 64, 12, 0.5);
+  add("compute_leaning", 256, 8, 0.7);
+  add("compute_bound", 1024, 4, 0.9);
+  return out;
+}
+
+}  // namespace
+
+class DeviceProperties : public ::testing::TestWithParam<const char*> {
+ protected:
+  gs::device_spec spec = gs::make_device_spec(GetParam());
+  gs::dvfs_model model;
+};
+
+INSTANTIATE_TEST_SUITE_P(AllDevices, DeviceProperties,
+                         ::testing::Values("V100", "A100", "MI100", "PVC"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST_P(DeviceProperties, PowerStaysWithinPhysicalEnvelope) {
+  for (const auto& kernel : workload_spectrum()) {
+    for (const megahertz f : spec.core_clocks) {
+      const auto cost = model.evaluate(spec, kernel, {spec.memory_clock, f});
+      EXPECT_GE(cost.avg_power.value, spec.idle_power_w * 0.999) << kernel.name;
+      EXPECT_LE(cost.avg_power.value, spec.max_board_power_w * 1.001) << kernel.name;
+    }
+  }
+}
+
+TEST_P(DeviceProperties, TimeMonotoneNonincreasingInClock) {
+  for (const auto& kernel : workload_spectrum()) {
+    double prev = 1e300;
+    for (const megahertz f : spec.core_clocks) {
+      const double t = model.evaluate(spec, kernel, {spec.memory_clock, f}).time.value;
+      EXPECT_LE(t, prev * (1.0 + 1e-9)) << kernel.name << " at " << f.value;
+      prev = t;
+    }
+  }
+}
+
+TEST_P(DeviceProperties, PowerMonotoneNondecreasingInClock) {
+  for (const auto& kernel : workload_spectrum()) {
+    double prev = 0.0;
+    for (const megahertz f : spec.core_clocks) {
+      const double p = model.evaluate(spec, kernel, {spec.memory_clock, f}).avg_power.value;
+      EXPECT_GE(p, prev * (1.0 - 1e-9)) << kernel.name << " at " << f.value;
+      prev = p;
+    }
+  }
+}
+
+TEST_P(DeviceProperties, SpeedupBoundedByClockRatio) {
+  // No kernel can speed up more than the clock ratio allows.
+  for (const auto& kernel : workload_spectrum()) {
+    const auto c = synergy::oracle_characterization(spec, kernel, model);
+    const auto& def = c.default_point();
+    for (const auto& p : c.points) {
+      const double clock_ratio =
+          p.config.core.value / def.config.core.value;
+      const double speedup = c.speedup(p);
+      if (clock_ratio >= 1.0) EXPECT_LE(speedup, clock_ratio * (1.0 + 1e-9)) << kernel.name;
+      else EXPECT_GE(speedup, clock_ratio * (1.0 - 1e-9)) << kernel.name;
+    }
+  }
+}
+
+TEST_P(DeviceProperties, MoreComputeBoundMeansMoreClockSensitivity) {
+  // Speedup range across the clock table must grow with arithmetic
+  // intensity (the dichotomy behind Figs. 2 and 7).
+  double prev_range = 0.0;
+  for (const auto& kernel : workload_spectrum()) {
+    const auto c = synergy::oracle_characterization(spec, kernel, model);
+    const double range = c.points.back().time_s > 0
+                             ? c.points.front().time_s / c.points.back().time_s
+                             : 0.0;
+    EXPECT_GE(range, prev_range * (1.0 - 1e-6)) << kernel.name;
+    prev_range = range;
+  }
+}
+
+TEST_P(DeviceProperties, SelectionInvariants) {
+  for (const auto& kernel : workload_spectrum()) {
+    const auto c = synergy::oracle_characterization(spec, kernel, model);
+    const auto i_perf = sm::select(c, sm::MAX_PERF);
+    const auto i_energy = sm::select(c, sm::MIN_ENERGY);
+    const auto i_edp = sm::select(c, sm::MIN_EDP);
+    // MAX_PERF is never slower than any other selection.
+    for (const auto i : {i_energy, i_edp})
+      EXPECT_LE(c.points[i_perf].time_s, c.points[i].time_s + 1e-15) << kernel.name;
+    // MIN_ENERGY is never more energy-hungry than any other selection.
+    for (const auto i : {i_perf, i_edp})
+      EXPECT_LE(c.points[i_energy].energy_j, c.points[i].energy_j + 1e-15) << kernel.name;
+    // EDP selection lies within [min-energy clock, max-perf clock].
+    EXPECT_GE(c.points[i_edp].config.core.value, c.points[i_energy].config.core.value - 1e-9)
+        << kernel.name;
+    EXPECT_LE(c.points[i_edp].config.core.value, c.points[i_perf].config.core.value + 1e-9)
+        << kernel.name;
+  }
+}
+
+TEST_P(DeviceProperties, EsTargetsSatisfyTheirBudgets) {
+  for (const auto& kernel : workload_spectrum()) {
+    const auto c = synergy::oracle_characterization(spec, kernel, model);
+    const double e_def = c.default_point().energy_j;
+    const double e_min = c.points[sm::select(c, sm::MIN_ENERGY)].energy_j;
+    for (const double x : {25.0, 50.0, 75.0, 100.0}) {
+      const auto i = sm::select(c, sm::target::energy_saving(x));
+      const double budget = e_def - x / 100.0 * (e_def - e_min);
+      EXPECT_LE(c.points[i].energy_j, budget * (1.0 + 1e-9))
+          << kernel.name << " ES_" << x << " on " << GetParam();
+    }
+  }
+}
+
+TEST_P(DeviceProperties, PlTargetsSatisfyTheirBudgets) {
+  for (const auto& kernel : workload_spectrum()) {
+    const auto c = synergy::oracle_characterization(spec, kernel, model);
+    const double t_def = c.default_point().time_s;
+    const double t_slow =
+        std::max(t_def, c.points[sm::select(c, sm::MIN_ENERGY)].time_s);
+    for (const double x : {25.0, 50.0, 75.0, 100.0}) {
+      const auto i = sm::select(c, sm::target::performance_loss(x));
+      const double budget = t_def + x / 100.0 * (t_slow - t_def);
+      EXPECT_LE(c.points[i].time_s, budget * (1.0 + 1e-9))
+          << kernel.name << " PL_" << x << " on " << GetParam();
+    }
+  }
+}
+
+TEST_P(DeviceProperties, EnergyAtDefaultNeverBelowGlobalMinimum) {
+  for (const auto& kernel : workload_spectrum()) {
+    const auto c = synergy::oracle_characterization(spec, kernel, model);
+    const double e_min = c.points[sm::select(c, sm::MIN_ENERGY)].energy_j;
+    EXPECT_GE(c.default_point().energy_j, e_min - 1e-15) << kernel.name;
+  }
+}
+
+TEST_P(DeviceProperties, RandomProfilesNeverBreakTheModel) {
+  // Fuzz: arbitrary feature vectors must produce finite, positive costs.
+  synergy::common::pcg32 rng{0xf0220 + static_cast<unsigned>(spec.core_clocks.size())};
+  for (int trial = 0; trial < 200; ++trial) {
+    gs::kernel_profile p;
+    p.name = "fuzz";
+    p.features.int_add = rng.uniform(0, 500);
+    p.features.int_mul = rng.uniform(0, 200);
+    p.features.int_div = rng.uniform(0, 40);
+    p.features.int_bw = rng.uniform(0, 300);
+    p.features.float_add = rng.uniform(0, 1500);
+    p.features.float_mul = rng.uniform(0, 1500);
+    p.features.float_div = rng.uniform(0, 60);
+    p.features.sf = rng.uniform(0, 200);
+    p.features.gl_access = rng.uniform(0, 300);
+    p.features.loc_access = rng.uniform(0, 500);
+    p.work_items = std::pow(2.0, rng.uniform(0.0, 26.0));
+    p.cache_hit_rate = rng.uniform(0.0, 0.99);
+    p.coalescing_efficiency = rng.uniform(0.2, 1.0);
+    p.compute_efficiency = rng.uniform(0.3, 1.0);
+    const auto f = spec.core_clocks[rng.bounded(
+        static_cast<std::uint32_t>(spec.core_clocks.size()))];
+    const auto cost = model.evaluate(spec, p, {spec.memory_clock, f});
+    EXPECT_TRUE(std::isfinite(cost.time.value));
+    EXPECT_TRUE(std::isfinite(cost.energy.value));
+    EXPECT_GT(cost.time.value, 0.0);
+    EXPECT_GT(cost.energy.value, 0.0);
+    EXPECT_GE(cost.compute_utilization, 0.0);
+    EXPECT_LE(cost.compute_utilization, 1.0 + 1e-9);
+  }
+}
+
+TEST_P(DeviceProperties, OraclePlanReturnsSupportedClocks) {
+  for (const auto& kernel : workload_spectrum()) {
+    for (const auto& t : sm::paper_objectives()) {
+      const auto config = synergy::oracle_plan(spec, kernel, t, model);
+      EXPECT_TRUE(spec.supports_core_clock(config.core))
+          << kernel.name << " " << t.to_string();
+      EXPECT_DOUBLE_EQ(config.memory.value, spec.memory_clock.value);
+    }
+  }
+}

@@ -1,0 +1,495 @@
+// Tests for the simsycl runtime: index-space types, buffer/accessor
+// semantics (including host write-back), handler/queue execution with real
+// numerical results, virtual-time event profiling, and platform selection.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "simsycl/sycl.hpp"
+
+namespace gs = synergy::gpusim;
+
+using simsycl::access_mode;
+using simsycl::accessor;
+using simsycl::buffer;
+using simsycl::handler;
+using simsycl::host_accessor;
+using simsycl::id;
+using simsycl::item;
+using simsycl::kernel_info;
+using simsycl::range;
+
+// ------------------------------------------------------------------ types ----
+
+TEST(Range, SizesAndEquality) {
+  EXPECT_EQ(range<1>{5}.size(), 5u);
+  EXPECT_EQ((range<2>{3, 4}).size(), 12u);
+  EXPECT_EQ((range<3>{2, 3, 4}).size(), 24u);
+  EXPECT_EQ((range<2>{3, 4})[1], 4u);
+  EXPECT_EQ(range<1>{5}, range<1>{5});
+  EXPECT_NE(range<1>{5}, range<1>{6});
+}
+
+TEST(Id, LinearConversionFor1D) {
+  const id<1> i{7};
+  const std::size_t linear = i;
+  EXPECT_EQ(linear, 7u);
+  EXPECT_EQ((id<2>{1, 2}).get(1), 2u);
+}
+
+TEST(Item, LinearIdIsRowMajor) {
+  const item<2> it{id<2>{2, 3}, range<2>{4, 5}};
+  EXPECT_EQ(it.get_linear_id(), 2u * 5 + 3);
+  EXPECT_EQ(it.get_range(0), 4u);
+  EXPECT_EQ(it.get_id(1), 3u);
+  const item<3> it3{id<3>{1, 2, 3}, range<3>{4, 5, 6}};
+  EXPECT_EQ(it3.get_linear_id(), (1u * 5 + 2) * 6 + 3);
+}
+
+// ----------------------------------------------------------------- buffer ----
+
+TEST(Buffer, WritebackOnDestruction) {
+  std::vector<float> host(16, 1.0f);
+  {
+    buffer<float> buf{host.data(), range<1>{host.size()}};
+    host_accessor<float> acc{buf};
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] = 2.0f;
+    // Host copy unchanged until the buffer dies.
+    EXPECT_FLOAT_EQ(host[0], 1.0f);
+  }
+  EXPECT_FLOAT_EQ(host[0], 2.0f);
+  EXPECT_FLOAT_EQ(host[15], 2.0f);
+}
+
+TEST(Buffer, SharedStateAcrossCopies) {
+  std::vector<int> host(4, 0);
+  buffer<int> a{host};
+  buffer<int> b = a;  // copies share storage
+  host_accessor<int>{b}[2] = 42;
+  EXPECT_EQ((host_accessor<int>{a}[2]), 42);
+}
+
+TEST(Buffer, UninitialisedBufferHasExtent) {
+  buffer<double, 2> buf{range<2>{3, 5}};
+  EXPECT_EQ(buf.size(), 15u);
+  EXPECT_EQ(buf.get_range().get(1), 5u);
+}
+
+TEST(Buffer, NullHostPointerThrows) {
+  EXPECT_THROW((buffer<int>{static_cast<int*>(nullptr), range<1>{4}}), std::invalid_argument);
+}
+
+TEST(Accessor, TwoDimensionalIndexing) {
+  buffer<int, 2> buf{range<2>{2, 3}};
+  accessor<int, 2, access_mode::read_write> acc{buf};
+  acc[id<2>{1, 2}] = 9;
+  EXPECT_EQ(acc[1 * 3 + 2], 9);
+  accessor<int, 2, access_mode::read> racc{buf};
+  EXPECT_EQ((racc[id<2>{1, 2}]), 9);
+}
+
+// ------------------------------------------------------------------ queue ----
+
+class QueueTest : public ::testing::Test {
+ protected:
+  simsycl::device dev{gs::make_v100()};
+  simsycl::queue q{dev};
+};
+
+TEST_F(QueueTest, VectorAddProducesCorrectResults) {
+  const std::size_t n = 1024;
+  std::vector<float> x(n), y(n), z(n, 0.0f);
+  std::iota(x.begin(), x.end(), 0.0f);
+  std::iota(y.begin(), y.end(), 1.0f);
+  {
+    buffer<float> xb{x}, yb{y}, zb{z};
+    auto e = q.submit([&](handler& h) {
+      accessor<float, 1, access_mode::read> xa{xb, h};
+      accessor<float, 1, access_mode::read> ya{yb, h};
+      accessor<float, 1, access_mode::write> za{zb, h};
+      h.parallel_for(range<1>{n}, [=](id<1> i) { za[i] = xa[i] + ya[i]; });
+    });
+    e.wait_and_throw();
+  }
+  for (std::size_t i = 0; i < n; ++i) EXPECT_FLOAT_EQ(z[i], x[i] + y[i]);
+}
+
+TEST_F(QueueTest, SubmitAdvancesVirtualTimeNotWallClock) {
+  const auto before = dev.board()->now();
+  q.submit([&](handler& h) {
+    kernel_info info;
+    info.name = "big";
+    info.features.float_add = 100;
+    info.features.gl_access = 4;
+    h.parallel_for(range<1>{1024}, info, [](id<1>) {});
+  });
+  EXPECT_GT(dev.board()->now().value, before.value);
+}
+
+TEST_F(QueueTest, EventProfilingDelimitsKernelInterval) {
+  kernel_info info;
+  info.name = "timed";
+  info.features.float_mul = 50;
+  info.features.gl_access = 2;
+  info.work_multiplier = 1024.0;
+  auto e = q.submit([&](handler& h) { h.parallel_for(range<1>{4096}, info, [](id<1>) {}); });
+  using simsycl::info::event_profiling;
+  const double submit = e.profiling(event_profiling::command_submit).value;
+  const double start = e.profiling(event_profiling::command_start).value;
+  const double end = e.profiling(event_profiling::command_end).value;
+  EXPECT_LE(submit, start);
+  EXPECT_LT(start, end);
+  EXPECT_NEAR(end - start, e.record().cost.time.value, 1e-15);
+  EXPECT_EQ(e.kernel_name(), "timed");
+  EXPECT_EQ(e.get_status(), simsycl::info::event_command_status::complete);
+}
+
+TEST_F(QueueTest, WorkMultiplierScalesVirtualCost) {
+  kernel_info small;
+  small.name = "k";
+  small.features.float_add = 500;
+  small.features.gl_access = 8;
+  kernel_info big = small;
+  big.work_multiplier = 64.0;
+  // 64k real items so compute time dwarfs the 5 us launch overhead.
+  auto e1 = q.submit([&](handler& h) { h.parallel_for(range<1>{1 << 16}, small, [](id<1>) {}); });
+  auto e2 = q.submit([&](handler& h) { h.parallel_for(range<1>{1 << 16}, big, [](id<1>) {}); });
+  EXPECT_GT(e2.record().cost.time.value, e1.record().cost.time.value * 10);
+}
+
+TEST_F(QueueTest, UnannotatedLaunchUsesGenericProfile) {
+  auto e = q.submit([&](handler& h) { h.parallel_for(range<1>{128}, [](id<1>) {}); });
+  EXPECT_EQ(e.kernel_name(), "generic");
+  EXPECT_GT(e.record().cost.energy.value, 0.0);
+}
+
+TEST_F(QueueTest, SingleTaskRunsOnce) {
+  int count = 0;
+  q.submit([&](handler& h) { h.single_task([&]() { ++count; }); });
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(QueueTest, EmptyCommandGroupYieldsInvalidEvent) {
+  auto e = q.submit([&](handler&) {});
+  EXPECT_FALSE(e.valid());
+  EXPECT_THROW((void)e.record(), std::logic_error);
+  EXPECT_THROW((void)e.profiling(simsycl::info::event_profiling::command_start),
+               std::logic_error);
+}
+
+TEST_F(QueueTest, TwoLaunchesInOneGroupThrow) {
+  EXPECT_THROW(q.submit([&](handler& h) {
+    h.parallel_for(range<1>{4}, [](id<1>) {});
+    h.parallel_for(range<1>{4}, [](id<1>) {});
+  }),
+               std::logic_error);
+}
+
+TEST_F(QueueTest, TwoDimensionalKernel) {
+  const std::size_t rows = 8, cols = 16;
+  buffer<int, 2> buf{range<2>{rows, cols}};
+  q.submit([&](handler& h) {
+    accessor<int, 2, access_mode::write> acc{buf, h};
+    h.parallel_for(range<2>{rows, cols}, [=](item<2> it) {
+      acc[it.get_linear_id()] = static_cast<int>(it.get_id(0) * 100 + it.get_id(1));
+    });
+  });
+  accessor<int, 2, access_mode::read> acc{buf};
+  EXPECT_EQ((acc[id<2>{3, 7}]), 307);
+}
+
+TEST_F(QueueTest, FunctorAcceptingSizeT) {
+  std::vector<int> out(16, 0);
+  {
+    buffer<int> b{out};
+    q.submit([&](handler& h) {
+      accessor<int, 1, access_mode::write> acc{b, h};
+      h.parallel_for(std::size_t{16}, [=](std::size_t i) { acc[i] = static_cast<int>(i); });
+    });
+  }
+  EXPECT_EQ(out[10], 10);
+}
+
+TEST_F(QueueTest, ThreeDimensionalKernelCoversFullSpace) {
+  constexpr std::size_t d0 = 3, d1 = 4, d2 = 5;
+  std::vector<int> out(d0 * d1 * d2, 0);
+  {
+    buffer<int> b{out};
+    q.submit([&](handler& h) {
+      accessor<int, 1, access_mode::read_write> acc{b, h};
+      h.parallel_for(range<3>{d0, d1, d2}, [=](item<3> it) {
+        acc[it.get_linear_id()] = acc[it.get_linear_id()] + 1 +
+                                  static_cast<int>(it.get_id(2));
+      });
+    });
+  }
+  // Every cell touched exactly once; last-dim index encoded.
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], 1 + static_cast<int>(i % d2)) << i;
+}
+
+TEST(Hierarchical, ThreeDimensionalGroups) {
+  simsycl::device dev{gs::make_v100()};
+  simsycl::queue q3{dev};
+  std::vector<int> count{0};
+  {
+    buffer<int> b{count};
+    q3.submit([&](handler& h) {
+      accessor<int, 1, access_mode::read_write> acc{b, h};
+      h.parallel_for_work_group(range<3>{2, 2, 2}, range<3>{2, 2, 2},
+                                [=](simsycl::group<3> g) {
+                                  g.parallel_for_work_item(
+                                      [&](simsycl::h_item<3>) { acc[0] = acc[0] + 1; });
+                                });
+    });
+  }
+  EXPECT_EQ(count[0], 8 * 8);  // 8 groups x 8 items
+}
+
+TEST_F(QueueTest, QueueShortcutParallelFor) {
+  std::vector<int> out(8, 0);
+  {
+    buffer<int> b{out};
+    accessor<int, 1, access_mode::write> acc{b};
+    q.parallel_for(range<1>{8}, [=](id<1> i) { acc[i] = 1; });
+  }
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 8);
+}
+
+TEST_F(QueueTest, KernelsSubmittedCounter) {
+  EXPECT_EQ(q.kernels_submitted(), 0u);
+  q.parallel_for(range<1>{4}, [](id<1>) {});
+  q.parallel_for(range<1>{4}, [](id<1>) {});
+  EXPECT_EQ(q.kernels_submitted(), 2u);
+}
+
+TEST_F(QueueTest, SharedDeviceAccumulatesAcrossQueues) {
+  simsycl::queue q2{dev};  // same board
+  q.parallel_for(range<1>{1024}, [](id<1>) {});
+  const double after_first = dev.board()->now().value;
+  q2.parallel_for(range<1>{1024}, [](id<1>) {});
+  EXPECT_GT(dev.board()->now().value, after_first);
+}
+
+// --------------------------------------------------------------------- usm ----
+
+TEST_F(QueueTest, UsmAllocateWriteKernelReadFree) {
+  const std::size_t n = 512;
+  float* x = q.malloc_device<float>(n);
+  float* y = q.malloc_device<float>(n);
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(q.usm_allocation_count(), 2u);
+  for (std::size_t i = 0; i < n; ++i) x[i] = static_cast<float>(i);
+  // USM kernels capture raw pointers, as in SYCL 2020.
+  q.parallel_for(range<1>{n}, [=](id<1> i) { y[i] = x[i] * 2.0f; });
+  EXPECT_FLOAT_EQ(y[100], 200.0f);
+  q.free(x);
+  EXPECT_EQ(q.usm_allocation_count(), 1u);
+  EXPECT_THROW(q.free(reinterpret_cast<void*>(0x1234)), std::invalid_argument);
+  q.free(y);
+}
+
+TEST_F(QueueTest, UsmMemcpyMovesDataAndChargesBandwidth) {
+  const std::size_t n = 1 << 21;  // 8 MiB: copy time well above launch overhead
+  float* src = q.malloc_device<float>(n);
+  float* dst = q.malloc_device<float>(n);
+  for (std::size_t i = 0; i < n; ++i) src[i] = static_cast<float>(i) * 0.5f;
+  const auto e = q.memcpy(dst, src, n * sizeof(float));
+  EXPECT_FLOAT_EQ(dst[777], 777 * 0.5f);
+  EXPECT_EQ(e.kernel_name(), "usm_memcpy");
+  // Cost scales with bytes: a copy 4x larger takes ~4x the virtual time.
+  float* big_src = q.malloc_device<float>(4 * n);
+  float* big_dst = q.malloc_device<float>(4 * n);
+  const auto e4 = q.memcpy(big_dst, big_src, 4 * n * sizeof(float));
+  EXPECT_NEAR(e4.record().cost.time.value / e.record().cost.time.value, 4.0, 1.5);
+}
+
+// -------------------------------------------------------------- reductions ----
+
+TEST_F(QueueTest, SumReductionOverRange) {
+  const std::size_t n = 1000;
+  std::vector<double> out{0.0};
+  {
+    buffer<double> result{out};
+    q.submit([&](handler& h) {
+      h.parallel_for(range<1>{n}, simsycl::reduction(result, 0.0, std::plus<double>{}),
+                     [](id<1> i, auto& sum) { sum += static_cast<double>(i + 1); });
+    });
+  }
+  EXPECT_DOUBLE_EQ(out[0], 1000.0 * 1001.0 / 2.0);
+}
+
+TEST_F(QueueTest, MaxReductionWithCustomOp) {
+  std::vector<float> data(128);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<float>((i * 37) % 101);
+  std::vector<float> out{-1.0f};
+  {
+    buffer<float> in{data}, result{out};
+    q.submit([&](handler& h) {
+      accessor<float, 1, access_mode::read> acc{in, h};
+      auto red = simsycl::reduction(result, -1.0e30f,
+                                    [](float a, float b) { return a > b ? a : b; });
+      h.parallel_for(range<1>{data.size()}, red,
+                     [=](id<1> i, auto& mx) { mx.combine(acc[i]); });
+    });
+  }
+  EXPECT_FLOAT_EQ(out[0], *std::max_element(data.begin(), data.end()));
+}
+
+TEST_F(QueueTest, ReductionFoldsIntoExistingBufferValue) {
+  // As in SYCL: the reduction combines with whatever is in the buffer.
+  std::vector<double> out{100.0};
+  {
+    buffer<double> result{out};
+    q.submit([&](handler& h) {
+      h.parallel_for(range<1>{10}, simsycl::reduction(result, 0.0, std::plus<double>{}),
+                     [](id<1>, auto& sum) { sum += 1.0; });
+    });
+  }
+  EXPECT_DOUBLE_EQ(out[0], 110.0);
+}
+
+TEST_F(QueueTest, TwoDimensionalReductionWithInfo) {
+  kernel_info info;
+  info.name = "reduce2d";
+  info.features.float_add = 1;
+  info.features.gl_access = 1;
+  std::vector<double> out{0.0};
+  simsycl::event e;
+  {
+    buffer<double> result{out};
+    e = q.submit([&](handler& h) {
+      h.parallel_for(range<2>{8, 8}, simsycl::reduction(result, 0.0, std::plus<double>{}),
+                     info, [](id<2>, auto& sum) { sum += 1.0; });
+    });
+  }
+  EXPECT_DOUBLE_EQ(out[0], 64.0);
+  EXPECT_EQ(e.kernel_name(), "reduce2d");
+}
+
+// ------------------------------------------------ hierarchical parallelism ----
+
+TEST(Hierarchical, HItemIndexArithmetic) {
+  const simsycl::h_item<2> it{id<2>{1, 2}, range<2>{4, 8}, id<2>{3, 1}, range<2>{5, 2}};
+  EXPECT_EQ(it.get_local_id(0), 1u);
+  EXPECT_EQ(it.get_global_id(0), 3u * 4 + 1);
+  EXPECT_EQ(it.get_global_id(1), 1u * 8 + 2);
+  EXPECT_EQ(it.get_local_linear_id(), 1u * 8 + 2);
+  EXPECT_EQ(it.get_group_id(), (id<2>{3, 1}));
+}
+
+TEST_F(QueueTest, WorkGroupLaunchCoversAllGroupsAndItems) {
+  const std::size_t groups = 4, local = 8;
+  std::vector<int> hits(groups * local, 0);
+  {
+    buffer<int> b{hits};
+    q.submit([&](handler& h) {
+      accessor<int, 1, access_mode::read_write> acc{b, h};
+      h.parallel_for_work_group(range<1>{groups}, range<1>{local}, [=](simsycl::group<1> g) {
+        g.parallel_for_work_item([&](simsycl::h_item<1> it) {
+          acc[it.get_global_id()] = acc[it.get_global_id()] + 1;
+        });
+      });
+    });
+  }
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST_F(QueueTest, WorkGroupLaunchChargesGlobalItems) {
+  auto e = q.submit([&](handler& h) {
+    h.parallel_for_work_group(range<1>{16}, range<1>{64}, [](simsycl::group<1>) {});
+  });
+  EXPECT_DOUBLE_EQ(e.record().cost.time.value > 0 ? 1024.0 : 0.0, 1024.0);
+}
+
+TEST_F(QueueTest, TiledMatMulWithGroupLocalMemoryMatchesNaive) {
+  // The reason hierarchical parallelism exists here: group-scope vectors
+  // act as local memory, and implicit phase barriers make the tile pattern
+  // correct under sequential execution.
+  constexpr std::size_t n = 16, tile = 4;
+  std::vector<float> a(n * n), b_host(n * n), c_tiled(n * n, 0), c_naive(n * n, 0);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    a[i] = static_cast<float>(i % 7) - 3.0f;
+    b_host[i] = static_cast<float>(i % 5) - 2.0f;
+  }
+  {
+    buffer<float> ab{a}, bb{b_host}, cb{c_tiled};
+    q.submit([&](handler& h) {
+      accessor<float, 1, access_mode::read> aa{ab, h};
+      accessor<float, 1, access_mode::read> ba{bb, h};
+      accessor<float, 1, access_mode::write> ca{cb, h};
+      h.parallel_for_work_group(
+          range<2>{n / tile, n / tile}, range<2>{tile, tile}, [=](simsycl::group<2> g) {
+            std::vector<float> a_tile(tile * tile);   // group-local memory
+            std::vector<float> b_tile(tile * tile);
+            std::vector<float> acc(tile * tile, 0.0f);
+            for (std::size_t kt = 0; kt < n / tile; ++kt) {
+              // Phase 1: load tiles (barrier implicit at phase end).
+              g.parallel_for_work_item([&](simsycl::h_item<2> it) {
+                const std::size_t li = it.get_local_id(0);
+                const std::size_t lj = it.get_local_id(1);
+                const std::size_t gi = g.get_group_id(0) * tile + li;
+                const std::size_t gj = g.get_group_id(1) * tile + lj;
+                a_tile[li * tile + lj] = aa[gi * n + kt * tile + lj];
+                b_tile[li * tile + lj] = ba[(kt * tile + li) * n + gj];
+              });
+              // Phase 2: multiply out of the tiles.
+              g.parallel_for_work_item([&](simsycl::h_item<2> it) {
+                const std::size_t li = it.get_local_id(0);
+                const std::size_t lj = it.get_local_id(1);
+                for (std::size_t k = 0; k < tile; ++k)
+                  acc[li * tile + lj] += a_tile[li * tile + k] * b_tile[k * tile + lj];
+              });
+            }
+            g.parallel_for_work_item([&](simsycl::h_item<2> it) {
+              const std::size_t gi = it.get_global_id(0);
+              const std::size_t gj = it.get_global_id(1);
+              ca[gi * n + gj] = acc[it.get_local_linear_id()];
+            });
+          });
+    });
+  }
+  // Naive reference.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      float s = 0;
+      for (std::size_t k = 0; k < n; ++k) s += a[i * n + k] * b_host[k * n + j];
+      c_naive[i * n + j] = s;
+    }
+  for (std::size_t i = 0; i < n * n; ++i) EXPECT_NEAR(c_tiled[i], c_naive[i], 1e-3) << i;
+}
+
+// --------------------------------------------------------------- platform ----
+
+TEST(Platform, ConstructsNamedDevices) {
+  simsycl::platform p{std::vector<std::string>{"V100", "MI100"}};
+  EXPECT_EQ(p.device_count(), 2u);
+  EXPECT_EQ(p.get_device(0).name(), "NVIDIA Tesla V100");
+  EXPECT_EQ(p.get_device(1).name(), "AMD Instinct MI100");
+  EXPECT_THROW((void)p.get_device(2), std::out_of_range);
+}
+
+TEST(Platform, DefaultPlatformProvidesV100) {
+  simsycl::platform::set_default(nullptr);
+  simsycl::queue q{simsycl::gpu_selector_v};
+  EXPECT_EQ(q.get_device().name(), "NVIDIA Tesla V100");
+}
+
+TEST(Platform, SetDefaultRedirectsSelector) {
+  simsycl::platform::set_default(
+      std::make_shared<simsycl::platform>(std::vector<std::string>{"MI100"}));
+  simsycl::queue q{simsycl::gpu_selector_v};
+  EXPECT_EQ(q.get_device().name(), "AMD Instinct MI100");
+  simsycl::platform::set_default(nullptr);
+}
+
+TEST(Platform, KernelInfoGenericProfile) {
+  const auto info = kernel_info::generic();
+  const auto profile = info.to_profile(100);
+  EXPECT_EQ(profile.name, "generic");
+  EXPECT_DOUBLE_EQ(profile.work_items, 100.0);
+  EXPECT_GT(profile.features.total_compute_ops(), 0.0);
+}

@@ -1,0 +1,343 @@
+// Tests for the vendor management-library emulation: NVML privilege
+// semantics (API restriction, root-only locked clocks), ROCm SMI performance
+// levels, sensor-model power reads, and the vendor factory.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "synergy/gpusim/device.hpp"
+#include "synergy/vendor/lzero_sim.hpp"
+#include "synergy/vendor/management_library.hpp"
+#include "synergy/vendor/nvml_sim.hpp"
+#include "synergy/vendor/rsmi_sim.hpp"
+
+namespace gs = synergy::gpusim;
+namespace sv = synergy::vendor;
+namespace sc = synergy::common;
+
+using sc::frequency_config;
+using sc::megahertz;
+
+namespace {
+
+std::shared_ptr<gs::device> make_board(const gs::device_spec& spec) {
+  return std::make_shared<gs::device>(spec);
+}
+
+gs::kernel_profile busy_kernel() {
+  gs::kernel_profile p;
+  p.name = "busy";
+  p.features.float_add = 64;
+  p.features.gl_access = 4;
+  p.work_items = 1 << 22;
+  return p;
+}
+
+}  // namespace
+
+class NvmlSimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    boards = {make_board(gs::make_v100()), make_board(gs::make_v100())};
+    lib = std::make_unique<sv::nvml_sim>(boards);
+    ASSERT_TRUE(lib->init().ok());
+  }
+  std::vector<std::shared_ptr<gs::device>> boards;
+  std::unique_ptr<sv::nvml_sim> lib;
+  sv::user_context root = sv::user_context::root();
+  sv::user_context user = sv::user_context::user();
+};
+
+TEST_F(NvmlSimTest, UninitializedCallsFail) {
+  sv::nvml_sim fresh{{make_board(gs::make_v100())}};
+  const auto name = fresh.device_name(0);
+  ASSERT_FALSE(name.has_value());
+  EXPECT_EQ(name.err().code, sc::errc::uninitialized);
+  EXPECT_EQ(fresh.set_application_clocks(root, 0, {megahertz{877}, megahertz{1312}}).err().code,
+            sc::errc::uninitialized);
+}
+
+TEST_F(NvmlSimTest, ShutdownRevokesAccess) {
+  ASSERT_TRUE(lib->shutdown().ok());
+  EXPECT_FALSE(lib->device_name(0).has_value());
+  ASSERT_TRUE(lib->init().ok());
+  EXPECT_TRUE(lib->device_name(0).has_value());
+}
+
+TEST_F(NvmlSimTest, EnumeratesDevices) {
+  EXPECT_EQ(lib->device_count(), 2u);
+  EXPECT_EQ(lib->device_name(0).value(), "NVIDIA Tesla V100");
+  EXPECT_EQ(lib->device_name(7).err().code, sc::errc::not_found);
+}
+
+TEST_F(NvmlSimTest, ReportsClockTables) {
+  const auto mem = lib->supported_memory_clocks(0).value();
+  ASSERT_EQ(mem.size(), 1u);
+  EXPECT_DOUBLE_EQ(mem[0].value, 877.0);
+  const auto core = lib->supported_core_clocks(0, mem[0]).value();
+  EXPECT_EQ(core.size(), 196u);
+  EXPECT_FALSE(lib->supported_core_clocks(0, megahertz{1215.0}).has_value());
+}
+
+TEST_F(NvmlSimTest, AppClocksRestrictedToRootByDefault) {
+  EXPECT_TRUE(lib->api_restricted(0, sv::restricted_api::set_application_clocks).value());
+  const auto denied = lib->set_application_clocks(user, 0, {megahertz{877}, megahertz{1005}});
+  EXPECT_FALSE(denied.ok());
+  EXPECT_EQ(denied.err().code, sc::errc::no_permission);
+  // Root can always set clocks.
+  EXPECT_TRUE(lib->set_application_clocks(root, 0, {megahertz{877}, megahertz{1530}}).ok());
+  EXPECT_DOUBLE_EQ(lib->application_clocks(0).value().core.value, 1530.0);
+}
+
+TEST_F(NvmlSimTest, RestrictionLiftEnablesUserClocks) {
+  ASSERT_TRUE(lib->set_api_restriction(root, 0, sv::restricted_api::set_application_clocks,
+                                       /*restricted=*/false)
+                  .ok());
+  EXPECT_FALSE(lib->api_restricted(0, sv::restricted_api::set_application_clocks).value());
+  const megahertz supported = boards[0]->spec().core_clocks[120];
+  EXPECT_TRUE(lib->set_application_clocks(user, 0, {megahertz{877}, supported}).ok());
+  // The other device stays restricted (per-GPU granularity, paper Sec. 7.1).
+  EXPECT_FALSE(lib->set_application_clocks(user, 1, {megahertz{877}, supported}).ok());
+}
+
+TEST_F(NvmlSimTest, UserCannotChangeRestriction) {
+  const auto st =
+      lib->set_api_restriction(user, 0, sv::restricted_api::set_application_clocks, false);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.err().code, sc::errc::no_permission);
+}
+
+TEST_F(NvmlSimTest, LockedClockBoundsAreRootOnlyAlways) {
+  // Even after lifting the app-clock restriction, hard bounds stay root-only
+  // (paper Sec. 7.1: "privileges for these bounds cannot be lowered").
+  ASSERT_TRUE(lib->set_api_restriction(root, 0, sv::restricted_api::set_application_clocks, false)
+                  .ok());
+  EXPECT_FALSE(lib->set_clock_bounds(user, 0, megahertz{500}, megahertz{1000}).ok());
+  EXPECT_TRUE(lib->set_clock_bounds(root, 0, megahertz{500}, megahertz{1000}).ok());
+  // Application clocks must respect the bounds.
+  const auto st = lib->set_application_clocks(root, 0, {megahertz{877}, megahertz{1530}});
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(lib->clear_clock_bounds(root, 0).ok());
+  EXPECT_FALSE(lib->clear_clock_bounds(user, 0).ok());
+  EXPECT_TRUE(lib->set_application_clocks(root, 0, {megahertz{877}, megahertz{1530}}).ok());
+}
+
+TEST_F(NvmlSimTest, InvalidMemoryClockRejected) {
+  const auto st = lib->set_application_clocks(root, 0, {megahertz{1215}, megahertz{1312}});
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.err().code, sc::errc::invalid_argument);
+}
+
+TEST_F(NvmlSimTest, ClockChangesCostDriverLatency) {
+  const double before = boards[0]->now().value;
+  ASSERT_TRUE(lib->set_application_clocks(root, 0, {megahertz{877}, megahertz{1530}}).ok());
+  EXPECT_NEAR(boards[0]->now().value - before, sv::nvml_sim::clock_set_latency.value, 1e-12);
+  EXPECT_EQ(lib->clock_change_count(), 1u);
+  ASSERT_TRUE(lib->reset_application_clocks(root, 0).ok());
+  EXPECT_EQ(lib->clock_change_count(), 2u);
+}
+
+TEST_F(NvmlSimTest, TotalEnergyCounterTracksBoard) {
+  boards[0]->execute(busy_kernel());
+  const auto e = lib->total_energy(0);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_NEAR(e.value().value, boards[0]->total_energy().value, 1e-12);
+}
+
+TEST_F(NvmlSimTest, PowerUsageReflectsLoad) {
+  // Execute a long kernel, then read sensor power: should be far above idle.
+  boards[0]->execute(busy_kernel());
+  const auto p = lib->power_usage(0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_GT(p.value().value, boards[0]->spec().idle_power_w * 1.5);
+}
+
+// ------------------------------------------------------------------ rsmi ----
+
+class RsmiSimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    boards = {make_board(gs::make_mi100())};
+    lib = std::make_unique<sv::rsmi_sim>(boards);
+    ASSERT_TRUE(lib->init().ok());
+  }
+  std::vector<std::shared_ptr<gs::device>> boards;
+  std::unique_ptr<sv::rsmi_sim> lib;
+  sv::user_context root = sv::user_context::root();
+  sv::user_context user = sv::user_context::user();
+};
+
+TEST_F(RsmiSimTest, BackendName) { EXPECT_EQ(lib->backend_name(), "ROCm SMI"); }
+
+TEST_F(RsmiSimTest, SysfsPermissionModel) {
+  EXPECT_FALSE(lib->set_application_clocks(user, 0, {megahertz{1200}, megahertz{999}}).ok());
+  lib->set_sysfs_writable(true);
+  EXPECT_TRUE(lib->set_application_clocks(user, 0, {megahertz{1200}, megahertz{999}}).ok());
+}
+
+TEST_F(RsmiSimTest, ClocksSnapToNearestPerfLevel) {
+  ASSERT_TRUE(lib->set_application_clocks(root, 0, {megahertz{1200}, megahertz{1000}}).ok());
+  EXPECT_DOUBLE_EQ(lib->application_clocks(0).value().core.value, 999.0);
+}
+
+TEST_F(RsmiSimTest, PerfLevelSelection) {
+  ASSERT_TRUE(lib->set_perf_level(root, 0, 0).ok());
+  EXPECT_DOUBLE_EQ(lib->application_clocks(0).value().core.value, 300.0);
+  ASSERT_TRUE(lib->set_perf_level(root, 0, 15).ok());
+  EXPECT_DOUBLE_EQ(lib->application_clocks(0).value().core.value, 1502.0);
+  EXPECT_EQ(lib->set_perf_level(root, 0, 16).err().code, sc::errc::invalid_argument);
+}
+
+TEST_F(RsmiSimTest, NoApiRestrictionMechanism) {
+  EXPECT_EQ(lib->set_api_restriction(root, 0, sv::restricted_api::set_application_clocks, false)
+                .err()
+                .code,
+            sc::errc::not_supported);
+}
+
+TEST_F(RsmiSimTest, NoEnergyCounterOnMi100) {
+  const auto e = lib->total_energy(0);
+  ASSERT_FALSE(e.has_value());
+  EXPECT_EQ(e.err().code, sc::errc::not_supported);
+}
+
+TEST_F(RsmiSimTest, DefaultIsTopLevel) {
+  EXPECT_DOUBLE_EQ(lib->application_clocks(0).value().core.value, 1502.0);
+}
+
+TEST_F(NvmlSimTest, PowerLimitThrottlesClockCeiling) {
+  // Default limit is the TDP.
+  EXPECT_DOUBLE_EQ(lib->power_limit(0).value(), 300.0);
+  // Root sets a 200 W cap: the fastest clocks become unreachable.
+  ASSERT_TRUE(lib->set_power_limit(root, 0, 200.0).ok());
+  EXPECT_DOUBLE_EQ(lib->power_limit(0).value(), 200.0);
+  const auto st = lib->set_application_clocks(root, 0, {megahertz{877}, megahertz{1530}});
+  EXPECT_FALSE(st.ok());
+  // A clock within the cap still works.
+  const auto capped = gs::max_core_clock_under_cap(boards[0]->spec(), 200.0);
+  EXPECT_TRUE(lib->set_application_clocks(root, 0, {megahertz{877}, capped}).ok());
+  // Reset restores full range.
+  ASSERT_TRUE(lib->reset_power_limit(root, 0).ok());
+  EXPECT_DOUBLE_EQ(lib->power_limit(0).value(), 300.0);
+  EXPECT_TRUE(lib->set_application_clocks(root, 0, {megahertz{877}, megahertz{1530}}).ok());
+}
+
+TEST_F(NvmlSimTest, PowerLimitIsRootOnlyAndBounded) {
+  EXPECT_EQ(lib->set_power_limit(user, 0, 200.0).err().code, sc::errc::no_permission);
+  EXPECT_EQ(lib->set_power_limit(root, 0, 10.0).err().code, sc::errc::invalid_argument);
+  EXPECT_EQ(lib->set_power_limit(root, 0, 500.0).err().code, sc::errc::invalid_argument);
+  EXPECT_EQ(lib->reset_power_limit(user, 0).err().code, sc::errc::no_permission);
+}
+
+// ----------------------------------------------------------- level zero ----
+
+class LzeroSimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    boards = {make_board(gs::make_pvc())};
+    lib = std::make_unique<sv::lzero_sim>(boards);
+    ASSERT_TRUE(lib->init().ok());
+  }
+  std::vector<std::shared_ptr<gs::device>> boards;
+  std::unique_ptr<sv::lzero_sim> lib;
+  sv::user_context root = sv::user_context::root();
+  sv::user_context user = sv::user_context::user();
+};
+
+TEST_F(LzeroSimTest, PvcSpecShape) {
+  const auto& spec = boards[0]->spec();
+  EXPECT_EQ(spec.vendor, gs::vendor_kind::intel);
+  EXPECT_EQ(spec.core_clocks.size(), 15u);  // 900..1600 step 50
+  EXPECT_DOUBLE_EQ(spec.min_core_clock().value, 900.0);
+  EXPECT_DOUBLE_EQ(spec.max_core_clock().value, 1600.0);
+  EXPECT_DOUBLE_EQ(spec.default_core_clock().value, 1600.0);
+}
+
+TEST_F(LzeroSimTest, SysmanGatesManagement) {
+  EXPECT_FALSE(lib->set_frequency_range(user, 0, megahertz{900}, megahertz{1000}).ok());
+  EXPECT_TRUE(lib->api_restricted(0, sv::restricted_api::set_application_clocks).value());
+  lib->set_sysman_enabled(true);
+  EXPECT_TRUE(lib->set_frequency_range(user, 0, megahertz{900}, megahertz{1000}).ok());
+  EXPECT_FALSE(lib->api_restricted(0, sv::restricted_api::set_application_clocks).value());
+}
+
+TEST_F(LzeroSimTest, FrequencyRangePicksTopClockInWindow) {
+  ASSERT_TRUE(lib->set_frequency_range(root, 0, megahertz{1000}, megahertz{1240}).ok());
+  EXPECT_DOUBLE_EQ(lib->application_clocks(0).value().core.value, 1200.0);
+  // Degenerate range pins the clock exactly.
+  ASSERT_TRUE(lib->set_frequency_range(root, 0, megahertz{950}, megahertz{950}).ok());
+  EXPECT_DOUBLE_EQ(lib->application_clocks(0).value().core.value, 950.0);
+  // Inverted range rejected.
+  EXPECT_EQ(lib->set_frequency_range(root, 0, megahertz{1200}, megahertz{900}).err().code,
+            sc::errc::invalid_argument);
+}
+
+TEST_F(LzeroSimTest, EmptyRangeClampsToNearestClock) {
+  // [1001, 1049] contains no supported clock: the driver clamps.
+  ASSERT_TRUE(lib->set_frequency_range(root, 0, megahertz{1001}, megahertz{1049}).ok());
+  const double core = lib->application_clocks(0).value().core.value;
+  EXPECT_TRUE(core == 1000.0 || core == 1050.0);
+}
+
+TEST_F(LzeroSimTest, ApplicationClocksMapToDegenerateRange) {
+  ASSERT_TRUE(
+      lib->set_application_clocks(root, 0, {boards[0]->spec().memory_clock, megahertz{1100}})
+          .ok());
+  EXPECT_DOUBLE_EQ(lib->application_clocks(0).value().core.value, 1100.0);
+  ASSERT_TRUE(lib->reset_application_clocks(root, 0).ok());
+  EXPECT_DOUBLE_EQ(lib->application_clocks(0).value().core.value, 1600.0);
+}
+
+TEST_F(LzeroSimTest, EnergyCounterAvailable) {
+  gs::kernel_profile p = busy_kernel();
+  boards[0]->execute(p);
+  const auto e = lib->total_energy(0);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_GT(e.value().value, 0.0);
+}
+
+TEST_F(LzeroSimTest, NoPerApiRestrictions) {
+  EXPECT_EQ(lib->set_api_restriction(root, 0, sv::restricted_api::set_application_clocks, false)
+                .err()
+                .code,
+            sc::errc::not_supported);
+}
+
+// --------------------------------------------------------------- factory ----
+
+TEST(VendorFactory, SelectsBackendByVendor) {
+  auto nv = sv::make_management_library({make_board(gs::make_v100())});
+  EXPECT_EQ(nv->backend_name(), "NVML");
+  auto amd = sv::make_management_library({make_board(gs::make_mi100())});
+  EXPECT_EQ(amd->backend_name(), "ROCm SMI");
+  auto intel = sv::make_management_library({make_board(gs::make_pvc())});
+  EXPECT_EQ(intel->backend_name(), "Level Zero");
+}
+
+TEST(VendorFactory, RejectsMixedVendorsAndEmpty) {
+  EXPECT_THROW((void)sv::make_management_library({}), std::invalid_argument);
+  EXPECT_THROW((void)sv::make_management_library(
+                   {make_board(gs::make_v100()), make_board(gs::make_mi100())}),
+               std::invalid_argument);
+}
+
+TEST(VendorSensor, PowerReadIsWindowAveraged) {
+  // A device that just finished a short burst should report a sensor value
+  // smeared over the 15 ms window, not the instantaneous busy power.
+  auto board = make_board(gs::make_v100());
+  sv::nvml_sim lib{{board}, sv::sensor_model{.update_interval = sc::seconds{0.005},
+                                             .window = sc::seconds{0.015}}};
+  ASSERT_TRUE(lib.init().ok());
+  board->advance_idle(sc::seconds{1.0});
+  gs::kernel_profile tiny;
+  tiny.name = "tiny";
+  tiny.features.float_add = 1000;
+  tiny.features.gl_access = 2;
+  tiny.work_items = 1 << 14;  // very short kernel (<< sensor window)
+  const auto rec = board->execute(tiny);
+  ASSERT_LT(rec.cost.time.value, 0.005);
+  const auto sensed = lib.power_usage(0).value();
+  // Sensor underestimates the short burst: reading is well below busy power.
+  EXPECT_LT(sensed.value, rec.cost.avg_power.value * 0.8);
+}

@@ -1,0 +1,394 @@
+// Tests for the 23-benchmark suite and the two mini-apps: extracted feature
+// sanity, numerical correctness of representative kernels, suite-wide
+// characterization properties that reproduce the paper's Sec. 8.2
+// observations, and distributed app runs (determinism, tuning effects).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "synergy/planner.hpp"
+#include "synergy/workloads/apps.hpp"
+#include "synergy/workloads/benchmark.hpp"
+#include "synergy/workloads/kernels.hpp"
+
+namespace sw = synergy::workloads;
+namespace sm = synergy::metrics;
+namespace gs = synergy::gpusim;
+
+namespace {
+
+synergy::queue make_queue(simsycl::device& dev) {
+  auto ctx = std::make_shared<synergy::context>(std::vector<simsycl::device>{dev});
+  return synergy::queue{dev, ctx};
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- suite shape ----
+
+TEST(Suite, HasTwentyThreeBenchmarks) {
+  EXPECT_EQ(sw::suite().size(), 23u);
+  const auto names = sw::names();
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()).size(), 23u);
+}
+
+TEST(Suite, FindByName) {
+  EXPECT_EQ(sw::find("black_scholes").name, "black_scholes");
+  EXPECT_THROW((void)sw::find("no_such_kernel"), std::out_of_range);
+}
+
+TEST(Suite, EveryBenchmarkHasExtractedFeaturesAndRunner) {
+  for (const auto& b : sw::suite()) {
+    EXPECT_GT(b.info.features.total_compute_ops() + b.info.features.gl_access, 0.0) << b.name;
+    EXPECT_GT(b.info.features.gl_access, 0.0) << b.name << " must touch global memory";
+    EXPECT_GT(b.real_items, 0u) << b.name;
+    EXPECT_TRUE(static_cast<bool>(b.run)) << b.name;
+    EXPECT_EQ(b.info.name, b.name);
+  }
+}
+
+TEST(Suite, RegisterAllPopulatesRegistry) {
+  synergy::features::kernel_registry reg;
+  sw::register_all(reg);
+  EXPECT_EQ(reg.size(), 23u);
+  EXPECT_TRUE(reg.contains("sobel5"));
+}
+
+TEST(Suite, FeatureVectorsMatchKernelStructure) {
+  // Black-Scholes is special-function heavy.
+  EXPECT_GE(sw::find("black_scholes").info.features.sf, 5.0);
+  // Mersenne twister is integer/bitwise heavy with no floating point.
+  const auto& mt = sw::find("mersenne_twister").info.features;
+  EXPECT_GE(mt.int_bw, 6.0);
+  EXPECT_DOUBLE_EQ(mt.float_add + mt.float_mul + mt.float_div, 0.0);
+  // Sobel7 reads a 49-point neighbourhood.
+  EXPECT_GE(sw::find("sobel7").info.features.gl_access, 49.0);
+  EXPECT_GT(sw::find("sobel7").info.features.gl_access,
+            sw::find("sobel3").info.features.gl_access);
+  // K-means keeps centroids in local memory.
+  EXPECT_GE(sw::find("kmeans").info.features.loc_access, 8.0);
+  // Vector add is two reads, one write, one add.
+  const auto& va = sw::find("vec_add").info.features;
+  EXPECT_DOUBLE_EQ(va.gl_access, 3.0);
+  EXPECT_DOUBLE_EQ(va.float_add, 1.0);
+  // Molecular dynamics divides (Lennard-Jones r^-k terms).
+  EXPECT_GE(sw::find("mol_dyn").info.features.float_div, 10.0);
+}
+
+TEST(Suite, ArithmeticIntensitySpansBothRooflineRegimes) {
+  const double ai_nbody = sw::find("nbody").profile().arithmetic_intensity();
+  const double ai_vecadd = sw::find("vec_add").profile().arithmetic_intensity();
+  // V100 roofline ridge sits near 6 flop/byte: nbody is far above it,
+  // vec_add far below.
+  EXPECT_GT(ai_nbody, 15.0);
+  EXPECT_LT(ai_vecadd, 0.2);
+}
+
+// --------------------------------------------------------- kernel numerics ----
+
+TEST(KernelNumerics, VecAddAndScalarProd) {
+  simsycl::device dev{gs::make_v100()};
+  auto q = make_queue(dev);
+  // The suite runners validate end-to-end launch; numerics are checked by
+  // calling bodies directly on host data.
+  std::vector<float> x{1, 2, 3}, y{10, 20, 30}, z(3, 0);
+  for (std::size_t i = 0; i < 3; ++i) sw::vec_add_body::item(i, x, y, z);
+  EXPECT_FLOAT_EQ(z[2], 33.0f);
+
+  std::vector<float> a(sw::scalar_prod_body::chunk, 2.0f), b(sw::scalar_prod_body::chunk, 3.0f);
+  std::vector<float> partial(1, 0);
+  sw::scalar_prod_body::item<float>(0, a, b, partial);
+  EXPECT_FLOAT_EQ(partial[0], 6.0f * sw::scalar_prod_body::chunk);
+}
+
+TEST(KernelNumerics, MatMulAgainstReference) {
+  constexpr std::size_t n = 8;
+  std::vector<float> a(n * n), b(n * n), c(n * n, 0);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    a[i] = static_cast<float>(i % 5) - 2.0f;
+    b[i] = static_cast<float>(i % 7) - 3.0f;
+  }
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t col = 0; col < n; ++col) sw::mat_mul_body::item<float>(r, col, n, a, b, c);
+  // Reference check of one element.
+  float ref = 0;
+  for (std::size_t k = 0; k < n; ++k) ref += a[3 * n + k] * b[k * n + 5];
+  EXPECT_NEAR(c[3 * n + 5], ref, 1e-4);
+}
+
+TEST(KernelNumerics, BlackScholesSatisfiesNoArbitrageBounds) {
+  std::vector<float> s{100.0f}, k{100.0f}, t{1.0f}, call(1, 0), put(1, 0);
+  sw::black_scholes_body::item<float>(0, s, k, t, call, put);
+  // ATM call with vol 0.3, r 0.02: around 13; must exceed intrinsic value.
+  EXPECT_GT(call[0], 5.0f);
+  EXPECT_LT(call[0], 25.0f);
+  // Put-call parity was used for the put; both must be positive.
+  EXPECT_GT(put[0], 0.0f);
+}
+
+TEST(KernelNumerics, SobelDetectsEdge) {
+  constexpr std::size_t w = 16, h = 16;
+  std::vector<float> img(w * h, 0.0f), out(w * h, 0.0f);
+  for (std::size_t y = 0; y < h; ++y)
+    for (std::size_t x = w / 2; x < w; ++x) img[y * w + x] = 1.0f;  // vertical edge
+  for (std::size_t y = 0; y < h; ++y)
+    for (std::size_t x = 0; x < w; ++x) sw::sobel_body<3>::item<float>(x, y, w, h, img, out);
+  // Strong response on the edge column, none far away.
+  EXPECT_GT(out[8 * w + w / 2], 1.0f);
+  EXPECT_NEAR(out[8 * w + 2], 0.0f, 1e-6);
+}
+
+TEST(KernelNumerics, MedianRemovesImpulseNoise) {
+  constexpr std::size_t w = 8, h = 8;
+  std::vector<float> img(w * h, 0.5f), out(w * h, 0.0f);
+  img[3 * w + 3] = 99.0f;  // salt impulse
+  for (std::size_t y = 0; y < h; ++y)
+    for (std::size_t x = 0; x < w; ++x) sw::median_body::item<float>(x, y, w, h, img, out);
+  EXPECT_FLOAT_EQ(out[3 * w + 3], 0.5f);
+}
+
+TEST(KernelNumerics, MersenneTwisterTemperingIsDeterministic) {
+  std::vector<unsigned> state{0x12345678u}, out(1, 0u);
+  sw::mersenne_twister_body::item<unsigned>(0, state, out);
+  std::vector<unsigned> out2(1, 0u);
+  sw::mersenne_twister_body::item<unsigned>(0, state, out2);
+  EXPECT_EQ(out[0], out2[0]);
+  EXPECT_NE(out[0], state[0]);  // tempering must change the word
+}
+
+TEST(KernelNumerics, CorrelationOfIdenticalSeriesIsOne) {
+  std::vector<float> x(sw::correlation_body::chunk), corr(1, 0);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i) * 0.1f;
+  sw::correlation_body::item<float>(0, x, x, corr);
+  EXPECT_NEAR(corr[0], 1.0f, 1e-3);
+}
+
+TEST(KernelNumerics, KmeansAssignsNearestCentroid) {
+  std::vector<float> px{3.6f}, py{-3.4f}, assignment(1, -1);
+  std::array<float, sw::kmeans_body::k> cx{}, cy{};
+  for (std::size_t c = 0; c < sw::kmeans_body::k; ++c) {
+    cx[c] = static_cast<float>(c) - 3.5f;
+    cy[c] = 3.5f - static_cast<float>(c);
+  }
+  sw::kmeans_body::item<float>(0, px, py, cx, cy, assignment);
+  EXPECT_FLOAT_EQ(assignment[0], 7.0f);  // centroid (3.5, -3.5)
+}
+
+// ------------------------------------------------- suite runs on the queue ----
+
+TEST(SuiteExecution, EveryBenchmarkRunsOnV100AndMi100) {
+  for (const char* device : {"V100", "MI100"}) {
+    simsycl::device dev{gs::make_device_spec(device)};
+    auto q = make_queue(dev);
+    for (const auto& b : sw::suite()) {
+      const auto e = b.run(q);
+      ASSERT_TRUE(e.valid()) << b.name << " on " << device;
+      EXPECT_EQ(e.kernel_name(), b.name);
+      EXPECT_GT(e.record().cost.energy.value, 0.0) << b.name;
+    }
+    EXPECT_EQ(q.kernels_submitted(), sw::suite().size());
+  }
+}
+
+// --------------------------------------- paper Sec. 8.2 characterization ----
+
+TEST(Characterization, MatMulIsFlatAndSavesEnergyOnV100) {
+  // Paper Fig. 7a: MatMul Pareto speedup range 0.95-1.01; large energy
+  // savings at small performance loss.
+  const auto spec = gs::make_v100();
+  const auto c = synergy::oracle_characterization(spec, sw::find("mat_mul").profile());
+  const auto front = sm::pareto_front(c.points);
+  double min_speedup = 1e9, max_speedup = 0;
+  for (const auto i : front) {
+    min_speedup = std::min(min_speedup, c.speedup(c.points[i]));
+    max_speedup = std::max(max_speedup, c.speedup(c.points[i]));
+  }
+  EXPECT_GT(min_speedup, 0.80);
+  EXPECT_LT(max_speedup, 1.10);
+  // >= 20% energy saving available within 10% performance loss.
+  double best_saving = 0;
+  for (const auto& p : c.points)
+    if (c.speedup(p) > 0.90) best_saving = std::max(best_saving, 1.0 - c.normalized_energy(p));
+  EXPECT_GT(best_saving, 0.20);
+}
+
+TEST(Characterization, Sobel3HasWideSpeedupRangeOnV100) {
+  // Paper Fig. 7b: Sobel3 Pareto speedups span ~0.73 to ~1.15.
+  const auto spec = gs::make_v100();
+  const auto c = synergy::oracle_characterization(spec, sw::find("sobel3").profile());
+  const auto front = sm::pareto_front(c.points);
+  double min_speedup = 1e9, max_speedup = 0;
+  for (const auto i : front) {
+    min_speedup = std::min(min_speedup, c.speedup(c.points[i]));
+    max_speedup = std::max(max_speedup, c.speedup(c.points[i]));
+  }
+  EXPECT_LT(min_speedup, 0.85);
+  EXPECT_GT(max_speedup, 1.10);
+}
+
+TEST(Characterization, DefaultIsFastestOnMi100ForWholeSuite) {
+  // Paper Sec. 8.2: on MI100 the default configuration always brings the
+  // best performance.
+  const auto spec = gs::make_mi100();
+  for (const auto& b : sw::suite()) {
+    const auto c = synergy::oracle_characterization(spec, b.profile());
+    const auto fastest = sm::select(c, sm::MAX_PERF);
+    EXPECT_EQ(c.points[fastest].config.core.value, spec.default_core_clock().value) << b.name;
+  }
+}
+
+TEST(Characterization, V100DefaultCanBeDominatedUnderMeasurementNoise) {
+  // Paper Sec. 8.2: on V100 the default is "even not a Pareto-optimal
+  // solution in some cases". With the exact model the default is always on
+  // the front (time is monotone in frequency); the paper's observation
+  // arises from measurement noise, so characterise with a noisy device.
+  const auto spec = gs::make_v100();
+  gs::noise_config noise{.time_sigma = 0.02, .power_sigma = 0.02, .seed = 99};
+  gs::device dev{spec, noise};
+  int dominated = 0;
+  for (const char* name : {"vec_add", "mat_mul", "gemver", "lbm"}) {
+    const auto profile = sw::find(name).profile();
+    sm::characterization c;
+    for (std::size_t i = 0; i < spec.core_clocks.size(); ++i) {
+      ASSERT_TRUE(dev.set_core_clock(spec.core_clocks[i]).ok());
+      const auto rec = dev.execute(profile);
+      c.points.push_back(
+          {rec.config, rec.cost.time.value, rec.cost.energy.value});
+      if (i == spec.default_clock_index) c.default_index = i;
+    }
+    const auto front = sm::pareto_front(c.points);
+    if (std::find(front.begin(), front.end(), c.default_index) == front.end()) ++dominated;
+  }
+  EXPECT_GT(dominated, 0);
+}
+
+// -------------------------------------------------------------- mini-apps ----
+
+class AppsTest : public ::testing::Test {
+ protected:
+  sw::apps::app_config small_config() const {
+    sw::apps::app_config cfg;
+    cfg.nx = 16;
+    cfg.ny = 16;
+    cfg.timesteps = 2;
+    return cfg;
+  }
+};
+
+TEST_F(AppsTest, CloverLeafRunsAndConservesSanity) {
+  const auto result = sw::apps::run_cloverleaf(2, small_config(), std::nullopt);
+  EXPECT_GT(result.makespan_s, 0.0);
+  EXPECT_GT(result.gpu_energy_j, 0.0);
+  EXPECT_EQ(result.kernels_launched, 2u * 2u * 5u);  // ranks x steps x kernels
+  EXPECT_TRUE(std::isfinite(result.checksum));
+  EXPECT_GT(result.checksum, 0.0);
+}
+
+TEST_F(AppsTest, MiniWeatherRunsAndConservesSanity) {
+  const auto result = sw::apps::run_miniweather(2, small_config(), std::nullopt);
+  EXPECT_GT(result.makespan_s, 0.0);
+  EXPECT_GT(result.gpu_energy_j, 0.0);
+  // ranks x steps x (2 tend + 8 update + 1 source).
+  EXPECT_EQ(result.kernels_launched, 2u * 2u * 11u);
+  EXPECT_TRUE(std::isfinite(result.checksum));
+}
+
+TEST_F(AppsTest, ChecksumIsDeterministicAcrossRuns) {
+  const auto a = sw::apps::run_cloverleaf(2, small_config(), std::nullopt);
+  const auto b = sw::apps::run_cloverleaf(2, small_config(), std::nullopt);
+  EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+  EXPECT_DOUBLE_EQ(a.gpu_energy_j, b.gpu_energy_j);
+}
+
+TEST_F(AppsTest, TuningDoesNotChangeNumericalResults) {
+  const auto base = sw::apps::run_miniweather(2, small_config(), std::nullopt);
+  const auto tuned = sw::apps::run_miniweather(2, small_config(), sm::ES_50);
+  EXPECT_NEAR(tuned.checksum, base.checksum, 1e-6 * std::fabs(base.checksum));
+}
+
+TEST_F(AppsTest, EnergyTargetSavesEnergyOnCloverLeaf) {
+  auto cfg = small_config();
+  cfg.timesteps = 3;
+  const auto base = sw::apps::run_cloverleaf(2, cfg, std::nullopt);
+  const auto tuned = sw::apps::run_cloverleaf(2, cfg, sm::ES_50);
+  EXPECT_LT(tuned.gpu_energy_j, base.gpu_energy_j);
+}
+
+TEST_F(AppsTest, MaxPerfTargetIsFasterOrEqual) {
+  auto cfg = small_config();
+  cfg.timesteps = 3;
+  const auto base = sw::apps::run_miniweather(2, cfg, std::nullopt);
+  const auto perf = sw::apps::run_miniweather(2, cfg, sm::MAX_PERF);
+  // V100 default (1312) < max (1530): MAX_PERF compute time can only drop.
+  EXPECT_LE(perf.makespan_s, base.makespan_s * 1.05);
+}
+
+TEST_F(AppsTest, WeakScalingGrowsAggregateEnergyRoughlyLinearly) {
+  const auto r2 = sw::apps::run_cloverleaf(2, small_config(), std::nullopt);
+  const auto r4 = sw::apps::run_cloverleaf(4, small_config(), std::nullopt);
+  // Per-rank work is constant: energy should roughly double (within 35%).
+  EXPECT_NEAR(r4.gpu_energy_j / r2.gpu_energy_j, 2.0, 0.7);
+  // Makespan grows only mildly (communication).
+  EXPECT_LT(r4.makespan_s, r2.makespan_s * 1.6);
+}
+
+TEST_F(AppsTest, CloverLeafDensityStaysPositiveAndBounded) {
+  auto cfg = small_config();
+  cfg.timesteps = 6;
+  const auto r = sw::apps::run_cloverleaf(3, cfg, std::nullopt);
+  // The advection clamp and EOS keep density positive; nothing should blow
+  // past the initial contrast (0.2 ambient vs 1.0 hot region) by much.
+  EXPECT_GT(r.field_min, 0.0);
+  EXPECT_LT(r.field_max, 2.0);
+  EXPECT_GE(r.field_max, r.field_min);
+}
+
+TEST_F(AppsTest, CloverLeafHotRegionDrivesFlow) {
+  // With the energetic region present the density field must deviate from
+  // ambient (the pressure wave moves material).
+  auto cfg = small_config();
+  cfg.timesteps = 6;
+  const auto r = sw::apps::run_cloverleaf(3, cfg, std::nullopt);
+  EXPECT_GT(r.field_max - r.field_min, 0.1);
+}
+
+TEST_F(AppsTest, MiniWeatherBubbleInducesVerticalMotion) {
+  auto cfg = small_config();
+  cfg.timesteps = 6;
+  const auto r = sw::apps::run_miniweather(3, cfg, std::nullopt);
+  // The warm bubble's buoyancy must create nonzero vertical momentum...
+  EXPECT_GT(r.field_max, 1e-6);
+  // ...but the flow stays numerically stable (momenta bounded).
+  EXPECT_LT(std::fabs(r.field_max), 50.0);
+  EXPECT_LT(std::fabs(r.field_min), 50.0);
+}
+
+TEST_F(AppsTest, MoreTimestepsMoreEnergy) {
+  auto cfg = small_config();
+  cfg.timesteps = 2;
+  const auto short_run = sw::apps::run_cloverleaf(2, cfg, std::nullopt);
+  cfg.timesteps = 6;
+  const auto long_run = sw::apps::run_cloverleaf(2, cfg, std::nullopt);
+  EXPECT_GT(long_run.gpu_energy_j, short_run.gpu_energy_j * 2.0);
+  EXPECT_GT(long_run.makespan_s, short_run.makespan_s * 2.0);
+}
+
+TEST_F(AppsTest, AppsRunOnMi100Ranks) {
+  auto cfg = small_config();
+  cfg.device = "MI100";
+  const auto base = sw::apps::run_cloverleaf(2, cfg, std::nullopt);
+  EXPECT_GT(base.gpu_energy_j, 0.0);
+  // On MI100 the default is already fastest; ES_50 must still trade
+  // performance for energy without breaking numerics.
+  const auto tuned = sw::apps::run_cloverleaf(2, cfg, sm::ES_50);
+  EXPECT_LT(tuned.gpu_energy_j, base.gpu_energy_j);
+  EXPECT_NEAR(tuned.checksum, base.checksum, 1e-6 * std::fabs(base.checksum));
+}
+
+TEST_F(AppsTest, SingleRankNeedsNoCommunication) {
+  const auto r1 = sw::apps::run_miniweather(1, small_config(), std::nullopt);
+  EXPECT_GT(r1.makespan_s, 0.0);
+  EXPECT_GT(r1.gpu_energy_j, 0.0);
+}

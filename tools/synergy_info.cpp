@@ -1,0 +1,61 @@
+/// synergy_info — enumerate simulated devices and their frequency tables,
+/// like a portable `nvidia-smi -q -d SUPPORTED_CLOCKS` across vendors.
+///
+/// Usage: synergy_info [device]
+///   device: V100 | A100 | MI100 | PVC (default: all)
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "synergy/common/table.hpp"
+#include "synergy/gpusim/device.hpp"
+#include "synergy/vendor/management_library.hpp"
+
+namespace sc = synergy::common;
+namespace gs = synergy::gpusim;
+
+namespace {
+
+void print_device(const std::string& name) {
+  const auto spec = gs::make_device_spec(name);
+  auto board = std::make_shared<gs::device>(spec);
+  auto lib = synergy::vendor::make_management_library({board});
+  lib->init();
+
+  sc::print_banner(std::cout, spec.name + " (via " + lib->backend_name() + ")");
+  sc::text_table table;
+  table.row({"compute units", std::to_string(spec.num_compute_units)});
+  table.row({"lanes per unit", std::to_string(spec.lanes_per_unit)});
+  table.row({"memory bandwidth", sc::text_table::fmt(spec.mem_bandwidth_gbs, 0) + " GB/s"});
+  table.row({"memory clock", sc::text_table::fmt(spec.memory_clock.value, 0) + " MHz"});
+  table.row({"board power", sc::text_table::fmt(spec.idle_power_w, 0) + " W idle / " +
+                                sc::text_table::fmt(spec.max_board_power_w, 0) + " W TDP"});
+  table.row({"core clocks", std::to_string(spec.core_clocks.size()) + " configs, " +
+                                sc::text_table::fmt(spec.min_core_clock().value, 0) + "-" +
+                                sc::text_table::fmt(spec.max_core_clock().value, 0) + " MHz"});
+  table.row({"default clock", sc::text_table::fmt(spec.default_core_clock().value, 0) + " MHz"});
+  table.print(std::cout);
+
+  std::cout << "supported core clocks (MHz):";
+  for (std::size_t i = 0; i < spec.core_clocks.size(); ++i) {
+    if (i % 12 == 0) std::cout << "\n  ";
+    std::cout << spec.core_clocks[i].value << ' ';
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> devices;
+  if (argc > 1) devices.emplace_back(argv[1]);
+  else devices = {"V100", "A100", "MI100", "PVC"};
+  try {
+    for (const auto& name : devices) print_device(name);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

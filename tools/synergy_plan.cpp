@@ -1,0 +1,76 @@
+/// synergy_plan — the "compile step" as a command-line tool: load trained
+/// models for a device, plan every benchmark kernel for the requested
+/// targets, and emit a tuning-table artefact (paper Fig. 3: the compiler
+/// makes the predicted frequency configuration available to the runtime).
+///
+/// Usage: synergy_plan <device> <model-dir> [targets...] [--out <file>]
+///   targets default to: MIN_EDP MIN_ED2P ES_25 ES_50 PL_25 PL_50
+
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "synergy/synergy.hpp"
+#include "synergy/workloads/benchmark.hpp"
+
+namespace sm = synergy::metrics;
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage: synergy_plan <device> <model-dir> [targets...] [--out <file>]\n";
+    return 2;
+  }
+  try {
+    const std::string device = argv[1];
+    const std::string model_dir = argv[2];
+
+    std::vector<sm::target> targets;
+    std::string out_file;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--out" && i + 1 < argc) {
+        out_file = argv[++i];
+      } else {
+        targets.push_back(sm::target::parse(arg));
+      }
+    }
+    if (targets.empty())
+      targets = {sm::MIN_EDP, sm::MIN_ED2P, sm::ES_25, sm::ES_50, sm::PL_25, sm::PL_50};
+
+    const auto spec = synergy::gpusim::make_device_spec(device);
+    synergy::model_store store{model_dir};
+    if (!store.contains(device)) {
+      std::cerr << "error: no models for " << device << " under " << model_dir
+                << " (run synergy_train first)\n";
+      return 1;
+    }
+    synergy::frequency_planner planner{spec, store.load(device)};
+
+    synergy::features::kernel_registry registry;
+    synergy::workloads::register_all(registry);
+    const auto table = synergy::compile_tuning_table(registry, targets, planner, device);
+
+    std::cout << "compiled " << table.size() << " decisions for "
+              << registry.size() << " kernels x " << targets.size() << " targets on "
+              << spec.name << "\n\n";
+    std::cout << "kernel / target / core MHz:\n";
+    for (const auto& kernel : table.kernels())
+      for (const auto& t : targets)
+        std::cout << "  " << kernel << " " << t.to_string() << " "
+                  << table.find(kernel, t)->core.value << "\n";
+
+    if (!out_file.empty()) {
+      std::ofstream out{out_file};
+      if (!out) {
+        std::cerr << "error: cannot write " << out_file << '\n';
+        return 1;
+      }
+      out << table.serialize();
+      std::cout << "\ntuning table written to " << out_file << '\n';
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+/// synergy_train — train the four per-metric frequency models for a device
+/// from the micro-benchmark suite and persist them to a model store
+/// (the administrator step of the paper's deployment workflow, Sec. 3.2).
+///
+/// Usage: synergy_train <device> <output-dir> [n_microbenchmarks] [freq_samples]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "synergy/synergy.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage: synergy_train <device> <output-dir> [n_microbenchmarks]"
+                 " [freq_samples]\n"
+                 "  device: V100 | A100 | MI100 | PVC\n";
+    return 2;
+  }
+  try {
+    const std::string device = argv[1];
+    const std::string out_dir = argv[2];
+
+    synergy::trainer_options opt;
+    if (argc > 3) opt.n_microbenchmarks = static_cast<std::size_t>(std::atoi(argv[3]));
+    if (argc > 4) opt.freq_samples = static_cast<std::size_t>(std::atoi(argv[4]));
+
+    const auto spec = synergy::gpusim::make_device_spec(device);
+    std::cout << "training on " << spec.name << ": " << opt.n_microbenchmarks
+              << " micro-benchmarks x " << opt.freq_samples << " clocks x "
+              << opt.repetitions << " repetitions\n";
+
+    synergy::model_trainer trainer{spec, opt};
+    const auto suite = trainer.generate_microbenchmarks();
+    const auto sets = trainer.measure(suite);
+    std::cout << "training set: " << sets.time.size() << " samples, "
+              << sets.time.x.cols() << " inputs\n";
+
+    const auto models = trainer.fit(sets, synergy::ml::algorithm::linear,
+                                    synergy::ml::algorithm::random_forest,
+                                    synergy::ml::algorithm::random_forest,
+                                    synergy::ml::algorithm::linear);
+
+    synergy::model_store store{out_dir};
+    store.save(device, models);
+    std::cout << "models written to " << out_dir << "/" << device << "/ ("
+              << models.time->name() << " time, " << models.energy->name() << " energy, "
+              << models.edp->name() << " EDP, " << models.ed2p->name() << " ED2P)\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

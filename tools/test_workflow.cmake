@@ -1,0 +1,28 @@
+# Smoke test for the CLI deployment workflow: train models, then compile a
+# tuning table from them, end to end.
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(COMMAND "${TRAIN}" V100 "${WORK_DIR}/models" 16 12
+                RESULT_VARIABLE train_result)
+if(NOT train_result EQUAL 0)
+  message(FATAL_ERROR "synergy_train failed: ${train_result}")
+endif()
+
+execute_process(COMMAND "${PLAN}" V100 "${WORK_DIR}/models" ES_50 MIN_EDP
+                        --out "${WORK_DIR}/v100.tuning"
+                RESULT_VARIABLE plan_result)
+if(NOT plan_result EQUAL 0)
+  message(FATAL_ERROR "synergy_plan failed: ${plan_result}")
+endif()
+
+if(NOT EXISTS "${WORK_DIR}/v100.tuning")
+  message(FATAL_ERROR "tuning table was not written")
+endif()
+file(READ "${WORK_DIR}/v100.tuning" table)
+if(NOT table MATCHES "synergy_tuning v1")
+  message(FATAL_ERROR "tuning table header missing")
+endif()
+if(NOT table MATCHES "black_scholes ES_50")
+  message(FATAL_ERROR "tuning table missing expected entry")
+endif()
