@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fine_vs_coarse.dir/ablation_fine_vs_coarse.cpp.o"
+  "CMakeFiles/ablation_fine_vs_coarse.dir/ablation_fine_vs_coarse.cpp.o.d"
+  "ablation_fine_vs_coarse"
+  "ablation_fine_vs_coarse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fine_vs_coarse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

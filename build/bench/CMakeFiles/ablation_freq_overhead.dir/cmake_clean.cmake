@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_freq_overhead.dir/ablation_freq_overhead.cpp.o"
+  "CMakeFiles/ablation_freq_overhead.dir/ablation_freq_overhead.cpp.o.d"
+  "ablation_freq_overhead"
+  "ablation_freq_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_freq_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_memory_dvfs.dir/extra_memory_dvfs.cpp.o"
+  "CMakeFiles/extra_memory_dvfs.dir/extra_memory_dvfs.cpp.o.d"
+  "extra_memory_dvfs"
+  "extra_memory_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_memory_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/extra_portability.cpp" "bench/CMakeFiles/extra_portability.dir/extra_portability.cpp.o" "gcc" "bench/CMakeFiles/extra_portability.dir/extra_portability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/support/CMakeFiles/bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/synergy_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/synergy_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/synergy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/synergy_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/simsycl/CMakeFiles/simsycl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/synergy_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/synergy_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/vendor/CMakeFiles/synergy_vendor.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/synergy_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/synergy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

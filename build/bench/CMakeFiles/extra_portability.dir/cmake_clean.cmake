@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_portability.dir/extra_portability.cpp.o"
+  "CMakeFiles/extra_portability.dir/extra_portability.cpp.o.d"
+  "extra_portability"
+  "extra_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

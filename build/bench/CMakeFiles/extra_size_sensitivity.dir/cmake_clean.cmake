@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_size_sensitivity.dir/extra_size_sensitivity.cpp.o"
+  "CMakeFiles/extra_size_sensitivity.dir/extra_size_sensitivity.cpp.o.d"
+  "extra_size_sensitivity"
+  "extra_size_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_size_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_suite_characterization.dir/extra_suite_characterization.cpp.o"
+  "CMakeFiles/extra_suite_characterization.dir/extra_suite_characterization.cpp.o.d"
+  "extra_suite_characterization"
+  "extra_suite_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_suite_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_frequencies.dir/fig1_frequencies.cpp.o"
+  "CMakeFiles/fig1_frequencies.dir/fig1_frequencies.cpp.o.d"
+  "fig1_frequencies"
+  "fig1_frequencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_frequencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_blackscholes_edp.dir/fig4_blackscholes_edp.cpp.o"
+  "CMakeFiles/fig4_blackscholes_edp.dir/fig4_blackscholes_edp.cpp.o.d"
+  "fig4_blackscholes_edp"
+  "fig4_blackscholes_edp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_blackscholes_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_energy_metrics.dir/fig5_energy_metrics.cpp.o"
+  "CMakeFiles/fig5_energy_metrics.dir/fig5_energy_metrics.cpp.o.d"
+  "fig5_energy_metrics"
+  "fig5_energy_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_energy_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

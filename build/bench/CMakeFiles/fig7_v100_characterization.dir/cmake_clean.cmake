@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_v100_characterization.dir/fig7_v100_characterization.cpp.o"
+  "CMakeFiles/fig7_v100_characterization.dir/fig7_v100_characterization.cpp.o.d"
+  "fig7_v100_characterization"
+  "fig7_v100_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_v100_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

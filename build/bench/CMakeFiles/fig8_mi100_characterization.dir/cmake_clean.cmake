@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_mi100_characterization.dir/fig8_mi100_characterization.cpp.o"
+  "CMakeFiles/fig8_mi100_characterization.dir/fig8_mi100_characterization.cpp.o.d"
+  "fig8_mi100_characterization"
+  "fig8_mi100_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_mi100_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

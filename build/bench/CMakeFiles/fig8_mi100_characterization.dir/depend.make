@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_mi100_characterization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_perf.dir/microbench_perf.cpp.o"
+  "CMakeFiles/microbench_perf.dir/microbench_perf.cpp.o.d"
+  "microbench_perf"
+  "microbench_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_model_errors.dir/table2_model_errors.cpp.o"
+  "CMakeFiles/table2_model_errors.dir/table2_model_errors.cpp.o.d"
+  "table2_model_errors"
+  "table2_model_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_model_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

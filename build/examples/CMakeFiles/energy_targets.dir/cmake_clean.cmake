@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_targets.dir/energy_targets.cpp.o"
+  "CMakeFiles/energy_targets.dir/energy_targets.cpp.o.d"
+  "energy_targets"
+  "energy_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

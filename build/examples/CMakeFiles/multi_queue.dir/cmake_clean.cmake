@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_queue.dir/multi_queue.cpp.o"
+  "CMakeFiles/multi_queue.dir/multi_queue.cpp.o.d"
+  "multi_queue"
+  "multi_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;synergy_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_energy_targets]=] "/root/repo/build/examples/energy_targets")
+set_tests_properties([=[example_energy_targets]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;synergy_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_multi_queue]=] "/root/repo/build/examples/multi_queue")
+set_tests_properties([=[example_multi_queue]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;synergy_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_train_and_deploy]=] "/root/repo/build/examples/train_and_deploy")
+set_tests_properties([=[example_train_and_deploy]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;synergy_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_cluster_job]=] "/root/repo/build/examples/cluster_job")
+set_tests_properties([=[example_cluster_job]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;synergy_add_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synergy_common.dir/csv.cpp.o"
+  "CMakeFiles/synergy_common.dir/csv.cpp.o.d"
+  "CMakeFiles/synergy_common.dir/log.cpp.o"
+  "CMakeFiles/synergy_common.dir/log.cpp.o.d"
+  "CMakeFiles/synergy_common.dir/rng.cpp.o"
+  "CMakeFiles/synergy_common.dir/rng.cpp.o.d"
+  "CMakeFiles/synergy_common.dir/stats.cpp.o"
+  "CMakeFiles/synergy_common.dir/stats.cpp.o.d"
+  "CMakeFiles/synergy_common.dir/table.cpp.o"
+  "CMakeFiles/synergy_common.dir/table.cpp.o.d"
+  "libsynergy_common.a"
+  "libsynergy_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synergy_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/context.cpp" "src/core/CMakeFiles/synergy_core.dir/context.cpp.o" "gcc" "src/core/CMakeFiles/synergy_core.dir/context.cpp.o.d"
+  "/root/repo/src/core/model_store.cpp" "src/core/CMakeFiles/synergy_core.dir/model_store.cpp.o" "gcc" "src/core/CMakeFiles/synergy_core.dir/model_store.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/synergy_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/synergy_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/queue.cpp" "src/core/CMakeFiles/synergy_core.dir/queue.cpp.o" "gcc" "src/core/CMakeFiles/synergy_core.dir/queue.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/synergy_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/synergy_core.dir/trainer.cpp.o.d"
+  "/root/repo/src/core/tuning_table.cpp" "src/core/CMakeFiles/synergy_core.dir/tuning_table.cpp.o" "gcc" "src/core/CMakeFiles/synergy_core.dir/tuning_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/synergy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/synergy_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vendor/CMakeFiles/synergy_vendor.dir/DependInfo.cmake"
+  "/root/repo/build/src/simsycl/CMakeFiles/simsycl.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/synergy_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/synergy_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/synergy_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synergy_core.dir/context.cpp.o"
+  "CMakeFiles/synergy_core.dir/context.cpp.o.d"
+  "CMakeFiles/synergy_core.dir/model_store.cpp.o"
+  "CMakeFiles/synergy_core.dir/model_store.cpp.o.d"
+  "CMakeFiles/synergy_core.dir/planner.cpp.o"
+  "CMakeFiles/synergy_core.dir/planner.cpp.o.d"
+  "CMakeFiles/synergy_core.dir/queue.cpp.o"
+  "CMakeFiles/synergy_core.dir/queue.cpp.o.d"
+  "CMakeFiles/synergy_core.dir/trainer.cpp.o"
+  "CMakeFiles/synergy_core.dir/trainer.cpp.o.d"
+  "CMakeFiles/synergy_core.dir/tuning_table.cpp.o"
+  "CMakeFiles/synergy_core.dir/tuning_table.cpp.o.d"
+  "libsynergy_core.a"
+  "libsynergy_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synergy_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

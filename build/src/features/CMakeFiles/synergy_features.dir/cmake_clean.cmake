@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synergy_features.dir/extraction.cpp.o"
+  "CMakeFiles/synergy_features.dir/extraction.cpp.o.d"
+  "CMakeFiles/synergy_features.dir/kernel_registry.cpp.o"
+  "CMakeFiles/synergy_features.dir/kernel_registry.cpp.o.d"
+  "libsynergy_features.a"
+  "libsynergy_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synergy_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

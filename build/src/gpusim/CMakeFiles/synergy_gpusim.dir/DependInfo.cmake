@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/device.cpp" "src/gpusim/CMakeFiles/synergy_gpusim.dir/device.cpp.o" "gcc" "src/gpusim/CMakeFiles/synergy_gpusim.dir/device.cpp.o.d"
+  "/root/repo/src/gpusim/device_spec.cpp" "src/gpusim/CMakeFiles/synergy_gpusim.dir/device_spec.cpp.o" "gcc" "src/gpusim/CMakeFiles/synergy_gpusim.dir/device_spec.cpp.o.d"
+  "/root/repo/src/gpusim/dvfs_model.cpp" "src/gpusim/CMakeFiles/synergy_gpusim.dir/dvfs_model.cpp.o" "gcc" "src/gpusim/CMakeFiles/synergy_gpusim.dir/dvfs_model.cpp.o.d"
+  "/root/repo/src/gpusim/kernel_profile.cpp" "src/gpusim/CMakeFiles/synergy_gpusim.dir/kernel_profile.cpp.o" "gcc" "src/gpusim/CMakeFiles/synergy_gpusim.dir/kernel_profile.cpp.o.d"
+  "/root/repo/src/gpusim/power_trace.cpp" "src/gpusim/CMakeFiles/synergy_gpusim.dir/power_trace.cpp.o" "gcc" "src/gpusim/CMakeFiles/synergy_gpusim.dir/power_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/synergy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

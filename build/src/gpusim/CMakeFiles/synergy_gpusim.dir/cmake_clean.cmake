@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synergy_gpusim.dir/device.cpp.o"
+  "CMakeFiles/synergy_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/synergy_gpusim.dir/device_spec.cpp.o"
+  "CMakeFiles/synergy_gpusim.dir/device_spec.cpp.o.d"
+  "CMakeFiles/synergy_gpusim.dir/dvfs_model.cpp.o"
+  "CMakeFiles/synergy_gpusim.dir/dvfs_model.cpp.o.d"
+  "CMakeFiles/synergy_gpusim.dir/kernel_profile.cpp.o"
+  "CMakeFiles/synergy_gpusim.dir/kernel_profile.cpp.o.d"
+  "CMakeFiles/synergy_gpusim.dir/power_trace.cpp.o"
+  "CMakeFiles/synergy_gpusim.dir/power_trace.cpp.o.d"
+  "libsynergy_gpusim.a"
+  "libsynergy_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synergy_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

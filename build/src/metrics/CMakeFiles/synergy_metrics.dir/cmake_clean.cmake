@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synergy_metrics.dir/energy_metrics.cpp.o"
+  "CMakeFiles/synergy_metrics.dir/energy_metrics.cpp.o.d"
+  "libsynergy_metrics.a"
+  "libsynergy_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synergy_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/synergy_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/synergy_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/linear.cpp" "src/ml/CMakeFiles/synergy_ml.dir/linear.cpp.o" "gcc" "src/ml/CMakeFiles/synergy_ml.dir/linear.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/synergy_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/synergy_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/synergy_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/synergy_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/synergy_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/synergy_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/regressor.cpp" "src/ml/CMakeFiles/synergy_ml.dir/regressor.cpp.o" "gcc" "src/ml/CMakeFiles/synergy_ml.dir/regressor.cpp.o.d"
+  "/root/repo/src/ml/svr.cpp" "src/ml/CMakeFiles/synergy_ml.dir/svr.cpp.o" "gcc" "src/ml/CMakeFiles/synergy_ml.dir/svr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/synergy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

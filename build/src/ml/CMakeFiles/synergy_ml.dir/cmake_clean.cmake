@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synergy_ml.dir/dataset.cpp.o"
+  "CMakeFiles/synergy_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/synergy_ml.dir/linear.cpp.o"
+  "CMakeFiles/synergy_ml.dir/linear.cpp.o.d"
+  "CMakeFiles/synergy_ml.dir/matrix.cpp.o"
+  "CMakeFiles/synergy_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/synergy_ml.dir/metrics.cpp.o"
+  "CMakeFiles/synergy_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/synergy_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/synergy_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/synergy_ml.dir/regressor.cpp.o"
+  "CMakeFiles/synergy_ml.dir/regressor.cpp.o.d"
+  "CMakeFiles/synergy_ml.dir/svr.cpp.o"
+  "CMakeFiles/synergy_ml.dir/svr.cpp.o.d"
+  "libsynergy_ml.a"
+  "libsynergy_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synergy_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

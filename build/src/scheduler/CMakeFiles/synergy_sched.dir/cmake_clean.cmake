@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synergy_sched.dir/controller.cpp.o"
+  "CMakeFiles/synergy_sched.dir/controller.cpp.o.d"
+  "CMakeFiles/synergy_sched.dir/gpufreq_plugin.cpp.o"
+  "CMakeFiles/synergy_sched.dir/gpufreq_plugin.cpp.o.d"
+  "CMakeFiles/synergy_sched.dir/node.cpp.o"
+  "CMakeFiles/synergy_sched.dir/node.cpp.o.d"
+  "CMakeFiles/synergy_sched.dir/nvgpufreq_plugin.cpp.o"
+  "CMakeFiles/synergy_sched.dir/nvgpufreq_plugin.cpp.o.d"
+  "CMakeFiles/synergy_sched.dir/power_manager.cpp.o"
+  "CMakeFiles/synergy_sched.dir/power_manager.cpp.o.d"
+  "libsynergy_sched.a"
+  "libsynergy_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synergy_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsynergy_sched.a"
+)

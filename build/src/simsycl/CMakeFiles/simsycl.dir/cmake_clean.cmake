@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsycl.dir/platform.cpp.o"
+  "CMakeFiles/simsycl.dir/platform.cpp.o.d"
+  "CMakeFiles/simsycl.dir/queue.cpp.o"
+  "CMakeFiles/simsycl.dir/queue.cpp.o.d"
+  "libsimsycl.a"
+  "libsimsycl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsycl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vendor/lzero_sim.cpp" "src/vendor/CMakeFiles/synergy_vendor.dir/lzero_sim.cpp.o" "gcc" "src/vendor/CMakeFiles/synergy_vendor.dir/lzero_sim.cpp.o.d"
+  "/root/repo/src/vendor/management_library.cpp" "src/vendor/CMakeFiles/synergy_vendor.dir/management_library.cpp.o" "gcc" "src/vendor/CMakeFiles/synergy_vendor.dir/management_library.cpp.o.d"
+  "/root/repo/src/vendor/nvml_sim.cpp" "src/vendor/CMakeFiles/synergy_vendor.dir/nvml_sim.cpp.o" "gcc" "src/vendor/CMakeFiles/synergy_vendor.dir/nvml_sim.cpp.o.d"
+  "/root/repo/src/vendor/rsmi_sim.cpp" "src/vendor/CMakeFiles/synergy_vendor.dir/rsmi_sim.cpp.o" "gcc" "src/vendor/CMakeFiles/synergy_vendor.dir/rsmi_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/synergy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/synergy_gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

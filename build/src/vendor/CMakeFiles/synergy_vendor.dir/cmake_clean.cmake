@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synergy_vendor.dir/lzero_sim.cpp.o"
+  "CMakeFiles/synergy_vendor.dir/lzero_sim.cpp.o.d"
+  "CMakeFiles/synergy_vendor.dir/management_library.cpp.o"
+  "CMakeFiles/synergy_vendor.dir/management_library.cpp.o.d"
+  "CMakeFiles/synergy_vendor.dir/nvml_sim.cpp.o"
+  "CMakeFiles/synergy_vendor.dir/nvml_sim.cpp.o.d"
+  "CMakeFiles/synergy_vendor.dir/rsmi_sim.cpp.o"
+  "CMakeFiles/synergy_vendor.dir/rsmi_sim.cpp.o.d"
+  "libsynergy_vendor.a"
+  "libsynergy_vendor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synergy_vendor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synergy_workloads.dir/benchmarks.cpp.o"
+  "CMakeFiles/synergy_workloads.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/synergy_workloads.dir/cloverleaf.cpp.o"
+  "CMakeFiles/synergy_workloads.dir/cloverleaf.cpp.o.d"
+  "CMakeFiles/synergy_workloads.dir/miniweather.cpp.o"
+  "CMakeFiles/synergy_workloads.dir/miniweather.cpp.o.d"
+  "libsynergy_workloads.a"
+  "libsynergy_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synergy_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simsycl.dir/test_simsycl.cpp.o"
+  "CMakeFiles/test_simsycl.dir/test_simsycl.cpp.o.d"
+  "test_simsycl"
+  "test_simsycl.pdb"
+  "test_simsycl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simsycl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

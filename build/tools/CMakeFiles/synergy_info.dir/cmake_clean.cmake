@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synergy_info.dir/synergy_info.cpp.o"
+  "CMakeFiles/synergy_info.dir/synergy_info.cpp.o.d"
+  "synergy_info"
+  "synergy_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synergy_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

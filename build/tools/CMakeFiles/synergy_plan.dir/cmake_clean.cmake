@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synergy_plan.dir/synergy_plan.cpp.o"
+  "CMakeFiles/synergy_plan.dir/synergy_plan.cpp.o.d"
+  "synergy_plan"
+  "synergy_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synergy_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

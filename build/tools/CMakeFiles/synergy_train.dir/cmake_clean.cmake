@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synergy_train.dir/synergy_train.cpp.o"
+  "CMakeFiles/synergy_train.dir/synergy_train.cpp.o.d"
+  "synergy_train"
+  "synergy_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synergy_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[tool_info]=] "/root/repo/build/tools/synergy_info" "V100")
+set_tests_properties([=[tool_info]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[tool_train_plan_workflow]=] "/usr/bin/cmake" "-DTRAIN=/root/repo/build/tools/synergy_train" "-DPLAN=/root/repo/build/tools/synergy_plan" "-DWORK_DIR=/root/repo/build/tools/tool_test" "-P" "/root/repo/tools/test_workflow.cmake")
+set_tests_properties([=[tool_train_plan_workflow]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
