@@ -8,6 +8,7 @@
 
 #include "synergy/features/extraction.hpp"
 #include "synergy/synergy.hpp"
+#include "synergy/telemetry/telemetry.hpp"
 #include "synergy/vendor/nvml_sim.hpp"
 #include "synergy/workloads/benchmark.hpp"
 
@@ -94,6 +95,53 @@ void BM_QueueSubmit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QueueSubmit);
+
+/// Representative submission — the smallest bundled benchmark kernel
+/// (vec_add), end to end as users submit it — with telemetry active vs.
+/// runtime-disabled: the delta quantifies the instrumentation cost on the
+/// kernel-submission hot path (acceptance target: <= 5% with telemetry on;
+/// the per-submit cost is one host span, one device-timeline event, a
+/// counter, two histogram observes, and one gauge add — an absolute floor
+/// measured by BM_TelemetrySpanAndCounter below). With
+/// -DSYNERGY_TELEMETRY=OFF both variants measure the compiled-out cost
+/// (the macros expand to nothing either way).
+void BM_QueueSubmitTelemetry(benchmark::State& state) {
+  const bool telemetry_on = state.range(0) != 0;
+  namespace tel = synergy::telemetry;
+  const bool was_enabled = tel::enabled();
+  tel::set_enabled(telemetry_on);
+
+  simsycl::device dev{gs::make_v100()};
+  auto ctx = std::make_shared<synergy::context>(std::vector<simsycl::device>{dev});
+  synergy::queue q{dev, ctx};
+  const auto& bench = sw::find("vec_add");
+  for (auto _ : state) {
+    auto e = bench.run(q);
+    benchmark::DoNotOptimize(e);
+  }
+
+  tel::set_enabled(was_enabled);
+  tel::trace_recorder::instance().clear();
+  state.SetLabel(telemetry_on ? "telemetry:on" : "telemetry:off");
+}
+BENCHMARK(BM_QueueSubmitTelemetry)->Arg(0)->Arg(1);
+
+/// Isolated cost of one span + one counter increment — the per-event floor
+/// an instrumentation site adds to any hot path.
+void BM_TelemetrySpanAndCounter(benchmark::State& state) {
+  namespace tel = synergy::telemetry;
+  const bool was_enabled = tel::enabled();
+  tel::set_enabled(state.range(0) != 0);
+  for (auto _ : state) {
+    SYNERGY_SPAN_VAR(span, tel::category::other, "bench.span");
+    span.arg("i", 1.0);
+    SYNERGY_COUNTER_ADD("bench.counter", 1);
+  }
+  tel::set_enabled(was_enabled);
+  tel::trace_recorder::instance().clear();
+  state.SetLabel(state.range(0) != 0 ? "telemetry:on" : "telemetry:off");
+}
+BENCHMARK(BM_TelemetrySpanAndCounter)->Arg(0)->Arg(1);
 
 void BM_VendorSetClocks(benchmark::State& state) {
   auto board = std::make_shared<gs::device>(gs::make_v100());

@@ -1,15 +1,25 @@
 #pragma once
 
 /// \file log.hpp
-/// Minimal leveled logger.
+/// Minimal leveled logger with structured fields.
 ///
 /// The scheduler simulation and the SLURM plugin log their prologue/epilogue
 /// decisions through this; tests capture the sink to assert on decision
 /// traces without parsing stderr.
+///
+/// Records optionally carry structured key=value fields. The sink keeps its
+/// historical (level, message) signature — fields are rendered into the
+/// message as " key=value" suffixes — while taps (see set_tap) receive the
+/// fields separately; the telemetry layer uses a tap to mirror log records
+/// into the trace ring.
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <type_traits>
+#include <vector>
 
 namespace synergy::common {
 
@@ -26,28 +36,59 @@ enum class log_level { debug, info, warn, error, off };
   return "?";
 }
 
-/// Process-wide logger with a swappable sink. Not thread-registered per
-/// component: the simulation is small enough that a single logger with
-/// component tags in messages suffices.
+/// One structured key=value pair; any streamable value converts.
+struct log_field {
+  std::string key;
+  std::string value;
+
+  log_field(std::string k, std::string v) : key(std::move(k)), value(std::move(v)) {}
+  log_field(std::string k, const char* v) : key(std::move(k)), value(v) {}
+  template <typename T>
+    requires(!std::is_convertible_v<T, std::string>)
+  log_field(std::string k, const T& v) : key(std::move(k)) {
+    std::ostringstream oss;
+    oss << v;
+    value = oss.str();
+  }
+};
+
+using log_fields = std::vector<log_field>;
+
+/// Render fields as ` key=value key2="two words"` (empty string if none).
+[[nodiscard]] std::string format_fields(const log_fields& fields);
+
+/// Process-wide logger with a swappable sink. Thread-safe: the level is
+/// atomic, and sink/tap swaps and invocations are serialised behind one
+/// mutex, so concurrent log() calls never race a set_sink() and capture
+/// sinks need no locking of their own. Sinks must not call back into the
+/// logger (the mutex is not recursive).
 class logger {
  public:
   using sink_fn = std::function<void(log_level, const std::string&)>;
+  /// Taps observe every accepted record with its structured fields intact.
+  using tap_fn = std::function<void(log_level, const std::string&, const log_fields&)>;
 
   /// Global instance (default sink: stderr, level warn so tests stay quiet).
   static logger& instance();
 
-  void set_level(log_level level) { level_ = level; }
-  [[nodiscard]] log_level level() const { return level_; }
+  void set_level(log_level level) { level_.store(level, std::memory_order_relaxed); }
+  [[nodiscard]] log_level level() const { return level_.load(std::memory_order_relaxed); }
 
   /// Replace the sink; returns the previous sink so tests can restore it.
   sink_fn set_sink(sink_fn sink);
 
-  void log(log_level level, const std::string& message);
+  /// Install (or clear, with nullptr) the tap; returns the previous tap.
+  tap_fn set_tap(tap_fn tap);
+
+  void log(log_level level, const std::string& message) { log(level, message, {}); }
+  void log(log_level level, const std::string& message, const log_fields& fields);
 
  private:
   logger();
-  log_level level_{log_level::warn};
+  std::atomic<log_level> level_{log_level::warn};
+  std::mutex mutex_;  ///< guards sink_/tap_ swap and invocation
   sink_fn sink_;
+  tap_fn tap_;
 };
 
 namespace detail {
@@ -74,6 +115,20 @@ void log_warn(Args&&... args) {
 template <typename... Args>
 void log_error(Args&&... args) {
   logger::instance().log(log_level::error, detail::concat(std::forward<Args>(args)...));
+}
+
+/// Structured variants: message plus explicit key=value fields.
+inline void log_debug_kv(const std::string& message, const log_fields& fields) {
+  logger::instance().log(log_level::debug, message, fields);
+}
+inline void log_info_kv(const std::string& message, const log_fields& fields) {
+  logger::instance().log(log_level::info, message, fields);
+}
+inline void log_warn_kv(const std::string& message, const log_fields& fields) {
+  logger::instance().log(log_level::warn, message, fields);
+}
+inline void log_error_kv(const std::string& message, const log_fields& fields) {
+  logger::instance().log(log_level::error, message, fields);
 }
 
 }  // namespace synergy::common

@@ -4,6 +4,23 @@
 
 namespace synergy::common {
 
+std::string format_fields(const log_fields& fields) {
+  std::string out;
+  for (const auto& f : fields) {
+    out += ' ';
+    out += f.key;
+    out += '=';
+    if (f.value.find(' ') != std::string::npos) {
+      out += '"';
+      out += f.value;
+      out += '"';
+    } else {
+      out += f.value;
+    }
+  }
+  return out;
+}
+
 logger::logger() {
   sink_ = [](log_level level, const std::string& message) {
     std::cerr << '[' << to_string(level) << "] " << message << '\n';
@@ -16,14 +33,27 @@ logger& logger::instance() {
 }
 
 logger::sink_fn logger::set_sink(sink_fn sink) {
+  std::scoped_lock lock(mutex_);
   auto previous = std::move(sink_);
   sink_ = std::move(sink);
   return previous;
 }
 
-void logger::log(log_level level, const std::string& message) {
-  if (level < level_ || level_ == log_level::off) return;
-  if (sink_) sink_(level, message);
+logger::tap_fn logger::set_tap(tap_fn tap) {
+  std::scoped_lock lock(mutex_);
+  auto previous = std::move(tap_);
+  tap_ = std::move(tap);
+  return previous;
+}
+
+void logger::log(log_level level, const std::string& message, const log_fields& fields) {
+  const log_level threshold = level_.load(std::memory_order_relaxed);
+  if (level < threshold || threshold == log_level::off) return;
+  // Invoke under the mutex: concurrent log() calls are serialised, so
+  // capture sinks (tests) and stderr output need no locking of their own.
+  std::scoped_lock lock(mutex_);
+  if (sink_) sink_(level, fields.empty() ? message : message + format_fields(fields));
+  if (tap_) tap_(level, message, fields);
 }
 
 }  // namespace synergy::common

@@ -9,8 +9,11 @@
 #include <vector>
 
 #include "synergy/common/table.hpp"
+#include "synergy/telemetry/telemetry.hpp"
 
 namespace synergy {
+
+namespace tel = telemetry;
 
 using common::frequency_config;
 using common::seconds;
@@ -57,13 +60,20 @@ void queue::set_tuning_table(std::shared_ptr<const tuning_table> table) {
 frequency_config queue::resolve_target(const simsycl::handler& h, const metrics::target& t) {
   const auto key = std::make_pair(h.info().name, t.to_string());
   if (const auto it = plan_cache_.find(key); it != plan_cache_.end()) {
+    // Steady-state fast path: a counter only — opening a span here would put
+    // a ring write on every cached submission.
     ++plan_cache_hits_;
+    SYNERGY_COUNTER_ADD("queue.plan_cache_hits", 1);
     return it->second;
   }
+  SYNERGY_SPAN_VAR(span, tel::category::plan, "queue.resolve_target");
+  span.str("kernel", h.info().name);
+  SYNERGY_COUNTER_ADD("queue.plan_cache_misses", 1);
   frequency_config config;
   if (tuning_ && tuning_->find(h.info().name, t)) {
     // Compiled artefact: the decision was made at build time (paper Fig. 3).
     config = *tuning_->find(h.info().name, t);
+    span.arg("tuning_table", 1.0);
     plan_cache_.emplace(key, config);
     return config;
   }
@@ -74,6 +84,7 @@ frequency_config queue::resolve_target(const simsycl::handler& h, const metrics:
     const auto profile = h.info().to_profile(h.launch_items());
     config = oracle_plan(get_device().spec(), profile, t);
   }
+  span.arg("core_mhz", config.core.value);
   plan_cache_.emplace(key, config);
   return config;
 }
@@ -82,10 +93,17 @@ void queue::apply_frequency(frequency_config config) {
   // Skip the driver round-trip when the device is already there, as the real
   // runtime does: NVML clock changes are expensive (Sec. 4.4).
   const auto current = binding_.library->application_clocks(binding_.index);
-  if (current.has_value() && current.value() == config) return;
+  if (current.has_value() && current.value() == config) {
+    SYNERGY_COUNTER_ADD("queue.freq_change_skipped", 1);
+    return;
+  }
   const auto st = binding_.library->set_application_clocks(ctx_->user(), binding_.index, config);
+  SYNERGY_INSTANT(tel::category::freq_change, "queue.freq_change",
+                  {"ok", st.ok() ? 1.0 : 0.0}, {"mem_mhz", config.memory.value},
+                  {"core_mhz", config.core.value});
   if (!st.ok()) {
     ++freq_failures_;
+    SYNERGY_COUNTER_ADD("queue.freq_change_failures", 1);
     common::log_warn("synergy::queue frequency change rejected: ", st.err().to_string());
   }
 }
@@ -93,7 +111,10 @@ void queue::apply_frequency(frequency_config config) {
 simsycl::event queue::submit_recorded(simsycl::handler& h,
                                       std::optional<frequency_config> freq,
                                       std::optional<metrics::target> target) {
+  SYNERGY_SPAN_VAR(span, tel::category::kernel, "queue.submit");
+  SYNERGY_COUNTER_ADD("queue.submissions", 1);
   if (h.has_launch()) {
+    span.str("kernel", h.info().name);
     // Per-submission settings take precedence over the queue policy.
     if (freq) {
       apply_frequency(*freq);
@@ -111,6 +132,13 @@ simsycl::event queue::submit_recorded(simsycl::handler& h,
     ++s.launches;
     s.total_time_s += event.record().cost.time.value;
     s.total_energy_j += event.record().cost.energy.value;
+    span.arg("sim_time_ms", event.record().cost.time.value * 1e3);
+    span.arg("energy_j", event.record().cost.energy.value);
+    SYNERGY_HISTOGRAM_OBSERVE("queue.kernel_time_ms", event.record().cost.time.value * 1e3,
+                              0.01, 0.1, 1.0, 10.0, 100.0, 1000.0);
+    SYNERGY_HISTOGRAM_OBSERVE("queue.kernel_energy_j", event.record().cost.energy.value,
+                              0.001, 0.01, 0.1, 1.0, 10.0, 100.0);
+    SYNERGY_GAUGE_ADD("queue.total_energy_j", event.record().cost.energy.value);
   }
   return event;
 }

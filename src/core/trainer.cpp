@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "synergy/common/rng.hpp"
+#include "synergy/telemetry/telemetry.hpp"
 
 namespace synergy {
 
@@ -95,6 +96,8 @@ std::vector<megahertz> model_trainer::sampled_clocks() const {
 }
 
 training_sets model_trainer::measure(const std::vector<kernel_profile>& microbenchmarks) const {
+  SYNERGY_SPAN_VAR(span, telemetry::category::train, "trainer.measure");
+  span.arg("microbenchmarks", static_cast<double>(microbenchmarks.size()));
   gpusim::noise_config noise;
   noise.time_sigma = options_.time_noise_sigma;
   noise.power_sigma = options_.power_noise_sigma;
@@ -143,6 +146,8 @@ training_sets model_trainer::measure(const std::vector<kernel_profile>& microben
 trained_models model_trainer::fit(const training_sets& sets, ml::algorithm time_alg,
                                   ml::algorithm energy_alg, ml::algorithm edp_alg,
                                   ml::algorithm ed2p_alg) const {
+  SYNERGY_SPAN_VAR(span, telemetry::category::train, "trainer.fit");
+  span.arg("samples", static_cast<double>(sets.time.size()));
   trained_models models;
   models.time = ml::make_regressor(time_alg);
   models.time->fit(sets.time);

@@ -23,7 +23,7 @@ void tuning_table::put(const std::string& kernel, const metrics::target& target,
 
 std::vector<std::string> tuning_table::kernels() const {
   std::set<std::string> names;
-  for (const auto& [key, config] : entries_) names.insert(key.first);
+  for (const auto& [entry_key, config] : entries_) names.insert(entry_key.first);
   return {names.begin(), names.end()};
 }
 
@@ -31,8 +31,8 @@ std::string tuning_table::serialize() const {
   std::ostringstream oss;
   oss << "synergy_tuning v1\n";
   oss << "device " << (device_key_.empty() ? "-" : device_key_) << '\n';
-  for (const auto& [key, config] : entries_)
-    oss << key.first << ' ' << key.second << ' ' << config.memory.value << ' '
+  for (const auto& [entry_key, config] : entries_)
+    oss << entry_key.first << ' ' << entry_key.second << ' ' << config.memory.value << ' '
         << config.core.value << '\n';
   return oss.str();
 }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "synergy/telemetry/telemetry.hpp"
+
 namespace synergy::gpusim {
 
 using common::errc;
@@ -83,6 +85,23 @@ execution_record device::execute(const kernel_profile& profile) {
 
   append_segment_locked(cost.time, cost.avg_power, /*busy=*/true);
   ++kernel_count_;
+
+  // Per-kernel execution on the simulated device timeline (pid 2): the
+  // fine-grained visibility of paper Sec. 2.2, one complete event per
+  // launch with its energy/power/operating point.
+  SYNERGY_COUNTER_ADD("gpusim.kernels_executed", 1);
+  SYNERGY_HISTOGRAM_OBSERVE("gpusim.kernel_energy_j", cost.energy.value, 0.001, 0.01, 0.1,
+                            1.0, 10.0, 100.0);
+#if SYNERGY_TELEMETRY_ENABLED
+  if (telemetry::enabled())
+    telemetry::trace_recorder::instance().complete(
+        telemetry::category::kernel, profile.name.empty() ? "kernel" : profile.name,
+        record.start.value * 1e6, cost.time.value * 1e6, telemetry::trace_event::device_pid,
+        {{"energy_j", cost.energy.value},
+         {"avg_power_w", cost.avg_power.value},
+         {"core_mhz", config_.core.value},
+         {"mem_mhz", config_.memory.value}});
+#endif
   return record;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "synergy/telemetry/telemetry.hpp"
+
 namespace synergy::gpusim {
 
 using common::frequency_config;
@@ -59,6 +61,7 @@ seconds dvfs_model::memory_time(const device_spec& spec, const kernel_profile& p
 
 kernel_cost dvfs_model::evaluate(const device_spec& spec, const kernel_profile& profile,
                                  frequency_config config) const {
+  SYNERGY_COUNTER_ADD("gpusim.dvfs_evaluations", 1);
   const seconds t_c = compute_time(spec, profile, config.core);
   const seconds t_m = memory_time(spec, profile, config.memory);
   const double busy = smooth_max(t_c.value, t_m.value);

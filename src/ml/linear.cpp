@@ -1,5 +1,7 @@
 #include "synergy/ml/linear.hpp"
 
+#include "synergy/telemetry/telemetry.hpp"
+
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -12,6 +14,9 @@ namespace synergy::ml {
 
 void linear_regression::fit(const matrix& x, std::span<const double> y) {
   if (x.rows() != y.size() || x.rows() == 0) throw std::invalid_argument("bad training data");
+  SYNERGY_SPAN_VAR(span, telemetry::category::train, "ml.fit.linear");
+  span.arg("rows", static_cast<double>(x.rows()));
+  SYNERGY_COUNTER_ADD("ml.fits", 1);
   const matrix xs = scaler_.fit_transform(x);
 
   // Centre the target so the intercept separates from the coefficients.

@@ -1,5 +1,7 @@
 #include "synergy/ml/random_forest.hpp"
 
+#include "synergy/telemetry/telemetry.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <numeric>
@@ -134,6 +136,9 @@ double random_forest::tree::predict(std::span<const double> x) const {
 
 void random_forest::fit(const matrix& x, std::span<const double> y) {
   if (x.rows() != y.size() || x.rows() == 0) throw std::invalid_argument("bad training data");
+  SYNERGY_SPAN_VAR(span, telemetry::category::train, "ml.fit.random_forest");
+  span.arg("rows", static_cast<double>(x.rows()));
+  SYNERGY_COUNTER_ADD("ml.fits", 1);
   trees_.clear();
   n_features_ = x.cols();
   common::pcg32 rng{params_.seed};

@@ -1,5 +1,7 @@
 #include "synergy/ml/svr.hpp"
 
+#include "synergy/telemetry/telemetry.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <sstream>
@@ -21,6 +23,9 @@ double svr_rbf::kernel(std::span<const double> a, std::span<const double> b) con
 
 void svr_rbf::fit(const matrix& x, std::span<const double> y) {
   if (x.rows() != y.size() || x.rows() == 0) throw std::invalid_argument("bad training data");
+  SYNERGY_SPAN_VAR(span, telemetry::category::train, "ml.fit.svr");
+  span.arg("rows", static_cast<double>(x.rows()));
+  SYNERGY_COUNTER_ADD("ml.fits", 1);
   const std::size_t n = x.rows();
   const matrix xs = scaler_.fit_transform(x);
   gamma_eff_ = params_.gamma > 0.0 ? params_.gamma : 1.0 / static_cast<double>(x.cols());

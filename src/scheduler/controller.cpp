@@ -7,8 +7,11 @@
 #include "synergy/common/table.hpp"
 
 #include "synergy/common/log.hpp"
+#include "synergy/telemetry/telemetry.hpp"
 
 namespace synergy::sched {
+
+namespace tel = telemetry;
 
 controller::controller(std::vector<node_config> nodes) {
   for (auto& cfg : nodes) nodes_.push_back(std::make_unique<node>(std::move(cfg)));
@@ -50,10 +53,14 @@ std::vector<node*> controller::allocate(const job_request& request) {
 }
 
 void controller::execute(job_record& record) {
+  SYNERGY_SPAN_VAR(span, tel::category::sched, "sched.job");
+  span.str("job", record.request.name);
+  span.arg("id", static_cast<double>(record.id));
   auto allocated = allocate(record.request);
   if (allocated.empty()) {
     record.state = job_state::failed;
     record.failure_reason = "allocation failed: not enough nodes";
+    SYNERGY_COUNTER_ADD("sched.allocation_failures", 1);
     return;
   }
 
@@ -75,7 +82,10 @@ void controller::execute(job_record& record) {
   const double e0 = energy_before();
 
   record.state = job_state::running;
-  for (auto& p : plugins_) p->prologue(ctx);
+  {
+    SYNERGY_SPAN(tel::category::sched, "sched.prologue");
+    for (auto& p : plugins_) p->prologue(ctx);
+  }
 
   // The payload acts through the node sessions with the job's identity.
   for (node* n : allocated) n->ctx()->set_user(ctx.user);
@@ -91,9 +101,22 @@ void controller::execute(job_record& record) {
 
   // Epilogues run for every outcome, in reverse order, as root.
   for (node* n : allocated) n->ctx()->set_user(vendor::user_context::root());
-  for (auto it = plugins_.rbegin(); it != plugins_.rend(); ++it) (*it)->epilogue(ctx);
+  {
+    SYNERGY_SPAN(tel::category::sched, "sched.epilogue");
+    for (auto it = plugins_.rbegin(); it != plugins_.rend(); ++it) (*it)->epilogue(ctx);
+  }
 
   record.gpu_energy_j = energy_before() - e0;
+  // Two separate macro sites: SYNERGY_COUNTER_ADD caches its handle in a
+  // per-site static, so the name must be constant per site.
+  if (record.state == job_state::completed) {
+    SYNERGY_COUNTER_ADD("sched.jobs_completed", 1);
+  } else {
+    SYNERGY_COUNTER_ADD("sched.jobs_failed", 1);
+  }
+  SYNERGY_GAUGE_ADD("sched.accounted_energy_j", record.gpu_energy_j);
+  span.arg("gpu_energy_j", record.gpu_energy_j);
+  span.arg("completed", record.state == job_state::completed ? 1.0 : 0.0);
   for (node* n : allocated) n->remove_job();
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "synergy/telemetry/telemetry.hpp"
+
 namespace synergy::sched {
 
 double power_manager::node_demand(const node& n) const {
@@ -11,8 +13,12 @@ double power_manager::node_demand(const node& n) const {
 }
 
 void power_manager::rebalance() {
+  SYNERGY_SPAN_VAR(span, telemetry::category::sched, "sched.power_rebalance");
+  SYNERGY_COUNTER_ADD("sched.power_rebalances", 1);
   const std::size_t n_nodes = ctl_->node_count();
   if (n_nodes == 0) return;
+  span.arg("nodes", static_cast<double>(n_nodes));
+  span.arg("cluster_cap_w", cluster_cap_w_);
   const double fair_share = cluster_cap_w_ / static_cast<double>(n_nodes);
 
   // Pass 1: demand-aware shares. Under-demand nodes keep demand + 5%

@@ -1,0 +1,116 @@
+#include "synergy/telemetry/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace synergy::telemetry {
+
+namespace {
+
+/// Shortest round-trippable formatting that is still valid JSON (no bare
+/// NaN/Inf, which the trace-event spec does not allow).
+std::string json_number(double v) {
+  if (!(v == v)) return "0";                       // NaN
+  if (v > 1.7e308 || v < -1.7e308) return "0";     // +-Inf
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+void write_args(std::ostream& os, const trace_event& e) {
+  os << "\"args\":{";
+  bool first = true;
+  for (std::uint8_t i = 0; i < e.n_args; ++i) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(e.args[i].key) << "\":" << json_number(e.args[i].value);
+  }
+  if (e.str_key != nullptr) {
+    if (!first) os << ',';
+    os << '"' << json_escape(e.str_key) << "\":\"" << json_escape(e.str_value) << '"';
+  }
+  os << '}';
+}
+
+void write_metadata(std::ostream& os, std::uint32_t pid, const char* name) {
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+     << ",\"tid\":0,\"args\":{\"name\":\"" << name << "\"}}";
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(std::ostream& os, const std::vector<trace_event>& events) {
+  os << "{\"traceEvents\":[\n";
+  write_metadata(os, trace_event::host_pid, "synergy host");
+  os << ",\n";
+  write_metadata(os, trace_event::device_pid, "gpusim device (virtual time)");
+  for (const auto& e : events) {
+    os << ",\n{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\"" << to_string(e.cat)
+       << "\",\"ph\":\"" << e.phase << "\",\"ts\":" << json_number(e.ts_us);
+    if (e.phase == 'X') os << ",\"dur\":" << json_number(e.dur_us);
+    if (e.phase == 'i') os << ",\"s\":\"t\"";  // instant scope: thread
+    os << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid << ',';
+    write_args(os, e);
+    os << '}';
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_csv(std::ostream& os, const std::vector<trace_event>& events) {
+  os << "ts_us,dur_us,pid,tid,category,phase,name,args\n";
+  for (const auto& e : events) {
+    os << json_number(e.ts_us) << ',' << json_number(e.dur_us) << ',' << e.pid << ','
+       << e.tid << ',' << to_string(e.cat) << ',' << e.phase << ',';
+    // CSV-quote the free-form columns; args are key=value joined with ';'.
+    os << '"' << e.name << "\",\"";
+    for (std::uint8_t i = 0; i < e.n_args; ++i) {
+      if (i) os << ';';
+      os << e.args[i].key << '=' << json_number(e.args[i].value);
+    }
+    if (e.str_key != nullptr) {
+      if (e.n_args) os << ';';
+      os << e.str_key << '=' << e.str_value;
+    }
+    os << "\"\n";
+  }
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out, trace_recorder::instance().snapshot());
+  return static_cast<bool>(out);
+}
+
+bool write_csv_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_csv(out, trace_recorder::instance().snapshot());
+  return static_cast<bool>(out);
+}
+
+}  // namespace synergy::telemetry

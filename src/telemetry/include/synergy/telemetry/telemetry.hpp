@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file telemetry.hpp
+/// Umbrella header and instrumentation macros for the SYnergy telemetry
+/// plane.
+///
+/// The paper's central argument (Sec. 2.2, 4.2) is that *fine-grained,
+/// per-kernel* visibility into energy and frequency decisions is what makes
+/// scalable savings possible. This subsystem is that visibility for the
+/// reproduction itself: a process-wide metrics registry (counters, gauges,
+/// fixed-bucket histograms) plus a ring-buffered structured trace recorder
+/// with Chrome trace-event JSON and CSV exporters.
+///
+/// Instrumentation sites use the SYNERGY_* macros below, never the classes
+/// directly, so that the whole plane can be compiled out to literally zero
+/// code with -DSYNERGY_TELEMETRY=OFF (the CMake option sets
+/// SYNERGY_TELEMETRY_ENABLED=0 on the telemetry target and every consumer).
+/// With telemetry compiled in, a process-wide runtime kill switch
+/// (set_enabled) reduces every site to one relaxed atomic load, which is
+/// what bench/microbench_perf.cpp compares against to price the overhead.
+
+#include "synergy/telemetry/metrics_registry.hpp"
+#include "synergy/telemetry/trace.hpp"
+
+#if !defined(SYNERGY_TELEMETRY_ENABLED)
+#define SYNERGY_TELEMETRY_ENABLED 1
+#endif
+
+namespace synergy::telemetry {
+
+/// Do-nothing stand-in for scoped_span so that compiled-out SYNERGY_SPAN_VAR
+/// call sites (which attach args to the named span) still compile.
+struct null_span {
+  void arg(const char*, double) noexcept {}
+  void str(const char*, std::string_view) noexcept {}
+};
+
+/// Install a logger tap that mirrors every accepted log record into the
+/// trace ring as an instant event (category::log), so exported traces
+/// interleave log lines with spans. Returns false when telemetry is
+/// compiled out or the tap was already installed.
+bool install_log_tap();
+void remove_log_tap();
+
+}  // namespace synergy::telemetry
+
+#define SYNERGY_TELEMETRY_CAT2(a, b) a##b
+#define SYNERGY_TELEMETRY_CAT(a, b) SYNERGY_TELEMETRY_CAT2(a, b)
+
+#if SYNERGY_TELEMETRY_ENABLED
+
+/// Evaluates to its arguments only when telemetry is compiled in; use for
+/// locals that exist solely to feed instrumentation.
+#define SYNERGY_TELEMETRY_ONLY(...) __VA_ARGS__
+
+/// Anonymous RAII span covering the rest of the scope.
+#define SYNERGY_SPAN(cat, name) \
+  ::synergy::telemetry::scoped_span SYNERGY_TELEMETRY_CAT(syn_span_, __LINE__)(cat, name)
+
+/// Named RAII span the site can attach args to: var.arg("k", v), var.str(...).
+#define SYNERGY_SPAN_VAR(var, cat, name) ::synergy::telemetry::scoped_span var(cat, name)
+
+/// Zero-duration event; optional trailing {key, value} numeric args.
+#define SYNERGY_INSTANT(cat, name, ...)                             \
+  do {                                                              \
+    if (::synergy::telemetry::enabled())                            \
+      ::synergy::telemetry::trace_recorder::instance().instant(     \
+          (cat), (name), {__VA_ARGS__});                            \
+  } while (0)
+
+/// Bump a named counter. The registry lookup happens once per call site
+/// (static handle), so the name must be constant at each site; the hot
+/// path is one striped atomic add.
+#define SYNERGY_COUNTER_ADD(name, delta)                                        \
+  do {                                                                          \
+    if (::synergy::telemetry::enabled()) {                                      \
+      static auto& syn_ctr =                                                    \
+          ::synergy::telemetry::metrics_registry::instance().get_counter(name); \
+      syn_ctr.add(delta);                                                       \
+    }                                                                           \
+  } while (0)
+
+/// Set a named gauge to an absolute value.
+#define SYNERGY_GAUGE_SET(name, value)                                        \
+  do {                                                                        \
+    if (::synergy::telemetry::enabled()) {                                    \
+      static auto& syn_g =                                                    \
+          ::synergy::telemetry::metrics_registry::instance().get_gauge(name); \
+      syn_g.set(value);                                                       \
+    }                                                                         \
+  } while (0)
+
+/// Accumulate into a named gauge (e.g. joules of energy attributed so far).
+#define SYNERGY_GAUGE_ADD(name, delta)                                        \
+  do {                                                                        \
+    if (::synergy::telemetry::enabled()) {                                    \
+      static auto& syn_g =                                                    \
+          ::synergy::telemetry::metrics_registry::instance().get_gauge(name); \
+      syn_g.add(delta);                                                       \
+    }                                                                         \
+  } while (0)
+
+/// Observe a sample in a named histogram; trailing args are the fixed
+/// bucket upper bounds (used on first observation, default buckets if
+/// omitted).
+#define SYNERGY_HISTOGRAM_OBSERVE(name, value, ...)                     \
+  do {                                                                  \
+    if (::synergy::telemetry::enabled()) {                              \
+      static auto& syn_h =                                              \
+          ::synergy::telemetry::metrics_registry::instance().get_histogram( \
+              name, {__VA_ARGS__});                                     \
+      syn_h.observe(value);                                             \
+    }                                                                   \
+  } while (0)
+
+#else  // SYNERGY_TELEMETRY_ENABLED == 0: every site compiles to nothing.
+
+#define SYNERGY_TELEMETRY_ONLY(...)
+#define SYNERGY_SPAN(cat, name) ((void)0)
+#define SYNERGY_SPAN_VAR(var, cat, name) \
+  [[maybe_unused]] ::synergy::telemetry::null_span var
+#define SYNERGY_INSTANT(cat, name, ...) ((void)0)
+#define SYNERGY_COUNTER_ADD(name, delta) ((void)0)
+#define SYNERGY_GAUGE_SET(name, value) ((void)0)
+#define SYNERGY_GAUGE_ADD(name, delta) ((void)0)
+#define SYNERGY_HISTOGRAM_OBSERVE(name, value, ...) ((void)0)
+
+#endif  // SYNERGY_TELEMETRY_ENABLED

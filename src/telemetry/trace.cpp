@@ -1,0 +1,147 @@
+#include "synergy/telemetry/trace.hpp"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "synergy/telemetry/metrics_registry.hpp"
+
+namespace synergy::telemetry {
+
+namespace {
+
+using steady = std::chrono::steady_clock;
+
+steady::time_point process_epoch() noexcept {
+  static const steady::time_point epoch = steady::now();
+  return epoch;
+}
+
+}  // namespace
+
+const char* to_string(category c) noexcept {
+  switch (c) {
+    case category::kernel: return "kernel";
+    case category::freq_change: return "freq_change";
+    case category::power_sample: return "power_sample";
+    case category::plan: return "plan";
+    case category::sched: return "sched";
+    case category::train: return "train";
+    case category::log: return "log";
+    case category::other: return "other";
+  }
+  return "?";
+}
+
+std::size_t trace_recorder::default_capacity() noexcept {
+  if (const char* env = std::getenv("SYNERGY_TRACE_CAPACITY")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 1 << 16;
+}
+
+trace_recorder& trace_recorder::instance() {
+  static trace_recorder global;
+  return global;
+}
+
+trace_recorder::trace_recorder(std::size_t capacity) {
+  process_epoch();  // anchor the wall clock at first recorder construction
+  ring_.resize(capacity == 0 ? 1 : capacity);
+}
+
+double trace_recorder::now_us() noexcept {
+  return std::chrono::duration<double, std::micro>(steady::now() - process_epoch()).count();
+}
+
+std::uint32_t trace_recorder::thread_id() noexcept {
+  static std::atomic<std::uint32_t> next{1};
+  static thread_local const std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void trace_recorder::record(trace_event e) {
+  if (e.tid == 0) e.tid = thread_id();
+  std::scoped_lock lock(mutex_);
+  if (count_ == ring_.size()) ++dropped_;  // overwriting the oldest slot
+  ring_[head_] = std::move(e);
+  head_ = (head_ + 1) % ring_.size();
+  if (count_ < ring_.size()) ++count_;
+}
+
+void trace_recorder::instant(category cat, std::string_view name,
+                             std::initializer_list<trace_arg> args) {
+  trace_event e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 'i';
+  e.ts_us = now_us();
+  for (const auto& a : args) e.add_arg(a.key, a.value);
+  record(std::move(e));
+}
+
+void trace_recorder::complete(category cat, std::string_view name, double ts_us, double dur_us,
+                              std::uint32_t pid, std::initializer_list<trace_arg> args) {
+  trace_event e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 'X';
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.pid = pid;
+  for (const auto& a : args) e.add_arg(a.key, a.value);
+  record(std::move(e));
+}
+
+std::vector<trace_event> trace_recorder::snapshot() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<trace_event> out;
+  out.reserve(count_);
+  const std::size_t start = (head_ + ring_.size() - count_) % ring_.size();
+  for (std::size_t i = 0; i < count_; ++i) out.push_back(ring_[(start + i) % ring_.size()]);
+  return out;
+}
+
+std::size_t trace_recorder::size() const {
+  std::scoped_lock lock(mutex_);
+  return count_;
+}
+
+std::size_t trace_recorder::capacity() const {
+  std::scoped_lock lock(mutex_);
+  return ring_.size();
+}
+
+std::size_t trace_recorder::dropped() const {
+  std::scoped_lock lock(mutex_);
+  return dropped_;
+}
+
+void trace_recorder::set_capacity(std::size_t capacity) {
+  std::scoped_lock lock(mutex_);
+  ring_.assign(capacity == 0 ? 1 : capacity, trace_event{});
+  head_ = count_ = dropped_ = 0;
+}
+
+void trace_recorder::clear() {
+  std::scoped_lock lock(mutex_);
+  for (auto& e : ring_) e = trace_event{};
+  head_ = count_ = dropped_ = 0;
+}
+
+scoped_span::scoped_span(category cat, std::string_view name) {
+  if (!enabled()) return;
+  active_ = true;
+  ev_.name = name;
+  ev_.cat = cat;
+  ev_.phase = 'X';
+  ev_.ts_us = trace_recorder::now_us();
+}
+
+scoped_span::~scoped_span() {
+  if (!active_) return;
+  ev_.dur_us = trace_recorder::now_us() - ev_.ts_us;
+  trace_recorder::instance().record(std::move(ev_));
+}
+
+}  // namespace synergy::telemetry

@@ -145,6 +145,12 @@ class management_library_base : public management_library {
  protected:
   /// errc::uninitialized / errc::not_found guard shared by every entry point.
   [[nodiscard]] common::status check_index(std::size_t index) const;
+
+  /// Telemetry hook shared by the backends: records one app-clock set
+  /// attempt (category freq_change) with its outcome, and counts attempts
+  /// vs. rejections in the metrics registry.
+  void record_clock_set(std::size_t index, common::frequency_config config,
+                        const common::status& st) const;
   [[nodiscard]] bool initialized() const { return initialized_; }
   [[nodiscard]] const sensor_model& sensor() const { return sensor_; }
 

@@ -26,11 +26,19 @@ status lzero_sim::set_application_clocks(const user_context& caller, std::size_t
                                          frequency_config config) {
   // Level Zero has no "application clocks": a pinned frequency is a
   // degenerate range [f, f].
-  if (auto st = check_index(index); !st) return st;
+  if (auto st = check_index(index); !st) {
+    record_clock_set(index, config, st);
+    return st;
+  }
   auto dev = board(index);
-  if (config.memory != dev->spec().memory_clock)
-    return error{errc::invalid_argument, "unsupported memory clock"};
-  return set_frequency_range(caller, index, config.core, config.core);
+  if (config.memory != dev->spec().memory_clock) {
+    const status st = error{errc::invalid_argument, "unsupported memory clock"};
+    record_clock_set(index, config, st);
+    return st;
+  }
+  const status st = set_frequency_range(caller, index, config.core, config.core);
+  record_clock_set(index, config, st);
+  return st;
 }
 
 status lzero_sim::reset_application_clocks(const user_context& caller, std::size_t index) {

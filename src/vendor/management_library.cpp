@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "synergy/telemetry/telemetry.hpp"
 #include "synergy/vendor/nvml_sim.hpp"
 #include "synergy/vendor/lzero_sim.hpp"
 #include "synergy/vendor/rsmi_sim.hpp"
@@ -66,18 +67,36 @@ result<frequency_config> management_library_base::application_clocks(std::size_t
   return boards_[index]->current_config();
 }
 
+void management_library_base::record_clock_set([[maybe_unused]] std::size_t index,
+                                               [[maybe_unused]] common::frequency_config config,
+                                               [[maybe_unused]] const common::status& st) const {
+  SYNERGY_COUNTER_ADD("vendor.clock_set_attempts", 1);
+  if (!st.ok()) SYNERGY_COUNTER_ADD("vendor.clock_set_rejections", 1);
+  SYNERGY_INSTANT(telemetry::category::freq_change, "vendor.set_application_clocks",
+                  {"device", static_cast<double>(index)}, {"ok", st.ok() ? 1.0 : 0.0},
+                  {"mem_mhz", config.memory.value}, {"core_mhz", config.core.value});
+}
+
 result<watts> management_library_base::power_usage(std::size_t index) const {
   if (auto st = check_index(index); !st) return st.err();
+  SYNERGY_COUNTER_ADD("vendor.power_samples", 1);
   const auto& dev = *boards_[index];
   // Sensor quantisation: the reported value refreshes only every
   // update_interval and averages over the trailing window.
   const double now = dev.now().value;
   const double interval = sensor_.update_interval.value;
   const double quantised = interval > 0.0 ? std::floor(now / interval) * interval : now;
-  if (quantised <= 0.0) return dev.instantaneous_power();
-  return dev.energy_between(common::seconds{std::max(0.0, quantised - sensor_.window.value)},
-                            common::seconds{quantised}) /
-         common::seconds{std::min(quantised, sensor_.window.value)};
+  const watts reading =
+      quantised <= 0.0
+          ? dev.instantaneous_power()
+          : dev.energy_between(
+                common::seconds{std::max(0.0, quantised - sensor_.window.value)},
+                common::seconds{quantised}) /
+                common::seconds{std::min(quantised, sensor_.window.value)};
+  SYNERGY_INSTANT(telemetry::category::power_sample, "vendor.power_usage",
+                  {"device", static_cast<double>(index)}, {"watts", reading.value},
+                  {"sim_time_s", now});
+  return reading;
 }
 
 std::shared_ptr<gpusim::device> management_library_base::board(std::size_t index) const {

@@ -62,11 +62,18 @@ status nvml_sim::check_clock_permission(const user_context& caller, std::size_t 
 
 status nvml_sim::set_application_clocks(const user_context& caller, std::size_t index,
                                         frequency_config config) {
-  if (auto st = check_clock_permission(caller, index); !st) return st;
+  if (auto st = check_clock_permission(caller, index); !st) {
+    record_clock_set(index, config, st);
+    return st;
+  }
   auto dev = board(index);
-  if (!dev->spec().supports_memory_clock(config.memory))
-    return error{errc::invalid_argument, "unsupported memory clock"};
+  if (!dev->spec().supports_memory_clock(config.memory)) {
+    const status st = error{errc::invalid_argument, "unsupported memory clock"};
+    record_clock_set(index, config, st);
+    return st;
+  }
   const status st = dev->set_application_clocks(config);
+  record_clock_set(index, config, st);
   if (st) {
     // The driver round-trip is real time the device spends before the next
     // kernel can launch; the paper measures this overhead growing with the

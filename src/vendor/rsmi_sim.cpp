@@ -22,15 +22,22 @@ status rsmi_sim::check_write(const user_context& caller, std::size_t index) cons
 
 status rsmi_sim::set_application_clocks(const user_context& caller, std::size_t index,
                                         frequency_config config) {
-  if (auto st = check_write(caller, index); !st) return st;
+  if (auto st = check_write(caller, index); !st) {
+    record_clock_set(index, config, st);
+    return st;
+  }
   auto dev = board(index);
-  if (config.memory != dev->spec().memory_clock)
-    return error{errc::invalid_argument, "unsupported memory clock"};
+  if (config.memory != dev->spec().memory_clock) {
+    const status st = error{errc::invalid_argument, "unsupported memory clock"};
+    record_clock_set(index, config, st);
+    return st;
+  }
   // ROCm SMI exposes discrete performance levels; arbitrary clocks snap to
   // the nearest level instead of failing, which is sysfs behaviour.
   const megahertz snapped = dev->spec().nearest_core_clock(config.core);
   const status st = dev->set_core_clock(snapped);
   if (st) dev->advance_idle(clock_set_latency);
+  record_clock_set(index, {config.memory, snapped}, st);
   return st;
 }
 

@@ -306,10 +306,10 @@ app_result run_cloverleaf(int n_ranks, const app_config& config,
     double field_min = 1e300, field_max = -1e300;
     for (std::size_t y = 1; y <= ny; ++y)
       for (std::size_t x = 0; x < nx; ++x) {
-        const double v = rho[y * nx + x];
-        checksum += v;
-        field_min = std::min(field_min, v);
-        field_max = std::max(field_max, v);
+        const double cell = rho[y * nx + x];
+        checksum += cell;
+        field_min = std::min(field_min, cell);
+        field_max = std::max(field_max, cell);
       }
     rank_checksum[comm.rank()] = checksum;
     rank_min[comm.rank()] = field_min;

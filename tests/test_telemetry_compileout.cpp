@@ -1,0 +1,29 @@
+/// Compile-out proof TU: forces SYNERGY_TELEMETRY_ENABLED=0 for this
+/// translation unit only (the header defaults it to 1 when undefined), so
+/// the macro expansions here must be no-ops regardless of how the rest of
+/// the binary was built. test_telemetry.cpp calls run_all_macros() and
+/// asserts that nothing was recorded or registered.
+
+#ifndef SYNERGY_TELEMETRY_ENABLED
+#define SYNERGY_TELEMETRY_ENABLED 0
+#endif
+
+#include "synergy/telemetry/telemetry.hpp"
+
+namespace telemetry_compileout {
+
+int compiled_state() { return SYNERGY_TELEMETRY_ENABLED; }
+
+void run_all_macros() {
+  SYNERGY_SPAN(synergy::telemetry::category::kernel, "compileout.span");
+  SYNERGY_SPAN_VAR(span, synergy::telemetry::category::plan, "compileout.span_var");
+  span.arg("key", 1.0);
+  span.str("skey", "value");
+  SYNERGY_INSTANT(synergy::telemetry::category::sched, "compileout.instant", {"a", 2.0});
+  SYNERGY_COUNTER_ADD("compileout.counter", 1);
+  SYNERGY_GAUGE_SET("compileout.gauge", 3.0);
+  SYNERGY_GAUGE_ADD("compileout.gauge", 1.0);
+  SYNERGY_HISTOGRAM_OBSERVE("compileout.histogram", 0.5, 1.0, 10.0);
+}
+
+}  // namespace telemetry_compileout

@@ -1,0 +1,157 @@
+/// synergy_trace — run a stock workload with the telemetry plane on and
+/// export what the system observed about itself: a Chrome trace-event JSON
+/// (load it at chrome://tracing or ui.perfetto.dev), an optional CSV of the
+/// same events, and a metrics summary table.
+///
+/// The default run exercises every instrumented layer so one trace shows
+/// the whole frequency path of the paper: queue submissions resolving
+/// energy targets (plan), vendor clock-set attempts (freq_change), per-kernel
+/// execution on the simulated device timeline (kernel, pid 2), power-sensor
+/// reads (power_sample), and a small cluster job through the SLURM-like
+/// controller (sched).
+///
+/// Usage: synergy_trace [options] [benchmark names...]
+///   --device NAME     device spec (default V100)
+///   --target NAME     energy target for submissions (default ES_50)
+///   --out FILE        Chrome trace JSON path (default synergy_trace.json)
+///   --csv FILE        also write the events as CSV
+///   --capacity N      trace ring capacity in events
+///   --no-cluster      skip the scheduler job
+///   --log-tap         mirror log records into the trace
+///   benchmarks        subset of the suite to run (default: first 6)
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "synergy/sched/controller.hpp"
+#include "synergy/synergy.hpp"
+#include "synergy/telemetry/export.hpp"
+#include "synergy/telemetry/telemetry.hpp"
+#include "synergy/workloads/benchmark.hpp"
+
+namespace sm = synergy::metrics;
+namespace ss = synergy::sched;
+namespace sw = synergy::workloads;
+namespace tel = synergy::telemetry;
+
+namespace {
+
+void run_queue_workload(const std::string& device, const sm::target& target,
+                        const std::vector<std::string>& names) {
+  simsycl::device dev{synergy::gpusim::make_device_spec(device)};
+  auto ctx = std::make_shared<synergy::context>(std::vector<simsycl::device>{dev});
+  ctx->set_user(synergy::vendor::user_context::root());
+  synergy::queue q{dev, ctx};
+  q.set_target(target);
+  for (const auto& name : names) {
+    const auto& bench = sw::find(name);
+    auto e = bench.run(q);
+    e.wait_and_throw();
+    // A power-sensor read per kernel, as the paper's coarse-grained
+    // profiling thread would do (Sec. 4.2).
+    const auto binding = ctx->bind(dev);
+    (void)binding.library->power_usage(binding.index);
+  }
+  q.print_energy_report(std::cout);
+}
+
+void run_cluster_job(const std::string& device, const sm::target& target,
+                     const std::vector<std::string>& names) {
+  std::vector<ss::node_config> nodes;
+  ss::node_config cfg;
+  cfg.name = "trace-node";
+  cfg.gpus = {device, device};
+  nodes.push_back(cfg);
+  ss::controller ctl{std::move(nodes)};
+
+  ss::job_request job;
+  job.name = "traced_job";
+  job.n_nodes = 1;
+  job.payload = [&](ss::job_context& jc) {
+    for (ss::node* n : jc.nodes) {
+      for (const auto& dev : n->devices()) {
+        synergy::queue q{dev, n->ctx()};
+        q.set_target(target);
+        for (const auto& name : names) sw::find(name).run(q).wait_and_throw();
+      }
+    }
+  };
+  ctl.submit(std::move(job));
+  ctl.run_pending();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string device = "V100";
+  std::string target_name = "ES_50";
+  std::string out_file = "synergy_trace.json";
+  std::string csv_file;
+  bool cluster = true;
+  std::vector<std::string> names;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--device" && i + 1 < argc) device = argv[++i];
+    else if (arg == "--target" && i + 1 < argc) target_name = argv[++i];
+    else if (arg == "--out" && i + 1 < argc) out_file = argv[++i];
+    else if (arg == "--csv" && i + 1 < argc) csv_file = argv[++i];
+    else if (arg == "--capacity" && i + 1 < argc)
+      tel::trace_recorder::instance().set_capacity(
+          static_cast<std::size_t>(std::stoul(argv[++i])));
+    else if (arg == "--no-cluster") cluster = false;
+    else if (arg == "--log-tap") tel::install_log_tap();
+    else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: synergy_trace [--device D] [--target T] [--out F] [--csv F]\n"
+                   "                     [--capacity N] [--no-cluster] [--log-tap]\n"
+                   "                     [benchmark names...]\n";
+      return 0;
+    } else {
+      names.push_back(arg);
+    }
+  }
+
+  try {
+    const auto target = sm::target::parse(target_name);
+    if (names.empty()) {
+      const auto all = sw::names();
+      names.assign(all.begin(), all.begin() + std::min<std::size_t>(6, all.size()));
+    }
+
+    run_queue_workload(device, target, names);
+    if (cluster) run_cluster_job(device, target, names);
+
+    std::cout << '\n';
+    tel::metrics_registry::instance().summary_table(std::cout);
+
+    const auto& rec = tel::trace_recorder::instance();
+    std::cout << '\n'
+              << rec.size() << " trace events buffered (" << rec.dropped()
+              << " dropped, capacity " << rec.capacity() << ")\n";
+
+    if (!tel::write_chrome_trace_file(out_file)) {
+      std::cerr << "error: cannot write " << out_file << '\n';
+      return 1;
+    }
+    std::cout << "chrome trace written to " << out_file
+              << " (load at chrome://tracing or ui.perfetto.dev)\n";
+    if (!csv_file.empty()) {
+      if (!tel::write_csv_file(csv_file)) {
+        std::cerr << "error: cannot write " << csv_file << '\n';
+        return 1;
+      }
+      std::cout << "csv written to " << csv_file << '\n';
+    }
+#if !SYNERGY_TELEMETRY_ENABLED
+    std::cout << "note: telemetry was compiled out (-DSYNERGY_TELEMETRY=OFF); "
+                 "the trace is empty\n";
+#endif
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+# CI fixture for the compile-out guarantee: configure a second build of the
+# repository with -DSYNERGY_TELEMETRY=OFF and -DSYNERGY_WERROR=ON and build
+# the telemetry plane, its unit tests, and the trace tool. If any
+# instrumentation macro leaves residue behind (unused variables, unused
+# captures, dead expressions), -Werror turns it into a build failure here.
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -S "${SOURCE_DIR}" -B "${WORK_DIR}"
+          -DSYNERGY_TELEMETRY=OFF
+          -DSYNERGY_WERROR=ON
+          -DSYNERGY_BUILD_BENCH=OFF
+          -DCMAKE_BUILD_TYPE=Release
+  RESULT_VARIABLE configure_result
+  OUTPUT_VARIABLE configure_output
+  ERROR_VARIABLE configure_output)
+if(NOT configure_result EQUAL 0)
+  message(FATAL_ERROR "telemetry-off configure failed:\n${configure_output}")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" --build "${WORK_DIR}" --parallel 4
+          --target synergy_telemetry test_telemetry synergy_trace
+  RESULT_VARIABLE build_result
+  OUTPUT_VARIABLE build_output
+  ERROR_VARIABLE build_output)
+if(NOT build_result EQUAL 0)
+  message(FATAL_ERROR "telemetry-off build failed:\n${build_output}")
+endif()
+
+# The compiled-out unit tests must pass too: they assert that no events or
+# metrics are recorded when the macros expand to nothing.
+execute_process(COMMAND "${WORK_DIR}/tests/test_telemetry"
+                RESULT_VARIABLE test_result
+                OUTPUT_VARIABLE test_output
+                ERROR_VARIABLE test_output)
+if(NOT test_result EQUAL 0)
+  message(FATAL_ERROR "test_telemetry failed in the compiled-out build:\n${test_output}")
+endif()

@@ -1,0 +1,46 @@
+# Smoke test for the telemetry export workflow: run a stock workload under
+# synergy_trace and check the Chrome trace-event JSON contains spans from
+# every instrumented layer (queue, vendor, gpusim device timeline,
+# scheduler). With telemetry compiled out the tool must still run and
+# produce a well-formed (empty) trace.
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(COMMAND "${TRACE}" --out "${WORK_DIR}/trace.json"
+                        --csv "${WORK_DIR}/trace.csv"
+                WORKING_DIRECTORY "${WORK_DIR}"
+                RESULT_VARIABLE trace_result
+                OUTPUT_VARIABLE trace_stdout)
+if(NOT trace_result EQUAL 0)
+  message(FATAL_ERROR "synergy_trace failed: ${trace_result}")
+endif()
+
+foreach(artifact trace.json trace.csv)
+  if(NOT EXISTS "${WORK_DIR}/${artifact}")
+    message(FATAL_ERROR "${artifact} was not written")
+  endif()
+endforeach()
+
+file(READ "${WORK_DIR}/trace.json" trace)
+if(NOT trace MATCHES "\"traceEvents\"")
+  message(FATAL_ERROR "trace.json is not Chrome trace-event JSON")
+endif()
+
+if(TELEMETRY STREQUAL "ON")
+  # One marker per layer: queue submission span, vendor clock-set instant,
+  # gpusim device-timeline process, scheduler job span.
+  foreach(marker
+          "queue.submit"                     # queue layer (cat kernel)
+          "vendor.set_application_clocks"    # vendor layer (cat freq_change)
+          "vendor.power_usage"               # vendor layer (cat power_sample)
+          "queue.resolve_target"             # planning (cat plan)
+          "gpusim device"                    # simulated-device timeline metadata
+          "sched.job")                       # scheduler layer (cat sched)
+    if(NOT trace MATCHES "${marker}")
+      message(FATAL_ERROR "trace.json is missing '${marker}' events")
+    endif()
+  endforeach()
+  if(NOT trace_stdout MATCHES "queue.submissions")
+    message(FATAL_ERROR "metrics summary table missing from synergy_trace output")
+  endif()
+endif()
