@@ -1,0 +1,39 @@
+#include "synergy/cluster/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace synergy::cluster {
+
+void event_engine::at(double t, handler fn) {
+  queue_.push(event{std::max(t, now_), next_seq_++, std::move(fn)});
+}
+
+std::size_t event_engine::run() {
+  std::size_t fired = 0;
+  while (!queue_.empty()) {
+    // Move the handler out before popping: the handler may push new events,
+    // and priority_queue::top() is invalidated by push.
+    event e = std::move(const_cast<event&>(queue_.top()));
+    queue_.pop();
+    now_ = e.t;
+    ++fired;
+    e.fn();
+  }
+  return fired;
+}
+
+std::size_t event_engine::run_until(double t) {
+  std::size_t fired = 0;
+  while (!queue_.empty() && queue_.top().t <= t) {
+    event e = std::move(const_cast<event&>(queue_.top()));
+    queue_.pop();
+    now_ = e.t;
+    ++fired;
+    e.fn();
+  }
+  now_ = std::max(now_, t);
+  return fired;
+}
+
+}  // namespace synergy::cluster

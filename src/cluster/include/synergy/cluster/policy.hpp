@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file policy.hpp
+/// Pluggable scheduling policies for the cluster simulator.
+///
+/// A policy answers one question per scheduling round: given a queued job
+/// and the current cluster occupancy, which GPU slots should it start on
+/// now — and at what clocks? Three policies ship:
+///
+///  - fifo: strict arrival order; a head job that does not fit blocks the
+///    queue (the baseline every HPC scheduler paper compares against).
+///  - easy_backfill: the head gets a reservation at the earliest time
+///    enough GPUs drain (the EASY shadow time); later jobs may jump ahead
+///    iff their estimated completion does not cross that reservation.
+///  - energy_aware: EASY's queue discipline, plus placement that prefers
+///    frequency-capable nodes (the paper's Sec. 7.2 check chain decides
+///    capability) and a per-job frequency plan resolved from the kernel's
+///    tuning-table / planner entry for the job's energy target.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "synergy/cluster/job_trace.hpp"
+#include "synergy/common/units.hpp"
+#include "synergy/metrics/energy_metrics.hpp"
+
+namespace synergy::cluster {
+
+/// One GPU of the cluster, addressed by (node index, gpu index).
+struct gpu_slot {
+  std::size_t node{0};
+  std::size_t gpu{0};
+  friend bool operator==(const gpu_slot&, const gpu_slot&) = default;
+};
+
+/// Occupancy snapshot a policy sees (built by the simulator each round).
+struct cluster_view {
+  struct node_view {
+    std::string name;
+    /// The Sec. 7.2 prologue chain outcome for this node: tagged with the
+    /// nvgpufreq GRES, management library loadable. Placement on a node
+    /// that fails the chain runs at default clocks.
+    bool freq_capable{false};
+    std::vector<bool> gpu_busy;
+    /// Modelled completion time of the job holding each GPU (= now when
+    /// the GPU is free).
+    std::vector<double> busy_until;
+  };
+
+  double now{0.0};
+  std::vector<node_view> nodes;
+  /// True while the policy is asked about the queue head; false for
+  /// backfill candidates behind a blocked head.
+  bool is_head{true};
+  /// EASY shadow time: earliest instant enough GPUs drain for the blocked
+  /// head (+inf when the head is not blocked or unknown).
+  double head_reservation_s{0.0};
+
+  [[nodiscard]] std::size_t free_gpus() const;
+};
+
+/// A policy's verdict: the slots to occupy and the clocks to run at
+/// (nullopt config = driver-default application clocks).
+struct placement {
+  std::vector<gpu_slot> gpus;
+  std::optional<common::frequency_config> config;
+};
+
+/// Job as the policy sees it: the trace row plus the simulator's runtime
+/// estimate at default clocks (the "user-provided" estimate EASY needs).
+struct queued_job {
+  traced_job job;
+  double est_runtime_s{0.0};
+};
+
+class scheduling_policy {
+ public:
+  virtual ~scheduling_policy() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Decide whether `job` may start now and where. Empty optional leaves
+  /// it queued for the next round.
+  [[nodiscard]] virtual std::optional<placement> place(const queued_job& job,
+                                                       const cluster_view& view) = 0;
+
+  /// Whether jobs behind a blocked head may be offered to place().
+  [[nodiscard]] virtual bool backfills() const { return false; }
+};
+
+/// Resolve (kernel, target) to a frequency plan. The simulator backs this
+/// with the compiled tuning table and the oracle planner; tests may inject
+/// anything.
+using plan_fn = std::function<common::frequency_config(const std::string& kernel,
+                                                       const metrics::target& target)>;
+
+[[nodiscard]] std::unique_ptr<scheduling_policy> make_fifo();
+[[nodiscard]] std::unique_ptr<scheduling_policy> make_easy_backfill();
+
+/// `plan` resolves frequency targets; `override_target` (if set) replaces
+/// every job's trace-recorded target, which lets one trace be replayed
+/// under several objectives (the bench's Fig. 10-style sweep).
+[[nodiscard]] std::unique_ptr<scheduling_policy> make_energy_aware(
+    plan_fn plan, std::optional<metrics::target> override_target = std::nullopt);
+
+/// Policy registry by name ("fifo", "backfill", "energy"); the energy
+/// policy needs `plan`. Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<scheduling_policy> make_policy(
+    const std::string& policy_name, plan_fn plan = {},
+    std::optional<metrics::target> override_target = std::nullopt);
+
+}  // namespace synergy::cluster

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file power_budget.hpp
+/// Facility-wide power budgeting for the cluster simulator.
+///
+/// SLURM's power management (paper Sec. 2.3) distributes a system cap over
+/// nodes; this manager layers the cluster-scale half on top of
+/// sched::power_manager. It keeps the *modelled* facility draw — host power
+/// plus per-GPU busy/idle power on the simulation timeline — and enforces
+/// the cap two ways:
+///
+///  1. admission: a job may only start if the facility draw with the job
+///     added stays under the cap; if its planned frequency does not fit,
+///     the plan is demoted down the clock table until it does (counted as
+///     a demotion), and the job waits if even the lowest clock is too hot;
+///  2. rebalancing: after every placement/completion the per-node caps are
+///     recomputed from modelled demand via
+///     sched::power_manager::rebalance_with_demand, which locks GPU clock
+///     bounds on each node so no application clock can exceed its share.
+
+#include <cstddef>
+#include <vector>
+
+#include "synergy/sched/power_manager.hpp"
+
+namespace synergy::cluster {
+
+class power_budget {
+ public:
+  /// `facility_cap_w` covers hosts + GPUs across every node; <= 0 disables
+  /// capping (admission always passes, no rebalances).
+  power_budget(sched::controller& ctl, double facility_cap_w);
+
+  [[nodiscard]] bool capped() const { return cap_w_ > 0.0; }
+  [[nodiscard]] double cap_w() const { return cap_w_; }
+
+  /// Modelled facility draw right now (hosts + busy GPU job power + idle
+  /// GPU floor).
+  [[nodiscard]] double facility_power_w() const;
+
+  /// Watts still available under the cap (+inf when uncapped).
+  [[nodiscard]] double headroom_w() const;
+
+  /// Account one GPU switching to a job drawing `busy_power_w` (board
+  /// average power at the job's operating point).
+  void gpu_busy(std::size_t node, std::size_t gpu, double busy_power_w);
+
+  /// Account one GPU returning to idle.
+  void gpu_idle(std::size_t node, std::size_t gpu);
+
+  /// Recompute per-node caps from the modelled demand and lock clock
+  /// bounds through the underlying sched::power_manager. No-op when
+  /// uncapped. Counts as one rebalance.
+  void rebalance();
+
+  /// Per-node caps of the last rebalance (empty when uncapped).
+  [[nodiscard]] const std::vector<double>& node_caps() const;
+
+  [[nodiscard]] std::size_t rebalances() const { return rebalances_; }
+  [[nodiscard]] std::size_t demotions() const { return demotions_; }
+  void count_demotion() { ++demotions_; }
+
+ private:
+  sched::controller* ctl_;
+  double cap_w_;
+  sched::power_manager pm_;
+  /// Modelled per-GPU draw, indexed [node][gpu]; idle floor when no job.
+  std::vector<std::vector<double>> gpu_power_w_;
+  std::size_t rebalances_{0};
+  std::size_t demotions_{0};
+};
+
+}  // namespace synergy::cluster

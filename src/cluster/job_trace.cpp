@@ -1,0 +1,118 @@
+#include "synergy/cluster/job_trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "synergy/common/csv.hpp"
+#include "synergy/common/rng.hpp"
+#include "synergy/workloads/benchmark.hpp"
+
+namespace synergy::cluster {
+
+namespace {
+
+/// Shortest representation that round-trips a double exactly (the trace is
+/// a replay artefact: load(save(t)) must equal t bit-for-bit, which the
+/// display-precision common::csv_writer::num does not guarantee).
+std::string exact(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+constexpr const char* header_magic = "# synergy-cluster-trace v1";
+
+}  // namespace
+
+std::string job_trace::to_csv() const {
+  std::ostringstream os;
+  os << header_magic << " seed=" << seed << " jobs=" << jobs.size() << '\n';
+  common::csv_writer csv{os};
+  csv.row({"id", "name", "submit_s", "n_gpus", "kernel", "work_items", "iterations", "target"});
+  for (const auto& j : jobs) {
+    csv.row({std::to_string(j.id), j.name, exact(j.submit_s), std::to_string(j.n_gpus),
+             j.kernel, exact(j.work_items), std::to_string(j.iterations), j.target});
+  }
+  return os.str();
+}
+
+job_trace job_trace::from_csv(const std::string& text) {
+  std::istringstream is{text};
+  std::string line;
+  if (!std::getline(is, line) || line.rfind(header_magic, 0) != 0)
+    throw std::invalid_argument("job_trace: missing trace header line");
+
+  job_trace trace;
+  const auto seed_pos = line.find("seed=");
+  if (seed_pos == std::string::npos)
+    throw std::invalid_argument("job_trace: header records no seed");
+  trace.seed = std::stoull(line.substr(seed_pos + 5));
+
+  bool saw_columns = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (!saw_columns) {  // column-header row
+      saw_columns = true;
+      continue;
+    }
+    const auto f = common::parse_csv_line(line);
+    if (f.size() != 8)
+      throw std::invalid_argument("job_trace: expected 8 fields, got " +
+                                  std::to_string(f.size()));
+    traced_job j;
+    j.id = std::stoi(f[0]);
+    j.name = f[1];
+    j.submit_s = std::stod(f[2]);
+    j.n_gpus = std::stoi(f[3]);
+    j.kernel = f[4];
+    j.work_items = std::stod(f[5]);
+    j.iterations = std::stoi(f[6]);
+    j.target = f[7];
+    if (j.n_gpus < 1 || j.iterations < 1 || !(j.work_items > 0.0) ||
+        !(j.submit_s >= 0.0))
+      throw std::invalid_argument("job_trace: invalid job row for id " + f[0]);
+    trace.jobs.push_back(std::move(j));
+  }
+  return trace;
+}
+
+job_trace generate_trace(const trace_config& config) {
+  if (config.n_jobs == 0) return {config.seed, {}};
+  if (config.gpu_mix.empty() || config.target_mix.empty())
+    throw std::invalid_argument("generate_trace: empty gpu or target mix");
+  if (config.min_iterations < 1 || config.max_iterations < config.min_iterations)
+    throw std::invalid_argument("generate_trace: bad iteration range");
+
+  const std::vector<std::string>& kernels =
+      config.kernels.empty() ? workloads::names() : config.kernels;
+
+  common::pcg32 rng{config.seed};
+  job_trace trace;
+  trace.seed = config.seed;
+  trace.jobs.reserve(config.n_jobs);
+
+  double t = 0.0;
+  for (std::size_t i = 0; i < config.n_jobs; ++i) {
+    // Poisson arrivals: exponential inter-arrival times.
+    t += -config.mean_interarrival_s * std::log(1.0 - rng.uniform());
+    traced_job j;
+    j.id = static_cast<int>(i) + 1;
+    j.kernel = kernels[rng.bounded(static_cast<std::uint32_t>(kernels.size()))];
+    j.name = j.kernel + "_" + std::to_string(j.id);
+    j.submit_s = t;
+    j.n_gpus = config.gpu_mix[rng.bounded(static_cast<std::uint32_t>(config.gpu_mix.size()))];
+    j.work_items = config.work_items;
+    j.iterations =
+        config.min_iterations +
+        static_cast<int>(rng.bounded(
+            static_cast<std::uint32_t>(config.max_iterations - config.min_iterations + 1)));
+    j.target =
+        config.target_mix[rng.bounded(static_cast<std::uint32_t>(config.target_mix.size()))];
+    trace.jobs.push_back(std::move(j));
+  }
+  return trace;
+}
+
+}  // namespace synergy::cluster

@@ -1,0 +1,141 @@
+#include "synergy/cluster/policy.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+namespace synergy::cluster {
+
+namespace {
+
+/// First-fit: walk nodes in `order`, take free GPUs until `n` are found.
+std::optional<std::vector<gpu_slot>> first_fit(const cluster_view& view,
+                                               const std::vector<std::size_t>& order, int n) {
+  std::vector<gpu_slot> slots;
+  for (const std::size_t ni : order) {
+    const auto& node = view.nodes[ni];
+    for (std::size_t g = 0; g < node.gpu_busy.size(); ++g) {
+      if (node.gpu_busy[g]) continue;
+      slots.push_back({ni, g});
+      if (static_cast<int>(slots.size()) == n) return slots;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> index_order(std::size_t n) {
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  return order;
+}
+
+class fifo_policy final : public scheduling_policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "fifo"; }
+
+  std::optional<placement> place(const queued_job& job, const cluster_view& view) override {
+    if (!view.is_head) return std::nullopt;  // strict arrival order
+    auto slots = first_fit(view, index_order(view.nodes.size()), job.job.n_gpus);
+    if (!slots) return std::nullopt;
+    return placement{std::move(*slots), std::nullopt};
+  }
+};
+
+class easy_backfill_policy final : public scheduling_policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "backfill"; }
+  [[nodiscard]] bool backfills() const override { return true; }
+
+  std::optional<placement> place(const queued_job& job, const cluster_view& view) override {
+    // EASY: a backfill candidate may start only if it finishes before the
+    // head's reservation (shadow time), so the head is never delayed.
+    if (!view.is_head && view.now + job.est_runtime_s > view.head_reservation_s)
+      return std::nullopt;
+    auto slots = first_fit(view, index_order(view.nodes.size()), job.job.n_gpus);
+    if (!slots) return std::nullopt;
+    return placement{std::move(*slots), std::nullopt};
+  }
+};
+
+class energy_aware_policy final : public scheduling_policy {
+ public:
+  energy_aware_policy(plan_fn plan, std::optional<metrics::target> override_target)
+      : plan_(std::move(plan)), override_(override_target) {}
+
+  [[nodiscard]] std::string name() const override { return "energy"; }
+  [[nodiscard]] bool backfills() const override { return true; }
+
+  std::optional<placement> place(const queued_job& job, const cluster_view& view) override {
+    if (!view.is_head && view.now + job.est_runtime_s > view.head_reservation_s)
+      return std::nullopt;
+
+    // Prefer frequency-capable nodes, then emptier ones, so tunable jobs
+    // land where the Sec. 7.2 chain grants clock privileges; ties resolve
+    // by index for determinism.
+    auto order = index_order(view.nodes.size());
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const auto& na = view.nodes[a];
+      const auto& nb = view.nodes[b];
+      if (na.freq_capable != nb.freq_capable) return na.freq_capable;
+      const auto busy = [](const cluster_view::node_view& n) {
+        return std::count(n.gpu_busy.begin(), n.gpu_busy.end(), true);
+      };
+      return busy(na) < busy(nb);
+    });
+
+    auto slots = first_fit(view, order, job.job.n_gpus);
+    if (!slots) return std::nullopt;
+
+    // The plan applies only when every allocated node passes the check
+    // chain and the job opted into a target (Sec. 7.2: no privileges, no
+    // clock change — the job runs at defaults).
+    std::optional<common::frequency_config> config;
+    const std::string target_name =
+        override_ ? override_->to_string() : job.job.target;
+    const bool wants_tuning = target_name != "default" && !target_name.empty();
+    const bool all_capable =
+        std::all_of(slots->begin(), slots->end(),
+                    [&](const gpu_slot& s) { return view.nodes[s.node].freq_capable; });
+    if (wants_tuning && all_capable && plan_)
+      config = plan_(job.job.kernel, metrics::target::parse(target_name));
+
+    return placement{std::move(*slots), config};
+  }
+
+ private:
+  plan_fn plan_;
+  std::optional<metrics::target> override_;
+};
+
+}  // namespace
+
+std::size_t cluster_view::free_gpus() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes)
+    n += static_cast<std::size_t>(
+        std::count(node.gpu_busy.begin(), node.gpu_busy.end(), false));
+  return n;
+}
+
+std::unique_ptr<scheduling_policy> make_fifo() { return std::make_unique<fifo_policy>(); }
+
+std::unique_ptr<scheduling_policy> make_easy_backfill() {
+  return std::make_unique<easy_backfill_policy>();
+}
+
+std::unique_ptr<scheduling_policy> make_energy_aware(
+    plan_fn plan, std::optional<metrics::target> override_target) {
+  return std::make_unique<energy_aware_policy>(std::move(plan), override_target);
+}
+
+std::unique_ptr<scheduling_policy> make_policy(const std::string& policy_name, plan_fn plan,
+                                               std::optional<metrics::target> override_target) {
+  if (policy_name == "fifo") return make_fifo();
+  if (policy_name == "backfill" || policy_name == "easy") return make_easy_backfill();
+  if (policy_name == "energy" || policy_name == "energy-aware")
+    return make_energy_aware(std::move(plan), override_target);
+  throw std::invalid_argument("unknown scheduling policy: " + policy_name);
+}
+
+}  // namespace synergy::cluster

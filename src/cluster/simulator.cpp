@@ -1,0 +1,445 @@
+#include "synergy/cluster/simulator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+
+#include "synergy/common/csv.hpp"
+#include "synergy/common/stats.hpp"
+#include "synergy/common/table.hpp"
+#include "synergy/sched/plugin.hpp"
+#include "synergy/telemetry/telemetry.hpp"
+#include "synergy/tuning_table.hpp"
+#include "synergy/workloads/benchmark.hpp"
+
+namespace synergy::cluster {
+
+namespace tel = telemetry;
+
+namespace {
+
+constexpr double inf = std::numeric_limits<double>::infinity();
+
+/// The whole launch stream of a job as one gpusim profile: `iterations`
+/// launches of `work_items` items fold into a single work size, which the
+/// analytic model prices identically (time and energy are linear in items;
+/// only per-launch overhead is approximated away).
+gpusim::kernel_profile folded_profile(const traced_job& job) {
+  const auto& info = workloads::find(job.kernel).info;
+  gpusim::kernel_profile p;
+  p.name = job.kernel;
+  p.features = info.features;
+  p.bytes_per_access = info.bytes_per_access;
+  p.cache_hit_rate = info.cache_hit_rate;
+  p.coalescing_efficiency = info.coalescing_efficiency;
+  p.compute_efficiency = info.compute_efficiency;
+  p.work_items = job.work_items * job.iterations;
+  return p;
+}
+
+}  // namespace
+
+simulator::simulator(cluster_config config, std::unique_ptr<scheduling_policy> policy)
+    : config_(std::move(config)),
+      policy_(std::move(policy)),
+      spec_(gpusim::make_device_spec(config_.device)) {
+  if (config_.n_nodes == 0 || config_.gpus_per_node == 0)
+    throw std::invalid_argument("simulator: cluster needs nodes and GPUs");
+  if (!policy_) throw std::invalid_argument("simulator: null scheduling policy");
+
+  std::vector<sched::node_config> nodes;
+  nodes.reserve(config_.n_nodes);
+  for (std::size_t i = 0; i < config_.n_nodes; ++i) {
+    sched::node_config cfg;
+    char name[16];
+    std::snprintf(name, sizeof name, "cn%03u", static_cast<unsigned>(i));
+    cfg.name = name;
+    cfg.gpus.assign(config_.gpus_per_node, config_.device);
+    cfg.host_power_w = config_.host_power_w;
+    if (config_.tag_nvgpufreq) cfg.gres.insert(sched::nvgpufreq_plugin::gres_tag);
+    nodes.push_back(std::move(cfg));
+  }
+  ctl_ = std::make_unique<sched::controller>(std::move(nodes));
+}
+
+simulator::~simulator() = default;
+
+job_result& simulator::result_of(int job_id) {
+  const auto it =
+      std::find_if(results_.begin(), results_.end(),
+                   [job_id](const job_result& r) { return r.id == job_id; });
+  if (it == results_.end()) throw std::out_of_range("simulator: unknown job id");
+  return *it;
+}
+
+cluster_view simulator::make_view() const {
+  cluster_view view;
+  view.now = engine_.now();
+  view.nodes.reserve(config_.n_nodes);
+  for (std::size_t i = 0; i < config_.n_nodes; ++i) {
+    const auto& n = ctl_->node_at(i);
+    cluster_view::node_view nv;
+    nv.name = n.name();
+    // The Sec. 7.2 prologue chain, evaluated for this simulated node: the
+    // controller is reachable (we are it), jobs own their GPUs exclusively
+    // by construction, so capability reduces to the node-side checks.
+    nv.freq_capable =
+        n.has_gres(sched::nvgpufreq_plugin::gres_tag) && n.config().nvml_available;
+    nv.gpu_busy.reserve(config_.gpus_per_node);
+    nv.busy_until.reserve(config_.gpus_per_node);
+    for (const auto& s : slots_[i]) {
+      nv.gpu_busy.push_back(s.busy);
+      nv.busy_until.push_back(s.busy ? s.busy_until : view.now);
+    }
+    view.nodes.push_back(std::move(nv));
+  }
+  return view;
+}
+
+double simulator::shadow_time(int n_gpus) const {
+  std::vector<double> avail;
+  avail.reserve(config_.n_nodes * config_.gpus_per_node);
+  for (const auto& node_slots : slots_)
+    for (const auto& s : node_slots)
+      avail.push_back(s.busy ? s.busy_until : engine_.now());
+  if (static_cast<std::size_t>(n_gpus) > avail.size()) return inf;
+  std::nth_element(avail.begin(), avail.begin() + (n_gpus - 1), avail.end());
+  return avail[static_cast<std::size_t>(n_gpus) - 1];
+}
+
+bool simulator::admit(const traced_job& job, common::frequency_config& config,
+                      bool& demoted) const {
+  demoted = false;
+  if (!budget_->capped()) return true;
+  const auto folded = folded_profile(job);
+  const auto& clocks = spec_.core_clocks;
+  const auto start_clock = spec_.nearest_core_clock(config.core);
+  auto it = std::find(clocks.begin(), clocks.end(), start_clock);
+  auto ci = static_cast<std::ptrdiff_t>(it - clocks.begin());
+  const double headroom = budget_->headroom_w();
+  for (std::ptrdiff_t i = ci; i >= 0; --i) {
+    const auto cost =
+        model_.evaluate(spec_, folded, {config.memory, clocks[static_cast<std::size_t>(i)]});
+    const double added =
+        job.n_gpus * (cost.avg_power.value - spec_.idle_power_w);
+    if (added <= headroom + 1e-9) {
+      demoted = (i != ci);
+      config.core = clocks[static_cast<std::size_t>(i)];
+      return true;
+    }
+  }
+  return false;
+}
+
+void simulator::integrate_to_now() {
+  const double t = engine_.now();
+  if (t > last_integrated_s_) {
+    facility_energy_j_ += budget_->facility_power_w() * (t - last_integrated_s_);
+    last_integrated_s_ = t;
+  }
+}
+
+void simulator::sample_power() {
+  const double w = budget_->facility_power_w();
+  peak_power_w_ = std::max(peak_power_w_, w);
+  power_samples_.emplace_back(engine_.now(), w);
+}
+
+void simulator::arrive(const traced_job& job) {
+  integrate_to_now();
+  SYNERGY_COUNTER_ADD("cluster.arrivals", 1);
+  SYNERGY_INSTANT(tel::category::sched, "cluster.arrival",
+                  {"id", static_cast<double>(job.id)},
+                  {"n_gpus", static_cast<double>(job.n_gpus)});
+
+  auto& r = result_of(job.id);
+  const std::size_t total_gpus = config_.n_nodes * config_.gpus_per_node;
+  if (static_cast<std::size_t>(job.n_gpus) > total_gpus) {
+    r.state = sched::job_state::failed;
+    r.failure_reason = "requests more GPUs than the cluster has";
+    SYNERGY_COUNTER_ADD("cluster.jobs_failed", 1);
+  } else if (budget_->capped()) {
+    // Feasibility floor: the job's draw at the lowest clock on an
+    // otherwise-idle cluster. Above the cap it can never be admitted, so
+    // fail it now instead of starving the queue forever.
+    const auto cost = model_.evaluate(
+        spec_, folded_profile(job), {spec_.default_config().memory, spec_.min_core_clock()});
+    const double idle_facility =
+        static_cast<double>(config_.n_nodes) *
+        (config_.host_power_w +
+         static_cast<double>(config_.gpus_per_node) * spec_.idle_power_w);
+    const double min_draw =
+        idle_facility + job.n_gpus * (cost.avg_power.value - spec_.idle_power_w);
+    if (min_draw > budget_->cap_w()) {
+      r.state = sched::job_state::failed;
+      r.failure_reason = "power cap below the job's minimum draw";
+      SYNERGY_COUNTER_ADD("cluster.jobs_failed", 1);
+    }
+  }
+
+  if (r.state != sched::job_state::failed) {
+    const auto est =
+        model_.evaluate(spec_, folded_profile(job), spec_.default_config()).time.value;
+    queue_.push_back(queued_job{job, est});
+    try_schedule();
+  }
+  sample_power();
+}
+
+void simulator::start(std::size_t queue_index, const placement& pl) {
+  const queued_job qj = queue_[queue_index];
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(queue_index));
+  const double now = engine_.now();
+
+  auto& r = result_of(qj.job.id);
+  r.state = sched::job_state::running;
+  r.start_s = now;
+  r.queue_wait_s = now - qj.job.submit_s;
+  const auto config = pl.config.value_or(spec_.default_config());
+  r.core_mhz = config.core.value;
+
+  const auto cost = model_.evaluate(spec_, folded_profile(qj.job), config);
+  const double duration = cost.time.value;
+  r.gpu_energy_j = cost.energy.value * qj.job.n_gpus;
+  busy_gpu_seconds_ += duration * qj.job.n_gpus;
+
+  std::set<std::size_t> nodes_used;
+  for (const auto& slot : pl.gpus) {
+    slots_[slot.node][slot.gpu] = {true, now + duration};
+    budget_->gpu_busy(slot.node, slot.gpu, cost.avg_power.value);
+    nodes_used.insert(slot.node);
+  }
+  for (const std::size_t ni : nodes_used) ctl_->node_at(ni).add_job();
+  running_.push_back({qj.job.id, pl.gpus});
+
+  SYNERGY_COUNTER_ADD("cluster.placements", 1);
+  SYNERGY_HISTOGRAM_OBSERVE("cluster.queue_wait_s", r.queue_wait_s, 0.0, 1.0, 10.0, 60.0,
+                            300.0, 1800.0);
+  SYNERGY_INSTANT(tel::category::sched, "cluster.placement",
+                  {"id", static_cast<double>(qj.job.id)},
+                  {"n_gpus", static_cast<double>(qj.job.n_gpus)},
+                  {"core_mhz", r.core_mhz}, {"wait_s", r.queue_wait_s});
+
+  budget_->rebalance();
+  const int id = qj.job.id;
+  engine_.after(duration, [this, id] { complete(id); });
+}
+
+void simulator::complete(int job_id) {
+  integrate_to_now();
+  const auto it = std::find_if(running_.begin(), running_.end(),
+                               [job_id](const running_job& rj) { return rj.id == job_id; });
+  if (it == running_.end()) throw std::logic_error("simulator: completion for unknown job");
+
+  std::set<std::size_t> nodes_used;
+  for (const auto& slot : it->gpus) {
+    slots_[slot.node][slot.gpu] = {false, 0.0};
+    budget_->gpu_idle(slot.node, slot.gpu);
+    nodes_used.insert(slot.node);
+  }
+  for (const std::size_t ni : nodes_used) ctl_->node_at(ni).remove_job();
+  running_.erase(it);
+
+  auto& r = result_of(job_id);
+  r.state = sched::job_state::completed;
+  r.end_s = engine_.now();
+  SYNERGY_COUNTER_ADD("cluster.jobs_completed", 1);
+  SYNERGY_GAUGE_ADD("cluster.gpu_energy_j", r.gpu_energy_j);
+#if SYNERGY_TELEMETRY_ENABLED
+  // Job lifetime on the cluster timeline (pid 3, virtual seconds).
+  if (tel::enabled())
+    tel::trace_recorder::instance().complete(
+        tel::category::sched, r.name, r.start_s * 1e6, (r.end_s - r.start_s) * 1e6,
+        tel::trace_event::cluster_pid,
+        {{"gpu_energy_j", r.gpu_energy_j},
+         {"core_mhz", r.core_mhz},
+         {"n_gpus", static_cast<double>(r.n_gpus)},
+         {"wait_s", r.queue_wait_s}});
+#endif
+
+  budget_->rebalance();
+  try_schedule();
+  sample_power();
+}
+
+void simulator::try_schedule() {
+  bool progressed = true;
+  while (progressed && !queue_.empty()) {
+    progressed = false;
+    auto view = make_view();
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      if (i > 0 && !policy_->backfills()) break;
+      view.is_head = (i == 0);
+      view.head_reservation_s = (i == 0) ? inf : shadow_time(queue_[0].job.n_gpus);
+      auto pl = policy_->place(queue_[i], view);
+      if (!pl) continue;
+      auto config = pl->config.value_or(spec_.default_config());
+      bool demoted = false;
+      if (!admit(queue_[i].job, config, demoted)) continue;  // defer under the cap
+      if (demoted) {
+        budget_->count_demotion();
+        SYNERGY_COUNTER_ADD("cluster.cap_demotions", 1);
+        result_of(queue_[i].job.id).demoted = true;
+      }
+      pl->config = config;
+      start(i, *pl);
+      progressed = true;
+      break;  // occupancy changed: rebuild the view and restart the scan
+    }
+  }
+}
+
+run_summary simulator::run(const job_trace& trace) {
+  // Reset per-run state so one simulator can replay several traces.
+  engine_ = event_engine{};
+  budget_ = std::make_unique<power_budget>(*ctl_, config_.facility_cap_w);
+  slots_.assign(config_.n_nodes, std::vector<slot_state>(config_.gpus_per_node));
+  queue_.clear();
+  running_.clear();
+  results_.clear();
+  power_samples_.clear();
+  last_integrated_s_ = 0.0;
+  facility_energy_j_ = 0.0;
+  busy_gpu_seconds_ = 0.0;
+  peak_power_w_ = 0.0;
+
+  results_.reserve(trace.jobs.size());
+  for (const auto& job : trace.jobs) {
+    job_result r;
+    r.id = job.id;
+    r.name = job.name;
+    r.kernel = job.kernel;
+    r.target = job.target;
+    r.n_gpus = job.n_gpus;
+    r.submit_s = job.submit_s;
+    results_.push_back(std::move(r));
+    engine_.at(job.submit_s, [this, job] { arrive(job); });
+  }
+  sample_power();
+  engine_.run();
+  integrate_to_now();
+
+  // Anything still queued can never start (the queue only drains on
+  // completions, and none are pending).
+  for (const auto& qj : queue_) {
+    auto& r = result_of(qj.job.id);
+    r.state = sched::job_state::failed;
+    r.failure_reason = "deferred by the power budget with nothing left to drain";
+    SYNERGY_COUNTER_ADD("cluster.jobs_failed", 1);
+  }
+  queue_.clear();
+
+  run_summary s;
+  s.seed = trace.seed;
+  s.policy = policy_->name();
+  s.jobs = results_.size();
+  std::vector<double> waits;
+  for (const auto& r : results_) {
+    if (r.state == sched::job_state::completed) {
+      ++s.completed;
+      s.makespan_s = std::max(s.makespan_s, r.end_s);
+      s.total_gpu_energy_j += r.gpu_energy_j;
+      waits.push_back(r.queue_wait_s);
+    } else if (r.state == sched::job_state::failed) {
+      ++s.failed;
+    }
+  }
+  s.facility_energy_j = facility_energy_j_;
+  if (!waits.empty()) {
+    s.mean_wait_s = common::mean(waits);
+    s.p50_wait_s = common::percentile(waits, 50.0);
+    s.p95_wait_s = common::percentile(waits, 95.0);
+    s.max_wait_s = common::max_value(waits);
+  }
+  if (s.makespan_s > 0.0) {
+    s.throughput_jobs_per_h = static_cast<double>(s.completed) / s.makespan_s * 3600.0;
+    s.gpu_utilization = busy_gpu_seconds_ /
+                        (static_cast<double>(config_.n_nodes * config_.gpus_per_node) *
+                         s.makespan_s);
+  }
+  s.peak_facility_power_w = peak_power_w_;
+  s.cap_rebalances = budget_->rebalances();
+  s.cap_demotions = budget_->demotions();
+  return s;
+}
+
+void simulator::report(std::ostream& os) const {
+  common::text_table table;
+  table.header({"job", "kernel", "target", "state", "gpus", "wait (s)", "run (s)",
+                "core MHz", "GPU energy (J)"});
+  for (const auto& r : results_) {
+    const bool ran = r.start_s >= 0.0;
+    table.row({std::to_string(r.id), r.kernel, r.target, to_string(r.state),
+               std::to_string(r.n_gpus),
+               ran ? common::text_table::fmt(r.queue_wait_s, 2) : "-",
+               r.end_s >= 0.0 ? common::text_table::fmt(r.end_s - r.start_s, 2) : "-",
+               ran ? common::text_table::fmt(r.core_mhz, 0) : "-",
+               common::text_table::fmt(r.gpu_energy_j, 1)});
+  }
+  table.print(os);
+}
+
+void run_summary::print(std::ostream& os) const {
+  common::text_table table;
+  table.header({"metric", "value"});
+  const auto fmt = [](double v, int p) { return common::text_table::fmt(v, p); };
+  table.row({"policy", policy});
+  table.row({"seed", std::to_string(seed)});
+  table.row({"jobs (completed/failed)", std::to_string(jobs) + " (" +
+                                            std::to_string(completed) + "/" +
+                                            std::to_string(failed) + ")"});
+  table.row({"makespan (s)", fmt(makespan_s, 2)});
+  table.row({"throughput (jobs/h)", fmt(throughput_jobs_per_h, 1)});
+  table.row({"GPU energy (J)", fmt(total_gpu_energy_j, 1)});
+  table.row({"facility energy (J)", fmt(facility_energy_j, 1)});
+  table.row({"queue wait mean/p50/p95/max (s)",
+             fmt(mean_wait_s, 2) + " / " + fmt(p50_wait_s, 2) + " / " + fmt(p95_wait_s, 2) +
+                 " / " + fmt(max_wait_s, 2)});
+  table.row({"GPU utilization", fmt(gpu_utilization, 3)});
+  table.row({"peak facility power (W)", fmt(peak_facility_power_w, 1)});
+  table.row({"cap rebalances", std::to_string(cap_rebalances)});
+  table.row({"cap demotions", std::to_string(cap_demotions)});
+  table.print(os);
+}
+
+void run_summary::csv(std::ostream& os, bool with_header) const {
+  common::csv_writer csv{os};
+  if (with_header) {
+    os << "# seed=" << seed << " policy=" << policy << '\n';
+    csv.row({"policy", "seed", "jobs", "completed", "failed", "makespan_s",
+             "throughput_jobs_per_h", "gpu_energy_j", "facility_energy_j", "mean_wait_s",
+             "p50_wait_s", "p95_wait_s", "max_wait_s", "gpu_utilization",
+             "peak_facility_power_w", "cap_rebalances", "cap_demotions"});
+  }
+  csv.row({policy, std::to_string(seed), std::to_string(jobs), std::to_string(completed),
+           std::to_string(failed), common::csv_writer::num(makespan_s),
+           common::csv_writer::num(throughput_jobs_per_h),
+           common::csv_writer::num(total_gpu_energy_j),
+           common::csv_writer::num(facility_energy_j), common::csv_writer::num(mean_wait_s),
+           common::csv_writer::num(p50_wait_s), common::csv_writer::num(p95_wait_s),
+           common::csv_writer::num(max_wait_s), common::csv_writer::num(gpu_utilization),
+           common::csv_writer::num(peak_facility_power_w), std::to_string(cap_rebalances),
+           std::to_string(cap_demotions)});
+}
+
+plan_fn make_suite_planner(const std::string& device) {
+  auto spec = gpusim::make_device_spec(device);
+  features::kernel_registry registry;
+  workloads::register_all(registry);
+  auto table = std::make_shared<tuning_table>(
+      compile_tuning_table_oracle(registry, metrics::paper_objectives(), spec));
+  return [spec = std::move(spec), table = std::move(table)](
+             const std::string& kernel, const metrics::target& target) {
+    if (const auto hit = table->find(kernel, target)) return *hit;
+    // Kernel or target outside the compiled artefact: plan on the fly at a
+    // representative size, as compile_tuning_table_oracle does.
+    auto profile = workloads::find(kernel).info.to_profile(1);
+    profile.work_items = 1 << 22;
+    return oracle_plan(spec, profile, target);
+  };
+}
+
+}  // namespace synergy::cluster

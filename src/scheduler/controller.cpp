@@ -17,6 +17,21 @@ controller::controller(std::vector<node_config> nodes) {
   for (auto& cfg : nodes) nodes_.push_back(std::make_unique<node>(std::move(cfg)));
 }
 
+node& controller::add_node(node_config config) {
+  nodes_.push_back(std::make_unique<node>(std::move(config)));
+  SYNERGY_COUNTER_ADD("sched.nodes_joined", 1);
+  return *nodes_.back();
+}
+
+bool controller::remove_node(const std::string& name) {
+  const auto it = std::find_if(nodes_.begin(), nodes_.end(),
+                               [&](const auto& n) { return n->name() == name; });
+  if (it == nodes_.end() || (*it)->running_jobs() > 0) return false;
+  nodes_.erase(it);
+  SYNERGY_COUNTER_ADD("sched.nodes_left", 1);
+  return true;
+}
+
 void controller::register_plugin(std::shared_ptr<plugin> p) {
   plugins_.push_back(std::move(p));
 }

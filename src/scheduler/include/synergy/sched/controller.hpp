@@ -41,6 +41,17 @@ class controller {
   [[nodiscard]] node& node_at(std::size_t i) { return *nodes_.at(i); }
   [[nodiscard]] const node& node_at(std::size_t i) const { return *nodes_.at(i); }
 
+  /// Grow the inventory at runtime (SLURM dynamic nodes). The node joins
+  /// powered up with no jobs; it participates in the next allocation and
+  /// power rebalance.
+  node& add_node(node_config config);
+
+  /// Remove an idle node by name; returns false if the name is unknown or
+  /// the node still runs jobs. Node indices shift down past the removed
+  /// slot, so callers holding indices (e.g. a power manager's cap vector)
+  /// must rebalance afterwards.
+  bool remove_node(const std::string& name);
+
   /// Total accounted GPU energy across completed jobs.
   [[nodiscard]] double accounted_energy() const;
 

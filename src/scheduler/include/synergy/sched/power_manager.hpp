@@ -38,6 +38,14 @@ class power_manager {
   /// locked on every GPU so each node's worst-case draw fits its cap.
   void rebalance();
 
+  /// Same redistribution, but with per-node demand supplied by the caller
+  /// instead of read from the live boards. The cluster simulator uses this:
+  /// its boards' virtual clocks are decoupled from the simulation timeline,
+  /// so instantaneous board power is not a meaningful demand signal there.
+  /// `demand_w` must have one entry per node (throws std::invalid_argument
+  /// otherwise — e.g. a node joined or left since the demand was sampled).
+  void rebalance_with_demand(const std::vector<double>& demand_w);
+
   /// Remove all clock bounds (uncapped operation).
   void release();
 

@@ -1,6 +1,7 @@
 #include "synergy/sched/power_manager.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "synergy/telemetry/telemetry.hpp"
 
@@ -13,9 +14,18 @@ double power_manager::node_demand(const node& n) const {
 }
 
 void power_manager::rebalance() {
+  const std::size_t n_nodes = ctl_->node_count();
+  std::vector<double> demand(n_nodes, 0.0);
+  for (std::size_t i = 0; i < n_nodes; ++i) demand[i] = node_demand(ctl_->node_at(i));
+  rebalance_with_demand(demand);
+}
+
+void power_manager::rebalance_with_demand(const std::vector<double>& demand_w) {
   SYNERGY_SPAN_VAR(span, telemetry::category::sched, "sched.power_rebalance");
   SYNERGY_COUNTER_ADD("sched.power_rebalances", 1);
   const std::size_t n_nodes = ctl_->node_count();
+  if (demand_w.size() != n_nodes)
+    throw std::invalid_argument("power_manager: demand entries != node count");
   if (n_nodes == 0) return;
   span.arg("nodes", static_cast<double>(n_nodes));
   span.arg("cluster_cap_w", cluster_cap_w_);
@@ -23,11 +33,10 @@ void power_manager::rebalance() {
 
   // Pass 1: demand-aware shares. Under-demand nodes keep demand + 5%
   // headroom; the surplus pool is split among over-demand nodes.
-  std::vector<double> demand(n_nodes, 0.0);
+  const std::vector<double>& demand = demand_w;
   double surplus = 0.0;
   std::size_t hungry = 0;
   for (std::size_t i = 0; i < n_nodes; ++i) {
-    demand[i] = node_demand(ctl_->node_at(i));
     if (demand[i] * 1.05 < fair_share) surplus += fair_share - demand[i] * 1.05;
     else ++hungry;
   }

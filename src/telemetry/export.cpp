@@ -68,6 +68,8 @@ void write_chrome_trace(std::ostream& os, const std::vector<trace_event>& events
   write_metadata(os, trace_event::host_pid, "synergy host");
   os << ",\n";
   write_metadata(os, trace_event::device_pid, "gpusim device (virtual time)");
+  os << ",\n";
+  write_metadata(os, trace_event::cluster_pid, "cluster (virtual time)");
   for (const auto& e : events) {
     os << ",\n{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\"" << to_string(e.cat)
        << "\",\"ph\":\"" << e.phase << "\",\"ts\":" << json_number(e.ts_us);

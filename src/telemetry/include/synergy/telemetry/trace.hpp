@@ -57,6 +57,9 @@ struct trace_event {
   static constexpr std::size_t max_args = 4;
   static constexpr std::uint32_t host_pid = 1;
   static constexpr std::uint32_t device_pid = 2;
+  /// Cluster-simulation timeline (synergy::cluster virtual seconds): job
+  /// lifetimes and power-budget decisions render as a third process lane.
+  static constexpr std::uint32_t cluster_pid = 3;
 
   std::string name;
   category cat{category::other};

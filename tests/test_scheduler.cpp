@@ -443,3 +443,97 @@ TEST(PowerManager, IdleNodesDonateHeadroomToBusyNodes) {
   // Total never exceeds the cluster cap.
   EXPECT_LE(pm.node_caps()[0] + pm.node_caps()[1], 1000.0 + 1e-9);
 }
+
+TEST(PowerManager, CapBelowStaticFloorLocksMinimumClocks) {
+  ss::controller ctl({capable_node("gn01"), capable_node("gn02")});
+  // 400 W for the whole cluster is below even the hosts' static draw
+  // (2 x 350 W): every GPU budget collapses to zero and the clock bound
+  // must land on the lowest supported clock.
+  ss::power_manager pm{ctl, 400.0};
+  pm.rebalance();
+  ASSERT_EQ(pm.node_caps().size(), 2u);
+  EXPECT_LE(pm.node_caps()[0] + pm.node_caps()[1], 400.0 + 1e-9);
+
+  for (std::size_t ni = 0; ni < ctl.node_count(); ++ni) {
+    auto& n = ctl.node_at(ni);
+    for (const auto& dev : n.devices()) {
+      const auto binding = n.ctx()->bind(dev);
+      const auto& spec = dev.spec();
+      // Anything above the floor is rejected; the floor itself still works.
+      const auto above =
+          binding.library->set_application_clocks(sv::user_context::root(), binding.index,
+                                                  {spec.default_config().memory,
+                                                   spec.core_clocks.at(1)});
+      EXPECT_FALSE(above.ok());
+      const auto floor =
+          binding.library->set_application_clocks(sv::user_context::root(), binding.index,
+                                                  {spec.default_config().memory,
+                                                   spec.min_core_clock()});
+      EXPECT_TRUE(floor.ok());
+    }
+  }
+}
+
+TEST(PowerManager, SingleNodeClusterKeepsTheWholeCap) {
+  ss::controller ctl({capable_node("gn01")});
+  ss::power_manager pm{ctl, 950.0};
+
+  // Idle demand (350 W host + 2 idle GPUs) sits under the fair share, so
+  // the node is capped at demand x 1.05 -- never the full cap.
+  pm.rebalance();
+  ASSERT_EQ(pm.node_caps().size(), 1u);
+  EXPECT_LT(pm.node_caps()[0], 950.0);
+  EXPECT_GT(pm.node_caps()[0], ctl.node_at(0).config().host_power_w);
+
+  // A hungry single node keeps the entire cluster cap: 950 W - 350 W host
+  // leaves 300 W per GPU, so even the maximum clock fits the bound.
+  pm.rebalance_with_demand({1200.0});
+  ASSERT_EQ(pm.node_caps().size(), 1u);
+  EXPECT_DOUBLE_EQ(pm.node_caps()[0], 950.0);
+  auto& dev = ctl.node_at(0).devices()[0];
+  const auto binding = ctl.node_at(0).ctx()->bind(dev);
+  EXPECT_TRUE(binding.library
+                  ->set_application_clocks(sv::user_context::root(), binding.index,
+                                           {megahertz{877}, dev.spec().max_core_clock()})
+                  .ok());
+}
+
+TEST(PowerManager, NodeJoiningInvalidatesSampledDemand) {
+  ss::controller ctl({capable_node("gn01"), capable_node("gn02")});
+  ss::power_manager pm{ctl, 2000.0};
+
+  std::vector<double> demand{500.0, 500.0};
+  pm.rebalance_with_demand(demand);
+  ASSERT_EQ(pm.node_caps().size(), 2u);
+
+  // A node joins between sampling and rebalancing: the stale demand vector
+  // must be rejected, not silently misattributed.
+  ctl.add_node(capable_node("gn03"));
+  EXPECT_THROW(pm.rebalance_with_demand(demand), std::invalid_argument);
+
+  demand.push_back(400.0);
+  pm.rebalance_with_demand(demand);
+  EXPECT_EQ(pm.node_caps().size(), 3u);
+}
+
+TEST(PowerManager, NodeLeavingMidRebalanceRedistributes) {
+  ss::controller ctl({capable_node("gn01"), capable_node("gn02"), capable_node("gn03")});
+  ss::power_manager pm{ctl, 3000.0};
+  pm.rebalance_with_demand({900.0, 900.0, 900.0});
+  ASSERT_EQ(pm.node_caps().size(), 3u);
+
+  // Only idle nodes may leave.
+  ctl.node_at(1).add_job();
+  EXPECT_FALSE(ctl.remove_node("gn02"));
+  ctl.node_at(1).remove_job();
+  EXPECT_TRUE(ctl.remove_node("gn02"));
+  EXPECT_FALSE(ctl.remove_node("gn02"));  // already gone
+  ASSERT_EQ(ctl.node_count(), 2u);
+
+  // Stale 3-entry demand throws; a fresh sample rebalances over survivors,
+  // whose fair share grows (3000/2 instead of 3000/3).
+  EXPECT_THROW(pm.rebalance_with_demand({900.0, 900.0, 900.0}), std::invalid_argument);
+  pm.rebalance_with_demand({1400.0, 1400.0});
+  ASSERT_EQ(pm.node_caps().size(), 2u);
+  EXPECT_GT(pm.node_caps()[0], 1000.0);  // > old fair share
+}

@@ -414,8 +414,8 @@ TEST_F(telemetry_test, chrome_trace_json_round_trips) {
   const auto* events = parsed->find("traceEvents");
   ASSERT_NE(events, nullptr);
   ASSERT_EQ(events->k, json_value::kind::array);
-  // 2 process_name metadata events + 3 recorded events.
-  ASSERT_EQ(events->arr.size(), 5u);
+  // 3 process_name metadata events (host, device, cluster) + 3 recorded events.
+  ASSERT_EQ(events->arr.size(), 6u);
 
   bool found_instant = false, found_span = false, found_device = false;
   for (const auto& e : events->arr) {
@@ -458,7 +458,7 @@ TEST_F(telemetry_test, chrome_trace_json_valid_when_empty) {
   json_parser parser(json);
   const auto parsed = parser.parse();
   ASSERT_TRUE(parsed.has_value()) << json;
-  ASSERT_EQ(parsed->find("traceEvents")->arr.size(), 2u);  // metadata only
+  ASSERT_EQ(parsed->find("traceEvents")->arr.size(), 3u);  // metadata only
 }
 
 TEST_F(telemetry_test, csv_export_one_row_per_event) {

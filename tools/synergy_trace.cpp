@@ -17,6 +17,7 @@
 ///   --csv FILE        also write the events as CSV
 ///   --capacity N      trace ring capacity in events
 ///   --no-cluster      skip the scheduler job
+///   --no-cluster-sim  skip the discrete-event cluster simulation
 ///   --log-tap         mirror log records into the trace
 ///   benchmarks        subset of the suite to run (default: first 6)
 
@@ -26,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "synergy/cluster/simulator.hpp"
 #include "synergy/sched/controller.hpp"
 #include "synergy/synergy.hpp"
 #include "synergy/telemetry/export.hpp"
@@ -83,6 +85,33 @@ void run_cluster_job(const std::string& device, const sm::target& target,
   ctl.run_pending();
 }
 
+/// A small energy-aware cluster run under a facility cap, so the exported
+/// trace carries the cluster timeline (pid 3) and the summary shows the
+/// cluster metrics: queue-wait histogram, placement counters, cap
+/// rebalances.
+void run_cluster_sim(const std::string& device, const std::string& target_name,
+                     const std::vector<std::string>& names) {
+  namespace sc = synergy::cluster;
+  sc::trace_config tc;
+  tc.n_jobs = 32;
+  tc.mean_interarrival_s = 0.5;
+  tc.work_items = 1 << 22;
+  tc.target_mix = {target_name};
+  tc.kernels = names;
+  const auto trace = sc::generate_trace(tc);
+
+  sc::cluster_config cc;
+  cc.n_nodes = 4;
+  cc.gpus_per_node = 2;
+  cc.device = device;
+  // Below the all-busy worst case, so the budget manager has to rebalance.
+  cc.facility_cap_w = 3000.0;
+  sc::simulator sim{cc, sc::make_energy_aware(sc::make_suite_planner(device))};
+  const auto summary = sim.run(trace);
+  std::cout << '\n';
+  summary.print(std::cout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -91,6 +120,7 @@ int main(int argc, char** argv) {
   std::string out_file = "synergy_trace.json";
   std::string csv_file;
   bool cluster = true;
+  bool cluster_sim = true;
   std::vector<std::string> names;
 
   for (int i = 1; i < argc; ++i) {
@@ -103,11 +133,12 @@ int main(int argc, char** argv) {
       tel::trace_recorder::instance().set_capacity(
           static_cast<std::size_t>(std::stoul(argv[++i])));
     else if (arg == "--no-cluster") cluster = false;
+    else if (arg == "--no-cluster-sim") cluster_sim = false;
     else if (arg == "--log-tap") tel::install_log_tap();
     else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: synergy_trace [--device D] [--target T] [--out F] [--csv F]\n"
-                   "                     [--capacity N] [--no-cluster] [--log-tap]\n"
-                   "                     [benchmark names...]\n";
+                   "                     [--capacity N] [--no-cluster] [--no-cluster-sim]\n"
+                   "                     [--log-tap] [benchmark names...]\n";
       return 0;
     } else {
       names.push_back(arg);
@@ -123,6 +154,7 @@ int main(int argc, char** argv) {
 
     run_queue_workload(device, target, names);
     if (cluster) run_cluster_job(device, target, names);
+    if (cluster_sim) run_cluster_sim(device, target.to_string(), names);
 
     std::cout << '\n';
     tel::metrics_registry::instance().summary_table(std::cout);

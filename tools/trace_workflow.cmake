@@ -35,7 +35,9 @@ if(TELEMETRY STREQUAL "ON")
           "vendor.power_usage"               # vendor layer (cat power_sample)
           "queue.resolve_target"             # planning (cat plan)
           "gpusim device"                    # simulated-device timeline metadata
-          "sched.job")                       # scheduler layer (cat sched)
+          "sched.job"                        # scheduler layer (cat sched)
+          "cluster \\(virtual time\\)"       # cluster timeline metadata (pid 3)
+          "cluster.cap_rebalance")           # power-budget decisions (cat sched)
     if(NOT trace MATCHES "${marker}")
       message(FATAL_ERROR "trace.json is missing '${marker}' events")
     endif()
@@ -43,4 +45,11 @@ if(TELEMETRY STREQUAL "ON")
   if(NOT trace_stdout MATCHES "queue.submissions")
     message(FATAL_ERROR "metrics summary table missing from synergy_trace output")
   endif()
+  # Cluster-simulation metrics must reach the summary: the queue-wait
+  # histogram and the cap-rebalance counter.
+  foreach(metric "cluster.queue_wait_s" "cluster.cap_rebalances")
+    if(NOT trace_stdout MATCHES "${metric}")
+      message(FATAL_ERROR "metrics summary missing '${metric}'")
+    endif()
+  endforeach()
 endif()
