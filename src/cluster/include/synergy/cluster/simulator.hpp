@@ -16,17 +16,54 @@
 /// on a dedicated cluster timeline (trace_event::cluster_pid) next to the
 /// host and device lanes in tools/synergy_trace exports.
 
+#include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "synergy/cluster/engine.hpp"
+#include "synergy/common/rng.hpp"
 #include "synergy/cluster/job_trace.hpp"
 #include "synergy/cluster/policy.hpp"
 #include "synergy/cluster/power_budget.hpp"
 #include "synergy/sched/controller.hpp"
 
 namespace synergy::cluster {
+
+/// Seeded fault plan for a cluster replay (mirrors the vendor-layer
+/// fault_injector at job granularity). All rolls come from one pcg32 seeded
+/// with `seed` and consumed in deterministic event order, so a given
+/// (trace, policy, plan) triple injects a bit-identical fault pattern —
+/// the acceptance contract: same seed, same summary CSV.
+///
+/// Degradation semantics (ARCHITECTURE.md Sec. 10):
+///  - clock-set failure: the prologue's retries were exhausted, the job runs
+///    at default clocks and is flagged `clock_set_failed` (degraded sample);
+///    its energy lies between the planned-clock and default-clock cost, so
+///    a faulty run's total GPU energy is bounded by the fault-free totals of
+///    the same trace under the tuned and default-clock policies.
+///  - power-read dropout: the job's energy sample is flagged degraded
+///    (`energy_degraded`) but still accounted.
+///  - device-lost: one GPU dies mid-job; every job on that node is requeued
+///    (never lost), the node is drained and removed via
+///    sched::controller::remove_node, and the partial execution is charged
+///    to `wasted_gpu_energy_j`.
+struct fault_plan {
+  std::uint64_t seed{0xfa0175eedULL};
+  double clock_set_fail_rate{0.0};    ///< per placement
+  double power_read_dropout_rate{0.0};  ///< per completion
+  double device_lost_rate{0.0};       ///< per placement
+  /// Upper bound on nodes the plan may kill (at least one node always
+  /// survives regardless).
+  std::size_t max_node_losses{std::numeric_limits<std::size_t>::max()};
+
+  [[nodiscard]] bool enabled() const {
+    return clock_set_fail_rate > 0.0 || power_read_dropout_rate > 0.0 ||
+           device_lost_rate > 0.0;
+  }
+};
 
 struct cluster_config {
   std::size_t n_nodes{16};
@@ -39,6 +76,8 @@ struct cluster_config {
   /// models a cluster where the plugin is not deployed, so energy-aware
   /// placements run at default clocks.
   bool tag_nvgpufreq{true};
+  /// Fault injection for the replay; disabled by default.
+  fault_plan faults{};
 };
 
 /// Per-job outcome (sacct row of the simulated run).
@@ -56,6 +95,9 @@ struct job_result {
   double gpu_energy_j{0.0};
   double core_mhz{0.0};  ///< core clock the job ran at
   bool demoted{false};   ///< plan lowered by the power budget
+  bool clock_set_failed{false};  ///< ran at default clocks after clock-set faults
+  bool energy_degraded{false};   ///< power-read dropout: energy sample untrusted
+  int requeues{0};               ///< times requeued after a device-lost event
   std::string failure_reason;
 };
 
@@ -79,6 +121,12 @@ struct run_summary {
   double peak_facility_power_w{0.0};
   std::size_t cap_rebalances{0};
   std::size_t cap_demotions{0};
+  // --- fault / degradation accounting (all zero on fault-free runs) ---
+  std::size_t clock_set_faults{0};   ///< placements that fell back to default clocks
+  std::size_t degraded_samples{0};   ///< completions with an untrusted energy sample
+  std::size_t requeues{0};           ///< job requeues caused by device-lost events
+  std::size_t nodes_lost{0};         ///< nodes drained + removed after device loss
+  double wasted_gpu_energy_j{0.0};   ///< partial executions killed by device loss
 
   void print(std::ostream& os) const;
   /// One header + one row; `with_header` also writes the comment and
@@ -115,8 +163,12 @@ class simulator {
     double busy_until{0.0};
   };
 
+  void rebuild_controller();
   void arrive(const traced_job& job);
-  void complete(int job_id);
+  void complete(int job_id, std::uint64_t epoch);
+  /// A GPU on `node_name` fell off the bus: requeue every job running
+  /// there, drain and remove the node, shrink the inventory.
+  void device_lost(const std::string& node_name);
   void try_schedule();
   [[nodiscard]] cluster_view make_view() const;
   [[nodiscard]] double shadow_time(int n_gpus) const;
@@ -141,7 +193,16 @@ class simulator {
   std::vector<job_result> results_;
   struct running_job {
     int id{0};
+    /// Generation counter: a requeued job's stale completion event (which
+    /// the engine cannot cancel) no longer matches and is ignored.
+    std::uint64_t epoch{0};
     std::vector<gpu_slot> gpus;
+    traced_job job;          ///< original submission, for requeueing
+    double est{0.0};         ///< default-clock runtime estimate (queue entry)
+    double start_s{0.0};
+    double duration{0.0};
+    double energy_j{0.0};    ///< total pre-charged GPU energy
+    double avg_power_w{0.0};  ///< per-GPU busy power (budget re-registration)
   };
   std::vector<running_job> running_;
   std::vector<std::pair<double, double>> power_samples_;
@@ -149,6 +210,17 @@ class simulator {
   double facility_energy_j_{0.0};
   double busy_gpu_seconds_{0.0};
   double peak_power_w_{0.0};
+  // --- fault state (reset per run) ---
+  common::pcg32 fault_rng_{0};
+  std::uint64_t next_epoch_{0};
+  std::size_t clock_set_faults_{0};
+  std::size_t degraded_samples_{0};
+  std::size_t requeues_{0};
+  std::size_t nodes_lost_{0};
+  double wasted_energy_j_{0.0};
+  // Budget counters accumulated across budget rebuilds (node removal).
+  std::size_t budget_rebalances_base_{0};
+  std::size_t budget_demotions_base_{0};
 };
 
 /// Tuning-table-backed plan resolver for `device`: compiled once from the

@@ -39,19 +39,23 @@ std::string job_trace::to_csv() const {
 }
 
 job_trace job_trace::from_csv(const std::string& text) {
-  std::istringstream is{text};
-  std::string line;
-  if (!std::getline(is, line) || line.rfind(header_magic, 0) != 0)
+  // Quote-aware record splitting: survives CRLF line endings, a missing
+  // trailing newline, and newlines embedded in quoted job names — a getline
+  // loop would split the latter mid-record and corrupt the row.
+  const auto records = common::split_csv_records(text);
+  if (records.empty() || records.front().rfind(header_magic, 0) != 0)
     throw std::invalid_argument("job_trace: missing trace header line");
 
   job_trace trace;
-  const auto seed_pos = line.find("seed=");
+  const std::string& header = records.front();
+  const auto seed_pos = header.find("seed=");
   if (seed_pos == std::string::npos)
     throw std::invalid_argument("job_trace: header records no seed");
-  trace.seed = std::stoull(line.substr(seed_pos + 5));
+  trace.seed = std::stoull(header.substr(seed_pos + 5));
 
   bool saw_columns = false;
-  while (std::getline(is, line)) {
+  for (std::size_t ri = 1; ri < records.size(); ++ri) {
+    const std::string& line = records[ri];
     if (line.empty() || line[0] == '#') continue;
     if (!saw_columns) {  // column-header row
       saw_columns = true;

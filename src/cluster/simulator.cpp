@@ -49,7 +49,10 @@ simulator::simulator(cluster_config config, std::unique_ptr<scheduling_policy> p
   if (config_.n_nodes == 0 || config_.gpus_per_node == 0)
     throw std::invalid_argument("simulator: cluster needs nodes and GPUs");
   if (!policy_) throw std::invalid_argument("simulator: null scheduling policy");
+  rebuild_controller();
+}
 
+void simulator::rebuild_controller() {
   std::vector<sched::node_config> nodes;
   nodes.reserve(config_.n_nodes);
   for (std::size_t i = 0; i < config_.n_nodes; ++i) {
@@ -76,10 +79,12 @@ job_result& simulator::result_of(int job_id) {
 }
 
 cluster_view simulator::make_view() const {
+  // Sized off the *live* inventory: device-lost events shrink the cluster
+  // mid-run, and slots_ / the controller stay index-aligned throughout.
   cluster_view view;
   view.now = engine_.now();
-  view.nodes.reserve(config_.n_nodes);
-  for (std::size_t i = 0; i < config_.n_nodes; ++i) {
+  view.nodes.reserve(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
     const auto& n = ctl_->node_at(i);
     cluster_view::node_view nv;
     nv.name = n.name();
@@ -101,7 +106,7 @@ cluster_view simulator::make_view() const {
 
 double simulator::shadow_time(int n_gpus) const {
   std::vector<double> avail;
-  avail.reserve(config_.n_nodes * config_.gpus_per_node);
+  avail.reserve(slots_.size() * config_.gpus_per_node);
   for (const auto& node_slots : slots_)
     for (const auto& s : node_slots)
       avail.push_back(s.busy ? s.busy_until : engine_.now());
@@ -156,7 +161,7 @@ void simulator::arrive(const traced_job& job) {
                   {"n_gpus", static_cast<double>(job.n_gpus)});
 
   auto& r = result_of(job.id);
-  const std::size_t total_gpus = config_.n_nodes * config_.gpus_per_node;
+  const std::size_t total_gpus = slots_.size() * config_.gpus_per_node;
   if (static_cast<std::size_t>(job.n_gpus) > total_gpus) {
     r.state = sched::job_state::failed;
     r.failure_reason = "requests more GPUs than the cluster has";
@@ -168,7 +173,7 @@ void simulator::arrive(const traced_job& job) {
     const auto cost = model_.evaluate(
         spec_, folded_profile(job), {spec_.default_config().memory, spec_.min_core_clock()});
     const double idle_facility =
-        static_cast<double>(config_.n_nodes) *
+        static_cast<double>(slots_.size()) *
         (config_.host_power_w +
          static_cast<double>(config_.gpus_per_node) * spec_.idle_power_w);
     const double min_draw =
@@ -198,7 +203,29 @@ void simulator::start(std::size_t queue_index, const placement& pl) {
   r.state = sched::job_state::running;
   r.start_s = now;
   r.queue_wait_s = now - qj.job.submit_s;
-  const auto config = pl.config.value_or(spec_.default_config());
+  auto config = pl.config.value_or(spec_.default_config());
+
+  // Fault rolls happen in fixed order and count per placement, so a given
+  // plan seed yields the same pattern on every replay of the same trace.
+  const bool faults_on = config_.faults.enabled();
+  bool lose_device_here = false;
+  double lose_at_frac = 0.0;
+  if (faults_on) {
+    const double u_clock = fault_rng_.uniform();
+    const double u_lost = fault_rng_.uniform();
+    lose_at_frac = 0.1 + 0.8 * fault_rng_.uniform();
+    if (u_clock < config_.faults.clock_set_fail_rate &&
+        !(config == spec_.default_config())) {
+      // Persistent clock-set failure: the node prologue retried and gave
+      // up; the job runs at default clocks and its sample is degraded.
+      config = spec_.default_config();
+      r.clock_set_failed = true;
+      ++clock_set_faults_;
+      SYNERGY_COUNTER_ADD("cluster.clock_set_faults", 1);
+    }
+    lose_device_here = u_lost < config_.faults.device_lost_rate &&
+                       nodes_lost_ < config_.faults.max_node_losses && slots_.size() > 1;
+  }
   r.core_mhz = config.core.value;
 
   const auto cost = model_.evaluate(spec_, folded_profile(qj.job), config);
@@ -213,7 +240,9 @@ void simulator::start(std::size_t queue_index, const placement& pl) {
     nodes_used.insert(slot.node);
   }
   for (const std::size_t ni : nodes_used) ctl_->node_at(ni).add_job();
-  running_.push_back({qj.job.id, pl.gpus});
+  const std::uint64_t epoch = next_epoch_++;
+  running_.push_back({qj.job.id, epoch, pl.gpus, qj.job, qj.est_runtime_s, now, duration,
+                      r.gpu_energy_j, cost.avg_power.value});
 
   SYNERGY_COUNTER_ADD("cluster.placements", 1);
   SYNERGY_HISTOGRAM_OBSERVE("cluster.queue_wait_s", r.queue_wait_s, 0.0, 1.0, 10.0, 60.0,
@@ -225,14 +254,24 @@ void simulator::start(std::size_t queue_index, const placement& pl) {
 
   budget_->rebalance();
   const int id = qj.job.id;
-  engine_.after(duration, [this, id] { complete(id); });
+  engine_.after(duration, [this, id, epoch] { complete(id, epoch); });
+  if (lose_device_here) {
+    // The board dies partway through this job. Nodes are addressed by name
+    // because indices shift when earlier losses remove nodes.
+    const std::string victim = ctl_->node_at(pl.gpus.front().node).name();
+    engine_.after(duration * lose_at_frac, [this, victim] { device_lost(victim); });
+  }
 }
 
-void simulator::complete(int job_id) {
+void simulator::complete(int job_id, std::uint64_t epoch) {
   integrate_to_now();
-  const auto it = std::find_if(running_.begin(), running_.end(),
-                               [job_id](const running_job& rj) { return rj.id == job_id; });
-  if (it == running_.end()) throw std::logic_error("simulator: completion for unknown job");
+  const auto it = std::find_if(running_.begin(), running_.end(), [&](const running_job& rj) {
+    return rj.id == job_id && rj.epoch == epoch;
+  });
+  // Stale completion: the job was requeued by a device-lost event after
+  // this event was scheduled (the engine cannot cancel). Ignore it — the
+  // restarted incarnation carries a fresh epoch.
+  if (it == running_.end()) return;
 
   std::set<std::size_t> nodes_used;
   for (const auto& slot : it->gpus) {
@@ -246,6 +285,14 @@ void simulator::complete(int job_id) {
   auto& r = result_of(job_id);
   r.state = sched::job_state::completed;
   r.end_s = engine_.now();
+  if (config_.faults.enabled() &&
+      fault_rng_.uniform() < config_.faults.power_read_dropout_rate) {
+    // The end-of-job power read dropped out: the energy figure comes from
+    // the model with no sensor corroboration. Keep it, but flag it.
+    r.energy_degraded = true;
+    ++degraded_samples_;
+    SYNERGY_COUNTER_ADD("cluster.degraded_samples", 1);
+  }
   SYNERGY_COUNTER_ADD("cluster.jobs_completed", 1);
   SYNERGY_GAUGE_ADD("cluster.gpu_energy_j", r.gpu_energy_j);
 #if SYNERGY_TELEMETRY_ENABLED
@@ -259,6 +306,86 @@ void simulator::complete(int job_id) {
          {"n_gpus", static_cast<double>(r.n_gpus)},
          {"wait_s", r.queue_wait_s}});
 #endif
+
+  budget_->rebalance();
+  try_schedule();
+  sample_power();
+}
+
+void simulator::device_lost(const std::string& node_name) {
+  // Resolve by name: earlier losses shift indices. A vanished name means the
+  // node is already gone (double event) — nothing to do.
+  std::size_t ni = slots_.size();
+  for (std::size_t i = 0; i < ctl_->node_count(); ++i)
+    if (ctl_->node_at(i).name() == node_name) {
+      ni = i;
+      break;
+    }
+  if (ni >= slots_.size() || slots_.size() <= 1 ||
+      nodes_lost_ >= config_.faults.max_node_losses)
+    return;
+  integrate_to_now();
+
+  // Every job with a GPU on the dying node is preempted and requeued — jobs
+  // are never lost. Its partial execution is refunded from the pre-charged
+  // accounting and booked as wasted work instead.
+  std::vector<running_job> victims;
+  for (auto it = running_.begin(); it != running_.end();) {
+    const bool on_node = std::any_of(it->gpus.begin(), it->gpus.end(),
+                                     [ni](const gpu_slot& s) { return s.node == ni; });
+    if (on_node) {
+      victims.push_back(*it);
+      it = running_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  const double now = engine_.now();
+  for (const auto& rj : victims) {
+    std::set<std::size_t> nodes_used;
+    for (const auto& s : rj.gpus) {
+      slots_[s.node][s.gpu] = {false, 0.0};
+      budget_->gpu_idle(s.node, s.gpu);
+      nodes_used.insert(s.node);
+    }
+    for (const std::size_t n : nodes_used) ctl_->node_at(n).remove_job();
+
+    auto& r = result_of(rj.id);
+    const double elapsed = std::max(0.0, now - rj.start_s);
+    const double done = rj.duration > 0.0 ? std::min(1.0, elapsed / rj.duration) : 1.0;
+    busy_gpu_seconds_ -= (rj.duration - elapsed) * rj.job.n_gpus;
+    wasted_energy_j_ += rj.energy_j * done;
+    r.gpu_energy_j = 0.0;
+    r.state = sched::job_state::pending;
+    r.start_s = -1.0;
+    r.core_mhz = 0.0;
+    ++r.requeues;
+    ++requeues_;
+    SYNERGY_COUNTER_ADD("cluster.requeues", 1);
+    SYNERGY_INSTANT(tel::category::sched, "cluster.requeue",
+                    {"id", static_cast<double>(rj.id)},
+                    {"node", static_cast<double>(ni)});
+    queue_.push_back(queued_job{rj.job, rj.est});
+  }
+
+  // Drained of jobs, the node leaves the inventory through the controller's
+  // normal removal path; slot and budget bookkeeping shift down with it.
+  if (ctl_->remove_node(node_name)) {
+    slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(ni));
+    for (auto& rj : running_)
+      for (auto& s : rj.gpus)
+        if (s.node > ni) --s.node;
+    budget_rebalances_base_ += budget_->rebalances();
+    budget_demotions_base_ += budget_->demotions();
+    budget_ = std::make_unique<power_budget>(*ctl_, config_.facility_cap_w);
+    for (const auto& rj : running_)
+      for (const auto& s : rj.gpus) budget_->gpu_busy(s.node, s.gpu, rj.avg_power_w);
+    ++nodes_lost_;
+    SYNERGY_COUNTER_ADD("cluster.nodes_lost", 1);
+    SYNERGY_INSTANT(tel::category::sched, "cluster.device_lost",
+                    {"node", static_cast<double>(ni)},
+                    {"requeued", static_cast<double>(victims.size())});
+  }
 
   budget_->rebalance();
   try_schedule();
@@ -293,7 +420,9 @@ void simulator::try_schedule() {
 }
 
 run_summary simulator::run(const job_trace& trace) {
-  // Reset per-run state so one simulator can replay several traces.
+  // Reset per-run state so one simulator can replay several traces. A
+  // previous faulty run may have removed nodes — restore the full inventory.
+  if (ctl_->node_count() != config_.n_nodes) rebuild_controller();
   engine_ = event_engine{};
   budget_ = std::make_unique<power_budget>(*ctl_, config_.facility_cap_w);
   slots_.assign(config_.n_nodes, std::vector<slot_state>(config_.gpus_per_node));
@@ -305,6 +434,15 @@ run_summary simulator::run(const job_trace& trace) {
   facility_energy_j_ = 0.0;
   busy_gpu_seconds_ = 0.0;
   peak_power_w_ = 0.0;
+  fault_rng_ = common::pcg32{config_.faults.seed};
+  next_epoch_ = 0;
+  clock_set_faults_ = 0;
+  degraded_samples_ = 0;
+  requeues_ = 0;
+  nodes_lost_ = 0;
+  wasted_energy_j_ = 0.0;
+  budget_rebalances_base_ = 0;
+  budget_demotions_base_ = 0;
 
   results_.reserve(trace.jobs.size());
   for (const auto& job : trace.jobs) {
@@ -361,8 +499,13 @@ run_summary simulator::run(const job_trace& trace) {
                          s.makespan_s);
   }
   s.peak_facility_power_w = peak_power_w_;
-  s.cap_rebalances = budget_->rebalances();
-  s.cap_demotions = budget_->demotions();
+  s.cap_rebalances = budget_rebalances_base_ + budget_->rebalances();
+  s.cap_demotions = budget_demotions_base_ + budget_->demotions();
+  s.clock_set_faults = clock_set_faults_;
+  s.degraded_samples = degraded_samples_;
+  s.requeues = requeues_;
+  s.nodes_lost = nodes_lost_;
+  s.wasted_gpu_energy_j = wasted_energy_j_;
   return s;
 }
 
@@ -402,6 +545,14 @@ void run_summary::print(std::ostream& os) const {
   table.row({"peak facility power (W)", fmt(peak_facility_power_w, 1)});
   table.row({"cap rebalances", std::to_string(cap_rebalances)});
   table.row({"cap demotions", std::to_string(cap_demotions)});
+  if (clock_set_faults + degraded_samples + requeues + nodes_lost > 0 ||
+      wasted_gpu_energy_j > 0.0) {
+    table.row({"clock-set faults (default clocks)", std::to_string(clock_set_faults)});
+    table.row({"degraded energy samples", std::to_string(degraded_samples)});
+    table.row({"requeued jobs (device lost)", std::to_string(requeues)});
+    table.row({"nodes lost", std::to_string(nodes_lost)});
+    table.row({"wasted GPU energy (J)", fmt(wasted_gpu_energy_j, 1)});
+  }
   table.print(os);
 }
 
@@ -412,7 +563,9 @@ void run_summary::csv(std::ostream& os, bool with_header) const {
     csv.row({"policy", "seed", "jobs", "completed", "failed", "makespan_s",
              "throughput_jobs_per_h", "gpu_energy_j", "facility_energy_j", "mean_wait_s",
              "p50_wait_s", "p95_wait_s", "max_wait_s", "gpu_utilization",
-             "peak_facility_power_w", "cap_rebalances", "cap_demotions"});
+             "peak_facility_power_w", "cap_rebalances", "cap_demotions",
+             "clock_set_faults", "degraded_samples", "requeues", "nodes_lost",
+             "wasted_gpu_energy_j"});
   }
   csv.row({policy, std::to_string(seed), std::to_string(jobs), std::to_string(completed),
            std::to_string(failed), common::csv_writer::num(makespan_s),
@@ -422,7 +575,9 @@ void run_summary::csv(std::ostream& os, bool with_header) const {
            common::csv_writer::num(p50_wait_s), common::csv_writer::num(p95_wait_s),
            common::csv_writer::num(max_wait_s), common::csv_writer::num(gpu_utilization),
            common::csv_writer::num(peak_facility_power_w), std::to_string(cap_rebalances),
-           std::to_string(cap_demotions)});
+           std::to_string(cap_demotions), std::to_string(clock_set_faults),
+           std::to_string(degraded_samples), std::to_string(requeues),
+           std::to_string(nodes_lost), common::csv_writer::num(wasted_gpu_energy_j)});
 }
 
 plan_fn make_suite_planner(const std::string& device) {

@@ -40,6 +40,31 @@ std::string csv_writer::num(double v) {
   return buf;
 }
 
+std::vector<std::string> split_csv_records(const std::string& text) {
+  std::vector<std::string> records;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '"') {
+      // A doubled quote inside a quoted field toggles twice: net unchanged.
+      in_quotes = !in_quotes;
+      current += c;
+    } else if (c == '\n' && !in_quotes) {
+      if (!current.empty() && current.back() == '\r') current.pop_back();  // CRLF
+      records.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) {  // last record of a file without a trailing newline
+    if (current.back() == '\r') current.pop_back();
+    records.push_back(std::move(current));
+  }
+  return records;
+}
+
 std::vector<std::string> parse_csv_line(const std::string& line) {
   std::vector<std::string> fields;
   std::string current;

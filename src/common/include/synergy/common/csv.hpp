@@ -35,4 +35,15 @@ class csv_writer {
 /// separators and doubled quotes). Used by the model registry loader.
 [[nodiscard]] std::vector<std::string> parse_csv_line(const std::string& line);
 
+/// Split `text` into physical CSV records. Unlike a getline loop this is
+/// quote-aware and line-ending-robust:
+///  - a newline inside a quoted field does NOT end the record (csv_writer
+///    quotes such fields, so round-trips survive embedded newlines);
+///  - CRLF line endings are accepted — the terminating `\r` is stripped
+///    outside quotes but preserved inside them;
+///  - a file missing its trailing newline still yields its last record.
+/// Empty records (blank lines) are preserved so callers can skip them with
+/// their own comment/blank policy.
+[[nodiscard]] std::vector<std::string> split_csv_records(const std::string& text);
+
 }  // namespace synergy::common

@@ -27,6 +27,7 @@ enum class errc {
   already_exists,
   unavailable,
   internal,
+  device_lost,
 };
 
 /// Human-readable name of an error category.
@@ -41,6 +42,7 @@ enum class errc {
     case errc::already_exists: return "already_exists";
     case errc::unavailable: return "unavailable";
     case errc::internal: return "internal";
+    case errc::device_lost: return "device_lost";
   }
   return "unknown";
 }

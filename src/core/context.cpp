@@ -19,13 +19,28 @@ std::mutex& global_mutex() {
 
 context::context(std::vector<simsycl::device> devices, vendor::user_context user,
                  vendor::sensor_model sensor)
-    : devices_(std::move(devices)), user_(user) {
+    : context(std::move(devices), context_options{user, sensor, std::nullopt, std::nullopt}) {}
+
+context::context(std::vector<simsycl::device> devices, context_options options)
+    : devices_(std::move(devices)), user_(options.user) {
   // Group boards by vendor, preserving device order within each group.
   std::map<gpusim::vendor_kind, std::vector<std::shared_ptr<gpusim::device>>> groups;
   for (const auto& dev : devices_) groups[dev.spec().vendor].push_back(dev.board());
 
   for (auto& [kind, boards] : groups) {
-    auto lib = vendor::make_management_library(boards, sensor);
+    auto lib = vendor::make_management_library(boards, options.sensor);
+    // Assemble the stack inside-out: backend -> fault injector -> resilience.
+    // Calls through bind() always hit the outermost layer.
+    if (options.faults) {
+      auto inj = std::make_unique<vendor::fault_injector>(std::move(lib), *options.faults);
+      injectors_.push_back(inj.get());
+      lib = std::move(inj);
+    }
+    if (options.retry) {
+      auto res = std::make_unique<vendor::resilient_library>(std::move(lib), *options.retry);
+      resilience_.push_back(res.get());
+      lib = std::move(res);
+    }
     lib->init();
     const std::size_t lib_index = libraries_.size();
     for (std::size_t i = 0; i < boards.size(); ++i)
@@ -46,6 +61,12 @@ std::vector<vendor::management_library*> context::libraries() const {
   for (const auto& lib : libraries_) out.push_back(lib.get());
   return out;
 }
+
+std::vector<vendor::resilient_library*> context::resilience_layers() const {
+  return resilience_;
+}
+
+std::vector<vendor::fault_injector*> context::fault_layers() const { return injectors_; }
 
 std::shared_ptr<context> context::global() {
   std::scoped_lock lock(global_mutex());

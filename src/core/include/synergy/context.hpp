@@ -12,12 +12,26 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "simsycl/device.hpp"
+#include "synergy/vendor/fault_injector.hpp"
 #include "synergy/vendor/management_library.hpp"
+#include "synergy/vendor/resilient_library.hpp"
 
 namespace synergy {
+
+/// How the context assembles each vendor library. The default is the bare
+/// backend; `faults` inserts a fault_injector (tests, resilience sweeps) and
+/// `retry` stacks a resilient_library on top (production-shaped runs):
+/// backend -> fault_injector? -> resilient_library?  (outermost serves calls).
+struct context_options {
+  vendor::user_context user = vendor::user_context::root();
+  vendor::sensor_model sensor{};
+  std::optional<vendor::fault_config> faults;
+  std::optional<vendor::retry_policy> retry;
+};
 
 class context {
  public:
@@ -35,6 +49,10 @@ class context {
                    vendor::user_context user = vendor::user_context::root(),
                    vendor::sensor_model sensor = {});
 
+  /// Build with an explicit vendor-stack configuration (fault injection and
+  /// resilience decorators around every created library).
+  context(std::vector<simsycl::device> devices, context_options options);
+
   /// Locate the management-library binding of a device; the returned binding
   /// is invalid if the device is not part of this context.
   [[nodiscard]] binding bind(const simsycl::device& dev) const;
@@ -45,7 +63,16 @@ class context {
   [[nodiscard]] const std::vector<simsycl::device>& devices() const { return devices_; }
 
   /// All management libraries owned by this context (one per vendor).
+  /// These are the *outermost* layers of each stack.
   [[nodiscard]] std::vector<vendor::management_library*> libraries() const;
+
+  /// The resilience decorators owned by this context (empty unless built
+  /// with `context_options::retry`) — retry/breaker stats live here.
+  [[nodiscard]] std::vector<vendor::resilient_library*> resilience_layers() const;
+
+  /// The fault injectors owned by this context (empty unless built with
+  /// `context_options::faults`).
+  [[nodiscard]] std::vector<vendor::fault_injector*> fault_layers() const;
 
   /// Process-global context lazily built over the default platform with a
   /// root identity (single-node experiments assume frequency privileges, as
@@ -59,6 +86,9 @@ class context {
   std::vector<simsycl::device> devices_;
   vendor::user_context user_;
   std::vector<std::unique_ptr<vendor::management_library>> libraries_;
+  // Non-owning views into the decorator stacks (empty when not configured).
+  std::vector<vendor::resilient_library*> resilience_;
+  std::vector<vendor::fault_injector*> injectors_;
   // device board pointer -> (library index in libraries_, device index in library)
   std::map<const gpusim::device*, std::pair<std::size_t, std::size_t>> bindings_;
 };

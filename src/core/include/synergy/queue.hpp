@@ -24,6 +24,7 @@
 #include <optional>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "simsycl/sycl.hpp"
 #include "synergy/common/log.hpp"
@@ -127,6 +128,11 @@ class queue : public simsycl::queue {
     std::size_t launches{0};
     double total_time_s{0.0};
     double total_energy_j{0.0};
+    /// Launches whose requested clocks could not be applied because the
+    /// management layer kept failing (see apply_frequency): the kernel ran
+    /// at fallback clocks and its energy sample is untrustworthy as a
+    /// (kernel, config) measurement.
+    std::size_t degraded_launches{0};
   };
   [[nodiscard]] const std::map<std::string, kernel_stats>& energy_report() const {
     return stats_;
@@ -134,6 +140,22 @@ class queue : public simsycl::queue {
 
   /// Print the report as an aligned table, most energy-hungry kernel first.
   void print_energy_report(std::ostream& os) const;
+
+  /// One (kernel, clocks) energy measurement per launch — the raw material
+  /// for model training. `degraded` marks samples taken while the requested
+  /// clocks could not be applied; trainers must use training_samples(),
+  /// which excludes them (degradation contract, ARCHITECTURE.md Sec. 10).
+  struct energy_sample {
+    std::string kernel;
+    common::frequency_config config;  ///< clocks the kernel actually ran at
+    double time_s{0.0};
+    double energy_j{0.0};
+    bool degraded{false};
+  };
+  [[nodiscard]] const std::vector<energy_sample>& samples() const { return samples_; }
+
+  /// Samples safe to feed model training: every degraded sample excluded.
+  [[nodiscard]] std::vector<energy_sample> training_samples() const;
 
   /// Sensor-limited estimate of kernel energy: emulates polling the board
   /// power sensor every `interval_s` (15 ms granularity in Sec. 4.4);
@@ -155,6 +177,11 @@ class queue : public simsycl::queue {
 
   /// Frequency changes rejected by the vendor library (permissions etc.).
   [[nodiscard]] std::size_t frequency_change_failures() const { return freq_failures_; }
+
+  /// Submissions whose clocks could not be applied due to *persistent
+  /// infrastructure failure* (retries exhausted / breaker open): the queue
+  /// fell back toward default clocks and flagged the sample degraded.
+  [[nodiscard]] std::size_t degraded_submissions() const { return degraded_submissions_; }
 
   /// Target resolutions served from the per-kernel plan cache.
   [[nodiscard]] std::size_t plan_cache_hits() const { return plan_cache_hits_; }
@@ -181,8 +208,11 @@ class queue : public simsycl::queue {
   common::seconds created_at_{0.0};
   std::size_t freq_failures_{0};
   std::size_t plan_cache_hits_{0};
+  std::size_t degraded_submissions_{0};
+  bool degrade_next_{false};  ///< set by apply_frequency, consumed per submission
   std::map<std::pair<std::string, std::string>, common::frequency_config> plan_cache_;
   std::map<std::string, kernel_stats> stats_;
+  std::vector<energy_sample> samples_;
 };
 
 }  // namespace synergy

@@ -105,6 +105,20 @@ void queue::apply_frequency(frequency_config config) {
     ++freq_failures_;
     SYNERGY_COUNTER_ADD("queue.freq_change_failures", 1);
     common::log_warn("synergy::queue frequency change rejected: ", st.err().to_string());
+    // Degradation contract (ARCHITECTURE.md Sec. 10): a *persistent
+    // infrastructure* failure — retries exhausted or breaker open
+    // (unavailable/internal) or the board gone (device_lost) — means the
+    // device may be at arbitrary clocks. Fall back toward driver defaults
+    // (best effort) and flag the sample so trainers exclude it. Policy
+    // rejections (permissions, invalid clocks) keep the old behaviour: the
+    // kernel runs at the current, known clocks and the sample stays valid.
+    const auto code = st.err().code;
+    if (code == common::errc::unavailable || code == common::errc::internal ||
+        code == common::errc::device_lost) {
+      (void)binding_.library->reset_application_clocks(ctx_->user(), binding_.index);
+      degrade_next_ = true;
+      SYNERGY_COUNTER_ADD("queue.degraded_submissions", 1);
+    }
   }
 }
 
@@ -113,6 +127,7 @@ simsycl::event queue::submit_recorded(simsycl::handler& h,
                                       std::optional<metrics::target> target) {
   SYNERGY_SPAN_VAR(span, tel::category::kernel, "queue.submit");
   SYNERGY_COUNTER_ADD("queue.submissions", 1);
+  degrade_next_ = false;
   if (h.has_launch()) {
     span.str("kernel", h.info().name);
     // Per-submission settings take precedence over the queue policy.
@@ -132,6 +147,14 @@ simsycl::event queue::submit_recorded(simsycl::handler& h,
     ++s.launches;
     s.total_time_s += event.record().cost.time.value;
     s.total_energy_j += event.record().cost.energy.value;
+    if (degrade_next_) {
+      ++s.degraded_launches;
+      ++degraded_submissions_;
+      span.arg("degraded", 1.0);
+    }
+    samples_.push_back({event.kernel_name(), event.record().config,
+                        event.record().cost.time.value, event.record().cost.energy.value,
+                        degrade_next_});
     span.arg("sim_time_ms", event.record().cost.time.value * 1e3);
     span.arg("energy_j", event.record().cost.energy.value);
     SYNERGY_HISTOGRAM_OBSERVE("queue.kernel_time_ms", event.record().cost.time.value * 1e3,
@@ -217,6 +240,14 @@ void queue::print_energy_report(std::ostream& os) const {
                common::text_table::fmt(s.total_energy_j, 4),
                common::text_table::fmt(total > 0 ? s.total_energy_j / total * 100.0 : 0.0, 1)});
   table.print(os);
+}
+
+std::vector<queue::energy_sample> queue::training_samples() const {
+  std::vector<energy_sample> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_)
+    if (!s.degraded) out.push_back(s);
+  return out;
 }
 
 frequency_config queue::current_clocks() const {

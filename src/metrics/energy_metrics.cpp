@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <stdexcept>
 
@@ -33,10 +34,22 @@ target target::parse(const std::string& name) {
   if (name == "MIN_ENERGY") return min_energy();
   if (name == "MIN_EDP") return min_edp();
   if (name == "MIN_ED2P") return min_ed2p();
+  // std::stod alone is too permissive here: it accepts trailing garbage
+  // ("ES_25x"), consumes an empty suffix as an exception with a useless
+  // message ("ES_"), and lets "nan"/"inf" through the range check.
   auto parse_percent = [&](std::size_t prefix_len) {
-    const double p = std::stod(name.substr(prefix_len));
-    if (p <= 0.0 || p > 100.0)
-      throw std::invalid_argument("target percent out of (0,100]: " + name);
+    const std::string digits = name.substr(prefix_len);
+    if (digits.empty())
+      throw std::invalid_argument("energy target missing percent value: " + name);
+    const char* begin = digits.c_str();
+    char* end = nullptr;
+    const double p = std::strtod(begin, &end);
+    if (end == begin || *end != '\0')
+      throw std::invalid_argument("energy target percent is not a number: " + name);
+    if (!std::isfinite(p))
+      throw std::invalid_argument("energy target percent must be finite: " + name);
+    if (p < 0.0 || p > 100.0)
+      throw std::invalid_argument("target percent out of [0,100]: " + name);
     return p;
   };
   if (name.rfind("ES_", 0) == 0) return energy_saving(parse_percent(3));

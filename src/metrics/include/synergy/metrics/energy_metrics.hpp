@@ -73,7 +73,12 @@ struct target {
   };
 
   kind k{kind::min_edp};
-  double percent{0.0};  ///< only for ES_x / PL_x, in (0, 100]
+  /// Only for ES_x / PL_x, in [0, 100]. The degenerate ends are well
+  /// defined: ES_0 / PL_0 pick the best configuration not worse than the
+  /// default (energy resp. time budget collapses onto the default point),
+  /// ES_100 picks the fastest minimum-energy configuration, PL_100 allows
+  /// the full slowdown to the minimum-energy frequency.
+  double percent{0.0};
 
   [[nodiscard]] static target max_perf() { return {kind::max_perf, 0.0}; }
   [[nodiscard]] static target min_energy() { return {kind::min_energy, 0.0}; }
@@ -89,7 +94,9 @@ struct target {
   /// Paper-style name: "MIN_EDP", "ES_25", "PL_50", ...
   [[nodiscard]] std::string to_string() const;
 
-  /// Inverse of to_string; throws std::invalid_argument on unknown names.
+  /// Inverse of to_string; throws std::invalid_argument on unknown names,
+  /// on ES_/PL_ with a missing, non-numeric, non-finite, or out-of-range
+  /// percent ("ES_", "ES_abc", "ES_150", "PL_-5"), and on trailing garbage.
   [[nodiscard]] static target parse(const std::string& name);
 
   friend bool operator==(const target&, const target&) = default;

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <fstream>
 #include <ostream>
+#include <string>
+#include <string_view>
 
 namespace synergy::telemetry {
 
@@ -35,7 +37,20 @@ void write_args(std::ostream& os, const trace_event& e) {
 
 void write_metadata(std::ostream& os, std::uint32_t pid, const char* name) {
   os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
-     << ",\"tid\":0,\"args\":{\"name\":\"" << name << "\"}}";
+     << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+}
+
+/// RFC-4180 quoting for the free-form CSV columns: inner quotes are
+/// doubled, so names containing `"`, `,` or newlines survive a round trip
+/// through any conforming CSV parser.
+std::string csv_quote(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
 }
 
 }  // namespace
@@ -88,16 +103,23 @@ void write_csv(std::ostream& os, const std::vector<trace_event>& events) {
     os << json_number(e.ts_us) << ',' << json_number(e.dur_us) << ',' << e.pid << ','
        << e.tid << ',' << to_string(e.cat) << ',' << e.phase << ',';
     // CSV-quote the free-form columns; args are key=value joined with ';'.
-    os << '"' << e.name << "\",\"";
+    // Quoting must double inner quotes, or a span name like `foo "bar"`
+    // silently corrupts every column after it for CSV consumers.
+    os << csv_quote(e.name) << ',';
+    std::string args;
     for (std::uint8_t i = 0; i < e.n_args; ++i) {
-      if (i) os << ';';
-      os << e.args[i].key << '=' << json_number(e.args[i].value);
+      if (i) args += ';';
+      args += e.args[i].key;
+      args += '=';
+      args += json_number(e.args[i].value);
     }
     if (e.str_key != nullptr) {
-      if (e.n_args) os << ';';
-      os << e.str_key << '=' << e.str_value;
+      if (e.n_args) args += ';';
+      args += e.str_key;
+      args += '=';
+      args += e.str_value;
     }
-    os << "\"\n";
+    os << csv_quote(args) << '\n';
   }
 }
 

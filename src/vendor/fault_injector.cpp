@@ -1,0 +1,261 @@
+#include "synergy/vendor/fault_injector.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "synergy/telemetry/telemetry.hpp"
+
+namespace synergy::vendor {
+
+using common::errc;
+using common::error;
+using common::frequency_config;
+using common::joules;
+using common::megahertz;
+using common::result;
+using common::status;
+using common::watts;
+
+const char* to_string(fault_op op) noexcept {
+  switch (op) {
+    case fault_op::clock_set: return "clock_set";
+    case fault_op::power_read: return "power_read";
+    case fault_op::energy_read: return "energy_read";
+    case fault_op::query: return "query";
+    case fault_op::any: return "any";
+  }
+  return "unknown";
+}
+
+const char* to_string(fault_kind kind) noexcept {
+  switch (kind) {
+    case fault_kind::transient: return "transient";
+    case fault_kind::clock_reject: return "clock_reject";
+    case fault_kind::privilege_lost: return "privilege_lost";
+    case fault_kind::dropout: return "dropout";
+    case fault_kind::stale_power: return "stale_power";
+    case fault_kind::device_lost: return "device_lost";
+  }
+  return "unknown";
+}
+
+fault_injector::fault_injector(std::unique_ptr<management_library> inner, fault_config config)
+    : inner_(std::move(inner)), config_(std::move(config)), rng_(config_.seed) {
+  if (!inner_) throw std::invalid_argument("fault_injector: null inner library");
+  schedule_fired_.assign(config_.schedule.size(), false);
+}
+
+void fault_injector::note([[maybe_unused]] fault_op op, [[maybe_unused]] std::size_t index,
+                          fault_kind kind) const {
+  ++injected_total_;
+  ++injected_[kind];
+  SYNERGY_COUNTER_ADD("fault.injected", 1);
+#if SYNERGY_TELEMETRY_ENABLED
+  // Per-kind counter name is dynamic, so bypass the static-handle macro.
+  if (telemetry::enabled())
+    telemetry::metrics_registry::instance()
+        .get_counter(std::string("fault.") + to_string(kind))
+        .add(1);
+#endif
+  SYNERGY_INSTANT(telemetry::category::other, "fault.injected",
+                  {"device", static_cast<double>(index)},
+                  {"op", static_cast<double>(static_cast<int>(op))},
+                  {"kind", static_cast<double>(static_cast<int>(kind))});
+}
+
+fault_injector::decision fault_injector::decide(fault_op op, std::size_t index) const {
+  std::scoped_lock lock(mutex_);
+  const std::size_t nth = call_counts_[{index, op}]++;
+  ++op_calls_[op];
+
+  const auto make_error = [&](fault_kind kind) -> decision {
+    note(op, index, kind);
+    switch (kind) {
+      case fault_kind::transient:
+        return {error{errc::unavailable, "injected transient fault"}, false};
+      case fault_kind::clock_reject:
+        return {error{errc::invalid_argument, "injected clock-set rejection"}, false};
+      case fault_kind::privilege_lost:
+        return {error{errc::no_permission, "injected privilege revocation"}, false};
+      case fault_kind::dropout:
+        return {error{errc::unavailable, "injected sensor dropout"}, false};
+      case fault_kind::stale_power:
+        return {std::nullopt, true};
+      case fault_kind::device_lost:
+        lost_.insert(index);
+        return {error{errc::device_lost,
+                      "injected device-lost: device " + std::to_string(index) +
+                          " has fallen off the bus"},
+                false};
+    }
+    return {};
+  };
+
+  // A lost device stays lost: every later call fails the same way, without
+  // consuming randomness (so the fault pattern elsewhere is unaffected).
+  if (lost_.count(index) != 0)
+    return {error{errc::device_lost,
+                  "device " + std::to_string(index) + " is lost"},
+            false};
+
+  // Scripted one-shots take precedence over the probabilistic plan.
+  for (std::size_t i = 0; i < config_.schedule.size(); ++i) {
+    const auto& s = config_.schedule[i];
+    if (schedule_fired_[i]) continue;
+    if (s.device != index || s.call_index != nth) continue;
+    if (s.op != fault_op::any && s.op != op) continue;
+    schedule_fired_[i] = true;
+    return make_error(s.kind);
+  }
+
+  // Device-lost can strike on any faultable operation.
+  if (op != fault_op::query && config_.device_lost_rate > 0.0 &&
+      rng_.uniform() < config_.device_lost_rate)
+    return make_error(fault_kind::device_lost);
+
+  switch (op) {
+    case fault_op::clock_set:
+      if (config_.privilege_revocation_rate > 0.0 &&
+          rng_.uniform() < config_.privilege_revocation_rate)
+        return make_error(fault_kind::privilege_lost);
+      if (config_.clock_set_reject_rate > 0.0 &&
+          rng_.uniform() < config_.clock_set_reject_rate)
+        return make_error(fault_kind::clock_reject);
+      if (config_.clock_set_transient_rate > 0.0 &&
+          rng_.uniform() < config_.clock_set_transient_rate)
+        return make_error(fault_kind::transient);
+      break;
+    case fault_op::power_read:
+      if (config_.power_read_dropout_rate > 0.0 &&
+          rng_.uniform() < config_.power_read_dropout_rate)
+        return make_error(fault_kind::dropout);
+      if (config_.stale_power_rate > 0.0 && rng_.uniform() < config_.stale_power_rate)
+        return make_error(fault_kind::stale_power);
+      break;
+    case fault_op::energy_read:
+    case fault_op::query:
+    case fault_op::any:
+      break;
+  }
+  return {};
+}
+
+std::string fault_injector::backend_name() const { return inner_->backend_name(); }
+common::status fault_injector::init() { return inner_->init(); }
+common::status fault_injector::shutdown() { return inner_->shutdown(); }
+std::size_t fault_injector::device_count() const { return inner_->device_count(); }
+
+result<std::string> fault_injector::device_name(std::size_t index) const {
+  if (auto d = decide(fault_op::query, index); d.fail) return *d.fail;
+  return inner_->device_name(index);
+}
+
+result<std::vector<megahertz>> fault_injector::supported_memory_clocks(std::size_t index) const {
+  if (auto d = decide(fault_op::query, index); d.fail) return *d.fail;
+  return inner_->supported_memory_clocks(index);
+}
+
+result<std::vector<megahertz>> fault_injector::supported_core_clocks(
+    std::size_t index, megahertz memory_clock) const {
+  if (auto d = decide(fault_op::query, index); d.fail) return *d.fail;
+  return inner_->supported_core_clocks(index, memory_clock);
+}
+
+result<frequency_config> fault_injector::application_clocks(std::size_t index) const {
+  if (auto d = decide(fault_op::query, index); d.fail) return *d.fail;
+  return inner_->application_clocks(index);
+}
+
+status fault_injector::set_application_clocks(const user_context& caller, std::size_t index,
+                                              frequency_config config) {
+  if (auto d = decide(fault_op::clock_set, index); d.fail) return *d.fail;
+  return inner_->set_application_clocks(caller, index, config);
+}
+
+status fault_injector::reset_application_clocks(const user_context& caller, std::size_t index) {
+  if (auto d = decide(fault_op::clock_set, index); d.fail) return *d.fail;
+  return inner_->reset_application_clocks(caller, index);
+}
+
+status fault_injector::set_api_restriction(const user_context& caller, std::size_t index,
+                                           restricted_api api, bool restricted) {
+  if (auto d = decide(fault_op::query, index); d.fail) return *d.fail;
+  return inner_->set_api_restriction(caller, index, api, restricted);
+}
+
+result<bool> fault_injector::api_restricted(std::size_t index, restricted_api api) const {
+  if (auto d = decide(fault_op::query, index); d.fail) return *d.fail;
+  return inner_->api_restricted(index, api);
+}
+
+status fault_injector::set_clock_bounds(const user_context& caller, std::size_t index,
+                                        megahertz lo, megahertz hi) {
+  if (auto d = decide(fault_op::query, index); d.fail) return *d.fail;
+  return inner_->set_clock_bounds(caller, index, lo, hi);
+}
+
+status fault_injector::clear_clock_bounds(const user_context& caller, std::size_t index) {
+  if (auto d = decide(fault_op::query, index); d.fail) return *d.fail;
+  return inner_->clear_clock_bounds(caller, index);
+}
+
+result<watts> fault_injector::power_usage(std::size_t index) const {
+  const auto d = decide(fault_op::power_read, index);
+  if (d.fail) return *d.fail;
+  if (d.stale) {
+    std::scoped_lock lock(mutex_);
+    // Serve the previous reading if one exists (a sensor that stopped
+    // refreshing); with no history yet, fall through to a live read.
+    if (const auto it = last_power_.find(index); it != last_power_.end()) return it->second;
+  }
+  auto r = inner_->power_usage(index);
+  if (r.has_value()) {
+    std::scoped_lock lock(mutex_);
+    last_power_[index] = r.value();
+  }
+  return r;
+}
+
+result<joules> fault_injector::total_energy(std::size_t index) const {
+  if (auto d = decide(fault_op::energy_read, index); d.fail) return *d.fail;
+  return inner_->total_energy(index);
+}
+
+std::shared_ptr<gpusim::device> fault_injector::board(std::size_t index) const {
+  return inner_->board(index);
+}
+
+void fault_injector::set_config(fault_config config) {
+  std::scoped_lock lock(mutex_);
+  config_ = std::move(config);
+  schedule_fired_.assign(config_.schedule.size(), false);
+}
+
+void fault_injector::lose_device(std::size_t index) {
+  std::scoped_lock lock(mutex_);
+  lost_.insert(index);
+}
+
+bool fault_injector::device_lost(std::size_t index) const {
+  std::scoped_lock lock(mutex_);
+  return lost_.count(index) != 0;
+}
+
+std::size_t fault_injector::injected() const {
+  std::scoped_lock lock(mutex_);
+  return injected_total_;
+}
+
+std::size_t fault_injector::injected(fault_kind kind) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = injected_.find(kind);
+  return it == injected_.end() ? 0 : it->second;
+}
+
+std::size_t fault_injector::calls(fault_op op) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = op_calls_.find(op);
+  return it == op_calls_.end() ? 0 : it->second;
+}
+
+}  // namespace synergy::vendor

@@ -1,0 +1,156 @@
+#pragma once
+
+/// \file fault_injector.hpp
+/// Deterministic fault injection for vendor management libraries.
+///
+/// Production management stacks misbehave: NVML calls transiently fail on
+/// busy nodes, sensors return stale or no data, privileges get revoked
+/// between prologue and job, and occasionally a board falls off the bus
+/// (paper Sec. 4.4 and 7.1 describe exactly these failure surfaces on
+/// Marconi-100). The fault injector wraps any `management_library` and
+/// reproduces those behaviours on demand so the resilience layer and the
+/// degradation paths above it can be tested, swept, and regression-pinned.
+///
+/// Faults are drawn from an explicitly seeded pcg32, so a given seed and
+/// call sequence injects a bit-identical fault pattern on every run — the
+/// same reproducibility contract as the rest of the repository. One-shot
+/// faults can also be scripted at an exact (operation, device, call-index)
+/// triple, which is how tests pin "the 3rd clock set on device 1 fails".
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "synergy/common/rng.hpp"
+#include "synergy/vendor/management_library.hpp"
+
+namespace synergy::vendor {
+
+/// Call-site classes faults can target.
+enum class fault_op : std::uint8_t {
+  clock_set,    ///< set/reset application clocks
+  power_read,   ///< power_usage
+  energy_read,  ///< total_energy
+  query,        ///< name/clock-table/restriction queries and bound sets
+  any,          ///< schedule wildcard: matches every operation
+};
+[[nodiscard]] const char* to_string(fault_op op) noexcept;
+
+/// Failure shapes the injector can produce.
+enum class fault_kind : std::uint8_t {
+  transient,       ///< errc::unavailable; succeeds if retried
+  clock_reject,    ///< errc::invalid_argument from the clock-set path
+  privilege_lost,  ///< errc::no_permission (revoked between calls)
+  dropout,         ///< sensor read fails with errc::unavailable
+  stale_power,     ///< power read silently returns the previous value
+  device_lost,     ///< errc::device_lost; permanent for that device
+};
+[[nodiscard]] const char* to_string(fault_kind kind) noexcept;
+
+/// One scripted fault: fires on the `call_index`-th (0-based) call of `op`
+/// on `device`, once.
+struct scripted_fault {
+  fault_op op{fault_op::any};
+  std::size_t device{0};
+  std::size_t call_index{0};
+  fault_kind kind{fault_kind::transient};
+};
+
+/// Injection plan: per-call-site probabilities plus a scripted schedule.
+/// All rates are per matching call, in [0, 1].
+struct fault_config {
+  std::uint64_t seed{0x5fa017u};
+  double clock_set_transient_rate{0.0};
+  double clock_set_reject_rate{0.0};
+  double privilege_revocation_rate{0.0};  ///< clock sets fail no_permission
+  double power_read_dropout_rate{0.0};
+  double stale_power_rate{0.0};
+  double device_lost_rate{0.0};  ///< rolled on every faultable call
+  std::vector<scripted_fault> schedule;
+
+  [[nodiscard]] bool enabled() const {
+    return clock_set_transient_rate > 0.0 || clock_set_reject_rate > 0.0 ||
+           privilege_revocation_rate > 0.0 || power_read_dropout_rate > 0.0 ||
+           stale_power_rate > 0.0 || device_lost_rate > 0.0 || !schedule.empty();
+  }
+};
+
+/// Decorator that injects faults in front of any management library. A lost
+/// device stays lost for the lifetime of the injector (like a fallen-off-bus
+/// board staying gone until a node reboot). Thread-safe like the backends.
+class fault_injector final : public management_library {
+ public:
+  fault_injector(std::unique_ptr<management_library> inner, fault_config config);
+
+  [[nodiscard]] std::string backend_name() const override;
+  common::status init() override;
+  common::status shutdown() override;
+  [[nodiscard]] std::size_t device_count() const override;
+  [[nodiscard]] common::result<std::string> device_name(std::size_t index) const override;
+  [[nodiscard]] common::result<std::vector<common::megahertz>> supported_memory_clocks(
+      std::size_t index) const override;
+  [[nodiscard]] common::result<std::vector<common::megahertz>> supported_core_clocks(
+      std::size_t index, common::megahertz memory_clock) const override;
+  [[nodiscard]] common::result<common::frequency_config> application_clocks(
+      std::size_t index) const override;
+  common::status set_application_clocks(const user_context& caller, std::size_t index,
+                                        common::frequency_config config) override;
+  common::status reset_application_clocks(const user_context& caller,
+                                          std::size_t index) override;
+  common::status set_api_restriction(const user_context& caller, std::size_t index,
+                                     restricted_api api, bool restricted) override;
+  [[nodiscard]] common::result<bool> api_restricted(std::size_t index,
+                                                    restricted_api api) const override;
+  common::status set_clock_bounds(const user_context& caller, std::size_t index,
+                                  common::megahertz lo, common::megahertz hi) override;
+  common::status clear_clock_bounds(const user_context& caller, std::size_t index) override;
+  [[nodiscard]] common::result<common::watts> power_usage(std::size_t index) const override;
+  [[nodiscard]] common::result<common::joules> total_energy(std::size_t index) const override;
+  [[nodiscard]] std::shared_ptr<gpusim::device> board(std::size_t index) const override;
+
+  /// Replace the injection plan at runtime (tests flip rates mid-scenario;
+  /// already-lost devices stay lost).
+  void set_config(fault_config config);
+
+  /// Force a device-lost event from outside the probabilistic plan.
+  void lose_device(std::size_t index);
+  [[nodiscard]] bool device_lost(std::size_t index) const;
+
+  /// Total faults injected so far / broken down by kind.
+  [[nodiscard]] std::size_t injected() const;
+  [[nodiscard]] std::size_t injected(fault_kind kind) const;
+
+  /// Calls observed per operation class (fired or not).
+  [[nodiscard]] std::size_t calls(fault_op op) const;
+
+  [[nodiscard]] management_library& inner() { return *inner_; }
+
+ private:
+  struct decision {
+    std::optional<common::error> fail;
+    bool stale{false};
+  };
+
+  /// Count the call, consult the schedule and the rates, and decide what —
+  /// if anything — to inject. Mutates RNG/counters, hence const + mutable.
+  decision decide(fault_op op, std::size_t index) const;
+  void note(fault_op op, std::size_t index, fault_kind kind) const;
+
+  std::unique_ptr<management_library> inner_;
+  mutable std::mutex mutex_;
+  fault_config config_;
+  mutable common::pcg32 rng_;
+  mutable std::map<std::pair<std::size_t, fault_op>, std::size_t> call_counts_;
+  mutable std::map<fault_op, std::size_t> op_calls_;
+  mutable std::map<fault_kind, std::size_t> injected_;
+  mutable std::size_t injected_total_{0};
+  mutable std::set<std::size_t> lost_;
+  mutable std::vector<bool> schedule_fired_;
+  mutable std::map<std::size_t, common::watts> last_power_;
+};
+
+}  // namespace synergy::vendor

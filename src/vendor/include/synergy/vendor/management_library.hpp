@@ -17,6 +17,7 @@
 ///  - power reads go through a sensor model with a finite update interval
 ///    and averaging window (paper Sec. 4.4: ~15 ms sampling granularity).
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <string>
@@ -48,6 +49,14 @@ enum class restricted_api {
 /// the average power over the trailing `window` (Burtscher et al. measured
 /// ~15 ms effective granularity on data-centre GPUs; short kernels therefore
 /// cannot be profiled accurately — paper Sec. 4.4).
+///
+/// Guaranteed read behaviour, regardless of the parameters:
+///  - before one full `window` has elapsed, the average covers only the
+///    history that exists ([0, read time]) — no division by zero;
+///  - a zero (or negative) `window` or `update_interval`, or a read at
+///    virtual time <= 0, degrades to the instantaneous model power;
+///  - a rewound / non-monotonic virtual clock can never produce a negative
+///    averaging span, and readings are clamped to >= 0 W.
 struct sensor_model {
   common::seconds update_interval{0.005};
   common::seconds window{0.015};
@@ -111,6 +120,9 @@ class management_library {
   virtual common::status clear_clock_bounds(const user_context& caller, std::size_t index) = 0;
 
   /// Sensor-modelled board power draw at the device's current virtual time.
+  /// Emulated backends guarantee the edge-case behaviour documented on
+  /// `sensor_model`: early reads, zero-width windows, and non-monotonic
+  /// virtual time all yield a finite, non-negative reading.
   [[nodiscard]] virtual common::result<common::watts> power_usage(std::size_t index) const = 0;
 
   /// Cumulative energy counter in joules (nvmlDeviceGetTotalEnergyConsumption);
@@ -151,13 +163,16 @@ class management_library_base : public management_library {
   /// vs. rejections in the metrics registry.
   void record_clock_set(std::size_t index, common::frequency_config config,
                         const common::status& st) const;
-  [[nodiscard]] bool initialized() const { return initialized_; }
+  [[nodiscard]] bool initialized() const { return initialized_.load(std::memory_order_acquire); }
   [[nodiscard]] const sensor_model& sensor() const { return sensor_; }
 
  private:
   std::vector<std::shared_ptr<gpusim::device>> boards_;
   sensor_model sensor_;
-  bool initialized_{false};
+  /// Atomic: one library session is shared by every thread of a node, and
+  /// init/shutdown may race with queries (use-after-shutdown must fail with
+  /// `uninitialized`, never read torn state).
+  std::atomic<bool> initialized_{false};
 };
 
 /// Create the appropriate emulated backend (NVML for NVIDIA boards, ROCm SMI

@@ -1,0 +1,136 @@
+#pragma once
+
+/// \file resilient_library.hpp
+/// Retry / backoff / circuit-breaker decorator for management libraries.
+///
+/// The production-hardening layer the paper's deployment sections imply: a
+/// clock set or power read that fails with a *retryable* category
+/// (errc::unavailable, errc::internal) is retried with exponential backoff
+/// plus deterministic jitter, bounded both by an attempt count and by a
+/// per-call cumulative backoff budget (the "timeout"). A device that keeps
+/// failing trips a per-device circuit breaker: further calls fail fast with
+/// errc::unavailable until a cooldown number of calls has passed, after
+/// which one half-open probe is let through and, if it succeeds, closes the
+/// breaker again.
+///
+/// Backoff is charged to the device's *virtual* timeline (advance_idle), the
+/// emulation equivalent of the management thread sleeping between attempts —
+/// so retries cost simulated wall time and energy exactly like the real
+/// thing, and remain bit-reproducible.
+///
+/// Permission, argument, capability and device-lost failures are never
+/// retried: retrying cannot fix them and on a real cluster only hammers the
+/// driver. Callers see the original error and degrade (synergy::queue falls
+/// back to default clocks, the cluster simulator requeues and removes the
+/// node).
+///
+/// Everything is counted in the telemetry metrics registry
+/// (resilience.retries / exhausted / breaker_opens / fail_fast) and retried
+/// calls appear as `resilience.retry` instants on the trace timeline.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "synergy/common/rng.hpp"
+#include "synergy/vendor/management_library.hpp"
+
+namespace synergy::vendor {
+
+/// Tunables of the resilience layer. Defaults are deliberately mild: four
+/// attempts, sub-millisecond first backoff, a 100 ms per-call budget.
+struct retry_policy {
+  int max_attempts{4};              ///< total attempts per call (>= 1)
+  double base_backoff_s{0.0005};    ///< backoff before the 2nd attempt
+  double backoff_multiplier{2.0};   ///< exponential growth per attempt
+  double max_backoff_s{0.02};       ///< ceiling per individual backoff
+  double jitter{0.5};               ///< +/- fraction applied to each backoff
+  double call_timeout_s{0.1};       ///< cumulative backoff budget per call
+  int breaker_threshold{8};         ///< consecutive failures that open the breaker
+  int breaker_cooldown_calls{16};   ///< fail-fast calls before a half-open probe
+  std::uint64_t seed{0xb0ff5eedULL};  ///< jitter RNG seed
+};
+
+/// Decorator adding bounded retry and per-device circuit breaking to any
+/// management library (typically stacked on top of a fault_injector in
+/// tests and sweeps, and directly on a backend in production-shaped runs).
+class resilient_library final : public management_library {
+ public:
+  explicit resilient_library(std::unique_ptr<management_library> inner,
+                             retry_policy policy = {});
+
+  [[nodiscard]] std::string backend_name() const override;
+  common::status init() override;
+  common::status shutdown() override;
+  [[nodiscard]] std::size_t device_count() const override;
+  [[nodiscard]] common::result<std::string> device_name(std::size_t index) const override;
+  [[nodiscard]] common::result<std::vector<common::megahertz>> supported_memory_clocks(
+      std::size_t index) const override;
+  [[nodiscard]] common::result<std::vector<common::megahertz>> supported_core_clocks(
+      std::size_t index, common::megahertz memory_clock) const override;
+  [[nodiscard]] common::result<common::frequency_config> application_clocks(
+      std::size_t index) const override;
+  common::status set_application_clocks(const user_context& caller, std::size_t index,
+                                        common::frequency_config config) override;
+  common::status reset_application_clocks(const user_context& caller,
+                                          std::size_t index) override;
+  common::status set_api_restriction(const user_context& caller, std::size_t index,
+                                     restricted_api api, bool restricted) override;
+  [[nodiscard]] common::result<bool> api_restricted(std::size_t index,
+                                                    restricted_api api) const override;
+  common::status set_clock_bounds(const user_context& caller, std::size_t index,
+                                  common::megahertz lo, common::megahertz hi) override;
+  common::status clear_clock_bounds(const user_context& caller, std::size_t index) override;
+  [[nodiscard]] common::result<common::watts> power_usage(std::size_t index) const override;
+  [[nodiscard]] common::result<common::joules> total_energy(std::size_t index) const override;
+  [[nodiscard]] std::shared_ptr<gpusim::device> board(std::size_t index) const override;
+
+  /// True when `code` is worth retrying (infrastructure hiccups, not policy
+  /// or permanent failures).
+  [[nodiscard]] static bool retryable(common::errc code) {
+    return code == common::errc::unavailable || code == common::errc::internal;
+  }
+
+  // --- observability -------------------------------------------------------
+  [[nodiscard]] std::size_t retries() const;        ///< individual re-attempts
+  [[nodiscard]] std::size_t exhausted() const;      ///< calls that gave up retrying
+  [[nodiscard]] std::size_t breaker_opens() const;  ///< closed -> open transitions
+  [[nodiscard]] std::size_t fail_fast_rejections() const;
+  [[nodiscard]] bool breaker_open(std::size_t index) const;
+
+  [[nodiscard]] const retry_policy& policy() const { return policy_; }
+  [[nodiscard]] management_library& inner() { return *inner_; }
+
+ private:
+  struct breaker_state {
+    int consecutive_failures{0};
+    bool open{false};
+    int cooldown_left{0};
+  };
+
+  /// Breaker gate: false means fail fast, `out` carries the rejection.
+  bool admit(std::size_t index, common::error& out) const;
+  void on_success(std::size_t index) const;
+  void on_failure(std::size_t index, common::errc code) const;
+  /// Charge one backoff to the device timeline; false = per-call budget
+  /// exhausted, stop retrying.
+  bool backoff(std::size_t index, int attempt, double& spent) const;
+  [[nodiscard]] breaker_state& breaker_of(std::size_t index) const;
+
+  template <typename Call>
+  auto execute(std::size_t index, const char* op, Call&& call) const
+      -> decltype(call());
+
+  std::unique_ptr<management_library> inner_;
+  retry_policy policy_;
+  mutable std::mutex mutex_;
+  mutable common::pcg32 rng_;
+  mutable std::vector<breaker_state> breakers_;
+  mutable std::size_t retries_{0};
+  mutable std::size_t exhausted_{0};
+  mutable std::size_t breaker_opens_{0};
+  mutable std::size_t fail_fast_{0};
+};
+
+}  // namespace synergy::vendor

@@ -24,19 +24,19 @@ management_library_base::management_library_base(
     : boards_(std::move(boards)), sensor_(sensor) {}
 
 status management_library_base::init() {
-  initialized_ = true;
+  initialized_.store(true, std::memory_order_release);
   return status::success();
 }
 
 status management_library_base::shutdown() {
-  initialized_ = false;
+  initialized_.store(false, std::memory_order_release);
   return status::success();
 }
 
 std::size_t management_library_base::device_count() const { return boards_.size(); }
 
 status management_library_base::check_index(std::size_t index) const {
-  if (!initialized_) return error{errc::uninitialized, "library not initialised"};
+  if (!initialized()) return error{errc::uninitialized, "library not initialised"};
   if (index >= boards_.size())
     return error{errc::not_found, "device index " + std::to_string(index) + " out of range"};
   return status::success();
@@ -86,13 +86,20 @@ result<watts> management_library_base::power_usage(std::size_t index) const {
   const double now = dev.now().value;
   const double interval = sensor_.update_interval.value;
   const double quantised = interval > 0.0 ? std::floor(now / interval) * interval : now;
-  const watts reading =
-      quantised <= 0.0
-          ? dev.instantaneous_power()
-          : dev.energy_between(
-                common::seconds{std::max(0.0, quantised - sensor_.window.value)},
-                common::seconds{quantised}) /
-                common::seconds{std::min(quantised, sensor_.window.value)};
+  // Clip the averaging window to the history that actually exists (see the
+  // sensor_model contract): the first reads before a full window has elapsed
+  // average over [0, t], a zero-width window or a read at t <= 0 degrades to
+  // the instantaneous model power, and a rewound virtual clock can never
+  // yield a negative span or a division by zero.
+  const double t1 = std::max(0.0, std::min(quantised, now));
+  const double t0 = std::max(0.0, t1 - std::max(0.0, sensor_.window.value));
+  const double span = t1 - t0;
+  watts reading =
+      span > 0.0
+          ? dev.energy_between(common::seconds{t0}, common::seconds{t1}) /
+                common::seconds{span}
+          : dev.instantaneous_power();
+  if (reading.value < 0.0) reading = watts{0.0};
   SYNERGY_INSTANT(telemetry::category::power_sample, "vendor.power_usage",
                   {"device", static_cast<double>(index)}, {"watts", reading.value},
                   {"sim_time_s", now});

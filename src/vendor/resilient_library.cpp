@@ -1,0 +1,244 @@
+#include "synergy/vendor/resilient_library.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "synergy/telemetry/telemetry.hpp"
+
+namespace synergy::vendor {
+
+namespace tel = telemetry;
+
+using common::errc;
+using common::error;
+using common::frequency_config;
+using common::joules;
+using common::megahertz;
+using common::result;
+using common::status;
+using common::watts;
+
+namespace {
+
+bool call_ok(const status& s) { return s.ok(); }
+const error& call_err(const status& s) { return s.err(); }
+template <typename T>
+bool call_ok(const result<T>& r) {
+  return r.has_value();
+}
+template <typename T>
+const error& call_err(const result<T>& r) {
+  return r.err();
+}
+
+}  // namespace
+
+resilient_library::resilient_library(std::unique_ptr<management_library> inner,
+                                     retry_policy policy)
+    : inner_(std::move(inner)), policy_(policy), rng_(policy.seed) {
+  if (!inner_) throw std::invalid_argument("resilient_library: null inner library");
+  if (policy_.max_attempts < 1) policy_.max_attempts = 1;
+  breakers_.resize(std::max<std::size_t>(1, inner_->device_count()));
+}
+
+resilient_library::breaker_state& resilient_library::breaker_of(std::size_t index) const {
+  if (index >= breakers_.size()) breakers_.resize(index + 1);
+  return breakers_[index];
+}
+
+bool resilient_library::admit(std::size_t index, error& out) const {
+  std::scoped_lock lock(mutex_);
+  auto& b = breaker_of(index);
+  if (!b.open) return true;
+  if (b.cooldown_left > 0) {
+    --b.cooldown_left;
+    ++fail_fast_;
+    SYNERGY_COUNTER_ADD("resilience.fail_fast", 1);
+    out = error{errc::unavailable,
+                "circuit breaker open for device " + std::to_string(index)};
+    return false;
+  }
+  // Half-open: let exactly this call through as a probe.
+  return true;
+}
+
+void resilient_library::on_success(std::size_t index) const {
+  std::scoped_lock lock(mutex_);
+  auto& b = breaker_of(index);
+  if (b.open) SYNERGY_COUNTER_ADD("resilience.breaker_closes", 1);
+  b = breaker_state{};
+}
+
+void resilient_library::on_failure(std::size_t index, errc code) const {
+  // Only infrastructure failures feed the breaker: a permission or argument
+  // rejection says nothing about device health.
+  if (!retryable(code) && code != errc::device_lost) return;
+  std::scoped_lock lock(mutex_);
+  auto& b = breaker_of(index);
+  ++b.consecutive_failures;
+  if (b.open) {
+    // Failed half-open probe: stay open for another cooldown.
+    b.cooldown_left = policy_.breaker_cooldown_calls;
+    return;
+  }
+  if (b.consecutive_failures >= policy_.breaker_threshold) {
+    b.open = true;
+    b.cooldown_left = policy_.breaker_cooldown_calls;
+    ++breaker_opens_;
+    SYNERGY_COUNTER_ADD("resilience.breaker_opens", 1);
+    SYNERGY_INSTANT(tel::category::other, "resilience.breaker_open",
+                    {"device", static_cast<double>(index)});
+  }
+}
+
+bool resilient_library::backoff(std::size_t index, int attempt, double& spent) const {
+  double d = policy_.base_backoff_s;
+  for (int i = 1; i < attempt; ++i) d *= policy_.backoff_multiplier;
+  d = std::min(d, policy_.max_backoff_s);
+  {
+    std::scoped_lock lock(mutex_);
+    d *= 1.0 + policy_.jitter * (2.0 * rng_.uniform() - 1.0);
+  }
+  d = std::max(0.0, d);
+  if (spent + d > policy_.call_timeout_s) return false;  // per-call budget gone
+  spent += d;
+  // Sleeping between attempts costs virtual wall time (and idle energy) on
+  // the device, like the management thread blocking on a real node.
+  if (auto b = inner_->board(index)) b->advance_idle(common::seconds{d});
+  return true;
+}
+
+template <typename Call>
+auto resilient_library::execute(std::size_t index, const char* op, Call&& call) const
+    -> decltype(call()) {
+  using R = decltype(call());
+  if (error gate{}; !admit(index, gate)) return R{gate};
+
+  double spent = 0.0;
+  for (int attempt = 1;; ++attempt) {
+    R r = call();
+    if (call_ok(r)) {
+      on_success(index);
+      return r;
+    }
+    const error& e = call_err(r);
+    on_failure(index, e.code);
+    if (!retryable(e.code)) return r;
+    if (attempt >= policy_.max_attempts || !backoff(index, attempt, spent)) {
+      {
+        std::scoped_lock lock(mutex_);
+        ++exhausted_;
+      }
+      SYNERGY_COUNTER_ADD("resilience.exhausted", 1);
+      return r;
+    }
+    {
+      std::scoped_lock lock(mutex_);
+      ++retries_;
+    }
+    SYNERGY_COUNTER_ADD("resilience.retries", 1);
+    SYNERGY_INSTANT(tel::category::other, "resilience.retry",
+                    {"device", static_cast<double>(index)},
+                    {"attempt", static_cast<double>(attempt)});
+    (void)op;
+  }
+}
+
+std::string resilient_library::backend_name() const { return inner_->backend_name(); }
+status resilient_library::init() { return inner_->init(); }
+status resilient_library::shutdown() { return inner_->shutdown(); }
+std::size_t resilient_library::device_count() const { return inner_->device_count(); }
+
+result<std::string> resilient_library::device_name(std::size_t index) const {
+  return inner_->device_name(index);
+}
+
+result<std::vector<megahertz>> resilient_library::supported_memory_clocks(
+    std::size_t index) const {
+  return inner_->supported_memory_clocks(index);
+}
+
+result<std::vector<megahertz>> resilient_library::supported_core_clocks(
+    std::size_t index, megahertz memory_clock) const {
+  return inner_->supported_core_clocks(index, memory_clock);
+}
+
+result<frequency_config> resilient_library::application_clocks(std::size_t index) const {
+  return execute(index, "application_clocks",
+                 [&] { return inner_->application_clocks(index); });
+}
+
+status resilient_library::set_application_clocks(const user_context& caller, std::size_t index,
+                                                 frequency_config config) {
+  SYNERGY_SPAN_VAR(span, tel::category::freq_change, "resilience.set_application_clocks");
+  span.arg("device", static_cast<double>(index));
+  return execute(index, "set_application_clocks",
+                 [&] { return inner_->set_application_clocks(caller, index, config); });
+}
+
+status resilient_library::reset_application_clocks(const user_context& caller,
+                                                   std::size_t index) {
+  return execute(index, "reset_application_clocks",
+                 [&] { return inner_->reset_application_clocks(caller, index); });
+}
+
+status resilient_library::set_api_restriction(const user_context& caller, std::size_t index,
+                                              restricted_api api, bool restricted) {
+  return execute(index, "set_api_restriction",
+                 [&] { return inner_->set_api_restriction(caller, index, api, restricted); });
+}
+
+result<bool> resilient_library::api_restricted(std::size_t index, restricted_api api) const {
+  return inner_->api_restricted(index, api);
+}
+
+status resilient_library::set_clock_bounds(const user_context& caller, std::size_t index,
+                                           megahertz lo, megahertz hi) {
+  return execute(index, "set_clock_bounds",
+                 [&] { return inner_->set_clock_bounds(caller, index, lo, hi); });
+}
+
+status resilient_library::clear_clock_bounds(const user_context& caller, std::size_t index) {
+  return execute(index, "clear_clock_bounds",
+                 [&] { return inner_->clear_clock_bounds(caller, index); });
+}
+
+result<watts> resilient_library::power_usage(std::size_t index) const {
+  return execute(index, "power_usage", [&] { return inner_->power_usage(index); });
+}
+
+result<joules> resilient_library::total_energy(std::size_t index) const {
+  return execute(index, "total_energy", [&] { return inner_->total_energy(index); });
+}
+
+std::shared_ptr<gpusim::device> resilient_library::board(std::size_t index) const {
+  return inner_->board(index);
+}
+
+std::size_t resilient_library::retries() const {
+  std::scoped_lock lock(mutex_);
+  return retries_;
+}
+
+std::size_t resilient_library::exhausted() const {
+  std::scoped_lock lock(mutex_);
+  return exhausted_;
+}
+
+std::size_t resilient_library::breaker_opens() const {
+  std::scoped_lock lock(mutex_);
+  return breaker_opens_;
+}
+
+std::size_t resilient_library::fail_fast_rejections() const {
+  std::scoped_lock lock(mutex_);
+  return fail_fast_;
+}
+
+bool resilient_library::breaker_open(std::size_t index) const {
+  std::scoped_lock lock(mutex_);
+  return index < breakers_.size() && breakers_[index].open;
+}
+
+}  // namespace synergy::vendor

@@ -350,3 +350,187 @@ TEST(Simulator, ReplaysALoadedTraceIdentically) {
   sb.csv(ob);
   EXPECT_EQ(oa.str(), ob.str());
 }
+
+// ------------------------------------------------------- trace robustness ----
+
+TEST(JobTrace, LoaderAcceptsCrlfLineEndings) {
+  // Traces written on (or piped through) Windows tooling arrive with CRLF;
+  // replay must still be exact.
+  const auto trace = sc::generate_trace({.n_jobs = 20});
+  std::string csv = trace.to_csv();
+  std::string crlf;
+  for (const char c : csv) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  EXPECT_EQ(sc::job_trace::from_csv(crlf), trace);
+}
+
+TEST(JobTrace, LoaderAcceptsMissingTrailingNewline) {
+  const auto trace = sc::generate_trace({.n_jobs = 20});
+  std::string csv = trace.to_csv();
+  ASSERT_EQ(csv.back(), '\n');
+  csv.pop_back();
+  EXPECT_EQ(sc::job_trace::from_csv(csv), trace);
+}
+
+TEST(JobTrace, RoundTripsQuotedNamesWithNewlinesAndCommas) {
+  // csv_writer quotes names containing separators; the loader's record
+  // splitter must not cut a quoted field at its embedded newline.
+  sc::job_trace trace;
+  trace.seed = 5;
+  sc::traced_job j;
+  j.id = 1;
+  j.name = "weird \"job\",\nwith newline";
+  j.submit_s = 0.25;
+  j.n_gpus = 1;
+  j.kernel = "mat_mul";
+  j.work_items = 1 << 20;
+  j.iterations = 2;
+  j.target = "ES_50";
+  trace.jobs.push_back(j);
+  EXPECT_EQ(sc::job_trace::from_csv(trace.to_csv()), trace);
+}
+
+// --------------------------------------------------------- fault injection ----
+
+namespace {
+
+sc::run_summary run_with(const sc::cluster_config& cc, const sc::job_trace& trace) {
+  sc::simulator sim{cc, sc::make_energy_aware(sc::make_suite_planner(cc.device))};
+  return sim.run(trace);
+}
+
+}  // namespace
+
+TEST(Faults, FaultyRunCompletesEveryJobDeterministically) {
+  sc::trace_config tc;
+  tc.n_jobs = 60;
+  tc.seed = 9;
+  const auto trace = sc::generate_trace(tc);
+
+  sc::cluster_config cc;
+  cc.n_nodes = 4;
+  cc.gpus_per_node = 4;
+  cc.faults.seed = 11;
+  cc.faults.clock_set_fail_rate = 0.1;
+  cc.faults.power_read_dropout_rate = 0.1;
+  cc.faults.device_lost_rate = 0.02;
+  cc.faults.max_node_losses = 1;
+
+  const auto run_once = [&] {
+    sc::simulator sim{cc, sc::make_energy_aware(sc::make_suite_planner(cc.device))};
+    const auto summary = sim.run(trace);
+    std::ostringstream os;
+    summary.csv(os);
+    return std::make_pair(summary, os.str());
+  };
+  const auto [summary, csv_a] = run_once();
+  const auto [summary2, csv_b] = run_once();
+
+  // Same seed, same fault pattern, same schedule: bit-identical CSV.
+  EXPECT_EQ(csv_a, csv_b);
+  // Faults degrade, they never lose work.
+  EXPECT_EQ(summary.completed, 60u);
+  EXPECT_EQ(summary.failed, 0u);
+  // The plan actually fired.
+  EXPECT_GT(summary.clock_set_faults, 0u);
+  EXPECT_GT(summary.degraded_samples, 0u);
+}
+
+TEST(Faults, ClockSetFaultEnergyIsBoundedByTunedAndDefaultRuns) {
+  // Degradation contract: a clock-set fault makes that job run at default
+  // clocks, so the faulty run's total GPU energy lies between the fault-free
+  // tuned total and the fault-free default-clock total of the same trace.
+  sc::trace_config tc;
+  tc.n_jobs = 40;
+  tc.seed = 21;
+  tc.target_mix = {"MIN_ENERGY"};  // maximally different from default clocks
+  const auto trace = sc::generate_trace(tc);
+
+  sc::cluster_config cc;
+  cc.n_nodes = 4;
+  cc.gpus_per_node = 4;
+
+  const auto tuned = run_with(cc, trace);
+
+  sc::cluster_config cc_default = cc;
+  cc_default.tag_nvgpufreq = false;  // every job at default clocks
+  const auto dflt = run_with(cc_default, trace);
+  ASSERT_GT(dflt.total_gpu_energy_j, tuned.total_gpu_energy_j);
+
+  sc::cluster_config cc_faulty = cc;
+  cc_faulty.faults.clock_set_fail_rate = 0.5;  // no dropouts/device loss: the
+  const auto faulty = run_with(cc_faulty, trace);  // job set stays identical
+
+  EXPECT_GT(faulty.clock_set_faults, 0u);
+  EXPECT_GE(faulty.total_gpu_energy_j, tuned.total_gpu_energy_j * (1.0 - 1e-9));
+  EXPECT_LE(faulty.total_gpu_energy_j, dflt.total_gpu_energy_j * (1.0 + 1e-9));
+}
+
+TEST(Faults, DeviceLostRequeuesJobsAndRemovesNode) {
+  sc::trace_config tc;
+  tc.n_jobs = 30;
+  tc.seed = 3;
+  tc.gpu_mix = {1, 2};  // jobs must still fit the surviving node
+  const auto trace = sc::generate_trace(tc);
+
+  sc::cluster_config cc;
+  cc.n_nodes = 2;
+  cc.gpus_per_node = 4;
+  cc.faults.device_lost_rate = 1.0;  // first placement kills its node
+  cc.faults.max_node_losses = 1;
+
+  sc::simulator sim{cc, sc::make_energy_aware(sc::make_suite_planner(cc.device))};
+  const auto summary = sim.run(trace);
+
+  EXPECT_EQ(summary.nodes_lost, 1u);
+  EXPECT_EQ(sim.controller().node_count(), 1u);
+  EXPECT_GE(summary.requeues, 1u);
+  EXPECT_GT(summary.wasted_gpu_energy_j, 0.0);
+  // Requeued, not lost: every job still completes on the surviving node.
+  EXPECT_EQ(summary.completed, 30u);
+  EXPECT_EQ(summary.failed, 0u);
+  // Per-job bookkeeping: at least one result records its requeue.
+  bool saw_requeued = false;
+  for (const auto& r : sim.results())
+    if (r.requeues > 0) saw_requeued = true;
+  EXPECT_TRUE(saw_requeued);
+}
+
+TEST(Faults, SimulatorIsReusableAfterLosingNodes) {
+  // run() must rebuild the full inventory: a second replay on the same
+  // simulator starts from all nodes again and reproduces a fresh run.
+  const auto trace = sc::generate_trace({.n_jobs = 20, .gpu_mix = {1}, .seed = 5});
+
+  sc::cluster_config cc;
+  cc.n_nodes = 2;
+  cc.gpus_per_node = 2;
+  cc.faults.device_lost_rate = 1.0;
+  cc.faults.max_node_losses = 1;
+
+  sc::simulator sim{cc, sc::make_fifo()};
+  const auto first = sim.run(trace);
+  ASSERT_EQ(first.nodes_lost, 1u);
+  const auto second = sim.run(trace);
+  EXPECT_EQ(second.nodes_lost, 1u);  // same plan seed, same fate
+  EXPECT_EQ(second.completed, 20u);
+
+  std::ostringstream oa, ob;
+  first.csv(oa);
+  second.csv(ob);
+  EXPECT_EQ(oa.str(), ob.str());
+}
+
+TEST(Faults, FaultFreeRunReportsZeroFaultCounters) {
+  const auto trace = sc::generate_trace({.n_jobs = 15});
+  sc::cluster_config cc;
+  cc.n_nodes = 2;
+  cc.gpus_per_node = 2;
+  const auto summary = run_with(cc, trace);
+  EXPECT_EQ(summary.clock_set_faults, 0u);
+  EXPECT_EQ(summary.degraded_samples, 0u);
+  EXPECT_EQ(summary.requeues, 0u);
+  EXPECT_EQ(summary.nodes_lost, 0u);
+  EXPECT_DOUBLE_EQ(summary.wasted_gpu_energy_j, 0.0);
+}

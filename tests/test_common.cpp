@@ -198,6 +198,44 @@ TEST(Csv, NumberFormatting) {
   EXPECT_EQ(sc::csv_writer::num(std::nan("")), "nan");
 }
 
+TEST(Csv, SplitRecordsHandlesLineEndings) {
+  // LF, CRLF, and a missing trailing newline all yield the same records.
+  const std::vector<std::string> expected{"a,b", "c,d"};
+  EXPECT_EQ(sc::split_csv_records("a,b\nc,d\n"), expected);
+  EXPECT_EQ(sc::split_csv_records("a,b\r\nc,d\r\n"), expected);
+  EXPECT_EQ(sc::split_csv_records("a,b\nc,d"), expected);
+  EXPECT_EQ(sc::split_csv_records("a,b\r\nc,d"), expected);
+}
+
+TEST(Csv, SplitRecordsKeepsQuotedNewlinesInOneRecord) {
+  const auto records = sc::split_csv_records("x,\"two\nlines\",y\nnext,row\n");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], "x,\"two\nlines\",y");
+  EXPECT_EQ(records[1], "next,row");
+  // The preserved record parses back to the original fields.
+  const auto fields = sc::parse_csv_line(records[0]);
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "two\nlines");
+}
+
+TEST(Csv, SplitRecordsPreservesCrInsideQuotes) {
+  // A CR belonging to field data (quoted) survives; a CRLF terminator does not.
+  const auto records = sc::split_csv_records("\"a\rb\",c\r\n");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], "\"a\rb\",c");
+}
+
+TEST(Csv, SplitRecordsHandlesDoubledQuotesAndBlanks) {
+  // Doubled quotes stay inside the quoted state; blank lines are preserved
+  // as empty records for the caller's skip policy.
+  const auto records = sc::split_csv_records("\"he said \"\"hi\"\"\",x\n\nlast");
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0], "\"he said \"\"hi\"\"\",x");
+  EXPECT_EQ(records[1], "");
+  EXPECT_EQ(records[2], "last");
+  EXPECT_TRUE(sc::split_csv_records("").empty());
+}
+
 // ---------------------------------------------------------------- table ----
 
 TEST(Table, AlignsColumns) {

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "synergy/common/rng.hpp"
 #include "synergy/metrics/energy_metrics.hpp"
@@ -73,9 +75,57 @@ TEST(Target, NamesRoundTrip) {
 
 TEST(Target, ParseRejectsGarbage) {
   EXPECT_THROW((void)target::parse("EDP"), std::invalid_argument);
-  EXPECT_THROW((void)target::parse("ES_0"), std::invalid_argument);
   EXPECT_THROW((void)target::parse("ES_150"), std::invalid_argument);
   EXPECT_THROW((void)target::parse("PL_-5"), std::invalid_argument);
+  // Empty / non-numeric / partially-numeric suffixes must not silently
+  // parse: stod would accept "25x" and throw an unhelpful error on "".
+  EXPECT_THROW((void)target::parse("ES_"), std::invalid_argument);
+  EXPECT_THROW((void)target::parse("PL_"), std::invalid_argument);
+  EXPECT_THROW((void)target::parse("ES_abc"), std::invalid_argument);
+  EXPECT_THROW((void)target::parse("ES_25x"), std::invalid_argument);
+  EXPECT_THROW((void)target::parse("PL_1e"), std::invalid_argument);
+  EXPECT_THROW((void)target::parse("ES_nan"), std::invalid_argument);
+  EXPECT_THROW((void)target::parse("ES_inf"), std::invalid_argument);
+  EXPECT_THROW((void)target::parse("ES_100.0001"), std::invalid_argument);
+}
+
+TEST(Target, ParseErrorMessagesNameTheInput) {
+  try {
+    (void)target::parse("ES_abc");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("ES_abc"), std::string::npos);
+  }
+  try {
+    (void)target::parse("ES_");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("ES_"), std::string::npos);
+  }
+}
+
+TEST(Target, ParseAcceptsDegenerateEndpoints) {
+  // ES_0 / PL_0 collapse the budget onto the default configuration and
+  // ES_100 / PL_100 allow the full span; all four are valid inputs.
+  EXPECT_EQ(target::parse("ES_0"), target::energy_saving(0.0));
+  EXPECT_EQ(target::parse("ES_100"), target::energy_saving(100.0));
+  EXPECT_EQ(target::parse("PL_0"), target::performance_loss(0.0));
+  EXPECT_EQ(target::parse("PL_100"), target::performance_loss(100.0));
+}
+
+TEST(Target, DegenerateEndpointsSelectSanely) {
+  const auto c = synthetic_sweep();
+  // ES_0: best-performing point whose energy does not exceed the default's.
+  const auto es0 = c.points[sm::select(c, target::parse("ES_0"))];
+  EXPECT_LE(es0.energy_j, c.default_point().energy_j);
+  // ES_100: must hit the global minimum energy.
+  double e_min = es0.energy_j;
+  for (const auto& p : c.points) e_min = std::min(e_min, p.energy_j);
+  EXPECT_DOUBLE_EQ(c.points[sm::select(c, target::parse("ES_100"))].energy_j, e_min);
+  // PL_0: no slower than the default, no more energy than the default.
+  const auto pl0 = c.points[sm::select(c, target::parse("PL_0"))];
+  EXPECT_LE(pl0.time_s, c.default_point().time_s * (1.0 + 1e-12));
+  EXPECT_LE(pl0.energy_j, c.default_point().energy_j);
 }
 
 TEST(Target, PaperObjectivesAreTheTableTwoRows) {

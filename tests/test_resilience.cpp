@@ -1,0 +1,367 @@
+// Tests for the fault-injection + resilience stack: deterministic fault
+// patterns, scripted schedules, stale/lost sensor semantics, bounded retry
+// with virtual-time backoff, per-device circuit breaking, and the
+// degradation contract through context/queue (ARCHITECTURE.md Sec. 10).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "synergy/gpusim/device.hpp"
+#include "synergy/synergy.hpp"
+#include "synergy/vendor/fault_injector.hpp"
+#include "synergy/vendor/nvml_sim.hpp"
+#include "synergy/vendor/resilient_library.hpp"
+
+namespace gs = synergy::gpusim;
+namespace sv = synergy::vendor;
+namespace sc = synergy::common;
+
+using sc::frequency_config;
+using sc::megahertz;
+
+namespace {
+
+std::vector<std::shared_ptr<gs::device>> two_boards() {
+  return {std::make_shared<gs::device>(gs::make_v100()),
+          std::make_shared<gs::device>(gs::make_v100())};
+}
+
+std::unique_ptr<sv::fault_injector> make_injector(sv::fault_config cfg) {
+  auto inj =
+      std::make_unique<sv::fault_injector>(std::make_unique<sv::nvml_sim>(two_boards()),
+                                           std::move(cfg));
+  EXPECT_TRUE(inj->init().ok());
+  return inj;
+}
+
+const frequency_config v100_clocks{megahertz{877.0}, megahertz{1312.0}};
+const sv::user_context root = sv::user_context::root();
+
+}  // namespace
+
+// ------------------------------------------------------------ fault_injector --
+
+TEST(FaultInjector, SameSeedSameFaultPattern) {
+  sv::fault_config cfg;
+  cfg.seed = 1234;
+  cfg.clock_set_transient_rate = 0.4;
+  cfg.power_read_dropout_rate = 0.3;
+
+  std::vector<bool> pattern_a;
+  std::vector<bool> pattern_b;
+  for (auto* pattern : {&pattern_a, &pattern_b}) {
+    auto inj = make_injector(cfg);
+    for (int i = 0; i < 50; ++i) {
+      pattern->push_back(inj->set_application_clocks(root, 0, v100_clocks).ok());
+      pattern->push_back(inj->power_usage(0).has_value());
+    }
+  }
+  EXPECT_EQ(pattern_a, pattern_b);
+  EXPECT_NE(pattern_a, std::vector<bool>(pattern_a.size(), true))
+      << "rates 0.4/0.3 over 50 calls should have injected something";
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  sv::fault_config cfg;
+  cfg.clock_set_transient_rate = 0.5;
+  std::vector<bool> patterns[2];
+  for (int s = 0; s < 2; ++s) {
+    cfg.seed = 1000 + static_cast<std::uint64_t>(s);
+    auto inj = make_injector(cfg);
+    for (int i = 0; i < 64; ++i)
+      patterns[s].push_back(inj->set_application_clocks(root, 0, v100_clocks).ok());
+  }
+  EXPECT_NE(patterns[0], patterns[1]);
+}
+
+TEST(FaultInjector, ScriptedFaultFiresAtExactCallIndexOnce) {
+  sv::fault_config cfg;
+  cfg.schedule = {{sv::fault_op::clock_set, 0, 2, sv::fault_kind::transient}};
+  auto inj = make_injector(cfg);
+
+  EXPECT_TRUE(inj->set_application_clocks(root, 0, v100_clocks).ok());  // call 0
+  EXPECT_TRUE(inj->set_application_clocks(root, 0, v100_clocks).ok());  // call 1
+  const auto st = inj->set_application_clocks(root, 0, v100_clocks);    // call 2
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.err().code, sc::errc::unavailable);
+  // One-shot: the same index never fires again, and other devices are
+  // unaffected throughout.
+  EXPECT_TRUE(inj->set_application_clocks(root, 0, v100_clocks).ok());
+  EXPECT_TRUE(inj->set_application_clocks(root, 1, v100_clocks).ok());
+  EXPECT_EQ(inj->injected(), 1u);
+  EXPECT_EQ(inj->injected(sv::fault_kind::transient), 1u);
+}
+
+TEST(FaultInjector, StalePowerServesPreviousReading) {
+  sv::fault_config cfg;
+  cfg.schedule = {{sv::fault_op::power_read, 0, 1, sv::fault_kind::stale_power}};
+  auto inj = make_injector(cfg);
+
+  // Make the two reads bracket different power states so a live second
+  // read would differ: idle first, then mid-kernel.
+  const auto first = inj->power_usage(0);
+  ASSERT_TRUE(first.has_value());
+
+  gs::kernel_profile p;
+  p.name = "busy";
+  p.features.float_add = 64;
+  p.features.gl_access = 4;
+  p.work_items = 1 << 22;
+  (void)inj->board(0)->execute(p);
+
+  const auto stale = inj->power_usage(0);  // call 1: scripted stale
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_DOUBLE_EQ(stale.value().value, first.value().value);
+  EXPECT_EQ(inj->injected(sv::fault_kind::stale_power), 1u);
+
+  const auto live = inj->power_usage(0);  // back to live reads
+  ASSERT_TRUE(live.has_value());
+  EXPECT_GT(live.value().value, first.value().value);
+}
+
+TEST(FaultInjector, LostDeviceStaysLostOthersUnaffected) {
+  auto inj = make_injector({});
+  inj->lose_device(1);
+  EXPECT_TRUE(inj->device_lost(1));
+  EXPECT_FALSE(inj->device_lost(0));
+
+  for (int i = 0; i < 3; ++i) {
+    const auto power = inj->power_usage(1);
+    ASSERT_FALSE(power.has_value());
+    EXPECT_EQ(power.err().code, sc::errc::device_lost);
+    EXPECT_EQ(inj->set_application_clocks(root, 1, v100_clocks).err().code,
+              sc::errc::device_lost);
+  }
+  EXPECT_TRUE(inj->power_usage(0).has_value());
+  EXPECT_TRUE(inj->set_application_clocks(root, 0, v100_clocks).ok());
+}
+
+TEST(FaultInjector, CountsCallsPerOperation) {
+  auto inj = make_injector({});
+  (void)inj->set_application_clocks(root, 0, v100_clocks);
+  (void)inj->power_usage(0);
+  (void)inj->power_usage(0);
+  (void)inj->total_energy(0);
+  (void)inj->device_name(0);
+  EXPECT_EQ(inj->calls(sv::fault_op::clock_set), 1u);
+  EXPECT_EQ(inj->calls(sv::fault_op::power_read), 2u);
+  EXPECT_EQ(inj->calls(sv::fault_op::energy_read), 1u);
+  EXPECT_EQ(inj->calls(sv::fault_op::query), 1u);
+  EXPECT_EQ(inj->injected(), 0u);
+}
+
+// --------------------------------------------------------- resilient_library --
+
+TEST(ResilientLibrary, RetriesAbsorbScriptedTransient) {
+  sv::fault_config faults;
+  faults.schedule = {{sv::fault_op::clock_set, 0, 0, sv::fault_kind::transient}};
+  auto inj = make_injector(faults);
+  auto* injector = inj.get();
+
+  sv::resilient_library lib{std::move(inj)};
+  const double t_before = lib.board(0)->now().value;
+  EXPECT_TRUE(lib.set_application_clocks(root, 0, v100_clocks).ok());
+  EXPECT_EQ(lib.retries(), 1u);
+  EXPECT_EQ(lib.exhausted(), 0u);
+  EXPECT_EQ(injector->injected(), 1u);
+  // The backoff between the two attempts was charged to the device's
+  // virtual timeline.
+  EXPECT_GT(lib.board(0)->now().value, t_before);
+}
+
+TEST(ResilientLibrary, ExhaustsAfterMaxAttemptsAndReturnsOriginalError) {
+  sv::fault_config faults;
+  faults.clock_set_transient_rate = 1.0;  // every attempt fails
+  auto inj = make_injector(faults);
+  auto* injector = inj.get();
+
+  sv::retry_policy policy;
+  policy.max_attempts = 3;
+  policy.breaker_threshold = 100;  // keep the breaker out of this test
+  sv::resilient_library lib{std::move(inj), policy};
+
+  const auto st = lib.set_application_clocks(root, 0, v100_clocks);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.err().code, sc::errc::unavailable);
+  EXPECT_EQ(lib.retries(), 2u);  // attempts 2 and 3
+  EXPECT_EQ(lib.exhausted(), 1u);
+  EXPECT_EQ(injector->calls(sv::fault_op::clock_set), 3u);
+}
+
+TEST(ResilientLibrary, NonRetryableErrorsAreNotRetried) {
+  sv::fault_config faults;
+  faults.schedule = {{sv::fault_op::clock_set, 0, 0, sv::fault_kind::privilege_lost}};
+  auto inj = make_injector(faults);
+  auto* injector = inj.get();
+
+  sv::resilient_library lib{std::move(inj)};
+  const auto st = lib.set_application_clocks(root, 0, v100_clocks);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.err().code, sc::errc::no_permission);
+  EXPECT_EQ(lib.retries(), 0u);
+  EXPECT_EQ(injector->calls(sv::fault_op::clock_set), 1u);
+}
+
+TEST(ResilientLibrary, BreakerOpensThenFailsFastWithoutInnerCalls) {
+  sv::fault_config faults;
+  faults.clock_set_transient_rate = 1.0;
+  auto inj = make_injector(faults);
+  auto* injector = inj.get();
+
+  sv::retry_policy policy;
+  policy.max_attempts = 1;  // every call = one failure toward the breaker
+  policy.breaker_threshold = 3;
+  policy.breaker_cooldown_calls = 1000;
+  sv::resilient_library lib{std::move(inj), policy};
+
+  for (int i = 0; i < 3; ++i)
+    EXPECT_FALSE(lib.set_application_clocks(root, 0, v100_clocks).ok());
+  EXPECT_TRUE(lib.breaker_open(0));
+  EXPECT_EQ(lib.breaker_opens(), 1u);
+
+  const auto inner_calls = injector->calls(sv::fault_op::clock_set);
+  for (int i = 0; i < 5; ++i) {
+    const auto st = lib.set_application_clocks(root, 0, v100_clocks);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.err().code, sc::errc::unavailable);
+  }
+  // Fail-fast: the open breaker rejected without touching the inner library.
+  EXPECT_EQ(injector->calls(sv::fault_op::clock_set), inner_calls);
+  EXPECT_EQ(lib.fail_fast_rejections(), 5u);
+  // The breaker is per device: device 1 still works.
+  EXPECT_FALSE(lib.breaker_open(1));
+}
+
+TEST(ResilientLibrary, BreakerClosesAfterCooldownProbeSucceeds) {
+  sv::fault_config faults;
+  faults.clock_set_transient_rate = 1.0;
+  auto inj = make_injector(faults);
+  auto* injector = inj.get();
+
+  sv::retry_policy policy;
+  policy.max_attempts = 1;
+  policy.breaker_threshold = 2;
+  policy.breaker_cooldown_calls = 3;
+  sv::resilient_library lib{std::move(inj), policy};
+
+  for (int i = 0; i < 2; ++i)
+    EXPECT_FALSE(lib.set_application_clocks(root, 0, v100_clocks).ok());
+  ASSERT_TRUE(lib.breaker_open(0));
+
+  injector->set_config({});  // the device recovers
+  // Cooldown: the next `breaker_cooldown_calls` calls still fail fast...
+  for (int i = 0; i < 3; ++i)
+    EXPECT_FALSE(lib.set_application_clocks(root, 0, v100_clocks).ok());
+  // ...then the half-open probe goes through, succeeds, and closes it.
+  EXPECT_TRUE(lib.set_application_clocks(root, 0, v100_clocks).ok());
+  EXPECT_FALSE(lib.breaker_open(0));
+  EXPECT_TRUE(lib.set_application_clocks(root, 0, v100_clocks).ok());
+}
+
+TEST(ResilientLibrary, DeviceLostFeedsBreakerButIsNotRetried) {
+  auto inj = make_injector({});
+  auto* injector = inj.get();
+  injector->lose_device(0);
+
+  sv::retry_policy policy;
+  policy.max_attempts = 4;
+  policy.breaker_threshold = 2;
+  sv::resilient_library lib{std::move(inj), policy};
+
+  const auto st = lib.set_application_clocks(root, 0, v100_clocks);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.err().code, sc::errc::device_lost);
+  EXPECT_EQ(lib.retries(), 0u);  // pointless to retry a dead board
+
+  EXPECT_FALSE(lib.power_usage(0).has_value());
+  EXPECT_TRUE(lib.breaker_open(0));  // two dead calls opened the breaker
+}
+
+TEST(ResilientLibrary, BackoffIsDeterministicAcrossIdenticalStacks) {
+  sv::fault_config faults;
+  faults.seed = 77;
+  faults.clock_set_transient_rate = 0.6;
+
+  double final_time[2] = {0.0, 0.0};
+  std::size_t retries[2] = {0, 0};
+  for (int run = 0; run < 2; ++run) {
+    auto inj = make_injector(faults);
+    sv::resilient_library lib{std::move(inj)};
+    for (int i = 0; i < 20; ++i) (void)lib.set_application_clocks(root, 0, v100_clocks);
+    final_time[run] = lib.board(0)->now().value;
+    retries[run] = lib.retries();
+  }
+  EXPECT_GT(retries[0], 0u);
+  EXPECT_EQ(retries[0], retries[1]);
+  EXPECT_DOUBLE_EQ(final_time[0], final_time[1]);
+}
+
+// ----------------------------------------------- context / queue degradation --
+
+TEST(QueueDegradation, PersistentClockFaultFallsBackAndFlagsSamples) {
+  simsycl::device dev{gs::make_v100()};
+
+  synergy::context_options opts;
+  sv::fault_config faults;
+  faults.clock_set_transient_rate = 1.0;  // clock sets never succeed
+  opts.faults = faults;
+  sv::retry_policy policy;
+  policy.max_attempts = 2;
+  policy.breaker_threshold = 1000;
+  opts.retry = policy;
+
+  auto ctx = std::make_shared<synergy::context>(std::vector<simsycl::device>{dev},
+                                                std::move(opts));
+  synergy::queue q{dev, ctx};
+  q.set_fixed_frequency({megahertz{877.0}, megahertz{1530.0}});
+
+  simsycl::kernel_info info;
+  info.name = "degraded_kernel";
+  info.features.float_add = 32;
+  info.work_multiplier = 64.0;
+  auto e = q.submit([&](simsycl::handler& h) {
+    h.parallel_for(simsycl::range<1>{1024}, info, [](simsycl::id<1>) {});
+  });
+  e.wait_and_throw();
+
+  EXPECT_GE(q.degraded_submissions(), 1u);
+  ASSERT_EQ(q.samples().size(), 1u);
+  EXPECT_TRUE(q.samples()[0].degraded);
+  EXPECT_TRUE(q.training_samples().empty()) << "degraded samples must not train models";
+  const auto& stats = q.energy_report().at("degraded_kernel");
+  EXPECT_EQ(stats.degraded_launches, 1u);
+
+  // The retry layer really did fight before giving up.
+  ASSERT_EQ(ctx->resilience_layers().size(), 1u);
+  EXPECT_GE(ctx->resilience_layers()[0]->retries(), 1u);
+  EXPECT_GE(ctx->resilience_layers()[0]->exhausted(), 1u);
+  ASSERT_EQ(ctx->fault_layers().size(), 1u);
+  EXPECT_GE(ctx->fault_layers()[0]->injected(), 1u);
+}
+
+TEST(QueueDegradation, FaultFreeStackProducesCleanSamples) {
+  simsycl::device dev{gs::make_v100()};
+  synergy::context_options opts;
+  opts.faults = sv::fault_config{};     // injector present but inert
+  opts.retry = sv::retry_policy{};
+  auto ctx = std::make_shared<synergy::context>(std::vector<simsycl::device>{dev},
+                                                std::move(opts));
+  synergy::queue q{dev, ctx};
+  q.set_fixed_frequency({megahertz{877.0}, megahertz{1530.0}});
+
+  simsycl::kernel_info info;
+  info.name = "clean_kernel";
+  info.features.float_add = 32;
+  info.work_multiplier = 64.0;
+  q.submit([&](simsycl::handler& h) {
+     h.parallel_for(simsycl::range<1>{1024}, info, [](simsycl::id<1>) {});
+   }).wait_and_throw();
+
+  EXPECT_EQ(q.degraded_submissions(), 0u);
+  ASSERT_EQ(q.samples().size(), 1u);
+  EXPECT_FALSE(q.samples()[0].degraded);
+  EXPECT_EQ(q.training_samples().size(), 1u);
+  EXPECT_EQ(ctx->resilience_layers()[0]->retries(), 0u);
+}

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "synergy/common/csv.hpp"
 #include "synergy/common/log.hpp"
 #include "synergy/telemetry/export.hpp"
 #include "synergy/telemetry/telemetry.hpp"
@@ -474,6 +475,55 @@ TEST_F(telemetry_test, csv_export_one_row_per_event) {
     if (c == '\n') ++lines;
   EXPECT_EQ(lines, 3u);  // header + 2 events
   EXPECT_NE(csv.find("x=1.000000"), std::string::npos);
+}
+
+TEST_F(telemetry_test, csv_export_round_trips_hostile_names) {
+  // Regression: the CSV writer used to emit span names and string args
+  // verbatim inside quotes — a name containing `"` ended the field early
+  // and shifted every later column.
+  auto& rec = tel::trace_recorder::instance();
+  rec.instant(tel::category::kernel, "mat \"mul\", tiled", {{"watts", 1.0}});
+  {
+    tel::scoped_span span(tel::category::sched, "place");
+    span.str("node", "rack\"7\"\nslot");
+  }
+  std::ostringstream os;
+  tel::write_csv(os, rec.snapshot());
+
+  const auto records = synergy::common::split_csv_records(os.str());
+  ASSERT_EQ(records.size(), 3u);  // header + 2 events
+  const auto header = synergy::common::parse_csv_line(records[0]);
+  ASSERT_EQ(header.size(), 8u);
+
+  const auto row0 = synergy::common::parse_csv_line(records[1]);
+  ASSERT_EQ(row0.size(), 8u);
+  EXPECT_EQ(row0[6], "mat \"mul\", tiled");
+  EXPECT_EQ(row0[4], "kernel");
+  EXPECT_EQ(row0[7], "watts=1.000000");
+
+  const auto row1 = synergy::common::parse_csv_line(records[2]);
+  ASSERT_EQ(row1.size(), 8u);
+  EXPECT_EQ(row1[6], "place");
+  EXPECT_EQ(row1[7], "node=rack\"7\"\nslot");
+}
+
+TEST_F(telemetry_test, chrome_trace_escapes_backslash_names) {
+  // Span names with backslashes must not smuggle escape sequences into the
+  // JSON (e.g. a name ending in `\` would escape the closing quote).
+  auto& rec = tel::trace_recorder::instance();
+  rec.instant(tel::category::other, "path\\to\\kernel\\", {});
+  std::ostringstream os;
+  tel::write_chrome_trace(os, rec.snapshot());
+  const std::string json = os.str();  // json_parser keeps a view: outlive it
+  json_parser parser(json);
+  const auto parsed = parser.parse();
+  ASSERT_TRUE(parsed.has_value()) << json;
+  const auto* events = parsed->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool found = false;
+  for (const auto& e : events->arr)
+    if (e.find("name") && e.find("name")->str == "path\\to\\kernel\\") found = true;
+  EXPECT_TRUE(found);
 }
 
 TEST_F(telemetry_test, json_escape_handles_control_characters) {

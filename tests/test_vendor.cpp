@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 
 #include "synergy/gpusim/device.hpp"
@@ -340,4 +341,122 @@ TEST(VendorSensor, PowerReadIsWindowAveraged) {
   const auto sensed = lib.power_usage(0).value();
   // Sensor underestimates the short burst: reading is well below busy power.
   EXPECT_LT(sensed.value, rec.cost.avg_power.value * 0.8);
+}
+
+TEST(VendorSensor, FirstReadBeforeFullWindowIsFiniteAndNonNegative) {
+  // Regression: a power read before `window` seconds of history exist used
+  // to average over a window reaching before t=0. The clipped window must
+  // yield a finite, non-negative reading — including the degenerate read at
+  // exactly t=0, where no history exists at all.
+  auto board = make_board(gs::make_v100());
+  sv::nvml_sim lib{{board}, sv::sensor_model{.update_interval = sc::seconds{0.005},
+                                             .window = sc::seconds{0.015}}};
+  ASSERT_TRUE(lib.init().ok());
+
+  const auto at_zero = lib.power_usage(0);  // t == 0: no history at all
+  ASSERT_TRUE(at_zero.has_value());
+  EXPECT_TRUE(std::isfinite(at_zero.value().value));
+  EXPECT_GE(at_zero.value().value, 0.0);
+
+  board->advance_idle(sc::seconds{0.004});  // t < window and t < interval
+  const auto early = lib.power_usage(0);
+  ASSERT_TRUE(early.has_value());
+  EXPECT_TRUE(std::isfinite(early.value().value));
+  EXPECT_GE(early.value().value, 0.0);
+
+  board->advance_idle(sc::seconds{0.003});  // interval < t < window
+  const auto partial = lib.power_usage(0);
+  ASSERT_TRUE(partial.has_value());
+  EXPECT_TRUE(std::isfinite(partial.value().value));
+  // Idle history only: the clipped average must equal idle power.
+  EXPECT_NEAR(partial.value().value, board->instantaneous_power().value, 1e-9);
+}
+
+TEST(VendorSensor, ZeroWindowDegradesToInstantaneousPower) {
+  auto board = make_board(gs::make_v100());
+  sv::nvml_sim lib{{board}, sv::sensor_model{.update_interval = sc::seconds{0.0},
+                                             .window = sc::seconds{0.0}}};
+  ASSERT_TRUE(lib.init().ok());
+  board->advance_idle(sc::seconds{0.5});
+  const auto reading = lib.power_usage(0);
+  ASSERT_TRUE(reading.has_value());
+  EXPECT_DOUBLE_EQ(reading.value().value, board->instantaneous_power().value);
+}
+
+// ----------------------------------------------------------- lifecycle ----
+
+namespace {
+
+/// Every API entry point must uniformly fail `uninitialized` on a library
+/// that is not (or no longer) initialised — no partial service, no crash.
+void expect_all_uninitialized(sv::management_library& lib) {
+  const sv::user_context root = sv::user_context::root();
+  const frequency_config clocks{megahertz{877}, megahertz{1312}};
+  EXPECT_EQ(lib.device_name(0).err().code, sc::errc::uninitialized);
+  EXPECT_EQ(lib.supported_memory_clocks(0).err().code, sc::errc::uninitialized);
+  EXPECT_EQ(lib.supported_core_clocks(0, megahertz{877}).err().code,
+            sc::errc::uninitialized);
+  EXPECT_EQ(lib.application_clocks(0).err().code, sc::errc::uninitialized);
+  EXPECT_EQ(lib.set_application_clocks(root, 0, clocks).err().code,
+            sc::errc::uninitialized);
+  EXPECT_EQ(lib.reset_application_clocks(root, 0).err().code, sc::errc::uninitialized);
+  EXPECT_EQ(lib.set_api_restriction(root, 0, sv::restricted_api::set_application_clocks, false)
+                .err()
+                .code,
+            sc::errc::uninitialized);
+  EXPECT_EQ(lib.api_restricted(0, sv::restricted_api::set_application_clocks).err().code,
+            sc::errc::uninitialized);
+  EXPECT_EQ(lib.set_clock_bounds(root, 0, megahertz{877}, megahertz{1312}).err().code,
+            sc::errc::uninitialized);
+  EXPECT_EQ(lib.clear_clock_bounds(root, 0).err().code, sc::errc::uninitialized);
+  EXPECT_EQ(lib.power_usage(0).err().code, sc::errc::uninitialized);
+  EXPECT_EQ(lib.total_energy(0).err().code, sc::errc::uninitialized);
+}
+
+}  // namespace
+
+TEST(VendorLifecycle, NvmlUseAfterShutdownFailsEveryCall) {
+  sv::nvml_sim lib{{make_board(gs::make_v100())}};
+  ASSERT_TRUE(lib.init().ok());
+  ASSERT_TRUE(lib.shutdown().ok());
+  expect_all_uninitialized(lib);
+  // Recoverable: init brings the whole API back.
+  ASSERT_TRUE(lib.init().ok());
+  EXPECT_TRUE(lib.device_name(0).has_value());
+}
+
+TEST(VendorLifecycle, RsmiUseAfterShutdownFailsEveryCall) {
+  sv::rsmi_sim lib{{make_board(gs::make_mi100())}};
+  ASSERT_TRUE(lib.init().ok());
+  ASSERT_TRUE(lib.shutdown().ok());
+  expect_all_uninitialized(lib);
+  ASSERT_TRUE(lib.init().ok());
+  EXPECT_TRUE(lib.device_name(0).has_value());
+}
+
+TEST(VendorLifecycle, LzeroUseAfterShutdownFailsEveryCall) {
+  sv::lzero_sim lib{{make_board(gs::make_pvc())}};
+  ASSERT_TRUE(lib.init().ok());
+  ASSERT_TRUE(lib.shutdown().ok());
+  expect_all_uninitialized(lib);
+  ASSERT_TRUE(lib.init().ok());
+  EXPECT_TRUE(lib.device_name(0).has_value());
+}
+
+TEST(VendorLifecycle, DoubleInitAndDoubleShutdownAreIdempotent) {
+  sv::nvml_sim nvml{{make_board(gs::make_v100())}};
+  ASSERT_TRUE(nvml.init().ok());
+  EXPECT_TRUE(nvml.init().ok());  // second init: no-op, still serving
+  EXPECT_TRUE(nvml.device_name(0).has_value());
+  EXPECT_TRUE(nvml.shutdown().ok());
+  EXPECT_TRUE(nvml.shutdown().ok());  // second shutdown: no-op, still down
+  EXPECT_EQ(nvml.device_name(0).err().code, sc::errc::uninitialized);
+
+  sv::rsmi_sim rsmi{{make_board(gs::make_mi100())}};
+  ASSERT_TRUE(rsmi.init().ok());
+  EXPECT_TRUE(rsmi.init().ok());
+  EXPECT_TRUE(rsmi.power_usage(0).has_value());
+  EXPECT_TRUE(rsmi.shutdown().ok());
+  EXPECT_TRUE(rsmi.shutdown().ok());
+  EXPECT_EQ(rsmi.power_usage(0).err().code, sc::errc::uninitialized);
 }

@@ -1,0 +1,69 @@
+# Fault-injection acceptance test (ARCHITECTURE.md Sec. 10): replay the same
+# generated trace twice under a seeded fault plan injecting clock-set
+# failures, power-read dropouts, and a device-lost event, then assert
+#  - every job still completes (faults degrade, they never lose work),
+#  - the summary CSVs of the two runs are byte-identical (determinism:
+#    same seed, same fault pattern, same schedule),
+#  - the fault counters are nonzero (the plan actually fired).
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(common_args --jobs 60 --nodes 4 --gpus 4 --seed 7
+                --faults 0.08 --fault-device-lost 0.02 --fault-seed 99 --fault-max-losses 1)
+
+execute_process(COMMAND "${CLUSTER}" ${common_args} --csv "${WORK_DIR}/run1.csv"
+                WORKING_DIRECTORY "${WORK_DIR}"
+                RESULT_VARIABLE r1 OUTPUT_VARIABLE out1)
+if(NOT r1 EQUAL 0)
+  message(FATAL_ERROR "faulty synergy_cluster run 1 failed: ${r1}")
+endif()
+
+execute_process(COMMAND "${CLUSTER}" ${common_args} --csv "${WORK_DIR}/run2.csv"
+                WORKING_DIRECTORY "${WORK_DIR}"
+                RESULT_VARIABLE r2 OUTPUT_VARIABLE out2)
+if(NOT r2 EQUAL 0)
+  message(FATAL_ERROR "faulty synergy_cluster run 2 failed: ${r2}")
+endif()
+
+# Same seed, same summary — bit-for-bit.
+file(READ "${WORK_DIR}/run1.csv" csv1)
+file(READ "${WORK_DIR}/run2.csv" csv2)
+if(NOT csv1 STREQUAL csv2)
+  message(FATAL_ERROR "fault injection broke determinism: summary CSVs differ")
+endif()
+
+# All 60 jobs completed, none failed.
+if(NOT out1 MATCHES "60 \\(60/0\\)")
+  message(FATAL_ERROR "faulty run lost jobs:\n${out1}")
+endif()
+
+# The plan fired: degraded clock-sets, degraded samples, and a requeue all
+# appear in the human-readable summary (rows only print when nonzero).
+foreach(marker
+        "clock-set faults \\(default clocks\\)"
+        "degraded energy samples"
+        "requeued jobs \\(device lost\\)")
+  if(NOT out1 MATCHES "${marker}")
+    message(FATAL_ERROR "fault summary missing '${marker}':\n${out1}")
+  endif()
+endforeach()
+
+# And reached the CSV columns.
+if(NOT csv1 MATCHES "clock_set_faults")
+  message(FATAL_ERROR "summary CSV missing fault columns")
+endif()
+
+# Control: the same trace fault-free must also complete everything — the
+# faulty run is compared against a healthy baseline, not tested in a vacuum.
+execute_process(COMMAND "${CLUSTER}" --jobs 60 --nodes 4 --gpus 4 --seed 7
+                WORKING_DIRECTORY "${WORK_DIR}"
+                RESULT_VARIABLE r3 OUTPUT_VARIABLE out3)
+if(NOT r3 EQUAL 0)
+  message(FATAL_ERROR "fault-free control run failed: ${r3}")
+endif()
+if(NOT out3 MATCHES "60 \\(60/0\\)")
+  message(FATAL_ERROR "control run lost jobs:\n${out3}")
+endif()
+if(out3 MATCHES "clock-set faults")
+  message(FATAL_ERROR "fault counters leaked into a fault-free run:\n${out3}")
+endif()

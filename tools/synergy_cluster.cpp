@@ -22,6 +22,12 @@
 ///   --trace-out FILE       write the trace CSV for later replay
 ///   --csv FILE             write the summary CSV ("-" for stdout)
 ///   --report               also print the per-job sacct-style table
+///   --faults R             inject clock-set failures + power-read dropouts
+///                          at rate R (per placement / per completion)
+///   --fault-device-lost R  device-lost rate per placement (node drained,
+///                          jobs requeued)
+///   --fault-max-losses N   cap on nodes the fault plan may kill
+///   --fault-seed S         fault-plan RNG seed (default 0xfa0175eed)
 
 #include <fstream>
 #include <iostream>
@@ -42,7 +48,9 @@ int usage(int code) {
          "                       [--policy fifo|backfill|energy] [--target T]\n"
          "                       [--cap W] [--jobs N] [--seed S]\n"
          "                       [--mean-interarrival S] [--work-items N]\n"
-         "                       [--trace-in F] [--trace-out F] [--csv F] [--report]\n";
+         "                       [--trace-in F] [--trace-out F] [--csv F] [--report]\n"
+         "                       [--faults R] [--fault-device-lost R]\n"
+         "                       [--fault-max-losses N] [--fault-seed S]\n";
   return code;
 }
 
@@ -79,6 +87,18 @@ int main(int argc, char** argv) {
       else if (arg == "--trace-out") trace_out = value();
       else if (arg == "--csv") csv_file = value();
       else if (arg == "--report") report = true;
+      else if (arg == "--faults") {
+        const double r = std::stod(value());
+        if (r < 0.0 || r > 1.0) throw std::invalid_argument("--faults rate out of [0,1]");
+        cluster.faults.clock_set_fail_rate = r;
+        cluster.faults.power_read_dropout_rate = r;
+      } else if (arg == "--fault-device-lost") {
+        const double r = std::stod(value());
+        if (r < 0.0 || r > 1.0)
+          throw std::invalid_argument("--fault-device-lost rate out of [0,1]");
+        cluster.faults.device_lost_rate = r;
+      } else if (arg == "--fault-max-losses") cluster.faults.max_node_losses = std::stoul(value());
+      else if (arg == "--fault-seed") cluster.faults.seed = std::stoull(value());
       else if (arg == "--help" || arg == "-h") return usage(0);
       else {
         std::cerr << "error: unknown argument " << arg << '\n';

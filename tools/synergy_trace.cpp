@@ -18,10 +18,14 @@
 ///   --capacity N      trace ring capacity in events
 ///   --no-cluster      skip the scheduler job
 ///   --no-cluster-sim  skip the discrete-event cluster simulation
+///   --faults R        wrap the vendor backend in a fault injector + retry
+///                     layer: clock-set/power-read faults at rate R
+///   --fault-seed S    fault injector RNG seed
 ///   --log-tap         mirror log records into the trace
 ///   benchmarks        subset of the suite to run (default: first 6)
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -42,9 +46,27 @@ namespace tel = synergy::telemetry;
 namespace {
 
 void run_queue_workload(const std::string& device, const sm::target& target,
-                        const std::vector<std::string>& names) {
+                        const std::vector<std::string>& names, double fault_rate,
+                        std::uint64_t fault_seed) {
   simsycl::device dev{synergy::gpusim::make_device_spec(device)};
-  auto ctx = std::make_shared<synergy::context>(std::vector<simsycl::device>{dev});
+  std::shared_ptr<synergy::context> ctx;
+  if (fault_rate > 0.0) {
+    // Fault-injecting stack: backend -> fault_injector -> resilient_library.
+    // Transient clock-set failures and power-read dropouts at the requested
+    // rate; the retry layer absorbs what it can, the queue degrades the rest.
+    synergy::context_options opts;
+    synergy::vendor::fault_config faults;
+    faults.seed = static_cast<std::uint32_t>(fault_seed);
+    faults.clock_set_transient_rate = fault_rate;
+    faults.power_read_dropout_rate = fault_rate;
+    faults.stale_power_rate = fault_rate / 2.0;
+    opts.faults = faults;
+    opts.retry = synergy::vendor::retry_policy{};
+    ctx = std::make_shared<synergy::context>(std::vector<simsycl::device>{dev},
+                                             std::move(opts));
+  } else {
+    ctx = std::make_shared<synergy::context>(std::vector<simsycl::device>{dev});
+  }
   ctx->set_user(synergy::vendor::user_context::root());
   synergy::queue q{dev, ctx};
   q.set_target(target);
@@ -58,6 +80,14 @@ void run_queue_workload(const std::string& device, const sm::target& target,
     (void)binding.library->power_usage(binding.index);
   }
   q.print_energy_report(std::cout);
+  if (fault_rate > 0.0) {
+    std::cout << "fault injection: " << q.degraded_submissions()
+              << " degraded submissions";
+    for (const auto* res : ctx->resilience_layers())
+      std::cout << ", " << res->retries() << " retries, " << res->exhausted()
+                << " exhausted, " << res->breaker_opens() << " breaker opens";
+    std::cout << '\n';
+  }
 }
 
 void run_cluster_job(const std::string& device, const sm::target& target,
@@ -121,12 +151,16 @@ int main(int argc, char** argv) {
   std::string csv_file;
   bool cluster = true;
   bool cluster_sim = true;
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = 0x5fa017u;
   std::vector<std::string> names;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--device" && i + 1 < argc) device = argv[++i];
     else if (arg == "--target" && i + 1 < argc) target_name = argv[++i];
+    else if (arg == "--faults" && i + 1 < argc) fault_rate = std::stod(argv[++i]);
+    else if (arg == "--fault-seed" && i + 1 < argc) fault_seed = std::stoull(argv[++i]);
     else if (arg == "--out" && i + 1 < argc) out_file = argv[++i];
     else if (arg == "--csv" && i + 1 < argc) csv_file = argv[++i];
     else if (arg == "--capacity" && i + 1 < argc)
@@ -138,11 +172,17 @@ int main(int argc, char** argv) {
     else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: synergy_trace [--device D] [--target T] [--out F] [--csv F]\n"
                    "                     [--capacity N] [--no-cluster] [--no-cluster-sim]\n"
+                   "                     [--faults R] [--fault-seed S]\n"
                    "                     [--log-tap] [benchmark names...]\n";
       return 0;
     } else {
       names.push_back(arg);
     }
+  }
+
+  if (fault_rate < 0.0 || fault_rate > 1.0) {
+    std::cerr << "synergy_trace: --faults rate must be in [0,1], got " << fault_rate << '\n';
+    return 1;
   }
 
   try {
@@ -152,7 +192,7 @@ int main(int argc, char** argv) {
       names.assign(all.begin(), all.begin() + std::min<std::size_t>(6, all.size()));
     }
 
-    run_queue_workload(device, target, names);
+    run_queue_workload(device, target, names, fault_rate, fault_seed);
     if (cluster) run_cluster_job(device, target, names);
     if (cluster_sim) run_cluster_sim(device, target.to_string(), names);
 
