@@ -62,22 +62,55 @@ void BM_OraclePlan(benchmark::State& state) {
 }
 BENCHMARK(BM_OraclePlan);
 
+const synergy::frequency_planner& shared_trained_planner() {
+  static const synergy::frequency_planner planner{gs::make_v100(), [] {
+                                                    synergy::trainer_options opt;
+                                                    opt.n_microbenchmarks = 24;
+                                                    opt.freq_samples = 16;
+                                                    opt.repetitions = 1;
+                                                    return synergy::model_trainer{
+                                                        gs::make_v100(), opt}
+                                                        .train_default();
+                                                  }()};
+  return planner;
+}
+
 void BM_PlannerPlan(benchmark::State& state) {
-  static synergy::frequency_planner planner{gs::make_v100(), [] {
-                                              synergy::trainer_options opt;
-                                              opt.n_microbenchmarks = 24;
-                                              opt.freq_samples = 16;
-                                              opt.repetitions = 1;
-                                              return synergy::model_trainer{gs::make_v100(),
-                                                                            opt}
-                                                  .train_default();
-                                            }()};
+  const auto& planner = shared_trained_planner();
   const auto& features = sw::find("sobel3").info.features;
   for (auto _ : state) {
     benchmark::DoNotOptimize(planner.plan(features, sm::ES_50));
   }
 }
 BENCHMARK(BM_PlannerPlan);
+
+/// The same plan behind the prediction rails (envelope check, finite /
+/// positive prediction verification, clock clamping). Compare against
+/// BM_PlannerPlan: the delta is the guardrail overhead on the planning hot
+/// path (acceptance target: <= 5% of plan time).
+void BM_PlannerPlanGuarded(benchmark::State& state) {
+  const auto& planner = shared_trained_planner();
+  const auto& features = sw::find("sobel3").info.features;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan_guarded(features, sm::ES_50));
+  }
+}
+BENCHMARK(BM_PlannerPlanGuarded);
+
+/// The full degradation chain (quarantine check -> guarded model plan ->
+/// fallback bookkeeping) as the queue and cluster policies resolve every
+/// target — the end-to-end cost of one guarded frequency decision.
+void BM_GuardedChainPlan(benchmark::State& state) {
+  const auto spec = gs::make_v100();
+  auto planner = std::shared_ptr<const synergy::frequency_planner>(
+      &shared_trained_planner(), [](const synergy::frequency_planner*) {});
+  synergy::guarded_planner guard{spec, planner};
+  const auto& features = sw::find("sobel3").info.features;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(guard.plan("sobel3", features, sm::ES_50));
+  }
+}
+BENCHMARK(BM_GuardedChainPlan);
 
 void BM_QueueSubmit(benchmark::State& state) {
   simsycl::device dev{gs::make_v100()};

@@ -31,11 +31,18 @@ int main() {
 
   const auto dir = std::filesystem::temp_directory_path() / "synergy_models";
   synergy::model_store store{dir};
-  store.save("V100", models);
+  if (const auto st = store.save("V100", models); !st.ok()) {
+    std::printf("error: cannot persist models: %s\n", st.err().to_string().c_str());
+    return 1;
+  }
   std::printf("saved to %s\n", dir.string().c_str());
 
   auto loaded = store.load("V100");
-  synergy::frequency_planner planner{spec, std::move(loaded)};
+  if (!loaded.ok()) {
+    std::printf("error: models did not verify:\n%s", loaded.summary().c_str());
+    return 1;
+  }
+  synergy::frequency_planner planner{spec, std::move(loaded.models)};
 
   std::printf("\n%-14s %-11s %14s %14s\n", "kernel", "target", "predicted MHz", "oracle MHz");
   std::printf("%s\n", std::string(58, '-').c_str());

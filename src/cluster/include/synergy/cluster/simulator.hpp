@@ -17,6 +17,7 @@
 /// host and device lanes in tools/synergy_trace exports.
 
 #include <cstdint>
+#include <filesystem>
 #include <iosfwd>
 #include <limits>
 #include <memory>
@@ -29,6 +30,10 @@
 #include "synergy/cluster/policy.hpp"
 #include "synergy/cluster/power_budget.hpp"
 #include "synergy/sched/controller.hpp"
+
+namespace synergy {
+class guarded_planner;  // core guardrail chain (synergy/guarded_planner.hpp)
+}
 
 namespace synergy::cluster {
 
@@ -228,5 +233,25 @@ class simulator {
 /// planning, Sec. 8.3 ground truth); other (kernel, target) pairs fall
 /// back to an on-the-fly oracle plan.
 [[nodiscard]] plan_fn make_suite_planner(const std::string& device);
+
+/// A suite resolver wired through the prediction guardrails: the trained
+/// model set under `model_dir` is the first tier, the compiled oracle
+/// table the second, default clocks the last. The guard is shared with the
+/// returned plan_fn so callers can inspect fallback counters and the drift
+/// quarantine — a quarantined model set makes every scheduling policy
+/// built on `plan` follow the degradation automatically.
+struct guarded_suite_planner {
+  plan_fn plan;                              ///< resolver for scheduling policies
+  std::shared_ptr<guarded_planner> guard;    ///< shared rail state
+  bool model_loaded{false};  ///< model tier active (structured load verified)
+  std::string load_summary;  ///< per-file diagnostics when it is not
+};
+
+/// Build the guarded resolver for `device`, loading models from
+/// `model_dir` via the crash-safe store. A missing or corrupt model set
+/// never fails: the resolver degrades to the tuning-table tier and the
+/// diagnostics land in `load_summary` (and the warning log).
+[[nodiscard]] guarded_suite_planner make_guarded_suite_planner(
+    const std::string& device, const std::filesystem::path& model_dir);
 
 }  // namespace synergy::cluster

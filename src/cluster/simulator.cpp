@@ -8,8 +8,11 @@
 #include <stdexcept>
 
 #include "synergy/common/csv.hpp"
+#include "synergy/common/log.hpp"
 #include "synergy/common/stats.hpp"
 #include "synergy/common/table.hpp"
+#include "synergy/guarded_planner.hpp"
+#include "synergy/model_store.hpp"
 #include "synergy/sched/plugin.hpp"
 #include "synergy/telemetry/telemetry.hpp"
 #include "synergy/tuning_table.hpp"
@@ -595,6 +598,33 @@ plan_fn make_suite_planner(const std::string& device) {
     profile.work_items = 1 << 22;
     return oracle_plan(spec, profile, target);
   };
+}
+
+guarded_suite_planner make_guarded_suite_planner(const std::string& device,
+                                                 const std::filesystem::path& model_dir) {
+  auto spec = gpusim::make_device_spec(device);
+  features::kernel_registry registry;
+  workloads::register_all(registry);
+  auto table = std::make_shared<tuning_table>(
+      compile_tuning_table_oracle(registry, metrics::paper_objectives(), spec));
+
+  guarded_suite_planner out;
+  model_store store{model_dir};
+  auto loaded = store.load(device);
+  std::shared_ptr<const frequency_planner> planner;
+  if (loaded.ok()) {
+    planner = std::make_shared<frequency_planner>(spec, std::move(loaded.models));
+    out.model_loaded = true;
+  } else {
+    out.load_summary = loaded.summary();
+    common::log_warn("cluster: model set for '", device,
+                     "' unusable; planning from the tuning-table tier\n", out.load_summary);
+  }
+  out.guard = std::make_shared<guarded_planner>(spec, std::move(planner), std::move(table));
+  out.plan = [guard = out.guard](const std::string& kernel, const metrics::target& target) {
+    return guard->plan(kernel, workloads::find(kernel).info.features, target).config;
+  };
+  return out;
 }
 
 }  // namespace synergy::cluster

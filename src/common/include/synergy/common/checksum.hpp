@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file checksum.hpp
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte strings.
+///
+/// Used by the persistence envelope (envelope.hpp) to detect on-disk
+/// corruption of serialized models and tuning tables before any parser ever
+/// sees the payload. The table is built at compile time, so there is no
+/// global initialisation order to worry about.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace synergy::common {
+
+namespace detail {
+
+consteval std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> crc32_table = make_crc32_table();
+
+}  // namespace detail
+
+/// CRC-32 of `data`, optionally chained from a previous checksum.
+[[nodiscard]] constexpr std::uint32_t crc32(std::string_view data,
+                                            std::uint32_t seed = 0) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const char ch : data)
+    c = detail::crc32_table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace synergy::common

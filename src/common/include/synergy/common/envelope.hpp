@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file envelope.hpp
+/// Versioned, checksummed on-disk envelope for persisted artefacts.
+///
+/// Every artefact the deployment workflow ships across a cluster (trained
+/// regressors, feature envelopes, tuning tables — paper Sec. 3.2) is sealed
+/// into a one-line header plus payload:
+///
+///   synergy_envelope v1 <kind> <payload_version> <payload_bytes> <crc32-hex>
+///   <payload bytes...>
+///
+/// `open()` verifies the header shape, the artefact kind, the byte count
+/// (truncation), and the CRC-32 (corruption) before handing the payload to
+/// any parser, and reports each failure as a machine-readable category —
+/// a flipped bit on disk becomes a diagnostic, never UB inside a
+/// deserializer. Writers pair `seal()` with `atomic_write_file()` so a crash
+/// mid-save can never leave a half-written artefact under the final name.
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "synergy/common/error.hpp"
+
+namespace synergy::common::envelope {
+
+inline constexpr std::string_view magic = "synergy_envelope v1";
+
+/// Why an envelope failed to open. `version_skew` is split out from the
+/// corruption categories because it calls for a retrain/reship, not a
+/// restore-from-backup.
+enum class fault {
+  none,
+  not_an_envelope,    ///< header line missing or malformed
+  kind_mismatch,      ///< sealed as a different artefact kind
+  version_skew,       ///< payload format version newer than this build reads
+  truncated,          ///< fewer payload bytes than the header promises
+  checksum_mismatch,  ///< CRC-32 over the payload does not match
+};
+
+[[nodiscard]] constexpr const char* to_string(fault f) {
+  switch (f) {
+    case fault::none: return "ok";
+    case fault::not_an_envelope: return "not_an_envelope";
+    case fault::kind_mismatch: return "kind_mismatch";
+    case fault::version_skew: return "version_skew";
+    case fault::truncated: return "truncated";
+    case fault::checksum_mismatch: return "checksum_mismatch";
+  }
+  return "unknown";
+}
+
+/// Seal `payload` as artefact `kind` at payload format `version`.
+[[nodiscard]] std::string seal(std::string_view kind, unsigned version,
+                               std::string_view payload);
+
+struct opened {
+  fault error{fault::none};
+  std::string detail;   ///< human-readable failure description (empty when ok)
+  std::string kind;     ///< artefact kind from the header (when parseable)
+  unsigned version{0};  ///< payload format version from the header
+  std::string payload;  ///< verified payload (only when ok())
+
+  [[nodiscard]] bool ok() const { return error == fault::none; }
+};
+
+/// Verify and unwrap `text`. `expected_kind` must match the sealed kind;
+/// `max_version` is the newest payload format this build understands.
+[[nodiscard]] opened open(std::string_view text, std::string_view expected_kind,
+                          unsigned max_version);
+
+/// Whether `text` even looks like a sealed envelope (for accepting legacy
+/// bare artefacts with a diagnostic instead of a hard failure).
+[[nodiscard]] bool looks_sealed(std::string_view text);
+
+}  // namespace synergy::common::envelope
+
+namespace synergy::common {
+
+/// Crash-safe file write: the content goes to `<path>.tmp` in the same
+/// directory and is renamed over `path` only once fully flushed, so readers
+/// see either the old artefact or the new one, never a torn half-write.
+[[nodiscard]] status atomic_write_file(const std::filesystem::path& path,
+                                       std::string_view content);
+
+}  // namespace synergy::common

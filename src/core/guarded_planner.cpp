@@ -1,0 +1,104 @@
+#include "synergy/guarded_planner.hpp"
+
+#include <utility>
+
+#include "synergy/telemetry/telemetry.hpp"
+
+namespace synergy {
+
+namespace tel = telemetry;
+
+guarded_planner::guarded_planner(gpusim::device_spec spec,
+                                 std::shared_ptr<const frequency_planner> planner,
+                                 std::shared_ptr<const tuning_table> table,
+                                 drift_options drift)
+    : spec_(std::move(spec)),
+      planner_(std::move(planner)),
+      table_(std::move(table)),
+      drift_(drift) {}
+
+plan_decision guarded_planner::plan(const std::string& kernel,
+                                    const gpusim::static_features& k,
+                                    const metrics::target& target) {
+  SYNERGY_COUNTER_ADD("planner.plans", 1);
+  plan_decision out;
+
+  // Tier 1: the guarded model.
+  if (planner_) {
+    if (drift_.quarantined()) {
+      ++quarantine_rejections_;
+      SYNERGY_COUNTER_ADD("planner.quarantine_rejections", 1);
+      out.reason = "model set quarantined: " + drift_.quarantine_reason();
+    } else {
+      auto guarded = planner_->plan_guarded(k, target);
+      out.ood = guarded.ood;
+      out.clamped = guarded.clamped;
+      if (guarded.usable()) {
+        ++model_plans_;
+        SYNERGY_COUNTER_ADD("planner.plan_model", 1);
+        if (guarded.clamped) SYNERGY_COUNTER_ADD("planner.clock_clamped", 1);
+        out.config = *guarded.config;
+        out.tier = plan_tier::model;
+        return out;
+      }
+      if (guarded.ood) {
+        ++ood_rejections_;
+        SYNERGY_COUNTER_ADD("planner.ood_rejections", 1);
+      } else {
+        ++prediction_rejections_;
+        SYNERGY_COUNTER_ADD("planner.prediction_rejections", 1);
+      }
+      out.reason = guarded.reason;
+    }
+  } else {
+    out.reason = "no model set loaded";
+  }
+
+  // Tier 2: the compiled tuning-table artefact.
+  if (table_) {
+    if (const auto entry = table_->find(kernel, target)) {
+      ++table_fallbacks_;
+      SYNERGY_COUNTER_ADD("planner.fallback_table", 1);
+      SYNERGY_INSTANT(tel::category::plan, "planner.fallback", {"tier", 1.0},
+                      {"ood", out.ood ? 1.0 : 0.0});
+      out.config = *entry;
+      // A stale artefact may carry clocks this device cannot run; snap them.
+      if (!spec_.supports_core_clock(out.config.core)) {
+        out.config.core = spec_.nearest_core_clock(out.config.core);
+        out.clamped = true;
+        SYNERGY_COUNTER_ADD("planner.clock_clamped", 1);
+      }
+      if (!spec_.supports_memory_clock(out.config.memory)) {
+        out.config.memory = spec_.memory_clock;
+        out.clamped = true;
+      }
+      out.tier = plan_tier::tuning_table;
+      return out;
+    }
+  }
+
+  // Tier 3: driver default clocks — always available, never wrong, merely
+  // unoptimised.
+  ++default_fallbacks_;
+  SYNERGY_COUNTER_ADD("planner.fallback_default", 1);
+  SYNERGY_INSTANT(tel::category::plan, "planner.fallback", {"tier", 2.0},
+                  {"ood", out.ood ? 1.0 : 0.0});
+  out.config = spec_.default_config();
+  out.tier = plan_tier::default_clocks;
+  return out;
+}
+
+void guarded_planner::observe(const std::string& kernel, const gpusim::static_features& k,
+                              common::megahertz core_clock, double measured_energy_j) {
+  if (!planner_) return;
+  const auto predicted = planner_->predicted_energy(k, core_clock);
+  if (!predicted) {
+    // A model that cannot even produce a finite prediction is drift by
+    // definition; feed an invalid pair so the rejection is counted.
+    drift_.observe(kernel, 0.0, measured_energy_j);
+    return;
+  }
+  drift_.observe(kernel, *predicted, measured_energy_j);
+}
+
+}  // namespace synergy

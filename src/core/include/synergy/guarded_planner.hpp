@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file guarded_planner.hpp
+/// The deterministic prediction degradation chain:
+///
+///     guarded model  →  tuning-table entry  →  default clocks
+///
+/// Every frequency decision the stack makes (queue target resolution,
+/// cluster policy plans, the synergy_plan compile step) resolves through
+/// this chain. The model tier only answers when the model set is loaded,
+/// not quarantined by the drift monitor, the feature vector is inside the
+/// training envelope, and every prediction passes the sanity rails
+/// (frequency_planner::plan_guarded); otherwise the request falls to the
+/// compiled tuning-table artefact, and failing that to the device's driver
+/// default clocks. Every fallback is counted in the metrics registry and
+/// emitted as a trace instant, so a fleet silently running on degraded
+/// tiers is visible, not mysterious.
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "synergy/drift_monitor.hpp"
+#include "synergy/planner.hpp"
+#include "synergy/tuning_table.hpp"
+
+namespace synergy {
+
+/// Which tier of the degradation chain produced a plan.
+enum class plan_tier { model, tuning_table, default_clocks };
+
+[[nodiscard]] constexpr const char* to_string(plan_tier t) {
+  switch (t) {
+    case plan_tier::model: return "model";
+    case plan_tier::tuning_table: return "tuning_table";
+    case plan_tier::default_clocks: return "default_clocks";
+  }
+  return "?";
+}
+
+/// One resolved decision: the clocks to run at, the tier that produced
+/// them, and — when the model tier was skipped — why.
+struct plan_decision {
+  common::frequency_config config;
+  plan_tier tier{plan_tier::default_clocks};
+  bool ood{false};      ///< model tier rejected the features as out-of-distribution
+  bool clamped{false};  ///< clocks were snapped onto the supported table
+  std::string reason;   ///< why the chain fell past the model tier (empty on model)
+};
+
+class guarded_planner {
+ public:
+  /// Either tier may be absent: a missing/corrupt model set degrades the
+  /// chain to tuning-table/default, a missing artefact to model/default.
+  guarded_planner(gpusim::device_spec spec,
+                  std::shared_ptr<const frequency_planner> planner = nullptr,
+                  std::shared_ptr<const tuning_table> table = nullptr,
+                  drift_options drift = {});
+
+  /// Resolve (kernel, features, target) down the chain. Deterministic:
+  /// identical state and inputs produce the identical decision.
+  [[nodiscard]] plan_decision plan(const std::string& kernel,
+                                   const gpusim::static_features& k,
+                                   const metrics::target& target);
+
+  /// Feed one measured energy sample for drift tracking. `core_clock` is
+  /// the clock the sample was actually taken at; the model's prediction at
+  /// that clock is compared against `measured_energy_j`. No-op without a
+  /// model tier.
+  void observe(const std::string& kernel, const gpusim::static_features& k,
+               common::megahertz core_clock, double measured_energy_j);
+
+  [[nodiscard]] bool quarantined() const { return drift_.quarantined(); }
+  [[nodiscard]] const drift_monitor& drift() const { return drift_; }
+  /// Lift a quarantine (after installing retrained models).
+  void reset_quarantine() { drift_.reset(); }
+
+  [[nodiscard]] bool has_model_tier() const { return planner_ != nullptr; }
+  [[nodiscard]] bool has_table_tier() const { return table_ != nullptr; }
+  [[nodiscard]] const gpusim::device_spec& spec() const { return spec_; }
+  [[nodiscard]] const std::shared_ptr<const frequency_planner>& planner() const {
+    return planner_;
+  }
+
+  // --- fallback accounting (mirrored into the metrics registry) ------------
+  [[nodiscard]] std::size_t model_plans() const { return model_plans_; }
+  [[nodiscard]] std::size_t table_fallbacks() const { return table_fallbacks_; }
+  [[nodiscard]] std::size_t default_fallbacks() const { return default_fallbacks_; }
+  [[nodiscard]] std::size_t ood_rejections() const { return ood_rejections_; }
+  [[nodiscard]] std::size_t prediction_rejections() const { return prediction_rejections_; }
+  [[nodiscard]] std::size_t quarantine_rejections() const { return quarantine_rejections_; }
+
+ private:
+  gpusim::device_spec spec_;
+  std::shared_ptr<const frequency_planner> planner_;
+  std::shared_ptr<const tuning_table> table_;
+  drift_monitor drift_;
+  std::size_t model_plans_{0};
+  std::size_t table_fallbacks_{0};
+  std::size_t default_fallbacks_{0};
+  std::size_t ood_rejections_{0};
+  std::size_t prediction_rejections_{0};
+  std::size_t quarantine_rejections_{0};
+};
+
+}  // namespace synergy

@@ -1,35 +1,108 @@
 #pragma once
 
 /// \file model_store.hpp
-/// Persistence for trained per-device model sets.
+/// Crash-safe persistence for trained per-device model sets.
 ///
 /// Deployment on a new system (paper Sec. 3.2) trains the four metric models
 /// per device and installs them; applications then load the models matching
-/// their target device. The store writes one text file per metric under
-/// <dir>/<device-key>/ so a cluster can ship a directory of models per GPU
-/// product.
+/// their target device. The store writes one sealed text file per metric
+/// under <dir>/<device-key>/ — plus the training feature envelope — so a
+/// cluster can ship a directory of models per GPU product.
+///
+/// Robustness contract:
+///  - every file is wrapped in the versioned CRC-32 envelope
+///    (common/envelope.hpp) and written atomically (temp + rename), so a
+///    crash mid-save never tears an artefact;
+///  - `load` never throws for bad on-disk state: corruption, truncation,
+///    version skew, and partial model sets come back as a `load_result`
+///    with one diagnostic per file, and callers branch instead of dying;
+///  - legacy unsealed files (pre-envelope format) still load, with a
+///    diagnostic note recommending a re-save.
 
 #include <filesystem>
 #include <string>
+#include <vector>
 
+#include "synergy/common/error.hpp"
 #include "synergy/planner.hpp"
 
 namespace synergy {
+
+/// Per-file outcome of a model-set load/validate.
+enum class model_file_status {
+  ok,            ///< parsed and verified
+  legacy,        ///< parsed, but unsealed pre-envelope format (re-save advised)
+  missing,       ///< file absent
+  io_error,      ///< present but unreadable
+  corrupt,       ///< checksum/truncation/parse failure
+  version_skew,  ///< sealed with a newer payload format than this build reads
+};
+
+[[nodiscard]] constexpr const char* to_string(model_file_status s) {
+  switch (s) {
+    case model_file_status::ok: return "ok";
+    case model_file_status::legacy: return "legacy";
+    case model_file_status::missing: return "missing";
+    case model_file_status::io_error: return "io_error";
+    case model_file_status::corrupt: return "corrupt";
+    case model_file_status::version_skew: return "version_skew";
+  }
+  return "?";
+}
+
+/// One file's diagnostic within a load_result.
+struct model_file_diagnostic {
+  std::string file;  ///< file name relative to the device directory
+  model_file_status status{model_file_status::ok};
+  std::string detail;  ///< failure description (empty when ok)
+};
+
+/// Structured outcome of model_store::load — the four models when every
+/// metric file verified, and per-file diagnostics either way.
+struct load_result {
+  trained_models models;
+  std::vector<model_file_diagnostic> files;
+
+  /// True when a complete, verified model set was loaded (the optional
+  /// feature envelope may still be missing — it degrades the OOD rail,
+  /// not the models).
+  [[nodiscard]] bool ok() const;
+  /// True when any file failed for a reason other than a clean "missing"
+  /// (i.e. the on-disk state is damaged, not merely absent).
+  [[nodiscard]] bool corrupt() const;
+  /// Diagnostics joined one per line, for CLI/log output.
+  [[nodiscard]] std::string summary() const;
+};
 
 class model_store {
  public:
   explicit model_store(std::filesystem::path root) : root_(std::move(root)) {}
 
-  /// Persist a model set for a device key ("V100", "MI100", ...). Creates
-  /// directories as needed; overwrites existing models.
-  void save(const std::string& device_key, const trained_models& models) const;
+  /// Persist a model set for a device key ("V100", "MI100", ...): one
+  /// sealed file per metric, the feature envelope alongside, each written
+  /// atomically. Overwrites existing models. Returns an error status (not
+  /// an exception) when the set is incomplete or the filesystem rejects
+  /// the write.
+  [[nodiscard]] common::status save(const std::string& device_key,
+                                    const trained_models& models) const;
 
-  /// Load a model set; throws std::runtime_error if any file is missing or
-  /// malformed.
-  [[nodiscard]] trained_models load(const std::string& device_key) const;
+  /// Load a model set. Never throws for on-disk problems: missing files,
+  /// corruption, truncation, and version skew are reported per file in the
+  /// returned load_result and `result.ok()` is false. There is no separate
+  /// existence check to race against — load once, branch on the result.
+  [[nodiscard]] load_result load(const std::string& device_key) const;
 
-  /// Whether a complete model set exists for the key.
+  /// Verify a model set without keeping the models (same diagnostics as
+  /// load; the CLI `synergy_plan --validate` contract).
+  [[nodiscard]] load_result validate(const std::string& device_key) const;
+
+  /// Whether a complete model set *appears* to exist (files present; says
+  /// nothing about integrity — prefer load()/validate() and branch on the
+  /// result, which cannot race against a concurrent reinstall).
   [[nodiscard]] bool contains(const std::string& device_key) const;
+
+  /// Device keys with at least one model file under the root, sorted.
+  [[nodiscard]] std::vector<std::string> device_keys() const;
 
   [[nodiscard]] const std::filesystem::path& root() const { return root_; }
 

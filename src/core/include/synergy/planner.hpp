@@ -16,21 +16,29 @@
 
 #include <array>
 #include <memory>
+#include <optional>
+#include <string>
 
 #include "synergy/gpusim/device_spec.hpp"
 #include "synergy/gpusim/dvfs_model.hpp"
 #include "synergy/gpusim/kernel_profile.hpp"
 #include "synergy/metrics/energy_metrics.hpp"
+#include "synergy/ml/feature_envelope.hpp"
 #include "synergy/ml/regressor.hpp"
 
 namespace synergy {
 
-/// The four single-target models of the training phase (paper Sec. 6.1).
+/// The four single-target models of the training phase (paper Sec. 6.1),
+/// plus the feature envelope the training design matrix covered — the
+/// in-distribution region inside which predictions are trustworthy. The
+/// envelope is optional (legacy model sets lack it); without one, guarded
+/// planning skips the out-of-distribution check.
 struct trained_models {
   std::unique_ptr<ml::regressor> time;
   std::unique_ptr<ml::regressor> energy;
   std::unique_ptr<ml::regressor> edp;
   std::unique_ptr<ml::regressor> ed2p;
+  ml::feature_envelope envelope;
 
   [[nodiscard]] bool complete() const {
     return time && energy && edp && ed2p && time->fitted() && energy->fitted() &&
@@ -59,6 +67,19 @@ inline constexpr std::size_t model_input_dim = 14;
                                                    const metrics::target& target,
                                                    const gpusim::dvfs_model& model = {});
 
+/// Outcome of a sanity-railed plan (frequency_planner::plan_guarded).
+/// `config` is empty when the model tier must not be trusted for this
+/// request; `reason` then names the rail that fired. The flags are reported
+/// even on success so callers can count near-misses.
+struct guarded_plan {
+  std::optional<common::frequency_config> config;
+  bool ood{false};      ///< feature vector outside the training envelope
+  bool clamped{false};  ///< planned clocks were snapped onto the supported table
+  std::string reason;   ///< why the plan was rejected (empty when config is set)
+
+  [[nodiscard]] bool usable() const { return config.has_value(); }
+};
+
 /// Model-driven planner bound to one device spec.
 class frequency_planner {
  public:
@@ -73,6 +94,21 @@ class frequency_planner {
   /// the predicted time/energy characterization.
   [[nodiscard]] common::frequency_config plan(const gpusim::static_features& k,
                                               const metrics::target& target) const;
+
+  /// `plan` behind sanity rails: rejects out-of-distribution feature
+  /// vectors (training envelope, when the model set ships one) and
+  /// non-finite / non-positive metric predictions, and snaps the planned
+  /// clocks onto the device's supported tables. Never throws for bad
+  /// predictions — a rejected plan is a structured outcome the degradation
+  /// chain (guarded_planner) falls through.
+  [[nodiscard]] guarded_plan plan_guarded(const gpusim::static_features& k,
+                                          const metrics::target& target) const;
+
+  /// Predicted per-item energy at an exact operating point (drift
+  /// monitoring compares this against the measured sample). Empty when the
+  /// model emits a non-finite or non-positive value.
+  [[nodiscard]] std::optional<double> predicted_energy(const gpusim::static_features& k,
+                                                       common::megahertz core_clock) const;
 
   [[nodiscard]] const gpusim::device_spec& spec() const { return spec_; }
   [[nodiscard]] const trained_models& models() const { return models_; }

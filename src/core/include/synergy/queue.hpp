@@ -29,6 +29,7 @@
 #include "simsycl/sycl.hpp"
 #include "synergy/common/log.hpp"
 #include "synergy/context.hpp"
+#include "synergy/guarded_planner.hpp"
 #include "synergy/metrics/energy_metrics.hpp"
 #include "synergy/planner.hpp"
 
@@ -73,7 +74,15 @@ class queue : public simsycl::queue {
   /// Install the model-based planner used to resolve targets. Without one,
   /// targets are resolved by the simulator-exact oracle (useful for tests
   /// and upper-bound studies; a trained planner reproduces the paper flow).
-  void set_planner(std::shared_ptr<const frequency_planner> planner);
+  ///
+  /// The planner runs behind the prediction guardrails: non-finite or
+  /// negative predictions, out-of-distribution feature vectors, and a
+  /// drift-quarantined model set all degrade the submission to the
+  /// tuning-table entry (if installed) or the driver default clocks.
+  /// Measured energy from every non-degraded launch feeds the drift
+  /// monitor, configurable via `drift`.
+  void set_planner(std::shared_ptr<const frequency_planner> planner,
+                   drift_options drift = {});
 
   /// Install compile-time tuning artefacts: targets resolve through the
   /// table first (no models needed at runtime, as in the paper's compiled
@@ -186,6 +195,15 @@ class queue : public simsycl::queue {
   /// Target resolutions served from the per-kernel plan cache.
   [[nodiscard]] std::size_t plan_cache_hits() const { return plan_cache_hits_; }
 
+  /// The guardrail state wrapped around the installed planner, or nullptr
+  /// when no planner is installed (fallback tiers, drift statistic,
+  /// quarantine flag).
+  [[nodiscard]] const guarded_planner* guard() const { return guard_.get(); }
+
+  /// Whether the drift monitor has quarantined the installed model set
+  /// (target resolutions then bypass the model tier until retraining).
+  [[nodiscard]] bool model_quarantined() const { return guard_ && guard_->quarantined(); }
+
   [[nodiscard]] const std::shared_ptr<context>& get_context() const { return ctx_; }
 
  private:
@@ -202,6 +220,8 @@ class queue : public simsycl::queue {
   std::shared_ptr<context> ctx_;
   context::binding binding_;
   std::shared_ptr<const frequency_planner> planner_;
+  std::unique_ptr<guarded_planner> guard_;
+  bool quarantine_seen_{false};  ///< plan cache flushed once on quarantine
   std::shared_ptr<const class tuning_table> tuning_;
   std::optional<common::frequency_config> fixed_;
   std::optional<metrics::target> target_;

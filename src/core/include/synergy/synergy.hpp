@@ -5,6 +5,8 @@
 
 #include "simsycl/sycl.hpp"                    // IWYU pragma: export
 #include "synergy/context.hpp"                 // IWYU pragma: export
+#include "synergy/drift_monitor.hpp"           // IWYU pragma: export
+#include "synergy/guarded_planner.hpp"         // IWYU pragma: export
 #include "synergy/metrics/energy_metrics.hpp"  // IWYU pragma: export
 #include "synergy/model_store.hpp"             // IWYU pragma: export
 #include "synergy/planner.hpp"                 // IWYU pragma: export

@@ -11,16 +11,20 @@
 /// needs neither the models nor the planner. The SYnergy queue consults an
 /// installed table before falling back to online planning.
 
+#include <filesystem>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "synergy/common/error.hpp"
 #include "synergy/features/kernel_registry.hpp"
 #include "synergy/metrics/energy_metrics.hpp"
 #include "synergy/planner.hpp"
 
 namespace synergy {
+
+struct tuning_table_parse_result;
 
 class tuning_table {
  public:
@@ -46,6 +50,15 @@ class tuning_table {
   /// Line-oriented text serialisation (one entry per line) for shipping the
   /// artefact next to the application binary.
   [[nodiscard]] std::string serialize() const;
+
+  /// Lenient parser for untrusted artefacts: malformed entry lines
+  /// (non-numeric clocks, missing fields, unknown targets, duplicate keys)
+  /// are skipped with a diagnostic — never an exception from stream state.
+  /// A bad header/device line fails the whole parse (header_ok false).
+  [[nodiscard]] static tuning_table_parse_result parse(const std::string& text);
+
+  /// Strict parser: throws std::invalid_argument with a clean message
+  /// naming the offending line for *any* defect. Round-trips serialize().
   [[nodiscard]] static tuning_table deserialize(const std::string& text);
 
  private:
@@ -53,6 +66,42 @@ class tuning_table {
   std::map<key, common::frequency_config> entries_;
   std::string device_key_;
 };
+
+/// Outcome of a lenient tuning_table::parse: whatever entries were
+/// recoverable, plus one diagnostic per malformed line naming the line
+/// number and defect.
+struct tuning_table_parse_result {
+  tuning_table table;
+  std::vector<std::string> diagnostics;  ///< "line 7: non-numeric core clock 'x'"
+  std::size_t parsed{0};                 ///< entries accepted
+  std::size_t skipped{0};                ///< malformed entry lines dropped
+  bool header_ok{false};                 ///< header + device line verified
+
+  /// Every line parsed cleanly.
+  [[nodiscard]] bool clean() const { return header_ok && skipped == 0; }
+};
+
+/// Outcome of loading a tuning-table artefact from disk.
+struct tuning_table_load_result {
+  std::optional<tuning_table> table;      ///< engaged when the artefact was usable
+  std::vector<std::string> diagnostics;   ///< per-defect messages (envelope + lines)
+  bool sealed{false};                     ///< file carried the CRC envelope
+
+  [[nodiscard]] bool ok() const { return table.has_value(); }
+  /// Diagnostics joined one per line, for CLI/log output.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Persist a tuning table inside the versioned CRC-32 envelope, written
+/// atomically (temp + rename) so a crash mid-save never tears the artefact.
+[[nodiscard]] common::status save_tuning_table(const std::filesystem::path& path,
+                                               const tuning_table& table);
+
+/// Load a tuning-table artefact. Never throws for on-disk problems:
+/// missing files, corruption, truncation and malformed entries come back
+/// as diagnostics. Sealed and legacy bare files are both accepted; a
+/// lenient line parse salvages every well-formed entry.
+[[nodiscard]] tuning_table_load_result load_tuning_table(const std::filesystem::path& path);
 
 /// The compile step: plan every registered kernel for every requested
 /// target with the given planner. `device_key` stamps the artefact.

@@ -1,57 +1,213 @@
 #include "synergy/model_store.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
+
+#include "synergy/common/envelope.hpp"
+#include "synergy/telemetry/telemetry.hpp"
 
 namespace synergy {
+
+namespace env = common::envelope;
 
 namespace {
 
 constexpr const char* metric_files[] = {"time.model", "energy.model", "edp.model",
                                         "ed2p.model"};
+constexpr const char* envelope_file = "features.envelope";
 
-void write_file(const std::filesystem::path& path, const std::string& text) {
-  std::ofstream out{path};
-  if (!out) throw std::runtime_error("cannot write " + path.string());
-  out << text;
-}
+/// Envelope kinds and payload format versions this build writes/reads.
+constexpr const char* model_kind = "regressor";
+constexpr const char* feature_kind = "feature_envelope";
+constexpr unsigned payload_version = 1;
 
-std::string read_file(const std::filesystem::path& path) {
-  std::ifstream in{path};
-  if (!in) throw std::runtime_error("cannot read " + path.string());
+/// Read a whole file; distinguishes missing from unreadable.
+common::result<std::string> read_file(const std::filesystem::path& path,
+                                      model_file_status& status) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    status = model_file_status::missing;
+    return common::error{common::errc::not_found, "missing metric file"};
+  }
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    status = model_file_status::io_error;
+    return common::error{common::errc::internal, "cannot read " + path.string()};
+  }
   std::ostringstream oss;
   oss << in.rdbuf();
+  if (in.bad()) {
+    status = model_file_status::io_error;
+    return common::error{common::errc::internal, "read error on " + path.string()};
+  }
   return oss.str();
+}
+
+/// Unseal one artefact file into its payload, mapping every envelope fault
+/// onto a model_file_status. Legacy bare payloads pass through with a note.
+common::result<std::string> unseal(const std::filesystem::path& path, const char* kind,
+                                   model_file_diagnostic& diag) {
+  auto text = read_file(path, diag.status);
+  if (!text.has_value()) {
+    diag.detail = text.err().message;
+    return text;
+  }
+  if (!env::looks_sealed(text.value())) {
+    diag.status = model_file_status::legacy;
+    diag.detail = "unsealed legacy artefact (re-save to add version/checksum protection)";
+    return text;
+  }
+  auto opened = env::open(text.value(), kind, payload_version);
+  if (!opened.ok()) {
+    diag.status = opened.error == env::fault::version_skew ? model_file_status::version_skew
+                                                           : model_file_status::corrupt;
+    diag.detail = std::string(env::to_string(opened.error)) + ": " + opened.detail;
+    return common::error{common::errc::invalid_argument, diag.detail};
+  }
+  diag.status = model_file_status::ok;
+  return std::move(opened.payload);
+}
+
+/// Load one metric model file into `slot`, appending its diagnostic.
+void load_model_file(const std::filesystem::path& dir, const char* file,
+                     std::unique_ptr<ml::regressor>& slot,
+                     std::vector<model_file_diagnostic>& diags) {
+  model_file_diagnostic diag;
+  diag.file = file;
+  const auto payload = unseal(dir / file, model_kind, diag);
+  if (payload.has_value()) {
+    auto model = ml::try_deserialize_regressor(payload.value());
+    if (model.has_value()) {
+      slot = std::move(model).value();
+    } else {
+      diag.status = model_file_status::corrupt;
+      diag.detail = model.err().message;
+    }
+  }
+  diags.push_back(std::move(diag));
 }
 
 }  // namespace
 
-void model_store::save(const std::string& device_key, const trained_models& models) const {
-  if (!models.complete()) throw std::invalid_argument("model set incomplete");
-  const auto dir = dir_for(device_key);
-  std::filesystem::create_directories(dir);
-  write_file(dir / metric_files[0], models.time->serialize());
-  write_file(dir / metric_files[1], models.energy->serialize());
-  write_file(dir / metric_files[2], models.edp->serialize());
-  write_file(dir / metric_files[3], models.ed2p->serialize());
+bool load_result::ok() const {
+  // Judged on the per-file verdicts, not on `models`: validate() drops the
+  // parsed models but its ok/corrupt verdict must match load()'s. Inside
+  // load(), a metric file only reaches status ok/legacy after its regressor
+  // deserialized and reported fitted, so file-ok implies a complete set.
+  for (const char* f : metric_files) {
+    const auto it = std::find_if(files.begin(), files.end(),
+                                 [&](const model_file_diagnostic& d) { return d.file == f; });
+    if (it == files.end() ||
+        (it->status != model_file_status::ok && it->status != model_file_status::legacy))
+      return false;
+  }
+  return true;
 }
 
-trained_models model_store::load(const std::string& device_key) const {
+bool load_result::corrupt() const {
+  return std::any_of(files.begin(), files.end(), [](const model_file_diagnostic& d) {
+    return d.status == model_file_status::io_error ||
+           d.status == model_file_status::corrupt ||
+           d.status == model_file_status::version_skew;
+  });
+}
+
+std::string load_result::summary() const {
+  std::ostringstream oss;
+  for (const auto& d : files) {
+    oss << d.file << ": " << to_string(d.status);
+    if (!d.detail.empty()) oss << " (" << d.detail << ')';
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+common::status model_store::save(const std::string& device_key,
+                                 const trained_models& models) const {
+  if (!models.complete())
+    return common::error{common::errc::invalid_argument, "model set incomplete"};
   const auto dir = dir_for(device_key);
-  trained_models models;
-  models.time = ml::deserialize_regressor(read_file(dir / metric_files[0]));
-  models.energy = ml::deserialize_regressor(read_file(dir / metric_files[1]));
-  models.edp = ml::deserialize_regressor(read_file(dir / metric_files[2]));
-  models.ed2p = ml::deserialize_regressor(read_file(dir / metric_files[3]));
-  return models;
+  const std::unique_ptr<ml::regressor>* slots[] = {&models.time, &models.energy, &models.edp,
+                                                   &models.ed2p};
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto sealed = env::seal(model_kind, payload_version, (*slots[i])->serialize());
+    if (auto st = common::atomic_write_file(dir / metric_files[i], sealed); !st.ok())
+      return st;
+  }
+  if (models.envelope.fitted()) {
+    const auto sealed = env::seal(feature_kind, payload_version, models.envelope.serialize());
+    if (auto st = common::atomic_write_file(dir / envelope_file, sealed); !st.ok()) return st;
+  }
+  SYNERGY_COUNTER_ADD("model_store.saves", 1);
+  return common::status::success();
+}
+
+load_result model_store::load(const std::string& device_key) const {
+  SYNERGY_SPAN_VAR(span, telemetry::category::plan, "model_store.load");
+  span.str("device", device_key);
+  const auto dir = dir_for(device_key);
+  load_result result;
+
+  load_model_file(dir, metric_files[0], result.models.time, result.files);
+  load_model_file(dir, metric_files[1], result.models.energy, result.files);
+  load_model_file(dir, metric_files[2], result.models.edp, result.files);
+  load_model_file(dir, metric_files[3], result.models.ed2p, result.files);
+
+  // The feature envelope is optional: absence only disables the OOD rail.
+  model_file_diagnostic env_diag;
+  env_diag.file = envelope_file;
+  const auto payload = unseal(dir / envelope_file, feature_kind, env_diag);
+  if (payload.has_value()) {
+    auto parsed = ml::feature_envelope::deserialize(payload.value());
+    if (parsed.has_value()) {
+      result.models.envelope = std::move(parsed).value();
+    } else {
+      env_diag.status = model_file_status::corrupt;
+      env_diag.detail = parsed.err().message;
+    }
+  }
+  result.files.push_back(std::move(env_diag));
+
+  if (!result.ok()) {
+    SYNERGY_COUNTER_ADD("model_store.load_failures", 1);
+    // A failed load must not hand out a half-parsed set: all or nothing.
+    result.models = trained_models{};
+  } else {
+    SYNERGY_COUNTER_ADD("model_store.loads", 1);
+  }
+  return result;
+}
+
+load_result model_store::validate(const std::string& device_key) const {
+  auto result = load(device_key);
+  result.models = trained_models{};
+  return result;
 }
 
 bool model_store::contains(const std::string& device_key) const {
   const auto dir = dir_for(device_key);
+  std::error_code ec;
   for (const char* file : metric_files)
-    if (!std::filesystem::exists(dir / file)) return false;
+    if (!std::filesystem::exists(dir / file, ec)) return false;
   return true;
+}
+
+std::vector<std::string> model_store::device_keys() const {
+  std::vector<std::string> keys;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(root_, ec)) return keys;
+  for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
+    if (!entry.is_directory(ec)) continue;
+    for (const char* file : metric_files) {
+      if (std::filesystem::exists(entry.path() / file, ec)) {
+        keys.push_back(entry.path().filename().string());
+        break;
+      }
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
 }
 
 }  // namespace synergy

@@ -70,6 +70,91 @@ metrics::characterization frequency_planner::predict_characterization(
   return c;
 }
 
+std::optional<double> frequency_planner::predicted_energy(const gpusim::static_features& k,
+                                                          megahertz core_clock) const {
+  const double e = models_.energy->predict_one(model_input(k, core_clock));
+  if (!std::isfinite(e) || e <= 0.0) return std::nullopt;
+  return e;
+}
+
+guarded_plan frequency_planner::plan_guarded(const gpusim::static_features& k,
+                                             const metrics::target& target) const {
+  guarded_plan out;
+  // Out-of-distribution rail. The static-feature columns are constant over
+  // the clock sweep and every clock-basis column (f, 1/f, log f, f^3) is
+  // monotone in f, so checking the table endpoints plus the default clock
+  // covers the entire deployment input range of this kernel.
+  if (models_.envelope.fitted()) {
+    for (const megahertz f :
+         {spec_.min_core_clock(), spec_.default_core_clock(), spec_.max_core_clock()}) {
+      if (!models_.envelope.contains(model_input(k, f))) {
+        out.ood = true;
+        out.reason = "feature vector outside the training envelope at " +
+                     std::to_string(f.value) + " MHz";
+        return out;
+      }
+    }
+  }
+
+  using kind = metrics::target::kind;
+  frequency_config config;
+  if (target.k == kind::min_edp || target.k == kind::min_ed2p) {
+    // Product-metric models predict in log space, where negative values are
+    // legitimate; only non-finite output is a broken model.
+    const ml::regressor& model = target.k == kind::min_edp ? *models_.edp : *models_.ed2p;
+    megahertz best = spec_.default_core_clock();
+    double best_v = std::numeric_limits<double>::infinity();
+    for (const megahertz f : spec_.core_clocks) {
+      const double v = model.predict_one(model_input(k, f));
+      if (!std::isfinite(v)) {
+        out.reason = "non-finite " + target.to_string() + " prediction at " +
+                     std::to_string(f.value) + " MHz";
+        return out;
+      }
+      if (v < best_v) {
+        best_v = v;
+        best = f;
+      }
+    }
+    config = {spec_.memory_clock, best};
+  } else {
+    metrics::characterization c;
+    c.points.reserve(spec_.core_clocks.size());
+    for (const megahertz f : spec_.core_clocks) {
+      const auto x = model_input(k, f);
+      const double t = models_.time->predict_one(x);
+      const double e = models_.energy->predict_one(x);
+      if (!std::isfinite(t) || !std::isfinite(e)) {
+        out.reason =
+            "non-finite time/energy prediction at " + std::to_string(f.value) + " MHz";
+        return out;
+      }
+      if (t <= 0.0 || e <= 0.0) {
+        out.reason =
+            "non-positive time/energy prediction at " + std::to_string(f.value) + " MHz";
+        return out;
+      }
+      c.points.push_back({{spec_.memory_clock, f}, t, e});
+    }
+    c.default_index = spec_.default_clock_index;
+    config = c.points[metrics::select(c, target)].config;
+  }
+
+  // Clamp rail: a plan the device cannot run is worse than a clamped one.
+  // By construction the search stays on the table; this guards refactors
+  // and deserialized specs from ever issuing an unsupported clock.
+  if (!spec_.supports_core_clock(config.core)) {
+    config.core = spec_.nearest_core_clock(config.core);
+    out.clamped = true;
+  }
+  if (!spec_.supports_memory_clock(config.memory)) {
+    config.memory = spec_.memory_clock;
+    out.clamped = true;
+  }
+  out.config = config;
+  return out;
+}
+
 frequency_config frequency_planner::plan(const gpusim::static_features& k,
                                          const metrics::target& target) const {
   using kind = metrics::target::kind;

@@ -42,8 +42,15 @@ void queue::clear_policy() {
   target_.reset();
 }
 
-void queue::set_planner(std::shared_ptr<const frequency_planner> planner) {
+void queue::set_planner(std::shared_ptr<const frequency_planner> planner, drift_options drift) {
   planner_ = std::move(planner);
+  // The model tier always answers through the rails; the queue keeps its own
+  // tuning-table tier ahead of the guard (compiled artefacts win, paper
+  // Fig. 3), so the guard is built without one.
+  guard_ = planner_ ? std::make_unique<guarded_planner>(get_device().spec(), planner_,
+                                                        nullptr, drift)
+                    : nullptr;
+  quarantine_seen_ = false;
   plan_cache_.clear();
 }
 
@@ -78,7 +85,12 @@ frequency_config queue::resolve_target(const simsycl::handler& h, const metrics:
     return config;
   }
   if (planner_) {
-    config = planner_->plan(h.info().features, t);
+    // Guarded model tier: sanity rails, OOD envelope and drift quarantine;
+    // an untrustworthy model degrades the decision to default clocks (the
+    // compiled tuning table was already consulted above).
+    const auto decision = guard_->plan(h.info().name, h.info().features, t);
+    config = decision.config;
+    span.arg("tier", static_cast<double>(static_cast<int>(decision.tier)));
   } else {
     // Oracle fallback: exact per-kernel optimum from the simulator model.
     const auto profile = h.info().to_profile(h.launch_items());
@@ -128,7 +140,9 @@ simsycl::event queue::submit_recorded(simsycl::handler& h,
   SYNERGY_SPAN_VAR(span, tel::category::kernel, "queue.submit");
   SYNERGY_COUNTER_ADD("queue.submissions", 1);
   degrade_next_ = false;
+  std::optional<gpusim::static_features> features;
   if (h.has_launch()) {
+    if (guard_) features = h.info().features;
     span.str("kernel", h.info().name);
     // Per-submission settings take precedence over the queue policy.
     if (freq) {
@@ -155,6 +169,22 @@ simsycl::event queue::submit_recorded(simsycl::handler& h,
     samples_.push_back({event.kernel_name(), event.record().config,
                         event.record().cost.time.value, event.record().cost.energy.value,
                         degrade_next_});
+    // Drift tracking: compare the model's energy prediction at the executed
+    // clock against the measurement. Degraded samples are excluded — their
+    // clocks are untrustworthy, so they would poison the error statistic.
+    if (guard_ && features && !degrade_next_) {
+      guard_->observe(event.kernel_name(), *features, event.record().config.core,
+                      event.record().cost.energy.value);
+      if (guard_->quarantined() && !quarantine_seen_) {
+        quarantine_seen_ = true;
+        // Cached plans were made by the now-distrusted model set; flush them
+        // so every kernel re-resolves down the degradation chain.
+        plan_cache_.clear();
+        common::log_warn("synergy::queue model set quarantined (",
+                         guard_->drift().quarantine_reason(),
+                         "); resolving via tuning-table/default clocks until retrained");
+      }
+    }
     span.arg("sim_time_ms", event.record().cost.time.value * 1e3);
     span.arg("energy_j", event.record().cost.energy.value);
     SYNERGY_HISTOGRAM_OBSERVE("queue.kernel_time_ms", event.record().cost.time.value * 1e3,

@@ -157,6 +157,9 @@ trained_models model_trainer::fit(const training_sets& sets, ml::algorithm time_
   models.edp->fit(sets.edp);
   models.ed2p = ml::make_regressor(ed2p_alg);
   models.ed2p->fit(sets.ed2p);
+  // Record the in-distribution region the suite actually covered; the
+  // guarded planner rejects feature vectors outside it at plan time.
+  models.envelope.fit(sets.time.x);
   return models;
 }
 

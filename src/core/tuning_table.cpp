@@ -1,13 +1,43 @@
 #include "synergy/tuning_table.hpp"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+
+#include "synergy/common/envelope.hpp"
 
 namespace synergy {
 
 using common::frequency_config;
 using common::megahertz;
+
+namespace {
+
+constexpr const char* table_kind = "tuning_table";
+constexpr unsigned table_payload_version = 1;
+
+/// Parse one whitespace-split token as a positive finite clock value.
+/// Requires the whole token to be consumed — "123x" and "nan" both fail —
+/// so stream extraction can never leave a half-read line behind.
+std::optional<double> parse_clock(const std::string& tok) {
+  if (tok.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end != tok.c_str() + tok.size() || errno == ERANGE) return std::nullopt;
+  if (!std::isfinite(v) || v <= 0.0) return std::nullopt;
+  return v;
+}
+
+std::string line_prefix(std::size_t line_no) {
+  return "line " + std::to_string(line_no) + ": ";
+}
+
+}  // namespace
 
 std::optional<frequency_config> tuning_table::find(const std::string& kernel,
                                                    const metrics::target& target) const {
@@ -37,24 +67,154 @@ std::string tuning_table::serialize() const {
   return oss.str();
 }
 
-tuning_table tuning_table::deserialize(const std::string& text) {
+tuning_table_parse_result tuning_table::parse(const std::string& text) {
+  tuning_table_parse_result out;
   std::istringstream in{text};
-  std::string header;
-  std::getline(in, header);
-  if (header != "synergy_tuning v1")
-    throw std::invalid_argument("bad tuning table header: " + header);
-  std::string tag, device;
-  in >> tag >> device;
-  if (tag != "device") throw std::invalid_argument("tuning table missing device line");
-  tuning_table table;
-  if (device != "-") table.set_device_key(device);
-  std::string kernel, target_name;
-  double mem = 0.0, core = 0.0;
-  while (in >> kernel >> target_name >> mem >> core) {
-    table.put(kernel, metrics::target::parse(target_name),
-              {megahertz{mem}, megahertz{core}});
+  std::string line;
+  std::size_t line_no = 0;
+
+  if (!std::getline(in, line)) {
+    out.diagnostics.push_back("line 1: empty input (expected 'synergy_tuning v1')");
+    return out;
   }
-  return table;
+  ++line_no;
+  if (line != "synergy_tuning v1") {
+    out.diagnostics.push_back("line 1: bad tuning table header: '" + line + "'");
+    return out;
+  }
+
+  if (!std::getline(in, line)) {
+    out.diagnostics.push_back("line 2: missing device line");
+    return out;
+  }
+  ++line_no;
+  {
+    std::istringstream dev{line};
+    std::string tag, device, extra;
+    if (!(dev >> tag >> device) || tag != "device" || (dev >> extra)) {
+      out.diagnostics.push_back("line 2: malformed device line: '" + line + "'");
+      return out;
+    }
+    if (device != "-") out.table.set_device_key(device);
+  }
+  out.header_ok = true;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::istringstream ls{line};
+    std::string kernel, target_name, mem_tok, core_tok, extra;
+    if (!(ls >> kernel >> target_name >> mem_tok >> core_tok)) {
+      ++out.skipped;
+      out.diagnostics.push_back(line_prefix(line_no) +
+                                "entry needs 4 fields (kernel target mem core): '" + line +
+                                "'");
+      continue;
+    }
+    if (ls >> extra) {
+      ++out.skipped;
+      out.diagnostics.push_back(line_prefix(line_no) + "trailing fields after core clock: '" +
+                                line + "'");
+      continue;
+    }
+    const auto mem = parse_clock(mem_tok);
+    if (!mem) {
+      ++out.skipped;
+      out.diagnostics.push_back(line_prefix(line_no) + "non-numeric memory clock '" + mem_tok +
+                                "'");
+      continue;
+    }
+    const auto core = parse_clock(core_tok);
+    if (!core) {
+      ++out.skipped;
+      out.diagnostics.push_back(line_prefix(line_no) + "non-numeric core clock '" + core_tok +
+                                "'");
+      continue;
+    }
+    metrics::target target = metrics::target::min_energy();
+    try {
+      target = metrics::target::parse(target_name);
+    } catch (const std::exception& e) {
+      ++out.skipped;
+      out.diagnostics.push_back(line_prefix(line_no) + "bad target '" + target_name +
+                                "': " + e.what());
+      continue;
+    }
+    if (out.table.find(kernel, target)) {
+      ++out.skipped;
+      out.diagnostics.push_back(line_prefix(line_no) + "duplicate entry for (" + kernel + ", " +
+                                target.to_string() + "), keeping the first");
+      continue;
+    }
+    out.table.put(kernel, target, {megahertz{*mem}, megahertz{*core}});
+    ++out.parsed;
+  }
+  return out;
+}
+
+tuning_table tuning_table::deserialize(const std::string& text) {
+  auto result = parse(text);
+  if (!result.clean()) {
+    const std::string why =
+        result.diagnostics.empty() ? "malformed tuning table" : result.diagnostics.front();
+    throw std::invalid_argument("tuning table: " + why);
+  }
+  return std::move(result.table);
+}
+
+std::string tuning_table_load_result::summary() const {
+  std::ostringstream oss;
+  for (const auto& d : diagnostics) oss << d << '\n';
+  return oss.str();
+}
+
+common::status save_tuning_table(const std::filesystem::path& path, const tuning_table& table) {
+  const auto sealed =
+      common::envelope::seal(table_kind, table_payload_version, table.serialize());
+  return common::atomic_write_file(path, sealed);
+}
+
+tuning_table_load_result load_tuning_table(const std::filesystem::path& path) {
+  tuning_table_load_result out;
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    out.diagnostics.push_back("missing tuning table file: " + path.string());
+    return out;
+  }
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    out.diagnostics.push_back("cannot read tuning table file: " + path.string());
+    return out;
+  }
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  if (in.bad()) {
+    out.diagnostics.push_back("read error on tuning table file: " + path.string());
+    return out;
+  }
+  std::string payload = oss.str();
+
+  if (common::envelope::looks_sealed(payload)) {
+    auto opened = common::envelope::open(payload, table_kind, table_payload_version);
+    if (!opened.ok()) {
+      out.diagnostics.push_back(std::string(common::envelope::to_string(opened.error)) + ": " +
+                                opened.detail);
+      return out;
+    }
+    out.sealed = true;
+    payload = std::move(opened.payload);
+  } else {
+    out.diagnostics.push_back(
+        "unsealed legacy artefact (re-save to add version/checksum protection)");
+  }
+
+  auto parsed = tuning_table::parse(payload);
+  out.diagnostics.insert(out.diagnostics.end(), parsed.diagnostics.begin(),
+                         parsed.diagnostics.end());
+  // Lenient salvage: a verified header with some bad lines still yields a
+  // usable (partial) table; the defects stay visible in the diagnostics.
+  if (parsed.header_ok) out.table = std::move(parsed.table);
+  return out;
 }
 
 tuning_table compile_tuning_table(const features::kernel_registry& registry,

@@ -76,6 +76,7 @@ execution_record device::execute(const kernel_profile& profile) {
     cost.time = seconds{cost.time.value * std::exp(noise_.time_sigma * rng_.normal())};
   if (noise_.power_sigma > 0.0)
     cost.avg_power = watts{cost.avg_power.value * std::exp(noise_.power_sigma * rng_.normal())};
+  cost.avg_power = watts{cost.avg_power.value * power_skew_};
   cost.energy = cost.avg_power * cost.time;
 
   execution_record record;
@@ -108,7 +109,19 @@ execution_record device::execute(const kernel_profile& profile) {
 void device::advance_idle(seconds dt) {
   if (dt.value <= 0.0) return;
   std::scoped_lock lock(mutex_);
-  append_segment_locked(dt, model_.idle_power(spec_, config_), /*busy=*/false);
+  const watts idle{model_.idle_power(spec_, config_).value * power_skew_};
+  append_segment_locked(dt, idle, /*busy=*/false);
+}
+
+void device::set_power_skew(double factor) {
+  if (!std::isfinite(factor) || factor <= 0.0) return;
+  std::scoped_lock lock(mutex_);
+  power_skew_ = factor;
+}
+
+double device::power_skew() const {
+  std::scoped_lock lock(mutex_);
+  return power_skew_;
 }
 
 seconds device::now() const {

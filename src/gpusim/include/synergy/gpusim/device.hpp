@@ -102,6 +102,15 @@ class device {
   /// Copy of the power trace (for tests and offline analysis).
   [[nodiscard]] power_trace trace_copy() const;
 
+  // --- fault injection --------------------------------------------------------
+
+  /// Multiply all subsequent busy/idle power draw by `factor` (default 1.0).
+  /// Models silicon ageing / cooling degradation: the trained power model no
+  /// longer matches the board, which is exactly what the drift monitor must
+  /// catch. Ignores non-finite or non-positive factors.
+  void set_power_skew(double factor);
+  [[nodiscard]] double power_skew() const;
+
  private:
   device_spec spec_;
   dvfs_model model_;
@@ -114,6 +123,7 @@ class device {
   std::optional<common::megahertz> bound_hi_;
   common::seconds clock_{0.0};
   common::joules energy_{0.0};
+  double power_skew_{1.0};
   std::size_t kernel_count_{0};
   power_trace trace_;
 

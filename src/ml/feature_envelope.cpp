@@ -1,0 +1,80 @@
+#include "synergy/ml/feature_envelope.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "synergy/ml/serialize_detail.hpp"
+
+namespace synergy::ml {
+
+using common::errc;
+using common::error;
+
+void feature_envelope::observe(std::span<const double> x) {
+  if (count_ == 0) {
+    lo_.assign(x.begin(), x.end());
+    hi_.assign(x.begin(), x.end());
+    count_ = 1;
+    return;
+  }
+  const std::size_t d = std::min(lo_.size(), x.size());
+  for (std::size_t i = 0; i < d; ++i) {
+    lo_[i] = std::min(lo_[i], x[i]);
+    hi_[i] = std::max(hi_[i], x[i]);
+  }
+  ++count_;
+}
+
+void feature_envelope::fit(const matrix& x) {
+  lo_.clear();
+  hi_.clear();
+  count_ = 0;
+  for (std::size_t r = 0; r < x.rows(); ++r) observe(x.row(r));
+}
+
+bool feature_envelope::contains(std::span<const double> x, double tolerance) const {
+  if (!fitted()) return true;
+  if (x.size() != lo_.size()) return false;
+  constexpr double abs_slack = 1e-9;
+  for (std::size_t i = 0; i < lo_.size(); ++i) {
+    if (!std::isfinite(x[i])) return false;
+    const double span = hi_[i] - lo_[i];
+    const double slack = tolerance * span + abs_slack;
+    if (x[i] < lo_[i] - slack || x[i] > hi_[i] + slack) return false;
+  }
+  return true;
+}
+
+std::string feature_envelope::serialize() const {
+  std::ostringstream oss;
+  oss << "feature_envelope v1\n";
+  detail::write_scalar(oss, "samples", static_cast<double>(count_));
+  detail::write_vector(oss, "min", lo_);
+  detail::write_vector(oss, "max", hi_);
+  return oss.str();
+}
+
+common::result<feature_envelope> feature_envelope::deserialize(const std::string& text) {
+  try {
+    detail::field_reader reader{text, "feature_envelope v1"};
+    const double samples = reader.scalar("samples");
+    feature_envelope env;
+    env.lo_ = reader.vector("min");
+    env.hi_ = reader.vector("max");
+    if (env.lo_.size() != env.hi_.size())
+      return error{errc::invalid_argument, "feature envelope min/max dimension mismatch"};
+    if (!(samples >= 0.0) || !std::isfinite(samples))
+      return error{errc::invalid_argument, "feature envelope sample count invalid"};
+    for (std::size_t i = 0; i < env.lo_.size(); ++i)
+      if (!std::isfinite(env.lo_[i]) || !std::isfinite(env.hi_[i]) || env.lo_[i] > env.hi_[i])
+        return error{errc::invalid_argument,
+                     "feature envelope bounds invalid at dim " + std::to_string(i)};
+    env.count_ = static_cast<std::size_t>(samples);
+    return env;
+  } catch (const std::exception& e) {
+    return error{errc::invalid_argument, e.what()};
+  }
+}
+
+}  // namespace synergy::ml

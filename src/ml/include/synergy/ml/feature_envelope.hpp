@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file feature_envelope.hpp
+/// Per-dimension min/max envelope of a training design matrix.
+///
+/// The planner's models are only trustworthy inside the region the
+/// micro-benchmark suite covered (the trainer deliberately spans the
+/// per-item counts of real kernels so models interpolate, not extrapolate).
+/// The envelope records that region at training time, ships with the model
+/// set, and lets the guarded planner flag out-of-distribution feature
+/// vectors at plan time instead of silently extrapolating to a pathological
+/// clock.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "synergy/common/error.hpp"
+#include "synergy/ml/matrix.hpp"
+
+namespace synergy::ml {
+
+class feature_envelope {
+ public:
+  /// Widen the envelope with one sample (first sample fixes the dimension).
+  void observe(std::span<const double> x);
+
+  /// Record every row of a design matrix (replaces previous state).
+  void fit(const matrix& x);
+
+  [[nodiscard]] bool fitted() const { return count_ > 0; }
+  [[nodiscard]] std::size_t dims() const { return lo_.size(); }
+  [[nodiscard]] std::size_t samples() const { return count_; }
+  [[nodiscard]] const std::vector<double>& min() const { return lo_; }
+  [[nodiscard]] const std::vector<double>& max() const { return hi_; }
+
+  /// Whether `x` lies inside the envelope, widened per dimension by
+  /// `tolerance` of that dimension's span (plus a small absolute slack so
+  /// constant training columns do not reject float noise). A vector of the
+  /// wrong dimension is never contained. An unfitted envelope contains
+  /// everything — absence of evidence is not evidence of drift.
+  [[nodiscard]] bool contains(std::span<const double> x, double tolerance = 0.05) const;
+
+  /// Line-oriented text serialisation (same idiom as the regressors).
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static common::result<feature_envelope> deserialize(const std::string& text);
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+  std::size_t count_{0};
+};
+
+}  // namespace synergy::ml

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "synergy/common/error.hpp"
 #include "synergy/ml/dataset.hpp"
 #include "synergy/ml/matrix.hpp"
 
@@ -52,5 +53,14 @@ enum class algorithm { linear, lasso, random_forest, svr_rbf };
 
 /// Reconstruct a regressor from the text produced by regressor::serialize.
 [[nodiscard]] std::unique_ptr<regressor> deserialize_regressor(const std::string& text);
+
+/// Exception-free variant for untrusted on-disk input: every malformed
+/// payload (unknown header, field-order mismatch, bad numbers, absurd
+/// lengths) comes back as a structured error naming the defect, never an
+/// exception escaping the call and never UB. The persistence layer pairs
+/// this with the CRC envelope: the checksum catches random corruption, this
+/// catches everything the checksum cannot (valid bytes, wrong schema).
+[[nodiscard]] common::result<std::unique_ptr<regressor>> try_deserialize_regressor(
+    const std::string& text);
 
 }  // namespace synergy::ml

@@ -17,6 +17,11 @@
 
 namespace synergy::ml::detail {
 
+/// Hard ceiling on serialized vector lengths. A corrupted length field must
+/// produce a clean parse error, not a multi-gigabyte allocation; no model
+/// this codebase trains comes within orders of magnitude of the cap.
+inline constexpr std::size_t max_vector_elements = 1u << 24;
+
 inline void write_scalar(std::ostream& os, const std::string& name, double value) {
   os << name << ' ' << std::setprecision(17) << value << '\n';
 }
@@ -51,6 +56,8 @@ class field_reader {
     require_name(name);
     std::size_t n = 0;
     line_ >> n;
+    if (line_.fail() || n > max_vector_elements)
+      throw std::invalid_argument("bad vector length for field " + name);
     std::vector<double> out(n);
     for (auto& v : out) line_ >> v;
     if (line_.fail()) throw std::invalid_argument("bad vector field " + name);

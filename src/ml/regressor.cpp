@@ -28,6 +28,19 @@ std::unique_ptr<regressor> make_regressor(algorithm a) {
   throw std::invalid_argument("unknown algorithm");
 }
 
+common::result<std::unique_ptr<regressor>> try_deserialize_regressor(
+    const std::string& text) {
+  try {
+    auto model = deserialize_regressor(text);
+    if (!model || !model->fitted())
+      return common::error{common::errc::invalid_argument,
+                           "deserialized model is not fitted"};
+    return model;
+  } catch (const std::exception& e) {
+    return common::error{common::errc::invalid_argument, e.what()};
+  }
+}
+
 std::unique_ptr<regressor> deserialize_regressor(const std::string& text) {
   const auto newline = text.find('\n');
   const std::string header = text.substr(0, newline);

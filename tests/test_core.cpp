@@ -356,11 +356,14 @@ TEST(ModelStore, SaveLoadRoundTrip) {
   std::filesystem::remove_all(dir);
   synergy::model_store store{dir};
   EXPECT_FALSE(store.contains("V100"));
-  store.save("V100", models);
+  ASSERT_TRUE(store.save("V100", models).ok());
   EXPECT_TRUE(store.contains("V100"));
 
-  const auto loaded = store.load("V100");
+  const auto result = store.load("V100");
+  ASSERT_TRUE(result.ok()) << result.summary();
+  const auto& loaded = result.models;
   ASSERT_TRUE(loaded.complete());
+  EXPECT_TRUE(loaded.envelope.fitted());  // OOD rail round-trips with the set
   // Same predictions after round-trip.
   gs::static_features k;
   k.float_add = 50;
@@ -371,9 +374,15 @@ TEST(ModelStore, SaveLoadRoundTrip) {
   std::filesystem::remove_all(dir);
 }
 
-TEST(ModelStore, LoadMissingThrows) {
+TEST(ModelStore, LoadMissingReportsPerFileDiagnostics) {
   synergy::model_store store{std::filesystem::temp_directory_path() / "synergy_missing"};
-  EXPECT_THROW((void)store.load("V100"), std::runtime_error);
+  const auto result = store.load("V100");
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.corrupt());  // absent is not damaged
+  EXPECT_FALSE(result.models.complete());
+  ASSERT_GE(result.files.size(), 4u);
+  for (const auto& d : result.files)
+    EXPECT_EQ(d.status, synergy::model_file_status::missing) << d.file;
   EXPECT_FALSE(store.contains("V100"));
 }
 

@@ -43,11 +43,13 @@ TEST(Pipeline, TrainPersistLoadPlanRunSavesEnergy) {
   const auto dir = std::filesystem::temp_directory_path() / "synergy_it_models";
   std::filesystem::remove_all(dir);
   synergy::model_store store{dir};
-  store.save("V100", models);
+  ASSERT_TRUE(store.save("V100", models).ok());
 
   // 3. Load into a planner on the "application" side.
+  auto loaded = store.load("V100");
+  ASSERT_TRUE(loaded.ok()) << loaded.summary();
   auto planner =
-      std::make_shared<synergy::frequency_planner>(spec, store.load("V100"));
+      std::make_shared<synergy::frequency_planner>(spec, std::move(loaded.models));
 
   // 4. Run the benchmark suite with a queue-level ES_50 target.
   simsycl::device dev{spec};

@@ -12,6 +12,10 @@
 ///   --gpus N               GPUs per node (default 4)
 ///   --device NAME          device spec (default V100)
 ///   --policy NAME          fifo | backfill | energy (default energy)
+///   --models DIR           resolve the energy policy through trained models
+///                          from this store, behind the prediction
+///                          guardrails (model -> tuning table -> default);
+///                          a corrupt/missing set degrades, never aborts
 ///   --target NAME          override every job's energy target (e.g. ES_50)
 ///   --cap W                facility power cap in watts (0 = uncapped)
 ///   --jobs N               generated trace length (default 1000)
@@ -45,7 +49,8 @@ namespace {
 int usage(int code) {
   (code ? std::cerr : std::cout)
       << "usage: synergy_cluster [--nodes N] [--gpus N] [--device D]\n"
-         "                       [--policy fifo|backfill|energy] [--target T]\n"
+         "                       [--policy fifo|backfill|energy] [--models DIR]\n"
+         "                       [--target T]\n"
          "                       [--cap W] [--jobs N] [--seed S]\n"
          "                       [--mean-interarrival S] [--work-items N]\n"
          "                       [--trace-in F] [--trace-out F] [--csv F] [--report]\n"
@@ -60,6 +65,7 @@ int main(int argc, char** argv) {
   sc::cluster_config cluster;
   sc::trace_config gen;
   std::string policy = "energy";
+  std::string model_dir;
   std::optional<sm::target> override_target;
   std::string trace_in;
   std::string trace_out;
@@ -77,6 +83,7 @@ int main(int argc, char** argv) {
       else if (arg == "--gpus") cluster.gpus_per_node = std::stoul(value());
       else if (arg == "--device") cluster.device = value();
       else if (arg == "--policy") policy = value();
+      else if (arg == "--models") model_dir = value();
       else if (arg == "--target") override_target = sm::target::parse(value());
       else if (arg == "--cap") cluster.facility_cap_w = std::stod(value());
       else if (arg == "--jobs") gen.n_jobs = std::stoul(value());
@@ -130,8 +137,18 @@ int main(int argc, char** argv) {
     }
 
     sc::plan_fn plan;
-    if (policy == "energy" || policy == "energy-aware")
-      plan = sc::make_suite_planner(cluster.device);
+    if (policy == "energy" || policy == "energy-aware") {
+      if (!model_dir.empty()) {
+        auto guarded = sc::make_guarded_suite_planner(cluster.device, model_dir);
+        std::cout << "model tier: "
+                  << (guarded.model_loaded ? "active" : "degraded (tuning-table fallback)")
+                  << '\n';
+        if (!guarded.load_summary.empty()) std::cout << guarded.load_summary;
+        plan = std::move(guarded.plan);
+      } else {
+        plan = sc::make_suite_planner(cluster.device);
+      }
+    }
     sc::simulator sim{cluster, sc::make_policy(policy, std::move(plan), override_target)};
     const auto summary = sim.run(trace);
 

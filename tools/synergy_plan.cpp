@@ -4,7 +4,12 @@
 /// makes the predicted frequency configuration available to the runtime).
 ///
 /// Usage: synergy_plan <device> <model-dir> [targets...] [--out <file>]
+///        synergy_plan --validate <model-dir> [device...]
 ///   targets default to: MIN_EDP MIN_ED2P ES_25 ES_50 PL_25 PL_50
+///
+/// Exit codes: 0 success / clean validation, 1 operational failure
+/// (no models, unwritable output), 2 usage error or corrupt model set —
+/// the --validate contract CI scripts key on.
 
 #include <fstream>
 #include <iostream>
@@ -15,9 +20,63 @@
 
 namespace sm = synergy::metrics;
 
-int main(int argc, char** argv) {
+namespace {
+
+void print_diagnostics(const synergy::load_result& result) {
+  for (const auto& d : result.files) {
+    std::cout << "  " << d.file << ": " << synergy::to_string(d.status);
+    if (!d.detail.empty()) std::cout << " (" << d.detail << ')';
+    std::cout << '\n';
+  }
+}
+
+/// `synergy_plan --validate <model-dir> [device...]`: verify every model
+/// set under the store without using the models. Exit 0 when every file
+/// checks out, 2 when anything is corrupt/truncated/version-skewed.
+int run_validate(int argc, char** argv) {
   if (argc < 3) {
-    std::cerr << "usage: synergy_plan <device> <model-dir> [targets...] [--out <file>]\n";
+    std::cerr << "usage: synergy_plan --validate <model-dir> [device...]\n";
+    return 2;
+  }
+  synergy::model_store store{argv[2]};
+  std::vector<std::string> devices;
+  for (int i = 3; i < argc; ++i) devices.emplace_back(argv[i]);
+  if (devices.empty()) devices = store.device_keys();
+  if (devices.empty()) {
+    std::cerr << "error: no model sets under " << store.root().string()
+              << " (run synergy_train first)\n";
+    return 1;
+  }
+
+  bool any_corrupt = false;
+  bool all_ok = true;
+  for (const auto& device : devices) {
+    const auto result = store.validate(device);
+    std::cout << device << ": " << (result.ok() ? "ok" : "NOT OK") << '\n';
+    print_diagnostics(result);
+    any_corrupt = any_corrupt || result.corrupt();
+    all_ok = all_ok && result.ok();
+  }
+  if (any_corrupt) {
+    std::cout << "\ncorrupt model files detected: retrain with synergy_train "
+                 "(or restore the model directory from backup)\n";
+    return 2;
+  }
+  if (!all_ok) {
+    std::cout << "\nincomplete model sets detected: run synergy_train\n";
+    return 1;
+  }
+  std::cout << "\nall model sets verified\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--validate") return run_validate(argc, argv);
+  if (argc < 3) {
+    std::cerr << "usage: synergy_plan <device> <model-dir> [targets...] [--out <file>]\n"
+                 "       synergy_plan --validate <model-dir> [device...]\n";
     return 2;
   }
   try {
@@ -39,12 +98,21 @@ int main(int argc, char** argv) {
 
     const auto spec = synergy::gpusim::make_device_spec(device);
     synergy::model_store store{model_dir};
-    if (!store.contains(device)) {
-      std::cerr << "error: no models for " << device << " under " << model_dir
-                << " (run synergy_train first)\n";
-      return 1;
+    // One load, then branch on the structured result — no exists/load races,
+    // and corruption is a diagnosis rather than an exception.
+    auto loaded = store.load(device);
+    if (!loaded.ok()) {
+      std::cerr << "error: models for " << device << " under " << model_dir
+                << " are not usable:\n";
+      for (const auto& d : loaded.files)
+        std::cerr << "  " << d.file << ": " << synergy::to_string(d.status)
+                  << (d.detail.empty() ? "" : " (" + d.detail + ")") << '\n';
+      std::cerr << (loaded.corrupt()
+                        ? "retrain with synergy_train (or restore from backup)\n"
+                        : "run synergy_train first\n");
+      return loaded.corrupt() ? 2 : 1;
     }
-    synergy::frequency_planner planner{spec, store.load(device)};
+    synergy::frequency_planner planner{spec, std::move(loaded.models)};
 
     synergy::features::kernel_registry registry;
     synergy::workloads::register_all(registry);
@@ -60,12 +128,13 @@ int main(int argc, char** argv) {
                   << table.find(kernel, t)->core.value << "\n";
 
     if (!out_file.empty()) {
-      std::ofstream out{out_file};
-      if (!out) {
-        std::cerr << "error: cannot write " << out_file << '\n';
+      // Sealed + atomic: the artefact carries the CRC envelope and a crash
+      // mid-write can never leave a torn file behind.
+      if (const auto st = synergy::save_tuning_table(out_file, table); !st.ok()) {
+        std::cerr << "error: cannot write " << out_file << ": " << st.err().to_string()
+                  << '\n';
         return 1;
       }
-      out << table.serialize();
       std::cout << "\ntuning table written to " << out_file << '\n';
     }
   } catch (const std::exception& e) {

@@ -41,10 +41,18 @@ int main(int argc, char** argv) {
                                     synergy::ml::algorithm::linear);
 
     synergy::model_store store{out_dir};
-    store.save(device, models);
+    if (const auto st = store.save(device, models); !st.ok()) {
+      std::cerr << "error: cannot persist models: " << st.err().to_string() << '\n';
+      return 1;
+    }
     std::cout << "models written to " << out_dir << "/" << device << "/ ("
               << models.time->name() << " time, " << models.energy->name() << " energy, "
               << models.edp->name() << " EDP, " << models.ed2p->name() << " ED2P)\n";
+    std::cout << "feature envelope: " << models.envelope.samples()
+              << " training vectors x " << models.envelope.dims()
+              << " dims (the planner's out-of-distribution rail)\n";
+    std::cout << "verify any installed copy with: synergy_plan --validate " << out_dir
+              << '\n';
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

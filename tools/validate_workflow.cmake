@@ -1,0 +1,40 @@
+# Exercises the `synergy_plan --validate` exit-code contract end to end:
+# a freshly trained model set validates clean (exit 0), a corrupted file is
+# detected and reported (exit 2), and a missing device is an operational
+# failure (exit 1) — never a crash.
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(COMMAND "${TRAIN}" V100 "${WORK_DIR}/models" 16 12
+                RESULT_VARIABLE train_result)
+if(NOT train_result EQUAL 0)
+  message(FATAL_ERROR "synergy_train failed: ${train_result}")
+endif()
+
+# 1. Clean set: exit 0.
+execute_process(COMMAND "${PLAN}" --validate "${WORK_DIR}/models"
+                RESULT_VARIABLE clean_result OUTPUT_VARIABLE clean_out)
+if(NOT clean_result EQUAL 0)
+  message(FATAL_ERROR "--validate on a clean set exited ${clean_result}: ${clean_out}")
+endif()
+
+# 2. Corrupt one artefact (surplus bytes break the envelope's size/CRC
+#    verification): exit 2 and the diagnostic names the damaged file.
+file(APPEND "${WORK_DIR}/models/V100/energy.model" "CORRUPTION")
+execute_process(COMMAND "${PLAN}" --validate "${WORK_DIR}/models"
+                RESULT_VARIABLE corrupt_result OUTPUT_VARIABLE corrupt_out
+                ERROR_VARIABLE corrupt_err)
+if(NOT corrupt_result EQUAL 2)
+  message(FATAL_ERROR "--validate on a corrupt set exited ${corrupt_result}, expected 2")
+endif()
+if(NOT "${corrupt_out}${corrupt_err}" MATCHES "energy.model")
+  message(FATAL_ERROR "corruption diagnostic does not name the damaged file")
+endif()
+
+# 3. Unknown device key: operational failure, exit 1.
+execute_process(COMMAND "${PLAN}" --validate "${WORK_DIR}/models" A100
+                RESULT_VARIABLE missing_result OUTPUT_VARIABLE missing_out
+                ERROR_VARIABLE missing_err)
+if(NOT missing_result EQUAL 1)
+  message(FATAL_ERROR "--validate on a missing device exited ${missing_result}, expected 1")
+endif()
