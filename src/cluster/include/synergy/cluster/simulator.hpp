@@ -35,6 +35,12 @@ namespace synergy {
 class guarded_planner;  // core guardrail chain (synergy/guarded_planner.hpp)
 }
 
+namespace synergy::lifecycle {
+class model_registry;     // lifecycle champion ledger (synergy/lifecycle/model_registry.hpp)
+class lifecycle_manager;  // retrain/shadow-eval worker (synergy/lifecycle/lifecycle_manager.hpp)
+enum class lifecycle_action;
+}  // namespace synergy::lifecycle
+
 namespace synergy::cluster {
 
 /// Seeded fault plan for a cluster replay (mirrors the vendor-layer
@@ -70,6 +76,27 @@ struct fault_plan {
   }
 };
 
+/// Deterministic mid-run power drift for the fleet's boards: from `at_s`
+/// on, every job's modelled GPU power is multiplied by
+/// `power_skew * (core_clock / default_clock)^freq_exponent` — aging or a
+/// firmware regression that changes the boards' *frequency response*, not
+/// just their absolute draw. A non-zero exponent is what makes drift
+/// model-relevant: the trained models' normalised frequency curves become
+/// wrong (the drift monitor trips), and only a retrain measured on drifted
+/// hardware can restore the model tier.
+struct drift_plan {
+  double at_s{-1.0};          ///< onset on the cluster timeline; < 0 disables
+  double power_skew{1.0};     ///< clock-independent power multiplier
+  double freq_exponent{0.0};  ///< clock-dependent component (gamma)
+
+  [[nodiscard]] bool enabled() const {
+    return at_s >= 0.0 && power_skew > 0.0 &&
+           (power_skew != 1.0 || freq_exponent != 0.0);
+  }
+  /// Multiplier applied to modelled power at `core_mhz`.
+  [[nodiscard]] double factor(double core_mhz, double default_core_mhz) const;
+};
+
 struct cluster_config {
   std::size_t n_nodes{16};
   std::size_t gpus_per_node{4};
@@ -83,6 +110,8 @@ struct cluster_config {
   bool tag_nvgpufreq{true};
   /// Fault injection for the replay; disabled by default.
   fault_plan faults{};
+  /// Mid-run power drift for the fleet; disabled by default.
+  drift_plan drift{};
 };
 
 /// Per-job outcome (sacct row of the simulated run).
@@ -132,6 +161,10 @@ struct run_summary {
   std::size_t requeues{0};           ///< job requeues caused by device-lost events
   std::size_t nodes_lost{0};         ///< nodes drained + removed after device loss
   double wasted_gpu_energy_j{0.0};   ///< partial executions killed by device loss
+  // --- model lifecycle (zero unless attach_recovery was wired) ---
+  std::size_t quarantines{0};  ///< drift-monitor trips observed during the run
+  std::size_t promotions{0};   ///< retrained challengers promoted mid-run
+  std::size_t rollbacks{0};    ///< probation rollbacks performed mid-run
 
   void print(std::ostream& os) const;
   /// One header + one row; `with_header` also writes the comment and
@@ -158,6 +191,18 @@ class simulator {
 
   [[nodiscard]] sched::controller& controller() { return *ctl_; }
   [[nodiscard]] const cluster_config& config() const { return config_; }
+
+  /// Close the model-lifecycle loop over this cluster: every trusted job
+  /// completion feeds `guard`'s drift monitor and `manager`'s replay buffer
+  /// (per-item, per-GPU energies, so job size cancels out), and the manager
+  /// is stepped on simulation time. When it promotes or rolls back, the new
+  /// champion from `registry` is installed into `guard` mid-run — the
+  /// scheduling policy built on the guard resumes model-tier planning
+  /// without a restart. Attach before run(); all three must share the
+  /// device of this cluster and outlive the simulator.
+  void attach_recovery(std::shared_ptr<guarded_planner> guard,
+                       std::shared_ptr<lifecycle::model_registry> registry,
+                       std::shared_ptr<lifecycle::lifecycle_manager> manager);
 
   /// Print the per-job sacct-style table of the last run.
   void report(std::ostream& os) const;
@@ -215,6 +260,14 @@ class simulator {
   double facility_energy_j_{0.0};
   double busy_gpu_seconds_{0.0};
   double peak_power_w_{0.0};
+  // --- lifecycle recovery (optional; counters reset per run) ---
+  std::shared_ptr<guarded_planner> recovery_guard_;
+  std::shared_ptr<lifecycle::model_registry> recovery_registry_;
+  std::shared_ptr<lifecycle::lifecycle_manager> recovery_manager_;
+  bool recovery_was_quarantined_{false};
+  std::size_t quarantines_{0};
+  std::size_t promotions_{0};
+  std::size_t rollbacks_{0};
   // --- fault state (reset per run) ---
   common::pcg32 fault_rng_{0};
   std::uint64_t next_epoch_{0};

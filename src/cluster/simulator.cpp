@@ -1,6 +1,7 @@
 #include "synergy/cluster/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <limits>
 #include <ostream>
@@ -12,6 +13,7 @@
 #include "synergy/common/stats.hpp"
 #include "synergy/common/table.hpp"
 #include "synergy/guarded_planner.hpp"
+#include "synergy/lifecycle/lifecycle_manager.hpp"
 #include "synergy/model_store.hpp"
 #include "synergy/sched/plugin.hpp"
 #include "synergy/telemetry/telemetry.hpp"
@@ -44,6 +46,13 @@ gpusim::kernel_profile folded_profile(const traced_job& job) {
 }
 
 }  // namespace
+
+double drift_plan::factor(double core_mhz, double default_core_mhz) const {
+  double f = power_skew;
+  if (freq_exponent != 0.0 && default_core_mhz > 0.0 && core_mhz > 0.0)
+    f *= std::pow(core_mhz / default_core_mhz, freq_exponent);
+  return f;
+}
 
 simulator::simulator(cluster_config config, std::unique_ptr<scheduling_policy> policy)
     : config_(std::move(config)),
@@ -231,7 +240,16 @@ void simulator::start(std::size_t queue_index, const placement& pl) {
   }
   r.core_mhz = config.core.value;
 
-  const auto cost = model_.evaluate(spec_, folded_profile(qj.job), config);
+  auto cost = model_.evaluate(spec_, folded_profile(qj.job), config);
+  if (config_.drift.enabled() && now >= config_.drift.at_s) {
+    // The fleet's boards have drifted: modelled power picks up the skew at
+    // this job's clock. The trained models know nothing about it — that gap
+    // is what the drift monitor measures.
+    const double f =
+        config_.drift.factor(config.core.value, spec_.default_config().core.value);
+    cost.avg_power = common::watts{cost.avg_power.value * f};
+    cost.energy = cost.avg_power * cost.time;
+  }
   const double duration = cost.time.value;
   r.gpu_energy_j = cost.energy.value * qj.job.n_gpus;
   busy_gpu_seconds_ += duration * qj.job.n_gpus;
@@ -283,6 +301,7 @@ void simulator::complete(int job_id, std::uint64_t epoch) {
     nodes_used.insert(slot.node);
   }
   for (const std::size_t ni : nodes_used) ctl_->node_at(ni).remove_job();
+  const traced_job finished = it->job;
   running_.erase(it);
 
   auto& r = result_of(job_id);
@@ -309,6 +328,49 @@ void simulator::complete(int job_id, std::uint64_t epoch) {
          {"n_gpus", static_cast<double>(r.n_gpus)},
          {"wait_s", r.queue_wait_s}});
 #endif
+
+  if (recovery_guard_ && recovery_manager_ && !r.clock_set_failed && !r.energy_degraded) {
+    // Degradation contract: only trusted samples feed the lifecycle. Job
+    // size cancels out of the comparison by normalising to per-item,
+    // per-GPU energy — jobs of one kernel differ in iterations and gang
+    // size, and the models predict per-item metrics.
+    const double items = finished.work_items * finished.iterations;
+    const double energy_per_item =
+        items > 0.0 ? r.gpu_energy_j / finished.n_gpus / items : 0.0;
+    const auto& features = workloads::find(finished.kernel).info.features;
+    const common::megahertz core{r.core_mhz};
+    recovery_guard_->observe(finished.kernel, features, core, energy_per_item);
+    recovery_manager_->record(
+        {finished.kernel, features, {spec_.default_config().memory, core}, energy_per_item});
+    const bool quarantined = recovery_guard_->quarantined();
+    if (quarantined && !recovery_was_quarantined_) {
+      ++quarantines_;
+      recovery_was_quarantined_ = true;
+      SYNERGY_COUNTER_ADD("cluster.model_quarantines", 1);
+      SYNERGY_INSTANT(tel::category::sched, "cluster.model_quarantine",
+                      {"t_s", engine_.now()});
+    }
+    const auto action = recovery_manager_->step(quarantined, engine_.now());
+    if (action == lifecycle::lifecycle_action::promoted ||
+        action == lifecycle::lifecycle_action::rolled_back) {
+      // Champion moved: install it into the shared guard. install() resets
+      // the drift monitor, so the quarantine lifts and the scheduling
+      // policy resumes model-tier planning from the next placement on.
+      recovery_guard_->install(recovery_registry_ ? recovery_registry_->current_planner()
+                                                  : nullptr);
+      recovery_was_quarantined_ = false;
+      if (action == lifecycle::lifecycle_action::promoted) {
+        ++promotions_;
+        SYNERGY_COUNTER_ADD("cluster.model_promotions", 1);
+      } else {
+        ++rollbacks_;
+        SYNERGY_COUNTER_ADD("cluster.model_rollbacks", 1);
+      }
+      SYNERGY_INSTANT(tel::category::sched, "cluster.model_recovery",
+                      {"t_s", engine_.now()},
+                      {"promoted", action == lifecycle::lifecycle_action::promoted ? 1.0 : 0.0});
+    }
+  }
 
   budget_->rebalance();
   try_schedule();
@@ -438,6 +500,10 @@ run_summary simulator::run(const job_trace& trace) {
   busy_gpu_seconds_ = 0.0;
   peak_power_w_ = 0.0;
   fault_rng_ = common::pcg32{config_.faults.seed};
+  recovery_was_quarantined_ = false;
+  quarantines_ = 0;
+  promotions_ = 0;
+  rollbacks_ = 0;
   next_epoch_ = 0;
   clock_set_faults_ = 0;
   degraded_samples_ = 0;
@@ -509,7 +575,22 @@ run_summary simulator::run(const job_trace& trace) {
   s.requeues = requeues_;
   s.nodes_lost = nodes_lost_;
   s.wasted_gpu_energy_j = wasted_energy_j_;
+  s.quarantines = quarantines_;
+  s.promotions = promotions_;
+  s.rollbacks = rollbacks_;
   return s;
+}
+
+void simulator::attach_recovery(std::shared_ptr<guarded_planner> guard,
+                                std::shared_ptr<lifecycle::model_registry> registry,
+                                std::shared_ptr<lifecycle::lifecycle_manager> manager) {
+  recovery_guard_ = std::move(guard);
+  recovery_registry_ = std::move(registry);
+  recovery_manager_ = std::move(manager);
+  recovery_was_quarantined_ = recovery_guard_ && recovery_guard_->quarantined();
+  if (recovery_guard_ && recovery_manager_)
+    recovery_guard_->set_quarantine_probe_every(
+        recovery_manager_->options().quarantine_probe_every);
 }
 
 void simulator::report(std::ostream& os) const {
@@ -556,6 +637,11 @@ void run_summary::print(std::ostream& os) const {
     table.row({"nodes lost", std::to_string(nodes_lost)});
     table.row({"wasted GPU energy (J)", fmt(wasted_gpu_energy_j, 1)});
   }
+  if (quarantines + promotions + rollbacks > 0) {
+    table.row({"model quarantines", std::to_string(quarantines)});
+    table.row({"model promotions", std::to_string(promotions)});
+    table.row({"model rollbacks", std::to_string(rollbacks)});
+  }
   table.print(os);
 }
 
@@ -568,7 +654,7 @@ void run_summary::csv(std::ostream& os, bool with_header) const {
              "p50_wait_s", "p95_wait_s", "max_wait_s", "gpu_utilization",
              "peak_facility_power_w", "cap_rebalances", "cap_demotions",
              "clock_set_faults", "degraded_samples", "requeues", "nodes_lost",
-             "wasted_gpu_energy_j"});
+             "wasted_gpu_energy_j", "quarantines", "promotions", "rollbacks"});
   }
   csv.row({policy, std::to_string(seed), std::to_string(jobs), std::to_string(completed),
            std::to_string(failed), common::csv_writer::num(makespan_s),
@@ -580,7 +666,9 @@ void run_summary::csv(std::ostream& os, bool with_header) const {
            common::csv_writer::num(peak_facility_power_w), std::to_string(cap_rebalances),
            std::to_string(cap_demotions), std::to_string(clock_set_faults),
            std::to_string(degraded_samples), std::to_string(requeues),
-           std::to_string(nodes_lost), common::csv_writer::num(wasted_gpu_energy_j)});
+           std::to_string(nodes_lost), common::csv_writer::num(wasted_gpu_energy_j),
+           std::to_string(quarantines), std::to_string(promotions),
+           std::to_string(rollbacks)});
 }
 
 plan_fn make_suite_planner(const std::string& device) {

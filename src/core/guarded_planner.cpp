@@ -24,11 +24,21 @@ plan_decision guarded_planner::plan(const std::string& kernel,
   plan_decision out;
 
   // Tier 1: the guarded model.
+  bool probe = false;
   if (planner_) {
     if (drift_.quarantined()) {
       ++quarantine_rejections_;
       SYNERGY_COUNTER_ADD("planner.quarantine_rejections", 1);
       out.reason = "model set quarantined: " + drift_.quarantine_reason();
+      // A deterministic minority of quarantined plans skips the table tier
+      // so retraining evidence gains default-clock samples (see
+      // set_quarantine_probe_every).
+      probe = quarantine_probe_every_ > 0 &&
+              quarantine_rejections_ % quarantine_probe_every_ == 0;
+      if (probe) {
+        ++quarantine_probes_;
+        SYNERGY_COUNTER_ADD("planner.quarantine_probes", 1);
+      }
     } else {
       auto guarded = planner_->plan_guarded(k, target);
       out.ood = guarded.ood;
@@ -55,7 +65,7 @@ plan_decision guarded_planner::plan(const std::string& kernel,
   }
 
   // Tier 2: the compiled tuning-table artefact.
-  if (table_) {
+  if (table_ && !probe) {
     if (const auto entry = table_->find(kernel, target)) {
       ++table_fallbacks_;
       SYNERGY_COUNTER_ADD("planner.fallback_table", 1);
@@ -86,6 +96,14 @@ plan_decision guarded_planner::plan(const std::string& kernel,
   out.config = spec_.default_config();
   out.tier = plan_tier::default_clocks;
   return out;
+}
+
+void guarded_planner::install(std::shared_ptr<const frequency_planner> planner) {
+  planner_ = std::move(planner);
+  drift_.reset();
+  SYNERGY_COUNTER_ADD("planner.model_installed", 1);
+  SYNERGY_INSTANT(tel::category::plan, "planner.model_installed",
+                  {"has_model", planner_ ? 1.0 : 0.0});
 }
 
 void guarded_planner::observe(const std::string& kernel, const gpusim::static_features& k,

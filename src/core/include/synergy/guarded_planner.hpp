@@ -70,10 +70,30 @@ class guarded_planner {
   void observe(const std::string& kernel, const gpusim::static_features& k,
                common::megahertz core_clock, double measured_energy_j);
 
+  /// Swap the model tier for a freshly promoted planner (or nullptr to
+  /// drop to the lower tiers). Resets the drift monitor — the new model
+  /// must re-calibrate its per-kernel baselines and re-earn (or re-lose)
+  /// trust from a clean statistic — which also lifts any quarantine, so
+  /// the promotion atomically restores the model tier. Not a concurrency
+  /// primitive: callers serialise install() against plan()/observe() (the
+  /// queue and the cluster simulator both do).
+  void install(std::shared_ptr<const frequency_planner> planner);
+
   [[nodiscard]] bool quarantined() const { return drift_.quarantined(); }
   [[nodiscard]] const drift_monitor& drift() const { return drift_; }
   /// Lift a quarantine (after installing retrained models).
   void reset_quarantine() { drift_.reset(); }
+
+  /// Quarantine probes: while quarantined, every Nth plan resolves at the
+  /// default clocks even when a tuning-table entry exists. The table was
+  /// compiled against the same pre-drift measurements the quarantined model
+  /// was trained on, and its per-kernel clocks sit close to the model's —
+  /// samples taken there carry almost no frequency contrast. A deterministic
+  /// minority of default-clock plans gives whoever is collecting retraining
+  /// evidence (the model lifecycle) per-kernel samples at a distant clock
+  /// while the fleet keeps the table's efficiency for the rest. 0 disables.
+  void set_quarantine_probe_every(std::size_t n) { quarantine_probe_every_ = n; }
+  [[nodiscard]] std::size_t quarantine_probes() const { return quarantine_probes_; }
 
   [[nodiscard]] bool has_model_tier() const { return planner_ != nullptr; }
   [[nodiscard]] bool has_table_tier() const { return table_ != nullptr; }
@@ -101,6 +121,8 @@ class guarded_planner {
   std::size_t ood_rejections_{0};
   std::size_t prediction_rejections_{0};
   std::size_t quarantine_rejections_{0};
+  std::size_t quarantine_probe_every_{0};
+  std::size_t quarantine_probes_{0};
 };
 
 }  // namespace synergy

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file planner_source.hpp
+/// The seam between the queue and an online model-lifecycle layer.
+///
+/// A planner source is anything that can answer "which trained planner is
+/// the current champion?" — in practice the lifecycle model registry
+/// (synergy/lifecycle/model_registry.hpp), which swaps champions atomically
+/// when a retrained challenger is promoted or a regression rolls back.
+/// Keeping only this two-method interface in core lets `synergy::queue`
+/// follow promotions without the core library depending on the lifecycle
+/// subsystem.
+///
+/// Contract: `generation()` is a monotonically increasing counter bumped on
+/// every champion swap, and `current_planner()` returns the champion
+/// installed by some generation `<=` the one a caller just read — both must
+/// be safe to call concurrently with swaps (readers never block writers).
+/// Consumers poll the generation on their hot path (one relaxed atomic
+/// load), and only re-pull the planner when it moved.
+
+#include <cstdint>
+#include <memory>
+
+namespace synergy {
+
+class frequency_planner;
+
+class planner_source {
+ public:
+  virtual ~planner_source() = default;
+
+  /// Monotonic swap counter; a change tells consumers to re-pull.
+  [[nodiscard]] virtual std::uint64_t generation() const = 0;
+
+  /// The current champion planner (nullptr while no version is installed).
+  [[nodiscard]] virtual std::shared_ptr<const frequency_planner> current_planner() const = 0;
+};
+
+}  // namespace synergy

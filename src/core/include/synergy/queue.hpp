@@ -19,6 +19,7 @@
 /// (e.g. missing privileges on a cluster without the SLURM plugin) are
 /// counted and logged, and the kernel runs at the current clocks.
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -32,6 +33,7 @@
 #include "synergy/guarded_planner.hpp"
 #include "synergy/metrics/energy_metrics.hpp"
 #include "synergy/planner.hpp"
+#include "synergy/planner_source.hpp"
 
 namespace synergy {
 
@@ -83,6 +85,34 @@ class queue : public simsycl::queue {
   /// monitor, configurable via `drift`.
   void set_planner(std::shared_ptr<const frequency_planner> planner,
                    drift_options drift = {});
+
+  /// Follow a planner source (the lifecycle model registry) instead of a
+  /// fixed planner: every submission polls the source's generation counter
+  /// (one atomic load) and, when the champion moved — a promotion or
+  /// rollback — swaps the model tier in, flushes the plan cache, resets the
+  /// drift monitor, and re-arms the quarantine latch. The queue picks up a
+  /// new champion mid-run without any coordination with the writer.
+  /// `fallback_table`, when given, becomes the guard's tuning-table tier:
+  /// a quarantined champion degrades to the compiled artefact's per-kernel
+  /// clocks rather than straight to driver defaults (and survives champion
+  /// swaps — only the model tier follows the source).
+  void set_planner_source(std::shared_ptr<const planner_source> source,
+                          drift_options drift = {},
+                          std::shared_ptr<const class tuning_table> fallback_table = nullptr);
+
+  /// Per-sample tap for the lifecycle layer: called once per non-degraded
+  /// launch with the kernel, its static features, the clocks it actually
+  /// ran at, and the measured energy — after the drift monitor has seen the
+  /// sample, so the observer reads the up-to-date quarantine state.
+  using sample_observer =
+      std::function<void(const std::string& kernel, const gpusim::static_features& features,
+                         common::frequency_config config, double energy_j)>;
+  void set_sample_observer(sample_observer observer) { observer_ = std::move(observer); }
+
+  /// Lift a drift quarantine in place (retrained models installed through a
+  /// side channel): resets the drift statistic, flushes the plan cache, and
+  /// re-arms the quarantine latch. No-op without a planner installed.
+  void reset_model_quarantine();
 
   /// Install compile-time tuning artefacts: targets resolve through the
   /// table first (no models needed at runtime, as in the paper's compiled
@@ -195,10 +225,19 @@ class queue : public simsycl::queue {
   /// Target resolutions served from the per-kernel plan cache.
   [[nodiscard]] std::size_t plan_cache_hits() const { return plan_cache_hits_; }
 
+  /// Champion swaps picked up from the installed planner source.
+  [[nodiscard]] std::size_t planner_refreshes() const { return planner_refreshes_; }
+
   /// The guardrail state wrapped around the installed planner, or nullptr
   /// when no planner is installed (fallback tiers, drift statistic,
   /// quarantine flag).
   [[nodiscard]] const guarded_planner* guard() const { return guard_.get(); }
+
+  /// While quarantined, every Nth plan probes the default clocks instead of
+  /// the tuning-table tier (guarded_planner::set_quarantine_probe_every).
+  /// Sticky across champion swaps — re-applied whenever the guard is
+  /// rebuilt. 0 (the default) disables probing.
+  void set_quarantine_probe_every(std::size_t n);
 
   /// Whether the drift monitor has quarantined the installed model set
   /// (target resolutions then bypass the model tier until retraining).
@@ -217,17 +256,30 @@ class queue : public simsycl::queue {
 
   void apply_frequency(common::frequency_config config);
 
+  /// Pick up a champion swap from the planner source, if one happened.
+  void refresh_from_source();
+
   std::shared_ptr<context> ctx_;
   context::binding binding_;
   std::shared_ptr<const frequency_planner> planner_;
   std::unique_ptr<guarded_planner> guard_;
-  bool quarantine_seen_{false};  ///< plan cache flushed once on quarantine
+  std::shared_ptr<const planner_source> source_;
+  std::uint64_t source_generation_{0};
+  drift_options source_drift_;
+  std::shared_ptr<const class tuning_table> source_table_;  ///< guard's fallback tier
+  std::size_t probe_every_{0};  ///< quarantine probe cadence, sticky across guards
+  sample_observer observer_;
+  /// Plan cache flushed when the quarantine trips; re-armed whenever the
+  /// quarantine lifts (reset or promotion), so a second trip is never
+  /// silent.
+  bool quarantine_seen_{false};
   std::shared_ptr<const class tuning_table> tuning_;
   std::optional<common::frequency_config> fixed_;
   std::optional<metrics::target> target_;
   common::seconds created_at_{0.0};
   std::size_t freq_failures_{0};
   std::size_t plan_cache_hits_{0};
+  std::size_t planner_refreshes_{0};
   std::size_t degraded_submissions_{0};
   bool degrade_next_{false};  ///< set by apply_frequency, consumed per submission
   std::map<std::pair<std::string, std::string>, common::frequency_config> plan_cache_;

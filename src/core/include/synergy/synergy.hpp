@@ -10,6 +10,7 @@
 #include "synergy/metrics/energy_metrics.hpp"  // IWYU pragma: export
 #include "synergy/model_store.hpp"             // IWYU pragma: export
 #include "synergy/planner.hpp"                 // IWYU pragma: export
+#include "synergy/planner_source.hpp"          // IWYU pragma: export
 #include "synergy/queue.hpp"                   // IWYU pragma: export
 #include "synergy/trainer.hpp"                 // IWYU pragma: export
 #include "synergy/tuning_table.hpp"            // IWYU pragma: export

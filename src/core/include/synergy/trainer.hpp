@@ -63,6 +63,14 @@ class model_trainer {
   [[nodiscard]] training_sets measure(
       const std::vector<gpusim::kernel_profile>& microbenchmarks) const;
 
+  /// Same sweep on a caller-provided board — the online retraining path:
+  /// measuring on the live (possibly power-skewed) device is what lets a
+  /// retrained challenger learn the board's post-drift behaviour. The sweep
+  /// drives real executions, so it advances the board's virtual time and
+  /// energy counters; clocks are restored to the driver defaults afterwards.
+  [[nodiscard]] training_sets measure_on(
+      gpusim::device& dev, const std::vector<gpusim::kernel_profile>& microbenchmarks) const;
+
   /// Fit one regressor per metric (Fig. 6 step 3).
   [[nodiscard]] trained_models fit(const training_sets& sets, ml::algorithm time_alg,
                                    ml::algorithm energy_alg, ml::algorithm edp_alg,

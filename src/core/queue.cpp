@@ -50,8 +50,66 @@ void queue::set_planner(std::shared_ptr<const frequency_planner> planner, drift_
   guard_ = planner_ ? std::make_unique<guarded_planner>(get_device().spec(), planner_,
                                                         nullptr, drift)
                     : nullptr;
+  source_.reset();
   quarantine_seen_ = false;
   plan_cache_.clear();
+}
+
+void queue::set_planner_source(std::shared_ptr<const planner_source> source,
+                               drift_options drift,
+                               std::shared_ptr<const tuning_table> fallback_table) {
+  source_ = std::move(source);
+  source_drift_ = drift;
+  source_table_ = std::move(fallback_table);
+  planner_.reset();
+  guard_.reset();
+  quarantine_seen_ = false;
+  plan_cache_.clear();
+  if (!source_) return;
+  // Read the generation BEFORE the planner: if a swap lands in between, the
+  // recorded generation is stale and the next submission re-pulls — the
+  // other order could record a fresh generation with the old planner and
+  // miss the swap entirely.
+  source_generation_ = source_->generation();
+  if (auto planner = source_->current_planner()) {
+    planner_ = std::move(planner);
+    guard_ = std::make_unique<guarded_planner>(get_device().spec(), planner_, source_table_,
+                                               drift);
+    guard_->set_quarantine_probe_every(probe_every_);
+  }
+}
+
+void queue::set_quarantine_probe_every(std::size_t n) {
+  probe_every_ = n;
+  if (guard_) guard_->set_quarantine_probe_every(n);
+}
+
+void queue::refresh_from_source() {
+  if (!source_) return;
+  const auto generation = source_->generation();
+  if (generation == source_generation_) return;
+  source_generation_ = generation;
+  planner_ = source_->current_planner();
+  if (guard_) {
+    guard_->install(planner_);
+  } else if (planner_) {
+    guard_ = std::make_unique<guarded_planner>(get_device().spec(), planner_, source_table_,
+                                               source_drift_);
+    guard_->set_quarantine_probe_every(probe_every_);
+  }
+  // Cached plans were resolved by the previous champion; the drift reset
+  // inside install() lifted any quarantine, so re-arm the latch too.
+  plan_cache_.clear();
+  quarantine_seen_ = false;
+  ++planner_refreshes_;
+  SYNERGY_COUNTER_ADD("queue.planner_refreshes", 1);
+}
+
+void queue::reset_model_quarantine() {
+  if (!guard_) return;
+  guard_->reset_quarantine();
+  plan_cache_.clear();
+  quarantine_seen_ = false;
 }
 
 void queue::set_tuning_table(std::shared_ptr<const tuning_table> table) {
@@ -140,9 +198,10 @@ simsycl::event queue::submit_recorded(simsycl::handler& h,
   SYNERGY_SPAN_VAR(span, tel::category::kernel, "queue.submit");
   SYNERGY_COUNTER_ADD("queue.submissions", 1);
   degrade_next_ = false;
+  refresh_from_source();
   std::optional<gpusim::static_features> features;
   if (h.has_launch()) {
-    if (guard_) features = h.info().features;
+    if (guard_ || observer_) features = h.info().features;
     span.str("kernel", h.info().name);
     // Per-submission settings take precedence over the queue policy.
     if (freq) {
@@ -175,16 +234,27 @@ simsycl::event queue::submit_recorded(simsycl::handler& h,
     if (guard_ && features && !degrade_next_) {
       guard_->observe(event.kernel_name(), *features, event.record().config.core,
                       event.record().cost.energy.value);
-      if (guard_->quarantined() && !quarantine_seen_) {
-        quarantine_seen_ = true;
-        // Cached plans were made by the now-distrusted model set; flush them
-        // so every kernel re-resolves down the degradation chain.
-        plan_cache_.clear();
-        common::log_warn("synergy::queue model set quarantined (",
-                         guard_->drift().quarantine_reason(),
-                         "); resolving via tuning-table/default clocks until retrained");
+      if (guard_->quarantined()) {
+        if (!quarantine_seen_) {
+          quarantine_seen_ = true;
+          // Cached plans were made by the now-distrusted model set; flush
+          // them so every kernel re-resolves down the degradation chain.
+          plan_cache_.clear();
+          common::log_warn("synergy::queue model set quarantined (",
+                           guard_->drift().quarantine_reason(),
+                           "); resolving via tuning-table/default clocks until retrained");
+        }
+      } else {
+        // The quarantine lifted (drift reset or champion promotion): re-arm
+        // the latch so a second trip flushes the cache and warns again.
+        quarantine_seen_ = false;
       }
     }
+    // Lifecycle tap runs after the drift monitor so the observer sees the
+    // up-to-date quarantine state when it decides to retrain.
+    if (observer_ && features && !degrade_next_)
+      observer_(event.kernel_name(), *features, event.record().config,
+                event.record().cost.energy.value);
     span.arg("sim_time_ms", event.record().cost.time.value * 1e3);
     span.arg("energy_j", event.record().cost.energy.value);
     SYNERGY_HISTOGRAM_OBSERVE("queue.kernel_time_ms", event.record().cost.time.value * 1e3,

@@ -96,14 +96,18 @@ std::vector<megahertz> model_trainer::sampled_clocks() const {
 }
 
 training_sets model_trainer::measure(const std::vector<kernel_profile>& microbenchmarks) const {
-  SYNERGY_SPAN_VAR(span, telemetry::category::train, "trainer.measure");
-  span.arg("microbenchmarks", static_cast<double>(microbenchmarks.size()));
   gpusim::noise_config noise;
   noise.time_sigma = options_.time_noise_sigma;
   noise.power_sigma = options_.power_noise_sigma;
   noise.seed = options_.seed ^ 0xdeu;
   gpusim::device dev{spec_, noise};
+  return measure_on(dev, microbenchmarks);
+}
 
+training_sets model_trainer::measure_on(gpusim::device& dev,
+                                        const std::vector<kernel_profile>& microbenchmarks) const {
+  SYNERGY_SPAN_VAR(span, telemetry::category::train, "trainer.measure");
+  span.arg("microbenchmarks", static_cast<double>(microbenchmarks.size()));
   const auto clocks = sampled_clocks();
   const auto reps = std::max<std::size_t>(1, options_.repetitions);
   const auto mean_cost = [&](const kernel_profile& bench) {
@@ -140,6 +144,7 @@ training_sets model_trainer::measure(const std::vector<kernel_profile>& microben
       sets.ed2p.push(x, std::log(t * t * e));
     }
   }
+  dev.reset_core_clock();
   return sets;
 }
 

@@ -76,7 +76,7 @@ execution_record device::execute(const kernel_profile& profile) {
     cost.time = seconds{cost.time.value * std::exp(noise_.time_sigma * rng_.normal())};
   if (noise_.power_sigma > 0.0)
     cost.avg_power = watts{cost.avg_power.value * std::exp(noise_.power_sigma * rng_.normal())};
-  cost.avg_power = watts{cost.avg_power.value * power_skew_};
+  cost.avg_power = watts{cost.avg_power.value * skew_at_current_locked()};
   cost.energy = cost.avg_power * cost.time;
 
   execution_record record;
@@ -109,19 +109,32 @@ execution_record device::execute(const kernel_profile& profile) {
 void device::advance_idle(seconds dt) {
   if (dt.value <= 0.0) return;
   std::scoped_lock lock(mutex_);
-  const watts idle{model_.idle_power(spec_, config_).value * power_skew_};
+  const watts idle{model_.idle_power(spec_, config_).value * skew_at_current_locked()};
   append_segment_locked(dt, idle, /*busy=*/false);
 }
 
-void device::set_power_skew(double factor) {
-  if (!std::isfinite(factor) || factor <= 0.0) return;
+void device::set_power_skew(double factor, double freq_exponent) {
+  if (!std::isfinite(factor) || factor <= 0.0 || !std::isfinite(freq_exponent)) return;
   std::scoped_lock lock(mutex_);
   power_skew_ = factor;
+  power_skew_gamma_ = freq_exponent;
 }
 
 double device::power_skew() const {
   std::scoped_lock lock(mutex_);
   return power_skew_;
+}
+
+double device::power_skew_exponent() const {
+  std::scoped_lock lock(mutex_);
+  return power_skew_gamma_;
+}
+
+double device::skew_at_current_locked() const {
+  if (power_skew_gamma_ == 0.0) return power_skew_;
+  const double f_default = spec_.default_config().core.value;
+  if (f_default <= 0.0) return power_skew_;
+  return power_skew_ * std::pow(config_.core.value / f_default, power_skew_gamma_);
 }
 
 seconds device::now() const {

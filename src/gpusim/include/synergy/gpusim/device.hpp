@@ -108,8 +108,18 @@ class device {
   /// Models silicon ageing / cooling degradation: the trained power model no
   /// longer matches the board, which is exactly what the drift monitor must
   /// catch. Ignores non-finite or non-positive factors.
-  void set_power_skew(double factor);
+  ///
+  /// `freq_exponent` makes the skew clock-dependent: the effective factor at
+  /// core clock f is `factor * (f / f_default)^freq_exponent`. A uniform skew
+  /// (exponent 0) rescales every operating point alike — it trips the drift
+  /// monitor but leaves the *relative* frequency response, and therefore
+  /// every normalised plan, intact. A positive exponent (leakage growing
+  /// with voltage/clock, the common ageing signature) punishes high clocks
+  /// disproportionately, moving the true optimum — the case where only a
+  /// retrain on the drifted board restores good plans.
+  void set_power_skew(double factor, double freq_exponent = 0.0);
   [[nodiscard]] double power_skew() const;
+  [[nodiscard]] double power_skew_exponent() const;
 
  private:
   device_spec spec_;
@@ -124,6 +134,10 @@ class device {
   common::seconds clock_{0.0};
   common::joules energy_{0.0};
   double power_skew_{1.0};
+  double power_skew_gamma_{0.0};
+
+  /// Effective skew at the current operating point (call under mutex_).
+  [[nodiscard]] double skew_at_current_locked() const;
   std::size_t kernel_count_{0};
   power_trace trace_;
 

@@ -1,0 +1,232 @@
+#pragma once
+
+/// \file lifecycle_manager.hpp
+/// The retrain worker of the model-lifecycle subsystem: drift quarantine →
+/// challenger retrain → shadow evaluation → promotion (or rejection), with
+/// probation-window rollback when a promotion itself regresses.
+///
+/// The manager closes the loop the drift monitor opens. A quarantine parks
+/// the fleet on degraded tiers forever (the monitor latches by design —
+/// ARCHITECTURE.md Sec. 11); the manager is the component allowed to lift
+/// it, and it earns that right with evidence:
+///
+///  1. it accumulates a bounded replay buffer of recent *measured* samples
+///     (kernel, features, clocks, joules) from the live workload;
+///  2. on a quarantine trip — after `retrain_delay_samples` further samples
+///     taken on the degraded tiers, which broadens the per-kernel clock
+///     coverage of the replay set — it retrains a challenger via the
+///     injected `retrain_fn` (measuring on the live, possibly drifted,
+///     board);
+///  3. challenger and incumbent champion are both scored on the same replay
+///     set (held-out shadow evaluation: per-kernel scale-calibrated MAPE,
+///     exactly the drift monitor's error definition), and the challenger is
+///     promoted only when it beats the champion by `promote_margin`;
+///  4. a promotion that trips quarantine again within its probation window
+///     is rolled back deterministically instead of retrained over.
+///
+/// Everything is driven by `step(quarantined, now_s)` — callers decide the
+/// clock (queue glue passes the device's virtual time; the cluster passes
+/// simulation time), so two seeded runs produce byte-identical histories.
+/// An optional background thread is provided for wall-clock deployments;
+/// deterministic tests never start it.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "synergy/gpusim/device.hpp"
+#include "synergy/lifecycle/model_registry.hpp"
+#include "synergy/lifecycle/version_store.hpp"
+#include "synergy/queue.hpp"
+#include "synergy/trainer.hpp"
+
+namespace synergy::lifecycle {
+
+struct lifecycle_options {
+  /// Bounded replay buffer of recent measured samples (shadow-eval set).
+  std::size_t replay_capacity{192};
+  /// Replay samples required before a shadow evaluation is meaningful.
+  std::size_t min_shadow_samples{24};
+  /// Post-trip samples to wait for before retraining: taken on the degraded
+  /// tiers, they run at different clocks than the model-tier samples that
+  /// tripped the monitor, giving the replay set the per-kernel clock
+  /// diversity that separates a drifted champion from a fresh challenger.
+  std::size_t retrain_delay_samples{16};
+  /// Challenger must beat the champion's shadow MAPE by this (absolute).
+  double promote_margin{0.02};
+  /// On a fresh quarantine trip, the replay buffer is trimmed to its newest
+  /// this-many samples: older ones were measured on the pre-drift board and
+  /// scoring contenders on a dead regime rewards the stale champion. Should
+  /// cover the drift monitor's window; 0 disables trimming.
+  std::size_t trip_replay_horizon{48};
+  /// Per-sample recency decay for the shadow score: sample ages are counted
+  /// from the newest replay entry and weighted decay^age. The monitor trips
+  /// mid-window, so even a trimmed replay holds a pre-drift remainder that
+  /// the challenger (which models the live board) can never explain; decay
+  /// discounts that dead regime smoothly instead of guessing a cutoff.
+  /// 1.0 restores the unweighted mean.
+  double shadow_decay{0.94};
+  /// While quarantined, every Nth guard plan probes the default clocks
+  /// instead of the tuning table (guarded_planner::set_quarantine_probe_every)
+  /// so the replay buffer gains per-kernel samples at a clock far from the
+  /// model tier's — the frequency contrast the shadow evaluation needs.
+  /// Applied by attach_queue / simulator::attach_recovery; 0 disables.
+  std::size_t quarantine_probe_every{4};
+  /// Challenger attempts per quarantine episode before giving up.
+  std::size_t max_retrains_per_quarantine{2};
+  /// New samples required between consecutive attempts in one episode.
+  std::size_t retrain_backlog_samples{32};
+  /// A quarantine within this many samples of a retrain-promotion rolls the
+  /// promotion back instead of retraining on top of it.
+  std::size_t rollback_probation_samples{64};
+  /// Proactive retrain cadence in samples (0 disables; quarantine-driven
+  /// retraining is always on).
+  std::size_t retrain_interval_samples{0};
+  /// Persisted versions kept on disk (version_store::gc), when persisting.
+  std::size_t retention{4};
+  /// Base seed for challenger training; each attempt folds in the attempt
+  /// counter so retries explore, reproducibly.
+  std::uint64_t seed{0x6c696665ULL};
+};
+
+/// One measured sample from the live workload (the replay buffer element).
+struct shadow_sample {
+  std::string kernel;
+  gpusim::static_features features;
+  common::frequency_config config;
+  double energy_j{0.0};
+};
+
+enum class lifecycle_action { none, promoted, rejected, rolled_back };
+
+[[nodiscard]] constexpr const char* to_string(lifecycle_action a) {
+  switch (a) {
+    case lifecycle_action::none: return "none";
+    case lifecycle_action::promoted: return "promoted";
+    case lifecycle_action::rejected: return "rejected";
+    case lifecycle_action::rolled_back: return "rolled_back";
+  }
+  return "?";
+}
+
+/// One decision the manager made (the audit log the CLI prints).
+struct lifecycle_event {
+  double time_s{0.0};
+  lifecycle_action action{lifecycle_action::none};
+  std::uint64_t version{0};  ///< version installed (0 for rejected)
+  double challenger_mape{0.0};
+  double champion_mape{0.0};
+  std::size_t replay_samples{0};
+  std::string note;
+};
+
+class lifecycle_manager {
+ public:
+  /// Produce a fresh challenger model set; `seed` varies per attempt.
+  /// Runs under the manager's lock — keep it free of calls back into the
+  /// manager. make_board_retrainer / make_drifted_retrainer build the two
+  /// standard implementations.
+  using retrain_fn = std::function<trained_models(std::uint64_t seed)>;
+
+  /// `store` may be null (in-memory lifecycle, nothing persisted).
+  lifecycle_manager(std::shared_ptr<model_registry> registry, gpusim::device_spec spec,
+                    retrain_fn retrain, lifecycle_options options = {},
+                    std::shared_ptr<version_store> store = nullptr);
+  ~lifecycle_manager();
+
+  lifecycle_manager(const lifecycle_manager&) = delete;
+  lifecycle_manager& operator=(const lifecycle_manager&) = delete;
+
+  /// Feed one measured sample into the replay buffer.
+  void record(shadow_sample sample);
+
+  /// Advance the lifecycle state machine: `quarantined` is the guard's
+  /// current verdict, `now_s` the caller's (virtual) clock. Returns what, if
+  /// anything, happened; promoted/rolled_back mean the registry's champion
+  /// moved and consumers following it will refresh.
+  lifecycle_action step(bool quarantined, double now_s);
+
+  /// Score a planner on the current replay buffer (per-kernel
+  /// scale-calibrated MAPE; 1.0 when it cannot be scored). Exposed for the
+  /// CLI and tests.
+  [[nodiscard]] double shadow_score(const frequency_planner& planner) const;
+
+  [[nodiscard]] std::vector<lifecycle_event> history() const;
+  [[nodiscard]] std::size_t replay_size() const;
+  [[nodiscard]] std::size_t retrains() const;
+
+  /// Wall-clock deployments: poll `quarantined_probe`/`now_probe` every
+  /// `interval_s` on a background thread. Deterministic tests drive step()
+  /// directly instead.
+  void start(double interval_s, std::function<bool()> quarantined_probe,
+             std::function<double()> now_probe);
+  void stop();
+
+  [[nodiscard]] const lifecycle_options& options() const { return options_; }
+  [[nodiscard]] const std::shared_ptr<model_registry>& registry() const { return registry_; }
+
+ private:
+  lifecycle_action step_locked(bool quarantined, double now_s);
+  lifecycle_action attempt_retrain_locked(double now_s, const char* trigger);
+  [[nodiscard]] double shadow_score_locked(const frequency_planner& planner) const;
+  void persist_locked(std::uint64_t id);
+  void push_event_locked(lifecycle_event e);
+
+  std::shared_ptr<model_registry> registry_;
+  gpusim::device_spec spec_;
+  retrain_fn retrain_;
+  lifecycle_options options_;
+  std::shared_ptr<version_store> store_;
+
+  mutable std::mutex mutex_;
+  std::deque<shadow_sample> replay_;
+  std::vector<lifecycle_event> events_;
+  std::uint64_t samples_total_{0};
+  std::uint64_t samples_at_trip_{0};
+  std::uint64_t samples_at_attempt_{0};
+  std::uint64_t samples_at_promotion_{0};
+  std::uint64_t samples_at_interval_{0};
+  std::size_t retrains_{0};
+  std::size_t retrains_this_episode_{0};
+  bool was_quarantined_{false};
+  bool probation_armed_{false};  ///< last champion change was a retrain-promotion
+
+  std::thread worker_;
+  std::mutex worker_mutex_;
+  std::condition_variable worker_cv_;
+  bool worker_stop_{false};
+};
+
+/// Retrainer measuring on a caller-owned live board (the queue path): the
+/// sweep sees the board's current behaviour — including any drift — and
+/// advances its virtual time. Each attempt reseeds `base.seed` with the
+/// given seed.
+[[nodiscard]] lifecycle_manager::retrain_fn make_board_retrainer(
+    std::shared_ptr<gpusim::device> board, gpusim::device_spec spec, trainer_options base);
+
+/// Retrainer measuring on a private device with a power skew applied (the
+/// cluster path, where job energy is computed analytically and the injected
+/// drift must be mirrored onto the training board).
+[[nodiscard]] lifecycle_manager::retrain_fn make_drifted_retrainer(
+    gpusim::device_spec spec, trainer_options base, double power_skew,
+    double skew_freq_exponent = 0.0);
+
+/// Wire a queue to the lifecycle: the queue follows the registry (champion
+/// swaps picked up per submission), every non-degraded launch feeds the
+/// replay buffer, and each sample steps the manager on the device's virtual
+/// clock. `fallback_table`, when given, becomes the guard's tuning-table
+/// tier — quarantined periods then run at the artefact's per-kernel clocks,
+/// which also gives the replay buffer the cross-clock samples the shadow
+/// evaluation discriminates on. The registry and manager must outlive the
+/// queue.
+void attach_queue(queue& q, std::shared_ptr<model_registry> registry,
+                  std::shared_ptr<lifecycle_manager> manager, drift_options drift = {},
+                  std::shared_ptr<const tuning_table> fallback_table = nullptr);
+
+}  // namespace synergy::lifecycle

@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file model_registry.hpp
+/// Thread-safe versioned registry of trained planners — the champion ledger
+/// of the online model-lifecycle subsystem.
+///
+/// The paper's deployment story (Sec. 3.2) trains once per device product
+/// and ships the models fleet-wide; this registry is what makes that model
+/// set *mutable at runtime* without ever blocking a reader. Each installed
+/// planner becomes an immutable `model_version` snapshot held behind
+/// `std::shared_ptr`; the current champion is swapped atomically, so the
+/// queue, cluster policies and the guarded planner pick up a promotion or
+/// rollback mid-run lock-free (they poll `generation()` — one atomic load —
+/// on their hot path, via the `planner_source` seam in core).
+///
+/// Version ids increase strictly monotonically, *including on rollback*: a
+/// rollback installs a NEW version whose planner content restores an earlier
+/// one, rather than re-pointing at the old entry. Readers can therefore use
+/// "observed version id never decreases" as a torn-read detector, and the
+/// on-disk history (version_store) stays append-only.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "synergy/planner.hpp"
+#include "synergy/planner_source.hpp"
+
+namespace synergy::lifecycle {
+
+/// How a version entered the registry.
+enum class version_origin { initial, retrain, rollback, imported };
+
+[[nodiscard]] constexpr const char* to_string(version_origin o) {
+  switch (o) {
+    case version_origin::initial: return "initial";
+    case version_origin::retrain: return "retrain";
+    case version_origin::rollback: return "rollback";
+    case version_origin::imported: return "imported";
+  }
+  return "?";
+}
+
+/// Parse the on-disk spelling back; empty optional on an unknown token.
+[[nodiscard]] std::optional<version_origin> origin_from_string(const std::string& s);
+
+/// One immutable registry entry. `parent` is the version this one displaced
+/// (retrain/initial) or restored (rollback); 0 means none. The shadow
+/// scores record the evaluation that justified the install: the MAPE of
+/// this version and of the champion it beat on the same replay set (both 0
+/// when no evaluation ran, e.g. the initial install).
+struct model_version {
+  std::uint64_t id{0};
+  std::uint64_t parent{0};
+  version_origin origin{version_origin::initial};
+  std::string device;
+  double challenger_mape{0.0};
+  double champion_mape{0.0};
+  std::string note;
+  std::shared_ptr<const frequency_planner> planner;
+};
+
+class model_registry final : public planner_source {
+ public:
+  model_registry() = default;
+
+  // --- planner_source (lock-free reader side) -------------------------------
+  [[nodiscard]] std::uint64_t generation() const override {
+    return generation_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::shared_ptr<const frequency_planner> current_planner() const override;
+
+  /// The current champion snapshot (nullptr while empty). Safe concurrent
+  /// with installs; the snapshot itself is immutable.
+  [[nodiscard]] std::shared_ptr<const model_version> champion() const {
+    return champion_.load(std::memory_order_acquire);
+  }
+
+  // --- writer side (serialised on an internal mutex) ------------------------
+
+  /// Install a new champion; returns its (strictly increasing) version id.
+  /// The champion pointer is published before the generation bump, so a
+  /// reader that sees the new generation always pulls the new planner.
+  std::uint64_t install(version_origin origin, std::string device,
+                        std::shared_ptr<const frequency_planner> planner,
+                        double challenger_mape = 0.0, double champion_mape = 0.0,
+                        std::string note = {});
+
+  /// Roll the champion back to its parent's content: installs a NEW version
+  /// (origin rollback, planner shared with the restored entry). Returns the
+  /// new id, or nullopt when the champion has no parent to restore.
+  std::optional<std::uint64_t> rollback(std::string note = {});
+
+  /// Every version ever installed, in id order (snapshot copies).
+  [[nodiscard]] std::vector<model_version> history() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  [[nodiscard]] std::shared_ptr<const model_version> find_locked(std::uint64_t id) const;
+  std::uint64_t publish_locked(model_version v);
+
+  mutable std::mutex mutex_;  ///< serialises writers; readers never take it
+  std::vector<std::shared_ptr<const model_version>> history_;
+  std::uint64_t next_id_{1};
+  std::atomic<std::shared_ptr<const model_version>> champion_{nullptr};
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace synergy::lifecycle

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file version_store.hpp
+/// Sealed on-disk history for the model registry.
+///
+/// Layout under a root directory:
+///
+///   <root>/HEAD              sealed "lifecycle_head" envelope: current id
+///   <root>/v<N>/manifest.envelope   sealed "lifecycle_manifest": provenance
+///   <root>/v<N>/<device>/…   the four metric models + feature envelope,
+///                            persisted through model_store (each file its
+///                            own sealed artefact, written atomically)
+///
+/// Every write is temp+rename, so a crash mid-promotion leaves either the
+/// previous HEAD or the new one — never a torn pointer — and a damaged
+/// version directory is reported per file by model_store diagnostics rather
+/// than crashing a loader. Retention is bounded: gc(keep) removes the
+/// oldest version directories beyond `keep`, never the one HEAD names.
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "synergy/common/error.hpp"
+#include "synergy/gpusim/device_spec.hpp"
+#include "synergy/lifecycle/model_registry.hpp"
+
+namespace synergy::lifecycle {
+
+/// Provenance of one persisted version (the manifest payload, parsed).
+struct version_manifest {
+  std::uint64_t id{0};
+  std::uint64_t parent{0};
+  version_origin origin{version_origin::initial};
+  std::string device;
+  double challenger_mape{0.0};
+  double champion_mape{0.0};
+  std::string note;
+};
+
+class version_store {
+ public:
+  explicit version_store(std::filesystem::path root) : root_(std::move(root)) {}
+
+  /// Persist a version: models via model_store plus the sealed manifest.
+  /// Does not move HEAD — promotion calls set_head separately, so a crash
+  /// between the two leaves HEAD on the previous (complete) version.
+  [[nodiscard]] common::status save(const model_version& v) const;
+
+  /// Atomically point HEAD at a version id.
+  [[nodiscard]] common::status set_head(std::uint64_t id) const;
+
+  /// The id HEAD names; nullopt when absent or damaged.
+  [[nodiscard]] std::optional<std::uint64_t> head() const;
+
+  /// Parse a version's manifest; nullopt when absent or damaged.
+  [[nodiscard]] std::optional<version_manifest> read_manifest(std::uint64_t id) const;
+
+  /// Ids with a version directory under the root, ascending.
+  [[nodiscard]] std::vector<std::uint64_t> version_ids() const;
+
+  /// Load a version's planner (nullptr when the model set is incomplete or
+  /// damaged; `detail`, when given, receives the per-file diagnostics).
+  [[nodiscard]] std::shared_ptr<const frequency_planner> load_planner(
+      std::uint64_t id, const gpusim::device_spec& spec, std::string* detail = nullptr) const;
+
+  /// Remove the oldest version directories beyond `keep`, never the HEAD
+  /// version. Returns how many were removed.
+  std::size_t gc(std::size_t keep) const;
+
+  [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+
+ private:
+  [[nodiscard]] std::filesystem::path dir_for(std::uint64_t id) const {
+    // Built by append: `"v" + std::to_string(id)` trips GCC 12's -Wrestrict
+    // false positive (PR 105651) in -Werror fixture builds.
+    std::string name{"v"};
+    name += std::to_string(id);
+    return root_ / name;
+  }
+
+  std::filesystem::path root_;
+};
+
+}  // namespace synergy::lifecycle

@@ -1,0 +1,331 @@
+#include "synergy/lifecycle/lifecycle_manager.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "synergy/common/log.hpp"
+#include "synergy/ml/metrics.hpp"
+#include "synergy/telemetry/telemetry.hpp"
+
+namespace synergy::lifecycle {
+
+namespace tel = telemetry;
+
+lifecycle_manager::lifecycle_manager(std::shared_ptr<model_registry> registry,
+                                     gpusim::device_spec spec, retrain_fn retrain,
+                                     lifecycle_options options,
+                                     std::shared_ptr<version_store> store)
+    : registry_(std::move(registry)),
+      spec_(std::move(spec)),
+      retrain_(std::move(retrain)),
+      options_(options),
+      store_(std::move(store)) {}
+
+lifecycle_manager::~lifecycle_manager() { stop(); }
+
+void lifecycle_manager::record(shadow_sample sample) {
+  if (!std::isfinite(sample.energy_j) || sample.energy_j <= 0.0) return;
+  std::scoped_lock lock(mutex_);
+  replay_.push_back(std::move(sample));
+  while (replay_.size() > options_.replay_capacity) replay_.pop_front();
+  ++samples_total_;
+  SYNERGY_COUNTER_ADD("lifecycle.samples_recorded", 1);
+}
+
+lifecycle_action lifecycle_manager::step(bool quarantined, double now_s) {
+  std::scoped_lock lock(mutex_);
+  return step_locked(quarantined, now_s);
+}
+
+lifecycle_action lifecycle_manager::step_locked(bool quarantined, double now_s) {
+  if (!quarantined) {
+    if (was_quarantined_) {
+      // The quarantine lifted (a promotion or an external reset closed the
+      // episode); the next trip starts a fresh attempt budget.
+      was_quarantined_ = false;
+      retrains_this_episode_ = 0;
+    }
+    if (options_.retrain_interval_samples > 0 &&
+        samples_total_ - samples_at_interval_ >= options_.retrain_interval_samples &&
+        replay_.size() >= options_.min_shadow_samples) {
+      samples_at_interval_ = samples_total_;
+      return attempt_retrain_locked(now_s, "interval");
+    }
+    return lifecycle_action::none;
+  }
+
+  if (!was_quarantined_) {
+    // Fresh trip.
+    was_quarantined_ = true;
+    samples_at_trip_ = samples_total_;
+    // The monitor just declared the old regime dead: replay samples older
+    // than its detection horizon were measured on a board that no longer
+    // exists, and scoring contenders on them rewards the stale champion
+    // (the challenger, retrained on the live board, can never explain
+    // them). Keep only the newest samples — roughly those that tripped the
+    // monitor — plus whatever arrives on the degraded tiers afterwards.
+    if (options_.trip_replay_horizon > 0 && replay_.size() > options_.trip_replay_horizon)
+      replay_.erase(replay_.begin(),
+                    replay_.end() - static_cast<std::ptrdiff_t>(options_.trip_replay_horizon));
+    SYNERGY_COUNTER_ADD("lifecycle.quarantine_trips", 1);
+    if (probation_armed_ &&
+        samples_total_ - samples_at_promotion_ <= options_.rollback_probation_samples) {
+      // The champion that just drifted is the one we promoted moments ago:
+      // the promotion was wrong, restore its parent instead of stacking a
+      // retrain on top of a bad baseline.
+      probation_armed_ = false;
+      if (const auto id = registry_->rollback("quarantine within probation window")) {
+        persist_locked(*id);
+        lifecycle_event e;
+        e.time_s = now_s;
+        e.action = lifecycle_action::rolled_back;
+        e.version = *id;
+        e.replay_samples = replay_.size();
+        e.note = "quarantine within probation window";
+        push_event_locked(std::move(e));
+        SYNERGY_INSTANT(tel::category::plan, "lifecycle.rolled_back",
+                        {"version", static_cast<double>(*id)}, {"time_s", now_s});
+        return lifecycle_action::rolled_back;
+      }
+    }
+  }
+
+  if (retrains_this_episode_ >= options_.max_retrains_per_quarantine)
+    return lifecycle_action::none;
+  if (samples_total_ - samples_at_trip_ < options_.retrain_delay_samples)
+    return lifecycle_action::none;
+  if (retrains_this_episode_ > 0 &&
+      samples_total_ - samples_at_attempt_ < options_.retrain_backlog_samples)
+    return lifecycle_action::none;
+  if (replay_.size() < options_.min_shadow_samples) return lifecycle_action::none;
+  return attempt_retrain_locked(now_s, "quarantine");
+}
+
+lifecycle_action lifecycle_manager::attempt_retrain_locked(double now_s, const char* trigger) {
+  if (!retrain_) return lifecycle_action::none;
+  samples_at_attempt_ = samples_total_;
+  ++retrains_;
+  if (was_quarantined_) ++retrains_this_episode_;
+  SYNERGY_COUNTER_ADD("lifecycle.retrains", 1);
+  SYNERGY_SPAN_VAR(span, tel::category::train, "lifecycle.retrain");
+  span.str("trigger", trigger);
+
+  // Reseed per attempt: retries explore different micro-benchmark draws,
+  // two seeded runs still make identical attempts.
+  const std::uint64_t seed =
+      options_.seed ^ (static_cast<std::uint64_t>(retrains_) * 0x9e3779b97f4a7c15ULL);
+  auto challenger_models = retrain_(seed);
+
+  lifecycle_event e;
+  e.time_s = now_s;
+  e.replay_samples = replay_.size();
+  if (!challenger_models.complete()) {
+    e.action = lifecycle_action::rejected;
+    e.note = std::string{trigger} + ": retrain produced an incomplete model set";
+    push_event_locked(std::move(e));
+    SYNERGY_COUNTER_ADD("lifecycle.challengers_rejected", 1);
+    return lifecycle_action::rejected;
+  }
+  auto challenger =
+      std::make_shared<const frequency_planner>(spec_, std::move(challenger_models));
+
+  // Shadow evaluation: both contenders scored on the identical replay set.
+  e.challenger_mape = shadow_score_locked(*challenger);
+  const auto champion_planner = registry_->current_planner();
+  e.champion_mape = champion_planner ? shadow_score_locked(*champion_planner) : 1.0;
+  span.arg("challenger_mape", e.challenger_mape);
+  span.arg("champion_mape", e.champion_mape);
+
+  if (e.challenger_mape + options_.promote_margin <= e.champion_mape) {
+    const auto displaced = registry_->champion();
+    const auto id = registry_->install(
+        version_origin::retrain, displaced ? displaced->device : spec_.name, challenger,
+        e.challenger_mape, e.champion_mape, std::string{"trigger="} + trigger);
+    persist_locked(id);
+    samples_at_promotion_ = samples_total_;
+    probation_armed_ = true;
+    e.action = lifecycle_action::promoted;
+    e.version = id;
+    e.note = trigger;
+    push_event_locked(std::move(e));
+    SYNERGY_COUNTER_ADD("lifecycle.promotions", 1);
+    SYNERGY_INSTANT(tel::category::plan, "lifecycle.promoted",
+                    {"version", static_cast<double>(id)},
+                    {"challenger_mape", e.challenger_mape},
+                    {"champion_mape", e.champion_mape});
+    return lifecycle_action::promoted;
+  }
+
+  e.action = lifecycle_action::rejected;
+  e.note = std::string{trigger} + ": challenger did not beat champion by margin";
+  push_event_locked(std::move(e));
+  SYNERGY_COUNTER_ADD("lifecycle.challengers_rejected", 1);
+  SYNERGY_INSTANT(tel::category::plan, "lifecycle.rejected",
+                  {"challenger_mape", e.challenger_mape},
+                  {"champion_mape", e.champion_mape});
+  return lifecycle_action::rejected;
+}
+
+double lifecycle_manager::shadow_score(const frequency_planner& planner) const {
+  std::scoped_lock lock(mutex_);
+  return shadow_score_locked(planner);
+}
+
+double lifecycle_manager::shadow_score_locked(const frequency_planner& planner) const {
+  // The drift monitor's error definition replayed offline, with one
+  // deliberate difference: models predict normalised per-item energy while
+  // samples are absolute joules, so one sample per kernel calibrates a
+  // scale — and the shadow evaluation anchors that scale on the kernel's
+  // MOST RECENT sample, not its first. The monitor asks "did the board move
+  // from where I calibrated?", so it anchors at the start; the shadow eval
+  // asks "which model explains the board as it is NOW?", and a stale
+  // pre-drift anchor would hand every challenger retrained on the live
+  // board a constant scale error on exactly the samples it models best.
+  // A planner that cannot produce a prediction scores the worst possible
+  // APE (1.0) for that sample.
+  std::map<std::string, std::size_t> anchor;
+  for (std::size_t i = 0; i < replay_.size(); ++i) anchor[replay_[i].kernel] = i;
+  std::map<std::string, double> scale;
+  for (const auto& [kernel, idx] : anchor) {
+    const auto& s = replay_[idx];
+    const auto predicted = planner.predicted_energy(s.features, s.config.core);
+    if (predicted && std::isfinite(*predicted) && *predicted > 0.0)
+      scale.emplace(kernel, s.energy_j / *predicted);
+  }
+  double sum = 0.0;
+  double total_weight = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < replay_.size(); ++i) {
+    const auto& s = replay_[i];
+    if (anchor.at(s.kernel) == i) continue;  // calibration sample: zero by construction
+    const double age = static_cast<double>(replay_.size() - 1 - i);
+    const double weight = std::pow(options_.shadow_decay, age);
+    const auto it = scale.find(s.kernel);
+    const auto predicted = planner.predicted_energy(s.features, s.config.core);
+    if (it == scale.end() || !predicted || !std::isfinite(*predicted) || *predicted <= 0.0) {
+      sum += weight;
+      total_weight += weight;
+      ++n;
+      continue;
+    }
+    sum += weight * ml::ape(s.energy_j, it->second * *predicted);
+    total_weight += weight;
+    ++n;
+  }
+  return n == 0 || total_weight <= 0.0 ? 1.0 : sum / total_weight;
+}
+
+void lifecycle_manager::persist_locked(std::uint64_t id) {
+  if (!store_) return;
+  const auto champ = registry_->champion();
+  if (!champ || champ->id != id) return;
+  if (const auto st = store_->save(*champ); !st.ok()) {
+    common::log_warn("lifecycle: persisting v", id, " failed: ", st.err().to_string());
+    return;
+  }
+  if (const auto st = store_->set_head(id); !st.ok()) {
+    common::log_warn("lifecycle: moving HEAD to v", id, " failed: ", st.err().to_string());
+    return;
+  }
+  if (options_.retention > 0) store_->gc(options_.retention);
+}
+
+void lifecycle_manager::push_event_locked(lifecycle_event e) { events_.push_back(std::move(e)); }
+
+std::vector<lifecycle_event> lifecycle_manager::history() const {
+  std::scoped_lock lock(mutex_);
+  return events_;
+}
+
+std::size_t lifecycle_manager::replay_size() const {
+  std::scoped_lock lock(mutex_);
+  return replay_.size();
+}
+
+std::size_t lifecycle_manager::retrains() const {
+  std::scoped_lock lock(mutex_);
+  return retrains_;
+}
+
+void lifecycle_manager::start(double interval_s, std::function<bool()> quarantined_probe,
+                              std::function<double()> now_probe) {
+  stop();
+  {
+    std::scoped_lock lock(worker_mutex_);
+    worker_stop_ = false;
+  }
+  worker_ = std::thread([this, interval_s, probe = std::move(quarantined_probe),
+                         now = std::move(now_probe)] {
+    const auto interval = std::chrono::duration<double>(interval_s <= 0.0 ? 0.05 : interval_s);
+    std::unique_lock lock(worker_mutex_);
+    while (true) {
+      if (worker_cv_.wait_for(lock, interval, [this] { return worker_stop_; })) return;
+      lock.unlock();
+      step(probe ? probe() : false, now ? now() : 0.0);
+      lock.lock();
+    }
+  });
+}
+
+void lifecycle_manager::stop() {
+  {
+    std::scoped_lock lock(worker_mutex_);
+    worker_stop_ = true;
+  }
+  worker_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+lifecycle_manager::retrain_fn make_board_retrainer(std::shared_ptr<gpusim::device> board,
+                                                   gpusim::device_spec spec,
+                                                   trainer_options base) {
+  return [board = std::move(board), spec = std::move(spec), base](std::uint64_t seed) {
+    auto opts = base;
+    opts.seed = seed;
+    const model_trainer trainer{spec, opts};
+    const auto sets = trainer.measure_on(*board, trainer.generate_microbenchmarks());
+    // Paper Table 2 "Best" algorithms, as train_default uses.
+    return trainer.fit(sets, ml::algorithm::linear, ml::algorithm::random_forest,
+                       ml::algorithm::random_forest, ml::algorithm::linear);
+  };
+}
+
+lifecycle_manager::retrain_fn make_drifted_retrainer(gpusim::device_spec spec,
+                                                     trainer_options base, double power_skew,
+                                                     double skew_freq_exponent) {
+  return [spec = std::move(spec), base, power_skew, skew_freq_exponent](std::uint64_t seed) {
+    auto opts = base;
+    opts.seed = seed;
+    const model_trainer trainer{spec, opts};
+    gpusim::noise_config noise;
+    noise.time_sigma = opts.time_noise_sigma;
+    noise.power_sigma = opts.power_noise_sigma;
+    noise.seed = seed ^ 0xdeu;
+    gpusim::device dev{spec, noise};
+    dev.set_power_skew(power_skew, skew_freq_exponent);
+    const auto sets = trainer.measure_on(dev, trainer.generate_microbenchmarks());
+    return trainer.fit(sets, ml::algorithm::linear, ml::algorithm::random_forest,
+                       ml::algorithm::random_forest, ml::algorithm::linear);
+  };
+}
+
+void attach_queue(queue& q, std::shared_ptr<model_registry> registry,
+                  std::shared_ptr<lifecycle_manager> manager, drift_options drift,
+                  std::shared_ptr<const tuning_table> fallback_table) {
+  q.set_planner_source(registry, drift, std::move(fallback_table));
+  q.set_quarantine_probe_every(manager->options().quarantine_probe_every);
+  queue* qp = &q;
+  q.set_sample_observer([qp, manager = std::move(manager)](
+                            const std::string& kernel,
+                            const gpusim::static_features& features,
+                            common::frequency_config config, double energy_j) {
+    manager->record({kernel, features, config, energy_j});
+    // The guard has already digested this sample, so its quarantine verdict
+    // is current; the board's virtual clock keeps the history deterministic.
+    manager->step(qp->model_quarantined(), qp->get_device().board()->now().value);
+  });
+}
+
+}  // namespace synergy::lifecycle

@@ -1,0 +1,93 @@
+#include "synergy/lifecycle/model_registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "synergy/telemetry/telemetry.hpp"
+
+namespace synergy::lifecycle {
+
+std::optional<version_origin> origin_from_string(const std::string& s) {
+  if (s == "initial") return version_origin::initial;
+  if (s == "retrain") return version_origin::retrain;
+  if (s == "rollback") return version_origin::rollback;
+  if (s == "imported") return version_origin::imported;
+  return std::nullopt;
+}
+
+std::shared_ptr<const frequency_planner> model_registry::current_planner() const {
+  const auto champ = champion_.load(std::memory_order_acquire);
+  return champ ? champ->planner : nullptr;
+}
+
+std::uint64_t model_registry::publish_locked(model_version v) {
+  v.id = next_id_++;
+  auto snapshot = std::make_shared<const model_version>(std::move(v));
+  history_.push_back(snapshot);
+  // Publish order matters: champion first, generation second. A reader that
+  // observes the bumped generation then always pulls the new champion; the
+  // reverse order could hand out a fresh generation with the old planner
+  // and the consumer would miss the swap until the next one.
+  champion_.store(snapshot, std::memory_order_release);
+  generation_.fetch_add(1, std::memory_order_release);
+  SYNERGY_COUNTER_ADD("lifecycle.versions_installed", 1);
+  return snapshot->id;
+}
+
+std::uint64_t model_registry::install(version_origin origin, std::string device,
+                                      std::shared_ptr<const frequency_planner> planner,
+                                      double challenger_mape, double champion_mape,
+                                      std::string note) {
+  std::scoped_lock lock(mutex_);
+  model_version v;
+  const auto champ = champion_.load(std::memory_order_relaxed);
+  v.parent = champ ? champ->id : 0;
+  v.origin = origin;
+  v.device = std::move(device);
+  v.challenger_mape = challenger_mape;
+  v.champion_mape = champion_mape;
+  v.note = std::move(note);
+  v.planner = std::move(planner);
+  return publish_locked(std::move(v));
+}
+
+std::optional<std::uint64_t> model_registry::rollback(std::string note) {
+  std::scoped_lock lock(mutex_);
+  const auto champ = champion_.load(std::memory_order_relaxed);
+  if (!champ || champ->parent == 0) return std::nullopt;
+  const auto restored = find_locked(champ->parent);
+  if (!restored) return std::nullopt;
+  model_version v;
+  v.parent = restored->id;  // rollback's parent names the version it restores
+  v.origin = version_origin::rollback;
+  v.device = restored->device;
+  v.note = note.empty() ? "restored v" + std::to_string(restored->id) : std::move(note);
+  v.planner = restored->planner;
+  const auto id = publish_locked(std::move(v));
+  SYNERGY_COUNTER_ADD("lifecycle.rollbacks", 1);
+  SYNERGY_INSTANT(telemetry::category::plan, "lifecycle.rollback",
+                  {"version", static_cast<double>(id)},
+                  {"restored", static_cast<double>(restored->id)});
+  return id;
+}
+
+std::shared_ptr<const model_version> model_registry::find_locked(std::uint64_t id) const {
+  const auto it = std::find_if(history_.begin(), history_.end(),
+                               [id](const auto& v) { return v->id == id; });
+  return it == history_.end() ? nullptr : *it;
+}
+
+std::vector<model_version> model_registry::history() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<model_version> out;
+  out.reserve(history_.size());
+  for (const auto& v : history_) out.push_back(*v);
+  return out;
+}
+
+std::size_t model_registry::size() const {
+  std::scoped_lock lock(mutex_);
+  return history_.size();
+}
+
+}  // namespace synergy::lifecycle

@@ -1,0 +1,156 @@
+#include "synergy/lifecycle/version_store.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "synergy/common/envelope.hpp"
+#include "synergy/model_store.hpp"
+
+namespace synergy::lifecycle {
+
+using common::errc;
+using common::error;
+using common::status;
+
+namespace {
+
+constexpr std::string_view head_kind = "lifecycle_head";
+constexpr std::string_view manifest_kind = "lifecycle_manifest";
+constexpr unsigned payload_version = 1;
+constexpr const char* manifest_file = "manifest.envelope";
+
+[[nodiscard]] std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+status version_store::save(const model_version& v) const {
+  if (!v.planner) return error{errc::invalid_argument, "version carries no planner"};
+  if (v.id == 0) return error{errc::invalid_argument, "version id 0 is reserved"};
+  std::error_code ec;
+  std::filesystem::create_directories(dir_for(v.id), ec);
+  if (ec)
+    return error{errc::internal, "cannot create " + dir_for(v.id).string() + ": " + ec.message()};
+
+  const model_store models{dir_for(v.id)};
+  if (const auto st = models.save(v.device, v.planner->models()); !st.ok()) return st;
+
+  std::ostringstream payload;
+  payload << "id " << v.id << "\n"
+          << "parent " << v.parent << "\n"
+          << "origin " << to_string(v.origin) << "\n"
+          << "device " << v.device << "\n"
+          << "challenger_mape " << v.challenger_mape << "\n"
+          << "champion_mape " << v.champion_mape << "\n"
+          << "note " << v.note << "\n";
+  return common::atomic_write_file(
+      dir_for(v.id) / manifest_file,
+      common::envelope::seal(manifest_kind, payload_version, payload.str()));
+}
+
+status version_store::set_head(std::uint64_t id) const {
+  std::error_code ec;
+  std::filesystem::create_directories(root_, ec);
+  if (ec) return error{errc::internal, "cannot create " + root_.string() + ": " + ec.message()};
+  return common::atomic_write_file(
+      root_ / "HEAD",
+      common::envelope::seal(head_kind, payload_version, std::to_string(id) + "\n"));
+}
+
+std::optional<std::uint64_t> version_store::head() const {
+  const auto text = read_file(root_ / "HEAD");
+  if (text.empty()) return std::nullopt;
+  const auto opened = common::envelope::open(text, head_kind, payload_version);
+  if (!opened.ok()) return std::nullopt;
+  std::istringstream in(opened.payload);
+  std::uint64_t id = 0;
+  if (!(in >> id) || id == 0) return std::nullopt;
+  return id;
+}
+
+std::optional<version_manifest> version_store::read_manifest(std::uint64_t id) const {
+  const auto text = read_file(dir_for(id) / manifest_file);
+  if (text.empty()) return std::nullopt;
+  const auto opened = common::envelope::open(text, manifest_kind, payload_version);
+  if (!opened.ok()) return std::nullopt;
+
+  version_manifest m;
+  std::istringstream in(opened.payload);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto space = line.find(' ');
+    const std::string key = line.substr(0, space);
+    const std::string value = space == std::string::npos ? "" : line.substr(space + 1);
+    if (key == "id") m.id = std::strtoull(value.c_str(), nullptr, 10);
+    else if (key == "parent") m.parent = std::strtoull(value.c_str(), nullptr, 10);
+    else if (key == "origin") {
+      const auto origin = origin_from_string(value);
+      if (!origin) return std::nullopt;
+      m.origin = *origin;
+    } else if (key == "device") m.device = value;
+    else if (key == "challenger_mape") m.challenger_mape = std::strtod(value.c_str(), nullptr);
+    else if (key == "champion_mape") m.champion_mape = std::strtod(value.c_str(), nullptr);
+    else if (key == "note") m.note = value;
+  }
+  if (m.id != id) return std::nullopt;  // manifest copied under the wrong directory
+  return m;
+}
+
+std::vector<std::uint64_t> version_store::version_ids() const {
+  std::vector<std::uint64_t> out;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(root_, ec);
+  if (ec) return out;
+  for (const auto& entry : it) {
+    if (!entry.is_directory()) continue;
+    const auto name = entry.path().filename().string();
+    if (name.size() < 2 || name[0] != 'v') continue;
+    char* end = nullptr;
+    const auto id = std::strtoull(name.c_str() + 1, &end, 10);
+    if (end && *end == '\0' && id > 0) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::shared_ptr<const frequency_planner> version_store::load_planner(
+    std::uint64_t id, const gpusim::device_spec& spec, std::string* detail) const {
+  const auto manifest = read_manifest(id);
+  if (!manifest) {
+    if (detail) *detail = "manifest missing or damaged";
+    return nullptr;
+  }
+  const model_store models{dir_for(id)};
+  auto result = models.load(manifest->device);
+  if (detail) *detail = result.summary();
+  if (!result.ok()) return nullptr;
+  return std::make_shared<const frequency_planner>(spec, std::move(result.models));
+}
+
+std::size_t version_store::gc(std::size_t keep) const {
+  const auto ids = version_ids();
+  if (ids.size() <= keep) return 0;
+  const auto head_id = head();
+  std::size_t removed = 0;
+  std::size_t excess = ids.size() - keep;
+  for (const auto id : ids) {
+    if (excess == 0) break;
+    if (head_id && id == *head_id) continue;  // never collect the live version
+    std::error_code ec;
+    std::filesystem::remove_all(dir_for(id), ec);
+    if (!ec) {
+      ++removed;
+      --excess;
+    }
+  }
+  return removed;
+}
+
+}  // namespace synergy::lifecycle

@@ -610,6 +610,29 @@ TEST(DriftMonitor, QuarantinesOnSustainedDriftAndLatches) {
   EXPECT_EQ(mon.samples(), 0u);
 }
 
+TEST(DriftMonitor, ResetRecalibratesPerKernelScales) {
+  // Regression: reset() must clear the per-kernel scale map along with the
+  // rolling window. A retrained model predicts on a different absolute scale
+  // than its predecessor; recalibrating against stale scales would misread
+  // the fresh model as drifted and re-quarantine it immediately.
+  synergy::drift_options opt;
+  opt.window = 16;
+  opt.min_samples = 8;
+  opt.threshold = 0.25;
+  synergy::drift_monitor mon{opt};
+  for (int i = 0; i < 16; ++i) mon.observe("k", 1.0, 100.0);
+  ASSERT_FALSE(mon.quarantined());
+
+  mon.reset();
+  // Same kernel, very different measured/predicted ratio: the first sample
+  // after a reset must calibrate a fresh scale, so a stable-but-shifted
+  // ratio stays quiet. With a stale scale these samples would read as 60%
+  // error and trip the threshold.
+  for (int i = 0; i < 16; ++i) mon.observe("k", 1.0, 160.0);
+  EXPECT_LT(mon.rolling_error(), 1e-9);
+  EXPECT_FALSE(mon.quarantined());
+}
+
 TEST(DriftMonitor, RejectsInvalidPairsWithoutPoisoningTheStatistic) {
   synergy::drift_monitor mon;
   mon.observe("k", 1.0, 10.0);
@@ -692,6 +715,55 @@ TEST(DriftQuarantine, PowerSkewMidRunTripsQuarantineAndTierSwitch) {
   EXPECT_EQ(drifted.default_fallbacks, replay.default_fallbacks);
   EXPECT_DOUBLE_EQ(drifted.total_energy, replay.total_energy);
   EXPECT_DOUBLE_EQ(drifted.rolling_error, replay.rolling_error);
+}
+
+TEST(DriftQuarantine, QuarantineLatchReArmsAfterReset) {
+  const auto planner = shared_planner();
+  simsycl::device dev{gs::make_v100()};
+  auto ctx = std::make_shared<synergy::context>(std::vector<simsycl::device>{dev});
+  synergy::queue q{dev, ctx};
+  synergy::drift_options opt;
+  opt.window = 32;
+  opt.min_samples = 8;
+  opt.threshold = 0.25;
+  q.set_planner(planner, opt);
+  q.set_target(sm::ES_50);
+
+  for (int pass = 0; pass < 2; ++pass)
+    for (const auto& b : sw::suite()) b.run(q);
+  ASSERT_FALSE(q.model_quarantined());
+
+  // First drift episode: trip, cache flush, fallback tier takes over.
+  dev.board()->set_power_skew(1.6);
+  for (int pass = 0; pass < 2; ++pass)
+    for (const auto& b : sw::suite()) b.run(q);
+  ASSERT_TRUE(q.model_quarantined());
+  const auto first_episode_fallbacks = q.guard()->default_fallbacks();
+  EXPECT_GT(first_episode_fallbacks, 0u);
+
+  // "Retrained and redeployed": lift the quarantine. The monitor
+  // recalibrates against the still-skewed but now stable board, so the
+  // model tier resumes serving plans.
+  q.reset_model_quarantine();
+  EXPECT_FALSE(q.model_quarantined());
+  const auto model_plans_before = q.guard()->model_plans();
+  for (const auto& b : sw::suite()) b.run(q);
+  EXPECT_FALSE(q.model_quarantined());
+  EXPECT_GT(q.guard()->model_plans(), model_plans_before);
+
+  // Regression: the one-shot quarantine latch must re-arm once the
+  // quarantine lifts. A second drift episode has to flush the plan cache
+  // again and push submissions onto the fallback tier — with a stuck latch
+  // the stale cached model-tier clocks would keep being served.
+  dev.board()->set_power_skew(2.6);
+  for (int pass = 0; pass < 2; ++pass)
+    for (const auto& b : sw::suite()) b.run(q);
+  ASSERT_TRUE(q.model_quarantined());
+  EXPECT_GT(q.guard()->default_fallbacks(), first_episode_fallbacks);
+  // Post-trip submissions really run at the default-clock tier, not at a
+  // cached model-tier plan.
+  const auto& last = q.samples().back();
+  EXPECT_EQ(last.config.core.value, gs::make_v100().default_core_clock().value);
 }
 
 TEST(DriftQuarantine, QueueKeepsWorkingWhenTuningTableTierTakesOver) {

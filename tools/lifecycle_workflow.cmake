@@ -1,0 +1,130 @@
+# Model-lifecycle acceptance test (ARCHITECTURE.md Sec. 13): train a model
+# set, replay a cluster trace with mid-run power drift, and assert the
+# lifecycle closes the loop end to end:
+#  - the drift monitor quarantines the model tier,
+#  - the manager retrains a challenger on the drifted response and promotes
+#    it through shadow evaluation (the summary counts the promotion),
+#  - two identical runs produce byte-identical summary CSVs AND lifecycle
+#    histories (determinism: virtual time only, seeded retraining),
+#  - the persisted version store round-trips through the synergy_lifecycle
+#    CLI, including its damaged-store exit-code contract.
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# 1. Train the v1 model set (small sweep; the drift plan below is what the
+#    models must get wrong, not measurement noise).
+execute_process(COMMAND "${TRAIN}" V100 "${WORK_DIR}/models" 32 16
+                WORKING_DIRECTORY "${WORK_DIR}"
+                RESULT_VARIABLE r OUTPUT_VARIABLE train_out)
+if(NOT r EQUAL 0)
+  message(FATAL_ERROR "synergy_train failed: ${r}\n${train_out}")
+endif()
+
+# 2. Two identical drifted runs, each persisting to its own store.
+set(common_args --jobs 400 --nodes 4 --gpus 4 --seed 7
+                --models "${WORK_DIR}/models"
+                --drift 1.0 --drift-at 150 --drift-gamma 3.0
+                --lifecycle-history)
+
+execute_process(COMMAND "${CLUSTER}" ${common_args}
+                  --lifecycle "${WORK_DIR}/store1" --csv "${WORK_DIR}/run1.csv"
+                WORKING_DIRECTORY "${WORK_DIR}"
+                RESULT_VARIABLE r1 OUTPUT_VARIABLE out1)
+if(NOT r1 EQUAL 0)
+  message(FATAL_ERROR "drifted synergy_cluster run 1 failed: ${r1}\n${out1}")
+endif()
+
+execute_process(COMMAND "${CLUSTER}" ${common_args}
+                  --lifecycle "${WORK_DIR}/store2" --csv "${WORK_DIR}/run2.csv"
+                WORKING_DIRECTORY "${WORK_DIR}"
+                RESULT_VARIABLE r2 OUTPUT_VARIABLE out2)
+if(NOT r2 EQUAL 0)
+  message(FATAL_ERROR "drifted synergy_cluster run 2 failed: ${r2}\n${out2}")
+endif()
+
+# Determinism: same seed, same summary — bit-for-bit.
+file(READ "${WORK_DIR}/run1.csv" csv1)
+file(READ "${WORK_DIR}/run2.csv" csv2)
+if(NOT csv1 STREQUAL csv2)
+  message(FATAL_ERROR "lifecycle broke determinism: summary CSVs differ")
+endif()
+
+# ... and the decision logs match byte-for-byte too (the section is printed
+# last, after the run-specific csv-written line, so the tails compare clean).
+string(REGEX MATCH "lifecycle history:.*" hist1 "${out1}")
+string(REGEX MATCH "lifecycle history:.*" hist2 "${out2}")
+if(hist1 STREQUAL "")
+  message(FATAL_ERROR "run 1 printed no lifecycle history:\n${out1}")
+endif()
+if(NOT hist1 STREQUAL hist2)
+  message(FATAL_ERROR "lifecycle histories differ:\n--- run 1\n${hist1}\n--- run 2\n${hist2}")
+endif()
+
+# The loop actually closed: quarantine tripped, a challenger was promoted,
+# and the summary carries the counters.
+if(NOT out1 MATCHES "model quarantines")
+  message(FATAL_ERROR "drift never quarantined the model tier:\n${out1}")
+endif()
+if(NOT out1 MATCHES "model promotions")
+  message(FATAL_ERROR "no challenger was promoted:\n${out1}")
+endif()
+if(NOT hist1 MATCHES "v2 retrain")
+  message(FATAL_ERROR "history missing the retrained version:\n${hist1}")
+endif()
+if(NOT csv1 MATCHES "promotions")
+  message(FATAL_ERROR "summary CSV missing lifecycle columns")
+endif()
+
+# 3. The persisted store agrees with the CLI.
+execute_process(COMMAND "${LIFECYCLE}" status "${WORK_DIR}/store1"
+                RESULT_VARIABLE rs OUTPUT_VARIABLE status_out)
+if(NOT rs EQUAL 0)
+  message(FATAL_ERROR "synergy_lifecycle status failed: ${rs}\n${status_out}")
+endif()
+if(NOT status_out MATCHES "head: v2" OR NOT status_out MATCHES "loads cleanly")
+  message(FATAL_ERROR "status does not show the promoted champion:\n${status_out}")
+endif()
+
+execute_process(COMMAND "${LIFECYCLE}" history "${WORK_DIR}/store1"
+                RESULT_VARIABLE rh OUTPUT_VARIABLE history_out)
+if(NOT rh EQUAL 0)
+  message(FATAL_ERROR "synergy_lifecycle history failed: ${rh}\n${history_out}")
+endif()
+if(NOT history_out MATCHES "v1 initial" OR NOT history_out MATCHES "v2 retrain.*<- HEAD")
+  message(FATAL_ERROR "persisted history does not match the run:\n${history_out}")
+endif()
+
+# Manual rollback moves HEAD to the parent, manual promote moves it back.
+execute_process(COMMAND "${LIFECYCLE}" rollback "${WORK_DIR}/store1"
+                RESULT_VARIABLE rr OUTPUT_VARIABLE roll_out)
+if(NOT rr EQUAL 0 OR NOT roll_out MATCHES "HEAD -> v1")
+  message(FATAL_ERROR "CLI rollback failed (${rr}):\n${roll_out}")
+endif()
+execute_process(COMMAND "${LIFECYCLE}" promote "${WORK_DIR}/store1" --id 2
+                RESULT_VARIABLE rp OUTPUT_VARIABLE promote_out)
+if(NOT rp EQUAL 0 OR NOT promote_out MATCHES "HEAD -> v2")
+  message(FATAL_ERROR "CLI promote failed (${rp}):\n${promote_out}")
+endif()
+
+# gc keeps the HEAD version even when asked to keep almost nothing.
+execute_process(COMMAND "${LIFECYCLE}" gc "${WORK_DIR}/store1" --keep 1
+                RESULT_VARIABLE rg OUTPUT_VARIABLE gc_out)
+if(NOT rg EQUAL 0)
+  message(FATAL_ERROR "synergy_lifecycle gc failed: ${rg}\n${gc_out}")
+endif()
+execute_process(COMMAND "${LIFECYCLE}" status "${WORK_DIR}/store1"
+                RESULT_VARIABLE rs2 OUTPUT_VARIABLE status2_out)
+if(NOT rs2 EQUAL 0 OR NOT status2_out MATCHES "head: v2")
+  message(FATAL_ERROR "gc removed the HEAD version (${rs2}):\n${status2_out}")
+endif()
+
+# Damaged-store contract: flip one byte of the champion manifest in the
+# untouched second store and status must exit 2 with a diagnostic.
+file(READ "${WORK_DIR}/store2/v2/manifest.envelope" manifest)
+string(REGEX REPLACE "retrain" "retraiN" manifest "${manifest}")
+file(WRITE "${WORK_DIR}/store2/v2/manifest.envelope" "${manifest}")
+execute_process(COMMAND "${LIFECYCLE}" status "${WORK_DIR}/store2"
+                RESULT_VARIABLE rd OUTPUT_VARIABLE damaged_out ERROR_VARIABLE damaged_err)
+if(NOT rd EQUAL 2)
+  message(FATAL_ERROR "damaged store must exit 2, got ${rd}:\n${damaged_out}${damaged_err}")
+endif()

@@ -32,14 +32,31 @@
 ///                          jobs requeued)
 ///   --fault-max-losses N   cap on nodes the fault plan may kill
 ///   --fault-seed S         fault-plan RNG seed (default 0xfa0175eed)
+///   --drift SKEW           multiply modelled GPU power by SKEW mid-run
+///   --drift-at S           drift onset on the cluster timeline (seconds)
+///   --drift-gamma G        clock-dependent drift component: the multiplier
+///                          becomes SKEW * (core/default)^G, which changes
+///                          the boards' frequency response and invalidates
+///                          the trained models (the drift monitor trips)
+///   --lifecycle DIR        close the loop: follow the drift quarantine with
+///                          an automatic retrain + shadow evaluation +
+///                          promotion/rollback, persisting the version
+///                          history to DIR (requires --models and the
+///                          energy policy)
+///   --lifecycle-history    print the lifecycle decision log after the run
 
+#include <cstdio>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
 
 #include "synergy/cluster/simulator.hpp"
+#include "synergy/guarded_planner.hpp"
+#include "synergy/lifecycle/lifecycle_manager.hpp"
 
 namespace sc = synergy::cluster;
 namespace sm = synergy::metrics;
@@ -55,7 +72,9 @@ int usage(int code) {
          "                       [--mean-interarrival S] [--work-items N]\n"
          "                       [--trace-in F] [--trace-out F] [--csv F] [--report]\n"
          "                       [--faults R] [--fault-device-lost R]\n"
-         "                       [--fault-max-losses N] [--fault-seed S]\n";
+         "                       [--fault-max-losses N] [--fault-seed S]\n"
+         "                       [--drift SKEW] [--drift-at S] [--drift-gamma G]\n"
+         "                       [--lifecycle DIR] [--lifecycle-history]\n";
   return code;
 }
 
@@ -70,6 +89,8 @@ int main(int argc, char** argv) {
   std::string trace_in;
   std::string trace_out;
   std::string csv_file;
+  std::string lifecycle_dir;
+  bool lifecycle_history = false;
   bool report = false;
 
   try {
@@ -106,6 +127,11 @@ int main(int argc, char** argv) {
         cluster.faults.device_lost_rate = r;
       } else if (arg == "--fault-max-losses") cluster.faults.max_node_losses = std::stoul(value());
       else if (arg == "--fault-seed") cluster.faults.seed = std::stoull(value());
+      else if (arg == "--drift") cluster.drift.power_skew = std::stod(value());
+      else if (arg == "--drift-at") cluster.drift.at_s = std::stod(value());
+      else if (arg == "--drift-gamma") cluster.drift.freq_exponent = std::stod(value());
+      else if (arg == "--lifecycle") lifecycle_dir = value();
+      else if (arg == "--lifecycle-history") lifecycle_history = true;
       else if (arg == "--help" || arg == "-h") return usage(0);
       else {
         std::cerr << "error: unknown argument " << arg << '\n';
@@ -137,6 +163,8 @@ int main(int argc, char** argv) {
     }
 
     sc::plan_fn plan;
+    std::shared_ptr<synergy::guarded_planner> guard;
+    bool model_loaded = false;
     if (policy == "energy" || policy == "energy-aware") {
       if (!model_dir.empty()) {
         auto guarded = sc::make_guarded_suite_planner(cluster.device, model_dir);
@@ -145,11 +173,50 @@ int main(int argc, char** argv) {
                   << '\n';
         if (!guarded.load_summary.empty()) std::cout << guarded.load_summary;
         plan = std::move(guarded.plan);
+        guard = guarded.guard;
+        model_loaded = guarded.model_loaded;
       } else {
         plan = sc::make_suite_planner(cluster.device);
       }
     }
     sc::simulator sim{cluster, sc::make_policy(policy, std::move(plan), override_target)};
+
+    namespace lc = synergy::lifecycle;
+    std::shared_ptr<lc::model_registry> registry;
+    std::shared_ptr<lc::lifecycle_manager> manager;
+    if (!lifecycle_dir.empty()) {
+      if (!guard || !model_loaded || !guard->planner()) {
+        std::cerr << "error: --lifecycle needs the energy policy with --models "
+                     "(the model tier must be active to manage its lifecycle)\n";
+        return 1;
+      }
+      const auto spec = synergy::gpusim::make_device_spec(cluster.device);
+      registry = std::make_shared<lc::model_registry>();
+      registry->install(lc::version_origin::initial, cluster.device, guard->planner(), 0.0, 0.0,
+                        "loaded from " + model_dir);
+      auto store = std::make_shared<lc::version_store>(lifecycle_dir);
+      if (const auto champ = registry->champion()) {
+        if (const auto st = store->save(*champ); !st.ok())
+          std::cerr << "warning: cannot persist v" << champ->id << ": " << st.err().to_string()
+                    << '\n';
+        else if (const auto st2 = store->set_head(champ->id); !st2.ok())
+          std::cerr << "warning: cannot move HEAD: " << st2.err().to_string() << '\n';
+      }
+      // Challenger sweeps are deliberately small: the retrain happens inside
+      // the simulated run and only needs to recover the drifted frequency
+      // response, not match the offline training budget.
+      synergy::trainer_options retrain_opts;
+      retrain_opts.n_microbenchmarks = 24;
+      retrain_opts.freq_samples = 12;
+      retrain_opts.repetitions = 1;
+      auto retrain = lc::make_drifted_retrainer(spec, retrain_opts, cluster.drift.power_skew,
+                                                cluster.drift.freq_exponent);
+      manager = std::make_shared<lc::lifecycle_manager>(registry, spec, std::move(retrain),
+                                                        lc::lifecycle_options{}, store);
+      sim.attach_recovery(guard, registry, manager);
+      std::cout << "lifecycle: persisting versions to " << lifecycle_dir << '\n';
+    }
+
     const auto summary = sim.run(trace);
 
     if (report) {
@@ -171,6 +238,30 @@ int main(int argc, char** argv) {
         summary.csv(out);
         std::cout << "summary csv written to " << csv_file << '\n';
       }
+    }
+
+    if (lifecycle_history && manager && registry) {
+      // Deterministic rendering (fixed precision, virtual times only) — the
+      // workflow fixture compares this section byte-for-byte across runs.
+      std::cout << "\nlifecycle history:\n" << std::fixed << std::setprecision(3);
+      for (const auto& v : registry->history()) {
+        std::cout << "  v" << v.id << ' ' << lc::to_string(v.origin) << " parent=" << v.parent
+                  << " device=" << v.device;
+        if (v.origin != lc::version_origin::initial)
+          std::cout << " challenger_mape=" << v.challenger_mape
+                    << " champion_mape=" << v.champion_mape;
+        if (!v.note.empty()) std::cout << " (" << v.note << ')';
+        std::cout << '\n';
+      }
+      for (const auto& e : manager->history()) {
+        std::cout << "  t=" << e.time_s << "s " << lc::to_string(e.action);
+        if (e.version != 0) std::cout << " -> v" << e.version;
+        std::cout << " challenger_mape=" << e.challenger_mape
+                  << " champion_mape=" << e.champion_mape << " replay=" << e.replay_samples;
+        if (!e.note.empty()) std::cout << " (" << e.note << ')';
+        std::cout << '\n';
+      }
+      if (manager->history().empty()) std::cout << "  (no lifecycle decisions)\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
