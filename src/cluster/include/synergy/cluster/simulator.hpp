@@ -29,10 +29,15 @@
 #include "synergy/cluster/job_trace.hpp"
 #include "synergy/cluster/policy.hpp"
 #include "synergy/cluster/power_budget.hpp"
+#include "synergy/obs/energy_ledger.hpp"
 #include "synergy/sched/controller.hpp"
 
 namespace synergy {
 class guarded_planner;  // core guardrail chain (synergy/guarded_planner.hpp)
+}
+
+namespace synergy::obs {
+class slo_watchdog;  // SLO rule evaluator (synergy/obs/slo_watchdog.hpp)
 }
 
 namespace synergy::lifecycle {
@@ -112,6 +117,11 @@ struct cluster_config {
   fault_plan faults{};
   /// Mid-run power drift for the fleet; disabled by default.
   drift_plan drift{};
+  /// Observability scrape cadence on the cluster's virtual clock: every
+  /// `obs_scrape_interval_s` simulated seconds the global energy ledger
+  /// samples a time-series point, the attached watchdog evaluates its
+  /// rules, and the scrape hook (live snapshot writer) runs. <= 0 disables.
+  double obs_scrape_interval_s{0.0};
 };
 
 /// Per-job outcome (sacct row of the simulated run).
@@ -204,6 +214,19 @@ class simulator {
                        std::shared_ptr<lifecycle::model_registry> registry,
                        std::shared_ptr<lifecycle::lifecycle_manager> manager);
 
+  /// Wire the observability plane: `watchdog` (may be nullptr) is fed job
+  /// completions / planner tiers / quarantine state and evaluated on every
+  /// scrape tick; `attribution_guard` is the guarded_planner the scheduling
+  /// policy plans through, read per placement to tag the job's joules with
+  /// the tier that priced them (falls back to the recovery guard, then — for
+  /// un-guarded plan_fns — to cause::oracle). Attach before run().
+  void attach_observability(std::shared_ptr<obs::slo_watchdog> watchdog,
+                            std::shared_ptr<guarded_planner> attribution_guard = nullptr);
+
+  /// Called after every scrape tick (and once at end of run) with the
+  /// current virtual time — tools use it to emit live snapshot files.
+  void set_scrape_hook(std::function<void(double)> hook);
+
   /// Print the per-job sacct-style table of the last run.
   void report(std::ostream& os) const;
 
@@ -253,6 +276,8 @@ class simulator {
     double duration{0.0};
     double energy_j{0.0};    ///< total pre-charged GPU energy
     double avg_power_w{0.0};  ///< per-GPU busy power (budget re-registration)
+    obs::cause why{obs::cause::unattributed};  ///< attribution of this job's joules
+    std::string node;        ///< primary node name (multi-node gangs charge here)
   };
   std::vector<running_job> running_;
   std::vector<std::pair<double, double>> power_samples_;
@@ -260,6 +285,13 @@ class simulator {
   double facility_energy_j_{0.0};
   double busy_gpu_seconds_{0.0};
   double peak_power_w_{0.0};
+  // --- observability (optional) ---
+  /// Scrape tick: ledger sample + watchdog evaluation + hook, rescheduled
+  /// while the engine still has events.
+  void scrape_tick();
+  std::shared_ptr<obs::slo_watchdog> watchdog_;
+  std::shared_ptr<guarded_planner> attribution_guard_;
+  std::function<void(double)> scrape_hook_;
   // --- lifecycle recovery (optional; counters reset per run) ---
   std::shared_ptr<guarded_planner> recovery_guard_;
   std::shared_ptr<lifecycle::model_registry> recovery_registry_;

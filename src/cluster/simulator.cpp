@@ -15,6 +15,7 @@
 #include "synergy/guarded_planner.hpp"
 #include "synergy/lifecycle/lifecycle_manager.hpp"
 #include "synergy/model_store.hpp"
+#include "synergy/obs/slo_watchdog.hpp"
 #include "synergy/sched/plugin.hpp"
 #include "synergy/telemetry/telemetry.hpp"
 #include "synergy/tuning_table.hpp"
@@ -240,6 +241,29 @@ void simulator::start(std::size_t queue_index, const placement& pl) {
   }
   r.core_mhz = config.core.value;
 
+  // Attribute the job's joules to the decision that priced its clocks. The
+  // scheduling policy plans immediately before returning a placement, so
+  // the guard's last decision is this placement's. Overrides, strongest
+  // last: a cap demotion re-priced the clocks, and a clock-set fault means
+  // the job actually ran at fallback clocks.
+  obs::cause why = obs::cause::default_clocks;
+  if (pl.config) {
+    const guarded_planner* g =
+        attribution_guard_ ? attribution_guard_.get() : recovery_guard_.get();
+    if (g) {
+      const auto& d = g->last_decision();
+      why = d.probe                             ? obs::cause::quarantine_probe
+            : d.tier == plan_tier::model        ? obs::cause::model
+            : d.tier == plan_tier::tuning_table ? obs::cause::tuning_table
+                                                : obs::cause::default_clocks;
+    } else {
+      why = obs::cause::oracle;
+    }
+  }
+  if (r.demoted) why = obs::cause::cap_demoted;
+  if (r.clock_set_failed) why = obs::cause::fault_degraded;
+  if (watchdog_) watchdog_->observe_plan(why == obs::cause::model);
+
   auto cost = model_.evaluate(spec_, folded_profile(qj.job), config);
   if (config_.drift.enabled() && now >= config_.drift.at_s) {
     // The fleet's boards have drifted: modelled power picks up the skew at
@@ -263,7 +287,8 @@ void simulator::start(std::size_t queue_index, const placement& pl) {
   for (const std::size_t ni : nodes_used) ctl_->node_at(ni).add_job();
   const std::uint64_t epoch = next_epoch_++;
   running_.push_back({qj.job.id, epoch, pl.gpus, qj.job, qj.est_runtime_s, now, duration,
-                      r.gpu_energy_j, cost.avg_power.value});
+                      r.gpu_energy_j, cost.avg_power.value, why,
+                      ctl_->node_at(pl.gpus.front().node).name()});
 
   SYNERGY_COUNTER_ADD("cluster.placements", 1);
   SYNERGY_HISTOGRAM_OBSERVE("cluster.queue_wait_s", r.queue_wait_s, 0.0, 1.0, 10.0, 60.0,
@@ -302,6 +327,8 @@ void simulator::complete(int job_id, std::uint64_t epoch) {
   }
   for (const std::size_t ni : nodes_used) ctl_->node_at(ni).remove_job();
   const traced_job finished = it->job;
+  [[maybe_unused]] const obs::cause attribution = it->why;
+  [[maybe_unused]] const std::string obs_node = it->node;
   running_.erase(it);
 
   auto& r = result_of(job_id);
@@ -317,6 +344,12 @@ void simulator::complete(int job_id, std::uint64_t epoch) {
   }
   SYNERGY_COUNTER_ADD("cluster.jobs_completed", 1);
   SYNERGY_GAUGE_ADD("cluster.gpu_energy_j", r.gpu_energy_j);
+  // Ledger conservation contract: every completed job charges its full
+  // pre-charged GPU energy here; device-lost partials charge in
+  // device_lost(). Ledger total == busy GPU energy + wasted energy.
+  SYNERGY_OBS_CHARGE((obs::charge_key{obs_node, config_.device, r.name, r.kernel}),
+                     attribution, r.gpu_energy_j);
+  if (watchdog_ && r.n_gpus > 0) watchdog_->observe_job(r.gpu_energy_j / r.n_gpus);
 #if SYNERGY_TELEMETRY_ENABLED
   // Job lifetime on the cluster timeline (pid 3, virtual seconds).
   if (tel::enabled())
@@ -372,6 +405,12 @@ void simulator::complete(int job_id, std::uint64_t epoch) {
     }
   }
 
+  if (watchdog_) {
+    const guarded_planner* g =
+        attribution_guard_ ? attribution_guard_.get() : recovery_guard_.get();
+    if (g) watchdog_->observe_quarantine(engine_.now(), g->quarantined());
+  }
+
   budget_->rebalance();
   try_schedule();
   sample_power();
@@ -420,6 +459,11 @@ void simulator::device_lost(const std::string& node_name) {
     const double done = rj.duration > 0.0 ? std::min(1.0, elapsed / rj.duration) : 1.0;
     busy_gpu_seconds_ -= (rj.duration - elapsed) * rj.job.n_gpus;
     wasted_energy_j_ += rj.energy_j * done;
+    // The partial execution's joules were spent and bought nothing: book
+    // them as fault-wasted so the watchdog's wasted_energy_j rule sees the
+    // incident on the next scrape.
+    SYNERGY_OBS_CHARGE((obs::charge_key{rj.node, config_.device, r.name, r.kernel}),
+                       obs::cause::fault_wasted, rj.energy_j * done);
     r.gpu_energy_j = 0.0;
     r.state = sched::job_state::pending;
     r.start_s = -1.0;
@@ -526,8 +570,17 @@ run_summary simulator::run(const job_trace& trace) {
     engine_.at(job.submit_s, [this, job] { arrive(job); });
   }
   sample_power();
+  if (config_.obs_scrape_interval_s > 0.0)
+    engine_.after(config_.obs_scrape_interval_s, [this] { scrape_tick(); });
   engine_.run();
   integrate_to_now();
+  if (config_.obs_scrape_interval_s > 0.0) {
+    // Closing sample: a run shorter than one interval still gets a series
+    // point, and the watchdog sees the final state.
+    obs::energy_ledger::instance().scrape(engine_.now());
+    if (watchdog_) watchdog_->evaluate(engine_.now());
+    if (scrape_hook_) scrape_hook_(engine_.now());
+  }
 
   // Anything still queued can never start (the queue only drains on
   // completions, and none are pending).
@@ -579,6 +632,26 @@ run_summary simulator::run(const job_trace& trace) {
   s.promotions = promotions_;
   s.rollbacks = rollbacks_;
   return s;
+}
+
+void simulator::scrape_tick() {
+  obs::energy_ledger::instance().scrape(engine_.now());
+  if (watchdog_) watchdog_->evaluate(engine_.now());
+  if (scrape_hook_) scrape_hook_(engine_.now());
+  // Reschedule only while the run still has events: the tick must not keep
+  // an otherwise-finished simulation alive forever.
+  if (!engine_.empty())
+    engine_.after(config_.obs_scrape_interval_s, [this] { scrape_tick(); });
+}
+
+void simulator::attach_observability(std::shared_ptr<obs::slo_watchdog> watchdog,
+                                     std::shared_ptr<guarded_planner> attribution_guard) {
+  watchdog_ = std::move(watchdog);
+  attribution_guard_ = std::move(attribution_guard);
+}
+
+void simulator::set_scrape_hook(std::function<void(double)> hook) {
+  scrape_hook_ = std::move(hook);
 }
 
 void simulator::attach_recovery(std::shared_ptr<guarded_planner> guard,

@@ -1,5 +1,6 @@
 #include "synergy/guarded_planner.hpp"
 
+#include <chrono>
 #include <utility>
 
 #include "synergy/telemetry/telemetry.hpp"
@@ -20,6 +21,27 @@ guarded_planner::guarded_planner(gpusim::device_spec spec,
 plan_decision guarded_planner::plan(const std::string& kernel,
                                     const gpusim::static_features& k,
                                     const metrics::target& target) {
+#if SYNERGY_TELEMETRY_ENABLED
+  // Plan latency feeds the snapshot's p50/p99 (wall clock, so the
+  // instrument is on the exporter's volatile list — Prometheus only).
+  struct latency_probe {
+    std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+    ~latency_probe() {
+      const double us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      SYNERGY_HISTOGRAM_OBSERVE("planner.plan_latency_us", us, 0.1, 1.0, 10.0, 100.0,
+                                1000.0, 10000.0);
+    }
+  } probe_latency;
+#endif
+  last_ = plan_impl(kernel, k, target);
+  return last_;
+}
+
+plan_decision guarded_planner::plan_impl(const std::string& kernel,
+                                         const gpusim::static_features& k,
+                                         const metrics::target& target) {
   SYNERGY_COUNTER_ADD("planner.plans", 1);
   plan_decision out;
 
@@ -37,6 +59,7 @@ plan_decision guarded_planner::plan(const std::string& kernel,
               quarantine_rejections_ % quarantine_probe_every_ == 0;
       if (probe) {
         ++quarantine_probes_;
+        out.probe = true;
         SYNERGY_COUNTER_ADD("planner.quarantine_probes", 1);
       }
     } else {

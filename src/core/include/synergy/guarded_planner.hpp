@@ -45,6 +45,7 @@ struct plan_decision {
   plan_tier tier{plan_tier::default_clocks};
   bool ood{false};      ///< model tier rejected the features as out-of-distribution
   bool clamped{false};  ///< clocks were snapped onto the supported table
+  bool probe{false};    ///< deliberate default-clock quarantine probe
   std::string reason;   ///< why the chain fell past the model tier (empty on model)
 };
 
@@ -95,6 +96,11 @@ class guarded_planner {
   void set_quarantine_probe_every(std::size_t n) { quarantine_probe_every_ = n; }
   [[nodiscard]] std::size_t quarantine_probes() const { return quarantine_probes_; }
 
+  /// The most recent plan() decision — the energy-attribution layer reads
+  /// it to tag the joules a placement spends with the tier that priced
+  /// them. Default-constructed before the first plan().
+  [[nodiscard]] const plan_decision& last_decision() const { return last_; }
+
   [[nodiscard]] bool has_model_tier() const { return planner_ != nullptr; }
   [[nodiscard]] bool has_table_tier() const { return table_ != nullptr; }
   [[nodiscard]] const gpusim::device_spec& spec() const { return spec_; }
@@ -111,10 +117,15 @@ class guarded_planner {
   [[nodiscard]] std::size_t quarantine_rejections() const { return quarantine_rejections_; }
 
  private:
+  [[nodiscard]] plan_decision plan_impl(const std::string& kernel,
+                                        const gpusim::static_features& k,
+                                        const metrics::target& target);
+
   gpusim::device_spec spec_;
   std::shared_ptr<const frequency_planner> planner_;
   std::shared_ptr<const tuning_table> table_;
   drift_monitor drift_;
+  plan_decision last_;
   std::size_t model_plans_{0};
   std::size_t table_fallbacks_{0};
   std::size_t default_fallbacks_{0};

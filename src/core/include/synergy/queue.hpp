@@ -32,6 +32,7 @@
 #include "synergy/context.hpp"
 #include "synergy/guarded_planner.hpp"
 #include "synergy/metrics/energy_metrics.hpp"
+#include "synergy/obs/energy_ledger.hpp"
 #include "synergy/planner.hpp"
 #include "synergy/planner_source.hpp"
 
@@ -250,9 +251,11 @@ class queue : public simsycl::queue {
                                  std::optional<common::frequency_config> freq,
                                  std::optional<metrics::target> target);
 
-  /// Resolve a target for a kernel to a frequency, caching by (name, target).
-  common::frequency_config resolve_target(const simsycl::handler& h,
-                                          const metrics::target& t);
+  /// Resolve a target for a kernel to a frequency plus the attribution
+  /// cause of the tier that produced it, caching by (name, target) — cache
+  /// hits keep the original attribution.
+  std::pair<common::frequency_config, obs::cause> resolve_target(const simsycl::handler& h,
+                                                                 const metrics::target& t);
 
   void apply_frequency(common::frequency_config config);
 
@@ -282,7 +285,9 @@ class queue : public simsycl::queue {
   std::size_t planner_refreshes_{0};
   std::size_t degraded_submissions_{0};
   bool degrade_next_{false};  ///< set by apply_frequency, consumed per submission
-  std::map<std::pair<std::string, std::string>, common::frequency_config> plan_cache_;
+  std::map<std::pair<std::string, std::string>,
+           std::pair<common::frequency_config, obs::cause>>
+      plan_cache_;
   std::map<std::string, kernel_stats> stats_;
   std::vector<energy_sample> samples_;
 };

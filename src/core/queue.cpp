@@ -122,7 +122,8 @@ void queue::set_tuning_table(std::shared_ptr<const tuning_table> table) {
   plan_cache_.clear();
 }
 
-frequency_config queue::resolve_target(const simsycl::handler& h, const metrics::target& t) {
+std::pair<frequency_config, obs::cause> queue::resolve_target(const simsycl::handler& h,
+                                                              const metrics::target& t) {
   const auto key = std::make_pair(h.info().name, t.to_string());
   if (const auto it = plan_cache_.find(key); it != plan_cache_.end()) {
     // Steady-state fast path: a counter only — opening a span here would put
@@ -135,12 +136,13 @@ frequency_config queue::resolve_target(const simsycl::handler& h, const metrics:
   span.str("kernel", h.info().name);
   SYNERGY_COUNTER_ADD("queue.plan_cache_misses", 1);
   frequency_config config;
+  obs::cause why = obs::cause::oracle;
   if (tuning_ && tuning_->find(h.info().name, t)) {
     // Compiled artefact: the decision was made at build time (paper Fig. 3).
     config = *tuning_->find(h.info().name, t);
     span.arg("tuning_table", 1.0);
-    plan_cache_.emplace(key, config);
-    return config;
+    plan_cache_.emplace(key, std::make_pair(config, obs::cause::tuning_table));
+    return {config, obs::cause::tuning_table};
   }
   if (planner_) {
     // Guarded model tier: sanity rails, OOD envelope and drift quarantine;
@@ -148,6 +150,10 @@ frequency_config queue::resolve_target(const simsycl::handler& h, const metrics:
     // compiled tuning table was already consulted above).
     const auto decision = guard_->plan(h.info().name, h.info().features, t);
     config = decision.config;
+    why = decision.probe                             ? obs::cause::quarantine_probe
+          : decision.tier == plan_tier::model        ? obs::cause::model
+          : decision.tier == plan_tier::tuning_table ? obs::cause::tuning_table
+                                                     : obs::cause::default_clocks;
     span.arg("tier", static_cast<double>(static_cast<int>(decision.tier)));
   } else {
     // Oracle fallback: exact per-kernel optimum from the simulator model.
@@ -155,8 +161,8 @@ frequency_config queue::resolve_target(const simsycl::handler& h, const metrics:
     config = oracle_plan(get_device().spec(), profile, t);
   }
   span.arg("core_mhz", config.core.value);
-  plan_cache_.emplace(key, config);
-  return config;
+  plan_cache_.emplace(key, std::make_pair(config, why));
+  return {config, why};
 }
 
 void queue::apply_frequency(frequency_config config) {
@@ -200,20 +206,34 @@ simsycl::event queue::submit_recorded(simsycl::handler& h,
   degrade_next_ = false;
   refresh_from_source();
   std::optional<gpusim::static_features> features;
+  obs::cause why = obs::cause::unattributed;
   if (h.has_launch()) {
     if (guard_ || observer_) features = h.info().features;
     span.str("kernel", h.info().name);
     // Per-submission settings take precedence over the queue policy.
     if (freq) {
       apply_frequency(*freq);
+      why = obs::cause::fixed;
     } else if (target) {
-      apply_frequency(resolve_target(h, *target));
+      const auto [config, cause] = resolve_target(h, *target);
+      apply_frequency(config);
+      why = cause;
     } else if (fixed_) {
       apply_frequency(*fixed_);
+      why = obs::cause::fixed;
     } else if (target_) {
-      apply_frequency(resolve_target(h, *target_));
+      const auto [config, cause] = resolve_target(h, *target_);
+      apply_frequency(config);
+      why = cause;
     }
   }
+  // Persistent infrastructure failure overrides the planner attribution:
+  // the kernel runs at fallback clocks, so its joules are fault-degraded
+  // spend, not the tier's.
+  if (degrade_next_) why = obs::cause::fault_degraded;
+  // The device prices the kernel inside finalize(); the scope tells the
+  // ledger who is spending and why.
+  obs::attribution_scope obs_scope{"host", "", why};
   auto event = finalize(h);
   if (event.valid()) {
     auto& s = stats_[event.kernel_name()];

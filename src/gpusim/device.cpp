@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "synergy/obs/energy_ledger.hpp"
 #include "synergy/telemetry/telemetry.hpp"
 
 namespace synergy::gpusim {
@@ -94,6 +95,18 @@ execution_record device::execute(const kernel_profile& profile) {
   SYNERGY_HISTOGRAM_OBSERVE("gpusim.kernel_energy_j", cost.energy.value, 0.001, 0.01, 0.1,
                             1.0, 10.0, 100.0);
 #if SYNERGY_TELEMETRY_ENABLED
+  {
+    // Energy attribution: the decision layer (queue, resilience) opened a
+    // thread-local scope saying who spends and why; this is where the
+    // joules are actually priced, so this is where they are charged.
+    const auto& attr = obs::current_attribution();
+    SYNERGY_OBS_CHARGE(
+        (obs::charge_key{attr.node, spec_.name, attr.job,
+                         profile.name.empty() ? "kernel" : profile.name}),
+        attr.why, cost.energy.value);
+  }
+#endif
+#if SYNERGY_TELEMETRY_ENABLED
   if (telemetry::enabled())
     telemetry::trace_recorder::instance().complete(
         telemetry::category::kernel, profile.name.empty() ? "kernel" : profile.name,
@@ -111,6 +124,15 @@ void device::advance_idle(seconds dt) {
   std::scoped_lock lock(mutex_);
   const watts idle{model_.idle_power(spec_, config_).value * skew_at_current_locked()};
   append_segment_locked(dt, idle, /*busy=*/false);
+#if SYNERGY_TELEMETRY_ENABLED
+  // Idle draw is attributed as such unless a scope overrides it — the
+  // resilience layer's retry backoff tags its burn cause::fault_wasted.
+  const auto& attr = obs::current_attribution();
+  SYNERGY_OBS_CHARGE(
+      (obs::charge_key{attr.node, spec_.name, attr.job, "idle"}),
+      attr.why == obs::cause::unattributed ? obs::cause::idle : attr.why,
+      idle.value * dt.value);
+#endif
 }
 
 void device::set_power_skew(double factor, double freq_exponent) {

@@ -1,0 +1,116 @@
+#include "synergy/obs/energy_ledger.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace synergy::obs {
+
+energy_ledger& energy_ledger::instance() {
+  static energy_ledger global;
+  return global;
+}
+
+void energy_ledger::charge(const charge_key& key, cause why, double joules) {
+  if (!std::isfinite(joules) || joules <= 0.0) return;
+  std::scoped_lock lock(mutex_);
+  if (!enabled_) return;
+  const auto ci = static_cast<std::size_t>(why);
+  // Pre-size the table on first use: growth rehashes re-link every node,
+  // which is most of the insert cost on large runs.
+  if (cells_.bucket_count() < 1024) cells_.rehash(4096);
+  cells_[key][ci] += joules;
+  totals_[ci] += joules;
+  total_j_ += joules;
+  ++charges_;
+}
+
+double energy_ledger::total_j() const {
+  std::scoped_lock lock(mutex_);
+  return total_j_;
+}
+
+std::uint64_t energy_ledger::charges() const {
+  std::scoped_lock lock(mutex_);
+  return charges_;
+}
+
+cause_array energy_ledger::totals_by_cause() const {
+  std::scoped_lock lock(mutex_);
+  return totals_;
+}
+
+std::vector<ledger_entry> energy_ledger::entries() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<ledger_entry> out;
+  out.reserve(cells_.size());
+  for (const auto& [key, by_cause] : cells_) {
+    ledger_entry e;
+    e.key = key;
+    e.by_cause = by_cause;
+    for (const double j : by_cause) e.total_j += j;
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ledger_entry& a, const ledger_entry& b) { return a.key < b.key; });
+  return out;
+}
+
+void energy_ledger::scrape(double t_s) {
+  std::scoped_lock lock(mutex_);
+  if (!enabled_) return;
+  scrape_sample s;
+  s.t_s = t_s;
+  s.by_cause = totals_;
+  s.total_j = total_j_;
+  s.charges = charges_;
+  series_.push_back(std::move(s));
+}
+
+std::vector<scrape_sample> energy_ledger::series() const {
+  std::scoped_lock lock(mutex_);
+  return series_;
+}
+
+void energy_ledger::reset() {
+  std::scoped_lock lock(mutex_);
+  cells_.clear();
+  totals_ = {};
+  total_j_ = 0.0;
+  charges_ = 0;
+  series_.clear();
+}
+
+void energy_ledger::set_enabled(bool on) {
+  std::scoped_lock lock(mutex_);
+  enabled_ = on;
+}
+
+bool energy_ledger::is_enabled() const {
+  std::scoped_lock lock(mutex_);
+  return enabled_;
+}
+
+namespace {
+
+attribution& thread_attribution() noexcept {
+  static thread_local attribution current;
+  return current;
+}
+
+}  // namespace
+
+const attribution& current_attribution() noexcept { return thread_attribution(); }
+
+attribution_scope::attribution_scope(std::string node, std::string job, cause why)
+    : prev_(std::move(thread_attribution())) {
+  thread_attribution() = attribution{std::move(node), std::move(job), why};
+}
+
+attribution_scope::attribution_scope(cause why) : prev_(thread_attribution()) {
+  thread_attribution().why = why;
+}
+
+attribution_scope::~attribution_scope() { thread_attribution() = std::move(prev_); }
+
+}  // namespace synergy::obs

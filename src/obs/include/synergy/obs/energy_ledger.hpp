@@ -1,0 +1,205 @@
+#pragma once
+
+/// \file energy_ledger.hpp
+/// Cross-layer energy-attribution ledger.
+///
+/// The paper's value proposition is *measured joules saved per kernel*, so
+/// the observability plane's core question is "where did the joules go, and
+/// which decision spent them?". Every simulated joule is charged to a
+/// hierarchical key — node → device → job → kernel — and cross-tagged with
+/// a `cause`: the planner tier that chose the clocks (model / tuning-table /
+/// default / quarantine-probe), fault-wasted energy from the resilience and
+/// device-loss paths, power-cap demotions, and idle draw. Charge points live
+/// in synergy::queue (per-submission attribution scope), gpusim::device
+/// (execute/advance_idle), vendor::resilient_library (backoff idle burn),
+/// and cluster::simulator (job completion / device-lost waste).
+///
+/// Determinism contract: totals are aggregated as plain double sums in
+/// event order and the cell view (entries()) is key-sorted before
+/// rendering, so a same-seed replay produces a byte-identical ledger
+/// rendering. The scrape series samples the ledger on the cluster's
+/// *virtual* clock, never wall time.
+///
+/// Charge sites use SYNERGY_OBS_CHARGE, which compiles to nothing together
+/// with the rest of the telemetry plane (-DSYNERGY_TELEMETRY=OFF); the
+/// classes themselves always build, like the telemetry primitives they sit
+/// beside.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "synergy/telemetry/telemetry.hpp"
+
+namespace synergy::obs {
+
+/// Why a joule was spent — the decision (or failure) that priced it.
+enum class cause : std::uint8_t {
+  model,             ///< clocks chosen by the guarded model tier
+  tuning_table,      ///< clocks from the compiled tuning-table artefact
+  default_clocks,    ///< driver default clocks (no policy or bottom of the chain)
+  quarantine_probe,  ///< deliberate default-clock probe while quarantined
+  oracle,            ///< simulator-exact oracle plan (tests / upper bounds)
+  fixed,             ///< user-pinned frequencies (Listing 2 / Listing 4)
+  cap_demoted,       ///< clocks lowered by the facility power budget
+  fault_degraded,    ///< ran at fallback clocks after persistent clock-set failure
+  fault_wasted,      ///< partial executions killed by device loss, retry backoff burn
+  idle,              ///< idle draw between kernels
+  unattributed,      ///< no active attribution scope
+};
+
+inline constexpr std::size_t n_causes = 11;
+
+[[nodiscard]] constexpr const char* to_string(cause c) {
+  switch (c) {
+    case cause::model: return "model";
+    case cause::tuning_table: return "tuning_table";
+    case cause::default_clocks: return "default_clocks";
+    case cause::quarantine_probe: return "quarantine_probe";
+    case cause::oracle: return "oracle";
+    case cause::fixed: return "fixed";
+    case cause::cap_demoted: return "cap_demoted";
+    case cause::fault_degraded: return "fault_degraded";
+    case cause::fault_wasted: return "fault_wasted";
+    case cause::idle: return "idle";
+    case cause::unattributed: return "unattributed";
+  }
+  return "?";
+}
+
+/// Per-cause joule totals, indexed by static_cast<std::size_t>(cause).
+using cause_array = std::array<double, n_causes>;
+
+/// Hierarchical attribution key. Empty components are legal (a queue-level
+/// charge has no job; idle charges have kernel "idle").
+struct charge_key {
+  std::string node;
+  std::string device;
+  std::string job;
+  std::string kernel;
+
+  [[nodiscard]] bool operator<(const charge_key& o) const {
+    if (node != o.node) return node < o.node;
+    if (device != o.device) return device < o.device;
+    if (job != o.job) return job < o.job;
+    return kernel < o.kernel;
+  }
+  [[nodiscard]] bool operator==(const charge_key& o) const {
+    return node == o.node && device == o.device && job == o.job && kernel == o.kernel;
+  }
+};
+
+/// Hash for the hot charge path. Cells live in a hashed map — the ordered
+/// view the determinism contract needs is produced by entries(), which sorts.
+struct charge_key_hash {
+  [[nodiscard]] std::size_t operator()(const charge_key& k) const noexcept {
+    std::size_t h = std::hash<std::string>{}(k.node);
+    const auto mix = [&h](const std::string& s) {
+      h ^= std::hash<std::string>{}(s) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    };
+    mix(k.device);
+    mix(k.job);
+    mix(k.kernel);
+    return h;
+  }
+};
+
+/// One ledger cell: a key and its per-cause joules.
+struct ledger_entry {
+  charge_key key;
+  cause_array by_cause{};
+  double total_j{0.0};
+};
+
+/// Point on the scrape time-series: cumulative totals at virtual time t_s.
+struct scrape_sample {
+  double t_s{0.0};
+  cause_array by_cause{};
+  double total_j{0.0};
+  std::uint64_t charges{0};
+};
+
+class energy_ledger {
+ public:
+  /// Process-global ledger used by SYNERGY_OBS_CHARGE.
+  static energy_ledger& instance();
+
+  energy_ledger() = default;
+  energy_ledger(const energy_ledger&) = delete;
+  energy_ledger& operator=(const energy_ledger&) = delete;
+
+  /// Attribute `joules` to (key, why). Hostile input is dropped, never
+  /// propagated: non-finite or negative amounts are ignored.
+  void charge(const charge_key& key, cause why, double joules);
+
+  [[nodiscard]] double total_j() const;
+  [[nodiscard]] std::uint64_t charges() const;
+  [[nodiscard]] cause_array totals_by_cause() const;
+
+  /// All cells sorted into key order (deterministic across replays).
+  [[nodiscard]] std::vector<ledger_entry> entries() const;
+
+  /// Append a cumulative sample at virtual time `t_s` to the series.
+  void scrape(double t_s);
+  [[nodiscard]] std::vector<scrape_sample> series() const;
+
+  /// Drop every cell, total, and series point (run isolation).
+  void reset();
+
+  /// Per-ledger kill switch: a disabled ledger drops charges at the mutex
+  /// boundary — what the overhead bench compares against.
+  void set_enabled(bool on);
+  [[nodiscard]] bool is_enabled() const;
+
+ private:
+  mutable std::mutex mutex_;
+  bool enabled_{true};
+  std::unordered_map<charge_key, cause_array, charge_key_hash> cells_;
+  cause_array totals_{};
+  double total_j_{0.0};
+  std::uint64_t charges_{0};
+  std::vector<scrape_sample> series_;
+};
+
+/// Thread-local attribution context: who is spending and why. The layers
+/// that *know* the decision (queue target resolution, the resilience
+/// layer's retry backoff) open a scope; the layer that *prices* the energy
+/// (gpusim::device) reads it at charge time — no plumbing through the SYCL
+/// submission path.
+struct attribution {
+  std::string node{"host"};
+  std::string job;
+  cause why{cause::unattributed};
+};
+
+/// The calling thread's current attribution (defaults above when no scope
+/// is open).
+[[nodiscard]] const attribution& current_attribution() noexcept;
+
+/// RAII scope: installs an attribution for the calling thread, restores the
+/// previous one on destruction. Nests.
+class attribution_scope {
+ public:
+  attribution_scope(std::string node, std::string job, cause why);
+  explicit attribution_scope(cause why);
+  ~attribution_scope();
+  attribution_scope(const attribution_scope&) = delete;
+  attribution_scope& operator=(const attribution_scope&) = delete;
+
+ private:
+  attribution prev_;
+};
+
+}  // namespace synergy::obs
+
+/// Charge the global ledger; compiles to nothing with the telemetry plane.
+#if SYNERGY_TELEMETRY_ENABLED
+#define SYNERGY_OBS_CHARGE(key, why, joules) \
+  ::synergy::obs::energy_ledger::instance().charge((key), (why), (joules))
+#else
+#define SYNERGY_OBS_CHARGE(key, why, joules) ((void)0)
+#endif

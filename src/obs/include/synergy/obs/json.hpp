@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal JSON reader for the observability plane.
+///
+/// The snapshot exporter writes machine-readable JSON; synergy_top and the
+/// workflow fixtures need to read it back without any external dependency.
+/// This is a strict recursive-descent parser over the JSON subset the
+/// exporter emits (objects, arrays, strings with the standard escapes,
+/// doubles, booleans, null). Errors carry a line:column position so a
+/// truncated or hand-mangled snapshot produces a diagnostic, not UB.
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "synergy/common/error.hpp"
+
+namespace synergy::obs::json {
+
+class value;
+using array = std::vector<value>;
+/// Ordered map: iteration is key-sorted, matching the exporter's layout.
+using object = std::map<std::string, value>;
+
+class value {
+ public:
+  value() : v_(nullptr) {}
+  value(std::nullptr_t) : v_(nullptr) {}        // NOLINT(google-explicit-constructor)
+  value(bool b) : v_(b) {}                      // NOLINT(google-explicit-constructor)
+  value(double d) : v_(d) {}                    // NOLINT(google-explicit-constructor)
+  value(std::string s) : v_(std::move(s)) {}    // NOLINT(google-explicit-constructor)
+  value(array a) : v_(std::move(a)) {}          // NOLINT(google-explicit-constructor)
+  value(object o) : v_(std::move(o)) {}         // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<array>(v_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<object>(v_); }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(v_); }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(v_); }
+  [[nodiscard]] const array& as_array() const { return std::get<array>(v_); }
+  [[nodiscard]] const object& as_object() const { return std::get<object>(v_); }
+
+  /// Object member lookup; nullptr when absent or this is not an object.
+  [[nodiscard]] const value* find(std::string_view key) const {
+    if (!is_object()) return nullptr;
+    const auto it = as_object().find(std::string{key});
+    return it == as_object().end() ? nullptr : &it->second;
+  }
+  /// find() + number extraction with a fallback.
+  [[nodiscard]] double number_or(std::string_view key, double fallback) const {
+    const value* m = find(key);
+    return m && m->is_number() ? m->as_number() : fallback;
+  }
+  /// find() + string extraction with a fallback.
+  [[nodiscard]] std::string string_or(std::string_view key, std::string fallback) const {
+    const value* m = find(key);
+    return m && m->is_string() ? m->as_string() : fallback;
+  }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, array, object> v_;
+};
+
+/// Parse `text` as one JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Errors are invalid_argument with a "line N col M"
+/// prefix in the message.
+[[nodiscard]] common::result<value> parse(std::string_view text);
+
+}  // namespace synergy::obs::json

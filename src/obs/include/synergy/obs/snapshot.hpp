@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file snapshot.hpp
+/// Snapshot exporter: ledger + metrics registry + alerts, rendered as
+/// Prometheus text exposition format and machine-readable JSON.
+///
+/// Determinism contract: JSON renderings of the same ledger/registry state
+/// are byte-identical — floats print via std::to_chars (shortest
+/// round-trip), map iteration is key-ordered, and wall-clock-valued
+/// instruments (snapshot_options::volatile_metrics) are excluded from the
+/// JSON document (they still appear in the Prometheus rendering, which
+/// makes no byte-identity promise). This is what lets the workflow fixture
+/// byte-compare snapshots across same-seed replays.
+///
+/// File emission goes through common::atomic_write_file, so a reader
+/// (synergy_top --watch) always sees a complete document, never a torn
+/// half-write.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "synergy/common/error.hpp"
+#include "synergy/obs/energy_ledger.hpp"
+#include "synergy/obs/slo_watchdog.hpp"
+
+namespace synergy::obs {
+
+struct snapshot_options {
+  /// Include the telemetry metrics registry in the rendering.
+  bool include_metrics{true};
+  /// Instruments measured on the host wall clock — nondeterministic across
+  /// replays, so they are omitted from JSON (Prometheus still carries them).
+  std::vector<std::string> volatile_metrics{"planner.plan_latency_us"};
+  /// Monotone snapshot counter; synergy_top uses it for interval diffs.
+  std::uint64_t sequence{0};
+  /// Virtual time of the snapshot (cluster clock seconds).
+  double time_s{0.0};
+  /// Emitting tool/run, recorded in the document.
+  std::string source{"synergy"};
+};
+
+/// Shortest round-trip decimal rendering of a double (std::to_chars);
+/// deterministic across platforms with IEEE-754 doubles. Non-finite values
+/// render as 0 (JSON has no inf/nan).
+[[nodiscard]] std::string format_double(double v);
+
+/// Escape `s` for embedding in a JSON (or Prometheus label) string literal.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// The snapshot as one JSON document (schema "synergy.obs.snapshot/v1").
+[[nodiscard]] std::string render_json(const energy_ledger& ledger,
+                                      const slo_watchdog* watchdog,
+                                      const snapshot_options& options = {});
+
+/// The snapshot in Prometheus text exposition format.
+[[nodiscard]] std::string render_prometheus(const energy_ledger& ledger,
+                                            const snapshot_options& options = {});
+
+/// Atomically write `<prefix>.json` and `<prefix>.prom`. Returns the first
+/// failure (path + reason in the error message).
+[[nodiscard]] common::status write_snapshot_files(const std::filesystem::path& prefix,
+                                                  const energy_ledger& ledger,
+                                                  const slo_watchdog* watchdog,
+                                                  const snapshot_options& options = {});
+
+}  // namespace synergy::obs

@@ -1,0 +1,220 @@
+#include "synergy/obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+
+namespace synergy::obs::json {
+
+using common::errc;
+using common::error;
+using common::result;
+
+namespace {
+
+// GCC 12 issues a -Wmaybe-uninitialized false positive when the destructor
+// of a moved-from variant temporary is inlined into the parse_* return
+// paths (the value{std::move(out)} returns below); there is no
+// uninitialized read — the alternative is engaged on construction.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+struct parser {
+  std::string_view text;
+  std::size_t pos{0};
+  // Nesting guard: the exporter emits at most a handful of levels; anything
+  // deeper is a hostile document, not a snapshot.
+  static constexpr int max_depth = 64;
+
+  [[nodiscard]] bool eof() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+
+  [[nodiscard]] error fail(const std::string& what) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos && i < text.size(); ++i) {
+      if (text[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    return error{errc::invalid_argument, "line " + std::to_string(line) + " col " +
+                                             std::to_string(col) + ": " + what};
+  }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r'))
+      ++pos;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (eof() || peek() != c) return false;
+    ++pos;
+    return true;
+  }
+
+  result<value> parse_value(int depth) {
+    if (depth > max_depth) return fail("nesting too deep");
+    skip_ws();
+    if (eof()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        auto s = parse_string();
+        if (!s) return s.err();
+        return value{std::move(s).value()};
+      }
+      case 't':
+        if (text.substr(pos, 4) == "true") {
+          pos += 4;
+          return value{true};
+        }
+        return fail("expected 'true'");
+      case 'f':
+        if (text.substr(pos, 5) == "false") {
+          pos += 5;
+          return value{false};
+        }
+        return fail("expected 'false'");
+      case 'n':
+        if (text.substr(pos, 4) == "null") {
+          pos += 4;
+          return value{nullptr};
+        }
+        return fail("expected 'null'");
+      default: return parse_number();
+    }
+  }
+
+  result<value> parse_object(int depth) {
+    ++pos;  // '{'
+    object out;
+    skip_ws();
+    if (consume('}')) return value{std::move(out)};
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') return fail("expected object key string");
+      auto key = parse_string();
+      if (!key) return key.err();
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' after object key");
+      auto member = parse_value(depth + 1);
+      if (!member) return member.err();
+      out.insert_or_assign(std::move(key).value(), std::move(member).value());
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return value{std::move(out)};
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  result<value> parse_array(int depth) {
+    ++pos;  // '['
+    array out;
+    skip_ws();
+    if (consume(']')) return value{std::move(out)};
+    while (true) {
+      auto element = parse_value(depth + 1);
+      if (!element) return element.err();
+      out.push_back(std::move(element).value());
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return value{std::move(out)};
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  result<std::string> parse_string() {
+    ++pos;  // '"'
+    std::string out;
+    while (true) {
+      if (eof()) return fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) return fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) return fail("unterminated escape");
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) return fail("truncated \\u escape");
+          std::uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<std::uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<std::uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<std::uint32_t>(h - 'A' + 10);
+            else
+              return fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode the BMP code point (the exporter never emits
+          // surrogate pairs; lone surrogates pass through as-is bytes).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return fail("unknown escape character");
+      }
+    }
+  }
+
+  result<value> parse_number() {
+    const std::size_t start = pos;
+    if (!eof() && peek() == '-') ++pos;
+    while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) || peek() == '.' ||
+                      peek() == 'e' || peek() == 'E' || peek() == '+' || peek() == '-'))
+      ++pos;
+    if (pos == start) return fail("expected a value");
+    double out = 0.0;
+    const auto [end, ec] = std::from_chars(text.data() + start, text.data() + pos, out);
+    if (ec != std::errc{} || end != text.data() + pos) {
+      pos = start;
+      return fail("malformed number");
+    }
+    return value{out};
+  }
+};
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+}  // namespace
+
+result<value> parse(std::string_view text) {
+  parser p{text};
+  auto v = p.parse_value(0);
+  if (!v) return v.err();
+  p.skip_ws();
+  if (!p.eof()) return p.fail("trailing garbage after document");
+  return v;
+}
+
+}  // namespace synergy::obs::json

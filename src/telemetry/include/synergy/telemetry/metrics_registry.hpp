@@ -97,6 +97,10 @@ class histogram {
   [[nodiscard]] double min() const noexcept;
   [[nodiscard]] double max() const noexcept;
   [[nodiscard]] double mean() const noexcept;
+  /// Estimated p-quantile (p in [0,1]) by linear interpolation within the
+  /// bucket holding the target rank — see histogram_quantile() for the edge
+  /// conventions. 0 on an empty histogram.
+  [[nodiscard]] double quantile(double p) const noexcept;
   [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
   /// Count in bucket i (i == bounds().size() is the +inf overflow bucket).
   [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
@@ -113,6 +117,19 @@ class histogram {
   std::atomic<double> min_;
   std::atomic<double> max_;
 };
+
+/// Quantile estimate over fixed buckets: find the bucket holding rank
+/// p * count, then interpolate linearly inside it. Edge conventions:
+///  - empty histogram (count 0): 0;
+///  - first bucket's lower edge is min(min_observed, bounds[0]) so a
+///    single-bucket histogram interpolates over the observed range;
+///  - ranks landing in the +inf overflow bucket return max_observed (there
+///    is no upper edge to interpolate toward).
+/// `buckets` must have bounds.size() + 1 entries (the snapshot layout).
+[[nodiscard]] double histogram_quantile(const std::vector<double>& bounds,
+                                        const std::vector<std::uint64_t>& buckets,
+                                        double min_observed, double max_observed,
+                                        double p) noexcept;
 
 /// Point-in-time view of one instrument, for reporting/export.
 struct metric_snapshot {

@@ -41,6 +41,7 @@ enum class category : std::uint8_t {
   sched,         ///< cluster controller / plugin decisions
   train,         ///< model training and inference
   log,           ///< mirrored log records (install_log_tap)
+  alert,         ///< SLO watchdog rule violations (obs::slo_watchdog)
   other,
 };
 

@@ -67,6 +67,38 @@ double histogram::mean() const noexcept {
   return n == 0 ? 0.0 : sum() / static_cast<double>(n);
 }
 
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<std::uint64_t>& buckets, double min_observed,
+                          double max_observed, double p) noexcept {
+  if (buckets.size() != bounds.size() + 1) return 0.0;
+  std::uint64_t total = 0;
+  for (const auto b : buckets) total += b;
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double rank = p * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (cum + in_bucket < rank || in_bucket == 0.0) {
+      cum += in_bucket;
+      continue;
+    }
+    if (i == bounds.size()) return max_observed;  // +inf bucket: no upper edge
+    const double hi = bounds[i];
+    const double lo = i == 0 ? std::min(min_observed, bounds[0]) : bounds[i - 1];
+    const double frac = (rank - cum) / in_bucket;
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return max_observed;
+}
+
+double histogram::quantile(double p) const noexcept {
+  std::vector<std::uint64_t> buckets;
+  buckets.reserve(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets.push_back(bucket_count(i));
+  return histogram_quantile(bounds_, buckets, min(), max(), p);
+}
+
 void histogram::reset() noexcept {
   for (std::size_t i = 0; i <= bounds_.size(); ++i)
     counts_[i].store(0, std::memory_order_relaxed);

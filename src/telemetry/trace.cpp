@@ -27,6 +27,7 @@ const char* to_string(category c) noexcept {
     case category::sched: return "sched";
     case category::train: return "train";
     case category::log: return "log";
+    case category::alert: return "alert";
     case category::other: return "other";
   }
   return "?";

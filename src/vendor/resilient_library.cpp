@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "synergy/obs/energy_ledger.hpp"
 #include "synergy/telemetry/telemetry.hpp"
 
 namespace synergy::vendor {
@@ -104,8 +105,14 @@ bool resilient_library::backoff(std::size_t index, int attempt, double& spent) c
   if (spent + d > policy_.call_timeout_s) return false;  // per-call budget gone
   spent += d;
   // Sleeping between attempts costs virtual wall time (and idle energy) on
-  // the device, like the management thread blocking on a real node.
-  if (auto b = inner_->board(index)) b->advance_idle(common::seconds{d});
+  // the device, like the management thread blocking on a real node. The
+  // ledger books that burn as fault-wasted spend, not ordinary idle.
+  if (auto b = inner_->board(index)) {
+#if SYNERGY_TELEMETRY_ENABLED
+    obs::attribution_scope burn{obs::cause::fault_wasted};
+#endif
+    b->advance_idle(common::seconds{d});
+  }
   return true;
 }
 

@@ -263,6 +263,59 @@ TEST_F(telemetry_test, histogram_fixed_buckets) {
   EXPECT_EQ(h.bucket_count(3), 1u);
 }
 
+TEST_F(telemetry_test, histogram_quantile_interpolates_within_buckets) {
+  auto& h =
+      tel::metrics_registry::instance().get_histogram("test.quantile_hist", {10.0, 20.0});
+  h.reset();
+  // 10 observations spread across the (0,10] bucket.
+  for (int i = 1; i <= 10; ++i) h.observe(static_cast<double>(i));
+  // Rank p*total falls inside the single populated bucket; linear
+  // interpolation maps the fractional rank onto the bucket span [min, 10].
+  EXPECT_GT(h.quantile(0.5), h.min());
+  EXPECT_LT(h.quantile(0.5), 10.0);
+  EXPECT_LT(h.quantile(0.1), h.quantile(0.9));
+  EXPECT_LE(h.quantile(1.0), 10.0);
+  // Monotone in p.
+  EXPECT_LE(h.quantile(0.25), h.quantile(0.75));
+}
+
+TEST_F(telemetry_test, histogram_quantile_empty_is_zero) {
+  auto& h = tel::metrics_registry::instance().get_histogram("test.quantile_empty", {1.0});
+  h.reset();
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST_F(telemetry_test, histogram_quantile_single_bucket_spans_min_to_bound) {
+  auto& h = tel::metrics_registry::instance().get_histogram("test.quantile_one", {100.0});
+  h.reset();
+  h.observe(40.0);
+  h.observe(60.0);
+  // Everything sits in one bucket: quantiles interpolate across
+  // [min_observed, bound], clamped to the observed range at the edges.
+  EXPECT_GE(h.quantile(0.0), 0.0);
+  EXPECT_LE(h.quantile(1.0), 100.0);
+  EXPECT_GE(h.quantile(1.0), h.quantile(0.0));
+}
+
+TEST_F(telemetry_test, histogram_quantile_overflow_bucket_reports_max) {
+  auto& h = tel::metrics_registry::instance().get_histogram("test.quantile_over", {1.0});
+  h.reset();
+  h.observe(0.5);
+  h.observe(50.0);   // overflow bucket (> 1.0)
+  h.observe(500.0);  // overflow bucket
+  // The +inf bucket has no upper edge to interpolate against; quantiles
+  // landing there report the observed maximum.
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 500.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 500.0);
+  // Quantiles below the overflow mass stay in the finite bucket.
+  EXPECT_LE(h.quantile(0.2), 1.0);
+  // p is clamped to [0, 1]: out-of-range requests behave like the edges.
+  EXPECT_DOUBLE_EQ(h.quantile(1.5), 500.0);
+  EXPECT_LE(h.quantile(-0.5), 1.0);
+}
+
 TEST_F(telemetry_test, histogram_default_buckets_cover_decades) {
   auto& h = tel::metrics_registry::instance().get_histogram("test.histogram_default");
   EXPECT_GE(h.bounds().size(), 8u);  // 1e-6 .. 1e3 decades

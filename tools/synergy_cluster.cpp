@@ -44,6 +44,17 @@
 ///                          history to DIR (requires --models and the
 ///                          energy policy)
 ///   --lifecycle-history    print the lifecycle decision log after the run
+///   --obs-out PREFIX       export the observability plane: PREFIX.json and
+///                          PREFIX.prom snapshots (rewritten atomically on
+///                          every scrape tick, so `synergy_top --watch` can
+///                          follow along) plus PREFIX.alerts.jsonl with one
+///                          line per fired SLO alert
+///   --obs-interval S       virtual seconds between scrape ticks (default 5)
+///   --slo-rules FILE       watchdog rule file (one `<kind> > <threshold>
+///                          [window N]` per line); default: built-in rules
+///                          for wasted energy, energy-per-job regression,
+///                          quarantine dwell, and (with --models) fallback
+///                          ratio
 
 #include <cstdio>
 #include <fstream>
@@ -57,6 +68,8 @@
 #include "synergy/cluster/simulator.hpp"
 #include "synergy/guarded_planner.hpp"
 #include "synergy/lifecycle/lifecycle_manager.hpp"
+#include "synergy/obs/slo_watchdog.hpp"
+#include "synergy/obs/snapshot.hpp"
 
 namespace sc = synergy::cluster;
 namespace sm = synergy::metrics;
@@ -74,7 +87,9 @@ int usage(int code) {
          "                       [--faults R] [--fault-device-lost R]\n"
          "                       [--fault-max-losses N] [--fault-seed S]\n"
          "                       [--drift SKEW] [--drift-at S] [--drift-gamma G]\n"
-         "                       [--lifecycle DIR] [--lifecycle-history]\n";
+         "                       [--lifecycle DIR] [--lifecycle-history]\n"
+         "                       [--obs-out PREFIX] [--obs-interval S]\n"
+         "                       [--slo-rules FILE]\n";
   return code;
 }
 
@@ -92,6 +107,9 @@ int main(int argc, char** argv) {
   std::string lifecycle_dir;
   bool lifecycle_history = false;
   bool report = false;
+  std::string obs_out;
+  double obs_interval = 5.0;
+  std::string slo_rules_file;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -132,6 +150,9 @@ int main(int argc, char** argv) {
       else if (arg == "--drift-gamma") cluster.drift.freq_exponent = std::stod(value());
       else if (arg == "--lifecycle") lifecycle_dir = value();
       else if (arg == "--lifecycle-history") lifecycle_history = true;
+      else if (arg == "--obs-out") obs_out = value();
+      else if (arg == "--obs-interval") obs_interval = std::stod(value());
+      else if (arg == "--slo-rules") slo_rules_file = value();
       else if (arg == "--help" || arg == "-h") return usage(0);
       else {
         std::cerr << "error: unknown argument " << arg << '\n';
@@ -179,6 +200,15 @@ int main(int argc, char** argv) {
         plan = sc::make_suite_planner(cluster.device);
       }
     }
+    const bool obs_enabled = !obs_out.empty();
+    if (obs_enabled) {
+      if (!(obs_interval > 0.0)) {
+        std::cerr << "error: --obs-interval must be > 0\n";
+        return 1;
+      }
+      cluster.obs_scrape_interval_s = obs_interval;
+    }
+
     sc::simulator sim{cluster, sc::make_policy(policy, std::move(plan), override_target)};
 
     namespace lc = synergy::lifecycle;
@@ -215,6 +245,72 @@ int main(int argc, char** argv) {
                                                         lc::lifecycle_options{}, store);
       sim.attach_recovery(guard, registry, manager);
       std::cout << "lifecycle: persisting versions to " << lifecycle_dir << '\n';
+    }
+
+    namespace obs = synergy::obs;
+    auto& ledger = obs::energy_ledger::instance();
+    std::shared_ptr<obs::slo_watchdog> watchdog;
+    std::ofstream alerts_out;
+    obs::snapshot_options obs_opts;
+    if (obs_enabled) {
+      std::string rules_text;
+      if (!slo_rules_file.empty()) {
+        std::ifstream in{slo_rules_file};
+        if (!in) {
+          std::cerr << "error: cannot read --slo-rules " << slo_rules_file << '\n';
+          return 1;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        rules_text = text.str();
+      } else {
+        rules_text =
+            "wasted_energy_j > 0\n"
+            "energy_per_job_ratio > 1.5 window 24\n"
+            "quarantine_dwell_s > 60\n";
+        if (model_loaded) rules_text += "fallback_ratio > 0.5 window 32\n";
+      }
+      auto rules = obs::parse_rules(rules_text);
+      if (!rules.has_value()) {
+        std::cerr << "error: "
+                  << (slo_rules_file.empty() ? std::string{"built-in SLO rules"}
+                                             : slo_rules_file)
+                  << ": " << rules.err().to_string() << '\n';
+        return 1;
+      }
+
+      // The ledger is process-global; start this run's attribution from zero.
+      ledger.reset();
+      watchdog = std::make_shared<obs::slo_watchdog>(std::move(rules.value()), &ledger);
+
+      alerts_out.open(obs_out + ".alerts.jsonl", std::ios::trunc);
+      if (!alerts_out) {
+        std::cerr << "error: --obs-out " << obs_out << ": cannot open " << obs_out
+                  << ".alerts.jsonl for writing\n";
+        return 1;
+      }
+      watchdog->set_alert_sink([&alerts_out](const obs::alert& a) {
+        alerts_out << a.to_json_line() << '\n';
+        alerts_out.flush();
+      });
+
+      obs_opts.source = "synergy_cluster";
+      // Probe writability before the (potentially long) run so a bad path
+      // fails fast instead of after the simulation finished.
+      if (auto st = obs::write_snapshot_files(obs_out, ledger, watchdog.get(), obs_opts);
+          !st.ok()) {
+        std::cerr << "error: --obs-out " << obs_out << ": " << st.err().to_string() << '\n';
+        return 1;
+      }
+
+      sim.attach_observability(watchdog, guard);
+      sim.set_scrape_hook([&](double t_s) {
+        ++obs_opts.sequence;
+        obs_opts.time_s = t_s;
+        if (auto st = obs::write_snapshot_files(obs_out, ledger, watchdog.get(), obs_opts);
+            !st.ok())
+          std::cerr << "warning: snapshot write failed: " << st.err().to_string() << '\n';
+      });
     }
 
     const auto summary = sim.run(trace);
@@ -262,6 +358,15 @@ int main(int argc, char** argv) {
         std::cout << '\n';
       }
       if (manager->history().empty()) std::cout << "  (no lifecycle decisions)\n";
+    }
+
+    if (obs_enabled) {
+      std::cout << "\nobservability: " << ledger.charges() << " charge(s), "
+                << obs::format_double(ledger.total_j()) << " J attributed, "
+                << watchdog->alerts().size() << " alert(s)\n"
+                << "  snapshots " << obs_out << ".json / " << obs_out << ".prom (sequence "
+                << obs_opts.sequence << ")\n"
+                << "  alerts    " << obs_out << ".alerts.jsonl\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

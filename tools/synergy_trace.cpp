@@ -22,6 +22,8 @@
 ///                     layer: clock-set/power-read faults at rate R
 ///   --fault-seed S    fault injector RNG seed
 ///   --log-tap         mirror log records into the trace
+///   --obs-out PREFIX  also export the energy-attribution ledger as
+///                     PREFIX.json / PREFIX.prom snapshots
 ///   benchmarks        subset of the suite to run (default: first 6)
 
 #include <algorithm>
@@ -32,6 +34,7 @@
 #include <vector>
 
 #include "synergy/cluster/simulator.hpp"
+#include "synergy/obs/snapshot.hpp"
 #include "synergy/sched/controller.hpp"
 #include "synergy/synergy.hpp"
 #include "synergy/telemetry/export.hpp"
@@ -153,6 +156,7 @@ int main(int argc, char** argv) {
   bool cluster_sim = true;
   double fault_rate = 0.0;
   std::uint64_t fault_seed = 0x5fa017u;
+  std::string obs_out;
   std::vector<std::string> names;
 
   for (int i = 1; i < argc; ++i) {
@@ -169,11 +173,13 @@ int main(int argc, char** argv) {
     else if (arg == "--no-cluster") cluster = false;
     else if (arg == "--no-cluster-sim") cluster_sim = false;
     else if (arg == "--log-tap") tel::install_log_tap();
+    else if (arg == "--obs-out" && i + 1 < argc) obs_out = argv[++i];
     else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: synergy_trace [--device D] [--target T] [--out F] [--csv F]\n"
                    "                     [--capacity N] [--no-cluster] [--no-cluster-sim]\n"
                    "                     [--faults R] [--fault-seed S]\n"
-                   "                     [--log-tap] [benchmark names...]\n";
+                   "                     [--log-tap] [--obs-out PREFIX]\n"
+                   "                     [benchmark names...]\n";
       return 0;
     } else {
       names.push_back(arg);
@@ -187,6 +193,7 @@ int main(int argc, char** argv) {
 
   try {
     const auto target = sm::target::parse(target_name);
+    if (!obs_out.empty()) synergy::obs::energy_ledger::instance().reset();
     if (names.empty()) {
       const auto all = sw::names();
       names.assign(all.begin(), all.begin() + std::min<std::size_t>(6, all.size()));
@@ -216,6 +223,20 @@ int main(int argc, char** argv) {
         return 1;
       }
       std::cout << "csv written to " << csv_file << '\n';
+    }
+    if (!obs_out.empty()) {
+      namespace obs = synergy::obs;
+      auto& ledger = obs::energy_ledger::instance();
+      ledger.scrape(0.0);
+      obs::snapshot_options opts;
+      opts.source = "synergy_trace";
+      if (auto st = obs::write_snapshot_files(obs_out, ledger, nullptr, opts); !st.ok()) {
+        std::cerr << "error: --obs-out " << obs_out << ": " << st.err().to_string() << '\n';
+        return 1;
+      }
+      std::cout << "obs snapshot written to " << obs_out << ".json / " << obs_out
+                << ".prom (" << ledger.charges() << " charge(s), "
+                << obs::format_double(ledger.total_j()) << " J)\n";
     }
 #if !SYNERGY_TELEMETRY_ENABLED
     std::cout << "note: telemetry was compiled out (-DSYNERGY_TELEMETRY=OFF); "
