@@ -29,6 +29,7 @@
 #include "synergy/cluster/job_trace.hpp"
 #include "synergy/cluster/policy.hpp"
 #include "synergy/cluster/power_budget.hpp"
+#include "synergy/governor/governor.hpp"
 #include "synergy/obs/energy_ledger.hpp"
 #include "synergy/sched/controller.hpp"
 
@@ -102,6 +103,23 @@ struct drift_plan {
   [[nodiscard]] double factor(double core_mhz, double default_core_mhz) const;
 };
 
+/// Reactive-governor regime for the replay. When enabled, every placed job
+/// runs under its own governor instance: the placement's clock (the
+/// scheduling policy's pick — the planner's prediction under a planning
+/// policy, driver default under a baseline policy) seeds the governor, and
+/// governor tick events on the engine's virtual clock re-observe the job's
+/// modelled power/utilisation and may move the clock mid-job. Jobs whose
+/// joules accrue before the governor first deviates from the seed stay
+/// attributed to the seeding tier; everything after charges the `governor`
+/// ledger cause. All ticks are virtual-time events, so governed replays
+/// remain byte-identical per seed.
+struct governor_config {
+  bool enabled{false};
+  governor::governor_spec spec{};
+  /// Poll cadence on the cluster's virtual clock (seconds).
+  double tick_interval_s{0.25};
+};
+
 struct cluster_config {
   std::size_t n_nodes{16};
   std::size_t gpus_per_node{4};
@@ -117,6 +135,8 @@ struct cluster_config {
   fault_plan faults{};
   /// Mid-run power drift for the fleet; disabled by default.
   drift_plan drift{};
+  /// Reactive governor regime; disabled by default.
+  governor_config governor{};
   /// Observability scrape cadence on the cluster's virtual clock: every
   /// `obs_scrape_interval_s` simulated seconds the global energy ledger
   /// samples a time-series point, the attached watchdog evaluates its
@@ -175,6 +195,9 @@ struct run_summary {
   std::size_t quarantines{0};  ///< drift-monitor trips observed during the run
   std::size_t promotions{0};   ///< retrained challengers promoted mid-run
   std::size_t rollbacks{0};    ///< probation rollbacks performed mid-run
+  // --- reactive governor (zero on ungoverned runs) ---
+  std::size_t governor_ticks{0};          ///< governor polls across all jobs
+  std::size_t governor_clock_changes{0};  ///< decisions that moved a clock
 
   void print(std::ostream& os) const;
   /// One header + one row; `with_header` also writes the comment and
@@ -250,6 +273,10 @@ class simulator {
   bool admit(const traced_job& job, common::frequency_config& config, bool& demoted) const;
   void start(std::size_t queue_index, const placement& pl);
   void integrate_to_now();
+  /// Governor poll for one governed job (epoch-guarded like complete()).
+  void governor_tick(int job_id, std::uint64_t epoch);
+  /// Drift multiplier on modelled power at `core_mhz`, as of now.
+  [[nodiscard]] double drift_factor_now(double core_mhz) const;
   void sample_power();
   [[nodiscard]] job_result& result_of(int job_id);
 
@@ -274,11 +301,30 @@ class simulator {
     double est{0.0};         ///< default-clock runtime estimate (queue entry)
     double start_s{0.0};
     double duration{0.0};
-    double energy_j{0.0};    ///< total pre-charged GPU energy
+    double energy_j{0.0};    ///< total pre-charged GPU energy (0 when governed)
     double avg_power_w{0.0};  ///< per-GPU busy power (budget re-registration)
     obs::cause why{obs::cause::unattributed};  ///< attribution of this job's joules
     std::string node;        ///< primary node name (multi-node gangs charge here)
+    // --- reactive-governor state (null/zero on ungoverned jobs). Governed
+    // jobs are not pre-charged: energy accrues segment by segment at each
+    // tick, split into the seed-attributed and governor-attributed buckets.
+    std::shared_ptr<governor::governor> gov;  ///< shared: running_job is copied
+    common::megahertz seed_clock{0.0};  ///< clock the planner/default seeded
+    bool deviated{false};          ///< governor has left the seeded clock
+    double seed_energy_j{0.0};     ///< accrued before the first deviation
+    double gov_energy_j{0.0};      ///< accrued after it (cause::governor)
+    double frac_done{0.0};         ///< fraction of the job's work completed
+    double last_tick_s{0.0};       ///< start of the open accrual segment
+    double cur_power_w{0.0};       ///< per-GPU watts at the current clock (drifted)
+    double cur_base_power_w{0.0};  ///< same, pre-drift (model's belief)
+    double cur_duration_full{0.0};  ///< whole-job seconds at the current clock
+    double cur_util{0.0};          ///< modelled compute utilisation at it
+    double target_w{0.0};          ///< hybrid watt target (predicted power)
   };
+  /// Close `rj`'s open accrual segment at `now`: advance work fraction,
+  /// book the segment's joules into the seed/governor bucket, and advance
+  /// busy GPU-seconds.
+  void accrue_governed(running_job& rj, double now);
   std::vector<running_job> running_;
   std::vector<std::pair<double, double>> power_samples_;
   double last_integrated_s_{0.0};
@@ -308,6 +354,9 @@ class simulator {
   std::size_t requeues_{0};
   std::size_t nodes_lost_{0};
   double wasted_energy_j_{0.0};
+  // --- governor counters (reset per run) ---
+  std::size_t governor_ticks_{0};
+  std::size_t governor_clock_changes_{0};
   // Budget counters accumulated across budget rebuilds (node removal).
   std::size_t budget_rebalances_base_{0};
   std::size_t budget_demotions_base_{0};

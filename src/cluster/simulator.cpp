@@ -55,6 +55,12 @@ double drift_plan::factor(double core_mhz, double default_core_mhz) const {
   return f;
 }
 
+double simulator::drift_factor_now(double core_mhz) const {
+  if (config_.drift.enabled() && engine_.now() >= config_.drift.at_s)
+    return config_.drift.factor(core_mhz, spec_.default_config().core.value);
+  return 1.0;
+}
+
 simulator::simulator(cluster_config config, std::unique_ptr<scheduling_policy> policy)
     : config_(std::move(config)),
       policy_(std::move(policy)),
@@ -62,6 +68,13 @@ simulator::simulator(cluster_config config, std::unique_ptr<scheduling_policy> p
   if (config_.n_nodes == 0 || config_.gpus_per_node == 0)
     throw std::invalid_argument("simulator: cluster needs nodes and GPUs");
   if (!policy_) throw std::invalid_argument("simulator: null scheduling policy");
+  if (config_.governor.enabled) {
+    // Fail fast on a bad spec instead of discovering it at the first
+    // placement mid-run.
+    auto probe = governor::make_governor(config_.governor.spec, spec_);
+    if (!probe.has_value())
+      throw std::invalid_argument("simulator: " + probe.err().message);
+  }
   rebuild_controller();
 }
 
@@ -265,6 +278,11 @@ void simulator::start(std::size_t queue_index, const placement& pl) {
   if (watchdog_) watchdog_->observe_plan(why == obs::cause::model);
 
   auto cost = model_.evaluate(spec_, folded_profile(qj.job), config);
+  // The model's belief about this job's draw, before any drift skew — the
+  // hybrid governor's watt target. Drift-free boards match it (the tracker
+  // holds the seeded clock); drifted boards overshoot it (the tracker
+  // chases the true optimum down).
+  const double predicted_power_w = cost.avg_power.value;
   if (config_.drift.enabled() && now >= config_.drift.at_s) {
     // The fleet's boards have drifted: modelled power picks up the skew at
     // this job's clock. The trained models know nothing about it — that gap
@@ -275,8 +293,13 @@ void simulator::start(std::size_t queue_index, const placement& pl) {
     cost.energy = cost.avg_power * cost.time;
   }
   const double duration = cost.time.value;
-  r.gpu_energy_j = cost.energy.value * qj.job.n_gpus;
-  busy_gpu_seconds_ += duration * qj.job.n_gpus;
+  // A clock-set fault pins the job to default clocks — broken clock-set
+  // plumbing takes the governor down with it. Governed jobs are not
+  // pre-charged: joules and busy-seconds accrue per tick segment.
+  const bool governed =
+      config_.governor.enabled && config_.tag_nvgpufreq && !r.clock_set_failed;
+  r.gpu_energy_j = governed ? 0.0 : cost.energy.value * qj.job.n_gpus;
+  if (!governed) busy_gpu_seconds_ += duration * qj.job.n_gpus;
 
   std::set<std::size_t> nodes_used;
   for (const auto& slot : pl.gpus) {
@@ -286,9 +309,37 @@ void simulator::start(std::size_t queue_index, const placement& pl) {
   }
   for (const std::size_t ni : nodes_used) ctl_->node_at(ni).add_job();
   const std::uint64_t epoch = next_epoch_++;
-  running_.push_back({qj.job.id, epoch, pl.gpus, qj.job, qj.est_runtime_s, now, duration,
-                      r.gpu_energy_j, cost.avg_power.value, why,
-                      ctl_->node_at(pl.gpus.front().node).name()});
+  {
+    running_job rj;
+    rj.id = qj.job.id;
+    rj.epoch = epoch;
+    rj.gpus = pl.gpus;
+    rj.job = qj.job;
+    rj.est = qj.est_runtime_s;
+    rj.start_s = now;
+    rj.duration = duration;
+    rj.energy_j = r.gpu_energy_j;
+    rj.avg_power_w = cost.avg_power.value;
+    rj.why = why;
+    rj.node = ctl_->node_at(pl.gpus.front().node).name();
+    running_.push_back(std::move(rj));
+  }
+  if (governed) {
+    auto& rj = running_.back();
+    rj.gov = std::shared_ptr<governor::governor>(
+        std::move(governor::make_governor(config_.governor.spec, spec_)).value());
+    rj.gov->seed(config.core);
+    // Under a facility cap the admitted clock is the ceiling: the governor
+    // may save energy below it but must not undo the cap demotion.
+    if (budget_->capped()) rj.gov->set_rails(spec_.min_core_clock(), config.core);
+    rj.seed_clock = rj.gov->current();
+    rj.last_tick_s = now;
+    rj.cur_base_power_w = predicted_power_w;
+    rj.cur_power_w = cost.avg_power.value;
+    rj.cur_duration_full = duration;
+    rj.cur_util = cost.compute_utilization;
+    if (config_.governor.spec.hybrid) rj.target_w = predicted_power_w;
+  }
 
   SYNERGY_COUNTER_ADD("cluster.placements", 1);
   SYNERGY_HISTOGRAM_OBSERVE("cluster.queue_wait_s", r.queue_wait_s, 0.0, 1.0, 10.0, 60.0,
@@ -300,7 +351,11 @@ void simulator::start(std::size_t queue_index, const placement& pl) {
 
   budget_->rebalance();
   const int id = qj.job.id;
-  engine_.after(duration, [this, id, epoch] { complete(id, epoch); });
+  const double tick = std::max(1e-3, config_.governor.tick_interval_s);
+  if (governed && duration > tick)
+    engine_.after(tick, [this, id, epoch] { governor_tick(id, epoch); });
+  else
+    engine_.after(duration, [this, id, epoch] { complete(id, epoch); });
   if (lose_device_here) {
     // The board dies partway through this job. Nodes are addressed by name
     // because indices shift when earlier losses remove nodes.
@@ -326,6 +381,16 @@ void simulator::complete(int job_id, std::uint64_t epoch) {
     nodes_used.insert(slot.node);
   }
   for (const std::size_t ni : nodes_used) ctl_->node_at(ni).remove_job();
+  [[maybe_unused]] double governor_j = 0.0;
+  if (it->gov) {
+    // Close the final accrual segment and settle the job's energy from the
+    // per-segment buckets (governed jobs were never pre-charged).
+    accrue_governed(*it, engine_.now());
+    auto& gr = result_of(job_id);
+    gr.gpu_energy_j = it->seed_energy_j + it->gov_energy_j;
+    gr.core_mhz = it->gov->current().value;
+    governor_j = it->gov_energy_j;
+  }
   const traced_job finished = it->job;
   [[maybe_unused]] const obs::cause attribution = it->why;
   [[maybe_unused]] const std::string obs_node = it->node;
@@ -345,10 +410,15 @@ void simulator::complete(int job_id, std::uint64_t epoch) {
   SYNERGY_COUNTER_ADD("cluster.jobs_completed", 1);
   SYNERGY_GAUGE_ADD("cluster.gpu_energy_j", r.gpu_energy_j);
   // Ledger conservation contract: every completed job charges its full
-  // pre-charged GPU energy here; device-lost partials charge in
-  // device_lost(). Ledger total == busy GPU energy + wasted energy.
+  // GPU energy here; device-lost partials charge in device_lost(). Ledger
+  // total == busy GPU energy + wasted energy. Governed jobs split the
+  // charge: joules accrued before the governor first left the seeded clock
+  // stay with the tier that seeded it, everything after is the governor's.
   SYNERGY_OBS_CHARGE((obs::charge_key{obs_node, config_.device, r.name, r.kernel}),
-                     attribution, r.gpu_energy_j);
+                     attribution, r.gpu_energy_j - governor_j);
+  if (governor_j > 0.0)
+    SYNERGY_OBS_CHARGE((obs::charge_key{obs_node, config_.device, r.name, r.kernel}),
+                       obs::cause::governor, governor_j);
   if (watchdog_ && r.n_gpus > 0) watchdog_->observe_job(r.gpu_energy_j / r.n_gpus);
 #if SYNERGY_TELEMETRY_ENABLED
   // Job lifetime on the cluster timeline (pid 3, virtual seconds).
@@ -416,6 +486,72 @@ void simulator::complete(int job_id, std::uint64_t epoch) {
   sample_power();
 }
 
+void simulator::accrue_governed(running_job& rj, double now) {
+  const double elapsed = now - rj.last_tick_s;
+  if (elapsed <= 0.0) return;
+  if (rj.cur_duration_full > 0.0)
+    rj.frac_done = std::min(1.0, rj.frac_done + elapsed / rj.cur_duration_full);
+  const double joules = rj.cur_power_w * elapsed * rj.job.n_gpus;
+  if (rj.deviated)
+    rj.gov_energy_j += joules;
+  else
+    rj.seed_energy_j += joules;
+  busy_gpu_seconds_ += elapsed * rj.job.n_gpus;
+  rj.last_tick_s = now;
+}
+
+void simulator::governor_tick(int job_id, std::uint64_t epoch) {
+  const auto it = std::find_if(running_.begin(), running_.end(), [&](const running_job& rj) {
+    return rj.id == job_id && rj.epoch == epoch;
+  });
+  // Stale tick: the job was requeued by a device-lost event after this tick
+  // was scheduled; the restarted incarnation runs under a fresh epoch.
+  if (it == running_.end() || !it->gov) return;
+  integrate_to_now();
+  running_job& rj = *it;
+  const double now = engine_.now();
+  accrue_governed(rj, now);
+  ++governor_ticks_;
+  SYNERGY_COUNTER_ADD("cluster.governor_ticks", 1);
+
+  // Drift may have switched on since the segment opened: refresh observed
+  // power at the current clock before the governor looks at it.
+  rj.cur_power_w = rj.cur_base_power_w * drift_factor_now(rj.gov->current().value);
+
+  const governor::device_sample sample{now, rj.cur_util, rj.cur_power_w, rj.target_w};
+  const auto before = rj.gov->current();
+  const auto decided = rj.gov->decide(sample);
+  if (decided.value != before.value) {
+    ++governor_clock_changes_;
+    SYNERGY_COUNTER_ADD("cluster.governor_clock_changes", 1);
+    // Re-price the rest of the job at the new clock. Work completed so far
+    // is banked in frac_done; only the remaining fraction runs at the new
+    // speed and draw.
+    const auto c = model_.evaluate(spec_, folded_profile(rj.job),
+                                   {spec_.default_config().memory, decided});
+    rj.cur_base_power_w = c.avg_power.value;
+    rj.cur_power_w = c.avg_power.value * drift_factor_now(decided.value);
+    rj.cur_duration_full = c.time.value;
+    rj.cur_util = c.compute_utilization;
+    rj.avg_power_w = rj.cur_power_w;  // budget re-registration on node loss
+    if (decided.value != rj.seed_clock.value) rj.deviated = true;
+    result_of(job_id).core_mhz = decided.value;
+    for (const auto& s : rj.gpus) budget_->gpu_busy(s.node, s.gpu, rj.cur_power_w);
+    budget_->rebalance();
+  }
+
+  const double remaining =
+      rj.cur_duration_full > 0.0 ? (1.0 - rj.frac_done) * rj.cur_duration_full : 0.0;
+  for (const auto& s : rj.gpus) slots_[s.node][s.gpu].busy_until = now + remaining;
+  const double tick = std::max(1e-3, config_.governor.tick_interval_s);
+  const int id = job_id;
+  if (remaining <= tick + 1e-9)
+    engine_.after(std::max(0.0, remaining), [this, id, epoch] { complete(id, epoch); });
+  else
+    engine_.after(tick, [this, id, epoch] { governor_tick(id, epoch); });
+  sample_power();
+}
+
 void simulator::device_lost(const std::string& node_name) {
   // Resolve by name: earlier losses shift indices. A vanished name means the
   // node is already gone (double event) — nothing to do.
@@ -445,7 +581,7 @@ void simulator::device_lost(const std::string& node_name) {
     }
   }
   const double now = engine_.now();
-  for (const auto& rj : victims) {
+  for (auto& rj : victims) {
     std::set<std::size_t> nodes_used;
     for (const auto& s : rj.gpus) {
       slots_[s.node][s.gpu] = {false, 0.0};
@@ -456,14 +592,24 @@ void simulator::device_lost(const std::string& node_name) {
 
     auto& r = result_of(rj.id);
     const double elapsed = std::max(0.0, now - rj.start_s);
-    const double done = rj.duration > 0.0 ? std::min(1.0, elapsed / rj.duration) : 1.0;
-    busy_gpu_seconds_ -= (rj.duration - elapsed) * rj.job.n_gpus;
-    wasted_energy_j_ += rj.energy_j * done;
+    double wasted = 0.0;
+    if (rj.gov) {
+      // Governed jobs accrued joules and busy-seconds per segment: close
+      // the open segment, then everything accrued so far is wasted. Any
+      // still-pending governor tick goes stale with the epoch.
+      accrue_governed(rj, now);
+      wasted = rj.seed_energy_j + rj.gov_energy_j;
+    } else {
+      const double done = rj.duration > 0.0 ? std::min(1.0, elapsed / rj.duration) : 1.0;
+      busy_gpu_seconds_ -= (rj.duration - elapsed) * rj.job.n_gpus;
+      wasted = rj.energy_j * done;
+    }
+    wasted_energy_j_ += wasted;
     // The partial execution's joules were spent and bought nothing: book
     // them as fault-wasted so the watchdog's wasted_energy_j rule sees the
     // incident on the next scrape.
     SYNERGY_OBS_CHARGE((obs::charge_key{rj.node, config_.device, r.name, r.kernel}),
-                       obs::cause::fault_wasted, rj.energy_j * done);
+                       obs::cause::fault_wasted, wasted);
     r.gpu_energy_j = 0.0;
     r.state = sched::job_state::pending;
     r.start_s = -1.0;
@@ -554,6 +700,8 @@ run_summary simulator::run(const job_trace& trace) {
   requeues_ = 0;
   nodes_lost_ = 0;
   wasted_energy_j_ = 0.0;
+  governor_ticks_ = 0;
+  governor_clock_changes_ = 0;
   budget_rebalances_base_ = 0;
   budget_demotions_base_ = 0;
 
@@ -631,6 +779,8 @@ run_summary simulator::run(const job_trace& trace) {
   s.quarantines = quarantines_;
   s.promotions = promotions_;
   s.rollbacks = rollbacks_;
+  s.governor_ticks = governor_ticks_;
+  s.governor_clock_changes = governor_clock_changes_;
   return s;
 }
 
@@ -715,6 +865,10 @@ void run_summary::print(std::ostream& os) const {
     table.row({"model promotions", std::to_string(promotions)});
     table.row({"model rollbacks", std::to_string(rollbacks)});
   }
+  if (governor_ticks > 0) {
+    table.row({"governor ticks", std::to_string(governor_ticks)});
+    table.row({"governor clock changes", std::to_string(governor_clock_changes)});
+  }
   table.print(os);
 }
 
@@ -727,7 +881,8 @@ void run_summary::csv(std::ostream& os, bool with_header) const {
              "p50_wait_s", "p95_wait_s", "max_wait_s", "gpu_utilization",
              "peak_facility_power_w", "cap_rebalances", "cap_demotions",
              "clock_set_faults", "degraded_samples", "requeues", "nodes_lost",
-             "wasted_gpu_energy_j", "quarantines", "promotions", "rollbacks"});
+             "wasted_gpu_energy_j", "quarantines", "promotions", "rollbacks",
+             "governor_ticks", "governor_clock_changes"});
   }
   csv.row({policy, std::to_string(seed), std::to_string(jobs), std::to_string(completed),
            std::to_string(failed), common::csv_writer::num(makespan_s),
@@ -741,7 +896,8 @@ void run_summary::csv(std::ostream& os, bool with_header) const {
            std::to_string(degraded_samples), std::to_string(requeues),
            std::to_string(nodes_lost), common::csv_writer::num(wasted_gpu_energy_j),
            std::to_string(quarantines), std::to_string(promotions),
-           std::to_string(rollbacks)});
+           std::to_string(rollbacks), std::to_string(governor_ticks),
+           std::to_string(governor_clock_changes)});
 }
 
 plan_fn make_suite_planner(const std::string& device) {

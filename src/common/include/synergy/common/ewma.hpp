@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file ewma.hpp
+/// Exponentially-weighted and windowed moving averages.
+///
+/// Shared smoothing primitives for the sensor readback paths: the vendor
+/// power readback keeps a per-device EWMA next to the raw sensor value, the
+/// reactive governors smooth their utilisation/power inputs with it, and
+/// synergy_top uses it to steady the watch-mode average-watts readout.
+///
+/// Both classes define their partial behaviour explicitly:
+///  - an `ewma` with no observations reports `seed` (0 by default) and
+///    `empty() == true`; the first observation becomes the value exactly
+///    (no pull toward the seed);
+///  - a `moving_average` averages over however many samples exist until the
+///    window fills — never dividing by the full capacity early.
+
+#include <cstddef>
+#include <vector>
+
+namespace synergy::common {
+
+/// Exponentially-weighted moving average: value += alpha * (x - value).
+/// Deterministic, allocation-free, and safe to reset mid-stream.
+class ewma {
+ public:
+  /// `alpha` in (0, 1]: 1 tracks the raw signal, small values smooth hard.
+  /// Out-of-range alphas are clamped into (0, 1].
+  explicit ewma(double alpha = 0.25, double seed = 0.0)
+      : alpha_(alpha <= 0.0 ? 1e-3 : alpha > 1.0 ? 1.0 : alpha), seed_(seed), value_(seed) {}
+
+  /// Fold one observation in. The first observation *becomes* the value so
+  /// a fresh average never drags the seed into the early readings.
+  void observe(double x) {
+    if (count_ == 0)
+      value_ = x;
+    else
+      value_ += alpha_ * (x - value_);
+    ++count_;
+  }
+
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+  /// Forget everything: value returns to the seed, count to zero.
+  void reset() {
+    value_ = seed_;
+    count_ = 0;
+  }
+
+ private:
+  double alpha_;
+  double seed_;
+  double value_;
+  std::size_t count_{0};
+};
+
+/// Fixed-capacity windowed moving average over the last `capacity` samples.
+class moving_average {
+ public:
+  explicit moving_average(std::size_t capacity = 8)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    ring_.reserve(capacity_);
+  }
+
+  void observe(double x) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(x);
+    } else {
+      sum_ -= ring_[next_];
+      ring_[next_] = x;
+      next_ = (next_ + 1) % capacity_;
+    }
+    sum_ += x;
+    ++count_;
+  }
+
+  /// Average over the samples currently in the window; a partially-filled
+  /// window divides by the number of samples seen, and an empty one reads 0.
+  [[nodiscard]] double value() const {
+    return ring_.empty() ? 0.0 : sum_ / static_cast<double>(ring_.size());
+  }
+
+  [[nodiscard]] bool empty() const { return ring_.empty(); }
+  [[nodiscard]] bool full() const { return ring_.size() == capacity_; }
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Total observations ever folded in (not capped by the window).
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+  void reset() {
+    ring_.clear();
+    sum_ = 0.0;
+    next_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<double> ring_;
+  double sum_{0.0};
+  std::size_t next_{0};
+  std::size_t count_{0};
+};
+
+}  // namespace synergy::common

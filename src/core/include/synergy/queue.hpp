@@ -30,6 +30,7 @@
 #include "simsycl/sycl.hpp"
 #include "synergy/common/log.hpp"
 #include "synergy/context.hpp"
+#include "synergy/governor/governor.hpp"
 #include "synergy/guarded_planner.hpp"
 #include "synergy/metrics/energy_metrics.hpp"
 #include "synergy/obs/energy_ledger.hpp"
@@ -114,6 +115,26 @@ class queue : public simsycl::queue {
   /// side channel): resets the drift statistic, flushes the plan cache, and
   /// re-arms the quarantine latch. No-op without a planner installed.
   void reset_model_quarantine();
+
+  // --- reactive governors ---------------------------------------------------
+
+  /// Attach a reactive frequency governor next to the planner chain: every
+  /// kernel gets its own governor instance (phase behaviour is per-kernel).
+  /// A kernel's first submission seeds its governor — in hybrid mode from
+  /// whatever the planner chain (tuning table / guarded model / oracle)
+  /// would have picked, otherwise from the driver default clocks — and every
+  /// later submission polls the device's windowed utilisation and smoothed
+  /// power through the vendor library and applies the governor's decision
+  /// (attributed to the `governor` ledger cause). Per-submission explicit
+  /// frequencies (Listing 4) still override the governor.
+  /// Fails with errc::invalid_argument on unknown policies or parameters.
+  common::status set_governor(const governor::governor_spec& spec);
+  void clear_governor();
+  [[nodiscard]] bool governed() const { return governor_spec_.has_value(); }
+
+  /// Aggregate governor poll / clock-change counts across all kernels.
+  [[nodiscard]] std::size_t governor_decisions() const;
+  [[nodiscard]] std::size_t governor_clock_changes() const;
 
   /// Install compile-time tuning artefacts: targets resolve through the
   /// table first (no models needed at runtime, as in the paper's compiled
@@ -262,6 +283,20 @@ class queue : public simsycl::queue {
   /// Pick up a champion swap from the planner source, if one happened.
   void refresh_from_source();
 
+  /// Per-kernel governor state: the policy instance, whether its clock has
+  /// been seeded, the seeding tier's attribution, and the hybrid watt target
+  /// (model-predicted power at the seeded clock).
+  struct kernel_governor {
+    std::unique_ptr<governor::governor> gov;
+    bool seeded{false};
+    double target_w{0.0};
+  };
+
+  /// Governor leg of submit_recorded: seed on first sight of the kernel,
+  /// poll-and-decide afterwards. Returns the attribution cause.
+  obs::cause govern_submission(const simsycl::handler& h,
+                               const std::optional<metrics::target>& target);
+
   std::shared_ptr<context> ctx_;
   context::binding binding_;
   std::shared_ptr<const frequency_planner> planner_;
@@ -290,6 +325,8 @@ class queue : public simsycl::queue {
       plan_cache_;
   std::map<std::string, kernel_stats> stats_;
   std::vector<energy_sample> samples_;
+  std::optional<governor::governor_spec> governor_spec_;
+  std::map<std::string, kernel_governor> governors_;
 };
 
 }  // namespace synergy

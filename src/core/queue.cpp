@@ -112,6 +112,99 @@ void queue::reset_model_quarantine() {
   quarantine_seen_ = false;
 }
 
+common::status queue::set_governor(const governor::governor_spec& spec) {
+  // Validate policy + parameter vocabulary against this device up front so
+  // the CLI can fail fast with a usage error.
+  auto probe = governor::make_governor(spec, get_device().spec());
+  if (!probe.has_value()) return probe.err();
+  governor_spec_ = spec;
+  governors_.clear();
+  binding_.library->reset_power_smoothing();
+  return common::status::success();
+}
+
+void queue::clear_governor() {
+  governor_spec_.reset();
+  governors_.clear();
+}
+
+std::size_t queue::governor_decisions() const {
+  std::size_t n = 0;
+  for (const auto& [name, kg] : governors_)
+    if (kg.gov) n += kg.gov->decisions();
+  return n;
+}
+
+std::size_t queue::governor_clock_changes() const {
+  std::size_t n = 0;
+  for (const auto& [name, kg] : governors_)
+    if (kg.gov) n += kg.gov->clock_changes();
+  return n;
+}
+
+obs::cause queue::govern_submission(const simsycl::handler& h,
+                                    const std::optional<metrics::target>& target) {
+  const auto& spec = get_device().spec();
+  auto& kg = governors_[h.info().name];
+  if (!kg.gov) {
+    auto made = governor::make_governor(*governor_spec_, spec);
+    if (!made.has_value()) return obs::cause::default_clocks;  // validated at set time
+    kg.gov = std::move(made).value();
+  }
+  if (!kg.seeded) {
+    // Seed: hybrid hands the planner chain's pick (tuning table, guarded
+    // model, oracle — exactly what a plain submission would have used) to
+    // the governor; pure-reactive starts from the driver default.
+    frequency_config seed_cfg = spec.default_config();
+    obs::cause seed_cause = obs::cause::default_clocks;
+    if (governor_spec_->hybrid) {
+      if (target) {
+        const auto [config, cause] = resolve_target(h, *target);
+        seed_cfg = config;
+        seed_cause = cause;
+      } else if (fixed_) {
+        seed_cfg = *fixed_;
+        seed_cause = obs::cause::fixed;
+      } else if (target_) {
+        const auto [config, cause] = resolve_target(h, *target_);
+        seed_cfg = config;
+        seed_cause = cause;
+      }
+    }
+    kg.gov->seed(seed_cfg.core);
+    // Hybrid watt target: the model-predicted (pre-drift) power at the
+    // seeded clock. While the board matches the prediction the tracker
+    // holds the seed; drift pushes observed power off target and the
+    // governor chases the sweet spot from there.
+    const auto profile = h.info().to_profile(h.launch_items());
+    const auto predicted = get_device().board()->model().evaluate(
+        spec, profile, {spec.memory_clock, kg.gov->current()});
+    kg.target_w = predicted.avg_power.value;
+    if (governor_spec_->hybrid)
+      if (auto* tracker =
+              dynamic_cast<governor::powercap_tracker_governor*>(kg.gov.get()))
+        tracker->set_target_w(kg.target_w);
+    kg.seeded = true;
+    apply_frequency({spec.memory_clock, kg.gov->current()});
+    return seed_cause;
+  }
+  // Steady state: poll the windowed sensors through the vendor library
+  // (fault injection and retries included) and apply the decision. A failed
+  // sensor read holds the current clock — no sample, no movement.
+  const auto util = binding_.library->utilization(binding_.index);
+  const auto power = binding_.library->smoothed_power(binding_.index);
+  if (util.has_value() && power.has_value()) {
+    const governor::device_sample sample{get_device().board()->now().value, util.value(),
+                                         power.value().value,
+                                         governor_spec_->hybrid ? kg.target_w : 0.0};
+    const auto f = kg.gov->decide(sample);
+    apply_frequency({spec.memory_clock, f});
+  } else {
+    apply_frequency({spec.memory_clock, kg.gov->current()});
+  }
+  return obs::cause::governor;
+}
+
 void queue::set_tuning_table(std::shared_ptr<const tuning_table> table) {
   if (table && !table->device_key().empty() &&
       table->device_key() != get_device().spec().name &&
@@ -210,10 +303,14 @@ simsycl::event queue::submit_recorded(simsycl::handler& h,
   if (h.has_launch()) {
     if (guard_ || observer_) features = h.info().features;
     span.str("kernel", h.info().name);
-    // Per-submission settings take precedence over the queue policy.
+    // Per-submission settings take precedence over the queue policy; an
+    // attached governor owns the clock otherwise (seeded from the planner
+    // chain in hybrid mode).
     if (freq) {
       apply_frequency(*freq);
       why = obs::cause::fixed;
+    } else if (governor_spec_) {
+      why = govern_submission(h, target);
     } else if (target) {
       const auto [config, cause] = resolve_target(h, *target);
       apply_frequency(config);

@@ -1,0 +1,307 @@
+#include "synergy/governor/governor.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "synergy/telemetry/telemetry.hpp"
+
+namespace synergy::governor {
+
+using common::errc;
+using common::error;
+using common::megahertz;
+using common::result;
+
+// --- spec parsing -----------------------------------------------------------
+
+std::string governor_spec::to_string() const {
+  std::ostringstream os;
+  if (hybrid) os << "hybrid-";
+  os << policy;
+  bool first = true;
+  for (const auto& [key, value] : params) {
+    os << (first ? ':' : ',') << key << '=' << value;
+    first = false;
+  }
+  return os.str();
+}
+
+namespace {
+
+bool known_policy(const std::string& name) {
+  return name == "conservative" || name == "ondemand" || name == "powercap" ||
+         name == "powercap_tracker";
+}
+
+}  // namespace
+
+result<governor_spec> parse_governor_spec(const std::string& text) {
+  if (text.empty()) return error{errc::invalid_argument, "empty governor spec"};
+  governor_spec spec;
+  const auto colon = text.find(':');
+  std::string name = text.substr(0, colon);
+
+  if (name == "hybrid") {
+    // Bare hybrid defaults to the watt-target tracker: the planner's
+    // prediction becomes the target, so drift-free runs hold the seeded
+    // clock and drifted runs chase the target back down the table.
+    spec.hybrid = true;
+    spec.policy = "powercap";
+  } else if (name.rfind("hybrid-", 0) == 0) {
+    spec.hybrid = true;
+    spec.policy = name.substr(7);
+  } else {
+    spec.policy = name;
+  }
+  if (spec.policy == "powercap_tracker") spec.policy = "powercap";
+  if (!known_policy(spec.policy))
+    return error{errc::invalid_argument,
+                 "unknown governor '" + name +
+                     "' (expected conservative, ondemand, powercap, or hybrid[-<policy>])"};
+
+  if (colon == std::string::npos) return spec;
+  std::string rest = text.substr(colon + 1);
+  std::istringstream pairs{rest};
+  std::string pair;
+  while (std::getline(pairs, pair, ',')) {
+    if (pair.empty()) return error{errc::invalid_argument, "empty governor parameter"};
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == pair.size())
+      return error{errc::invalid_argument,
+                   "malformed governor parameter '" + pair + "' (expected key=value)"};
+    const std::string key = pair.substr(0, eq);
+    const std::string raw = pair.substr(eq + 1);
+    try {
+      std::size_t used = 0;
+      const double value = std::stod(raw, &used);
+      if (used != raw.size() || !std::isfinite(value))
+        return error{errc::invalid_argument,
+                     "governor parameter '" + key + "' has non-numeric value '" + raw + "'"};
+      if (!spec.params.emplace(key, value).second)
+        return error{errc::invalid_argument, "duplicate governor parameter '" + key + "'"};
+    } catch (const std::exception&) {
+      return error{errc::invalid_argument,
+                   "governor parameter '" + key + "' has non-numeric value '" + raw + "'"};
+    }
+  }
+  return spec;
+}
+
+// --- base governor ----------------------------------------------------------
+
+governor::governor(gpusim::device_spec spec) : spec_(std::move(spec)) {
+  if (spec_.core_clocks.empty())
+    throw std::invalid_argument("governor: device spec has no core clocks");
+  rail_lo_ = spec_.min_core_clock();
+  rail_hi_ = spec_.max_core_clock();
+  current_ = spec_.default_core_clock();
+}
+
+governor::~governor() = default;
+
+megahertz governor::clamp(megahertz f) const {
+  if (f < rail_lo_) f = rail_lo_;
+  if (f > rail_hi_) f = rail_hi_;
+  return spec_.nearest_core_clock(f);
+}
+
+void governor::set_rails(megahertz lo, megahertz hi) {
+  if (hi < lo) std::swap(lo, hi);
+  rail_lo_ = spec_.nearest_core_clock(std::max(lo, spec_.min_core_clock()));
+  rail_hi_ = spec_.nearest_core_clock(std::min(hi, spec_.max_core_clock()));
+  if (rail_hi_ < rail_lo_) rail_hi_ = rail_lo_;
+  current_ = clamp(current_);
+}
+
+void governor::seed(megahertz initial) {
+  current_ = clamp(initial);
+  decisions_ = 0;
+  clock_changes_ = 0;
+  reset_policy_state();
+}
+
+std::size_t governor::current_index() const {
+  const auto& clocks = spec_.core_clocks;
+  const auto it = std::lower_bound(clocks.begin(), clocks.end(), current_);
+  if (it == clocks.end()) return clocks.size() - 1;
+  return static_cast<std::size_t>(it - clocks.begin());
+}
+
+megahertz governor::stepped(std::ptrdiff_t steps) const {
+  const auto idx = static_cast<std::ptrdiff_t>(current_index()) + steps;
+  const auto last = static_cast<std::ptrdiff_t>(spec_.core_clocks.size()) - 1;
+  return spec_.core_clocks[static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(idx, 0, last))];
+}
+
+std::ptrdiff_t governor::default_step_levels() const {
+  // ~5% of the table per step: ~10 levels on a 196-level V100, 1 on a
+  // 16-level MI100 — comparable sweep time across parts.
+  return std::max<std::ptrdiff_t>(
+      1, static_cast<std::ptrdiff_t>(spec_.core_clocks.size() / 20));
+}
+
+megahertz governor::decide(const device_sample& sample) {
+  ++decisions_;
+  const megahertz next = clamp(propose(sample));
+  if (!(next == current_)) {
+    ++clock_changes_;
+    SYNERGY_COUNTER_ADD("governor.clock_changes", 1);
+    SYNERGY_INSTANT(telemetry::category::freq_change, "governor.clock_change",
+                    {"t_s", sample.t_s}, {"from_mhz", current_.value},
+                    {"to_mhz", next.value}, {"util", sample.utilization});
+    current_ = next;
+  }
+  SYNERGY_COUNTER_ADD("governor.decisions", 1);
+  return current_;
+}
+
+// --- conservative -----------------------------------------------------------
+
+namespace {
+
+std::ptrdiff_t step_levels(const gpusim::device_spec& spec, double step_frac) {
+  const double frac = std::clamp(step_frac, 0.0, 1.0);
+  return std::max<std::ptrdiff_t>(
+      1, static_cast<std::ptrdiff_t>(std::lround(
+             frac * static_cast<double>(spec.core_clocks.size()))));
+}
+
+}  // namespace
+
+conservative_governor::conservative_governor(gpusim::device_spec spec,
+                                             conservative_params params)
+    : governor(std::move(spec)), params_(params) {
+  if (params_.down_threshold > params_.up_threshold)
+    throw std::invalid_argument("conservative governor: down threshold above up threshold");
+}
+
+megahertz conservative_governor::propose(const device_sample& sample) {
+  // Hysteresis: the band [down, up] holds the clock; only a threshold
+  // crossing moves it, one step at a time — devfreq's "conservative".
+  const auto step = step_levels(spec(), params_.step_frac);
+  if (sample.utilization > params_.up_threshold) return stepped(step);
+  if (sample.utilization < params_.down_threshold) return stepped(-step);
+  return current();
+}
+
+// --- ondemand ---------------------------------------------------------------
+
+ondemand_governor::ondemand_governor(gpusim::device_spec spec, ondemand_params params)
+    : governor(std::move(spec)),
+      params_(params),
+      estimate_(std::clamp(params.decay, 1e-3, 1.0)) {
+  if (params_.target_util <= 0.0 || params_.target_util > 1.0)
+    throw std::invalid_argument("ondemand governor: target_util out of (0, 1]");
+}
+
+void ondemand_governor::reset_policy_state() { estimate_.reset(); }
+
+megahertz ondemand_governor::propose(const device_sample& sample) {
+  // Saturated pipeline: jump straight to the rail, like simple_ondemand's
+  // "go to max on high load".
+  if (sample.utilization >= params_.up_threshold) return rail_hi();
+  // Busy estimate: the clock that would run this phase at target_util —
+  // current utilisation scales inversely with frequency to first order.
+  const double busy_mhz =
+      current().value * std::clamp(sample.utilization, 0.0, 1.0) / params_.target_util;
+  // Decay: EWMA over the estimates, so one idle-ish sample cannot slam the
+  // clock to the bottom rail.
+  estimate_.observe(busy_mhz);
+  return megahertz{estimate_.value()};
+}
+
+// --- powercap tracker -------------------------------------------------------
+
+powercap_tracker_governor::powercap_tracker_governor(gpusim::device_spec spec,
+                                                     powercap_params params)
+    : governor(std::move(spec)), params_(params), observed_(0.5) {
+  if (params_.deadband < 0.0 || params_.deadband >= 1.0)
+    throw std::invalid_argument("powercap governor: deadband out of [0, 1)");
+}
+
+void powercap_tracker_governor::reset_policy_state() { observed_.reset(); }
+
+megahertz powercap_tracker_governor::propose(const device_sample& sample) {
+  // Sample-level target (the per-device share of a facility cap, or the
+  // planner's predicted watts in hybrid mode) wins over the parameter.
+  const double target =
+      sample.power_target_w > 0.0 ? sample.power_target_w : params_.target_w;
+  if (target <= 0.0) return current();  // nothing to track yet
+  observed_.observe(sample.power_w);
+  const double seen = observed_.value();
+  const auto step = step_levels(spec(), params_.step_frac);
+  if (seen > target * (1.0 + params_.deadband)) {
+    // Overshoot: step down harder the further over target we are.
+    const double excess = seen / target - 1.0;
+    const auto n = std::clamp<std::ptrdiff_t>(
+        static_cast<std::ptrdiff_t>(std::ceil(excess / params_.deadband)) * step / 2,
+        step, 4 * step);
+    return stepped(-n);
+  }
+  if (seen < target * (1.0 - params_.deadband)) return stepped(step);
+  return current();  // inside the deadband: hold (drift-free hybrid stays seeded)
+}
+
+// --- factory ----------------------------------------------------------------
+
+namespace {
+
+/// Pull `key` out of `params`, erasing it so leftovers can be rejected.
+bool take(std::map<std::string, double>& params, const char* key, double& out) {
+  const auto it = params.find(key);
+  if (it == params.end()) return false;
+  out = it->second;
+  params.erase(it);
+  return true;
+}
+
+common::status reject_leftovers(const std::map<std::string, double>& params,
+                                const std::string& policy) {
+  if (params.empty()) return common::status::success();
+  return error{errc::invalid_argument,
+               "unknown parameter '" + params.begin()->first + "' for governor '" + policy +
+                   "'"};
+}
+
+}  // namespace
+
+result<std::unique_ptr<governor>> make_governor(const governor_spec& spec,
+                                                const gpusim::device_spec& device) {
+  auto params = spec.params;  // copy: consumed key by key
+  try {
+    if (spec.policy == "conservative") {
+      conservative_params p;
+      take(params, "up", p.up_threshold);
+      take(params, "down", p.down_threshold);
+      take(params, "step", p.step_frac);
+      if (auto st = reject_leftovers(params, spec.policy); !st.ok()) return st.err();
+      return std::unique_ptr<governor>{
+          std::make_unique<conservative_governor>(device, p)};
+    }
+    if (spec.policy == "ondemand") {
+      ondemand_params p;
+      take(params, "target_util", p.target_util);
+      take(params, "up", p.up_threshold);
+      take(params, "decay", p.decay);
+      if (auto st = reject_leftovers(params, spec.policy); !st.ok()) return st.err();
+      return std::unique_ptr<governor>{std::make_unique<ondemand_governor>(device, p)};
+    }
+    if (spec.policy == "powercap") {
+      powercap_params p;
+      take(params, "target_w", p.target_w);
+      take(params, "deadband", p.deadband);
+      take(params, "step", p.step_frac);
+      if (auto st = reject_leftovers(params, spec.policy); !st.ok()) return st.err();
+      return std::unique_ptr<governor>{
+          std::make_unique<powercap_tracker_governor>(device, p)};
+    }
+  } catch (const std::invalid_argument& e) {
+    return error{errc::invalid_argument, e.what()};
+  }
+  return error{errc::invalid_argument, "unknown governor '" + spec.policy + "'"};
+}
+
+}  // namespace synergy::governor

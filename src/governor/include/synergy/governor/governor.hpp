@@ -1,0 +1,214 @@
+#pragma once
+
+/// \file governor.hpp
+/// Reactive frequency governors — the in-band control plane.
+///
+/// SYnergy's planner is purely predictive: a per-kernel model picks clocks
+/// once, before launch. Production GPU stacks instead run devfreq-style
+/// governors that track utilisation and power continuously, because the
+/// energy sweet spot moves with phase behaviour. This subsystem closes that
+/// loop: a `governor` is polled on a virtual-time cadence with a
+/// `device_sample` (windowed utilisation, windowed power, the current core
+/// clock, and an optional watt target) and answers with the core clock for
+/// the next interval.
+///
+/// Three policies, mirroring the Linux devfreq family:
+///  - `conservative`: step up/down the supported-clock table on utilisation
+///    thresholds, with a hysteresis deadband between them;
+///  - `ondemand`: jump straight to the busy-estimate clock
+///    (f * util / target_util), smoothed by an EWMA so one noisy sample
+///    cannot slam the clock across the table;
+///  - `powercap_tracker`: track a per-device watt target — predicted power
+///    in hybrid mode, a cap share under a facility budget — stepping down
+///    when observed power overshoots and back up when headroom returns.
+///
+/// Every decision respects the device's supported-clock set and min/max
+/// clamp rails. Governors are deterministic: same sample stream, same
+/// decision stream — no wall clock, no randomness — which is what lets
+/// governed cluster replays stay byte-identical per seed.
+///
+/// `hybrid` is a *mode*, not a fourth policy: the guarded planner's
+/// prediction seeds the governor's initial clock (`seed()`), and the
+/// governor handles intra-run drift from there — including while the model
+/// tier is quarantined, when the predictive plane has nothing to say.
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "synergy/common/error.hpp"
+#include "synergy/common/ewma.hpp"
+#include "synergy/common/units.hpp"
+#include "synergy/gpusim/device_spec.hpp"
+
+namespace synergy::governor {
+
+/// One observation of device state, on the device's virtual timeline.
+struct device_sample {
+  double t_s{0.0};          ///< virtual time of the poll
+  double utilization{0.0};  ///< windowed busy/pipeline utilisation in [0, 1]
+  double power_w{0.0};      ///< windowed board power readback
+  /// Per-device watt target for powercap tracking; <= 0 means "no target
+  /// from the caller" (the policy's own target_w parameter applies, if any).
+  double power_target_w{0.0};
+};
+
+/// Parsed `--governor name[:key=val,...]` specification.
+struct governor_spec {
+  std::string policy{"conservative"};  ///< conservative | ondemand | powercap
+  bool hybrid{false};                  ///< planner prediction seeds the clock
+  std::map<std::string, double> params;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parse `name[:key=val,...]`. `name` is one of the three policies or
+/// `hybrid` / `hybrid-<policy>` (bare `hybrid` defaults to the powercap
+/// tracker, the drift-chasing regime). Malformed text — unknown policy,
+/// duplicate or non-numeric parameters — fails with errc::invalid_argument
+/// and a message naming the offending token; unknown *parameter names* are
+/// rejected by make_governor, which knows each policy's vocabulary.
+[[nodiscard]] common::result<governor_spec> parse_governor_spec(const std::string& text);
+
+/// A reactive clock governor over one device's supported-clock table.
+class governor {
+ public:
+  explicit governor(gpusim::device_spec spec);
+  virtual ~governor();
+
+  governor(const governor&) = delete;
+  governor& operator=(const governor&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Decide the core clock for the next interval. The returned clock is
+  /// always a member of the supported set, clamped to the rails; a decision
+  /// equal to the current clock is a hold.
+  [[nodiscard]] common::megahertz decide(const device_sample& sample);
+
+  /// Install the starting clock (hybrid mode hands the planner's prediction
+  /// here; pure-reactive callers seed the driver default). Snapped to the
+  /// supported set and rails. Also clears decision/change counters and any
+  /// smoothing state, so one governor instance can be re-seeded per run.
+  void seed(common::megahertz initial);
+
+  /// Min/max clamp rails inside the supported range (a facility cap lowers
+  /// the upper rail). Inverted or out-of-table rails are snapped inward.
+  void set_rails(common::megahertz lo, common::megahertz hi);
+
+  [[nodiscard]] common::megahertz current() const { return current_; }
+  [[nodiscard]] common::megahertz rail_lo() const { return rail_lo_; }
+  [[nodiscard]] common::megahertz rail_hi() const { return rail_hi_; }
+  [[nodiscard]] const gpusim::device_spec& spec() const { return spec_; }
+
+  /// Polls answered / decisions that changed the clock.
+  [[nodiscard]] std::size_t decisions() const { return decisions_; }
+  [[nodiscard]] std::size_t clock_changes() const { return clock_changes_; }
+
+ protected:
+  /// Policy hook: propose a clock for `sample` given the current state.
+  /// The base class snaps and clamps the proposal.
+  [[nodiscard]] virtual common::megahertz propose(const device_sample& sample) = 0;
+
+  /// Reset policy-private smoothing state (called by seed()).
+  virtual void reset_policy_state() {}
+
+  /// Index of the current clock in the spec's ascending table.
+  [[nodiscard]] std::size_t current_index() const;
+
+  /// Clock `steps` table entries above/below the current one (saturating).
+  [[nodiscard]] common::megahertz stepped(std::ptrdiff_t steps) const;
+
+  /// Default step size for stepwise policies: a fixed fraction of the
+  /// table so behaviour is comparable across a 196-level V100 and a
+  /// 16-level MI100.
+  [[nodiscard]] std::ptrdiff_t default_step_levels() const;
+
+ private:
+  [[nodiscard]] common::megahertz clamp(common::megahertz f) const;
+
+  gpusim::device_spec spec_;
+  common::megahertz rail_lo_{0.0};
+  common::megahertz rail_hi_{0.0};
+  common::megahertz current_{0.0};
+  std::size_t decisions_{0};
+  std::size_t clock_changes_{0};
+};
+
+/// Tunables accepted by each policy (all optional in the spec string).
+struct conservative_params {
+  double up_threshold{0.80};    ///< utilisation above this steps the clock up
+  double down_threshold{0.35};  ///< utilisation below this steps it down
+  double step_frac{0.05};       ///< table fraction moved per decision
+};
+
+struct ondemand_params {
+  double target_util{0.85};  ///< utilisation the busy-estimate aims for
+  double up_threshold{0.95};  ///< above this, jump straight to the upper rail
+  double decay{0.5};  ///< EWMA alpha smoothing the busy estimate (1 = raw)
+};
+
+struct powercap_params {
+  double target_w{0.0};      ///< watt target; 0 = take it from the sample
+  double deadband{0.05};     ///< +/- fraction around the target that holds
+  double step_frac{0.05};    ///< table fraction moved per corrective step
+};
+
+/// devfreq-style stepwise governor with a hysteresis deadband.
+class conservative_governor final : public governor {
+ public:
+  conservative_governor(gpusim::device_spec spec, conservative_params params = {});
+  [[nodiscard]] std::string name() const override { return "conservative"; }
+
+ protected:
+  [[nodiscard]] common::megahertz propose(const device_sample& sample) override;
+
+ private:
+  conservative_params params_;
+};
+
+/// Jump-to-busy-estimate governor with EWMA decay.
+class ondemand_governor final : public governor {
+ public:
+  ondemand_governor(gpusim::device_spec spec, ondemand_params params = {});
+  [[nodiscard]] std::string name() const override { return "ondemand"; }
+
+ protected:
+  [[nodiscard]] common::megahertz propose(const device_sample& sample) override;
+  void reset_policy_state() override;
+
+ private:
+  ondemand_params params_;
+  common::ewma estimate_;
+};
+
+/// Watt-target tracker: integrates with the facility power budget — the
+/// caller passes the per-device cap share (or the planner's predicted
+/// power, in hybrid mode) through device_sample::power_target_w.
+class powercap_tracker_governor final : public governor {
+ public:
+  powercap_tracker_governor(gpusim::device_spec spec, powercap_params params = {});
+  [[nodiscard]] std::string name() const override { return "powercap_tracker"; }
+
+  /// Install/replace the watt target (hybrid seeding sets the predicted
+  /// power here). Sample-level targets still take precedence.
+  void set_target_w(double w) { params_.target_w = w; }
+  [[nodiscard]] double target_w() const { return params_.target_w; }
+
+ protected:
+  [[nodiscard]] common::megahertz propose(const device_sample& sample) override;
+  void reset_policy_state() override;
+
+ private:
+  powercap_params params_;
+  common::ewma observed_;
+};
+
+/// Instantiate the policy named by `spec` over `device`. Unknown policies
+/// and unknown or out-of-range parameters fail with errc::invalid_argument
+/// (the CLI maps this to a usage error, exit 2).
+[[nodiscard]] common::result<std::unique_ptr<governor>> make_governor(
+    const governor_spec& spec, const gpusim::device_spec& device);
+
+}  // namespace synergy::governor

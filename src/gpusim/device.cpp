@@ -85,7 +85,8 @@ execution_record device::execute(const kernel_profile& profile) {
   record.cost = cost;
   record.config = config_;
 
-  append_segment_locked(cost.time, cost.avg_power, /*busy=*/true);
+  append_segment_locked(cost.time, cost.avg_power, /*busy=*/true,
+                        cost.compute_utilization);
   ++kernel_count_;
 
   // Per-kernel execution on the simulated device timeline (pid 2): the
@@ -196,10 +197,17 @@ power_trace device::trace_copy() const {
   return trace_;
 }
 
-void device::append_segment_locked(seconds duration, watts power, bool busy) {
-  trace_.append({clock_, duration, power, busy});
+void device::append_segment_locked(seconds duration, watts power, bool busy,
+                                   double utilization) {
+  trace_.append({clock_, duration, power, busy, utilization});
   clock_ += duration;
   energy_ += power * duration;
+}
+
+double device::windowed_utilization(seconds window) const {
+  std::scoped_lock lock(mutex_);
+  if (trace_.empty()) return 0.0;
+  return trace_.windowed_utilization(clock_, window);
 }
 
 }  // namespace synergy::gpusim

@@ -93,6 +93,12 @@ class device {
   /// Board power averaged over the trailing sensor window.
   [[nodiscard]] common::watts windowed_power(common::seconds window) const;
 
+  /// Pipeline utilisation averaged over the trailing sensor window: the
+  /// time-weighted mean of each trace segment's utilisation (a kernel's
+  /// compute utilisation while busy, 0 while idle). Feeds the reactive
+  /// governors' device_sample.
+  [[nodiscard]] double windowed_utilization(common::seconds window) const;
+
   /// Exact energy integral between two virtual timestamps.
   [[nodiscard]] common::joules energy_between(common::seconds from, common::seconds to) const;
 
@@ -141,7 +147,8 @@ class device {
   std::size_t kernel_count_{0};
   power_trace trace_;
 
-  void append_segment_locked(common::seconds duration, common::watts power, bool busy);
+  void append_segment_locked(common::seconds duration, common::watts power, bool busy,
+                             double utilization = 0.0);
 };
 
 }  // namespace synergy::gpusim

@@ -21,6 +21,10 @@ struct power_segment {
   common::seconds duration{0.0};
   common::watts power{0.0};
   bool busy{false};  ///< true while a kernel is resident
+  /// Pipeline utilisation during the segment: the resident kernel's compute
+  /// utilisation at its operating clock while busy, 0 while idle. This is
+  /// what the vendor utilisation sensors sample for reactive governors.
+  double utilization{0.0};
 
   [[nodiscard]] common::seconds end() const {
     return common::seconds{start.value + duration.value};
@@ -43,6 +47,15 @@ class power_trace {
   /// Average power over the trailing window [t - window, t]; models a sensor
   /// that can only report averages over its internal accumulation window.
   [[nodiscard]] common::watts windowed_average(common::seconds t, common::seconds window) const;
+
+  /// Fraction of [from, to] spent in busy segments, clipped to the recorded
+  /// range (0 when the interval is empty or entirely unrecorded).
+  [[nodiscard]] double busy_fraction(common::seconds from, common::seconds to) const;
+
+  /// Time-weighted mean segment utilisation over the trailing window
+  /// [t - window, t] — the utilisation counterpart of windowed_average,
+  /// feeding the reactive governors' device_sample.
+  [[nodiscard]] double windowed_utilization(common::seconds t, common::seconds window) const;
 
   [[nodiscard]] common::seconds end_time() const;
   [[nodiscard]] const std::vector<power_segment>& segments() const { return segments_; }

@@ -52,6 +52,36 @@ watts power_trace::windowed_average(seconds t, seconds window) const {
   return watts{energy_between(seconds{from}, t).value / span};
 }
 
+double power_trace::busy_fraction(seconds from, seconds to) const {
+  if (segments_.empty() || to.value <= from.value) return 0.0;
+  double busy = 0.0;
+  double covered = 0.0;
+  for (const power_segment& s : segments_) {
+    const double lo = std::max(from.value, s.start.value);
+    const double hi = std::min(to.value, s.end().value);
+    if (hi <= lo) continue;
+    covered += hi - lo;
+    if (s.busy) busy += hi - lo;
+  }
+  return covered > 0.0 ? busy / covered : 0.0;
+}
+
+double power_trace::windowed_utilization(seconds t, seconds window) const {
+  if (segments_.empty()) return 0.0;
+  double from = std::max(0.0, t.value - std::max(0.0, window.value));
+  if (from >= t.value) from = std::max(0.0, t.value - 1e-9);
+  double weighted = 0.0;
+  double covered = 0.0;
+  for (const power_segment& s : segments_) {
+    const double lo = std::max(from, s.start.value);
+    const double hi = std::min(t.value, s.end().value);
+    if (hi <= lo) continue;
+    covered += hi - lo;
+    weighted += s.utilization * (hi - lo);
+  }
+  return covered > 0.0 ? weighted / covered : 0.0;
+}
+
 seconds power_trace::end_time() const {
   return segments_.empty() ? seconds{0.0} : segments_.back().end();
 }

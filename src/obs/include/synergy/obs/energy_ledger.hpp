@@ -49,10 +49,12 @@ enum class cause : std::uint8_t {
   fault_degraded,    ///< ran at fallback clocks after persistent clock-set failure
   fault_wasted,      ///< partial executions killed by device loss, retry backoff burn
   idle,              ///< idle draw between kernels
+  governor,          ///< clocks chosen by a reactive governor after it
+                     ///< diverged from the seeded plan (hybrid drift chase)
   unattributed,      ///< no active attribution scope
 };
 
-inline constexpr std::size_t n_causes = 11;
+inline constexpr std::size_t n_causes = 12;
 
 [[nodiscard]] constexpr const char* to_string(cause c) {
   switch (c) {
@@ -66,6 +68,7 @@ inline constexpr std::size_t n_causes = 11;
     case cause::fault_degraded: return "fault_degraded";
     case cause::fault_wasted: return "fault_wasted";
     case cause::idle: return "idle";
+    case cause::governor: return "governor";
     case cause::unattributed: return "unattributed";
   }
   return "?";

@@ -216,6 +216,24 @@ result<watts> fault_injector::power_usage(std::size_t index) const {
   return r;
 }
 
+result<double> fault_injector::utilization(std::size_t index) const {
+  // Utilisation shares the power sensors' failure surface: dropouts and
+  // device loss apply; a stale fault serves the previous reading.
+  const auto d = decide(fault_op::power_read, index);
+  if (d.fail) return *d.fail;
+  if (d.stale) {
+    std::scoped_lock lock(mutex_);
+    if (const auto it = last_utilization_.find(index); it != last_utilization_.end())
+      return it->second;
+  }
+  auto r = inner_->utilization(index);
+  if (r.has_value()) {
+    std::scoped_lock lock(mutex_);
+    last_utilization_[index] = r.value();
+  }
+  return r;
+}
+
 result<joules> fault_injector::total_energy(std::size_t index) const {
   if (auto d = decide(fault_op::energy_read, index); d.fail) return *d.fail;
   return inner_->total_energy(index);

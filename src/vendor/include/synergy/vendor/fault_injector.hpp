@@ -109,6 +109,7 @@ class fault_injector final : public management_library {
                                   common::megahertz lo, common::megahertz hi) override;
   common::status clear_clock_bounds(const user_context& caller, std::size_t index) override;
   [[nodiscard]] common::result<common::watts> power_usage(std::size_t index) const override;
+  [[nodiscard]] common::result<double> utilization(std::size_t index) const override;
   [[nodiscard]] common::result<common::joules> total_energy(std::size_t index) const override;
   [[nodiscard]] std::shared_ptr<gpusim::device> board(std::size_t index) const override;
 
@@ -151,6 +152,7 @@ class fault_injector final : public management_library {
   mutable std::set<std::size_t> lost_;
   mutable std::vector<bool> schedule_fired_;
   mutable std::map<std::size_t, common::watts> last_power_;
+  mutable std::map<std::size_t, double> last_utilization_;
 };
 
 }  // namespace synergy::vendor

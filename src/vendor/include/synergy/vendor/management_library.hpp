@@ -19,11 +19,14 @@
 
 #include <atomic>
 #include <cstddef>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "synergy/common/error.hpp"
+#include "synergy/common/ewma.hpp"
 #include "synergy/common/units.hpp"
 #include "synergy/gpusim/device.hpp"
 
@@ -125,6 +128,25 @@ class management_library {
   /// virtual time all yield a finite, non-negative reading.
   [[nodiscard]] virtual common::result<common::watts> power_usage(std::size_t index) const = 0;
 
+  /// Windowed pipeline utilisation in [0, 1] (nvmlDeviceGetUtilizationRates /
+  /// rsmi busy-percent): time-weighted mean utilisation of the device trace
+  /// over the trailing sensor window. The default implementation derives it
+  /// from `board(index)`; decorators forward it through their fault/retry
+  /// machinery like any other sensor read. Feeds the reactive governors.
+  [[nodiscard]] virtual common::result<double> utilization(std::size_t index) const;
+
+  /// EWMA-smoothed board power: folds each `power_usage` reading (through
+  /// whatever decorator stack `this` is) into a per-device
+  /// `common::ewma` and returns the smoothed value. Smoothing state lives in
+  /// the outermost library object the caller holds; `reset_power_smoothing`
+  /// forgets it. Non-virtual by design — the raw read underneath stays the
+  /// decorated virtual path.
+  [[nodiscard]] common::result<common::watts> smoothed_power(std::size_t index) const;
+  void reset_power_smoothing() const;
+
+  /// EWMA alpha used by smoothed_power (default 0.25).
+  void set_power_smoothing_alpha(double alpha);
+
   /// Cumulative energy counter in joules (nvmlDeviceGetTotalEnergyConsumption);
   /// not all backends support it.
   [[nodiscard]] virtual common::result<common::joules> total_energy(std::size_t index) const = 0;
@@ -133,6 +155,11 @@ class management_library {
   /// equivalent of "the physical GPU"; used by the runtime to execute
   /// kernels, never by the SYnergy energy API).
   [[nodiscard]] virtual std::shared_ptr<gpusim::device> board(std::size_t index) const = 0;
+
+ private:
+  mutable std::mutex smoothing_mutex_;
+  mutable std::map<std::size_t, common::ewma> power_ewma_;
+  double smoothing_alpha_{0.25};
 };
 
 /// Shared plumbing for the emulated backends.
@@ -152,6 +179,7 @@ class management_library_base : public management_library {
   [[nodiscard]] common::result<common::frequency_config> application_clocks(
       std::size_t index) const override;
   [[nodiscard]] common::result<common::watts> power_usage(std::size_t index) const override;
+  [[nodiscard]] common::result<double> utilization(std::size_t index) const override;
   [[nodiscard]] std::shared_ptr<gpusim::device> board(std::size_t index) const override;
 
  protected:

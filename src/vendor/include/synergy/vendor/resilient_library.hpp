@@ -83,6 +83,7 @@ class resilient_library final : public management_library {
                                   common::megahertz lo, common::megahertz hi) override;
   common::status clear_clock_bounds(const user_context& caller, std::size_t index) override;
   [[nodiscard]] common::result<common::watts> power_usage(std::size_t index) const override;
+  [[nodiscard]] common::result<double> utilization(std::size_t index) const override;
   [[nodiscard]] common::result<common::joules> total_energy(std::size_t index) const override;
   [[nodiscard]] std::shared_ptr<gpusim::device> board(std::size_t index) const override;
 

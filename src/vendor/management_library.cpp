@@ -19,6 +19,36 @@ using common::result;
 using common::status;
 using common::watts;
 
+result<double> management_library::utilization(std::size_t index) const {
+  const auto dev = board(index);
+  if (!dev)
+    return error{errc::not_found, "device index " + std::to_string(index) + " out of range"};
+  const sensor_model defaults{};
+  const double u = dev->windowed_utilization(defaults.window);
+  return std::clamp(u, 0.0, 1.0);
+}
+
+result<watts> management_library::smoothed_power(std::size_t index) const {
+  auto raw = power_usage(index);
+  if (!raw.has_value()) return raw.err();
+  std::scoped_lock lock(smoothing_mutex_);
+  auto& smooth =
+      power_ewma_.try_emplace(index, common::ewma{smoothing_alpha_}).first->second;
+  smooth.observe(raw.value().value);
+  return watts{smooth.value()};
+}
+
+void management_library::reset_power_smoothing() const {
+  std::scoped_lock lock(smoothing_mutex_);
+  power_ewma_.clear();
+}
+
+void management_library::set_power_smoothing_alpha(double alpha) {
+  std::scoped_lock lock(smoothing_mutex_);
+  smoothing_alpha_ = alpha <= 0.0 ? 1e-3 : alpha > 1.0 ? 1.0 : alpha;
+  power_ewma_.clear();
+}
+
 management_library_base::management_library_base(
     std::vector<std::shared_ptr<gpusim::device>> boards, sensor_model sensor)
     : boards_(std::move(boards)), sensor_(sensor) {}
@@ -104,6 +134,16 @@ result<watts> management_library_base::power_usage(std::size_t index) const {
                   {"device", static_cast<double>(index)}, {"watts", reading.value},
                   {"sim_time_s", now});
   return reading;
+}
+
+result<double> management_library_base::utilization(std::size_t index) const {
+  if (auto st = check_index(index); !st) return st.err();
+  SYNERGY_COUNTER_ADD("vendor.utilization_samples", 1);
+  // Same sensor window as power: utilisation sensors accumulate over the
+  // same trailing interval, so sub-interval governor polls see a smoothed
+  // busy fraction, not per-kernel spikes.
+  const double u = boards_[index]->windowed_utilization(sensor_.window);
+  return std::clamp(u, 0.0, 1.0);
 }
 
 std::shared_ptr<gpusim::device> management_library_base::board(std::size_t index) const {

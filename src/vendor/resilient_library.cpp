@@ -215,6 +215,10 @@ result<watts> resilient_library::power_usage(std::size_t index) const {
   return execute(index, "power_usage", [&] { return inner_->power_usage(index); });
 }
 
+result<double> resilient_library::utilization(std::size_t index) const {
+  return execute(index, "utilization", [&] { return inner_->utilization(index); });
+}
+
 result<joules> resilient_library::total_energy(std::size_t index) const {
   return execute(index, "total_energy", [&] { return inner_->total_energy(index); });
 }

@@ -9,6 +9,7 @@
 
 #include "synergy/common/csv.hpp"
 #include "synergy/common/error.hpp"
+#include "synergy/common/ewma.hpp"
 #include "synergy/common/log.hpp"
 #include "synergy/common/rng.hpp"
 #include "synergy/common/stats.hpp"
@@ -420,4 +421,84 @@ TEST(Log, ConcurrentLoggingThroughCapturedSinkIsSerialised) {
 
   EXPECT_EQ(captured.size(), static_cast<std::size_t>(n_threads) * per_thread);
   for (const auto& m : captured) EXPECT_EQ(m.rfind("msg thread=", 0), 0u);
+}
+
+// ----------------------------------------------------------- smoothing ----
+
+TEST(Ewma, FirstObservationBecomesTheValueExactly) {
+  sc::ewma e{0.25, 100.0};  // seeded well away from the signal
+  EXPECT_TRUE(e.empty());
+  EXPECT_DOUBLE_EQ(e.value(), 100.0);
+  e.observe(4.0);
+  // No pull toward the seed on the first sample.
+  EXPECT_DOUBLE_EQ(e.value(), 4.0);
+  EXPECT_FALSE(e.empty());
+  e.observe(8.0);
+  EXPECT_DOUBLE_EQ(e.value(), 4.0 + 0.25 * (8.0 - 4.0));
+}
+
+TEST(Ewma, ResetReturnsToTheSeed) {
+  sc::ewma e{0.5, 7.0};
+  e.observe(1.0);
+  e.observe(2.0);
+  ASSERT_EQ(e.count(), 2u);
+  e.reset();
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.count(), 0u);
+  EXPECT_DOUBLE_EQ(e.value(), 7.0);
+  // Post-reset behaves like a fresh average: first sample becomes the value.
+  e.observe(3.0);
+  EXPECT_DOUBLE_EQ(e.value(), 3.0);
+}
+
+TEST(Ewma, OutOfRangeAlphaIsClampedIntoUnitInterval) {
+  EXPECT_DOUBLE_EQ(sc::ewma{2.0}.alpha(), 1.0);
+  EXPECT_GT(sc::ewma{-0.5}.alpha(), 0.0);
+  sc::ewma raw{5.0};  // clamps to 1: tracks the raw signal
+  raw.observe(1.0);
+  raw.observe(9.0);
+  EXPECT_DOUBLE_EQ(raw.value(), 9.0);
+}
+
+TEST(MovingAverage, PartialWindowDividesBySamplesSeen) {
+  sc::moving_average m{4};
+  EXPECT_TRUE(m.empty());
+  EXPECT_DOUBLE_EQ(m.value(), 0.0);
+  m.observe(10.0);
+  EXPECT_DOUBLE_EQ(m.value(), 10.0);  // 10/1, never 10/4
+  m.observe(20.0);
+  EXPECT_DOUBLE_EQ(m.value(), 15.0);
+  EXPECT_FALSE(m.full());
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(MovingAverage, FullWindowEvictsTheOldestSample) {
+  sc::moving_average m{3};
+  for (const double x : {1.0, 2.0, 3.0}) m.observe(x);
+  EXPECT_TRUE(m.full());
+  EXPECT_DOUBLE_EQ(m.value(), 2.0);
+  m.observe(10.0);  // evicts the 1.0
+  EXPECT_DOUBLE_EQ(m.value(), 5.0);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.count(), 4u);  // lifetime observations keep counting
+}
+
+TEST(MovingAverage, ResetEmptiesTheWindow) {
+  sc::moving_average m{3};
+  m.observe(5.0);
+  m.observe(7.0);
+  m.reset();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_DOUBLE_EQ(m.value(), 0.0);
+  m.observe(2.0);
+  EXPECT_DOUBLE_EQ(m.value(), 2.0);
+}
+
+TEST(MovingAverage, ZeroCapacityIsClampedToOne) {
+  sc::moving_average m{0};
+  EXPECT_EQ(m.capacity(), 1u);
+  m.observe(3.0);
+  m.observe(9.0);
+  EXPECT_DOUBLE_EQ(m.value(), 9.0);  // window of one: latest sample only
 }

@@ -537,3 +537,44 @@ TEST(PowerManager, NodeLeavingMidRebalanceRedistributes) {
   ASSERT_EQ(pm.node_caps().size(), 2u);
   EXPECT_GT(pm.node_caps()[0], 1000.0);  // > old fair share
 }
+
+TEST(PowerManager, ZeroTotalDemandCollapsesEveryCapToTheFloor) {
+  ss::controller ctl({capable_node("gn01"), capable_node("gn02")});
+  ss::power_manager pm{ctl, 2000.0};
+
+  // Every node reports zero demand (all boards parked, host draw already
+  // folded out by the caller): each cap collapses to demand x 1.05 = 0 and
+  // the GPU clock bounds land on the table floor — never a divide-by-zero
+  // or a negative budget.
+  pm.rebalance_with_demand({0.0, 0.0});
+  ASSERT_EQ(pm.node_caps().size(), 2u);
+  EXPECT_DOUBLE_EQ(pm.node_caps()[0], 0.0);
+  EXPECT_DOUBLE_EQ(pm.node_caps()[1], 0.0);
+
+  for (std::size_t ni = 0; ni < ctl.node_count(); ++ni) {
+    auto& n = ctl.node_at(ni);
+    for (const auto& dev : n.devices()) {
+      const auto binding = n.ctx()->bind(dev);
+      const auto& spec = dev.spec();
+      const auto floor =
+          binding.library->set_application_clocks(sv::user_context::root(), binding.index,
+                                                  {spec.default_config().memory,
+                                                   spec.min_core_clock()});
+      EXPECT_TRUE(floor.ok());
+      const auto above =
+          binding.library->set_application_clocks(sv::user_context::root(), binding.index,
+                                                  {spec.default_config().memory,
+                                                   spec.core_clocks.at(1)});
+      EXPECT_FALSE(above.ok());
+    }
+  }
+
+  // A later non-zero sample restores budget: the bounds must reopen.
+  pm.rebalance_with_demand({900.0, 900.0});
+  auto& n0 = ctl.node_at(0);
+  const auto binding = n0.ctx()->bind(n0.devices()[0]);
+  EXPECT_TRUE(binding.library
+                  ->set_application_clocks(sv::user_context::root(), binding.index,
+                                           n0.devices()[0].spec().default_config())
+                  .ok());
+}

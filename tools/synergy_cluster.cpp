@@ -55,6 +55,16 @@
 ///                          for wasted energy, energy-per-job regression,
 ///                          quarantine dwell, and (with --models) fallback
 ///                          ratio
+///   --governor SPEC        run every placed job under a reactive governor:
+///                          conservative | ondemand | powercap_tracker, or
+///                          hybrid[-<policy>] to seed from the planner's
+///                          prediction; append :key=val,... for tunables
+///                          (e.g. hybrid:deadband=0.05)
+///   --governor-tick S      governor poll cadence in virtual seconds
+///                          (default 0.25)
+///
+/// Exit status: 0 on success, 1 on operational failure (unreadable files,
+/// simulation errors), 2 on a usage error (unknown flag, malformed value).
 
 #include <cstdio>
 #include <fstream>
@@ -66,6 +76,7 @@
 #include <string>
 
 #include "synergy/cluster/simulator.hpp"
+#include "synergy/governor/governor.hpp"
 #include "synergy/guarded_planner.hpp"
 #include "synergy/lifecycle/lifecycle_manager.hpp"
 #include "synergy/obs/slo_watchdog.hpp"
@@ -89,7 +100,8 @@ int usage(int code) {
          "                       [--drift SKEW] [--drift-at S] [--drift-gamma G]\n"
          "                       [--lifecycle DIR] [--lifecycle-history]\n"
          "                       [--obs-out PREFIX] [--obs-interval S]\n"
-         "                       [--slo-rules FILE]\n";
+         "                       [--slo-rules FILE]\n"
+         "                       [--governor SPEC] [--governor-tick S]\n";
   return code;
 }
 
@@ -110,7 +122,11 @@ int main(int argc, char** argv) {
   std::string obs_out;
   double obs_interval = 5.0;
   std::string slo_rules_file;
+  std::string governor_arg;
+  double governor_tick = 0.25;
 
+  // Parse phase: any malformed flag or value is a usage error (exit 2);
+  // operational failures below exit 1.
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -153,13 +169,44 @@ int main(int argc, char** argv) {
       else if (arg == "--obs-out") obs_out = value();
       else if (arg == "--obs-interval") obs_interval = std::stod(value());
       else if (arg == "--slo-rules") slo_rules_file = value();
+      else if (arg == "--governor") governor_arg = value();
+      else if (arg == "--governor-tick") governor_tick = std::stod(value());
       else if (arg == "--help" || arg == "-h") return usage(0);
       else {
         std::cerr << "error: unknown argument " << arg << '\n';
-        return usage(1);
+        return usage(2);
       }
     }
+    if (!(governor_tick > 0.0)) {
+      std::cerr << "error: --governor-tick must be > 0\n";
+      return usage(2);
+    }
+    if (!governor_arg.empty()) {
+      auto spec = synergy::governor::parse_governor_spec(governor_arg);
+      if (!spec.has_value()) {
+        std::cerr << "error: --governor " << governor_arg << ": "
+                  << spec.err().message << '\n';
+        return usage(2);
+      }
+      // Vocabulary check against the real device so unknown/out-of-range
+      // tunables fail here, not mid-run.
+      const auto probe = synergy::governor::make_governor(
+          spec.value(), synergy::gpusim::make_device_spec(cluster.device));
+      if (!probe.has_value()) {
+        std::cerr << "error: --governor " << governor_arg << ": "
+                  << probe.err().message << '\n';
+        return usage(2);
+      }
+      cluster.governor.enabled = true;
+      cluster.governor.spec = std::move(spec).value();
+      cluster.governor.tick_interval_s = governor_tick;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return usage(2);
+  }
 
+  try {
     sc::job_trace trace;
     if (!trace_in.empty()) {
       std::ifstream in{trace_in};
@@ -276,7 +323,9 @@ int main(int argc, char** argv) {
                   << (slo_rules_file.empty() ? std::string{"built-in SLO rules"}
                                              : slo_rules_file)
                   << ": " << rules.err().to_string() << '\n';
-        return 1;
+        // Malformed rule text is a usage error like any other bad value;
+        // an unreadable file (above) stays an operational failure.
+        return usage(2);
       }
 
       // The ledger is process-global; start this run's attribution from zero.

@@ -85,13 +85,21 @@ int main(int argc, char** argv) {
 
     std::vector<sm::target> targets;
     std::string out_file;
-    for (int i = 3; i < argc; ++i) {
-      const std::string arg = argv[i];
-      if (arg == "--out" && i + 1 < argc) {
-        out_file = argv[++i];
-      } else {
-        targets.push_back(sm::target::parse(arg));
+    try {
+      for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+          out_file = argv[++i];
+        } else {
+          targets.push_back(sm::target::parse(arg));
+        }
       }
+    } catch (const std::exception& e) {
+      // Malformed target names are usage errors (exit 2), in contrast to
+      // the operational failures the outer handler maps to exit 1.
+      std::cerr << "error: " << e.what() << '\n'
+                << "usage: synergy_plan <device> <model-dir> [targets...] [--out <file>]\n";
+      return 2;
     }
     if (targets.empty())
       targets = {sm::MIN_EDP, sm::MIN_ED2P, sm::ES_25, sm::ES_50, sm::PL_25, sm::PL_50};

@@ -17,6 +17,9 @@
 ///                    sections, and per-cause attribution summing to the
 ///                    ledger total within 0.1%; exit 0 when sound, 2 on a
 ///                    violation, 1 on a read/parse error
+///
+/// Usage errors (unknown flag, malformed value, missing path) print the
+/// usage line to stderr and exit 2.
 
 #include <algorithm>
 #include <chrono>
@@ -229,18 +232,18 @@ int main(int argc, char** argv) {
       else if (arg == "--help" || arg == "-h") return usage(0);
       else if (!arg.empty() && arg[0] == '-') {
         std::cerr << "error: unknown argument " << arg << '\n';
-        return usage(1);
+        return usage(2);
       } else if (path.empty()) path = arg;
       else {
         std::cerr << "error: more than one snapshot path\n";
-        return usage(1);
+        return usage(2);
       }
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
-    return 1;
+    return usage(2);
   }
-  if (path.empty()) return usage(1);
+  if (path.empty()) return usage(2);
   if (iterations < 0) iterations = watch_s > 0.0 ? -1 : 1;
 
   obs::json::value prev;

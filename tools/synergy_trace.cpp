@@ -24,16 +24,26 @@
 ///   --log-tap         mirror log records into the trace
 ///   --obs-out PREFIX  also export the energy-attribution ledger as
 ///                     PREFIX.json / PREFIX.prom snapshots
+///   --governor SPEC   attach a reactive governor to every queue submission:
+///                     conservative | ondemand | powercap_tracker, or
+///                     hybrid[-<policy>] to seed from the resolved target's
+///                     plan; append :key=val,... for tunables
 ///   benchmarks        subset of the suite to run (default: first 6)
+///
+/// Exit status: 0 on success, 1 on operational failure (unwritable outputs),
+/// 2 on a usage error (unknown flag, malformed value).
 
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <iostream>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "synergy/cluster/simulator.hpp"
+#include "synergy/governor/governor.hpp"
 #include "synergy/obs/snapshot.hpp"
 #include "synergy/sched/controller.hpp"
 #include "synergy/synergy.hpp"
@@ -50,7 +60,8 @@ namespace {
 
 void run_queue_workload(const std::string& device, const sm::target& target,
                         const std::vector<std::string>& names, double fault_rate,
-                        std::uint64_t fault_seed) {
+                        std::uint64_t fault_seed,
+                        const std::optional<synergy::governor::governor_spec>& gov) {
   simsycl::device dev{synergy::gpusim::make_device_spec(device)};
   std::shared_ptr<synergy::context> ctx;
   if (fault_rate > 0.0) {
@@ -73,6 +84,10 @@ void run_queue_workload(const std::string& device, const sm::target& target,
   ctx->set_user(synergy::vendor::user_context::root());
   synergy::queue q{dev, ctx};
   q.set_target(target);
+  if (gov) {
+    if (const auto st = q.set_governor(*gov); !st.ok())
+      throw std::runtime_error("--governor: " + st.err().to_string());
+  }
   for (const auto& name : names) {
     const auto& bench = sw::find(name);
     auto e = bench.run(q);
@@ -83,6 +98,9 @@ void run_queue_workload(const std::string& device, const sm::target& target,
     (void)binding.library->power_usage(binding.index);
   }
   q.print_energy_report(std::cout);
+  if (gov)
+    std::cout << "governor " << gov->to_string() << ": " << q.governor_decisions()
+              << " decision(s), " << q.governor_clock_changes() << " clock change(s)\n";
   if (fault_rate > 0.0) {
     std::cout << "fault injection: " << q.degraded_submissions()
               << " degraded submissions";
@@ -145,6 +163,16 @@ void run_cluster_sim(const std::string& device, const std::string& target_name,
   summary.print(std::cout);
 }
 
+int usage(int code) {
+  (code ? std::cerr : std::cout)
+      << "usage: synergy_trace [--device D] [--target T] [--out F] [--csv F]\n"
+         "                     [--capacity N] [--no-cluster] [--no-cluster-sim]\n"
+         "                     [--faults R] [--fault-seed S]\n"
+         "                     [--log-tap] [--obs-out PREFIX] [--governor SPEC]\n"
+         "                     [benchmark names...]\n";
+  return code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -157,38 +185,64 @@ int main(int argc, char** argv) {
   double fault_rate = 0.0;
   std::uint64_t fault_seed = 0x5fa017u;
   std::string obs_out;
+  std::string governor_arg;
+  std::optional<synergy::governor::governor_spec> governor_spec;
   std::vector<std::string> names;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--device" && i + 1 < argc) device = argv[++i];
-    else if (arg == "--target" && i + 1 < argc) target_name = argv[++i];
-    else if (arg == "--faults" && i + 1 < argc) fault_rate = std::stod(argv[++i]);
-    else if (arg == "--fault-seed" && i + 1 < argc) fault_seed = std::stoull(argv[++i]);
-    else if (arg == "--out" && i + 1 < argc) out_file = argv[++i];
-    else if (arg == "--csv" && i + 1 < argc) csv_file = argv[++i];
-    else if (arg == "--capacity" && i + 1 < argc)
-      tel::trace_recorder::instance().set_capacity(
-          static_cast<std::size_t>(std::stoul(argv[++i])));
-    else if (arg == "--no-cluster") cluster = false;
-    else if (arg == "--no-cluster-sim") cluster_sim = false;
-    else if (arg == "--log-tap") tel::install_log_tap();
-    else if (arg == "--obs-out" && i + 1 < argc) obs_out = argv[++i];
-    else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: synergy_trace [--device D] [--target T] [--out F] [--csv F]\n"
-                   "                     [--capacity N] [--no-cluster] [--no-cluster-sim]\n"
-                   "                     [--faults R] [--fault-seed S]\n"
-                   "                     [--log-tap] [--obs-out PREFIX]\n"
-                   "                     [benchmark names...]\n";
-      return 0;
-    } else {
-      names.push_back(arg);
+  // Parse phase: unknown flags and malformed values are usage errors (exit
+  // 2); bare words are benchmark names. Operational failures below exit 1.
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
+        return argv[++i];
+      };
+      if (arg == "--device") device = value();
+      else if (arg == "--target") target_name = value();
+      else if (arg == "--faults") fault_rate = std::stod(value());
+      else if (arg == "--fault-seed") fault_seed = std::stoull(value());
+      else if (arg == "--out") out_file = value();
+      else if (arg == "--csv") csv_file = value();
+      else if (arg == "--capacity")
+        tel::trace_recorder::instance().set_capacity(
+            static_cast<std::size_t>(std::stoul(value())));
+      else if (arg == "--no-cluster") cluster = false;
+      else if (arg == "--no-cluster-sim") cluster_sim = false;
+      else if (arg == "--log-tap") tel::install_log_tap();
+      else if (arg == "--obs-out") obs_out = value();
+      else if (arg == "--governor") governor_arg = value();
+      else if (arg == "--help" || arg == "-h") return usage(0);
+      else if (arg.rfind("--", 0) == 0) {
+        std::cerr << "error: unknown argument " << arg << '\n';
+        return usage(2);
+      } else {
+        names.push_back(arg);
+      }
     }
-  }
-
-  if (fault_rate < 0.0 || fault_rate > 1.0) {
-    std::cerr << "synergy_trace: --faults rate must be in [0,1], got " << fault_rate << '\n';
-    return 1;
+    if (fault_rate < 0.0 || fault_rate > 1.0) {
+      std::cerr << "error: --faults rate must be in [0,1], got " << fault_rate << '\n';
+      return usage(2);
+    }
+    if (!governor_arg.empty()) {
+      auto spec = synergy::governor::parse_governor_spec(governor_arg);
+      if (!spec.has_value()) {
+        std::cerr << "error: --governor " << governor_arg << ": "
+                  << spec.err().message << '\n';
+        return usage(2);
+      }
+      const auto probe = synergy::governor::make_governor(
+          spec.value(), synergy::gpusim::make_device_spec(device));
+      if (!probe.has_value()) {
+        std::cerr << "error: --governor " << governor_arg << ": "
+                  << probe.err().message << '\n';
+        return usage(2);
+      }
+      governor_spec = std::move(spec).value();
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return usage(2);
   }
 
   try {
@@ -199,7 +253,7 @@ int main(int argc, char** argv) {
       names.assign(all.begin(), all.begin() + std::min<std::size_t>(6, all.size()));
     }
 
-    run_queue_workload(device, target, names, fault_rate, fault_seed);
+    run_queue_workload(device, target, names, fault_rate, fault_seed, governor_spec);
     if (cluster) run_cluster_job(device, target, names);
     if (cluster_sim) run_cluster_sim(device, target.to_string(), names);
 
