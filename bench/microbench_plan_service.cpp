@@ -1,0 +1,220 @@
+/// microbench_plan_service — throughput and parity gate for the plan service.
+///
+/// The planner-as-a-service refactor claims three things, and this benchmark
+/// holds CI to all of them (EXPERIMENTS.md records the measured numbers):
+///
+///   1. Byte-identical decisions. Every request resolved through the service
+///      — single, cached, batched, or deduplicated — must equal the decision
+///      the bare degradation chain produces for the same request. Any
+///      mismatch exits 1 immediately; a cache that changes clocks is a
+///      correctness bug, not a performance trade.
+///   2. Serviced single-plan throughput at least matches the bare chain
+///      (the pre-service baseline): the generation-checked cache lookup must
+///      pay for itself on repeat traffic.
+///   3. Batched resolution reaches at least `--min-batch-speedup` times the
+///      bare chain's single-plan throughput (default 5x): in-batch
+///      deduplication plus one guardrail pass per batch is the scaling
+///      story, so a regression here is a gate failure (exit 1).
+///
+/// Timed regions auto-size to ~0.25s and take the best of `--reps` passes,
+/// so scheduler contamination inflates nothing that can cause a false PASS.
+///
+/// Usage: microbench_plan_service [--reps N] [--batch N] [--min-batch-speedup X]
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "synergy/common/rng.hpp"
+#include "synergy/plan_service.hpp"
+#include "synergy/synergy.hpp"
+#include "synergy/workloads/benchmark.hpp"
+
+namespace sm = synergy::metrics;
+namespace gs = synergy::gpusim;
+namespace sw = synergy::workloads;
+
+using synergy::guarded_planner;
+using synergy::plan_request;
+using synergy::plan_service;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool same_decision(const synergy::plan_decision& a, const synergy::plan_decision& b) {
+  return a.config.core.value == b.config.core.value &&
+         a.config.memory.value == b.config.memory.value && a.tier == b.tier &&
+         a.ood == b.ood && a.clamped == b.clamped && a.probe == b.probe &&
+         a.reason == b.reason;
+}
+
+/// Every suite kernel crossed with the paper's targets: the realistic key
+/// space a queue or cluster admission round resolves over.
+std::vector<plan_request> request_pool() {
+  std::vector<plan_request> pool;
+  for (const auto& b : sw::suite())
+    for (const auto& target : {sm::ES_50, sm::ES_25, sm::MIN_EDP, sm::MIN_ED2P})
+      pool.push_back({b.info.name, b.info.features, target});
+  return pool;
+}
+
+/// Best-of-`reps` requests/sec of `fn(pass_index)`, where one call resolves
+/// `per_call` requests. Regions auto-size to ~0.25s.
+template <typename Fn>
+double requests_per_s(int reps, std::size_t per_call, Fn&& fn) {
+  // Calibrate: how many calls fill a region?
+  const double t0 = now_s();
+  fn(0);
+  const double once = std::max(now_s() - t0, 1e-9);
+  const auto calls = static_cast<std::size_t>(std::fmax(1.0, 0.25 / once));
+
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const double start = now_s();
+    for (std::size_t c = 0; c < calls; ++c) fn(static_cast<int>(c));
+    const double elapsed = now_s() - start;
+    best = std::fmax(best, static_cast<double>(calls * per_call) / elapsed);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 5;
+  std::size_t batch_size = 64;
+  double min_batch_speedup = 5.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--reps" && i + 1 < argc) reps = std::stoi(argv[++i]);
+    else if (arg == "--batch" && i + 1 < argc) batch_size = std::stoul(argv[++i]);
+    else if (arg == "--min-batch-speedup" && i + 1 < argc)
+      min_batch_speedup = std::stod(argv[++i]);
+    else {
+      std::fprintf(stderr,
+                   "usage: microbench_plan_service [--reps N] [--batch N] "
+                   "[--min-batch-speedup X]\n");
+      return 2;
+    }
+  }
+
+  // A fully-tiered chain: trained models, a tuning-table entry per (kernel,
+  // target) so the fallback tier is real, defaults underneath.
+  const auto spec = gs::make_v100();
+  synergy::trainer_options topt;
+  topt.n_microbenchmarks = 24;
+  topt.freq_samples = 12;
+  topt.repetitions = 1;
+  synergy::model_trainer trainer{spec, topt};
+  auto planner =
+      std::make_shared<const synergy::frequency_planner>(spec, trainer.train_default());
+
+  auto table = std::make_shared<synergy::tuning_table>();
+  table->set_device_key(spec.name);
+  const auto mid = spec.core_clocks[spec.core_clocks.size() / 2];
+  for (const auto& b : sw::suite())
+    for (const auto& target : {sm::ES_50, sm::ES_25, sm::MIN_EDP, sm::MIN_ED2P})
+      table->put(b.info.name, target, {spec.memory_clock, mid});
+
+  guarded_planner chain{spec, planner, table};  // the pre-service baseline path
+  plan_service service{std::make_shared<guarded_planner>(spec, planner, table)};
+
+  const auto pool = request_pool();
+  std::printf("pool: %zu unique (kernel, target) requests, batch size %zu\n", pool.size(),
+              batch_size);
+
+  // ---- parity: serviced and batched decisions equal the bare chain's ------
+  std::vector<synergy::plan_decision> canonical;
+  canonical.reserve(pool.size());
+  for (const auto& req : pool)
+    canonical.push_back(chain.plan(req.kernel, req.features, req.target));
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const auto sp = service.plan(pool[i].kernel, pool[i].features, pool[i].target);
+    if (!same_decision(sp.decision, canonical[i])) {
+      std::fprintf(stderr, "FAIL: serviced decision diverges from the chain for %s/%s\n",
+                   pool[i].kernel.c_str(), pool[i].target.to_string().c_str());
+      return 1;
+    }
+    const auto again = service.plan(pool[i].kernel, pool[i].features, pool[i].target);
+    if (!again.cache_hit || !same_decision(again.decision, canonical[i])) {
+      std::fprintf(stderr, "FAIL: cached decision diverges for %s/%s\n",
+                   pool[i].kernel.c_str(), pool[i].target.to_string().c_str());
+      return 1;
+    }
+  }
+  {
+    plan_service fresh{std::make_shared<guarded_planner>(spec, planner, table)};
+    const auto batched = fresh.plan_batch(pool);
+    for (std::size_t i = 0; i < pool.size(); ++i)
+      if (!same_decision(batched[i].decision, canonical[i])) {
+        std::fprintf(stderr, "FAIL: batched decision diverges for %s/%s\n",
+                     pool[i].kernel.c_str(), pool[i].target.to_string().c_str());
+        return 1;
+      }
+  }
+  std::printf("parity: %zu requests byte-identical across chain / service / batch\n",
+              pool.size());
+
+  // ---- throughput ---------------------------------------------------------
+  // Deterministic request mix: uniform draws over the pool, the shape of a
+  // steady-state admission stream (many jobs, few distinct kernels).
+  synergy::common::pcg32 rng{2026};
+  std::vector<std::size_t> mix(8192);
+  for (auto& m : mix) m = rng.bounded(static_cast<std::uint32_t>(pool.size()));
+
+  std::size_t cursor = 0;
+  const double chain_rps = requests_per_s(reps, 64, [&](int) {
+    for (int i = 0; i < 64; ++i) {
+      const auto& req = pool[mix[cursor++ % mix.size()]];
+      (void)chain.plan(req.kernel, req.features, req.target);
+    }
+  });
+  cursor = 0;
+  const double serviced_rps = requests_per_s(reps, 64, [&](int) {
+    for (int i = 0; i < 64; ++i) {
+      const auto& req = pool[mix[cursor++ % mix.size()]];
+      (void)service.plan(req.kernel, req.features, req.target);
+    }
+  });
+  std::vector<plan_request> batch(batch_size);
+  cursor = 0;
+  const double batch_rps = requests_per_s(reps, batch_size, [&](int) {
+    for (auto& b : batch) b = pool[mix[cursor++ % mix.size()]];
+    (void)service.plan_batch(batch);
+  });
+
+  const double single_ratio = chain_rps > 0.0 ? serviced_rps / chain_rps : 0.0;
+  const double batch_ratio = chain_rps > 0.0 ? batch_rps / chain_rps : 0.0;
+  std::printf("single-plan (bare chain, pre-service baseline): %12.0f requests/sec\n",
+              chain_rps);
+  std::printf("single-plan (plan service, cached):             %12.0f requests/sec (%.2fx)\n",
+              serviced_rps, single_ratio);
+  std::printf("batched     (plan service, batch=%3zu):          %12.0f requests/sec (%.2fx)\n",
+              batch_size, batch_rps, batch_ratio);
+
+  // ---- gates --------------------------------------------------------------
+  if (serviced_rps < chain_rps) {
+    std::fprintf(stderr,
+                 "FAIL: serviced single-plan throughput (%.0f rps) is below the bare-chain "
+                 "baseline (%.0f rps)\n",
+                 serviced_rps, chain_rps);
+    return 1;
+  }
+  if (batch_ratio < min_batch_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: batched throughput is %.2fx the single-plan baseline; the gate "
+                 "requires >= %.1fx\n",
+                 batch_ratio, min_batch_speedup);
+    return 1;
+  }
+  std::printf("PASS: single >= baseline, batch >= %.1fx baseline\n", min_batch_speedup);
+  return 0;
+}

@@ -26,6 +26,7 @@
 #include "synergy/cluster/job_trace.hpp"
 #include "synergy/common/units.hpp"
 #include "synergy/metrics/energy_metrics.hpp"
+#include "synergy/obs/energy_ledger.hpp"
 
 namespace synergy::cluster {
 
@@ -63,10 +64,15 @@ struct cluster_view {
 };
 
 /// A policy's verdict: the slots to occupy and the clocks to run at
-/// (nullopt config = driver-default application clocks).
+/// (nullopt config = driver-default application clocks). `plan_cause` names
+/// the chain tier that priced the clocks — the simulator tags the job's
+/// joules with it, so the attribution travels with the placement instead of
+/// being read back from planner state after the fact (which raced once plans
+/// were served concurrently).
 struct placement {
   std::vector<gpu_slot> gpus;
   std::optional<common::frequency_config> config;
+  obs::cause plan_cause{obs::cause::oracle};
 };
 
 /// Job as the policy sees it: the trace row plus the simulator's runtime
@@ -90,11 +96,23 @@ class scheduling_policy {
   [[nodiscard]] virtual bool backfills() const { return false; }
 };
 
+/// A resolved frequency plan plus the attribution cause of the tier that
+/// produced it. Implicitly constructible from a bare frequency_config
+/// (attributed to the oracle) so simple resolvers — oracle tables, test
+/// lambdas — keep returning configs directly.
+struct planned_clocks {
+  common::frequency_config config;
+  obs::cause cause{obs::cause::oracle};
+  planned_clocks(common::frequency_config c, obs::cause why = obs::cause::oracle)
+      : config(c), cause(why) {}
+};
+
 /// Resolve (kernel, target) to a frequency plan. The simulator backs this
-/// with the compiled tuning table and the oracle planner; tests may inject
-/// anything.
-using plan_fn = std::function<common::frequency_config(const std::string& kernel,
-                                                       const metrics::target& target)>;
+/// with the compiled tuning table and the oracle planner, or with the
+/// guarded plan service (which reports the degradation tier per decision);
+/// tests may inject anything.
+using plan_fn = std::function<planned_clocks(const std::string& kernel,
+                                             const metrics::target& target)>;
 
 [[nodiscard]] std::unique_ptr<scheduling_policy> make_fifo();
 [[nodiscard]] std::unique_ptr<scheduling_policy> make_easy_backfill();

@@ -35,6 +35,7 @@
 
 namespace synergy {
 class guarded_planner;  // core guardrail chain (synergy/guarded_planner.hpp)
+class plan_service;     // concurrent plan cache over the chain (synergy/plan_service.hpp)
 }
 
 namespace synergy::obs {
@@ -377,6 +378,10 @@ class simulator {
 struct guarded_suite_planner {
   plan_fn plan;                              ///< resolver for scheduling policies
   std::shared_ptr<guarded_planner> guard;    ///< shared rail state
+  /// Plan service fronting `guard`: generation-keyed decision cache (healthy
+  /// tiers only — quarantined decisions flow through so probe cadence stays
+  /// per-admission) and the batch resolution API.
+  std::shared_ptr<plan_service> service;
   bool model_loaded{false};  ///< model tier active (structured load verified)
   std::string load_summary;  ///< per-file diagnostics when it is not
 };

@@ -91,16 +91,20 @@ class energy_aware_policy final : public scheduling_policy {
     // chain and the job opted into a target (Sec. 7.2: no privileges, no
     // clock change — the job runs at defaults).
     std::optional<common::frequency_config> config;
+    obs::cause cause = obs::cause::oracle;
     const std::string target_name =
         override_ ? override_->to_string() : job.job.target;
     const bool wants_tuning = target_name != "default" && !target_name.empty();
     const bool all_capable =
         std::all_of(slots->begin(), slots->end(),
                     [&](const gpu_slot& s) { return view.nodes[s.node].freq_capable; });
-    if (wants_tuning && all_capable && plan_)
-      config = plan_(job.job.kernel, metrics::target::parse(target_name));
+    if (wants_tuning && all_capable && plan_) {
+      const planned_clocks planned = plan_(job.job.kernel, metrics::target::parse(target_name));
+      config = planned.config;
+      cause = planned.cause;
+    }
 
-    return placement{std::move(*slots), config};
+    return placement{std::move(*slots), config, cause};
   }
 
  private:

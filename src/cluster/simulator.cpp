@@ -16,6 +16,7 @@
 #include "synergy/lifecycle/lifecycle_manager.hpp"
 #include "synergy/model_store.hpp"
 #include "synergy/obs/slo_watchdog.hpp"
+#include "synergy/plan_service.hpp"
 #include "synergy/sched/plugin.hpp"
 #include "synergy/telemetry/telemetry.hpp"
 #include "synergy/tuning_table.hpp"
@@ -255,24 +256,12 @@ void simulator::start(std::size_t queue_index, const placement& pl) {
   r.core_mhz = config.core.value;
 
   // Attribute the job's joules to the decision that priced its clocks. The
-  // scheduling policy plans immediately before returning a placement, so
-  // the guard's last decision is this placement's. Overrides, strongest
-  // last: a cap demotion re-priced the clocks, and a clock-set fault means
-  // the job actually ran at fallback clocks.
-  obs::cause why = obs::cause::default_clocks;
-  if (pl.config) {
-    const guarded_planner* g =
-        attribution_guard_ ? attribution_guard_.get() : recovery_guard_.get();
-    if (g) {
-      const auto& d = g->last_decision();
-      why = d.probe                             ? obs::cause::quarantine_probe
-            : d.tier == plan_tier::model        ? obs::cause::model
-            : d.tier == plan_tier::tuning_table ? obs::cause::tuning_table
-                                                : obs::cause::default_clocks;
-    } else {
-      why = obs::cause::oracle;
-    }
-  }
+  // cause travels with the placement (the plan service reported the tier
+  // with the decision itself), so attribution no longer reads mutable
+  // planner state after the fact. Overrides, strongest last: a cap demotion
+  // re-priced the clocks, and a clock-set fault means the job actually ran
+  // at fallback clocks.
+  obs::cause why = pl.config ? pl.plan_cause : obs::cause::default_clocks;
   if (r.demoted) why = obs::cause::cap_demoted;
   if (r.clock_set_failed) why = obs::cause::fault_degraded;
   if (watchdog_) watchdog_->observe_plan(why == obs::cause::model);
@@ -938,8 +927,17 @@ guarded_suite_planner make_guarded_suite_planner(const std::string& device,
                      "' unusable; planning from the tuning-table tier\n", out.load_summary);
   }
   out.guard = std::make_shared<guarded_planner>(spec, std::move(planner), std::move(table));
-  out.plan = [guard = out.guard](const std::string& kernel, const metrics::target& target) {
-    return guard->plan(kernel, workloads::find(kernel).info.features, target).config;
+  // The service fronts the shared guard with its generation-keyed cache.
+  // Quarantined decisions flow through uncached so the per-admission probe
+  // cadence (and quarantine accounting) stays exactly what the bare chain
+  // would produce; healthy decisions are served from the cache until a
+  // promotion or quarantine transition bumps the chain generation.
+  plan_service_options service_opts;
+  service_opts.cache_quarantined = false;
+  out.service = std::make_shared<plan_service>(out.guard, service_opts);
+  out.plan = [service = out.service](const std::string& kernel, const metrics::target& target) {
+    const auto sp = service->plan(kernel, workloads::find(kernel).info.features, target);
+    return planned_clocks{sp.decision.config, plan_cause(sp.decision)};
   };
   return out;
 }

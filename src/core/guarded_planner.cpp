@@ -20,7 +20,7 @@ guarded_planner::guarded_planner(gpusim::device_spec spec,
 
 plan_decision guarded_planner::plan(const std::string& kernel,
                                     const gpusim::static_features& k,
-                                    const metrics::target& target) {
+                                    const metrics::target& target) const {
 #if SYNERGY_TELEMETRY_ENABLED
   // Plan latency feeds the snapshot's p50/p99 (wall clock, so the
   // instrument is on the exporter's volatile list — Prometheus only).
@@ -35,62 +35,15 @@ plan_decision guarded_planner::plan(const std::string& kernel,
     }
   } probe_latency;
 #endif
-  last_ = plan_impl(kernel, k, target);
-  return last_;
+  return plan_impl(kernel, k, target);
 }
 
-plan_decision guarded_planner::plan_impl(const std::string& kernel,
-                                         const gpusim::static_features& k,
-                                         const metrics::target& target) {
-  SYNERGY_COUNTER_ADD("planner.plans", 1);
-  plan_decision out;
-
-  // Tier 1: the guarded model.
-  bool probe = false;
-  if (planner_) {
-    if (drift_.quarantined()) {
-      ++quarantine_rejections_;
-      SYNERGY_COUNTER_ADD("planner.quarantine_rejections", 1);
-      out.reason = "model set quarantined: " + drift_.quarantine_reason();
-      // A deterministic minority of quarantined plans skips the table tier
-      // so retraining evidence gains default-clock samples (see
-      // set_quarantine_probe_every).
-      probe = quarantine_probe_every_ > 0 &&
-              quarantine_rejections_ % quarantine_probe_every_ == 0;
-      if (probe) {
-        ++quarantine_probes_;
-        out.probe = true;
-        SYNERGY_COUNTER_ADD("planner.quarantine_probes", 1);
-      }
-    } else {
-      auto guarded = planner_->plan_guarded(k, target);
-      out.ood = guarded.ood;
-      out.clamped = guarded.clamped;
-      if (guarded.usable()) {
-        ++model_plans_;
-        SYNERGY_COUNTER_ADD("planner.plan_model", 1);
-        if (guarded.clamped) SYNERGY_COUNTER_ADD("planner.clock_clamped", 1);
-        out.config = *guarded.config;
-        out.tier = plan_tier::model;
-        return out;
-      }
-      if (guarded.ood) {
-        ++ood_rejections_;
-        SYNERGY_COUNTER_ADD("planner.ood_rejections", 1);
-      } else {
-        ++prediction_rejections_;
-        SYNERGY_COUNTER_ADD("planner.prediction_rejections", 1);
-      }
-      out.reason = guarded.reason;
-    }
-  } else {
-    out.reason = "no model set loaded";
-  }
-
+void guarded_planner::fall_through(plan_decision& out, const std::string& kernel,
+                                   const metrics::target& target, bool probe) const {
   // Tier 2: the compiled tuning-table artefact.
   if (table_ && !probe) {
     if (const auto entry = table_->find(kernel, target)) {
-      ++table_fallbacks_;
+      table_fallbacks_.fetch_add(1, std::memory_order_relaxed);
       SYNERGY_COUNTER_ADD("planner.fallback_table", 1);
       SYNERGY_INSTANT(tel::category::plan, "planner.fallback", {"tier", 1.0},
                       {"ood", out.ood ? 1.0 : 0.0});
@@ -106,24 +59,159 @@ plan_decision guarded_planner::plan_impl(const std::string& kernel,
         out.clamped = true;
       }
       out.tier = plan_tier::tuning_table;
-      return out;
+      return;
     }
   }
 
   // Tier 3: driver default clocks — always available, never wrong, merely
   // unoptimised.
-  ++default_fallbacks_;
+  default_fallbacks_.fetch_add(1, std::memory_order_relaxed);
   SYNERGY_COUNTER_ADD("planner.fallback_default", 1);
   SYNERGY_INSTANT(tel::category::plan, "planner.fallback", {"tier", 2.0},
                   {"ood", out.ood ? 1.0 : 0.0});
   out.config = spec_.default_config();
   out.tier = plan_tier::default_clocks;
+}
+
+plan_decision guarded_planner::plan_impl(const std::string& kernel,
+                                         const gpusim::static_features& k,
+                                         const metrics::target& target) const {
+  SYNERGY_COUNTER_ADD("planner.plans", 1);
+  plan_decision out;
+
+  // Tier 1: the guarded model.
+  bool probe = false;
+  if (planner_) {
+    if (drift_.quarantined()) {
+      // Atomic fetch-add keeps the probe cadence exact under concurrency:
+      // every Nth quarantined plan probes, no matter how calls interleave.
+      const std::size_t count =
+          quarantine_rejections_.fetch_add(1, std::memory_order_relaxed) + 1;
+      SYNERGY_COUNTER_ADD("planner.quarantine_rejections", 1);
+      out.reason = "model set quarantined: " + drift_.quarantine_reason();
+      // A deterministic minority of quarantined plans skips the table tier
+      // so retraining evidence gains default-clock samples (see
+      // set_quarantine_probe_every).
+      const std::size_t every = quarantine_probe_every_.load(std::memory_order_relaxed);
+      probe = every > 0 && count % every == 0;
+      if (probe) {
+        quarantine_probes_.fetch_add(1, std::memory_order_relaxed);
+        out.probe = true;
+        SYNERGY_COUNTER_ADD("planner.quarantine_probes", 1);
+      }
+    } else {
+      auto guarded = planner_->plan_guarded(k, target);
+      out.ood = guarded.ood;
+      out.clamped = guarded.clamped;
+      if (guarded.usable()) {
+        model_plans_.fetch_add(1, std::memory_order_relaxed);
+        SYNERGY_COUNTER_ADD("planner.plan_model", 1);
+        if (guarded.clamped) SYNERGY_COUNTER_ADD("planner.clock_clamped", 1);
+        out.config = *guarded.config;
+        out.tier = plan_tier::model;
+        return out;
+      }
+      if (guarded.ood) {
+        ood_rejections_.fetch_add(1, std::memory_order_relaxed);
+        SYNERGY_COUNTER_ADD("planner.ood_rejections", 1);
+      } else {
+        prediction_rejections_.fetch_add(1, std::memory_order_relaxed);
+        SYNERGY_COUNTER_ADD("planner.prediction_rejections", 1);
+      }
+      out.reason = guarded.reason;
+    }
+  } else {
+    out.reason = "no model set loaded";
+  }
+
+  fall_through(out, kernel, target, probe);
+  return out;
+}
+
+std::vector<plan_decision> guarded_planner::plan_batch(
+    std::span<const plan_request> reqs) const {
+  std::vector<plan_decision> out(reqs.size());
+  if (reqs.empty()) return out;
+#if SYNERGY_TELEMETRY_ENABLED
+  struct latency_probe {
+    std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+    ~latency_probe() {
+      const double us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      SYNERGY_HISTOGRAM_OBSERVE("planner.plan_batch_latency_us", us, 1.0, 10.0, 100.0,
+                                1000.0, 10000.0, 100000.0);
+    }
+  } probe_latency;
+#endif
+  SYNERGY_COUNTER_ADD("planner.plans", static_cast<std::int64_t>(reqs.size()));
+
+  if (planner_ && drift_.quarantined()) {
+    // One quarantine check and one counter fetch-add cover the whole batch;
+    // the per-request probe cadence is computed from the reserved counter
+    // range, so it is identical to issuing the requests one by one.
+    const std::size_t every = quarantine_probe_every_.load(std::memory_order_relaxed);
+    const std::size_t start =
+        quarantine_rejections_.fetch_add(reqs.size(), std::memory_order_relaxed);
+    SYNERGY_COUNTER_ADD("planner.quarantine_rejections",
+                        static_cast<std::int64_t>(reqs.size()));
+    const std::string reason = "model set quarantined: " + drift_.quarantine_reason();
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      out[i].reason = reason;
+      const bool probe = every > 0 && (start + i + 1) % every == 0;
+      if (probe) {
+        quarantine_probes_.fetch_add(1, std::memory_order_relaxed);
+        out[i].probe = true;
+        SYNERGY_COUNTER_ADD("planner.quarantine_probes", 1);
+      }
+      fall_through(out[i], reqs[i].kernel, reqs[i].target, probe);
+    }
+    return out;
+  }
+
+  if (planner_) {
+    // Healthy model tier: one envelope pass and one fused predict per model
+    // for the whole batch.
+    std::vector<guarded_query> queries;
+    queries.reserve(reqs.size());
+    for (const plan_request& r : reqs) queries.push_back({r.features, r.target});
+    const auto guarded = planner_->plan_guarded_batch(queries);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const guarded_plan& g = guarded[i];
+      out[i].ood = g.ood;
+      out[i].clamped = g.clamped;
+      if (g.usable()) {
+        model_plans_.fetch_add(1, std::memory_order_relaxed);
+        SYNERGY_COUNTER_ADD("planner.plan_model", 1);
+        if (g.clamped) SYNERGY_COUNTER_ADD("planner.clock_clamped", 1);
+        out[i].config = *g.config;
+        out[i].tier = plan_tier::model;
+        continue;
+      }
+      if (g.ood) {
+        ood_rejections_.fetch_add(1, std::memory_order_relaxed);
+        SYNERGY_COUNTER_ADD("planner.ood_rejections", 1);
+      } else {
+        prediction_rejections_.fetch_add(1, std::memory_order_relaxed);
+        SYNERGY_COUNTER_ADD("planner.prediction_rejections", 1);
+      }
+      out[i].reason = g.reason;
+      fall_through(out[i], reqs[i].kernel, reqs[i].target, /*probe=*/false);
+    }
+    return out;
+  }
+
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    out[i].reason = "no model set loaded";
+    fall_through(out[i], reqs[i].kernel, reqs[i].target, /*probe=*/false);
+  }
   return out;
 }
 
 void guarded_planner::install(std::shared_ptr<const frequency_planner> planner) {
   planner_ = std::move(planner);
   drift_.reset();
+  generation_.fetch_add(1, std::memory_order_release);
   SYNERGY_COUNTER_ADD("planner.model_installed", 1);
   SYNERGY_INSTANT(tel::category::plan, "planner.model_installed",
                   {"has_model", planner_ ? 1.0 : 0.0});
@@ -132,14 +220,19 @@ void guarded_planner::install(std::shared_ptr<const frequency_planner> planner) 
 void guarded_planner::observe(const std::string& kernel, const gpusim::static_features& k,
                               common::megahertz core_clock, double measured_energy_j) {
   if (!planner_) return;
+  const bool was_quarantined = drift_.quarantined();
   const auto predicted = planner_->predicted_energy(k, core_clock);
   if (!predicted) {
     // A model that cannot even produce a finite prediction is drift by
     // definition; feed an invalid pair so the rejection is counted.
     drift_.observe(kernel, 0.0, measured_energy_j);
-    return;
+  } else {
+    drift_.observe(kernel, *predicted, measured_energy_j);
   }
-  drift_.observe(kernel, *predicted, measured_energy_j);
+  // Quarantine onset changes every decision the chain would produce; bump
+  // the generation so plan caches keyed on it drop their model-tier entries.
+  if (!was_quarantined && drift_.quarantined())
+    generation_.fetch_add(1, std::memory_order_release);
 }
 
 }  // namespace synergy

@@ -16,9 +16,13 @@
 /// emitted as a trace instant, so a fleet silently running on degraded
 /// tiers is visible, not mysterious.
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "synergy/drift_monitor.hpp"
 #include "synergy/planner.hpp"
@@ -49,6 +53,13 @@ struct plan_decision {
   std::string reason;   ///< why the chain fell past the model tier (empty on model)
 };
 
+/// One request in a batched resolution (guarded_planner::plan_batch).
+struct plan_request {
+  std::string kernel;
+  gpusim::static_features features;
+  metrics::target target;
+};
+
 class guarded_planner {
  public:
   /// Either tier may be absent: a missing/corrupt model set degrades the
@@ -59,10 +70,22 @@ class guarded_planner {
                   drift_options drift = {});
 
   /// Resolve (kernel, features, target) down the chain. Deterministic:
-  /// identical state and inputs produce the identical decision.
+  /// identical state and inputs produce the identical decision. Safe to call
+  /// concurrently with other plan()/plan_batch() calls — the hot path only
+  /// reads planner state and bumps atomic counters; install()/observe()/
+  /// reset_quarantine() must still be serialised against planning (the plan
+  /// service does this with a reader/writer lock).
   [[nodiscard]] plan_decision plan(const std::string& kernel,
                                    const gpusim::static_features& k,
-                                   const metrics::target& target);
+                                   const metrics::target& target) const;
+
+  /// Batched resolution: amortises the guardrails — one quarantine check for
+  /// the whole batch, and (on the healthy path) one envelope pass plus one
+  /// fused predict per model via frequency_planner::plan_guarded_batch.
+  /// Decision `i` is identical to `plan(reqs[i]...)`, including tier counters
+  /// and quarantine-probe cadence.
+  [[nodiscard]] std::vector<plan_decision> plan_batch(
+      std::span<const plan_request> reqs) const;
 
   /// Feed one measured energy sample for drift tracking. `core_clock` is
   /// the clock the sample was actually taken at; the model's prediction at
@@ -83,7 +106,20 @@ class guarded_planner {
   [[nodiscard]] bool quarantined() const { return drift_.quarantined(); }
   [[nodiscard]] const drift_monitor& drift() const { return drift_; }
   /// Lift a quarantine (after installing retrained models).
-  void reset_quarantine() { drift_.reset(); }
+  void reset_quarantine() {
+    drift_.reset();
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Monotonic chain-state generation: bumped whenever the decisions this
+  /// chain would produce may change — model install, quarantine onset
+  /// (detected in observe()), and quarantine lift. Plan caches key on it so a
+  /// champion promotion invalidates by generation bump instead of a global
+  /// flush, and so callers that install() directly on a shared guard still
+  /// invalidate every cache layered above it.
+  [[nodiscard]] std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
 
   /// Quarantine probes: while quarantined, every Nth plan resolves at the
   /// default clocks even when a tuning-table entry exists. The table was
@@ -93,13 +129,12 @@ class guarded_planner {
   /// minority of default-clock plans gives whoever is collecting retraining
   /// evidence (the model lifecycle) per-kernel samples at a distant clock
   /// while the fleet keeps the table's efficiency for the rest. 0 disables.
-  void set_quarantine_probe_every(std::size_t n) { quarantine_probe_every_ = n; }
-  [[nodiscard]] std::size_t quarantine_probes() const { return quarantine_probes_; }
-
-  /// The most recent plan() decision — the energy-attribution layer reads
-  /// it to tag the joules a placement spends with the tier that priced
-  /// them. Default-constructed before the first plan().
-  [[nodiscard]] const plan_decision& last_decision() const { return last_; }
+  void set_quarantine_probe_every(std::size_t n) {
+    quarantine_probe_every_.store(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t quarantine_probes() const {
+    return quarantine_probes_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] bool has_model_tier() const { return planner_ != nullptr; }
   [[nodiscard]] bool has_table_tier() const { return table_ != nullptr; }
@@ -108,32 +143,51 @@ class guarded_planner {
     return planner_;
   }
 
-  // --- fallback accounting (mirrored into the metrics registry) ------------
-  [[nodiscard]] std::size_t model_plans() const { return model_plans_; }
-  [[nodiscard]] std::size_t table_fallbacks() const { return table_fallbacks_; }
-  [[nodiscard]] std::size_t default_fallbacks() const { return default_fallbacks_; }
-  [[nodiscard]] std::size_t ood_rejections() const { return ood_rejections_; }
-  [[nodiscard]] std::size_t prediction_rejections() const { return prediction_rejections_; }
-  [[nodiscard]] std::size_t quarantine_rejections() const { return quarantine_rejections_; }
+  // --- fallback accounting (mirrored into the metrics registry). Counters
+  // are atomic so plans can be served concurrently; relaxed ordering is
+  // enough — they are statistics, not synchronisation. -----------------------
+  [[nodiscard]] std::size_t model_plans() const {
+    return model_plans_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t table_fallbacks() const {
+    return table_fallbacks_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t default_fallbacks() const {
+    return default_fallbacks_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t ood_rejections() const {
+    return ood_rejections_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t prediction_rejections() const {
+    return prediction_rejections_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t quarantine_rejections() const {
+    return quarantine_rejections_.load(std::memory_order_relaxed);
+  }
 
  private:
   [[nodiscard]] plan_decision plan_impl(const std::string& kernel,
                                         const gpusim::static_features& k,
-                                        const metrics::target& target);
+                                        const metrics::target& target) const;
+
+  /// Tiers 2 and 3 (tuning table, default clocks) shared by the single and
+  /// batched paths. `out.reason`/`out.ood`/`out.probe` are already set.
+  void fall_through(plan_decision& out, const std::string& kernel,
+                    const metrics::target& target, bool probe) const;
 
   gpusim::device_spec spec_;
   std::shared_ptr<const frequency_planner> planner_;
   std::shared_ptr<const tuning_table> table_;
   drift_monitor drift_;
-  plan_decision last_;
-  std::size_t model_plans_{0};
-  std::size_t table_fallbacks_{0};
-  std::size_t default_fallbacks_{0};
-  std::size_t ood_rejections_{0};
-  std::size_t prediction_rejections_{0};
-  std::size_t quarantine_rejections_{0};
-  std::size_t quarantine_probe_every_{0};
-  std::size_t quarantine_probes_{0};
+  std::atomic<std::uint64_t> generation_{0};
+  mutable std::atomic<std::size_t> model_plans_{0};
+  mutable std::atomic<std::size_t> table_fallbacks_{0};
+  mutable std::atomic<std::size_t> default_fallbacks_{0};
+  mutable std::atomic<std::size_t> ood_rejections_{0};
+  mutable std::atomic<std::size_t> prediction_rejections_{0};
+  mutable std::atomic<std::size_t> quarantine_rejections_{0};
+  std::atomic<std::size_t> quarantine_probe_every_{0};
+  mutable std::atomic<std::size_t> quarantine_probes_{0};
 };
 
 }  // namespace synergy

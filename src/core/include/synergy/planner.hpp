@@ -17,7 +17,9 @@
 #include <array>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "synergy/gpusim/device_spec.hpp"
 #include "synergy/gpusim/dvfs_model.hpp"
@@ -80,6 +82,12 @@ struct guarded_plan {
   [[nodiscard]] bool usable() const { return config.has_value(); }
 };
 
+/// One request in a batched guarded plan (frequency_planner::plan_guarded_batch).
+struct guarded_query {
+  gpusim::static_features features;
+  metrics::target target;
+};
+
 /// Model-driven planner bound to one device spec.
 class frequency_planner {
  public:
@@ -103,6 +111,15 @@ class frequency_planner {
   /// chain (guarded_planner) falls through.
   [[nodiscard]] guarded_plan plan_guarded(const gpusim::static_features& k,
                                           const metrics::target& target) const;
+
+  /// Batched plan_guarded: one envelope pass over the whole batch, then one
+  /// fused predict per model over a contiguous design matrix (queries grouped
+  /// by the model their target needs). Decision `i` is bitwise identical to
+  /// `plan_guarded(queries[i].features, queries[i].target)` — the batched
+  /// inference path preserves per-row arithmetic order, and every rail fires
+  /// in the same clock order with the same reason strings.
+  [[nodiscard]] std::vector<guarded_plan> plan_guarded_batch(
+      std::span<const guarded_query> queries) const;
 
   /// Predicted per-item energy at an exact operating point (drift
   /// monitoring compares this against the measured sample). Empty when the

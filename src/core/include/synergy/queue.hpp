@@ -34,6 +34,7 @@
 #include "synergy/guarded_planner.hpp"
 #include "synergy/metrics/energy_metrics.hpp"
 #include "synergy/obs/energy_ledger.hpp"
+#include "synergy/plan_service.hpp"
 #include "synergy/planner.hpp"
 #include "synergy/planner_source.hpp"
 
@@ -115,6 +116,19 @@ class queue : public simsycl::queue {
   /// side channel): resets the drift statistic, flushes the plan cache, and
   /// re-arms the quarantine latch. No-op without a planner installed.
   void reset_model_quarantine();
+
+  /// Adopt an externally built plan service — the sharing seam of
+  /// planner-as-a-service: several queues over identical devices can resolve
+  /// through one concurrent, generation-invalidated cache. Replaces any
+  /// planner or planner source installed on this queue; the queue keeps its
+  /// local memo as a thin view over the service.
+  void set_plan_service(std::shared_ptr<class plan_service> service);
+
+  /// The plan service resolving this queue's model-tier decisions (nullptr
+  /// until a planner, planner source, or external service is installed).
+  [[nodiscard]] const std::shared_ptr<class plan_service>& planning_service() const {
+    return service_;
+  }
 
   // --- reactive governors ---------------------------------------------------
 
@@ -252,8 +266,10 @@ class queue : public simsycl::queue {
 
   /// The guardrail state wrapped around the installed planner, or nullptr
   /// when no planner is installed (fallback tiers, drift statistic,
-  /// quarantine flag).
-  [[nodiscard]] const guarded_planner* guard() const { return guard_.get(); }
+  /// quarantine flag). Owned by the plan service.
+  [[nodiscard]] const guarded_planner* guard() const {
+    return service_ ? service_->guard().get() : nullptr;
+  }
 
   /// While quarantined, every Nth plan probes the default clocks instead of
   /// the tuning-table tier (guarded_planner::set_quarantine_probe_every).
@@ -263,7 +279,7 @@ class queue : public simsycl::queue {
 
   /// Whether the drift monitor has quarantined the installed model set
   /// (target resolutions then bypass the model tier until retraining).
-  [[nodiscard]] bool model_quarantined() const { return guard_ && guard_->quarantined(); }
+  [[nodiscard]] bool model_quarantined() const { return service_ && service_->quarantined(); }
 
   [[nodiscard]] const std::shared_ptr<context>& get_context() const { return ctx_; }
 
@@ -297,10 +313,20 @@ class queue : public simsycl::queue {
   obs::cause govern_submission(const simsycl::handler& h,
                                const std::optional<metrics::target>& target);
 
+  /// Build a fresh guard + service around `planner_` (nullptr planner drops
+  /// the model tier entirely).
+  void rebuild_service(std::shared_ptr<const class tuning_table> guard_table,
+                       drift_options drift);
+
   std::shared_ptr<context> ctx_;
   context::binding binding_;
   std::shared_ptr<const frequency_planner> planner_;
-  std::unique_ptr<guarded_planner> guard_;
+  /// Planner-as-a-service front end over the guarded degradation chain:
+  /// concurrent sharded cache, generation invalidation, batch API. The
+  /// queue's `plan_cache_` below is a thin per-queue view on top (it also
+  /// memoises tuning-table and oracle resolutions, which the service does
+  /// not see).
+  std::shared_ptr<class plan_service> service_;
   std::shared_ptr<const planner_source> source_;
   std::uint64_t source_generation_{0};
   drift_options source_drift_;

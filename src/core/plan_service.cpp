@@ -1,0 +1,173 @@
+#include "synergy/plan_service.hpp"
+
+#include <functional>
+#include <utility>
+
+#include "synergy/telemetry/telemetry.hpp"
+
+namespace synergy {
+
+plan_service::plan_service(std::shared_ptr<guarded_planner> guard, plan_service_options opts)
+    : guard_(std::move(guard)), opts_(opts) {
+  if (opts_.shards == 0) opts_.shards = 1;
+  shards_.reserve(opts_.shards);
+  for (std::size_t i = 0; i < opts_.shards; ++i) shards_.push_back(std::make_unique<shard>());
+}
+
+std::string plan_service::make_key(const std::string& kernel, const metrics::target& target) {
+  std::string key;
+  key.reserve(kernel.size() + 16);
+  key += kernel;
+  key += '\0';
+  key += target.to_string();
+  return key;
+}
+
+plan_service::shard& plan_service::shard_for(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+bool plan_service::lookup(const std::string& key, std::uint64_t gen, plan_decision& out) {
+  shard& s = shard_for(key);
+  std::lock_guard lk(s.m);
+  if (s.epoch != gen) {
+    // Lazy invalidation: entries tagged with an older generation are dead;
+    // drop them now that this shard is touched. A shard tagged newer (a
+    // racing bump between our generation read and this lock) is simply a
+    // miss — never retag downward.
+    if (s.epoch < gen) {
+      s.entries.clear();
+      s.epoch = gen;
+    }
+    return false;
+  }
+  const auto it = s.entries.find(key);
+  if (it == s.entries.end()) return false;
+  out = it->second;
+  return true;
+}
+
+void plan_service::store(const std::string& key, std::uint64_t gen, const plan_decision& d) {
+  shard& s = shard_for(key);
+  std::lock_guard lk(s.m);
+  if (s.epoch > gen) return;  // a newer generation owns this shard; drop
+  if (s.epoch < gen) {
+    s.entries.clear();
+    s.epoch = gen;
+  }
+  s.entries.insert_or_assign(key, d);
+}
+
+serviced_plan plan_service::plan(const std::string& kernel,
+                                 const gpusim::static_features& features,
+                                 const metrics::target& target) {
+  const std::uint64_t gen = generation();
+  const std::string key = make_key(kernel, target);
+  serviced_plan out;
+  out.generation = gen;
+  if (lookup(key, gen, out.decision)) {
+    out.cache_hit = true;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    SYNERGY_COUNTER_ADD("plan_service.hits", 1);
+    return out;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  SYNERGY_COUNTER_ADD("plan_service.misses", 1);
+  bool cacheable = true;
+  {
+    std::shared_lock lk(mu_);
+    out.decision = guard_->plan(kernel, features, target);
+    cacheable = opts_.cache_quarantined || !guard_->quarantined();
+  }
+  if (cacheable) store(key, gen, out.decision);
+  return out;
+}
+
+std::vector<serviced_plan> plan_service::plan_batch(std::span<const plan_request> reqs) {
+  std::vector<serviced_plan> out(reqs.size());
+  if (reqs.empty()) return out;
+  const std::uint64_t gen = generation();
+
+  // Pass 1: serve cache hits; collect the misses, deduplicating identical
+  // (kernel, target) twins onto one chain request. Quarantined chains skip
+  // dedupe so the per-request probe cadence stays exact.
+  std::vector<std::string> keys(reqs.size());
+  std::vector<std::size_t> miss;          // unique miss → request index
+  std::unordered_map<std::string, std::size_t> first;  // key → position in `miss`
+  std::vector<std::size_t> twin(reqs.size(), SIZE_MAX);  // request → position in `miss`
+  bool quarantined = false;
+  {
+    std::shared_lock lk(mu_);
+    quarantined = guard_->quarantined();
+  }
+  const bool dedupe = !quarantined;
+  std::size_t n_hits = 0;
+  std::size_t n_deduped = 0;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    keys[i] = make_key(reqs[i].kernel, reqs[i].target);
+    out[i].generation = gen;
+    if (lookup(keys[i], gen, out[i].decision)) {
+      out[i].cache_hit = true;
+      ++n_hits;
+      continue;
+    }
+    if (dedupe) {
+      const auto [it, inserted] = first.try_emplace(keys[i], miss.size());
+      if (!inserted) {
+        twin[i] = it->second;
+        ++n_deduped;
+        continue;
+      }
+    }
+    twin[i] = miss.size();
+    miss.push_back(i);
+  }
+  hits_.fetch_add(n_hits, std::memory_order_relaxed);
+  misses_.fetch_add(miss.size(), std::memory_order_relaxed);
+  deduped_.fetch_add(n_deduped, std::memory_order_relaxed);
+  SYNERGY_COUNTER_ADD("plan_service.hits", static_cast<double>(n_hits));
+  SYNERGY_COUNTER_ADD("plan_service.misses", static_cast<double>(miss.size()));
+  SYNERGY_COUNTER_ADD("plan_service.batch_deduped", static_cast<double>(n_deduped));
+
+  if (miss.empty()) return out;
+
+  // Pass 2: one batched chain resolution for the unique misses.
+  std::vector<plan_request> chain_reqs;
+  chain_reqs.reserve(miss.size());
+  for (const std::size_t i : miss) chain_reqs.push_back(reqs[i]);
+  std::vector<plan_decision> resolved;
+  bool cacheable = true;
+  {
+    std::shared_lock lk(mu_);
+    resolved = guard_->plan_batch(chain_reqs);
+    cacheable = opts_.cache_quarantined || !guard_->quarantined();
+  }
+
+  // Pass 3: fan results back out to every request and populate the cache.
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (out[i].cache_hit) continue;
+    out[i].decision = resolved[twin[i]];
+  }
+  if (cacheable)
+    for (std::size_t m = 0; m < miss.size(); ++m)
+      store(keys[miss[m]], gen, resolved[m]);
+  return out;
+}
+
+void plan_service::observe(const std::string& kernel, const gpusim::static_features& features,
+                           common::megahertz core_clock, double measured_energy_j) {
+  std::unique_lock lk(mu_);
+  guard_->observe(kernel, features, core_clock, measured_energy_j);
+}
+
+void plan_service::install(std::shared_ptr<const frequency_planner> planner) {
+  std::unique_lock lk(mu_);
+  guard_->install(std::move(planner));  // bumps the chain generation
+}
+
+void plan_service::reset_quarantine() {
+  std::unique_lock lk(mu_);
+  guard_->reset_quarantine();  // bumps the chain generation
+}
+
+}  // namespace synergy

@@ -1,5 +1,6 @@
 #include "synergy/planner.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -152,6 +153,140 @@ guarded_plan frequency_planner::plan_guarded(const gpusim::static_features& k,
     out.clamped = true;
   }
   out.config = config;
+  return out;
+}
+
+std::vector<guarded_plan> frequency_planner::plan_guarded_batch(
+    std::span<const guarded_query> queries) const {
+  std::vector<guarded_plan> out(queries.size());
+  if (queries.empty()) return out;
+
+  // Clamp rail, identical to the tail of plan_guarded.
+  const auto finish = [&](guarded_plan& g, frequency_config config) {
+    if (!spec_.supports_core_clock(config.core)) {
+      config.core = spec_.nearest_core_clock(config.core);
+      g.clamped = true;
+    }
+    if (!spec_.supports_memory_clock(config.memory)) {
+      config.memory = spec_.memory_clock;
+      g.clamped = true;
+    }
+    g.config = config;
+  };
+
+  // Pass 1: the out-of-distribution rail over the whole batch, before any
+  // model inference. Same endpoints, order, and reason strings as the
+  // single-query path.
+  std::vector<char> live(queries.size(), 1);
+  if (models_.envelope.fitted()) {
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      for (const megahertz f :
+           {spec_.min_core_clock(), spec_.default_core_clock(), spec_.max_core_clock()}) {
+        if (!models_.envelope.contains(model_input(queries[q].features, f))) {
+          out[q].ood = true;
+          out[q].reason = "feature vector outside the training envelope at " +
+                          std::to_string(f.value) + " MHz";
+          live[q] = 0;
+          break;
+        }
+      }
+    }
+  }
+
+  // Pass 2: group the surviving queries by the model their target needs, so
+  // each regressor runs one fused predict over a contiguous design matrix.
+  using kind = metrics::target::kind;
+  const std::size_t n_clocks = spec_.core_clocks.size();
+  std::vector<std::size_t> edp_q, ed2p_q, te_q;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    if (!live[q]) continue;
+    if (queries[q].target.k == kind::min_edp) edp_q.push_back(q);
+    else if (queries[q].target.k == kind::min_ed2p) ed2p_q.push_back(q);
+    else te_q.push_back(q);
+  }
+
+  const auto build_design = [&](const std::vector<std::size_t>& qs) {
+    ml::matrix x(qs.size() * n_clocks, model_input_dim);
+    std::size_t r = 0;
+    for (const std::size_t q : qs)
+      for (const megahertz f : spec_.core_clocks) {
+        const auto row = model_input(queries[q].features, f);
+        const auto dst = x.row(r++);
+        std::copy(row.begin(), row.end(), dst.begin());
+      }
+    return x;
+  };
+
+  // Product-metric targets: dedicated model, argmin over clocks behind the
+  // non-finite rail (log-space predictions may legitimately be negative).
+  const auto run_product = [&](const std::vector<std::size_t>& qs, const ml::regressor& model) {
+    if (qs.empty()) return;
+    const ml::matrix x = build_design(qs);
+    std::vector<double> pred(x.rows());
+    model.predict_into(x, pred);
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      const std::size_t q = qs[i];
+      megahertz best = spec_.default_core_clock();
+      double best_v = std::numeric_limits<double>::infinity();
+      bool rejected = false;
+      for (std::size_t ci = 0; ci < n_clocks; ++ci) {
+        const megahertz f = spec_.core_clocks[ci];
+        const double v = pred[i * n_clocks + ci];
+        if (!std::isfinite(v)) {
+          out[q].reason = "non-finite " + queries[q].target.to_string() + " prediction at " +
+                          std::to_string(f.value) + " MHz";
+          rejected = true;
+          break;
+        }
+        if (v < best_v) {
+          best_v = v;
+          best = f;
+        }
+      }
+      if (!rejected) finish(out[q], {spec_.memory_clock, best});
+    }
+  };
+  run_product(edp_q, *models_.edp);
+  run_product(ed2p_q, *models_.ed2p);
+
+  // Time/energy targets: both models predict over one shared design matrix;
+  // each query then replays the single-path rails in clock order and selects
+  // on its own characterization.
+  if (!te_q.empty()) {
+    const ml::matrix x = build_design(te_q);
+    std::vector<double> t_pred(x.rows());
+    std::vector<double> e_pred(x.rows());
+    models_.time->predict_into(x, t_pred);
+    models_.energy->predict_into(x, e_pred);
+    metrics::characterization c;
+    for (std::size_t i = 0; i < te_q.size(); ++i) {
+      const std::size_t q = te_q[i];
+      c.points.clear();
+      c.points.reserve(n_clocks);
+      bool rejected = false;
+      for (std::size_t ci = 0; ci < n_clocks; ++ci) {
+        const megahertz f = spec_.core_clocks[ci];
+        const double t = t_pred[i * n_clocks + ci];
+        const double e = e_pred[i * n_clocks + ci];
+        if (!std::isfinite(t) || !std::isfinite(e)) {
+          out[q].reason =
+              "non-finite time/energy prediction at " + std::to_string(f.value) + " MHz";
+          rejected = true;
+          break;
+        }
+        if (t <= 0.0 || e <= 0.0) {
+          out[q].reason =
+              "non-positive time/energy prediction at " + std::to_string(f.value) + " MHz";
+          rejected = true;
+          break;
+        }
+        c.points.push_back({{spec_.memory_clock, f}, t, e});
+      }
+      if (rejected) continue;
+      c.default_index = spec_.default_clock_index;
+      finish(out[q], c.points[metrics::select(c, queries[q].target)].config);
+    }
+  }
   return out;
 }
 

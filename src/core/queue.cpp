@@ -42,14 +42,34 @@ void queue::clear_policy() {
   target_.reset();
 }
 
+void queue::rebuild_service(std::shared_ptr<const tuning_table> guard_table,
+                            drift_options drift) {
+  if (!planner_) {
+    service_.reset();
+    return;
+  }
+  auto guard = std::make_shared<guarded_planner>(get_device().spec(), planner_,
+                                                 std::move(guard_table), drift);
+  // The queue memoises every resolution, probes included, so the service
+  // caches quarantined decisions too (flow-through would change nothing the
+  // memo doesn't already pin).
+  service_ = std::make_shared<plan_service>(std::move(guard), plan_service_options{});
+}
+
 void queue::set_planner(std::shared_ptr<const frequency_planner> planner, drift_options drift) {
   planner_ = std::move(planner);
   // The model tier always answers through the rails; the queue keeps its own
   // tuning-table tier ahead of the guard (compiled artefacts win, paper
   // Fig. 3), so the guard is built without one.
-  guard_ = planner_ ? std::make_unique<guarded_planner>(get_device().spec(), planner_,
-                                                        nullptr, drift)
-                    : nullptr;
+  rebuild_service(nullptr, drift);
+  source_.reset();
+  quarantine_seen_ = false;
+  plan_cache_.clear();
+}
+
+void queue::set_plan_service(std::shared_ptr<plan_service> service) {
+  service_ = std::move(service);
+  planner_ = service_ ? service_->guard()->planner() : nullptr;
   source_.reset();
   quarantine_seen_ = false;
   plan_cache_.clear();
@@ -62,7 +82,7 @@ void queue::set_planner_source(std::shared_ptr<const planner_source> source,
   source_drift_ = drift;
   source_table_ = std::move(fallback_table);
   planner_.reset();
-  guard_.reset();
+  service_.reset();
   quarantine_seen_ = false;
   plan_cache_.clear();
   if (!source_) return;
@@ -73,15 +93,14 @@ void queue::set_planner_source(std::shared_ptr<const planner_source> source,
   source_generation_ = source_->generation();
   if (auto planner = source_->current_planner()) {
     planner_ = std::move(planner);
-    guard_ = std::make_unique<guarded_planner>(get_device().spec(), planner_, source_table_,
-                                               drift);
-    guard_->set_quarantine_probe_every(probe_every_);
+    rebuild_service(source_table_, drift);
+    service_->guard()->set_quarantine_probe_every(probe_every_);
   }
 }
 
 void queue::set_quarantine_probe_every(std::size_t n) {
   probe_every_ = n;
-  if (guard_) guard_->set_quarantine_probe_every(n);
+  if (service_) service_->guard()->set_quarantine_probe_every(n);
 }
 
 void queue::refresh_from_source() {
@@ -90,15 +109,16 @@ void queue::refresh_from_source() {
   if (generation == source_generation_) return;
   source_generation_ = generation;
   planner_ = source_->current_planner();
-  if (guard_) {
-    guard_->install(planner_);
+  if (service_) {
+    service_->install(planner_);
   } else if (planner_) {
-    guard_ = std::make_unique<guarded_planner>(get_device().spec(), planner_, source_table_,
-                                               source_drift_);
-    guard_->set_quarantine_probe_every(probe_every_);
+    rebuild_service(source_table_, source_drift_);
+    service_->guard()->set_quarantine_probe_every(probe_every_);
   }
-  // Cached plans were resolved by the previous champion; the drift reset
-  // inside install() lifted any quarantine, so re-arm the latch too.
+  // Cached plans were resolved by the previous champion; install() bumped
+  // the service generation (its cache invalidates lazily), the local memo
+  // flushes here, and the drift reset inside install() lifted any
+  // quarantine, so re-arm the latch too.
   plan_cache_.clear();
   quarantine_seen_ = false;
   ++planner_refreshes_;
@@ -106,8 +126,8 @@ void queue::refresh_from_source() {
 }
 
 void queue::reset_model_quarantine() {
-  if (!guard_) return;
-  guard_->reset_quarantine();
+  if (!service_) return;
+  service_->reset_quarantine();
   plan_cache_.clear();
   quarantine_seen_ = false;
 }
@@ -237,17 +257,16 @@ std::pair<frequency_config, obs::cause> queue::resolve_target(const simsycl::han
     plan_cache_.emplace(key, std::make_pair(config, obs::cause::tuning_table));
     return {config, obs::cause::tuning_table};
   }
-  if (planner_) {
-    // Guarded model tier: sanity rails, OOD envelope and drift quarantine;
-    // an untrustworthy model degrades the decision to default clocks (the
-    // compiled tuning table was already consulted above).
-    const auto decision = guard_->plan(h.info().name, h.info().features, t);
+  if (service_) {
+    // Guarded model tier behind the plan service: sanity rails, OOD envelope
+    // and drift quarantine; an untrustworthy model degrades the decision to
+    // default clocks (the compiled tuning table was already consulted above).
+    const auto serviced = service_->plan(h.info().name, h.info().features, t);
+    const plan_decision& decision = serviced.decision;
     config = decision.config;
-    why = decision.probe                             ? obs::cause::quarantine_probe
-          : decision.tier == plan_tier::model        ? obs::cause::model
-          : decision.tier == plan_tier::tuning_table ? obs::cause::tuning_table
-                                                     : obs::cause::default_clocks;
+    why = plan_cause(decision);
     span.arg("tier", static_cast<double>(static_cast<int>(decision.tier)));
+    span.arg("service_hit", serviced.cache_hit ? 1.0 : 0.0);
   } else {
     // Oracle fallback: exact per-kernel optimum from the simulator model.
     const auto profile = h.info().to_profile(h.launch_items());
@@ -301,7 +320,7 @@ simsycl::event queue::submit_recorded(simsycl::handler& h,
   std::optional<gpusim::static_features> features;
   obs::cause why = obs::cause::unattributed;
   if (h.has_launch()) {
-    if (guard_ || observer_) features = h.info().features;
+    if (service_ || observer_) features = h.info().features;
     span.str("kernel", h.info().name);
     // Per-submission settings take precedence over the queue policy; an
     // attached governor owns the clock otherwise (seeded from the planner
@@ -348,17 +367,19 @@ simsycl::event queue::submit_recorded(simsycl::handler& h,
     // Drift tracking: compare the model's energy prediction at the executed
     // clock against the measurement. Degraded samples are excluded — their
     // clocks are untrustworthy, so they would poison the error statistic.
-    if (guard_ && features && !degrade_next_) {
-      guard_->observe(event.kernel_name(), *features, event.record().config.core,
-                      event.record().cost.energy.value);
-      if (guard_->quarantined()) {
+    if (service_ && features && !degrade_next_) {
+      service_->observe(event.kernel_name(), *features, event.record().config.core,
+                        event.record().cost.energy.value);
+      if (service_->quarantined()) {
         if (!quarantine_seen_) {
           quarantine_seen_ = true;
           // Cached plans were made by the now-distrusted model set; flush
-          // them so every kernel re-resolves down the degradation chain.
+          // the local memo (the service's own cache invalidated itself via
+          // the quarantine-onset generation bump) so every kernel
+          // re-resolves down the degradation chain.
           plan_cache_.clear();
           common::log_warn("synergy::queue model set quarantined (",
-                           guard_->drift().quarantine_reason(),
+                           service_->guard()->drift().quarantine_reason(),
                            "); resolving via tuning-table/default clocks until retrained");
         }
       } else {

@@ -19,6 +19,7 @@ class linear_regression final : public regressor {
 
   void fit(const matrix& x, std::span<const double> y) override;
   [[nodiscard]] double predict_one(std::span<const double> x) const override;
+  void predict_into(const matrix& x, std::span<double> out) const override;
   [[nodiscard]] std::string name() const override { return "Linear"; }
   [[nodiscard]] bool fitted() const override { return !coef_.empty(); }
   [[nodiscard]] std::string serialize() const override;
@@ -47,6 +48,7 @@ class lasso_regression final : public regressor {
 
   void fit(const matrix& x, std::span<const double> y) override;
   [[nodiscard]] double predict_one(std::span<const double> x) const override;
+  void predict_into(const matrix& x, std::span<double> out) const override;
   [[nodiscard]] std::string name() const override { return "Lasso"; }
   [[nodiscard]] bool fitted() const override { return !coef_.empty(); }
   [[nodiscard]] std::string serialize() const override;

@@ -28,6 +28,7 @@ class random_forest final : public regressor {
 
   void fit(const matrix& x, std::span<const double> y) override;
   [[nodiscard]] double predict_one(std::span<const double> x) const override;
+  void predict_into(const matrix& x, std::span<double> out) const override;
   [[nodiscard]] std::string name() const override { return "RandomForest"; }
   [[nodiscard]] bool fitted() const override { return !trees_.empty(); }
   [[nodiscard]] std::string serialize() const override;
@@ -60,9 +61,20 @@ class random_forest final : public regressor {
     [[nodiscard]] double predict(std::span<const double> x) const;
   };
 
+  /// Rebuild the flat traversal arrays from `trees_`. Called after fit and
+  /// deserialize; prediction never walks the per-tree node vectors.
+  void rebuild_flat();
+
   random_forest_params params_;
   std::vector<tree> trees_;
   std::size_t n_features_{0};
+
+  /// Flat forest for cache-friendly traversal: every tree's nodes live in one
+  /// contiguous array with child links rebased to absolute indices; `roots_`
+  /// holds each tree's root index. Same topology and leaf values as `trees_`,
+  /// so traversal results are bitwise identical.
+  std::vector<node> flat_nodes_;
+  std::vector<std::size_t> roots_;
 
   friend struct random_forest_builder;
 };

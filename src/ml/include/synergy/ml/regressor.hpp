@@ -33,10 +33,20 @@ class regressor {
   /// Serialise to a text blob loadable by deserialize_regressor.
   [[nodiscard]] virtual std::string serialize() const = 0;
 
+  /// Batch prediction into caller-owned storage (`out.size() == x.rows()`).
+  /// Overrides may fuse per-row work (scratch reuse, flat-tree traversal) but
+  /// must produce bit-identical results to row-by-row predict_one: plan
+  /// decisions are replayed for determinism checks, so the batched path may
+  /// not reassociate floating-point arithmetic.
+  virtual void predict_into(const matrix& x, std::span<double> out) const {
+    if (out.size() != x.rows()) throw std::invalid_argument("predict_into size mismatch");
+    for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_one(x.row(r));
+  }
+
   /// Batch prediction.
   [[nodiscard]] std::vector<double> predict(const matrix& x) const {
     std::vector<double> out(x.rows());
-    for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_one(x.row(r));
+    predict_into(x, out);
     return out;
   }
 

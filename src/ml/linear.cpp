@@ -2,6 +2,7 @@
 
 #include "synergy/telemetry/telemetry.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -37,6 +38,21 @@ double linear_regression::predict_one(std::span<const double> x) const {
   std::vector<double> row(x.begin(), x.end());
   scaler_.transform_row(row);
   return intercept_ + dot(row, coef_);
+}
+
+void linear_regression::predict_into(const matrix& x, std::span<double> out) const {
+  if (!fitted()) throw std::logic_error("predict before fit");
+  if (out.size() != x.rows()) throw std::invalid_argument("predict_into size mismatch");
+  // One scratch row reused across the batch; per-row arithmetic order is
+  // identical to predict_one so batched and single predictions are bitwise
+  // equal.
+  std::vector<double> row(x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto src = x.row(r);
+    std::copy(src.begin(), src.end(), row.begin());
+    scaler_.transform_row(row);
+    out[r] = intercept_ + dot(row, coef_);
+  }
 }
 
 std::string linear_regression::serialize() const {
@@ -114,6 +130,18 @@ double lasso_regression::predict_one(std::span<const double> x) const {
   std::vector<double> row(x.begin(), x.end());
   scaler_.transform_row(row);
   return intercept_ + dot(row, coef_);
+}
+
+void lasso_regression::predict_into(const matrix& x, std::span<double> out) const {
+  if (!fitted()) throw std::logic_error("predict before fit");
+  if (out.size() != x.rows()) throw std::invalid_argument("predict_into size mismatch");
+  std::vector<double> row(x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto src = x.row(r);
+    std::copy(src.begin(), src.end(), row.begin());
+    scaler_.transform_row(row);
+    out[r] = intercept_ + dot(row, coef_);
+  }
 }
 
 std::size_t lasso_regression::zero_count() const {

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
@@ -152,14 +153,74 @@ void random_forest::fit(const matrix& x, std::span<const double> y) {
     builder.build(bootstrap, 0);
     trees_.push_back(std::move(tr));
   }
+  rebuild_flat();
+}
+
+void random_forest::rebuild_flat() {
+  flat_nodes_.clear();
+  roots_.clear();
+  std::size_t total = 0;
+  for (const tree& t : trees_) total += t.nodes.size();
+  flat_nodes_.reserve(total);
+  roots_.reserve(trees_.size());
+  for (const tree& t : trees_) {
+    const auto base = static_cast<int>(flat_nodes_.size());
+    roots_.push_back(static_cast<std::size_t>(base));
+    for (const node& nd : t.nodes) {
+      node flat = nd;
+      if (flat.left >= 0) flat.left += base;
+      if (flat.right >= 0) flat.right += base;
+      flat_nodes_.push_back(flat);
+    }
+  }
 }
 
 double random_forest::predict_one(std::span<const double> x) const {
-  if (!fitted()) throw std::logic_error("predict before fit");
+  // Never fitted nor loaded: programming error, keep the loud contract.
+  if (trees_.empty() && n_features_ == 0) throw std::logic_error("predict before fit");
   if (x.size() != n_features_) throw std::invalid_argument("feature count mismatch");
+  // A zero-tree forest (e.g. a truncated artefact that deserialises with
+  // `n_trees 0`) must yield a rejected prediction, not a division by zero:
+  // NaN trips the caller's finite-value guardrail.
+  if (trees_.empty()) return std::numeric_limits<double>::quiet_NaN();
   double sum = 0.0;
-  for (const tree& t : trees_) sum += t.predict(x);
+  for (const std::size_t root : roots_) {
+    std::size_t i = root;
+    while (!flat_nodes_[i].is_leaf()) {
+      const auto f = static_cast<std::size_t>(flat_nodes_[i].feature);
+      i = static_cast<std::size_t>(x[f] <= flat_nodes_[i].threshold ? flat_nodes_[i].left
+                                                                    : flat_nodes_[i].right);
+    }
+    sum += flat_nodes_[i].value;
+  }
   return sum / static_cast<double>(trees_.size());
+}
+
+void random_forest::predict_into(const matrix& x, std::span<double> out) const {
+  if (trees_.empty() && n_features_ == 0) throw std::logic_error("predict before fit");
+  if (out.size() != x.rows()) throw std::invalid_argument("predict_into size mismatch");
+  if (x.cols() != n_features_) throw std::invalid_argument("feature count mismatch");
+  if (trees_.empty()) {
+    std::fill(out.begin(), out.end(), std::numeric_limits<double>::quiet_NaN());
+    return;
+  }
+  // Tree-major over the flat array: one tree's nodes stay hot while every row
+  // traverses it. Accumulation still adds trees in index order per row, so
+  // sums match predict_one bit for bit.
+  std::fill(out.begin(), out.end(), 0.0);
+  for (const std::size_t root : roots_) {
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      const auto row = x.row(r);
+      std::size_t i = root;
+      while (!flat_nodes_[i].is_leaf()) {
+        const auto f = static_cast<std::size_t>(flat_nodes_[i].feature);
+        i = static_cast<std::size_t>(row[f] <= flat_nodes_[i].threshold ? flat_nodes_[i].left
+                                                                        : flat_nodes_[i].right);
+      }
+      out[r] += flat_nodes_[i].value;
+    }
+  }
+  for (auto& v : out) v /= static_cast<double>(trees_.size());
 }
 
 std::vector<double> random_forest::feature_importances() const {
@@ -207,6 +268,7 @@ std::unique_ptr<random_forest> random_forest::deserialize(const std::string& tex
     if (in.fail()) throw std::invalid_argument("bad forest node data");
     model->trees_.push_back(std::move(tr));
   }
+  model->rebuild_flat();
   return model;
 }
 

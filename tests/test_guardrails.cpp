@@ -19,6 +19,7 @@
 #include "synergy/common/checksum.hpp"
 #include "synergy/common/envelope.hpp"
 #include "synergy/common/rng.hpp"
+#include "synergy/ml/random_forest.hpp"
 #include "synergy/synergy.hpp"
 #include "synergy/telemetry/metrics_registry.hpp"
 #include "synergy/workloads/benchmark.hpp"
@@ -283,6 +284,63 @@ TEST(CorruptionFuzz, MutatedStoreFilesAlwaysYieldStructuredLoads) {
     }
   }
   std::filesystem::remove_all(dir);
+}
+
+TEST(CorruptionFuzz, ZeroTreeForestYieldsRejectedPredictionNotUndefinedBehavior) {
+  // Regression: a spliced/truncated forest artefact can deserialize with
+  // `n_trees 0` while keeping a plausible feature count. Prediction used to
+  // divide by zero; it must instead return NaN so the chain's finite-value
+  // rail rejects the model tier and degrades — never UB, never an escaping
+  // exception.
+  const std::string blob = "random_forest v1\nn_features " +
+                           std::to_string(synergy::model_input_dim) + "\nn_trees 0\n";
+  // Layer 1: the structured load path refuses the unfitted husk outright.
+  EXPECT_FALSE(ml::try_deserialize_regressor(blob).has_value());
+  // Layer 2: direct prediction on the husk is NaN, never a division by zero.
+  const auto husk = ml::random_forest::deserialize(blob);
+  ASSERT_NE(husk, nullptr);
+  EXPECT_FALSE(husk->fitted());
+  std::vector<double> probe(synergy::model_input_dim, 1.0);
+  EXPECT_TRUE(std::isnan(husk->predict_one(probe)));
+
+  // Layer 3: even when the load-time check is bypassed (an artefact that
+  // degrades after validation), the planner's finite-prediction rail turns
+  // the NaN into a counted tuning-table fallback. The adapter reports
+  // "fitted" so the forest's prediction reaches the rails.
+  struct husk_adapter final : ml::regressor {
+    std::unique_ptr<ml::random_forest> forest;
+    explicit husk_adapter(std::unique_ptr<ml::random_forest> f) : forest(std::move(f)) {}
+    void fit(const ml::matrix&, std::span<const double>) override {}
+    [[nodiscard]] double predict_one(std::span<const double> x) const override {
+      return forest->predict_one(x);
+    }
+    [[nodiscard]] std::string name() const override { return "husk"; }
+    [[nodiscard]] bool fitted() const override { return true; }
+    [[nodiscard]] std::string serialize() const override { return forest->serialize(); }
+  };
+  synergy::trained_models m;
+  m.time = std::make_unique<husk_adapter>(ml::random_forest::deserialize(blob));
+  m.energy = std::make_unique<husk_adapter>(ml::random_forest::deserialize(blob));
+  m.edp = std::make_unique<husk_adapter>(ml::random_forest::deserialize(blob));
+  m.ed2p = std::make_unique<husk_adapter>(ml::random_forest::deserialize(blob));
+
+  const auto spec = gs::make_v100();
+  const megahertz supported = spec.core_clocks[spec.core_clocks.size() / 2];
+  auto table = std::make_shared<synergy::tuning_table>();
+  table->set_device_key("V100");
+  table->put("mat_mul", sm::ES_50, {spec.memory_clock, supported});
+  table->put("mat_mul", sm::MIN_EDP, {spec.memory_clock, supported});
+  synergy::guarded_planner chained{
+      spec, std::make_shared<synergy::frequency_planner>(spec, std::move(m)), table};
+
+  const auto& features = sw::find("mat_mul").info.features;
+  for (const auto target : {sm::ES_50, sm::MIN_EDP}) {
+    const auto d = chained.plan("mat_mul", features, target);
+    EXPECT_EQ(d.tier, synergy::plan_tier::tuning_table);
+    EXPECT_EQ(d.config.core.value, supported.value);
+    EXPECT_NE(d.reason.find("non-finite"), std::string::npos) << d.reason;
+  }
+  EXPECT_EQ(chained.prediction_rejections(), 2u);
 }
 
 // ------------------------------------------------------------- model store ----

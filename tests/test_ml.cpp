@@ -439,3 +439,77 @@ TEST(RegressorFactory, Names) {
   EXPECT_STREQ(ml::to_string(ml::algorithm::svr_rbf), "SVR");
   EXPECT_EQ(ml::make_regressor(ml::algorithm::random_forest)->name(), "RandomForest");
 }
+
+// ----------------------------------------------------- vectorised prediction ----
+
+TEST_P(AllRegressors, PredictIntoIsBitIdenticalToRowByRow) {
+  // The batched planner path relies on predict_into being bit-identical to
+  // per-row predict_one — same arithmetic, same order — so batching a plan
+  // request can never change the chosen clocks.
+  const auto d = make_linear_data(300, 0.05);
+  auto model = ml::make_regressor(GetParam());
+  model->fit(d.x, d.y);
+
+  const auto test = make_linear_data(64, 0.05, 123);
+  std::vector<double> batched(test.x.rows());
+  model->predict_into(test.x, batched);
+  for (std::size_t r = 0; r < test.x.rows(); ++r)
+    EXPECT_EQ(batched[r], model->predict_one(test.x.row(r))) << model->name() << " row " << r;
+
+  // The allocating wrapper is the same code path.
+  const auto wrapped = model->predict(test.x);
+  for (std::size_t r = 0; r < test.x.rows(); ++r) EXPECT_EQ(wrapped[r], batched[r]);
+}
+
+TEST_P(AllRegressors, PredictIntoRejectsSizeMismatch) {
+  const auto d = make_linear_data(100, 0.0);
+  auto model = ml::make_regressor(GetParam());
+  model->fit(d.x, d.y);
+  std::vector<double> out(d.x.rows() + 1);
+  EXPECT_THROW(model->predict_into(d.x, out), std::invalid_argument) << model->name();
+}
+
+TEST(RandomForest, FlatArrayRebuildSurvivesSerializeRoundTrip) {
+  // Deserialization must rebuild the flattened node array; a forest restored
+  // from its blob predicts bit-identically, single and batched.
+  const auto d = make_nonlinear_data(300);
+  ml::random_forest forest;
+  forest.fit(d.x, d.y);
+  const auto restored = ml::random_forest::deserialize(forest.serialize());
+
+  const auto test = make_nonlinear_data(50, 77);
+  std::vector<double> a(test.x.rows());
+  std::vector<double> b(test.x.rows());
+  forest.predict_into(test.x, a);
+  restored->predict_into(test.x, b);
+  for (std::size_t r = 0; r < test.x.rows(); ++r) {
+    EXPECT_EQ(a[r], b[r]) << "row " << r;
+    EXPECT_EQ(a[r], forest.predict_one(test.x.row(r))) << "row " << r;
+  }
+}
+
+TEST(RandomForest, ZeroTreeForestPredictsNaNInsteadOfDividingByZero) {
+  // Regression: a truncated artefact that deserialises with `n_trees 0` used
+  // to divide by zero in predict_one. It must instead return NaN — a value
+  // the planner's finite-prediction rail rejects — while the never-fitted
+  // programming error keeps throwing loudly.
+  const auto zero = ml::random_forest::deserialize(
+      "random_forest v1\nn_features 3\nn_trees 0\n");
+  ASSERT_NE(zero, nullptr);
+  EXPECT_FALSE(zero->fitted());  // structured loads still refuse it
+
+  const double probe[] = {0.1, 0.2, 0.3};
+  EXPECT_TRUE(std::isnan(zero->predict_one(probe)));
+
+  ml::matrix x;
+  x.push_row(probe);
+  x.push_row(probe);
+  std::vector<double> out(2);
+  zero->predict_into(x, out);
+  EXPECT_TRUE(std::isnan(out[0]));
+  EXPECT_TRUE(std::isnan(out[1]));
+
+  // Feature-count checks still precede the zero-tree backstop.
+  const double wrong[] = {0.1};
+  EXPECT_THROW((void)zero->predict_one(wrong), std::invalid_argument);
+}
