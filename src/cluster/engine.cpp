@@ -5,8 +5,10 @@
 
 namespace synergy::cluster {
 
-void event_engine::at(double t, handler fn) {
-  queue_.push(event{std::max(t, now_), next_seq_++, std::move(fn)});
+std::uint64_t event_engine::at(double t, handler fn) {
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(event{std::max(t, now_), seq, std::move(fn)});
+  return seq;
 }
 
 std::size_t event_engine::run() {

@@ -24,11 +24,14 @@ class event_engine {
   /// Current virtual time in seconds (0 at construction).
   [[nodiscard]] double now() const { return now_; }
 
-  /// Schedule `fn` at absolute virtual time `t` (clamped to now()).
-  void at(double t, handler fn);
+  /// Schedule `fn` at absolute virtual time `t` (clamped to now()). Returns
+  /// the event's monotone sequence number — the tie-break rank among events
+  /// at the same timestamp. Checkpointing records it so a resumed run can
+  /// reschedule pending events in their original relative order.
+  std::uint64_t at(double t, handler fn);
 
   /// Schedule `fn` `dt` seconds from now (clamped to non-negative delay).
-  void after(double dt, handler fn) { at(now_ + dt, std::move(fn)); }
+  std::uint64_t after(double dt, handler fn) { return at(now_ + dt, std::move(fn)); }
 
   /// Fire events in (time, schedule-order) until none remain; returns how
   /// many fired. Handlers may schedule further events.

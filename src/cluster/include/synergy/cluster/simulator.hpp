@@ -24,7 +24,9 @@
 #include <string>
 #include <vector>
 
+#include "synergy/cluster/checkpoint.hpp"
 #include "synergy/cluster/engine.hpp"
+#include "synergy/common/error.hpp"
 #include "synergy/common/rng.hpp"
 #include "synergy/cluster/job_trace.hpp"
 #include "synergy/cluster/policy.hpp"
@@ -104,6 +106,30 @@ struct drift_plan {
   [[nodiscard]] double factor(double core_mhz, double default_core_mhz) const;
 };
 
+/// Seeded node-level chaos for a cluster replay: whole nodes crash at
+/// exponentially distributed virtual times and (optionally) warm-restart
+/// after a fixed outage. A crash drains the node exactly like the PR 3
+/// device-lost path — every in-flight job there is requeued (never lost),
+/// its partial execution is charged to `wasted_gpu_energy_j` with ledger
+/// cause `fault_wasted`, and the facility power budget is rebuilt and
+/// rebalanced over the surviving inventory. A restart re-admits the node
+/// (fresh idle slots, budget rebuild + rebalance, immediate scheduling
+/// pass). All crash times and victim picks come from one pcg32 seeded with
+/// `seed`, independent of the device-fault stream, so chaos replays are
+/// bit-identical per seed.
+struct chaos_plan {
+  std::uint64_t seed{0xc4a05c4a05ULL};
+  /// Mean time between node crashes (virtual seconds); <= 0 disables.
+  double mtbf_s{0.0};
+  /// Outage duration before the crashed node warm-restarts; <= 0 means
+  /// crashed nodes never return (cold loss, like device-lost removal).
+  double restart_delay_s{0.0};
+  /// Upper bound on crash events for the run; 0 disables.
+  std::size_t max_crashes{0};
+
+  [[nodiscard]] bool enabled() const { return mtbf_s > 0.0 && max_crashes > 0; }
+};
+
 /// Reactive-governor regime for the replay. When enabled, every placed job
 /// runs under its own governor instance: the placement's clock (the
 /// scheduling policy's pick — the planner's prediction under a planning
@@ -136,6 +162,8 @@ struct cluster_config {
   fault_plan faults{};
   /// Mid-run power drift for the fleet; disabled by default.
   drift_plan drift{};
+  /// Node-level chaos (crash/restart) for the replay; disabled by default.
+  chaos_plan chaos{};
   /// Reactive governor regime; disabled by default.
   governor_config governor{};
   /// Observability scrape cadence on the cluster's virtual clock: every
@@ -192,6 +220,9 @@ struct run_summary {
   std::size_t requeues{0};           ///< job requeues caused by device-lost events
   std::size_t nodes_lost{0};         ///< nodes drained + removed after device loss
   double wasted_gpu_energy_j{0.0};   ///< partial executions killed by device loss
+  // --- node-level chaos (zero unless a chaos_plan was enabled) ---
+  std::size_t node_crashes{0};   ///< whole-node crash events injected
+  std::size_t node_restarts{0};  ///< crashed nodes warm-restarted and re-admitted
   // --- model lifecycle (zero unless attach_recovery was wired) ---
   std::size_t quarantines{0};  ///< drift-monitor trips observed during the run
   std::size_t promotions{0};   ///< retrained challengers promoted mid-run
@@ -251,6 +282,41 @@ class simulator {
   /// current virtual time — tools use it to emit live snapshot files.
   void set_scrape_hook(std::function<void(double)> hook);
 
+  /// Enable periodic virtual-time checkpointing (and/or crash injection) for
+  /// subsequent run()/resume() calls. Throws std::invalid_argument when the
+  /// config has the reactive governor enabled — per-job governor state is
+  /// not serialisable (see ARCHITECTURE §17's operational contract); the
+  /// lifecycle regime is excluded the same way by the tool layer. Pass the
+  /// guard/service the scheduling policy plans through via `opts` so their
+  /// state (drift window, tier counters, plan cache) rides in the artefact.
+  void set_checkpointing(checkpoint_options opts);
+
+  /// Serialize the full simulator state at the current virtual time into a
+  /// checkpoint payload (unsealed; callers wrap it with envelope::seal).
+  /// Normally driven by the periodic tick, but public for tests.
+  [[nodiscard]] std::string serialize_checkpoint() const;
+
+  /// Restore state from a checkpoint payload (already opened fail-closed
+  /// through the envelope). `trace` must be the same trace the exporting
+  /// run replayed — identity is verified by CRC over its CSV rendering.
+  /// On any parse/consistency error the simulator is left untouched and
+  /// the status names the offending section. Call set_checkpointing() and
+  /// attach_observability() (when the exporting run had them) first.
+  [[nodiscard]] common::status restore_checkpoint(const std::string& payload,
+                                                  const job_trace& trace);
+
+  /// Continue a restored run to completion. The event queue is rebuilt from
+  /// the restored state in original tie-break order, so the summary, per-job
+  /// results, ledger, and snapshot rendering are byte-identical to the
+  /// uninterrupted run. Precondition: restore_checkpoint() succeeded.
+  [[nodiscard]] run_summary resume(const job_trace& trace);
+
+  /// Scrape ticks fired so far (restored across resume) — tools use it to
+  /// re-seed the snapshot sequence number.
+  [[nodiscard]] std::uint64_t scrape_ticks() const { return scrape_ticks_; }
+  /// Checkpoint files written by this simulator so far.
+  [[nodiscard]] std::uint64_t checkpoints_written() const { return ckpt_index_; }
+
   /// Print the per-job sacct-style table of the last run.
   void report(std::ostream& os) const;
 
@@ -261,11 +327,41 @@ class simulator {
   };
 
   void rebuild_controller();
+  [[nodiscard]] sched::node_config make_node_config(const std::string& name) const;
   void arrive(const traced_job& job);
+  void schedule_arrival(const job_trace& trace, std::size_t index, double t);
   void complete(int job_id, std::uint64_t epoch);
   /// A GPU on `node_name` fell off the bus: requeue every job running
   /// there, drain and remove the node, shrink the inventory.
   void device_lost(const std::string& node_name);
+  /// Requeue every job running on node index `ni` with wasted-energy
+  /// attribution (cause::fault_wasted); returns how many were drained.
+  /// Shared by the device-lost and node-crash paths.
+  std::size_t drain_node(std::size_t ni);
+  /// Remove node `ni` from the inventory and rebuild the power budget over
+  /// the survivors (folding the old budget's counters into the base).
+  /// False when the controller refused the removal (node not idle/absent).
+  bool remove_node_and_rebuild(std::size_t ni);
+  /// Rebuild the power budget against the current inventory, re-registering
+  /// every running job's demand and folding counters into the base.
+  void rebuild_budget();
+  /// Node-level chaos events (id-keyed so pending events are serialisable).
+  void node_crash(std::uint64_t event_id);
+  void node_restart(std::uint64_t event_id);
+  void device_lost_event(std::uint64_t event_id);
+  /// Periodic checkpoint tick: serialize + seal + atomic write, reschedule.
+  void checkpoint_tick();
+  /// True while undrained work can still schedule events: pending arrivals,
+  /// running jobs, or pending fault/chaos events. The self-rescheduling
+  /// ticks (scrape, checkpoint) key off this instead of engine emptiness so
+  /// two tick streams cannot keep each other alive forever.
+  [[nodiscard]] bool has_live_work() const;
+  /// Shared tail of run()/resume(): drive the engine dry, close accounting,
+  /// fail whatever never scheduled, assemble the summary.
+  run_summary finish_run(const job_trace& trace);
+  /// Stable digest of the replay-relevant configuration; a checkpoint only
+  /// restores into a simulator whose digest matches.
+  [[nodiscard]] std::string config_fingerprint() const;
   void try_schedule();
   [[nodiscard]] cluster_view make_view() const;
   [[nodiscard]] double shadow_time(int n_gpus) const;
@@ -321,6 +417,10 @@ class simulator {
     double cur_duration_full{0.0};  ///< whole-job seconds at the current clock
     double cur_util{0.0};          ///< modelled compute utilisation at it
     double target_w{0.0};          ///< hybrid watt target (predicted power)
+    // --- checkpoint bookkeeping: the pending completion (or governor tick)
+    // event for this job, so a resumed run can reschedule it exactly.
+    double event_t{0.0};
+    std::uint64_t event_seq{0};
   };
   /// Close `rj`'s open accrual segment at `now`: advance work fraction,
   /// book the segment's joules into the seed/governor bucket, and advance
@@ -329,6 +429,12 @@ class simulator {
   std::vector<running_job> running_;
   std::vector<std::pair<double, double>> power_samples_;
   double last_integrated_s_{0.0};
+  /// Virtual time of the newest accounting-relevant event. finish_run()
+  /// closes integration and the final scrape here rather than at
+  /// engine_.now(): a trailing (inert) checkpoint tick may outlive all live
+  /// work, and the contract is byte-identical output with checkpointing on
+  /// or off.
+  double last_live_t_{0.0};
   double facility_energy_j_{0.0};
   double busy_gpu_seconds_{0.0};
   double peak_power_w_{0.0};
@@ -361,6 +467,36 @@ class simulator {
   // Budget counters accumulated across budget rebuilds (node removal).
   std::size_t budget_rebalances_base_{0};
   std::size_t budget_demotions_base_{0};
+  // --- node-level chaos state (reset per run) ---
+  common::pcg32 chaos_rng_{0};
+  std::size_t node_crashes_{0};
+  std::size_t node_restarts_{0};
+  // --- explicit pending-event registries (closures cannot serialize; the
+  // checkpoint rebuilds the event queue from these + running_/arrivals) ---
+  struct pending_node_event {
+    std::uint64_t id{0};   ///< registry key (captured by the closure)
+    double t{0.0};         ///< fire time
+    std::uint64_t seq{0};  ///< engine tie-break rank
+    std::string node;      ///< victim (device-lost / restart); empty for crash
+  };
+  std::vector<pending_node_event> pending_faults_;    ///< device-lost events
+  std::vector<pending_node_event> pending_crashes_;   ///< chaos crash events
+  std::vector<pending_node_event> pending_restarts_;  ///< chaos restart events
+  std::uint64_t next_node_event_id_{0};
+  std::vector<std::uint64_t> arrival_seq_;  ///< per trace index: arrival event seq
+  std::vector<char> arrived_;               ///< per trace index: arrival fired
+  std::size_t arrivals_pending_{0};
+  // --- scrape/checkpoint tick bookkeeping (restored across resume) ---
+  double next_scrape_t_{-1.0};
+  std::uint64_t next_scrape_seq_{0};
+  std::uint64_t scrape_ticks_{0};
+  // --- checkpointing (configured once; index/cursor reset per run) ---
+  checkpoint_options ckpt_;
+  bool ckpt_enabled_{false};
+  std::uint64_t ckpt_index_{0};
+  double next_ckpt_t_{-1.0};
+  std::uint64_t trace_crc_{0};  ///< CRC-32 of the running trace's CSV form
+  bool restored_{false};        ///< restore_checkpoint() succeeded; resume() legal
 };
 
 /// Tuning-table-backed plan resolver for `device`: compiled once from the

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <ostream>
 #include <set>
 #include <stdexcept>
 
+#include "synergy/common/checksum.hpp"
 #include "synergy/common/csv.hpp"
 #include "synergy/common/log.hpp"
 #include "synergy/common/stats.hpp"
@@ -79,18 +81,22 @@ simulator::simulator(cluster_config config, std::unique_ptr<scheduling_policy> p
   rebuild_controller();
 }
 
+sched::node_config simulator::make_node_config(const std::string& name) const {
+  sched::node_config cfg;
+  cfg.name = name;
+  cfg.gpus.assign(config_.gpus_per_node, config_.device);
+  cfg.host_power_w = config_.host_power_w;
+  if (config_.tag_nvgpufreq) cfg.gres.insert(sched::nvgpufreq_plugin::gres_tag);
+  return cfg;
+}
+
 void simulator::rebuild_controller() {
   std::vector<sched::node_config> nodes;
   nodes.reserve(config_.n_nodes);
   for (std::size_t i = 0; i < config_.n_nodes; ++i) {
-    sched::node_config cfg;
     char name[16];
     std::snprintf(name, sizeof name, "cn%03u", static_cast<unsigned>(i));
-    cfg.name = name;
-    cfg.gpus.assign(config_.gpus_per_node, config_.device);
-    cfg.host_power_w = config_.host_power_w;
-    if (config_.tag_nvgpufreq) cfg.gres.insert(sched::nvgpufreq_plugin::gres_tag);
-    nodes.push_back(std::move(cfg));
+    nodes.push_back(make_node_config(name));
   }
   ctl_ = std::make_unique<sched::controller>(std::move(nodes));
 }
@@ -181,6 +187,7 @@ void simulator::sample_power() {
 }
 
 void simulator::arrive(const traced_job& job) {
+  last_live_t_ = engine_.now();
   integrate_to_now();
   SYNERGY_COUNTER_ADD("cluster.arrivals", 1);
   SYNERGY_INSTANT(tel::category::sched, "cluster.arrival",
@@ -341,27 +348,52 @@ void simulator::start(std::size_t queue_index, const placement& pl) {
   budget_->rebalance();
   const int id = qj.job.id;
   const double tick = std::max(1e-3, config_.governor.tick_interval_s);
-  if (governed && duration > tick)
-    engine_.after(tick, [this, id, epoch] { governor_tick(id, epoch); });
-  else
-    engine_.after(duration, [this, id, epoch] { complete(id, epoch); });
+  {
+    // Track the pending event on the job record so a checkpoint can
+    // reschedule it with the exact (time, tie-break rank) it had.
+    auto& rj = running_.back();
+    rj.event_t = governed && duration > tick ? now + tick : now + duration;
+    rj.event_seq =
+        governed && duration > tick
+            ? engine_.at(rj.event_t, [this, id, epoch] { governor_tick(id, epoch); })
+            : engine_.at(rj.event_t, [this, id, epoch] { complete(id, epoch); });
+  }
   if (lose_device_here) {
     // The board dies partway through this job. Nodes are addressed by name
-    // because indices shift when earlier losses remove nodes.
+    // because indices shift when earlier losses remove nodes. The event
+    // lives in an explicit registry (id-keyed) so checkpoints can carry it.
     const std::string victim = ctl_->node_at(pl.gpus.front().node).name();
-    engine_.after(duration * lose_at_frac, [this, victim] { device_lost(victim); });
+    const std::uint64_t eid = next_node_event_id_++;
+    const double t = now + duration * lose_at_frac;
+    const std::uint64_t seq = engine_.at(t, [this, eid] { device_lost_event(eid); });
+    pending_faults_.push_back({eid, t, seq, victim});
   }
 }
 
+void simulator::device_lost_event(std::uint64_t event_id) {
+  const auto it =
+      std::find_if(pending_faults_.begin(), pending_faults_.end(),
+                   [event_id](const pending_node_event& e) { return e.id == event_id; });
+  if (it == pending_faults_.end()) return;  // dropped by a restore
+  last_live_t_ = engine_.now();
+  const std::string victim = it->node;
+  pending_faults_.erase(it);
+  device_lost(victim);
+}
+
 void simulator::complete(int job_id, std::uint64_t epoch) {
-  integrate_to_now();
   const auto it = std::find_if(running_.begin(), running_.end(), [&](const running_job& rj) {
     return rj.id == job_id && rj.epoch == epoch;
   });
-  // Stale completion: the job was requeued by a device-lost event after
-  // this event was scheduled (the engine cannot cancel). Ignore it — the
-  // restarted incarnation carries a fresh epoch.
+  // Stale completion: the job was requeued by a device-lost/node-crash event
+  // after this event was scheduled (the engine cannot cancel). Ignore it —
+  // the restarted incarnation carries a fresh epoch. The check runs before
+  // any accounting so a stale event is a pure no-op: checkpoints then do not
+  // need to carry stale events, and resumed runs integrate the facility
+  // energy over the same spans as uninterrupted ones.
   if (it == running_.end()) return;
+  last_live_t_ = engine_.now();
+  integrate_to_now();
 
   std::set<std::size_t> nodes_used;
   for (const auto& slot : it->gpus) {
@@ -496,6 +528,7 @@ void simulator::governor_tick(int job_id, std::uint64_t epoch) {
   // Stale tick: the job was requeued by a device-lost event after this tick
   // was scheduled; the restarted incarnation runs under a fresh epoch.
   if (it == running_.end() || !it->gov) return;
+  last_live_t_ = engine_.now();
   integrate_to_now();
   running_job& rj = *it;
   const double now = engine_.now();
@@ -534,27 +567,17 @@ void simulator::governor_tick(int job_id, std::uint64_t epoch) {
   for (const auto& s : rj.gpus) slots_[s.node][s.gpu].busy_until = now + remaining;
   const double tick = std::max(1e-3, config_.governor.tick_interval_s);
   const int id = job_id;
-  if (remaining <= tick + 1e-9)
-    engine_.after(std::max(0.0, remaining), [this, id, epoch] { complete(id, epoch); });
-  else
-    engine_.after(tick, [this, id, epoch] { governor_tick(id, epoch); });
+  if (remaining <= tick + 1e-9) {
+    rj.event_t = now + std::max(0.0, remaining);
+    rj.event_seq = engine_.at(rj.event_t, [this, id, epoch] { complete(id, epoch); });
+  } else {
+    rj.event_t = now + tick;
+    rj.event_seq = engine_.at(rj.event_t, [this, id, epoch] { governor_tick(id, epoch); });
+  }
   sample_power();
 }
 
-void simulator::device_lost(const std::string& node_name) {
-  // Resolve by name: earlier losses shift indices. A vanished name means the
-  // node is already gone (double event) — nothing to do.
-  std::size_t ni = slots_.size();
-  for (std::size_t i = 0; i < ctl_->node_count(); ++i)
-    if (ctl_->node_at(i).name() == node_name) {
-      ni = i;
-      break;
-    }
-  if (ni >= slots_.size() || slots_.size() <= 1 ||
-      nodes_lost_ >= config_.faults.max_node_losses)
-    return;
-  integrate_to_now();
-
+std::size_t simulator::drain_node(std::size_t ni) {
   // Every job with a GPU on the dying node is preempted and requeued — jobs
   // are never lost. Its partial execution is refunded from the pre-charged
   // accounting and booked as wasted work instead.
@@ -611,25 +634,116 @@ void simulator::device_lost(const std::string& node_name) {
                     {"node", static_cast<double>(ni)});
     queue_.push_back(queued_job{rj.job, rj.est});
   }
+  return victims.size();
+}
 
+void simulator::rebuild_budget() {
+  // The budget is sized to the inventory, so node removal/re-admission
+  // rebuilds it from scratch; counters fold into the base so run totals
+  // survive the swap, and running jobs re-register their demand.
+  budget_rebalances_base_ += budget_->rebalances();
+  budget_demotions_base_ += budget_->demotions();
+  budget_ = std::make_unique<power_budget>(*ctl_, config_.facility_cap_w);
+  for (const auto& rj : running_)
+    for (const auto& s : rj.gpus) budget_->gpu_busy(s.node, s.gpu, rj.avg_power_w);
+}
+
+bool simulator::remove_node_and_rebuild(std::size_t ni) {
   // Drained of jobs, the node leaves the inventory through the controller's
   // normal removal path; slot and budget bookkeeping shift down with it.
-  if (ctl_->remove_node(node_name)) {
-    slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(ni));
-    for (auto& rj : running_)
-      for (auto& s : rj.gpus)
-        if (s.node > ni) --s.node;
-    budget_rebalances_base_ += budget_->rebalances();
-    budget_demotions_base_ += budget_->demotions();
-    budget_ = std::make_unique<power_budget>(*ctl_, config_.facility_cap_w);
-    for (const auto& rj : running_)
-      for (const auto& s : rj.gpus) budget_->gpu_busy(s.node, s.gpu, rj.avg_power_w);
+  if (!ctl_->remove_node(ctl_->node_at(ni).name())) return false;
+  slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(ni));
+  for (auto& rj : running_)
+    for (auto& s : rj.gpus)
+      if (s.node > ni) --s.node;
+  rebuild_budget();
+  return true;
+}
+
+void simulator::device_lost(const std::string& node_name) {
+  // Resolve by name: earlier losses shift indices. A vanished name means the
+  // node is already gone (double event) — nothing to do.
+  std::size_t ni = slots_.size();
+  for (std::size_t i = 0; i < ctl_->node_count(); ++i)
+    if (ctl_->node_at(i).name() == node_name) {
+      ni = i;
+      break;
+    }
+  if (ni >= slots_.size() || slots_.size() <= 1 ||
+      nodes_lost_ >= config_.faults.max_node_losses)
+    return;
+  integrate_to_now();
+
+  [[maybe_unused]] const std::size_t requeued = drain_node(ni);
+  if (remove_node_and_rebuild(ni)) {
     ++nodes_lost_;
     SYNERGY_COUNTER_ADD("cluster.nodes_lost", 1);
     SYNERGY_INSTANT(tel::category::sched, "cluster.device_lost",
                     {"node", static_cast<double>(ni)},
-                    {"requeued", static_cast<double>(victims.size())});
+                    {"requeued", static_cast<double>(requeued)});
   }
+
+  budget_->rebalance();
+  try_schedule();
+  sample_power();
+}
+
+void simulator::node_crash(std::uint64_t event_id) {
+  const auto it =
+      std::find_if(pending_crashes_.begin(), pending_crashes_.end(),
+                   [event_id](const pending_node_event& e) { return e.id == event_id; });
+  if (it == pending_crashes_.end()) return;
+  last_live_t_ = engine_.now();
+  pending_crashes_.erase(it);
+  // At least one node always survives; a skipped crash consumes no RNG so
+  // the victim stream stays aligned across replays regardless of timing.
+  if (slots_.size() <= 1) return;
+  integrate_to_now();
+
+  const auto ni = static_cast<std::size_t>(
+      chaos_rng_.bounded(static_cast<std::uint32_t>(slots_.size())));
+  const std::string name = ctl_->node_at(ni).name();
+  [[maybe_unused]] const std::size_t requeued = drain_node(ni);
+  if (remove_node_and_rebuild(ni)) {
+    ++node_crashes_;
+    SYNERGY_COUNTER_ADD("cluster.node_crashes", 1);
+    SYNERGY_INSTANT(tel::category::sched, "cluster.node_crash",
+                    {"node", static_cast<double>(ni)},
+                    {"requeued", static_cast<double>(requeued)});
+    if (config_.chaos.restart_delay_s > 0.0) {
+      const std::uint64_t eid = next_node_event_id_++;
+      const double t = engine_.now() + config_.chaos.restart_delay_s;
+      const std::uint64_t seq = engine_.at(t, [this, eid] { node_restart(eid); });
+      pending_restarts_.push_back({eid, t, seq, name});
+    }
+  }
+
+  budget_->rebalance();
+  try_schedule();
+  sample_power();
+}
+
+void simulator::node_restart(std::uint64_t event_id) {
+  const auto it =
+      std::find_if(pending_restarts_.begin(), pending_restarts_.end(),
+                   [event_id](const pending_node_event& e) { return e.id == event_id; });
+  if (it == pending_restarts_.end()) return;
+  last_live_t_ = engine_.now();
+  const std::string name = it->node;
+  pending_restarts_.erase(it);
+  integrate_to_now();
+
+  // Warm restart: the node returns with fresh idle slots (whatever ran there
+  // was requeued at crash time), is appended to the inventory — append never
+  // shifts existing indices — and the budget re-spreads over the grown
+  // fleet before an immediate scheduling pass picks up deferred work.
+  ctl_->add_node(make_node_config(name));
+  slots_.emplace_back(config_.gpus_per_node, slot_state{});
+  rebuild_budget();
+  ++node_restarts_;
+  SYNERGY_COUNTER_ADD("cluster.node_restarts", 1);
+  SYNERGY_INSTANT(tel::category::sched, "cluster.node_restart",
+                  {"node", static_cast<double>(slots_.size() - 1)});
 
   budget_->rebalance();
   try_schedule();
@@ -663,6 +777,20 @@ void simulator::try_schedule() {
   }
 }
 
+void simulator::schedule_arrival(const job_trace& trace, std::size_t index, double t) {
+  const traced_job job = trace.jobs[index];
+  arrival_seq_[index] = engine_.at(t, [this, job, index] {
+    arrived_[index] = 1;
+    --arrivals_pending_;
+    arrive(job);
+  });
+}
+
+bool simulator::has_live_work() const {
+  return arrivals_pending_ > 0 || !running_.empty() || !pending_faults_.empty() ||
+         !pending_crashes_.empty() || !pending_restarts_.empty();
+}
+
 run_summary simulator::run(const job_trace& trace) {
   // Reset per-run state so one simulator can replay several traces. A
   // previous faulty run may have removed nodes — restore the full inventory.
@@ -675,6 +803,7 @@ run_summary simulator::run(const job_trace& trace) {
   results_.clear();
   power_samples_.clear();
   last_integrated_s_ = 0.0;
+  last_live_t_ = 0.0;
   facility_energy_j_ = 0.0;
   busy_gpu_seconds_ = 0.0;
   peak_power_w_ = 0.0;
@@ -693,9 +822,27 @@ run_summary simulator::run(const job_trace& trace) {
   governor_clock_changes_ = 0;
   budget_rebalances_base_ = 0;
   budget_demotions_base_ = 0;
+  chaos_rng_ = common::pcg32{config_.chaos.seed};
+  node_crashes_ = 0;
+  node_restarts_ = 0;
+  pending_faults_.clear();
+  pending_crashes_.clear();
+  pending_restarts_.clear();
+  next_node_event_id_ = 0;
+  arrival_seq_.assign(trace.jobs.size(), 0);
+  arrived_.assign(trace.jobs.size(), 0);
+  arrivals_pending_ = trace.jobs.size();
+  next_scrape_t_ = -1.0;
+  next_scrape_seq_ = 0;
+  scrape_ticks_ = 0;
+  ckpt_index_ = 0;
+  next_ckpt_t_ = -1.0;
+  trace_crc_ = 0;
+  restored_ = false;
 
   results_.reserve(trace.jobs.size());
-  for (const auto& job : trace.jobs) {
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    const auto& job = trace.jobs[i];
     job_result r;
     r.id = job.id;
     r.name = job.name;
@@ -704,19 +851,61 @@ run_summary simulator::run(const job_trace& trace) {
     r.n_gpus = job.n_gpus;
     r.submit_s = job.submit_s;
     results_.push_back(std::move(r));
-    engine_.at(job.submit_s, [this, job] { arrive(job); });
+    schedule_arrival(trace, i, job.submit_s);
   }
   sample_power();
-  if (config_.obs_scrape_interval_s > 0.0)
-    engine_.after(config_.obs_scrape_interval_s, [this] { scrape_tick(); });
+  if (config_.obs_scrape_interval_s > 0.0) {
+    next_scrape_t_ = config_.obs_scrape_interval_s;
+    next_scrape_seq_ = engine_.at(next_scrape_t_, [this] { scrape_tick(); });
+  }
+  if (config_.chaos.enabled()) {
+    // All crash times are drawn up-front from the chaos stream (cumulative
+    // exponential inter-arrivals), so neither simulation timing nor resume
+    // point can shift them; the victim pick happens at fire time against
+    // the then-live inventory.
+    double t = 0.0;
+    for (std::size_t k = 0; k < config_.chaos.max_crashes; ++k) {
+      t += -config_.chaos.mtbf_s * std::log1p(-chaos_rng_.uniform());
+      const std::uint64_t eid = next_node_event_id_++;
+      const std::uint64_t seq = engine_.at(t, [this, eid] { node_crash(eid); });
+      pending_crashes_.push_back({eid, t, seq, ""});
+    }
+  }
+  if (ckpt_enabled_) {
+    trace_crc_ = common::crc32(trace.to_csv());
+    if (ckpt_.interval_s > 0.0) {
+      next_ckpt_t_ = ckpt_.interval_s;
+      engine_.at(next_ckpt_t_, [this] { checkpoint_tick(); });
+    }
+    if (ckpt_.crash_at_s >= 0.0)
+      engine_.at(ckpt_.crash_at_s, [] {
+        // Crash-injection harness: die hard, skipping destructors and
+        // atexit, exactly like an OOM-kill would — whatever the last
+        // checkpoint captured is all a resume gets.
+        std::fflush(nullptr);
+        std::_Exit(crash_injection_exit_code);
+      });
+  }
+  return finish_run(trace);
+}
+
+run_summary simulator::finish_run(const job_trace& trace) {
   engine_.run();
-  integrate_to_now();
+  // Close accounting at the last live event, not engine_.now(): the drained
+  // clock can sit on a trailing inert event (a checkpoint tick scheduled
+  // before the work ran dry, or a stale completion of a requeued job) whose
+  // presence depends on checkpointing/crash history — and the contract is
+  // byte-identical output with checkpointing on or off.
+  if (last_live_t_ > last_integrated_s_) {
+    facility_energy_j_ += budget_->facility_power_w() * (last_live_t_ - last_integrated_s_);
+    last_integrated_s_ = last_live_t_;
+  }
   if (config_.obs_scrape_interval_s > 0.0) {
     // Closing sample: a run shorter than one interval still gets a series
     // point, and the watchdog sees the final state.
-    obs::energy_ledger::instance().scrape(engine_.now());
-    if (watchdog_) watchdog_->evaluate(engine_.now());
-    if (scrape_hook_) scrape_hook_(engine_.now());
+    obs::energy_ledger::instance().scrape(last_live_t_);
+    if (watchdog_) watchdog_->evaluate(last_live_t_);
+    if (scrape_hook_) scrape_hook_(last_live_t_);
   }
 
   // Anything still queued can never start (the queue only drains on
@@ -765,6 +954,8 @@ run_summary simulator::run(const job_trace& trace) {
   s.requeues = requeues_;
   s.nodes_lost = nodes_lost_;
   s.wasted_gpu_energy_j = wasted_energy_j_;
+  s.node_crashes = node_crashes_;
+  s.node_restarts = node_restarts_;
   s.quarantines = quarantines_;
   s.promotions = promotions_;
   s.rollbacks = rollbacks_;
@@ -774,13 +965,20 @@ run_summary simulator::run(const job_trace& trace) {
 }
 
 void simulator::scrape_tick() {
+  last_live_t_ = engine_.now();
+  ++scrape_ticks_;
   obs::energy_ledger::instance().scrape(engine_.now());
   if (watchdog_) watchdog_->evaluate(engine_.now());
   if (scrape_hook_) scrape_hook_(engine_.now());
-  // Reschedule only while the run still has events: the tick must not keep
-  // an otherwise-finished simulation alive forever.
-  if (!engine_.empty())
-    engine_.after(config_.obs_scrape_interval_s, [this] { scrape_tick(); });
+  // Reschedule only while the run still has live work: keying off engine
+  // emptiness would let the scrape and checkpoint tick streams keep each
+  // other alive forever.
+  if (has_live_work()) {
+    next_scrape_t_ = engine_.now() + config_.obs_scrape_interval_s;
+    next_scrape_seq_ = engine_.at(next_scrape_t_, [this] { scrape_tick(); });
+  } else {
+    next_scrape_t_ = -1.0;
+  }
 }
 
 void simulator::attach_observability(std::shared_ptr<obs::slo_watchdog> watchdog,
@@ -849,6 +1047,10 @@ void run_summary::print(std::ostream& os) const {
     table.row({"nodes lost", std::to_string(nodes_lost)});
     table.row({"wasted GPU energy (J)", fmt(wasted_gpu_energy_j, 1)});
   }
+  if (node_crashes + node_restarts > 0) {
+    table.row({"node crashes (chaos)", std::to_string(node_crashes)});
+    table.row({"node restarts (chaos)", std::to_string(node_restarts)});
+  }
   if (quarantines + promotions + rollbacks > 0) {
     table.row({"model quarantines", std::to_string(quarantines)});
     table.row({"model promotions", std::to_string(promotions)});
@@ -870,8 +1072,8 @@ void run_summary::csv(std::ostream& os, bool with_header) const {
              "p50_wait_s", "p95_wait_s", "max_wait_s", "gpu_utilization",
              "peak_facility_power_w", "cap_rebalances", "cap_demotions",
              "clock_set_faults", "degraded_samples", "requeues", "nodes_lost",
-             "wasted_gpu_energy_j", "quarantines", "promotions", "rollbacks",
-             "governor_ticks", "governor_clock_changes"});
+             "wasted_gpu_energy_j", "node_crashes", "node_restarts", "quarantines",
+             "promotions", "rollbacks", "governor_ticks", "governor_clock_changes"});
   }
   csv.row({policy, std::to_string(seed), std::to_string(jobs), std::to_string(completed),
            std::to_string(failed), common::csv_writer::num(makespan_s),
@@ -884,6 +1086,7 @@ void run_summary::csv(std::ostream& os, bool with_header) const {
            std::to_string(cap_demotions), std::to_string(clock_set_faults),
            std::to_string(degraded_samples), std::to_string(requeues),
            std::to_string(nodes_lost), common::csv_writer::num(wasted_gpu_energy_j),
+           std::to_string(node_crashes), std::to_string(node_restarts),
            std::to_string(quarantines), std::to_string(promotions),
            std::to_string(rollbacks), std::to_string(governor_ticks),
            std::to_string(governor_clock_changes)});

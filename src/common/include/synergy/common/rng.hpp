@@ -12,6 +12,16 @@
 
 namespace synergy::common {
 
+/// Mid-stream snapshot of a pcg32 (checkpoint/resume support). The spare
+/// normal variate from the Marsaglia polar method is part of the stream
+/// state: dropping it would shift every draw after the restore point.
+struct pcg32_state {
+  std::uint64_t state{0};
+  std::uint64_t inc{0};
+  bool has_spare{false};
+  double spare{0.0};
+};
+
 /// PCG-XSH-RR 64/32 generator (O'Neill, 2014). Small, fast, statistically
 /// strong, and with a guaranteed cross-platform output sequence.
 class pcg32 {
@@ -54,6 +64,20 @@ class pcg32 {
 
   /// Normal variate with given mean and standard deviation.
   double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Export the exact mid-stream state (bit-identical continuation).
+  [[nodiscard]] constexpr pcg32_state state() const {
+    return {state_, inc_, has_spare_, spare_};
+  }
+
+  /// Resume from an exported state: the next draw equals what the exporting
+  /// generator would have produced.
+  constexpr void set_state(const pcg32_state& s) {
+    state_ = s.state;
+    inc_ = s.inc;
+    has_spare_ = s.has_spare;
+    spare_ = s.spare;
+  }
 
  private:
   constexpr result_type next() {

@@ -56,6 +56,38 @@ double drift_monitor::rolling_error() const {
   return window_sum_ / static_cast<double>(window_.size());
 }
 
+drift_state drift_monitor::export_state() const {
+  drift_state s;
+  s.scale = scale_;
+  s.window = window_;
+  s.next = next_;
+  s.window_sum = window_sum_;
+  s.total = total_;
+  s.rejected = rejected_;
+  s.quarantined = quarantined_;
+  s.reason = reason_;
+  return s;
+}
+
+bool drift_monitor::import_state(const drift_state& s) {
+  if (s.window.size() > opt_.window) return false;
+  if (s.window.size() == opt_.window) {
+    if (s.next >= opt_.window) return false;
+  } else if (s.next != 0) {
+    // While the ring is still filling, observe() appends; next_ stays 0.
+    return false;
+  }
+  scale_ = s.scale;
+  window_ = s.window;
+  next_ = s.next;
+  window_sum_ = s.window_sum;
+  total_ = s.total;
+  rejected_ = s.rejected;
+  quarantined_ = s.quarantined;
+  reason_ = s.reason;
+  return true;
+}
+
 void drift_monitor::reset() {
   scale_.clear();
   window_.clear();

@@ -235,4 +235,31 @@ void guarded_planner::observe(const std::string& kernel, const gpusim::static_fe
     generation_.fetch_add(1, std::memory_order_release);
 }
 
+guard_state guarded_planner::export_state() const {
+  guard_state s;
+  s.generation = generation_.load(std::memory_order_acquire);
+  s.model_plans = model_plans_.load(std::memory_order_relaxed);
+  s.table_fallbacks = table_fallbacks_.load(std::memory_order_relaxed);
+  s.default_fallbacks = default_fallbacks_.load(std::memory_order_relaxed);
+  s.ood_rejections = ood_rejections_.load(std::memory_order_relaxed);
+  s.prediction_rejections = prediction_rejections_.load(std::memory_order_relaxed);
+  s.quarantine_rejections = quarantine_rejections_.load(std::memory_order_relaxed);
+  s.quarantine_probes = quarantine_probes_.load(std::memory_order_relaxed);
+  s.drift = drift_.export_state();
+  return s;
+}
+
+bool guarded_planner::import_state(const guard_state& s) {
+  if (!drift_.import_state(s.drift)) return false;
+  generation_.store(s.generation, std::memory_order_release);
+  model_plans_.store(s.model_plans, std::memory_order_relaxed);
+  table_fallbacks_.store(s.table_fallbacks, std::memory_order_relaxed);
+  default_fallbacks_.store(s.default_fallbacks, std::memory_order_relaxed);
+  ood_rejections_.store(s.ood_rejections, std::memory_order_relaxed);
+  prediction_rejections_.store(s.prediction_rejections, std::memory_order_relaxed);
+  quarantine_rejections_.store(s.quarantine_rejections, std::memory_order_relaxed);
+  quarantine_probes_.store(s.quarantine_probes, std::memory_order_relaxed);
+  return true;
+}
+
 }  // namespace synergy

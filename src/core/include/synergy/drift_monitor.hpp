@@ -41,6 +41,18 @@ struct drift_options {
   double threshold{0.25};
 };
 
+/// Full rolling state of a drift_monitor (checkpoint/resume support).
+struct drift_state {
+  std::map<std::string, double> scale;
+  std::vector<double> window;
+  std::size_t next{0};
+  double window_sum{0.0};
+  std::size_t total{0};
+  std::size_t rejected{0};
+  bool quarantined{false};
+  std::string reason;
+};
+
 class drift_monitor {
  public:
   explicit drift_monitor(drift_options options = {});
@@ -66,6 +78,15 @@ class drift_monitor {
   void reset();
 
   [[nodiscard]] const drift_options& options() const { return opt_; }
+
+  /// Snapshot the exact rolling state for checkpointing. Restoring it into a
+  /// monitor with the same options makes subsequent observe() calls behave
+  /// bit-identically to the exporting monitor.
+  [[nodiscard]] drift_state export_state() const;
+  /// Replace the rolling state wholesale. Returns false (and leaves the
+  /// monitor untouched) when the snapshot is internally inconsistent with
+  /// this monitor's options (e.g. window larger than configured).
+  bool import_state(const drift_state& s);
 
  private:
   drift_options opt_;

@@ -60,6 +60,22 @@ struct plan_request {
   metrics::target target;
 };
 
+/// Full mutable state of a guarded_planner (checkpoint/resume support): the
+/// chain generation, every fallback counter, and the drift monitor's rolling
+/// state. The tiers themselves (model set, tuning table) are rebuilt from
+/// their on-disk artefacts by the resuming process, not serialized.
+struct guard_state {
+  std::uint64_t generation{0};
+  std::size_t model_plans{0};
+  std::size_t table_fallbacks{0};
+  std::size_t default_fallbacks{0};
+  std::size_t ood_rejections{0};
+  std::size_t prediction_rejections{0};
+  std::size_t quarantine_rejections{0};
+  std::size_t quarantine_probes{0};
+  drift_state drift;
+};
+
 class guarded_planner {
  public:
   /// Either tier may be absent: a missing/corrupt model set degrades the
@@ -164,6 +180,15 @@ class guarded_planner {
   [[nodiscard]] std::size_t quarantine_rejections() const {
     return quarantine_rejections_.load(std::memory_order_relaxed);
   }
+
+  /// Snapshot generation, counters, and drift state for checkpointing.
+  /// Not thread-safe against concurrent planning (callers serialise, as with
+  /// install()).
+  [[nodiscard]] guard_state export_state() const;
+  /// Restore a snapshot taken by export_state(). Returns false (guard
+  /// untouched) when the drift portion is inconsistent with this guard's
+  /// drift options. Same serialisation requirements as install().
+  bool import_state(const guard_state& s);
 
  private:
   [[nodiscard]] plan_decision plan_impl(const std::string& kernel,

@@ -61,6 +61,16 @@ struct plan_service_options {
   bool cache_quarantined{true};
 };
 
+/// One cached (kernel, target) → decision entry, in exportable form
+/// (checkpoint/resume support). `target` is the rendered metrics::target
+/// string — the cache key uses the rendered form, so re-import never needs
+/// to re-parse it.
+struct cached_plan {
+  std::string kernel;
+  std::string target;
+  plan_decision decision;
+};
+
 /// A chain decision plus the service metadata attached to it.
 struct serviced_plan {
   plan_decision decision;
@@ -126,6 +136,17 @@ class plan_service {
     return {hits_.load(std::memory_order_relaxed), misses_.load(std::memory_order_relaxed),
             deduped_.load(std::memory_order_relaxed)};
   }
+
+  /// Snapshot every cache entry still valid at the current generation,
+  /// sorted by (kernel, target) for deterministic serialization. Cache hits
+  /// bypass the degradation chain entirely, so a resumed run must restore
+  /// the cache contents to reproduce the exporting run's hit/miss (and
+  /// therefore chain-counter) sequence byte-for-byte.
+  [[nodiscard]] std::vector<cached_plan> export_cache();
+  /// Install exported entries, stamped at this service's *current*
+  /// generation. Callers are responsible for restoring guard state first so
+  /// the generations line up.
+  void import_cache(const std::vector<cached_plan>& entries);
 
  private:
   struct shard {

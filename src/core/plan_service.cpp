@@ -1,5 +1,6 @@
 #include "synergy/plan_service.hpp"
 
+#include <algorithm>
 #include <functional>
 #include <utility>
 
@@ -168,6 +169,36 @@ void plan_service::install(std::shared_ptr<const frequency_planner> planner) {
 void plan_service::reset_quarantine() {
   std::unique_lock lk(mu_);
   guard_->reset_quarantine();  // bumps the chain generation
+}
+
+std::vector<cached_plan> plan_service::export_cache() {
+  const std::uint64_t gen = generation();
+  std::vector<cached_plan> out;
+  for (const auto& sp : shards_) {
+    std::lock_guard lk(sp->m);
+    if (sp->epoch != gen) continue;  // stale shard: entries are already dead
+    for (const auto& [key, decision] : sp->entries) {
+      const auto sep = key.find('\0');
+      if (sep == std::string::npos) continue;
+      out.push_back({key.substr(0, sep), key.substr(sep + 1), decision});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const cached_plan& a, const cached_plan& b) {
+    return a.kernel != b.kernel ? a.kernel < b.kernel : a.target < b.target;
+  });
+  return out;
+}
+
+void plan_service::import_cache(const std::vector<cached_plan>& entries) {
+  const std::uint64_t gen = generation();
+  for (const auto& e : entries) {
+    std::string key;
+    key.reserve(e.kernel.size() + e.target.size() + 1);
+    key += e.kernel;
+    key += '\0';
+    key += e.target;
+    store(key, gen, e.decision);
+  }
 }
 
 }  // namespace synergy

@@ -91,6 +91,28 @@ bool energy_ledger::is_enabled() const {
   return enabled_;
 }
 
+ledger_state energy_ledger::export_state() const {
+  ledger_state s;
+  s.cells = entries();  // key-sorted; takes the lock itself
+  std::scoped_lock lock(mutex_);
+  s.totals = totals_;
+  s.total_j = total_j_;
+  s.charges = charges_;
+  s.series = series_;
+  return s;
+}
+
+void energy_ledger::import_state(const ledger_state& s) {
+  std::scoped_lock lock(mutex_);
+  cells_.clear();
+  if (!s.cells.empty()) cells_.rehash(std::max<std::size_t>(4096, s.cells.size() * 2));
+  for (const auto& e : s.cells) cells_.emplace(e.key, e.by_cause);
+  totals_ = s.totals;
+  total_j_ = s.total_j;
+  charges_ = s.charges;
+  series_ = s.series;
+}
+
 namespace {
 
 attribution& thread_attribution() noexcept {

@@ -126,6 +126,18 @@ struct scrape_sample {
   std::uint64_t charges{0};
 };
 
+/// Full ledger contents in exportable form (checkpoint/resume support).
+/// Totals are carried verbatim, not recomputed from the cells: the ledger's
+/// running sums accumulate in charge order, so recomputing them cell-by-cell
+/// could differ in the last bits and break byte-identical resume.
+struct ledger_state {
+  std::vector<ledger_entry> cells;  ///< key-sorted (export order)
+  cause_array totals{};
+  double total_j{0.0};
+  std::uint64_t charges{0};
+  std::vector<scrape_sample> series;
+};
+
 class energy_ledger {
  public:
   /// Process-global ledger used by SYNERGY_OBS_CHARGE.
@@ -157,6 +169,11 @@ class energy_ledger {
   /// boundary — what the overhead bench compares against.
   void set_enabled(bool on);
   [[nodiscard]] bool is_enabled() const;
+
+  /// Snapshot every cell, the exact running totals, and the scrape series.
+  [[nodiscard]] ledger_state export_state() const;
+  /// Replace the ledger contents wholesale (the enabled flag is untouched).
+  void import_state(const ledger_state& s);
 
  private:
   mutable std::mutex mutex_;

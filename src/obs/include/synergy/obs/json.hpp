@@ -22,6 +22,13 @@
 
 namespace synergy::obs::json {
 
+/// Nesting-depth bound the parser enforces. The exporter emits at most a
+/// handful of levels; a document nested deeper than this is hostile input
+/// (or a different format) and is rejected with a "nesting too deep"
+/// diagnostic instead of risking recursion-driven stack overflow. Public so
+/// fuzz/robustness tests can probe the exact boundary.
+inline constexpr int max_nesting_depth = 64;
+
 class value;
 using array = std::vector<value>;
 /// Ordered map: iteration is key-sorted, matching the exporter's layout.

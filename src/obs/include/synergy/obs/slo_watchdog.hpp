@@ -88,6 +88,19 @@ struct alert {
   [[nodiscard]] std::string to_json_line() const;
 };
 
+/// Full observation state of a slo_watchdog (checkpoint/resume support).
+/// Rules are NOT part of the state — the resuming process re-parses the same
+/// rules file; import validates the count lines up.
+struct watchdog_state {
+  std::vector<bool> firing;          ///< per-rule violation latch
+  std::vector<alert> alerts;         ///< alerts fired so far
+  std::vector<double> job_energies;  ///< rolling per-GPU energy window
+  std::uint64_t plans_total{0};
+  std::uint64_t plans_model{0};
+  double quarantine_since{-1.0};
+  std::uint64_t breaker_opens_base{0};
+};
+
 class slo_watchdog {
  public:
   /// `ledger` feeds wasted_energy_j; nullptr disables that kind.
@@ -115,6 +128,14 @@ class slo_watchdog {
 
   /// Clear observations and alerts; rules stay installed.
   void reset();
+
+  /// Snapshot every latch, alert, and rolling observation.
+  [[nodiscard]] watchdog_state export_state() const;
+  /// Restore a snapshot. Returns false (watchdog untouched) when the latch
+  /// count does not match this watchdog's installed rules. The alert sink
+  /// is NOT invoked for restored alerts — callers re-emit them explicitly
+  /// if their sink is a fresh output stream.
+  bool import_state(const watchdog_state& s);
 
  private:
   struct rule_state {

@@ -26,7 +26,7 @@ struct parser {
   std::size_t pos{0};
   // Nesting guard: the exporter emits at most a handful of levels; anything
   // deeper is a hostile document, not a snapshot.
-  static constexpr int max_depth = 64;
+  static constexpr int max_depth = max_nesting_depth;
 
   [[nodiscard]] bool eof() const { return pos >= text.size(); }
   [[nodiscard]] char peek() const { return text[pos]; }

@@ -225,4 +225,30 @@ void slo_watchdog::reset() {
 #endif
 }
 
+watchdog_state slo_watchdog::export_state() const {
+  watchdog_state s;
+  s.firing.reserve(states_.size());
+  for (const rule_state& st : states_) s.firing.push_back(st.firing);
+  s.alerts = alerts_;
+  s.job_energies.assign(job_energies_.begin(), job_energies_.end());
+  s.plans_total = plans_total_;
+  s.plans_model = plans_model_;
+  s.quarantine_since = quarantine_since_;
+  s.breaker_opens_base = breaker_opens_base_;
+  return s;
+}
+
+bool slo_watchdog::import_state(const watchdog_state& s) {
+  if (s.firing.size() != rules_.size()) return false;
+  states_.assign(rules_.size(), rule_state{});
+  for (std::size_t i = 0; i < rules_.size(); ++i) states_[i].firing = s.firing[i];
+  alerts_ = s.alerts;
+  job_energies_.assign(s.job_energies.begin(), s.job_energies.end());
+  plans_total_ = s.plans_total;
+  plans_model_ = s.plans_model;
+  quarantine_since_ = s.quarantine_since;
+  breaker_opens_base_ = s.breaker_opens_base;
+  return true;
+}
+
 }  // namespace synergy::obs

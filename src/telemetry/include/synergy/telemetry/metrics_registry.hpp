@@ -51,6 +51,14 @@ class counter {
     for (auto& s : stripes_) s.v.store(0, std::memory_order_relaxed);
   }
 
+  /// Overwrite the total with `v` (checkpoint restore): stripe 0 carries the
+  /// whole value, the rest are zeroed. value() is a stripe sum, so the
+  /// observable total is exact.
+  void restore(std::uint64_t v) noexcept {
+    reset();
+    stripes_[0].v.store(v, std::memory_order_relaxed);
+  }
+
  private:
   static std::size_t stripe_index() noexcept;
   struct alignas(64) stripe {
@@ -109,6 +117,13 @@ class histogram {
 
   void reset() noexcept;
 
+  /// Overwrite every accumulator (checkpoint restore). `buckets` must have
+  /// bounds().size() + 1 entries; returns false (histogram untouched)
+  /// otherwise. A count of 0 restores the pristine state regardless of the
+  /// min/max passed (snapshots render empty min/max as 0).
+  bool restore(std::uint64_t count, double sum, double min_v, double max_v,
+               const std::vector<std::uint64_t>& buckets) noexcept;
+
  private:
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  // bounds_.size() + 1
@@ -165,6 +180,14 @@ class metrics_registry {
 
   /// Zero every instrument's value (handles stay valid) — test isolation.
   void reset_values();
+
+  /// Restore instrument values from a snapshot() taken earlier (checkpoint
+  /// resume): every existing instrument is reset, snapshot instruments are
+  /// get-or-created (histograms with the snapshot's bounds) and overwritten.
+  /// Returns false when any histogram entry is shaped inconsistently with
+  /// the instrument registered under that name; consistent entries are
+  /// still applied.
+  bool restore(const std::vector<metric_snapshot>& snaps);
 
   /// Render a "metric | value | ..." summary table of the current snapshot.
   void summary_table(std::ostream& os) const;

@@ -99,6 +99,20 @@ double histogram::quantile(double p) const noexcept {
   return histogram_quantile(bounds_, buckets, min(), max(), p);
 }
 
+bool histogram::restore(std::uint64_t count, double sum, double min_v, double max_v,
+                        const std::vector<std::uint64_t>& buckets) noexcept {
+  if (buckets.size() != bounds_.size() + 1) return false;
+  reset();
+  if (count == 0) return true;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    counts_[i].store(buckets[i], std::memory_order_relaxed);
+  count_.store(count, std::memory_order_relaxed);
+  sum_.store(sum, std::memory_order_relaxed);
+  min_.store(min_v, std::memory_order_relaxed);
+  max_.store(max_v, std::memory_order_relaxed);
+  return true;
+}
+
 void histogram::reset() noexcept {
   for (std::size_t i = 0; i <= bounds_.size(); ++i)
     counts_[i].store(0, std::memory_order_relaxed);
@@ -180,6 +194,26 @@ void metrics_registry::reset_values() {
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+}
+
+bool metrics_registry::restore(const std::vector<metric_snapshot>& snaps) {
+  reset_values();
+  bool ok = true;
+  for (const auto& s : snaps) {
+    switch (s.type) {
+      case metric_snapshot::kind::counter:
+        get_counter(s.name).restore(static_cast<std::uint64_t>(s.value));
+        break;
+      case metric_snapshot::kind::gauge:
+        get_gauge(s.name).set(s.value);
+        break;
+      case metric_snapshot::kind::histogram:
+        if (!get_histogram(s.name, s.bounds).restore(s.count, s.sum, s.min, s.max, s.buckets))
+          ok = false;
+        break;
+    }
+  }
+  return ok;
 }
 
 void metrics_registry::summary_table(std::ostream& os) const {

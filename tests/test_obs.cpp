@@ -314,6 +314,39 @@ TEST_F(obs_test, json_rejects_malformed_input_with_position) {
   }
 }
 
+TEST_F(obs_test, json_accepts_documents_at_the_nesting_cap) {
+  // Exactly max_nesting_depth containers deep: the recursion bound is a
+  // cap, not an off-by-one rejection of legitimate documents.
+  std::string deep(static_cast<std::size_t>(obs::json::max_nesting_depth), '[');
+  deep += "1";
+  deep.append(static_cast<std::size_t>(obs::json::max_nesting_depth), ']');
+  EXPECT_TRUE(obs::json::parse(deep).has_value());
+}
+
+TEST_F(obs_test, json_rejects_documents_past_the_nesting_cap) {
+  // One level past the cap fails with a structured error instead of
+  // recursing toward stack exhaustion — arrays and objects alike.
+  const auto levels = static_cast<std::size_t>(obs::json::max_nesting_depth) + 1;
+  std::string arrays(levels, '[');
+  arrays += "1";
+  arrays.append(levels, ']');
+  const auto ra = obs::json::parse(arrays);
+  ASSERT_FALSE(ra.has_value());
+  EXPECT_NE(ra.err().message.find("nesting too deep"), std::string::npos) << ra.err().message;
+
+  std::string objects;
+  for (std::size_t i = 0; i < levels; ++i) objects += "{\"k\":";
+  objects += "1";
+  objects.append(levels, '}');
+  const auto ro = obs::json::parse(objects);
+  ASSERT_FALSE(ro.has_value());
+  EXPECT_NE(ro.err().message.find("nesting too deep"), std::string::npos) << ro.err().message;
+
+  // A hostile megadocument (10k levels) dies the same structured way.
+  std::string hostile(10000, '[');
+  EXPECT_FALSE(obs::json::parse(hostile).has_value());
+}
+
 // ------------------------------------------------------- snapshot render
 
 TEST_F(obs_test, snapshot_json_renders_ledger_and_alerts) {

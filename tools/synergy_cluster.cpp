@@ -62,11 +62,32 @@
 ///                          (e.g. hybrid:deadband=0.05)
 ///   --governor-tick S      governor poll cadence in virtual seconds
 ///                          (default 0.25)
+///   --chaos-mtbf S         node-level chaos: mean virtual seconds between
+///                          whole-node crashes (exponentially distributed)
+///   --chaos-restart S      outage before a crashed node warm-restarts
+///                          (0 = crashed nodes never return)
+///   --chaos-max N          cap on crash events for the run (default 0 = off)
+///   --chaos-seed S         chaos RNG seed (default 0xc4a05c4a05)
+///   --checkpoint-dir DIR   write sealed ckpt-NNNNNN.synergy artefacts here
+///   --checkpoint-interval S  checkpoint cadence on the virtual clock
+///                          (requires --checkpoint-dir)
+///   --resume               restore the latest checkpoint in --checkpoint-dir
+///                          and continue the replay; the final outputs are
+///                          byte-identical to the uninterrupted run. The
+///                          trace and every replay flag (policy, faults,
+///                          chaos, obs) must match the exporting run.
+///   --crash-at S           crash-injection harness: _Exit(42) at this
+///                          virtual time (tests only)
+///                          Checkpointing excludes --governor/--lifecycle:
+///                          their in-memory state is not serialisable.
 ///
 /// Exit status: 0 on success, 1 on operational failure (unreadable files,
-/// simulation errors), 2 on a usage error (unknown flag, malformed value).
+/// corrupt/missing checkpoints, simulation errors), 2 on a usage error
+/// (unknown flag, malformed value, incompatible flag combination), 42 when
+/// an injected --crash-at fired.
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -75,7 +96,9 @@
 #include <sstream>
 #include <string>
 
+#include "synergy/cluster/checkpoint.hpp"
 #include "synergy/cluster/simulator.hpp"
+#include "synergy/plan_service.hpp"
 #include "synergy/governor/governor.hpp"
 #include "synergy/guarded_planner.hpp"
 #include "synergy/lifecycle/lifecycle_manager.hpp"
@@ -101,7 +124,11 @@ int usage(int code) {
          "                       [--lifecycle DIR] [--lifecycle-history]\n"
          "                       [--obs-out PREFIX] [--obs-interval S]\n"
          "                       [--slo-rules FILE]\n"
-         "                       [--governor SPEC] [--governor-tick S]\n";
+         "                       [--governor SPEC] [--governor-tick S]\n"
+         "                       [--chaos-mtbf S] [--chaos-restart S] [--chaos-max N]\n"
+         "                       [--chaos-seed S]\n"
+         "                       [--checkpoint-dir DIR] [--checkpoint-interval S]\n"
+         "                       [--resume] [--crash-at S]\n";
   return code;
 }
 
@@ -124,6 +151,10 @@ int main(int argc, char** argv) {
   std::string slo_rules_file;
   std::string governor_arg;
   double governor_tick = 0.25;
+  std::string ckpt_dir;
+  double ckpt_interval = 0.0;
+  bool do_resume = false;
+  double crash_at = -1.0;
 
   // Parse phase: any malformed flag or value is a usage error (exit 2);
   // operational failures below exit 1.
@@ -171,6 +202,14 @@ int main(int argc, char** argv) {
       else if (arg == "--slo-rules") slo_rules_file = value();
       else if (arg == "--governor") governor_arg = value();
       else if (arg == "--governor-tick") governor_tick = std::stod(value());
+      else if (arg == "--chaos-mtbf") cluster.chaos.mtbf_s = std::stod(value());
+      else if (arg == "--chaos-restart") cluster.chaos.restart_delay_s = std::stod(value());
+      else if (arg == "--chaos-max") cluster.chaos.max_crashes = std::stoul(value());
+      else if (arg == "--chaos-seed") cluster.chaos.seed = std::stoull(value());
+      else if (arg == "--checkpoint-dir") ckpt_dir = value();
+      else if (arg == "--checkpoint-interval") ckpt_interval = std::stod(value());
+      else if (arg == "--resume") do_resume = true;
+      else if (arg == "--crash-at") crash_at = std::stod(value());
       else if (arg == "--help" || arg == "-h") return usage(0);
       else {
         std::cerr << "error: unknown argument " << arg << '\n';
@@ -200,6 +239,41 @@ int main(int argc, char** argv) {
       cluster.governor.enabled = true;
       cluster.governor.spec = std::move(spec).value();
       cluster.governor.tick_interval_s = governor_tick;
+    }
+    if (cluster.chaos.mtbf_s < 0.0) {
+      std::cerr << "error: --chaos-mtbf must be >= 0\n";
+      return usage(2);
+    }
+    if (cluster.chaos.restart_delay_s < 0.0) {
+      std::cerr << "error: --chaos-restart must be >= 0\n";
+      return usage(2);
+    }
+    if (ckpt_interval != 0.0 && !(ckpt_interval > 0.0)) {
+      std::cerr << "error: --checkpoint-interval must be > 0\n";
+      return usage(2);
+    }
+    if (ckpt_interval > 0.0 && ckpt_dir.empty()) {
+      std::cerr << "error: --checkpoint-interval needs --checkpoint-dir\n";
+      return usage(2);
+    }
+    if (do_resume && ckpt_dir.empty()) {
+      std::cerr << "error: --resume needs --checkpoint-dir\n";
+      return usage(2);
+    }
+    if (crash_at >= 0.0 && ckpt_dir.empty()) {
+      std::cerr << "error: --crash-at needs --checkpoint-dir (crash injection "
+                   "without checkpoints loses the replay)\n";
+      return usage(2);
+    }
+    if (!ckpt_dir.empty() && !governor_arg.empty()) {
+      std::cerr << "error: checkpointing is incompatible with --governor "
+                   "(per-job governor state is not serialisable)\n";
+      return usage(2);
+    }
+    if (!ckpt_dir.empty() && !lifecycle_dir.empty()) {
+      std::cerr << "error: checkpointing is incompatible with --lifecycle "
+                   "(in-memory retrain state is not serialisable)\n";
+      return usage(2);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
@@ -232,6 +306,7 @@ int main(int argc, char** argv) {
 
     sc::plan_fn plan;
     std::shared_ptr<synergy::guarded_planner> guard;
+    std::shared_ptr<synergy::plan_service> service;
     bool model_loaded = false;
     if (policy == "energy" || policy == "energy-aware") {
       if (!model_dir.empty()) {
@@ -242,6 +317,7 @@ int main(int argc, char** argv) {
         if (!guarded.load_summary.empty()) std::cout << guarded.load_summary;
         plan = std::move(guarded.plan);
         guard = guarded.guard;
+        service = guarded.service;
         model_loaded = guarded.model_loaded;
       } else {
         plan = sc::make_suite_planner(cluster.device);
@@ -257,6 +333,25 @@ int main(int argc, char** argv) {
     }
 
     sc::simulator sim{cluster, sc::make_policy(policy, std::move(plan), override_target)};
+
+    if (!ckpt_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(ckpt_dir, ec);
+      if (ec) {
+        std::cerr << "error: --checkpoint-dir " << ckpt_dir << ": " << ec.message() << '\n';
+        return 1;
+      }
+      sc::checkpoint_options ckpt_opts;
+      ckpt_opts.interval_s = ckpt_interval;
+      ckpt_opts.dir = ckpt_dir;
+      ckpt_opts.crash_at_s = crash_at;
+      // The guard chain and its plan cache ride in every artefact: a cache
+      // hit bypasses the chain, so resuming with a cold cache would replay a
+      // different counter/tier sequence than the uninterrupted run.
+      ckpt_opts.guard = guard;
+      ckpt_opts.service = service;
+      sim.set_checkpointing(std::move(ckpt_opts));
+    }
 
     namespace lc = synergy::lifecycle;
     std::shared_ptr<lc::model_registry> registry;
@@ -362,7 +457,37 @@ int main(int argc, char** argv) {
       });
     }
 
-    const auto summary = sim.run(trace);
+    sc::run_summary summary;
+    if (do_resume) {
+      const auto latest = sc::latest_checkpoint(ckpt_dir);
+      if (!latest.has_value()) {
+        std::cerr << "error: --resume: " << latest.err().to_string() << '\n';
+        return 1;
+      }
+      const auto payload = sc::read_checkpoint_payload(latest.value());
+      if (!payload.has_value()) {
+        std::cerr << "error: --resume: " << payload.err().to_string() << '\n';
+        return 1;
+      }
+      if (const auto st = sim.restore_checkpoint(payload.value(), trace); !st.ok()) {
+        std::cerr << "error: --resume " << latest.value().string() << ": "
+                  << st.err().to_string() << '\n';
+        return 1;
+      }
+      if (obs_enabled) {
+        // The restore did not replay restored alerts through the sink (the
+        // sink is this process's fresh alerts file) — re-emit them so the
+        // final JSONL is byte-identical to the uninterrupted run's.
+        for (const auto& a : watchdog->alerts()) alerts_out << a.to_json_line() << '\n';
+        alerts_out.flush();
+        // Continue the snapshot sequence where the exporting run left off.
+        obs_opts.sequence = sim.scrape_ticks();
+      }
+      std::cout << "resumed from " << latest.value().string() << '\n';
+      summary = sim.resume(trace);
+    } else {
+      summary = sim.run(trace);
+    }
 
     if (report) {
       sim.report(std::cout);
