@@ -314,6 +314,12 @@ std::string simulator::config_fingerprint() const {
   w.u(config_.chaos.max_crashes);
   w.u(config_.governor.enabled ? 1 : 0).d(config_.obs_scrape_interval_s);
   w.s(policy_->name());
+  // Econ parameters shape deferral/demotion decisions and every cost figure;
+  // the step traces hash via their canonical CSV rendering.
+  w.u(config_.econ.enabled ? 1 : 0).d(config_.econ.capex_usd_per_node_hour);
+  w.d(config_.econ.defer_price_ratio).d(config_.econ.demote_price_ratio);
+  w.u(common::crc32(config_.econ.price.to_csv("price")));
+  w.u(common::crc32(config_.econ.carbon.to_csv("carbon")));
   return w.take();
 }
 
@@ -366,7 +372,7 @@ std::string simulator::serialize_checkpoint() const {
 
   const auto write_traced = [&w](const traced_job& j) {
     w.i(j.id).s(j.name).d(j.submit_s).i(j.n_gpus).s(j.kernel).d(j.work_items).i(j.iterations);
-    w.s(j.target);
+    w.s(j.target).u(j.deferrable ? 1 : 0).d(j.deadline_s);
   };
 
   w.tag("queue").u(queue_.size()).nl();
@@ -458,6 +464,10 @@ std::string simulator::serialize_checkpoint() const {
     w.u(ws.plans_total).u(ws.plans_model).d(ws.quarantine_since).u(ws.breaker_opens_base).nl();
     w.tag("wjobs").u(ws.job_energies.size()).nl();
     for (const double v : ws.job_energies) w.tag("wj").d(v).nl();
+    w.tag("wcosts").u(ws.job_costs.size()).nl();
+    for (const double v : ws.job_costs) w.tag("wc").d(v).nl();
+    w.tag("wcarbons").u(ws.job_carbons.size()).nl();
+    for (const double v : ws.job_carbons) w.tag("wb").d(v).nl();
     w.tag("walerts").u(ws.alerts.size()).nl();
     for (const auto& a : ws.alerts) {
       w.tag("wa").d(a.t_s).s(a.rule).s(a.kind_name).d(a.value).d(a.threshold).s(a.detail).nl();
@@ -485,6 +495,26 @@ std::string simulator::serialize_checkpoint() const {
         break;
       }
     }
+  }
+
+  // Econ accumulators travel verbatim (never recomputed) so the resumed
+  // run's cost report is byte-identical; the pending econ tick carries its
+  // original engine sequence number like the scrape tick above.
+  w.tag("econ").u(econ_meter_.active() ? 1 : 0).nl();
+  if (econ_meter_.active()) {
+    const econ::cost_meter::state es = econ_meter_.export_state();
+    w.tag("emeter").d(es.facility_cost_usd).d(es.facility_carbon_g).d(es.capex_usd);
+    w.d(es.attributed_cost_usd).d(es.attributed_carbon_g).u(es.jobs_completed).nl();
+    w.tag("eca");
+    write_cause_array(w, es.cost_by_cause);
+    w.nl();
+    w.tag("ecb");
+    write_cause_array(w, es.carbon_by_cause);
+    w.nl();
+    w.tag("ecounts").u(econ_jobs_deferred_).u(econ_price_demotions_).nl();
+    w.tag("etick").u(next_econ_t_ >= 0.0 ? 1 : 0).d(next_econ_t_).u(next_econ_seq_).nl();
+    w.tag("edef").u(econ_deferred_ids_.size()).nl();
+    for (const int id : econ_deferred_ids_) w.tag("ed").i(id).nl();
   }
 
   w.tag("end").nl();
@@ -551,6 +581,13 @@ struct parsed_checkpoint {
   bool has_watchdog{false};
   obs::watchdog_state watchdog;
   std::vector<telemetry::metric_snapshot> metrics;
+  bool has_econ{false};
+  econ::cost_meter::state econ_state;
+  std::uint64_t econ_jobs_deferred{0}, econ_price_demotions{0};
+  bool econ_tick_pending{false};
+  double econ_tick_t{-1.0};
+  std::uint64_t econ_tick_seq{0};
+  std::vector<int> econ_deferred_ids;
 };
 
 traced_job read_traced(tokenizer& t) {
@@ -563,6 +600,8 @@ traced_job read_traced(tokenizer& t) {
   j.work_items = t.d();
   j.iterations = static_cast<int>(t.i64());
   j.target = t.str();
+  j.deferrable = t.b01();
+  j.deadline_s = t.d();
   return j;
 }
 
@@ -849,6 +888,20 @@ parsed_checkpoint parse_checkpoint(const std::string& payload) {
       t.expect("wj");
       p.watchdog.job_energies.push_back(t.d());
     }
+    t.expect("wcosts");
+    const std::uint64_t n_costs = t.count();
+    p.watchdog.job_costs.reserve(n_costs);
+    for (std::uint64_t i = 0; i < n_costs; ++i) {
+      t.expect("wc");
+      p.watchdog.job_costs.push_back(t.d());
+    }
+    t.expect("wcarbons");
+    const std::uint64_t n_carbons = t.count();
+    p.watchdog.job_carbons.reserve(n_carbons);
+    for (std::uint64_t i = 0; i < n_carbons; ++i) {
+      t.expect("wb");
+      p.watchdog.job_carbons.push_back(t.d());
+    }
     t.expect("walerts");
     const std::uint64_t n_alerts = t.count();
     p.watchdog.alerts.reserve(n_alerts);
@@ -898,6 +951,36 @@ parsed_checkpoint parse_checkpoint(const std::string& payload) {
       throw parse_fail("unknown metric row '" + row + "'");
     }
     p.metrics.push_back(std::move(m));
+  }
+
+  t.expect("econ");
+  p.has_econ = t.b01();
+  if (p.has_econ) {
+    t.expect("emeter");
+    p.econ_state.facility_cost_usd = t.d();
+    p.econ_state.facility_carbon_g = t.d();
+    p.econ_state.capex_usd = t.d();
+    p.econ_state.attributed_cost_usd = t.d();
+    p.econ_state.attributed_carbon_g = t.d();
+    p.econ_state.jobs_completed = t.u64();
+    t.expect("eca");
+    p.econ_state.cost_by_cause = read_cause_array(t);
+    t.expect("ecb");
+    p.econ_state.carbon_by_cause = read_cause_array(t);
+    t.expect("ecounts");
+    p.econ_jobs_deferred = t.u64();
+    p.econ_price_demotions = t.u64();
+    t.expect("etick");
+    p.econ_tick_pending = t.b01();
+    p.econ_tick_t = t.d();
+    p.econ_tick_seq = t.u64();
+    t.expect("edef");
+    const std::uint64_t n_deferred = t.count();
+    p.econ_deferred_ids.reserve(n_deferred);
+    for (std::uint64_t i = 0; i < n_deferred; ++i) {
+      t.expect("ed");
+      p.econ_deferred_ids.push_back(static_cast<int>(t.i64()));
+    }
   }
 
   t.expect("end");
@@ -952,6 +1035,20 @@ common::status simulator::restore_checkpoint(const std::string& payload,
     (void)seq;
     if (index >= trace.jobs.size())
       return error{errc::invalid_argument, "restore: pending arrival index out of range"};
+  }
+  if (p.has_econ != config_.econ.usable())
+    return error{errc::invalid_argument,
+                 "restore: econ accounting presence differs from the exporting run"};
+  for (const int id : p.econ_deferred_ids) {
+    bool queued = false;
+    for (const auto& qj : p.queue)
+      if (qj.job.id == id) {
+        queued = true;
+        break;
+      }
+    if (!queued)
+      return error{errc::invalid_argument,
+                   "restore: econ-deferred job id not present in the queue"};
   }
 
   // --- external subsystem imports (each is individually atomic) ---
@@ -1066,6 +1163,15 @@ common::status simulator::restore_checkpoint(const std::string& payload,
   next_ckpt_t_ = p.next_ckpt_t;
   trace_crc_ = p.trace_crc;
 
+  econ_meter_ = econ::cost_meter{config_.econ, config_.n_nodes};
+  if (p.has_econ) econ_meter_.import_state(p.econ_state);
+  econ_deferred_ids_.clear();
+  econ_deferred_ids_.insert(p.econ_deferred_ids.begin(), p.econ_deferred_ids.end());
+  econ_jobs_deferred_ = p.econ_jobs_deferred;
+  econ_price_demotions_ = p.econ_price_demotions;
+  next_econ_t_ = p.econ_tick_pending ? p.econ_tick_t : -1.0;
+  next_econ_seq_ = p.econ_tick_seq;
+
   if (ckpt_.service) ckpt_.service->import_cache(p.cache);
 
   restored_ = true;
@@ -1087,7 +1193,7 @@ run_summary simulator::resume(const job_trace& trace) {
   // every event scheduled *after* the checkpoint outranks every pending one
   // — rescheduling the pending set in ascending original-seq order into a
   // fresh engine reproduces all tie-break orderings exactly.
-  enum class ev_kind { arrival, completion, fault, crash, restart, scrape };
+  enum class ev_kind { arrival, completion, fault, crash, restart, scrape, econ };
   struct ev {
     std::uint64_t old_seq{0};
     ev_kind kind{ev_kind::arrival};
@@ -1105,6 +1211,7 @@ run_summary simulator::resume(const job_trace& trace) {
   for (std::size_t i = 0; i < pending_restarts_.size(); ++i)
     events.push_back({pending_restarts_[i].seq, ev_kind::restart, i});
   if (next_scrape_t_ >= 0.0) events.push_back({next_scrape_seq_, ev_kind::scrape, 0});
+  if (next_econ_t_ >= 0.0) events.push_back({next_econ_seq_, ev_kind::econ, 0});
   std::sort(events.begin(), events.end(),
             [](const ev& a, const ev& b) { return a.old_seq < b.old_seq; });
 
@@ -1140,6 +1247,9 @@ run_summary simulator::resume(const job_trace& trace) {
       }
       case ev_kind::scrape:
         next_scrape_seq_ = engine_.at(next_scrape_t_, [this] { scrape_tick(); });
+        break;
+      case ev_kind::econ:
+        next_econ_seq_ = engine_.at(next_econ_t_, [this] { econ_tick(); });
         break;
     }
   }

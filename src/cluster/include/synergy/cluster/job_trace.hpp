@@ -30,6 +30,12 @@ struct traced_job {
   int iterations{1};       ///< launches per GPU
   /// Energy target resolved at placement ("default" = driver clocks).
   std::string target{"default"};
+  /// Econ columns (PR 10): a deferrable job may be shifted by a cost-aware
+  /// policy into a cheaper/cleaner price window; `deadline_s` bounds the
+  /// shift (latest acceptable completion on the cluster timeline, < 0 = no
+  /// deadline). Both default so 8-column traces parse unchanged.
+  bool deferrable{false};
+  double deadline_s{-1.0};
 
   friend bool operator==(const traced_job&, const traced_job&) = default;
 };
@@ -69,6 +75,12 @@ struct trace_config {
   /// Kernel names to draw from; empty = the full 23-benchmark suite.
   std::vector<std::string> kernels;
   std::uint64_t seed{42};
+  /// Fraction of jobs stamped deferrable (0 draws nothing from the rng, so
+  /// pre-econ traces regenerate bit-identically from the same seed).
+  double deferrable_fraction{0.0};
+  /// Deadline slack for deferrable jobs: deadline_s lands uniformly in
+  /// submit_s + [0.5, 1.5] x this.
+  double deadline_slack_s{120.0};
 };
 
 /// Generate a trace; deterministic in `config` (same config, same bytes).

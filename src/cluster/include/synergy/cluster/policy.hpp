@@ -16,6 +16,9 @@
 ///    frequency-capable nodes (the paper's Sec. 7.2 check chain decides
 ///    capability) and a per-job frequency plan resolved from the kernel's
 ///    tuning-table / planner entry for the job's energy target.
+///  - cost_aware: energy_aware's placement, plus the econ plane's defer
+///    rule — deferrable jobs wait out expensive price windows (bounded by
+///    their deadlines) and start in cheap/clean ones instead.
 
 #include <functional>
 #include <memory>
@@ -27,6 +30,10 @@
 #include "synergy/common/units.hpp"
 #include "synergy/metrics/energy_metrics.hpp"
 #include "synergy/obs/energy_ledger.hpp"
+
+namespace synergy::econ {
+struct econ_config;  // facility economics knobs (synergy/econ/tco.hpp)
+}
 
 namespace synergy::cluster {
 
@@ -94,6 +101,16 @@ class scheduling_policy {
 
   /// Whether jobs behind a blocked head may be offered to place().
   [[nodiscard]] virtual bool backfills() const { return false; }
+
+  /// Econ hook, asked before place(): true leaves `job` queued for a
+  /// cheaper/cleaner price window. The simulator re-asks at every price
+  /// boundary (its econ tick), so a policy only answers "not now", never
+  /// schedules a wake-up itself. Default: nothing defers.
+  [[nodiscard]] virtual bool defer(const queued_job& job, const cluster_view& view) const {
+    (void)job;
+    (void)view;
+    return false;
+  }
 };
 
 /// A resolved frequency plan plus the attribution cause of the tier that
@@ -123,10 +140,22 @@ using plan_fn = std::function<planned_clocks(const std::string& kernel,
 [[nodiscard]] std::unique_ptr<scheduling_policy> make_energy_aware(
     plan_fn plan, std::optional<metrics::target> override_target = std::nullopt);
 
-/// Policy registry by name ("fifo", "backfill", "energy"); the energy
-/// policy needs `plan`. Throws std::invalid_argument for unknown names.
+/// The econ policy: energy_aware's placement plus price-window deferral
+/// driven by `econ` (which must outlive the policy — the simulator's
+/// cluster_config owns it). Deferrable jobs wait while the spot price sits
+/// above defer_price_ratio x mean, but only when the next price boundary
+/// still lets them finish inside their deadline. Throws
+/// std::invalid_argument when `econ` is null or carries no price trace.
+[[nodiscard]] std::unique_ptr<scheduling_policy> make_cost_aware(
+    const econ::econ_config* econ, plan_fn plan = {},
+    std::optional<metrics::target> override_target = std::nullopt);
+
+/// Policy registry by name ("fifo", "backfill", "energy", "cost"); the
+/// energy policy needs `plan`, the cost policy needs `econ`. Throws
+/// std::invalid_argument for unknown names.
 [[nodiscard]] std::unique_ptr<scheduling_policy> make_policy(
     const std::string& policy_name, plan_fn plan = {},
-    std::optional<metrics::target> override_target = std::nullopt);
+    std::optional<metrics::target> override_target = std::nullopt,
+    const econ::econ_config* econ = nullptr);
 
 }  // namespace synergy::cluster

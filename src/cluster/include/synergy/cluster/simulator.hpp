@@ -21,6 +21,7 @@
 #include <iosfwd>
 #include <limits>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,7 @@
 #include "synergy/cluster/job_trace.hpp"
 #include "synergy/cluster/policy.hpp"
 #include "synergy/cluster/power_budget.hpp"
+#include "synergy/econ/tco.hpp"
 #include "synergy/governor/governor.hpp"
 #include "synergy/obs/energy_ledger.hpp"
 #include "synergy/sched/controller.hpp"
@@ -166,6 +168,10 @@ struct cluster_config {
   chaos_plan chaos{};
   /// Reactive governor regime; disabled by default.
   governor_config governor{};
+  /// Facility economics: price/carbon traces, capex amortisation, and the
+  /// defer/demote thresholds. Disabled by default — an unconfigured replay
+  /// produces byte-identical output to the pre-econ simulator.
+  econ::econ_config econ{};
   /// Observability scrape cadence on the cluster's virtual clock: every
   /// `obs_scrape_interval_s` simulated seconds the global energy ledger
   /// samples a time-series point, the attached watchdog evaluates its
@@ -230,6 +236,14 @@ struct run_summary {
   // --- reactive governor (zero on ungoverned runs) ---
   std::size_t governor_ticks{0};          ///< governor polls across all jobs
   std::size_t governor_clock_changes{0};  ///< decisions that moved a clock
+  // --- facility economics (zero unless an econ_config was enabled) ---
+  double econ_cost_usd{0.0};          ///< facility opex + amortised capex
+  double econ_capex_usd{0.0};         ///< amortised capex share of the above
+  double econ_carbon_g{0.0};          ///< facility carbon over the run
+  double econ_cost_per_job_usd{0.0};  ///< total cost / completed jobs
+  double econ_carbon_per_job_g{0.0};  ///< facility carbon / completed jobs
+  std::size_t econ_jobs_deferred{0};      ///< jobs shifted out of pricey windows
+  std::size_t econ_price_demotions{0};    ///< placements clock-stepped by price
 
   void print(std::ostream& os) const;
   /// One header + one row; `with_header` also writes the comment and
@@ -314,6 +328,9 @@ class simulator {
   /// Scrape ticks fired so far (restored across resume) — tools use it to
   /// re-seed the snapshot sequence number.
   [[nodiscard]] std::uint64_t scrape_ticks() const { return scrape_ticks_; }
+  /// The run's cost/carbon accumulators (inactive unless config().econ is
+  /// usable) — tools read it for snapshot fields and the cost report.
+  [[nodiscard]] const econ::cost_meter& econ_meter() const { return econ_meter_; }
   /// Checkpoint files written by this simulator so far.
   [[nodiscard]] std::uint64_t checkpoints_written() const { return ckpt_index_; }
 
@@ -490,6 +507,19 @@ class simulator {
   double next_scrape_t_{-1.0};
   std::uint64_t next_scrape_seq_{0};
   std::uint64_t scrape_ticks_{0};
+  // --- facility economics (reset per run; restored across resume) ---
+  /// Wake-up at the next price boundary while deferrable jobs wait: a
+  /// single self-rescheduling tick (scrape pattern), so econ replays keep
+  /// the engine's tie-break sequence deterministic.
+  void econ_tick();
+  econ::cost_meter econ_meter_;
+  /// Jobs a defer() verdict is currently holding in the queue — their
+  /// eventual start attributes to cause::econ_deferred.
+  std::set<int> econ_deferred_ids_;
+  std::size_t econ_jobs_deferred_{0};
+  std::size_t econ_price_demotions_{0};
+  double next_econ_t_{-1.0};
+  std::uint64_t next_econ_seq_{0};
   // --- checkpointing (configured once; index/cursor reset per run) ---
   checkpoint_options ckpt_;
   bool ckpt_enabled_{false};

@@ -30,10 +30,12 @@ std::string job_trace::to_csv() const {
   std::ostringstream os;
   os << header_magic << " seed=" << seed << " jobs=" << jobs.size() << '\n';
   common::csv_writer csv{os};
-  csv.row({"id", "name", "submit_s", "n_gpus", "kernel", "work_items", "iterations", "target"});
+  csv.row({"id", "name", "submit_s", "n_gpus", "kernel", "work_items", "iterations", "target",
+           "deferrable", "deadline_s"});
   for (const auto& j : jobs) {
     csv.row({std::to_string(j.id), j.name, exact(j.submit_s), std::to_string(j.n_gpus),
-             j.kernel, exact(j.work_items), std::to_string(j.iterations), j.target});
+             j.kernel, exact(j.work_items), std::to_string(j.iterations), j.target,
+             j.deferrable ? "1" : "0", exact(j.deadline_s)});
   }
   return os.str();
 }
@@ -62,8 +64,10 @@ job_trace job_trace::from_csv(const std::string& text) {
       continue;
     }
     const auto f = common::parse_csv_line(line);
-    if (f.size() != 8)
-      throw std::invalid_argument("job_trace: expected 8 fields, got " +
+    // 8 fields is the pre-econ row shape; the two econ columns default so
+    // existing traces parse unchanged.
+    if (f.size() != 8 && f.size() != 10)
+      throw std::invalid_argument("job_trace: expected 8 or 10 fields, got " +
                                   std::to_string(f.size()));
     traced_job j;
     j.id = std::stoi(f[0]);
@@ -74,6 +78,15 @@ job_trace job_trace::from_csv(const std::string& text) {
     j.work_items = std::stod(f[5]);
     j.iterations = std::stoi(f[6]);
     j.target = f[7];
+    if (f.size() == 10) {
+      if (f[8] != "0" && f[8] != "1")
+        throw std::invalid_argument("job_trace: deferrable must be 0 or 1 for id " + f[0]);
+      j.deferrable = f[8] == "1";
+      j.deadline_s = std::stod(f[9]);
+      if (std::isnan(j.deadline_s) ||
+          (j.deadline_s >= 0.0 && !(j.deadline_s >= j.submit_s)))
+        throw std::invalid_argument("job_trace: deadline before submit for id " + f[0]);
+    }
     if (j.n_gpus < 1 || j.iterations < 1 || !(j.work_items > 0.0) ||
         !(j.submit_s >= 0.0))
       throw std::invalid_argument("job_trace: invalid job row for id " + f[0]);
@@ -88,6 +101,10 @@ job_trace generate_trace(const trace_config& config) {
     throw std::invalid_argument("generate_trace: empty gpu or target mix");
   if (config.min_iterations < 1 || config.max_iterations < config.min_iterations)
     throw std::invalid_argument("generate_trace: bad iteration range");
+  if (config.deferrable_fraction < 0.0 || config.deferrable_fraction > 1.0)
+    throw std::invalid_argument("generate_trace: deferrable fraction outside [0, 1]");
+  if (config.deferrable_fraction > 0.0 && !(config.deadline_slack_s > 0.0))
+    throw std::invalid_argument("generate_trace: deadline slack must be > 0");
 
   const std::vector<std::string>& kernels =
       config.kernels.empty() ? workloads::names() : config.kernels;
@@ -114,6 +131,14 @@ job_trace generate_trace(const trace_config& config) {
             static_cast<std::uint32_t>(config.max_iterations - config.min_iterations + 1)));
     j.target =
         config.target_mix[rng.bounded(static_cast<std::uint32_t>(config.target_mix.size()))];
+    if (config.deferrable_fraction > 0.0) {
+      // Econ draws happen only when the feature is on: a pre-econ config
+      // consumes the exact pre-econ rng sequence and regenerates the same
+      // bytes.
+      j.deferrable = rng.uniform() < config.deferrable_fraction;
+      if (j.deferrable)
+        j.deadline_s = j.submit_s + config.deadline_slack_s * (0.5 + rng.uniform());
+    }
     trace.jobs.push_back(std::move(j));
   }
   return trace;

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "synergy/econ/tco.hpp"
+
 namespace synergy::cluster {
 
 namespace {
@@ -58,7 +60,7 @@ class easy_backfill_policy final : public scheduling_policy {
   }
 };
 
-class energy_aware_policy final : public scheduling_policy {
+class energy_aware_policy : public scheduling_policy {
  public:
   energy_aware_policy(plan_fn plan, std::optional<metrics::target> override_target)
       : plan_(std::move(plan)), override_(override_target) {}
@@ -112,6 +114,39 @@ class energy_aware_policy final : public scheduling_policy {
   std::optional<metrics::target> override_;
 };
 
+/// energy_aware placement + the econ defer rule. The livelock argument: the
+/// threshold is ratio (clamped >= 1) x the trace's time-weighted mean, so a
+/// step trace always has some window at or below it; and a defer verdict
+/// additionally requires a *reachable* next boundary that still fits the
+/// job's deadline — so every deferred job either starts in a cheap window
+/// or starts at the last boundary its deadline admits.
+class cost_aware_policy final : public energy_aware_policy {
+ public:
+  cost_aware_policy(const econ::econ_config* econ, plan_fn plan,
+                    std::optional<metrics::target> override_target)
+      : energy_aware_policy(std::move(plan), override_target), econ_(econ) {}
+
+  [[nodiscard]] std::string name() const override { return "cost-aware"; }
+
+  [[nodiscard]] bool defer(const queued_job& job, const cluster_view& view) const override {
+    if (!job.job.deferrable) return false;
+    const double threshold =
+        std::max(econ_->defer_price_ratio, 1.0) * econ_->price.mean();
+    if (!(econ_->price.value_at(view.now) > threshold)) return false;
+    const double boundary = econ_->price.next_change_after(view.now);
+    if (boundary < 0.0) return false;  // flat from here on: waiting buys nothing
+    // Deferring is only legal when starting at the boundary still meets the
+    // deadline (estimated at default clocks, like EASY's reservations).
+    if (job.job.deadline_s >= 0.0 &&
+        boundary + job.est_runtime_s > job.job.deadline_s)
+      return false;
+    return true;
+  }
+
+ private:
+  const econ::econ_config* econ_;
+};
+
 }  // namespace
 
 std::size_t cluster_view::free_gpus() const {
@@ -133,12 +168,24 @@ std::unique_ptr<scheduling_policy> make_energy_aware(
   return std::make_unique<energy_aware_policy>(std::move(plan), override_target);
 }
 
+std::unique_ptr<scheduling_policy> make_cost_aware(
+    const econ::econ_config* econ, plan_fn plan,
+    std::optional<metrics::target> override_target) {
+  if (econ == nullptr || !econ->usable())
+    throw std::invalid_argument(
+        "cost-aware policy needs an enabled econ config with a price trace");
+  return std::make_unique<cost_aware_policy>(econ, std::move(plan), override_target);
+}
+
 std::unique_ptr<scheduling_policy> make_policy(const std::string& policy_name, plan_fn plan,
-                                               std::optional<metrics::target> override_target) {
+                                               std::optional<metrics::target> override_target,
+                                               const econ::econ_config* econ) {
   if (policy_name == "fifo") return make_fifo();
   if (policy_name == "backfill" || policy_name == "easy") return make_easy_backfill();
   if (policy_name == "energy" || policy_name == "energy-aware")
     return make_energy_aware(std::move(plan), override_target);
+  if (policy_name == "cost" || policy_name == "cost-aware")
+    return make_cost_aware(econ, std::move(plan), override_target);
   throw std::invalid_argument("unknown scheduling policy: " + policy_name);
 }
 

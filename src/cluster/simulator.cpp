@@ -175,7 +175,11 @@ bool simulator::admit(const traced_job& job, common::frequency_config& config,
 void simulator::integrate_to_now() {
   const double t = engine_.now();
   if (t > last_integrated_s_) {
-    facility_energy_j_ += budget_->facility_power_w() * (t - last_integrated_s_);
+    const double w = budget_->facility_power_w();
+    facility_energy_j_ += w * (t - last_integrated_s_);
+    // The cost integrator walks the same power signal over the same spans,
+    // so facility cost is exactly the price-weighted facility energy.
+    if (econ_meter_.active()) econ_meter_.integrate(w, last_integrated_s_, t);
     last_integrated_s_ = t;
   }
 }
@@ -229,6 +233,12 @@ void simulator::arrive(const traced_job& job) {
 }
 
 void simulator::start(std::size_t queue_index, const placement& pl) {
+  // Idempotent for every existing caller (they integrated at this instant
+  // already); load-bearing for the econ tick, whose inert firings must not
+  // move the accounting clock but whose job starts must close the facility
+  // integral before the budget registers new draw.
+  last_live_t_ = engine_.now();
+  integrate_to_now();
   const queued_job qj = queue_[queue_index];
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(queue_index));
   const double now = engine_.now();
@@ -269,6 +279,12 @@ void simulator::start(std::size_t queue_index, const placement& pl) {
   // re-priced the clocks, and a clock-set fault means the job actually ran
   // at fallback clocks.
   obs::cause why = pl.config ? pl.plan_cause : obs::cause::default_clocks;
+  if (const auto di = econ_deferred_ids_.find(qj.job.id); di != econ_deferred_ids_.end()) {
+    // The job waited out a pricey window; its joules carry the deferral tag
+    // unless the price-demotion rule already re-priced this placement.
+    econ_deferred_ids_.erase(di);
+    if (why != obs::cause::econ_price_demoted) why = obs::cause::econ_deferred;
+  }
   if (r.demoted) why = obs::cause::cap_demoted;
   if (r.clock_set_failed) why = obs::cause::fault_degraded;
   if (watchdog_) watchdog_->observe_plan(why == obs::cause::model);
@@ -441,6 +457,21 @@ void simulator::complete(int job_id, std::uint64_t epoch) {
     SYNERGY_OBS_CHARGE((obs::charge_key{obs_node, config_.device, r.name, r.kernel}),
                        obs::cause::governor, governor_j);
   if (watchdog_ && r.n_gpus > 0) watchdog_->observe_job(r.gpu_energy_j / r.n_gpus);
+  if (econ_meter_.active()) {
+    // Shadow-price the same charges the ledger takes (econ accounting works
+    // with the telemetry plane compiled out, so this is not behind the
+    // SYNERGY_OBS_CHARGE macro). Both buckets price at completion time, the
+    // instant the joules are booked.
+    const double now_s = engine_.now();
+    econ_meter_.charge(attribution, r.gpu_energy_j - governor_j, now_s);
+    if (governor_j > 0.0) econ_meter_.charge(obs::cause::governor, governor_j, now_s);
+    econ_meter_.complete_job();
+    if (watchdog_ && r.n_gpus > 0) {
+      const double kwh_per_gpu = r.gpu_energy_j / r.n_gpus / econ::joules_per_kwh;
+      watchdog_->observe_job_cost(kwh_per_gpu * econ_meter_.price_at(now_s),
+                                  kwh_per_gpu * econ_meter_.carbon_at(now_s));
+    }
+  }
 #if SYNERGY_TELEMETRY_ENABLED
   // Job lifetime on the cluster timeline (pid 3, virtual seconds).
   if (tel::enabled())
@@ -622,6 +653,7 @@ std::size_t simulator::drain_node(std::size_t ni) {
     // incident on the next scrape.
     SYNERGY_OBS_CHARGE((obs::charge_key{rj.node, config_.device, r.name, r.kernel}),
                        obs::cause::fault_wasted, wasted);
+    if (econ_meter_.active()) econ_meter_.charge(obs::cause::fault_wasted, wasted, now);
     r.gpu_energy_j = 0.0;
     r.state = sched::job_state::pending;
     r.start_s = -1.0;
@@ -759,15 +791,46 @@ void simulator::try_schedule() {
       if (i > 0 && !policy_->backfills()) break;
       view.is_head = (i == 0);
       view.head_reservation_s = (i == 0) ? inf : shadow_time(queue_[0].job.n_gpus);
+      if (econ_meter_.active() && policy_->defer(queue_[i], view)) {
+        // The policy holds this job for a cheaper window; the econ tick
+        // re-runs this scan at the next price boundary. Counted per
+        // deferral episode (a requeued job may defer again).
+        if (econ_deferred_ids_.insert(queue_[i].job.id).second) {
+          ++econ_jobs_deferred_;
+          SYNERGY_COUNTER_ADD("cluster.econ_deferrals", 1);
+        }
+        continue;
+      }
       auto pl = policy_->place(queue_[i], view);
       if (!pl) continue;
       auto config = pl->config.value_or(spec_.default_config());
+      // Price-threshold clock demotion: while the spot price sits above
+      // demote_price_ratio x mean, every placement steps one entry down the
+      // clock table before the cap has its say (the cap may demote further,
+      // and its attribution still wins).
+      bool price_demoted = false;
+      if (econ_meter_.active() && config_.econ.demote_price_ratio > 0.0 &&
+          econ_meter_.price_at(view.now) >
+              config_.econ.demote_price_ratio * econ_meter_.mean_price()) {
+        const auto& clocks = spec_.core_clocks;
+        const auto cur = spec_.nearest_core_clock(config.core);
+        const auto ci = std::find(clocks.begin(), clocks.end(), cur);
+        if (ci != clocks.begin() && ci != clocks.end()) {
+          config.core = *(ci - 1);
+          price_demoted = true;
+        }
+      }
       bool demoted = false;
       if (!admit(queue_[i].job, config, demoted)) continue;  // defer under the cap
       if (demoted) {
         budget_->count_demotion();
         SYNERGY_COUNTER_ADD("cluster.cap_demotions", 1);
         result_of(queue_[i].job.id).demoted = true;
+      }
+      if (price_demoted) {
+        pl->plan_cause = obs::cause::econ_price_demoted;
+        ++econ_price_demotions_;
+        SYNERGY_COUNTER_ADD("cluster.econ_price_demotions", 1);
       }
       pl->config = config;
       start(i, *pl);
@@ -835,6 +898,12 @@ run_summary simulator::run(const job_trace& trace) {
   next_scrape_t_ = -1.0;
   next_scrape_seq_ = 0;
   scrape_ticks_ = 0;
+  econ_meter_ = econ::cost_meter{config_.econ, config_.n_nodes};
+  econ_deferred_ids_.clear();
+  econ_jobs_deferred_ = 0;
+  econ_price_demotions_ = 0;
+  next_econ_t_ = -1.0;
+  next_econ_seq_ = 0;
   ckpt_index_ = 0;
   next_ckpt_t_ = -1.0;
   trace_crc_ = 0;
@@ -857,6 +926,15 @@ run_summary simulator::run(const job_trace& trace) {
   if (config_.obs_scrape_interval_s > 0.0) {
     next_scrape_t_ = config_.obs_scrape_interval_s;
     next_scrape_seq_ = engine_.at(next_scrape_t_, [this] { scrape_tick(); });
+  }
+  if (econ_meter_.active()) {
+    // First econ wake-up at the first price boundary (a constant trace has
+    // none — nothing can defer, so no tick stream at all).
+    const double first = config_.econ.price.next_change_after(0.0);
+    if (first > 0.0) {
+      next_econ_t_ = first;
+      next_econ_seq_ = engine_.at(next_econ_t_, [this] { econ_tick(); });
+    }
   }
   if (config_.chaos.enabled()) {
     // All crash times are drawn up-front from the chaos stream (cumulative
@@ -897,7 +975,9 @@ run_summary simulator::finish_run(const job_trace& trace) {
   // presence depends on checkpointing/crash history — and the contract is
   // byte-identical output with checkpointing on or off.
   if (last_live_t_ > last_integrated_s_) {
-    facility_energy_j_ += budget_->facility_power_w() * (last_live_t_ - last_integrated_s_);
+    const double w = budget_->facility_power_w();
+    facility_energy_j_ += w * (last_live_t_ - last_integrated_s_);
+    if (econ_meter_.active()) econ_meter_.integrate(w, last_integrated_s_, last_live_t_);
     last_integrated_s_ = last_live_t_;
   }
   if (config_.obs_scrape_interval_s > 0.0) {
@@ -961,7 +1041,45 @@ run_summary simulator::finish_run(const job_trace& trace) {
   s.rollbacks = rollbacks_;
   s.governor_ticks = governor_ticks_;
   s.governor_clock_changes = governor_clock_changes_;
+  s.econ_cost_usd = econ_meter_.total_cost_usd();
+  s.econ_capex_usd = econ_meter_.capex_usd();
+  s.econ_carbon_g = econ_meter_.facility_carbon_g();
+  s.econ_cost_per_job_usd = econ_meter_.cost_per_job_usd();
+  s.econ_carbon_per_job_g = econ_meter_.carbon_per_job_g();
+  s.econ_jobs_deferred = econ_jobs_deferred_;
+  s.econ_price_demotions = econ_price_demotions_;
   return s;
+}
+
+void simulator::econ_tick() {
+  // Price boundary: re-run the scheduling scan so jobs a defer() verdict
+  // held back get another look under the new price. Inert firings (nothing
+  // deferred, nothing startable) deliberately do not touch last_live_t_ —
+  // econ-on/econ-off runs of a never-deferring policy stay byte-identical
+  // in the energy columns.
+  try_schedule();
+  sample_power();
+  bool waiting = false;
+  if (econ_meter_.active() && !queue_.empty()) {
+    const auto view = make_view();
+    for (const auto& qj : queue_)
+      if (policy_->defer(qj, view)) {
+        waiting = true;
+        break;
+      }
+  }
+  // Re-arm while deferred jobs wait on a boundary or live work could still
+  // defer later; same single-cursor discipline as the scrape tick, so the
+  // engine's tie-break sequence stays deterministic.
+  if (waiting || has_live_work()) {
+    const double next = config_.econ.price.next_change_after(engine_.now());
+    if (next > engine_.now()) {
+      next_econ_t_ = next;
+      next_econ_seq_ = engine_.at(next_econ_t_, [this] { econ_tick(); });
+      return;
+    }
+  }
+  next_econ_t_ = -1.0;
 }
 
 void simulator::scrape_tick() {
@@ -1060,6 +1178,15 @@ void run_summary::print(std::ostream& os) const {
     table.row({"governor ticks", std::to_string(governor_ticks)});
     table.row({"governor clock changes", std::to_string(governor_clock_changes)});
   }
+  if (econ_cost_usd > 0.0 || econ_carbon_g > 0.0) {
+    table.row({"facility cost (USD)", fmt(econ_cost_usd, 4)});
+    table.row({"amortised capex (USD)", fmt(econ_capex_usd, 4)});
+    table.row({"facility carbon (gCO2)", fmt(econ_carbon_g, 1)});
+    table.row({"cost per job (USD)", fmt(econ_cost_per_job_usd, 5)});
+    table.row({"carbon per job (gCO2)", fmt(econ_carbon_per_job_g, 2)});
+    table.row({"jobs deferred (price)", std::to_string(econ_jobs_deferred)});
+    table.row({"price clock demotions", std::to_string(econ_price_demotions)});
+  }
   table.print(os);
 }
 
@@ -1073,7 +1200,9 @@ void run_summary::csv(std::ostream& os, bool with_header) const {
              "peak_facility_power_w", "cap_rebalances", "cap_demotions",
              "clock_set_faults", "degraded_samples", "requeues", "nodes_lost",
              "wasted_gpu_energy_j", "node_crashes", "node_restarts", "quarantines",
-             "promotions", "rollbacks", "governor_ticks", "governor_clock_changes"});
+             "promotions", "rollbacks", "governor_ticks", "governor_clock_changes",
+             "econ_cost_usd", "econ_capex_usd", "econ_carbon_g", "econ_cost_per_job_usd",
+             "econ_carbon_per_job_g", "econ_jobs_deferred", "econ_price_demotions"});
   }
   csv.row({policy, std::to_string(seed), std::to_string(jobs), std::to_string(completed),
            std::to_string(failed), common::csv_writer::num(makespan_s),
@@ -1089,7 +1218,11 @@ void run_summary::csv(std::ostream& os, bool with_header) const {
            std::to_string(node_crashes), std::to_string(node_restarts),
            std::to_string(quarantines), std::to_string(promotions),
            std::to_string(rollbacks), std::to_string(governor_ticks),
-           std::to_string(governor_clock_changes)});
+           std::to_string(governor_clock_changes), common::csv_writer::num(econ_cost_usd),
+           common::csv_writer::num(econ_capex_usd), common::csv_writer::num(econ_carbon_g),
+           common::csv_writer::num(econ_cost_per_job_usd),
+           common::csv_writer::num(econ_carbon_per_job_g),
+           std::to_string(econ_jobs_deferred), std::to_string(econ_price_demotions)});
 }
 
 plan_fn make_suite_planner(const std::string& device) {

@@ -1,0 +1,132 @@
+#pragma once
+
+/// \file tco.hpp
+/// The facility TCO model: every simulated joule gets a price and a carbon
+/// weight, and capex amortises per node-hour alongside.
+///
+/// Two parallel accountings, mirroring the energy plane's split between the
+/// facility integral and the attribution ledger:
+///
+///  - facility opex/carbon: the cost integrator walks the facility power
+///    signal through the price/carbon step boundaries (analytically — no
+///    events needed), so `facility_cost_usd` is the exact integral of
+///    watts x price(t) over virtual time, and capex accrues at
+///    `capex_usd_per_node_hour x n_nodes` over the same span;
+///  - attributed cost/carbon: every ledger charge in the cluster plane
+///    (job completions, governor segments, fault-wasted partials) is
+///    shadow-priced at its charge time and bucketed by the same obs::cause
+///    tag, with the totals accumulated event by event — so "sum over causes
+///    == attributed total" holds to the last bit and synergy_top --check
+///    can enforce it on exported snapshots.
+///
+/// All state is exportable/importable for the checkpoint envelope: resumed
+/// runs carry the accumulators verbatim (never recomputed) and reproduce
+/// cost reports byte-identically.
+
+#include <cstdint>
+
+#include "synergy/econ/trace.hpp"
+#include "synergy/obs/energy_ledger.hpp"
+
+namespace synergy::econ {
+
+/// Joules in one kilowatt-hour — the bridge between the simulator's joule
+/// accounting and tariffs quoted per kWh.
+inline constexpr double joules_per_kwh = 3.6e6;
+
+/// Facility economics configuration for a cluster replay.
+struct econ_config {
+  bool enabled{false};
+  /// Amortised capital cost per node-hour (purchase price / depreciation
+  /// horizon); 0 models an opex-only view.
+  double capex_usd_per_node_hour{0.0};
+  /// Defer deferrable jobs while price > ratio x mean price. Ratios below 1
+  /// are clamped to 1 — a threshold under the mean could defer forever on a
+  /// trace that never dips below it.
+  double defer_price_ratio{1.0};
+  /// Tighten placed clocks one table step while price > ratio x mean price;
+  /// <= 0 disables the demotion rule.
+  double demote_price_ratio{1.30};
+  step_trace price;   ///< $/kWh over virtual time
+  step_trace carbon;  ///< gCO2/kWh over virtual time
+
+  /// Econ accounting is live: enabled with a price signal to integrate.
+  [[nodiscard]] bool usable() const { return enabled && !price.empty(); }
+};
+
+/// Accumulates the run's cost/carbon state. One instance per run; the
+/// simulator reconstructs it in run() and round-trips it through the
+/// checkpoint via export_state()/import_state().
+class cost_meter {
+ public:
+  cost_meter() = default;
+  /// `config` must outlive the meter (the simulator owns it in its
+  /// cluster_config); `n_nodes` is the purchased inventory capex bills for.
+  cost_meter(const econ_config& config, std::size_t n_nodes);
+
+  [[nodiscard]] bool active() const { return config_ != nullptr && config_->usable(); }
+
+  /// Integrate `watts` of facility draw over [t0_s, t1_s), stepping through
+  /// every price/carbon boundary inside the span; capex accrues over the
+  /// same wall of virtual time.
+  void integrate(double watts, double t0_s, double t1_s);
+
+  /// Shadow-price one ledger charge: `joules` attributed to `why` at
+  /// virtual time `t_s`. Non-finite or non-positive charges are dropped,
+  /// matching the energy ledger's posture.
+  void charge(obs::cause why, double joules, double t_s);
+
+  void complete_job() { ++jobs_completed_; }
+
+  [[nodiscard]] double price_at(double t_s) const;
+  [[nodiscard]] double carbon_at(double t_s) const;
+  /// Time-weighted mean price — the base of the defer/demote thresholds.
+  [[nodiscard]] double mean_price() const { return mean_price_; }
+
+  [[nodiscard]] double facility_cost_usd() const { return facility_cost_usd_; }
+  [[nodiscard]] double facility_carbon_g() const { return facility_carbon_g_; }
+  [[nodiscard]] double capex_usd() const { return capex_usd_; }
+  [[nodiscard]] double total_cost_usd() const { return facility_cost_usd_ + capex_usd_; }
+  [[nodiscard]] double attributed_cost_usd() const { return attributed_cost_usd_; }
+  [[nodiscard]] double attributed_carbon_g() const { return attributed_carbon_g_; }
+  [[nodiscard]] const obs::cause_array& cost_by_cause() const { return cost_by_cause_; }
+  [[nodiscard]] const obs::cause_array& carbon_by_cause() const { return carbon_by_cause_; }
+  [[nodiscard]] std::uint64_t jobs_completed() const { return jobs_completed_; }
+  [[nodiscard]] double cost_per_job_usd() const {
+    return jobs_completed_ ? total_cost_usd() / static_cast<double>(jobs_completed_) : 0.0;
+  }
+  [[nodiscard]] double carbon_per_job_g() const {
+    return jobs_completed_ ? facility_carbon_g_ / static_cast<double>(jobs_completed_) : 0.0;
+  }
+
+  /// Checkpoint payload: the accumulators, verbatim. Totals are carried —
+  /// not recomputed from the cause arrays — so resumed reports match to
+  /// the last bit.
+  struct state {
+    double facility_cost_usd{0.0};
+    double facility_carbon_g{0.0};
+    double capex_usd{0.0};
+    double attributed_cost_usd{0.0};
+    double attributed_carbon_g{0.0};
+    obs::cause_array cost_by_cause{};
+    obs::cause_array carbon_by_cause{};
+    std::uint64_t jobs_completed{0};
+  };
+  [[nodiscard]] state export_state() const;
+  void import_state(const state& s);
+
+ private:
+  const econ_config* config_{nullptr};
+  double capex_usd_per_s_{0.0};
+  double mean_price_{0.0};
+  double facility_cost_usd_{0.0};
+  double facility_carbon_g_{0.0};
+  double capex_usd_{0.0};
+  double attributed_cost_usd_{0.0};
+  double attributed_carbon_g_{0.0};
+  obs::cause_array cost_by_cause_{};
+  obs::cause_array carbon_by_cause_{};
+  std::uint64_t jobs_completed_{0};
+};
+
+}  // namespace synergy::econ

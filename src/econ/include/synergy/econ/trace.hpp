@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file trace.hpp
+/// Piecewise-step facility-economics traces: electricity price ($/kWh) and
+/// carbon intensity (gCO2/kWh) as functions of the cluster's virtual time.
+///
+/// Real tariffs and grid carbon signals are published as step series (hourly
+/// day-ahead prices, 5-minute grid-mix averages), so the trace type is a
+/// sorted list of (t_s, value) steps: the value at time t is the value of
+/// the last step at or before t. A trace may declare a period, in which case
+/// it wraps — a 24 h tariff priced over a week-long replay repeats daily.
+///
+/// Traces come from two places:
+///  - CSV files via parse_step_trace(), with the same strict fail-closed
+///    posture as every other serialized artefact in the tree: NaN, negative
+///    values, non-monotonic timestamps, and malformed rows are rejected with
+///    line-numbered diagnostics (the CorruptionFuzz suite hammers this);
+///  - seeded synthetic generators (synthetic_diurnal) on a dedicated pcg32
+///    stream, so benches and tests need no data files and stay
+///    bit-reproducible per seed.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace synergy::econ {
+
+struct step_point {
+  double t_s{0.0};
+  double value{0.0};
+
+  friend bool operator==(const step_point&, const step_point&) = default;
+};
+
+/// A piecewise-constant, optionally periodic step function of virtual time.
+class step_trace {
+ public:
+  step_trace() = default;
+  /// `points` must start at t_s == 0, be strictly increasing in time, and
+  /// hold only finite, non-negative values; with `period_s` > 0 every
+  /// timestamp must fall inside [0, period_s). Throws std::invalid_argument.
+  step_trace(std::vector<step_point> points, double period_s);
+
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] double period_s() const { return period_s_; }
+  [[nodiscard]] const std::vector<step_point>& points() const { return points_; }
+
+  /// Value of the step active at `t_s` (0 for an empty trace). Periodic
+  /// traces wrap; aperiodic traces hold their last value forever.
+  [[nodiscard]] double value_at(double t_s) const;
+
+  /// Absolute time of the next step boundary strictly after `t_s`, or -1
+  /// when the value never changes again (aperiodic trace past its last
+  /// step, or a single-step trace). The simulator's econ tick and the cost
+  /// integrator both walk boundaries through this.
+  [[nodiscard]] double next_change_after(double t_s) const;
+
+  /// Time-weighted mean value — over one period when periodic, over the
+  /// step span otherwise. The cost-aware policy's defer/demote thresholds
+  /// are ratios of this mean.
+  [[nodiscard]] double mean() const;
+
+  /// Canonical CSV rendering (round-trips through parse_step_trace); the
+  /// checkpoint config fingerprint hashes this.
+  [[nodiscard]] std::string to_csv(const std::string& kind) const;
+
+  friend bool operator==(const step_trace&, const step_trace&) = default;
+
+ private:
+  std::vector<step_point> points_;
+  double period_s_{0.0};
+};
+
+/// Strict parser for the econ trace CSV format:
+///
+///   # synergy-econ-trace v1 kind=price period=86400
+///   t_s,value
+///   0,0.08
+///   3600,0.11
+///
+/// `kind` must be "price" or "carbon" and must match the file's header.
+/// Rejects (with a "line N:" diagnostic in the thrown std::runtime_error):
+/// a missing/malformed magic line, a wrong kind, a bad column header, rows
+/// without exactly two fields, unparseable or non-finite numbers, negative
+/// values, timestamps that do not start at 0 or are not strictly
+/// increasing, timestamps at or beyond a declared period, and files with no
+/// data rows.
+[[nodiscard]] step_trace parse_step_trace(const std::string& text, const std::string& kind);
+
+/// Seeded synthetic diurnal trace: a sinusoid over one period (expensive /
+/// carbon-heavy first half, cheap second half) sampled into `period_s /
+/// step_s` steps, plus uniform noise from a pcg32 dedicated to the econ
+/// plane (stream selected by `stream`, so price and carbon draws never
+/// share a sequence). Values are clamped at 0.
+struct synthetic_config {
+  std::uint64_t seed{1};
+  std::uint64_t stream{0};   ///< rng stream selector (price=0, carbon=1 by convention)
+  double period_s{86400.0};
+  double step_s{3600.0};
+  double base{0.10};         ///< mean level ($/kWh or gCO2/kWh)
+  double amplitude{0.04};    ///< diurnal swing around the base
+  double noise{0.0};         ///< uniform +/- noise amplitude per step
+};
+
+[[nodiscard]] step_trace synthetic_diurnal(const synthetic_config& config);
+
+}  // namespace synergy::econ

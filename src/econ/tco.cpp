@@ -1,0 +1,79 @@
+#include "synergy/econ/tco.hpp"
+
+#include <cmath>
+
+namespace synergy::econ {
+
+cost_meter::cost_meter(const econ_config& config, std::size_t n_nodes)
+    : config_(&config),
+      capex_usd_per_s_(config.capex_usd_per_node_hour * static_cast<double>(n_nodes) /
+                       3600.0),
+      mean_price_(config.price.mean()) {}
+
+double cost_meter::price_at(double t_s) const {
+  return config_ ? config_->price.value_at(t_s) : 0.0;
+}
+
+double cost_meter::carbon_at(double t_s) const {
+  return config_ ? config_->carbon.value_at(t_s) : 0.0;
+}
+
+void cost_meter::integrate(double watts, double t0_s, double t1_s) {
+  if (!active() || !(t1_s > t0_s)) return;
+  // Both signals are piecewise-constant, so the integral is exact: advance
+  // cursor to the nearest boundary of either trace, price the sub-span at
+  // its (constant) rates, repeat.
+  double cur = t0_s;
+  while (cur < t1_s) {
+    double next = t1_s;
+    const double pb = config_->price.next_change_after(cur);
+    if (pb > cur && pb < next) next = pb;
+    const double cb = config_->carbon.next_change_after(cur);
+    if (cb > cur && cb < next) next = cb;
+    const double span = next - cur;
+    const double kwh = watts * span / joules_per_kwh;
+    facility_cost_usd_ += kwh * config_->price.value_at(cur);
+    facility_carbon_g_ += kwh * config_->carbon.value_at(cur);
+    capex_usd_ += capex_usd_per_s_ * span;
+    cur = next;
+  }
+}
+
+void cost_meter::charge(obs::cause why, double joules, double t_s) {
+  if (!active() || !std::isfinite(joules) || joules <= 0.0) return;
+  const auto idx = static_cast<std::size_t>(why);
+  if (idx >= obs::n_causes) return;
+  const double kwh = joules / joules_per_kwh;
+  const double usd = kwh * config_->price.value_at(t_s);
+  const double g = kwh * config_->carbon.value_at(t_s);
+  cost_by_cause_[idx] += usd;
+  carbon_by_cause_[idx] += g;
+  attributed_cost_usd_ += usd;
+  attributed_carbon_g_ += g;
+}
+
+cost_meter::state cost_meter::export_state() const {
+  state s;
+  s.facility_cost_usd = facility_cost_usd_;
+  s.facility_carbon_g = facility_carbon_g_;
+  s.capex_usd = capex_usd_;
+  s.attributed_cost_usd = attributed_cost_usd_;
+  s.attributed_carbon_g = attributed_carbon_g_;
+  s.cost_by_cause = cost_by_cause_;
+  s.carbon_by_cause = carbon_by_cause_;
+  s.jobs_completed = jobs_completed_;
+  return s;
+}
+
+void cost_meter::import_state(const state& s) {
+  facility_cost_usd_ = s.facility_cost_usd;
+  facility_carbon_g_ = s.facility_carbon_g;
+  capex_usd_ = s.capex_usd;
+  attributed_cost_usd_ = s.attributed_cost_usd;
+  attributed_carbon_g_ = s.attributed_carbon_g;
+  cost_by_cause_ = s.cost_by_cause;
+  carbon_by_cause_ = s.carbon_by_cause;
+  jobs_completed_ = s.jobs_completed;
+}
+
+}  // namespace synergy::econ

@@ -1,0 +1,207 @@
+#include "synergy/econ/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "synergy/common/csv.hpp"
+#include "synergy/common/rng.hpp"
+
+namespace synergy::econ {
+
+namespace {
+
+constexpr const char* header_magic = "# synergy-econ-trace v1";
+
+/// %.17g — shortest round-trippable rendering, same as the job-trace CSV.
+std::string exact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("econ trace: line " + std::to_string(line) + ": " + what);
+}
+
+/// Strict double parse: the whole field must be consumed and the value
+/// finite. Line-numbered throw otherwise.
+double parse_finite(const std::string& field, std::size_t line, const char* what) {
+  if (field.empty()) fail(line, std::string{what} + " is empty");
+  char* end = nullptr;
+  const double v = std::strtod(field.c_str(), &end);
+  if (end != field.c_str() + field.size())
+    fail(line, std::string{what} + " '" + field + "' is not a number");
+  if (!std::isfinite(v)) fail(line, std::string{what} + " '" + field + "' is not finite");
+  return v;
+}
+
+}  // namespace
+
+step_trace::step_trace(std::vector<step_point> points, double period_s)
+    : points_(std::move(points)), period_s_(period_s) {
+  if (points_.empty()) throw std::invalid_argument("econ trace: no steps");
+  if (!std::isfinite(period_s_) || period_s_ < 0.0)
+    throw std::invalid_argument("econ trace: period must be finite and >= 0");
+  if (points_.front().t_s != 0.0)
+    throw std::invalid_argument("econ trace: first step must start at t=0");
+  double prev = -1.0;
+  for (const auto& p : points_) {
+    if (!std::isfinite(p.t_s) || !std::isfinite(p.value))
+      throw std::invalid_argument("econ trace: non-finite step");
+    if (p.value < 0.0) throw std::invalid_argument("econ trace: negative value");
+    if (p.t_s <= prev) throw std::invalid_argument("econ trace: timestamps must increase");
+    if (period_s_ > 0.0 && p.t_s >= period_s_)
+      throw std::invalid_argument("econ trace: step at or beyond the period");
+    prev = p.t_s;
+  }
+}
+
+double step_trace::value_at(double t_s) const {
+  if (points_.empty()) return 0.0;
+  double t = t_s;
+  if (period_s_ > 0.0) {
+    t = std::fmod(t_s, period_s_);
+    if (t < 0.0) t += period_s_;
+  }
+  // Last step with t_s <= t; steps start at 0, so one always exists for
+  // t >= 0 (and negative aperiodic times clamp to the first step).
+  auto it = std::upper_bound(points_.begin(), points_.end(), t,
+                             [](double v, const step_point& p) { return v < p.t_s; });
+  if (it == points_.begin()) return points_.front().value;
+  return std::prev(it)->value;
+}
+
+double step_trace::next_change_after(double t_s) const {
+  if (points_.size() < 2 && period_s_ <= 0.0) return -1.0;
+  if (period_s_ <= 0.0) {
+    for (const auto& p : points_)
+      if (p.t_s > t_s) return p.t_s;
+    return -1.0;
+  }
+  if (points_.size() < 2) return -1.0;  // periodic but constant: never changes
+  const double cycle = std::floor(t_s / period_s_) * period_s_;
+  for (const auto& p : points_)
+    if (cycle + p.t_s > t_s) return cycle + p.t_s;
+  return cycle + period_s_;  // wrap back to the first step of the next cycle
+}
+
+double step_trace::mean() const {
+  if (points_.empty()) return 0.0;
+  if (points_.size() == 1) return points_.front().value;
+  const double span = period_s_ > 0.0 ? period_s_ : points_.back().t_s - points_.front().t_s;
+  if (span <= 0.0) return points_.front().value;
+  double area = 0.0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const double end = i + 1 < points_.size() ? points_[i + 1].t_s
+                       : period_s_ > 0.0     ? period_s_
+                                             : points_.back().t_s;
+    area += points_[i].value * (end - points_[i].t_s);
+  }
+  return area / span;
+}
+
+std::string step_trace::to_csv(const std::string& kind) const {
+  std::ostringstream out;
+  out << header_magic << " kind=" << kind << " period=" << exact(period_s_) << '\n';
+  out << "t_s,value\n";
+  for (const auto& p : points_) out << exact(p.t_s) << ',' << exact(p.value) << '\n';
+  return out.str();
+}
+
+step_trace parse_step_trace(const std::string& text, const std::string& kind) {
+  if (kind != "price" && kind != "carbon")
+    throw std::invalid_argument("econ trace: unknown kind '" + kind + "'");
+  const auto records = common::split_csv_records(text);
+
+  std::size_t i = 0;
+  // Skip leading blank records (split preserves them so line numbers align).
+  while (i < records.size() && records[i].empty()) ++i;
+  if (i == records.size()) fail(1, "empty trace file");
+
+  // Magic line: "# synergy-econ-trace v1 kind=K [period=P]".
+  {
+    const std::size_t line = i + 1;
+    const std::string& head = records[i];
+    if (head.rfind(header_magic, 0) != 0)
+      fail(line, "expected header '" + std::string{header_magic} + " kind=" + kind + "'");
+    std::istringstream hs{head.substr(std::string{header_magic}.size())};
+    std::string token;
+    bool saw_kind = false;
+    double period = 0.0;
+    while (hs >> token) {
+      if (token.rfind("kind=", 0) == 0) {
+        const std::string k = token.substr(5);
+        if (k != kind) fail(line, "trace kind is '" + k + "', expected '" + kind + "'");
+        saw_kind = true;
+      } else if (token.rfind("period=", 0) == 0) {
+        period = parse_finite(token.substr(7), line, "period");
+        if (period < 0.0) fail(line, "period is negative");
+      } else {
+        fail(line, "unknown header token '" + token + "'");
+      }
+    }
+    if (!saw_kind) fail(line, "header declares no kind");
+    ++i;
+
+    // Column header row (comments may precede it).
+    while (i < records.size() && (records[i].empty() || records[i].front() == '#')) ++i;
+    if (i == records.size()) fail(records.size(), "missing column header 't_s,value'");
+    if (common::parse_csv_line(records[i]) != std::vector<std::string>{"t_s", "value"})
+      fail(i + 1, "expected column header 't_s,value'");
+    ++i;
+
+    std::vector<step_point> points;
+    for (; i < records.size(); ++i) {
+      const std::size_t row_line = i + 1;
+      if (records[i].empty() || records[i].front() == '#') continue;
+      const auto fields = common::parse_csv_line(records[i]);
+      if (fields.size() != 2)
+        fail(row_line, "expected 2 fields, got " + std::to_string(fields.size()));
+      step_point p;
+      p.t_s = parse_finite(fields[0], row_line, "timestamp");
+      p.value = parse_finite(fields[1], row_line, "value");
+      if (p.t_s < 0.0) fail(row_line, "timestamp is negative");
+      if (p.value < 0.0) fail(row_line, "value is negative");
+      if (points.empty() && p.t_s != 0.0) fail(row_line, "first step must start at t=0");
+      if (!points.empty() && p.t_s <= points.back().t_s)
+        fail(row_line, "timestamp " + fields[0] + " does not increase");
+      if (period > 0.0 && p.t_s >= period)
+        fail(row_line, "timestamp " + fields[0] + " at or beyond the period");
+      points.push_back(p);
+    }
+    if (points.empty()) fail(records.size(), "trace has no data rows");
+    return step_trace{std::move(points), period};
+  }
+}
+
+step_trace synthetic_diurnal(const synthetic_config& config) {
+  if (!(config.step_s > 0.0) || !std::isfinite(config.step_s))
+    throw std::invalid_argument("econ trace: synthetic step must be > 0");
+  if (!(config.period_s >= config.step_s) || !std::isfinite(config.period_s))
+    throw std::invalid_argument("econ trace: synthetic period must be >= step");
+  if (config.base < 0.0 || config.amplitude < 0.0 || config.noise < 0.0)
+    throw std::invalid_argument("econ trace: synthetic levels must be >= 0");
+
+  const auto n = static_cast<std::size_t>(std::floor(config.period_s / config.step_s));
+  const double period = static_cast<double>(n) * config.step_s;
+  // Dedicated stream constant: the econ plane's draws never alias the fault
+  // or chaos streams even under an identical seed.
+  common::pcg32 rng{config.seed, 0xec0ULL + config.stream};
+  std::vector<step_point> points;
+  points.reserve(n);
+  constexpr double two_pi = 6.283185307179586476925286766559;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double t = static_cast<double>(k) * config.step_s;
+    const double mid = t + 0.5 * config.step_s;
+    double v = config.base + config.amplitude * std::sin(two_pi * mid / period);
+    if (config.noise > 0.0) v += config.noise * (2.0 * rng.uniform() - 1.0);
+    points.push_back({t, std::max(v, 0.0)});
+  }
+  return step_trace{std::move(points), period};
+}
+
+}  // namespace synergy::econ

@@ -52,9 +52,13 @@ enum class cause : std::uint8_t {
   governor,          ///< clocks chosen by a reactive governor after it
                      ///< diverged from the seeded plan (hybrid drift chase)
   unattributed,      ///< no active attribution scope
+  // Econ causes append after unattributed so every serialized cause index
+  // from earlier artefact versions keeps its meaning.
+  econ_deferred,      ///< job shifted into a cheap/clean price window
+  econ_price_demoted, ///< clocks tightened by the spot-price demotion rule
 };
 
-inline constexpr std::size_t n_causes = 12;
+inline constexpr std::size_t n_causes = 14;
 
 [[nodiscard]] constexpr const char* to_string(cause c) {
   switch (c) {
@@ -70,9 +74,19 @@ inline constexpr std::size_t n_causes = 12;
     case cause::idle: return "idle";
     case cause::governor: return "governor";
     case cause::unattributed: return "unattributed";
+    case cause::econ_deferred: return "econ_deferred";
+    case cause::econ_price_demoted: return "econ_price_demoted";
   }
   return "?";
 }
+
+// Exhaustiveness tripwire (the governor cause was once added by hand in
+// three places): the enum's last member, the bucket count, and to_string
+// must move together. A new cause that misses one fails to compile here.
+static_assert(static_cast<std::size_t>(cause::econ_price_demoted) + 1 == n_causes,
+              "obs::n_causes must count every cause enumerator");
+static_assert(to_string(static_cast<cause>(n_causes - 1))[0] != '?',
+              "obs::to_string must name the last cause");
 
 /// Per-cause joule totals, indexed by static_cast<std::size_t>(cause).
 using cause_array = std::array<double, n_causes>;

@@ -24,6 +24,11 @@
 ///   quarantine_dwell_s     seconds the model set has currently been
 ///                          quarantined (virtual time)
 ///   wasted_energy_j        ledger joules tagged cause::fault_wasted
+///   cost_per_job_ratio     mean per-GPU job cost (USD) of the last N
+///                          completions vs. the preceding N — the econ
+///                          plane's cost-regression check; needs 2N priced
+///                          completions before it can fire
+///   carbon_per_job_ratio   same rolling check over per-GPU job carbon (g)
 ///
 /// Alerts latch: a rule fires on the false→true transition and re-arms only
 /// after the condition clears, so a persistent violation produces one alert,
@@ -48,6 +53,8 @@ struct slo_rule {
     breaker_open_delta,
     quarantine_dwell_s,
     wasted_energy_j,
+    cost_per_job_ratio,
+    carbon_per_job_ratio,
   };
 
   kind what{kind::wasted_energy_j};
@@ -68,6 +75,8 @@ struct slo_rule {
     case slo_rule::kind::breaker_open_delta: return "breaker_open_delta";
     case slo_rule::kind::quarantine_dwell_s: return "quarantine_dwell_s";
     case slo_rule::kind::wasted_energy_j: return "wasted_energy_j";
+    case slo_rule::kind::cost_per_job_ratio: return "cost_per_job_ratio";
+    case slo_rule::kind::carbon_per_job_ratio: return "carbon_per_job_ratio";
   }
   return "?";
 }
@@ -95,6 +104,8 @@ struct watchdog_state {
   std::vector<bool> firing;          ///< per-rule violation latch
   std::vector<alert> alerts;         ///< alerts fired so far
   std::vector<double> job_energies;  ///< rolling per-GPU energy window
+  std::vector<double> job_costs;     ///< rolling per-GPU cost window (USD)
+  std::vector<double> job_carbons;   ///< rolling per-GPU carbon window (g)
   std::uint64_t plans_total{0};
   std::uint64_t plans_model{0};
   double quarantine_since{-1.0};
@@ -109,6 +120,10 @@ class slo_watchdog {
 
   /// Feed one completed job's per-GPU energy (rolling baseline input).
   void observe_job(double energy_per_gpu_j);
+
+  /// Feed one completed job's shadow-priced per-GPU cost and carbon (econ
+  /// plane input; the cost/carbon ratio rules roll over these).
+  void observe_job_cost(double cost_per_gpu_usd, double carbon_per_gpu_g);
 
   /// Feed one planner decision; `model_tier` marks the model tier.
   void observe_plan(bool model_tier);
@@ -154,6 +169,10 @@ class slo_watchdog {
   // Rolling energy-per-job window: bounded by the largest rule window.
   std::deque<double> job_energies_;
   std::size_t max_window_{0};
+  // Rolling cost/carbon windows: bounded by the largest econ rule window.
+  std::deque<double> job_costs_;
+  std::deque<double> job_carbons_;
+  std::size_t max_econ_window_{0};
   std::uint64_t plans_total_{0};
   std::uint64_t plans_model_{0};
   double quarantine_since_{-1.0};  ///< < 0: not quarantined

@@ -4,13 +4,13 @@
 /// Snapshot exporter: ledger + metrics registry + alerts, rendered as
 /// Prometheus text exposition format and machine-readable JSON.
 ///
-/// Determinism contract: JSON renderings of the same ledger/registry state
-/// are byte-identical — floats print via std::to_chars (shortest
-/// round-trip), map iteration is key-ordered, and wall-clock-valued
-/// instruments (snapshot_options::volatile_metrics) are excluded from the
-/// JSON document (they still appear in the Prometheus rendering, which
-/// makes no byte-identity promise). This is what lets the workflow fixture
-/// byte-compare snapshots across same-seed replays.
+/// Determinism contract: renderings of the same ledger/registry state are
+/// byte-identical — floats print via std::to_chars (shortest round-trip),
+/// map iteration is key-ordered, and wall-clock-valued instruments
+/// (snapshot_options::volatile_metrics) are excluded from BOTH the JSON
+/// document and the Prometheus exposition. This is what lets the workflow
+/// fixture byte-compare .json and .prom snapshots across same-seed replays;
+/// clear volatile_metrics to get the wall-clock instruments back.
 ///
 /// File emission goes through common::atomic_write_file, so a reader
 /// (synergy_top --watch) always sees a complete document, never a torn
@@ -32,7 +32,7 @@ struct snapshot_options {
   /// Include the telemetry metrics registry in the rendering.
   bool include_metrics{true};
   /// Instruments measured on the host wall clock — nondeterministic across
-  /// replays, so they are omitted from JSON (Prometheus still carries them).
+  /// replays, so they are omitted from both renderings by default.
   std::vector<std::string> volatile_metrics{"planner.plan_latency_us"};
   /// Monotone snapshot counter; synergy_top uses it for interval diffs.
   std::uint64_t sequence{0};
@@ -40,6 +40,25 @@ struct snapshot_options {
   double time_s{0.0};
   /// Emitting tool/run, recorded in the document.
   std::string source{"synergy"};
+  /// Facility-economics figures of the emitting run, passed in as plain data
+  /// (the obs plane stays econ-independent). Rendered only when `enabled`:
+  /// an "econ" JSON object and synergy_econ_* Prometheus samples, with the
+  /// per-cause splits carrying the same conservation contract as the ledger
+  /// (sum over causes == attributed total, enforced by synergy_top --check).
+  struct econ_block {
+    bool enabled{false};
+    double cost_usd{0.0};           ///< facility opex + amortised capex
+    double capex_usd{0.0};          ///< amortised capex share
+    double carbon_g{0.0};           ///< facility carbon
+    double cost_per_job_usd{0.0};
+    double carbon_per_job_g{0.0};
+    double attributed_cost_usd{0.0};
+    double attributed_carbon_g{0.0};
+    cause_array cost_by_cause{};
+    cause_array carbon_by_cause{};
+    std::uint64_t jobs_completed{0};
+  };
+  econ_block econ{};
 };
 
 /// Shortest round-trip decimal rendering of a double (std::to_chars);

@@ -16,6 +16,22 @@ using common::errc;
 using common::error;
 using common::result;
 
+namespace {
+
+/// Rolling regression ratio: sum of the last `window` samples over the sum
+/// of the preceding `window`; negative when not yet evaluable.
+double rolling_ratio(const std::deque<double>& samples, std::size_t window) {
+  if (samples.size() < 2 * window) return -1.0;
+  double recent = 0.0, baseline = 0.0;
+  const std::size_t n = samples.size();
+  for (std::size_t i = n - window; i < n; ++i) recent += samples[i];
+  for (std::size_t i = n - 2 * window; i < n - window; ++i) baseline += samples[i];
+  if (baseline <= 0.0) return -1.0;
+  return recent / baseline;
+}
+
+}  // namespace
+
 common::result<slo_rule> slo_rule::parse(std::string_view line) {
   std::istringstream in{std::string{line}};
   std::string kind_word, op;
@@ -34,6 +50,10 @@ common::result<slo_rule> slo_rule::parse(std::string_view line) {
     out.what = kind::quarantine_dwell_s;
   } else if (kind_word == "wasted_energy_j") {
     out.what = kind::wasted_energy_j;
+  } else if (kind_word == "cost_per_job_ratio") {
+    out.what = kind::cost_per_job_ratio;
+  } else if (kind_word == "carbon_per_job_ratio") {
+    out.what = kind::carbon_per_job_ratio;
   } else {
     return error{errc::invalid_argument, "unknown rule kind '" + kind_word + "'"};
   }
@@ -108,9 +128,13 @@ std::string alert::to_json_line() const {
 
 slo_watchdog::slo_watchdog(std::vector<slo_rule> rules, const energy_ledger* ledger)
     : rules_(std::move(rules)), states_(rules_.size()), ledger_(ledger) {
-  for (const auto& r : rules_)
+  for (const auto& r : rules_) {
     if (r.what == slo_rule::kind::energy_per_job_ratio)
       max_window_ = std::max(max_window_, r.window);
+    if (r.what == slo_rule::kind::cost_per_job_ratio ||
+        r.what == slo_rule::kind::carbon_per_job_ratio)
+      max_econ_window_ = std::max(max_econ_window_, r.window);
+  }
 #if SYNERGY_TELEMETRY_ENABLED
   breaker_opens_base_ =
       tel::metrics_registry::instance().get_counter("resilience.breaker_opens").value();
@@ -122,6 +146,18 @@ void slo_watchdog::observe_job(double energy_per_gpu_j) {
   if (max_window_ == 0) return;
   job_energies_.push_back(energy_per_gpu_j);
   while (job_energies_.size() > 2 * max_window_) job_energies_.pop_front();
+}
+
+void slo_watchdog::observe_job_cost(double cost_per_gpu_usd, double carbon_per_gpu_g) {
+  if (max_econ_window_ == 0) return;
+  if (std::isfinite(cost_per_gpu_usd) && cost_per_gpu_usd >= 0.0) {
+    job_costs_.push_back(cost_per_gpu_usd);
+    while (job_costs_.size() > 2 * max_econ_window_) job_costs_.pop_front();
+  }
+  if (std::isfinite(carbon_per_gpu_g) && carbon_per_gpu_g >= 0.0) {
+    job_carbons_.push_back(carbon_per_gpu_g);
+    while (job_carbons_.size() > 2 * max_econ_window_) job_carbons_.pop_front();
+  }
 }
 
 void slo_watchdog::observe_plan(bool model_tier) {
@@ -180,6 +216,20 @@ double slo_watchdog::measure(const slo_rule& r, double t_s, std::string& detail)
       return ledger_
           ->totals_by_cause()[static_cast<std::size_t>(cause::fault_wasted)];
     }
+    case slo_rule::kind::cost_per_job_ratio: {
+      const double v = rolling_ratio(job_costs_, r.window);
+      if (v < 0.0) return -1.0;
+      detail = "mean per-GPU job cost, last " + std::to_string(r.window) +
+               " completions vs the preceding " + std::to_string(r.window);
+      return v;
+    }
+    case slo_rule::kind::carbon_per_job_ratio: {
+      const double v = rolling_ratio(job_carbons_, r.window);
+      if (v < 0.0) return -1.0;
+      detail = "mean per-GPU job carbon, last " + std::to_string(r.window) +
+               " completions vs the preceding " + std::to_string(r.window);
+      return v;
+    }
   }
   return -1.0;
 }
@@ -217,6 +267,8 @@ void slo_watchdog::reset() {
   states_.assign(rules_.size(), rule_state{});
   alerts_.clear();
   job_energies_.clear();
+  job_costs_.clear();
+  job_carbons_.clear();
   plans_total_ = plans_model_ = 0;
   quarantine_since_ = -1.0;
 #if SYNERGY_TELEMETRY_ENABLED
@@ -231,6 +283,8 @@ watchdog_state slo_watchdog::export_state() const {
   for (const rule_state& st : states_) s.firing.push_back(st.firing);
   s.alerts = alerts_;
   s.job_energies.assign(job_energies_.begin(), job_energies_.end());
+  s.job_costs.assign(job_costs_.begin(), job_costs_.end());
+  s.job_carbons.assign(job_carbons_.begin(), job_carbons_.end());
   s.plans_total = plans_total_;
   s.plans_model = plans_model_;
   s.quarantine_since = quarantine_since_;
@@ -244,6 +298,8 @@ bool slo_watchdog::import_state(const watchdog_state& s) {
   for (std::size_t i = 0; i < rules_.size(); ++i) states_[i].firing = s.firing[i];
   alerts_ = s.alerts;
   job_energies_.assign(s.job_energies.begin(), s.job_energies.end());
+  job_costs_.assign(s.job_costs.begin(), s.job_costs.end());
+  job_carbons_.assign(s.job_carbons.begin(), s.job_carbons.end());
   plans_total_ = s.plans_total;
   plans_model_ = s.plans_model;
   quarantine_since_ = s.quarantine_since;

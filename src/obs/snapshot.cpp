@@ -154,6 +154,23 @@ std::string render_json(const energy_ledger& ledger, const slo_watchdog* watchdo
   }
   out += "]}";
 
+  if (options.econ.enabled) {
+    const auto& ec = options.econ;
+    out += ",\"econ\":{\"cost_usd\":" + format_double(ec.cost_usd);
+    out += ",\"capex_usd\":" + format_double(ec.capex_usd);
+    out += ",\"carbon_g\":" + format_double(ec.carbon_g);
+    out += ",\"cost_per_job_usd\":" + format_double(ec.cost_per_job_usd);
+    out += ",\"carbon_per_job_g\":" + format_double(ec.carbon_per_job_g);
+    out += ",\"jobs_completed\":" + std::to_string(ec.jobs_completed);
+    out += ",\"attributed_cost_usd\":" + format_double(ec.attributed_cost_usd);
+    out += ",\"cost_by_cause\":";
+    append_cause_object(out, ec.cost_by_cause, /*nonzero_only=*/false);
+    out += ",\"attributed_carbon_g\":" + format_double(ec.attributed_carbon_g);
+    out += ",\"carbon_by_cause\":";
+    append_cause_object(out, ec.carbon_by_cause, /*nonzero_only=*/false);
+    out += '}';
+  }
+
   out += ",\"alerts\":[";
   if (watchdog) {
     first = true;
@@ -208,8 +225,37 @@ std::string render_prometheus(const energy_ledger& ledger,
   out += "# TYPE synergy_obs_snapshot_time_seconds gauge\n";
   out += "synergy_obs_snapshot_time_seconds " + format_double(options.time_s) + "\n";
 
+  if (options.econ.enabled) {
+    const auto& ec = options.econ;
+    out += "# TYPE synergy_econ_cost_usd gauge\n";
+    out += "synergy_econ_cost_usd " + format_double(ec.cost_usd) + "\n";
+    out += "# TYPE synergy_econ_capex_usd gauge\n";
+    out += "synergy_econ_capex_usd " + format_double(ec.capex_usd) + "\n";
+    out += "# TYPE synergy_econ_carbon_grams gauge\n";
+    out += "synergy_econ_carbon_grams " + format_double(ec.carbon_g) + "\n";
+    out += "# TYPE synergy_econ_cost_per_job_usd gauge\n";
+    out += "synergy_econ_cost_per_job_usd " + format_double(ec.cost_per_job_usd) + "\n";
+    out += "# TYPE synergy_econ_carbon_per_job_grams gauge\n";
+    out += "synergy_econ_carbon_per_job_grams " + format_double(ec.carbon_per_job_g) + "\n";
+    out += "# TYPE synergy_econ_cause_cost_usd counter\n";
+    for (std::size_t c = 0; c < n_causes; ++c) {
+      out += "synergy_econ_cause_cost_usd{cause=\"";
+      out += to_string(static_cast<cause>(c));
+      out += "\"} " + format_double(ec.cost_by_cause[c]) + "\n";
+    }
+    out += "# TYPE synergy_econ_cause_carbon_grams counter\n";
+    for (std::size_t c = 0; c < n_causes; ++c) {
+      out += "synergy_econ_cause_carbon_grams{cause=\"";
+      out += to_string(static_cast<cause>(c));
+      out += "\"} " + format_double(ec.carbon_by_cause[c]) + "\n";
+    }
+  }
+
   if (!options.include_metrics) return out;
   for (const auto& m : tel::metrics_registry::instance().snapshot()) {
+    // Same volatile filter as the JSON document: wall-clock-valued
+    // instruments would break the workflow's .prom byte-diffs.
+    if (is_volatile(options, m.name)) continue;
     const std::string name = "synergy_" + sanitize_metric_name(m.name);
     switch (m.type) {
       case tel::metric_snapshot::kind::counter:

@@ -1,19 +1,24 @@
 # Checkpoint/resume acceptance test (ARCHITECTURE.md Sec. 17): replay a
-# faulted + chaos-injected trace four ways and assert
+# faulted + chaos-injected trace under the cost-aware policy four ways and
+# assert
 #  - periodic checkpointing is inert: the checkpointed run's summary CSV,
-#    obs JSON snapshot, and alerts JSONL are byte-identical to the
-#    uncheckpointed reference (the .prom exposition is excluded — it embeds
-#    a wall-clock plan-latency histogram and differs between any two runs),
+#    obs JSON snapshot, Prometheus exposition, and alerts JSONL are
+#    byte-identical to the uncheckpointed reference (wall-clock-valued
+#    instruments are volatile-filtered out of both renderings, so the .prom
+#    file byte-compares like the rest),
 #  - an injected --crash-at kills the run with the harness exit code 42,
 #    leaving valid artefacts behind,
 #  - --resume from the crashed run reproduces the reference byte-for-bit
-#    (summary CSV, obs JSON, alerts JSONL) and, with telemetry on, passes
-#    synergy_top --check conservation on the resumed snapshot,
+#    (summary CSV with its econ cost columns, obs JSON, .prom, alerts JSONL)
+#    and, with telemetry on, passes synergy_top --check conservation — both
+#    the energy ledger and the econ cost/carbon splits — on the resumed
+#    snapshot,
 #  - corrupting the newest artefact makes --resume fail closed: exit 1 and
 #    a diagnostic naming the fault (no silent fallback to stale state),
 #  - resuming from a directory with no artefacts exits 1,
 #  - malformed flag combinations (--resume/--checkpoint-interval/--crash-at
-#    without --checkpoint-dir) exit 2 with usage.
+#    without --checkpoint-dir; econ flags without --econ; out-of-range econ
+#    values) exit 2 with usage.
 file(REMOVE_RECURSE "${WORK_DIR}")
 file(MAKE_DIRECTORY "${WORK_DIR}")
 
@@ -21,7 +26,7 @@ file(MAKE_DIRECTORY "${WORK_DIR}")
 # checkpoints carry every event registry — arrivals, completions, faults,
 # crashes, restarts — not just a quiet queue.
 set(common_args --nodes 8 --gpus 4 --jobs 120 --seed 7 --mean-interarrival 2
-                --policy energy
+                --policy cost --econ --capex 1.2 --deferrable 0.3
                 --faults 0.02 --fault-device-lost 0.01 --fault-max-losses 2
                 --chaos-mtbf 60 --chaos-max 2 --chaos-restart 45
                 --obs-interval 5)
@@ -60,7 +65,7 @@ foreach(f ref.csv full.csv ref.json full.json ref.alerts.jsonl full.alerts.jsonl
     message(FATAL_ERROR "expected artefact missing: ${f}")
   endif()
 endforeach()
-foreach(pair "csv" "json" "alerts.jsonl")
+foreach(pair "csv" "json" "prom" "alerts.jsonl")
   file(READ "${WORK_DIR}/ref.${pair}" a)
   file(READ "${WORK_DIR}/full.${pair}" b)
   if(NOT a STREQUAL b)
@@ -97,7 +102,7 @@ endif()
 if(NOT out4 MATCHES "resumed from")
   message(FATAL_ERROR "resume never reported its source artefact:\n${out4}")
 endif()
-foreach(pair "csv" "json" "alerts.jsonl")
+foreach(pair "csv" "json" "prom" "alerts.jsonl")
   file(READ "${WORK_DIR}/ref.${pair}" a)
   file(READ "${WORK_DIR}/resumed.${pair}" b)
   if(NOT a STREQUAL b)
@@ -154,5 +159,27 @@ foreach(bad_args "--resume" "--checkpoint-interval 20" "--crash-at 150")
   endif()
 endforeach()
 
-message(STATUS "checkpoint workflow ok: inert checkpointing, crash=42, "
-               "byte-identical resume, fail-closed corruption, usage contract")
+# Econ usage contract: trace/capex flags and the cost policy require --econ,
+# and out-of-range econ values are usage errors even with --econ present.
+# None of these invocations get as far as opening a file, so the missing
+# nosuch.csv never matters — exit 2 must come from flag validation alone.
+foreach(bad_args
+        "--price-trace nosuch.csv"
+        "--carbon-trace nosuch.csv"
+        "--capex 1.0"
+        "--policy cost"
+        "--econ --capex -1"
+        "--econ --econ-period 0"
+        "--econ --deferrable 1.5")
+  separate_arguments(bad_list UNIX_COMMAND "${bad_args}")
+  execute_process(COMMAND "${CLUSTER}" --jobs 1 ${bad_list}
+                  WORKING_DIRECTORY "${WORK_DIR}"
+                  RESULT_VARIABLE ru OUTPUT_VARIABLE ou ERROR_VARIABLE eu)
+  if(NOT ru EQUAL 2)
+    message(FATAL_ERROR "'${bad_args}' exited ${ru}, expected usage error 2:\n${eu}")
+  endif()
+endforeach()
+
+message(STATUS "checkpoint workflow ok: inert checkpointing (csv/json/prom/alerts), "
+               "crash=42, byte-identical resume with econ state, fail-closed "
+               "corruption, usage contract")

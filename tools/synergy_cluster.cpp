@@ -11,7 +11,9 @@
 ///   --nodes N              cluster nodes (default 16)
 ///   --gpus N               GPUs per node (default 4)
 ///   --device NAME          device spec (default V100)
-///   --policy NAME          fifo | backfill | energy (default energy)
+///   --policy NAME          fifo | backfill | energy | cost (default energy;
+///                          cost extends energy with price-aware deferral
+///                          and clock demotion, and requires --econ)
 ///   --models DIR           resolve the energy policy through trained models
 ///                          from this store, behind the prediction
 ///                          guardrails (model -> tuning table -> default);
@@ -53,8 +55,25 @@
 ///   --slo-rules FILE       watchdog rule file (one `<kind> > <threshold>
 ///                          [window N]` per line); default: built-in rules
 ///                          for wasted energy, energy-per-job regression,
-///                          quarantine dwell, and (with --models) fallback
-///                          ratio
+///                          quarantine dwell, (with --models) fallback
+///                          ratio, and (with --econ) cost/carbon-per-job
+///                          regression
+///   --econ                 price every joule: synthetic diurnal electricity
+///                          price and carbon traces seeded from --seed (or
+///                          the files below), a cost/carbon breakdown in the
+///                          summary and snapshots, and amortised capex
+///   --econ-period S        period of the synthetic diurnal traces in
+///                          virtual seconds (default 240; expensive first
+///                          half, cheap second half)
+///   --price-trace FILE     electricity price trace CSV ($/kWh step series;
+///                          `# synergy-econ-trace v1 kind=price ...` header);
+///                          requires --econ
+///   --carbon-trace FILE    carbon intensity trace CSV (gCO2/kWh);
+///                          requires --econ
+///   --capex RATE           amortised capital cost per node-hour in USD
+///                          (default 0 = opex-only view); requires --econ
+///   --deferrable FRAC      fraction of generated jobs marked deferrable
+///                          (price-shiftable by the cost policy; default 0)
 ///   --governor SPEC        run every placed job under a reactive governor:
 ///                          conservative | ondemand | powercap_tracker, or
 ///                          hybrid[-<policy>] to seed from the planner's
@@ -98,6 +117,8 @@
 
 #include "synergy/cluster/checkpoint.hpp"
 #include "synergy/cluster/simulator.hpp"
+#include "synergy/econ/tco.hpp"
+#include "synergy/econ/trace.hpp"
 #include "synergy/plan_service.hpp"
 #include "synergy/governor/governor.hpp"
 #include "synergy/guarded_planner.hpp"
@@ -113,7 +134,7 @@ namespace {
 int usage(int code) {
   (code ? std::cerr : std::cout)
       << "usage: synergy_cluster [--nodes N] [--gpus N] [--device D]\n"
-         "                       [--policy fifo|backfill|energy] [--models DIR]\n"
+         "                       [--policy fifo|backfill|energy|cost] [--models DIR]\n"
          "                       [--target T]\n"
          "                       [--cap W] [--jobs N] [--seed S]\n"
          "                       [--mean-interarrival S] [--work-items N]\n"
@@ -128,7 +149,9 @@ int usage(int code) {
          "                       [--chaos-mtbf S] [--chaos-restart S] [--chaos-max N]\n"
          "                       [--chaos-seed S]\n"
          "                       [--checkpoint-dir DIR] [--checkpoint-interval S]\n"
-         "                       [--resume] [--crash-at S]\n";
+         "                       [--resume] [--crash-at S]\n"
+         "                       [--econ] [--econ-period S] [--price-trace F]\n"
+         "                       [--carbon-trace F] [--capex RATE] [--deferrable FRAC]\n";
   return code;
 }
 
@@ -155,6 +178,11 @@ int main(int argc, char** argv) {
   double ckpt_interval = 0.0;
   bool do_resume = false;
   double crash_at = -1.0;
+  bool econ_on = false;
+  double econ_period = 240.0;
+  std::string price_trace_file;
+  std::string carbon_trace_file;
+  double capex = 0.0;
 
   // Parse phase: any malformed flag or value is a usage error (exit 2);
   // operational failures below exit 1.
@@ -210,6 +238,12 @@ int main(int argc, char** argv) {
       else if (arg == "--checkpoint-interval") ckpt_interval = std::stod(value());
       else if (arg == "--resume") do_resume = true;
       else if (arg == "--crash-at") crash_at = std::stod(value());
+      else if (arg == "--econ") econ_on = true;
+      else if (arg == "--econ-period") econ_period = std::stod(value());
+      else if (arg == "--price-trace") price_trace_file = value();
+      else if (arg == "--carbon-trace") carbon_trace_file = value();
+      else if (arg == "--capex") capex = std::stod(value());
+      else if (arg == "--deferrable") gen.deferrable_fraction = std::stod(value());
       else if (arg == "--help" || arg == "-h") return usage(0);
       else {
         std::cerr << "error: unknown argument " << arg << '\n';
@@ -275,6 +309,31 @@ int main(int argc, char** argv) {
                    "(in-memory retrain state is not serialisable)\n";
       return usage(2);
     }
+    if (!econ_on && (!price_trace_file.empty() || !carbon_trace_file.empty())) {
+      std::cerr << "error: --price-trace/--carbon-trace need --econ\n";
+      return usage(2);
+    }
+    if (!econ_on && capex != 0.0) {
+      std::cerr << "error: --capex needs --econ\n";
+      return usage(2);
+    }
+    if (capex < 0.0) {
+      std::cerr << "error: --capex must be >= 0\n";
+      return usage(2);
+    }
+    if (!(econ_period > 0.0)) {
+      std::cerr << "error: --econ-period must be > 0\n";
+      return usage(2);
+    }
+    if (gen.deferrable_fraction < 0.0 || gen.deferrable_fraction > 1.0) {
+      std::cerr << "error: --deferrable fraction out of [0,1]\n";
+      return usage(2);
+    }
+    if ((policy == "cost" || policy == "cost-aware") && !econ_on) {
+      std::cerr << "error: --policy cost needs --econ (the cost policy prices "
+                   "its deferral and demotion decisions)\n";
+      return usage(2);
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return usage(2);
@@ -304,11 +363,56 @@ int main(int argc, char** argv) {
       std::cout << "trace written to " << trace_out << " (seed " << trace.seed << ")\n";
     }
 
+    namespace econ = synergy::econ;
+    if (econ_on) {
+      const auto load_trace = [](const std::string& file, const std::string& kind) {
+        std::ifstream in{file};
+        if (!in)
+          throw std::runtime_error("cannot read --" + kind + "-trace " + file);
+        std::ostringstream text;
+        text << in.rdbuf();
+        return econ::parse_step_trace(text.str(), kind);
+      };
+      cluster.econ.enabled = true;
+      cluster.econ.capex_usd_per_node_hour = capex;
+      // Synthetic traces are seeded from the generator seed so a replayed
+      // seed reproduces the tariff along with the arrivals; price and carbon
+      // draw from distinct rng streams.
+      econ::synthetic_config syn;
+      syn.seed = gen.seed;
+      syn.period_s = econ_period;
+      syn.step_s = econ_period / 24.0;
+      if (!price_trace_file.empty()) {
+        cluster.econ.price = load_trace(price_trace_file, "price");
+      } else {
+        syn.stream = 0;
+        syn.base = 0.10;
+        syn.amplitude = 0.04;
+        syn.noise = 0.01;
+        cluster.econ.price = econ::synthetic_diurnal(syn);
+      }
+      if (!carbon_trace_file.empty()) {
+        cluster.econ.carbon = load_trace(carbon_trace_file, "carbon");
+      } else {
+        syn.stream = 1;
+        syn.base = 300.0;
+        syn.amplitude = 120.0;
+        syn.noise = 20.0;
+        cluster.econ.carbon = econ::synthetic_diurnal(syn);
+      }
+      std::cout << "econ: pricing enabled (mean $"
+                << synergy::obs::format_double(cluster.econ.price.mean())
+                << "/kWh, mean " << synergy::obs::format_double(cluster.econ.carbon.mean())
+                << " gCO2/kWh, capex $" << synergy::obs::format_double(capex)
+                << " per node-hour)\n";
+    }
+
     sc::plan_fn plan;
     std::shared_ptr<synergy::guarded_planner> guard;
     std::shared_ptr<synergy::plan_service> service;
     bool model_loaded = false;
-    if (policy == "energy" || policy == "energy-aware") {
+    if (policy == "energy" || policy == "energy-aware" || policy == "cost" ||
+        policy == "cost-aware") {
       if (!model_dir.empty()) {
         auto guarded = sc::make_guarded_suite_planner(cluster.device, model_dir);
         std::cout << "model tier: "
@@ -332,7 +436,8 @@ int main(int argc, char** argv) {
       cluster.obs_scrape_interval_s = obs_interval;
     }
 
-    sc::simulator sim{cluster, sc::make_policy(policy, std::move(plan), override_target)};
+    sc::simulator sim{cluster,
+                      sc::make_policy(policy, std::move(plan), override_target, &cluster.econ)};
 
     if (!ckpt_dir.empty()) {
       std::error_code ec;
@@ -411,6 +516,10 @@ int main(int argc, char** argv) {
             "energy_per_job_ratio > 1.5 window 24\n"
             "quarantine_dwell_s > 60\n";
         if (model_loaded) rules_text += "fallback_ratio > 0.5 window 32\n";
+        if (econ_on)
+          rules_text +=
+              "cost_per_job_ratio > 1.4 window 24\n"
+              "carbon_per_job_ratio > 1.4 window 24\n";
       }
       auto rules = obs::parse_rules(rules_text);
       if (!rules.has_value()) {
@@ -451,6 +560,22 @@ int main(int argc, char** argv) {
       sim.set_scrape_hook([&](double t_s) {
         ++obs_opts.sequence;
         obs_opts.time_s = t_s;
+        // The econ figures ride in the snapshot as plain data; the meter is
+        // inactive until run()/resume() constructs it, so the pre-run probe
+        // write above carries no econ block.
+        if (const auto& meter = sim.econ_meter(); meter.active()) {
+          obs_opts.econ.enabled = true;
+          obs_opts.econ.cost_usd = meter.total_cost_usd();
+          obs_opts.econ.capex_usd = meter.capex_usd();
+          obs_opts.econ.carbon_g = meter.facility_carbon_g();
+          obs_opts.econ.cost_per_job_usd = meter.cost_per_job_usd();
+          obs_opts.econ.carbon_per_job_g = meter.carbon_per_job_g();
+          obs_opts.econ.attributed_cost_usd = meter.attributed_cost_usd();
+          obs_opts.econ.attributed_carbon_g = meter.attributed_carbon_g();
+          obs_opts.econ.cost_by_cause = meter.cost_by_cause();
+          obs_opts.econ.carbon_by_cause = meter.carbon_by_cause();
+          obs_opts.econ.jobs_completed = meter.jobs_completed();
+        }
         if (auto st = obs::write_snapshot_files(obs_out, ledger, watchdog.get(), obs_opts);
             !st.ok())
           std::cerr << "warning: snapshot write failed: " << st.err().to_string() << '\n';

@@ -14,9 +14,12 @@
 ///   --top K          rows in the per-node table (default 8)
 ///   --no-clear       do not clear the screen between renders
 ///   --check          validate instead of render: schema tag, required
-///                    sections, and per-cause attribution summing to the
-///                    ledger total within 0.1%; exit 0 when sound, 2 on a
-///                    violation, 1 on a read/parse error
+///                    sections, per-cause attribution summing to the
+///                    ledger total within 0.1%, and — when the exporter ran
+///                    with --econ — the cost/carbon cause splits summing to
+///                    their attributed totals under the same tolerance;
+///                    exit 0 when sound, 2 on a violation, 1 on a
+///                    read/parse error
 ///
 /// Usage errors (unknown flag, malformed value, missing path) print the
 /// usage line to stderr and exit 2.
@@ -115,6 +118,39 @@ int check_snapshot(const obs::json::value& doc, std::string& why) {
   if (std::abs(entry_sum - total) > tolerance)
     return fail("ledger.entries sum to " + obs::format_double(entry_sum) +
                 " J but ledger.total_j is " + obs::format_double(total) + " J");
+
+  // The econ block is optional (exporter ran with --econ); when present its
+  // cause splits carry the same conservation contract as the ledger.
+  if (const obs::json::value* econ = doc.find("econ"); econ) {
+    if (!econ->is_object()) return fail("\"econ\" is not an object");
+    const auto check_split = [&](const char* split, const char* total_key,
+                                 const char* unit) -> int {
+      const obs::json::value* by = econ->find(split);
+      if (!by || !by->is_object())
+        return fail("missing \"econ." + std::string{split} + "\" object");
+      const double attributed = econ->number_or(total_key, -1.0);
+      if (attributed < 0.0)
+        return fail("missing or negative \"econ." + std::string{total_key} + "\"");
+      double sum = 0.0;
+      for (const auto& [name, v] : by->as_object()) {
+        if (!v.is_number())
+          return fail("econ." + std::string{split} + "[\"" + name + "\"] is not a number");
+        if (v.as_number() < 0.0)
+          return fail("econ." + std::string{split} + "[\"" + name + "\"] is negative");
+        sum += v.as_number();
+      }
+      const double tol = 1e-3 * std::max(attributed, 1e-9);
+      if (std::abs(sum - attributed) > tol)
+        return fail("econ." + std::string{split} + " sums to " + obs::format_double(sum) +
+                    " " + unit + " but econ." + total_key + " is " +
+                    obs::format_double(attributed) + " " + unit + " (off by more than 0.1%)");
+      return 0;
+    };
+    if (const int rc = check_split("cost_by_cause", "attributed_cost_usd", "USD"); rc != 0)
+      return rc;
+    if (const int rc = check_split("carbon_by_cause", "attributed_carbon_g", "g"); rc != 0)
+      return rc;
+  }
   return 0;
 }
 
@@ -188,6 +224,35 @@ void render(const obs::json::value& doc, const obs::json::value* prev, std::size
           << std::string(nodes[i].first.size() < 20 ? 20 - nodes[i].first.size() : 1, ' ')
           << fixed3(nodes[i].second) << "  "
           << fixed1(total > 0.0 ? 100.0 * nodes[i].second / total : 0.0) << "%\n";
+    out << '\n';
+  }
+
+  if (const obs::json::value* econ = doc.find("econ"); econ && econ->is_object()) {
+    out << "econ: $" << fixed3(econ->number_or("cost_usd", 0.0)) << " total (capex $"
+        << fixed3(econ->number_or("capex_usd", 0.0)) << "), "
+        << fixed1(econ->number_or("carbon_g", 0.0)) << " gCO2   per job: $"
+        << fixed3(econ->number_or("cost_per_job_usd", 0.0)) << " / "
+        << fixed1(econ->number_or("carbon_per_job_g", 0.0)) << " g\n";
+    const obs::json::value* cost_by = econ->find("cost_by_cause");
+    const obs::json::value* carbon_by = econ->find("carbon_by_cause");
+    if (cost_by && cost_by->is_object()) {
+      std::vector<std::pair<std::string, double>> rows;
+      for (const auto& [name, v] : cost_by->as_object())
+        if (v.is_number() && v.as_number() > 0.0) rows.emplace_back(name, v.as_number());
+      std::sort(rows.begin(), rows.end(),
+                [](const auto& a, const auto& b) { return a.second > b.second; });
+      const double attributed = econ->number_or("attributed_cost_usd", 0.0);
+      if (!rows.empty()) out << "  cause                 cost_usd    share  carbon_g\n";
+      for (const auto& [name, usd] : rows) {
+        out << "  " << name << std::string(name.size() < 20 ? 20 - name.size() : 1, ' ')
+            << fixed3(usd) << "  "
+            << fixed1(attributed > 0.0 ? 100.0 * usd / attributed : 0.0) << "%  "
+            << fixed1(carbon_by && carbon_by->is_object() ? carbon_by->number_or(name, 0.0)
+                                                          : 0.0)
+            << '\n';
+      }
+      if (rows.empty()) out << "  (no cost attributed yet)\n";
+    }
     out << '\n';
   }
 
